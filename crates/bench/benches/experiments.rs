@@ -1,0 +1,89 @@
+//! Criterion benches of the end-to-end experiments: one timed kernel
+//! per paper figure/table, so regressions in any layer show up against
+//! the exact workload the reproduction runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aeropack_core::{
+    analyze_module, representative_board, CoolingSelector, HotSpotStudy, SeatStructure, SebModel,
+};
+use aeropack_envqual::Do160Curve;
+use aeropack_fem::{modal, random_response, Dof, HarmonicResponse, PlateMesh, PlateProperties};
+use aeropack_materials::Material;
+use aeropack_tim::{D5470Tester, TimJoint};
+use aeropack_units::{Celsius, Length, Power, Pressure, TempDelta};
+
+fn bench_exp01_modal(c: &mut Criterion) {
+    let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(2.4))
+        .expect("props")
+        .with_smeared_mass(4.0);
+    c.bench_function("exp01_board_modes_and_psd", |b| {
+        b.iter(|| {
+            let mut mesh = PlateMesh::rectangular(0.14, 0.09, 6, 4, &props).expect("mesh");
+            mesh.pin_all_edges().expect("bc");
+            let modes = modal(&mesh.model, 3).expect("modal");
+            let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).expect("resp");
+            random_response(&resp, mesh.center_node(), Dof::W, &Do160Curve::C1.psd())
+                .expect("random")
+        });
+    });
+}
+
+fn bench_exp02_levels(c: &mut Criterion) {
+    let pcb = representative_board("bench module", Power::new(30.0)).expect("board");
+    let selector = CoolingSelector::default();
+    c.bench_function("exp02_three_level_chain", |b| {
+        b.iter(|| analyze_module(&pcb, &selector, Celsius::new(55.0)).expect("chain"));
+    });
+}
+
+fn bench_exp04_hotspot(c: &mut Criterion) {
+    let study = HotSpotStudy::ten_watt_per_cm2();
+    c.bench_function("exp04_hotspot_solve", |b| {
+        b.iter(|| study.junction_temperature(2.0).expect("solve"));
+    });
+}
+
+fn bench_exp05_seb(c: &mut Criterion) {
+    let model =
+        SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model");
+    c.bench_function("exp05_seb_solve", |b| {
+        b.iter(|| {
+            model
+                .solve(Power::new(80.0), Celsius::new(25.0))
+                .expect("solve")
+        });
+    });
+    let mut group = c.benchmark_group("exp05_seb_capability");
+    group.sample_size(10);
+    group.bench_function("capability_dt60", |b| {
+        b.iter(|| {
+            model
+                .capability(TempDelta::new(60.0), Celsius::new(25.0))
+                .expect("capability")
+        });
+    });
+    group.finish();
+}
+
+fn bench_exp08_tester(c: &mut Criterion) {
+    let tester = D5470Tester::standard().expect("tester");
+    let joint = TimJoint::nanopack_sphere_adhesive().expect("joint");
+    c.bench_function("exp08_d5470_averaged_measurement", |b| {
+        b.iter(|| {
+            tester
+                .measure_averaged(&joint, Pressure::from_kilopascals(300.0), 25, 7)
+                .expect("measure")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exp01_modal,
+    bench_exp02_levels,
+    bench_exp04_hotspot,
+    bench_exp05_seb,
+    bench_exp08_tester
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benches of the numerical solvers behind the experiments:
+//! the finite-volume steady solve, the modal extraction, the resistive
+//! network, and the two-phase device closures. These double as a
+//! performance regression suite for the substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aeropack_fem::{modal, PlateMesh, PlateProperties};
+use aeropack_materials::{Material, WorkingFluid};
+use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, Network};
+use aeropack_twophase::{HeatPipe, LoopHeatPipe};
+use aeropack_units::{Celsius, HeatTransferCoeff, Length, Power, ThermalResistance};
+
+fn bench_fv_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fv_steady");
+    group.sample_size(10);
+    for n in [16usize, 32, 48] {
+        let grid = FvGrid::new((0.16, 0.10, 0.0016), (n, n * 5 / 8, 1)).expect("grid");
+        let mut model = FvModel::new(grid, &Material::fr4());
+        model
+            .add_power_box(Power::new(30.0), (n / 3, n / 4, 0), (n / 2, n / 2, 1))
+            .expect("source");
+        model.set_face_bc(
+            Face::ZMax,
+            FaceBc::Convection {
+                h: HeatTransferCoeff::new(50.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| m.solve_steady().expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_modal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modal_extraction");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let props = PlateProperties::from_material(
+            &Material::aluminum_6061(),
+            Length::from_millimeters(2.0),
+        )
+        .expect("props");
+        let mut mesh = PlateMesh::rectangular(0.3, 0.3, n, n, &props).expect("mesh");
+        mesh.simply_support_edges().expect("bc");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &mesh, |b, m| {
+            b.iter(|| modal(&m.model, 4).expect("modal"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_solve");
+    for n in [10usize, 50, 150] {
+        // A ladder of n floating nodes to one ambient.
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(25.0));
+        let mut prev = amb;
+        for i in 0..n {
+            let node = net.add_floating(format!("n{i}"));
+            net.add_heat(node, Power::new(1.0)).expect("heat");
+            net.connect(node, prev, ThermalResistance::new(0.3))
+                .expect("edge");
+            prev = node;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, m| {
+            b.iter(|| m.solve().expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_phase");
+    let pipe = HeatPipe::copper_water_6mm(
+        Length::from_millimeters(80.0),
+        Length::from_millimeters(150.0),
+        Length::from_millimeters(80.0),
+    )
+    .expect("pipe");
+    group.bench_function("heat_pipe_limits", |b| {
+        b.iter(|| pipe.limits(Celsius::new(60.0), 0.2).expect("limits"));
+    });
+    let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8)).expect("lhp");
+    group.bench_function("lhp_operating_point", |b| {
+        b.iter(|| {
+            lhp.operating_point(Power::new(29.0), Celsius::new(35.0), 0.2)
+                .expect("op")
+        });
+    });
+    group.bench_function("fluid_saturation", |b| {
+        let water = WorkingFluid::water();
+        b.iter(|| water.saturation(Celsius::new(80.0)).expect("sat"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fv_steady,
+    bench_modal,
+    bench_network,
+    bench_two_phase
+);
+criterion_main!(benches);

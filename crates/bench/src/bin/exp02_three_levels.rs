@@ -1,0 +1,105 @@
+//! E2 — Fig 4: the three simulation levels from equipment to component.
+//!
+//! The same 30 W module is analysed at Level 1 (scalar technology-
+//! selection estimate), Level 2 (finite-volume board field) and Level 3
+//! (per-component junction temperatures), showing the refinement chain
+//! the paper describes, plus the resistive-network equivalent.
+
+use aeropack_bench::{banner, Table};
+use aeropack_core::{
+    level3, predict_board_temperature, representative_board, CoolingSelector, Level2Model,
+    ModuleGeometry,
+};
+use aeropack_thermal::Network;
+use aeropack_units::{Celsius, Length, Power, ThermalResistance};
+
+fn main() {
+    banner(
+        "E2",
+        "equipment → PCB → component refinement",
+        "Fig 4 (three simulation levels + resistive network model)",
+    );
+    let ambient = Celsius::new(55.0);
+    let pcb = representative_board("demo module", Power::new(30.0)).expect("valid board");
+    // Level 1 picks the technology; the deeper levels refine it.
+    let mut selector = CoolingSelector::default();
+    selector.geometry.board = pcb.size;
+    let selection = selector
+        .select(pcb.total_power(), ambient)
+        .expect("feasible cooling");
+    let mode = selection.mode;
+    println!("Level-1 technology selection: {}", mode.label());
+
+    // Level 1: scalar estimate.
+    let geometry = ModuleGeometry {
+        board: pcb.size,
+        ..ModuleGeometry::default()
+    };
+    let l1 =
+        predict_board_temperature(&mode, &geometry, pcb.total_power(), ambient).expect("level 1");
+
+    // Level 2: board field.
+    let l2_model = Level2Model::new(&pcb, &mode, ambient, Length::from_millimeters(4.0))
+        .expect("level 2 model");
+    let field = l2_model.solve().expect("level 2 solve");
+
+    // Level 3: junctions.
+    let l3 = level3(&pcb, &l2_model, &field, None).expect("level 3");
+
+    let mut t = Table::new(&["level", "quantity", "value (°C)"]);
+    t.row(&[
+        "L1 equipment".to_string(),
+        "mean board estimate".to_string(),
+        format!("{:.1}", l1.value()),
+    ]);
+    t.row(&[
+        "L2 PCB".to_string(),
+        "board mean".to_string(),
+        format!("{:.1}", field.mean_temperature().value()),
+    ]);
+    t.row(&[
+        "L2 PCB".to_string(),
+        "board peak".to_string(),
+        format!("{:.1}", field.max_temperature().value()),
+    ]);
+    for j in &l3.junctions {
+        t.row(&[
+            "L3 component".to_string(),
+            format!("{} junction", j.name),
+            format!("{:.1}", j.junction_temperature.value()),
+        ]);
+    }
+    t.print();
+
+    let worst = l3.max_junction();
+    println!(
+        "junction limit check: worst {worst:.1} vs 125 °C limit → {}",
+        if worst <= Celsius::new(125.0) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    // Resistive-network equivalent of the same module (Fig 4 inset).
+    let mut net = Network::new();
+    let air = net.add_fixed("cooling air", ambient);
+    let board = net.add_floating("board");
+    let junction = net.add_floating("CPU junction");
+    net.add_heat(board, Power::new(18.0)).expect("valid node");
+    net.add_heat(junction, Power::new(12.0))
+        .expect("valid node");
+    net.connect(junction, board, ThermalResistance::new(0.8))
+        .expect("valid edge");
+    // Board-to-air resistance implied by the L2 solution.
+    let r_board = (field.mean_temperature() - ambient).kelvin() / 30.0;
+    net.connect(board, air, ThermalResistance::new(r_board))
+        .expect("valid edge");
+    let sol = net.solve().expect("network solve");
+    println!(
+        "network equivalent: board {:.1}, CPU junction {:.1} (L3 said {:.1})",
+        sol.temperature(board).expect("board node"),
+        sol.temperature(junction).expect("junction node"),
+        l3.junctions[0].junction_temperature,
+    );
+}

@@ -1,0 +1,66 @@
+//! E3 — Fig 5/6: the cooling-mode trade space vs module power.
+//!
+//! For the paper's module-power generations (10 W today, 20/30 W near
+//! term, 60 W next) the table shows the predicted board temperature
+//! under each Fig 5 cooling principle and which technology the Level-1
+//! selector picks.
+
+use aeropack_bench::{banner, Table};
+use aeropack_core::{predict_board_temperature, CoolingMode, CoolingSelector, ModuleGeometry};
+use aeropack_units::{Celsius, Power, TempDelta};
+
+fn main() {
+    banner(
+        "E3",
+        "cooling modes vs module power",
+        "Fig 5 (cooling modes) and Fig 6 (module power generations 10→60 W)",
+    );
+    let ambient = Celsius::new(55.0);
+    let limit = Celsius::new(85.0);
+    let geometry = ModuleGeometry::default();
+    let rail = ambient + TempDelta::new(10.0);
+    let modes = [
+        CoolingMode::FreeConvection,
+        CoolingMode::DirectForcedAir {
+            flow_multiplier: 1.0,
+        },
+        CoolingMode::ConductionCooled {
+            rail_temperature: rail,
+        },
+        CoolingMode::AirFlowThrough {
+            flow_multiplier: 1.0,
+        },
+        CoolingMode::LiquidFlowThrough {
+            coolant_inlet: ambient,
+        },
+    ];
+
+    let mut t = Table::new(&[
+        "module power",
+        "free conv",
+        "forced air",
+        "conduction",
+        "flow-through",
+        "liquid",
+        "selected",
+    ]);
+    let selector = CoolingSelector::default();
+    for p in [10.0, 20.0, 30.0, 60.0, 100.0] {
+        let power = Power::new(p);
+        let mut cells = vec![format!("{p:.0} W")];
+        for mode in &modes {
+            let temp =
+                predict_board_temperature(mode, &geometry, power, ambient).expect("prediction");
+            let mark = if temp <= limit { "" } else { "*" };
+            cells.push(format!("{:.0}{mark}", temp.value()));
+        }
+        let sel = selector.select(power, ambient).expect("feasible selection");
+        cells.push(sel.mode.label().to_string());
+        t.row(&cells);
+    }
+    t.print();
+    println!("board temperatures in °C at 55 °C ambient; * = exceeds the 85 °C class limit");
+    println!("shape check: free convection dies between 10 and 20 W; plain forced air");
+    println!("covers the 20–60 W generations; 100 W needs flow-through/liquid — matching");
+    println!("the paper's account of ARINC racks running out as modules reach 60 W.");
+}

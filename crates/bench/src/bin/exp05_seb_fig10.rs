@@ -1,0 +1,117 @@
+//! E5 — **Fig 10**: the COSEE headline result.
+//!
+//! ΔT(PCB1 − air) versus SEB dissipated power for three configurations:
+//! without LHP, with LHP horizontal, and with LHP at 22° tilt — on the
+//! aluminium seat structure. Paper anchors: ~40 W at ΔT ≈ 60 °C without
+//! LHP; 100 W at the same ΔT with LHP (+150 %); a 32 °C PCB drop at
+//! 40 W; ~58 W carried by the loop heat pipes; a small tilt penalty.
+
+use aeropack_bench::{banner, compare, Table};
+use aeropack_core::{SeatStructure, SebModel};
+use aeropack_twophase::TwoPhaseError;
+use aeropack_units::{Celsius, Power, TempDelta};
+
+fn main() {
+    banner(
+        "E5",
+        "SEB ΔT(PCB−air) vs power, three configurations",
+        "Fig 10 (aluminium seat): no LHP / LHP horizontal / LHP 22° tilt",
+    );
+    let ambient = Celsius::new(25.0);
+    let no_lhp = SebModel::cosee(SeatStructure::aluminum(), false, 0.0).expect("model");
+    let lhp_flat = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model");
+    let lhp_tilt =
+        SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model");
+
+    let fmt = |model: &SebModel, p: f64| -> String {
+        match model.solve(Power::new(p), ambient) {
+            Ok(state) => format!("{:.1}", state.dt_pcb_air(ambient).kelvin()),
+            Err(e) => match e {
+                aeropack_core::DesignError::TwoPhase(TwoPhaseError::DryOut { .. }) => {
+                    "dry-out".into()
+                }
+                other => format!("err: {other}"),
+            },
+        }
+    };
+
+    let mut t = Table::new(&[
+        "SEB power (W)",
+        "ΔT no LHP (K)",
+        "ΔT LHP horizontal (K)",
+        "ΔT LHP 22° (K)",
+    ]);
+    for p in [
+        10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0,
+    ] {
+        t.row(&[
+            format!("{p:.0}"),
+            fmt(&no_lhp, p),
+            fmt(&lhp_flat, p),
+            fmt(&lhp_tilt, p),
+        ]);
+    }
+    t.print();
+
+    // Paper anchors.
+    let dt60 = TempDelta::new(60.0);
+    let cap_base = no_lhp.capability(dt60, ambient).expect("capability");
+    let cap_lhp = lhp_flat.capability(dt60, ambient).expect("capability");
+    let cap_tilt = lhp_tilt.capability(dt60, ambient).expect("capability");
+    println!(
+        "{}",
+        compare(
+            "capability without LHP at ΔT=60 (W)",
+            40.0,
+            cap_base.value(),
+            0.35
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "capability with LHP at ΔT=60 (W)",
+            100.0,
+            cap_lhp.value(),
+            0.35
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "capability gain (%)",
+            150.0,
+            (cap_lhp.value() / cap_base.value() - 1.0) * 100.0,
+            0.4,
+        )
+    );
+    let t_base = no_lhp
+        .solve(Power::new(40.0), ambient)
+        .expect("solve")
+        .pcb_temperature;
+    let t_lhp = lhp_flat
+        .solve(Power::new(40.0), ambient)
+        .expect("solve")
+        .pcb_temperature;
+    println!(
+        "{}",
+        compare("PCB drop at 40 W (K)", 32.0, (t_base - t_lhp).kelvin(), 0.4)
+    );
+    let near_cap = lhp_flat
+        .solve(cap_lhp.min(Power::new(100.0)), ambient)
+        .expect("solve");
+    println!(
+        "{}",
+        compare(
+            "power through the LHPs near capability (W)",
+            58.0,
+            near_cap.lhp_power.value(),
+            0.4,
+        )
+    );
+    println!(
+        "tilt capability penalty at ΔT=60: {:.1} W ({:.1}% — paper shows a small effect)",
+        cap_lhp.value() - cap_tilt.value(),
+        (1.0 - cap_tilt.value() / cap_lhp.value()) * 100.0
+    );
+}

@@ -1,0 +1,90 @@
+//! E6 — §IV.A: the carbon-composite seat campaign.
+//!
+//! "Compared to the aluminium, this material has a rather poor thermal
+//! conductivity, thus the results are slightly under those obtained with
+//! aluminium: increase of 80 % of the heat dissipation capability (from
+//! 38 W up to 70 W …); for a same dissipated power (40 W) … 20 °C
+//! decrease on the PCB temperature."
+
+use aeropack_bench::{banner, compare, Table};
+use aeropack_core::{SeatStructure, SebModel};
+use aeropack_units::{Celsius, Power, TempDelta};
+
+fn main() {
+    banner(
+        "E6",
+        "SEB on the carbon-composite seat structure",
+        "§IV.A: composite campaign (38→70 W, 20 °C drop at 40 W)",
+    );
+    let ambient = Celsius::new(25.0);
+    let base = SebModel::cosee(SeatStructure::carbon_composite(), false, 0.0).expect("model");
+    let lhp = SebModel::cosee(SeatStructure::carbon_composite(), true, 0.0).expect("model");
+    let alu = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model");
+
+    let mut t = Table::new(&[
+        "SEB power (W)",
+        "ΔT no LHP (K)",
+        "ΔT LHP composite (K)",
+        "ΔT LHP aluminium (K)",
+    ]);
+    for p in [20.0, 40.0, 60.0, 80.0] {
+        let row = |m: &SebModel| -> String {
+            m.solve(Power::new(p), ambient)
+                .map(|s| format!("{:.1}", s.dt_pcb_air(ambient).kelvin()))
+                .unwrap_or_else(|_| "dry-out".into())
+        };
+        t.row(&[format!("{p:.0}"), row(&base), row(&lhp), row(&alu)]);
+    }
+    t.print();
+
+    let dt60 = TempDelta::new(60.0);
+    let cap_base = base.capability(dt60, ambient).expect("capability");
+    let cap_comp = lhp.capability(dt60, ambient).expect("capability");
+    let cap_alu = alu.capability(dt60, ambient).expect("capability");
+    println!(
+        "{}",
+        compare("baseline capability (W)", 38.0, cap_base.value(), 0.35)
+    );
+    println!(
+        "{}",
+        compare(
+            "composite-seat capability (W)",
+            70.0,
+            cap_comp.value(),
+            0.35
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "composite gain (%)",
+            80.0,
+            (cap_comp.value() / cap_base.value() - 1.0) * 100.0,
+            0.5,
+        )
+    );
+    let t_base = base
+        .solve(Power::new(40.0), ambient)
+        .expect("solve")
+        .pcb_temperature;
+    let t_comp = lhp
+        .solve(Power::new(40.0), ambient)
+        .expect("solve")
+        .pcb_temperature;
+    println!(
+        "{}",
+        compare(
+            "PCB drop at 40 W (K)",
+            20.0,
+            (t_base - t_comp).kelvin(),
+            0.5
+        )
+    );
+    println!(
+        "ordering check: composite capability {:.0} W sits between baseline {:.0} W and aluminium {:.0} W — {}",
+        cap_comp.value(),
+        cap_base.value(),
+        cap_alu.value(),
+        if cap_base < cap_comp && cap_comp < cap_alu { "OK" } else { "DIFFERS" }
+    );
+}

@@ -1,0 +1,154 @@
+//! E8 — §IV.B: the NANOPACK TIM results table.
+//!
+//! Paper claims regenerated here:
+//! * silver-flake mono-epoxy adhesive: 6 W/m·K;
+//! * micro-silver-sphere multi-epoxy adhesive: 9.5 W/m·K;
+//! * metal–polymer composite by a specific process: 20 W/m·K;
+//! * HNC surfaces: > 20 % bond-line reduction on cm² interfaces;
+//! * target: resistance < 5 K·mm²/W at BLT < 20 µm;
+//! * D5470 tester: ±1 K·mm²/W and ±2 µm accuracy.
+
+use aeropack_bench::{banner, compare, Table};
+use aeropack_materials::Material;
+use aeropack_tim::{
+    lewis_nielsen, loading_for_target, percolation, ConductiveAdhesive, D5470Tester, FillerShape,
+    HncSurface, TimJoint,
+};
+use aeropack_units::{Length, Pressure, ThermalConductivity};
+
+fn main() {
+    banner(
+        "E8",
+        "NANOPACK thermal-interface-material results",
+        "§IV.B: adhesives at 6 / 9.5 W/m·K, composite at 20 W/m·K, HNC > 20 %, D5470 ±1 K·mm²/W",
+    );
+    let km = Material::epoxy().thermal_conductivity;
+    let kf = Material::silver().thermal_conductivity;
+
+    // --- Composite conductivities. ---
+    let phi_flake = loading_for_target(km, kf, ThermalConductivity::new(6.0), FillerShape::Flake)
+        .expect("reachable");
+    let phi_sphere = loading_for_target(km, kf, ThermalConductivity::new(9.5), FillerShape::Sphere)
+        .expect("reachable");
+    let k_flake = lewis_nielsen(km, kf, phi_flake, FillerShape::Flake).expect("model");
+    let k_sphere = lewis_nielsen(km, kf, phi_sphere, FillerShape::Sphere).expect("model");
+    let k_perc = percolation(km, kf, 0.52, 0.25, 3.0).expect("model");
+
+    let mut t = Table::new(&[
+        "material",
+        "model",
+        "loading (vol%)",
+        "k (W/m·K)",
+        "paper k",
+    ]);
+    t.row(&[
+        "Ag-flake mono-epoxy".to_string(),
+        "Lewis-Nielsen (flake)".to_string(),
+        format!("{:.0}", phi_flake * 100.0),
+        format!("{:.1}", k_flake.value()),
+        "6.0".to_string(),
+    ]);
+    t.row(&[
+        "µAg-sphere multi-epoxy".to_string(),
+        "Lewis-Nielsen (sphere)".to_string(),
+        format!("{:.0}", phi_sphere * 100.0),
+        format!("{:.1}", k_sphere.value()),
+        "9.5".to_string(),
+    ]);
+    t.row(&[
+        "metal-polymer composite".to_string(),
+        "percolation (φc=0.25, t=3)".to_string(),
+        "52".to_string(),
+        format!("{:.1}", k_perc.value()),
+        "20.0".to_string(),
+    ]);
+    t.print();
+    println!(
+        "{}",
+        compare("percolating composite k", 20.0, k_perc.value(), 0.35)
+    );
+
+    // --- Electrical and mechanical properties of the adhesives. ---
+    let flake = ConductiveAdhesive::new(phi_flake, FillerShape::Flake).expect("formulation");
+    println!(
+        "flake adhesive electrics/mechanics: ρ = {:.1e} Ω·cm (paper ~1e-4), \
+         shear = {:.1} MPa (paper 14) — {}",
+        flake.electrical_resistivity_ohm_cm(),
+        flake.shear_strength().megapascals(),
+        if flake.is_electrically_conductive()
+            && (flake.shear_strength().megapascals() - 14.0).abs() < 4.0
+        {
+            "OK"
+        } else {
+            "DIFFERS"
+        }
+    );
+
+    // --- HNC bond-line reduction. ---
+    let hnc = HncSurface::nanopack_demo().expect("geometry");
+    let reduction = hnc
+        .reduction(Length::from_millimeters(5.0))
+        .expect("cm² pad");
+    println!(
+        "HNC BLT reduction on cm² pad: paper \"> 20 %\", measured {:.0}% ({})",
+        reduction * 100.0,
+        if reduction > 0.20 { "OK" } else { "DIFFERS" }
+    );
+
+    // --- Joint target: < 5 K·mm²/W at BLT < 20 µm. ---
+    let joint = TimJoint::nanopack_sphere_adhesive().expect("joint");
+    let p = Pressure::from_kilopascals(500.0);
+    let blt = joint.bond_line(p).expect("blt");
+    let (r_hnc, blt_hnc) = joint
+        .area_resistance_with_hnc(p, &hnc, Length::from_millimeters(5.0))
+        .expect("hnc joint");
+    let r_flat = joint.area_resistance(p).expect("resistance");
+    println!(
+        "sphere adhesive at 500 kPa: flat BLT {:.1} µm, R {:.2} K·mm²/W; with HNC: BLT {:.1} µm, R {:.2} K·mm²/W",
+        blt.micrometers(),
+        r_flat.kelvin_mm2_per_watt(),
+        blt_hnc.micrometers(),
+        r_hnc.kelvin_mm2_per_watt()
+    );
+    println!(
+        "NANOPACK target (R < 5 K·mm²/W at BLT < 20 µm): {}",
+        if r_hnc.kelvin_mm2_per_watt() < 5.0 && blt_hnc.micrometers() < 20.0 {
+            "MET"
+        } else {
+            "NOT MET"
+        }
+    );
+
+    // --- Virtual D5470 accuracy. ---
+    let tester = D5470Tester::standard().expect("instrument");
+    let mut worst_r: f64 = 0.0;
+    let mut worst_blt: f64 = 0.0;
+    for (i, sample) in [
+        TimJoint::conventional_grease().expect("joint"),
+        TimJoint::nanopack_flake_adhesive().expect("joint"),
+        TimJoint::nanopack_sphere_adhesive().expect("joint"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let truth_r = sample.area_resistance(p).expect("truth");
+        let truth_b = sample.bond_line(p).expect("truth");
+        let m = tester
+            .measure_averaged(sample, p, 25, 1000 + i as u64)
+            .expect("measurement");
+        worst_r = worst_r
+            .max((m.area_resistance.kelvin_mm2_per_watt() - truth_r.kelvin_mm2_per_watt()).abs());
+        worst_blt = worst_blt.max((m.bond_line.micrometers() - truth_b.micrometers()).abs());
+    }
+    println!(
+        "virtual D5470 over three samples: worst R error {worst_r:.2} K·mm²/W (rated ±1), worst BLT error {worst_blt:.2} µm (rated ±2)"
+    );
+    println!(
+        "instrument rating check: {}",
+        if worst_r <= 1.0 && worst_blt <= 2.0 {
+            "OK"
+        } else {
+            "DIFFERS"
+        }
+    );
+}

@@ -1,0 +1,104 @@
+//! E10 — §IV intro / Fig 6: the module-power trend.
+//!
+//! "The thermal dissipation still increases: from 10 W/module, it will
+//! reach 20/30 W/module in the near future and 60 W/module in the next
+//! developments. In the same time, the module sizes are reduced or at
+//! the best remain unchanged." This experiment finds, for each cooling
+//! generation, the maximum module power the 85 °C class limit allows on
+//! the unchanged module footprint.
+
+use aeropack_bench::{banner, Table};
+use aeropack_core::{predict_board_temperature, CoolingMode, ModuleGeometry};
+use aeropack_units::{Celsius, Power, TempDelta};
+
+/// Largest power (W) the mode holds below the limit on this geometry.
+fn capability(
+    mode: &CoolingMode,
+    geometry: &ModuleGeometry,
+    ambient: Celsius,
+    limit: Celsius,
+) -> f64 {
+    let ok = |p: f64| {
+        predict_board_temperature(mode, geometry, Power::new(p), ambient)
+            .map(|t| t <= limit)
+            .unwrap_or(false)
+    };
+    if !ok(1.0) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (1.0, 2.0);
+    while ok(hi) && hi < 4096.0 {
+        lo = hi;
+        hi *= 2.0;
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    banner(
+        "E10",
+        "module power capability per cooling generation",
+        "Fig 6 / §IV intro: 10 → 20/30 → 60 W per module on an unchanged footprint",
+    );
+    let ambient = Celsius::new(55.0);
+    let limit = Celsius::new(85.0);
+    let geometry = ModuleGeometry::default();
+    let rail = ambient + TempDelta::new(10.0);
+    let generations = [
+        ("free convection (legacy)", CoolingMode::FreeConvection),
+        (
+            "ARINC 600 forced air",
+            CoolingMode::DirectForcedAir {
+                flow_multiplier: 1.0,
+            },
+        ),
+        (
+            "conduction to rails",
+            CoolingMode::ConductionCooled {
+                rail_temperature: rail,
+            },
+        ),
+        (
+            "air flow-through",
+            CoolingMode::AirFlowThrough {
+                flow_multiplier: 1.0,
+            },
+        ),
+        (
+            "liquid flow-through",
+            CoolingMode::LiquidFlowThrough {
+                coolant_inlet: ambient,
+            },
+        ),
+    ];
+
+    let mut t = Table::new(&[
+        "cooling generation",
+        "max module power (W)",
+        "covers 10 W",
+        "covers 30 W",
+        "covers 60 W",
+    ]);
+    for (label, mode) in &generations {
+        let cap = capability(mode, &geometry, ambient, limit);
+        let yn = |p: f64| if cap >= p { "yes" } else { "no" };
+        t.row(&[
+            label.to_string(),
+            format!("{cap:.0}"),
+            yn(10.0).to_string(),
+            yn(30.0).to_string(),
+            yn(60.0).to_string(),
+        ]);
+    }
+    t.print();
+    println!("shape check: each paper generation (10 → 20/30 → 60 W) pushes the design");
+    println!("one rung up the cooling ladder on the same 160×100 mm module footprint.");
+}

@@ -1,0 +1,110 @@
+//! A2 (ablation) — TIM quality vs system capability.
+//!
+//! The paper's conclusion motivates NANOPACK from COSEE: "this
+//! technology requires the use of many thermal interfaces; thus the
+//! optimization of the whole thermal path implies to improve the
+//! performance of the thermal interface material". This ablation swaps
+//! the SEB's internal TIM joints from conventional grease to the
+//! NANOPACK adhesives and measures the system-level gain.
+
+use aeropack_bench::{banner, Table};
+use aeropack_core::{SeatStructure, SebModel};
+use aeropack_tim::{TimAging, TimJoint};
+use aeropack_units::{Celsius, Power, TempDelta};
+use aeropack_units::{Length, Pressure, ThermalConductivity};
+
+fn main() {
+    banner(
+        "A2",
+        "SEB capability vs thermal-interface-material quality",
+        "Conclusion §V: COSEE's many interfaces motivate NANOPACK",
+    );
+    let ambient = Celsius::new(25.0);
+    let dt60 = TempDelta::new(60.0);
+    let tims: [(&str, TimJoint); 3] = [
+        (
+            "conventional grease",
+            TimJoint::conventional_grease().expect("joint"),
+        ),
+        (
+            "NANOPACK flake adhesive (6 W/mK)",
+            TimJoint::nanopack_flake_adhesive().expect("joint"),
+        ),
+        (
+            "NANOPACK sphere adhesive (9.5 W/mK)",
+            TimJoint::nanopack_sphere_adhesive().expect("joint"),
+        ),
+    ];
+
+    let mut t = Table::new(&[
+        "TIM in the HP path",
+        "R per joint (K/W)",
+        "ΔT at 80 W (K)",
+        "capability at ΔT=60 (W)",
+    ]);
+    for (label, joint) in tims {
+        let mut model = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model");
+        let r_joint = joint
+            .area_resistance(model.tim_pressure)
+            .expect("resistance")
+            .over_area(model.tim_area);
+        model.tim = joint;
+        let dt80 = model
+            .solve(Power::new(80.0), ambient)
+            .map(|s| format!("{:.1}", s.dt_pcb_air(ambient).kelvin()))
+            .unwrap_or_else(|_| "dry-out".into());
+        let cap = model.capability(dt60, ambient).expect("capability");
+        t.row(&[
+            label.to_string(),
+            format!("{:.4}", r_joint.value()),
+            dt80,
+            format!("{:.0}", cap.value()),
+        ]);
+    }
+    t.print();
+    println!("shape check: better interfaces shave the internal drop and buy system");
+    println!("capability — small per joint, meaningful across 'many thermal interfaces'.");
+
+    // --- Aging: grease pump-out vs cured adhesive over 5000 cycles. ---
+    let cycles = 5_000.0;
+    let p_asm = Pressure::from_kilopascals(200.0);
+    let grease = TimJoint::conventional_grease().expect("joint");
+    let growth = TimAging::grease().growth_factor(cycles).expect("cycles");
+    // Emulate the aged grease as an equivalent joint with degraded bulk
+    // conductivity (same growth factor on the joint resistance).
+    let aged_grease = TimJoint::new(
+        ThermalConductivity::new(0.8 / growth),
+        Length::from_micrometers(80.0),
+        Length::from_micrometers(25.0),
+        Pressure::from_kilopascals(80.0),
+        Length::from_micrometers(0.5 * growth),
+    )
+    .expect("aged joint");
+    let cap_of = |joint: TimJoint| {
+        let mut model = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model");
+        model.tim = joint;
+        model.capability(dt60, ambient).expect("capability").value()
+    };
+    let fresh_r = grease
+        .area_resistance(p_asm)
+        .expect("r")
+        .kelvin_mm2_per_watt();
+    let aged_r = aged_grease
+        .area_resistance(p_asm)
+        .expect("r")
+        .kelvin_mm2_per_watt();
+    println!();
+    println!(
+        "aging over {cycles:.0} thermal cycles: grease joint {fresh_r:.0} → {aged_r:.0} K·mm²/W \
+         (growth ×{growth:.2}); capability {:.0} → {:.0} W",
+        cap_of(grease),
+        cap_of(aged_grease)
+    );
+    println!(
+        "cured adhesive after the same cycling: unchanged (growth ×{:.2}) — the",
+        TimAging::cured_adhesive()
+            .growth_factor(cycles)
+            .expect("cycles")
+    );
+    println!("reliability case for the NANOPACK adhesives beyond their day-one numbers.");
+}

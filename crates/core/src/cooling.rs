@@ -1,0 +1,442 @@
+//! The cooling-technology trade space of the paper's Fig 5 — free
+//! convection, direct forced air, conduction to rails, flow-through
+//! exchangers, liquid — with a first-order board-temperature predictor
+//! per mode and the Level-1 selector that walks the options from
+//! simplest to most complex.
+
+use aeropack_materials::air_at;
+use aeropack_thermal::{
+    film_temperature, forced_convection_channel, natural_convection_vertical_plate,
+    radiation_coefficient,
+};
+use aeropack_units::{
+    Celsius, Length, MassFlowRate, Power, Pressure, TempDelta, ThermalResistance,
+};
+
+use crate::error::DesignError;
+
+/// ARINC 600 standard forced-air allocation: 220 kg/h of cooling air per
+/// kW of dissipation.
+pub const ARINC600_KG_PER_H_PER_KW: f64 = 220.0;
+
+/// A cooling technology from the Fig 5 trade space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingMode {
+    /// Radiation + free convection from the equipment surfaces.
+    FreeConvection,
+    /// Direct air flow across the boards at a multiple of the ARINC 600
+    /// allocation (1.0 = standard).
+    DirectForcedAir {
+        /// Flow multiplier relative to ARINC 600.
+        flow_multiplier: f64,
+    },
+    /// Conduction along the board into wedge-locked rails at a
+    /// controlled temperature.
+    ConductionCooled {
+        /// Rail (cold-wall) temperature.
+        rail_temperature: Celsius,
+    },
+    /// Air flow through an internal finned exchanger (sealed
+    /// electronics).
+    AirFlowThrough {
+        /// Flow multiplier relative to ARINC 600.
+        flow_multiplier: f64,
+    },
+    /// Liquid cold plate behind the board.
+    LiquidFlowThrough {
+        /// Coolant inlet temperature.
+        coolant_inlet: Celsius,
+    },
+}
+
+impl CoolingMode {
+    /// A human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::FreeConvection => "free convection",
+            Self::DirectForcedAir { .. } => "direct forced air",
+            Self::ConductionCooled { .. } => "conduction cooled",
+            Self::AirFlowThrough { .. } => "air flow-through",
+            Self::LiquidFlowThrough { .. } => "liquid flow-through",
+        }
+    }
+}
+
+/// A module-level cooling prediction context: board geometry plus the
+/// in-plane conductivity the conduction path relies on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleGeometry {
+    /// Board size (flow direction first), metres.
+    pub board: (f64, f64),
+    /// Card-channel air gap per face, metres.
+    pub channel_gap: f64,
+    /// Effective in-plane conductance parameter `k·t` of the bare
+    /// board, W/K (conductivity × thickness).
+    pub in_plane_kt: f64,
+    /// Additional in-plane `k·t` of the bonded thermal core used when
+    /// the module is conduction cooled (aluminium heat-sink plate).
+    pub core_kt: f64,
+    /// Wedge-lock contact resistance per edge.
+    pub wedge_lock: ThermalResistance,
+    /// Surface emissivity.
+    pub emissivity: f64,
+    /// Ambient static pressure (reduce for unpressurised bays at
+    /// altitude — convection degrades with air density).
+    pub ambient_pressure: Pressure,
+}
+
+impl Default for ModuleGeometry {
+    fn default() -> Self {
+        Self {
+            board: (0.160, 0.100),
+            channel_gap: 3.0e-3,
+            // 6-layer board: ~40 W/mK over 1.6 mm.
+            in_plane_kt: 40.0 * 1.6e-3,
+            // 2 mm aluminium conduction core.
+            core_kt: 170.0 * 2.0e-3,
+            wedge_lock: ThermalResistance::new(0.5),
+            emissivity: 0.8,
+            ambient_pressure: Pressure::standard_atmosphere(),
+        }
+    }
+}
+
+/// Predicts the mean board temperature of a module dissipating `power`
+/// under a cooling mode. This is the Level-1 estimator: deliberately
+/// first-order, meant for technology selection, with the detailed field
+/// left to the Level-2 finite-volume model.
+///
+/// # Errors
+///
+/// Returns an error for non-positive power or a correlation failure.
+pub fn predict_board_temperature(
+    mode: &CoolingMode,
+    geometry: &ModuleGeometry,
+    power: Power,
+    ambient: Celsius,
+) -> Result<Celsius, DesignError> {
+    if power.value() <= 0.0 {
+        return Err(DesignError::invalid("module power must be positive"));
+    }
+    let (lx, ly) = geometry.board;
+    let face_area = aeropack_units::Area::new(lx * ly);
+    match *mode {
+        CoolingMode::FreeConvection => {
+            // Vertical board, both faces, convection + radiation;
+            // fixed-point on the surface temperature.
+            let mut t_s = ambient + TempDelta::new(20.0);
+            for _ in 0..60 {
+                let film = film_temperature(t_s, ambient);
+                let air = air_at(film, geometry.ambient_pressure);
+                let h_c = natural_convection_vertical_plate(&air, t_s, Length::new(ly))?;
+                let h_r = radiation_coefficient(geometry.emissivity, t_s, ambient)?;
+                let g = (h_c + h_r).film_conductance(face_area * 2.0);
+                let t_new = ambient + power / g;
+                if (t_new - t_s).kelvin().abs() < 1e-6 {
+                    t_s = t_new;
+                    break;
+                }
+                t_s = Celsius::new(0.5 * (t_s.value() + t_new.value()));
+            }
+            Ok(t_s)
+        }
+        CoolingMode::DirectForcedAir { flow_multiplier } => {
+            if flow_multiplier <= 0.0 {
+                return Err(DesignError::invalid("flow multiplier must be positive"));
+            }
+            let flow = MassFlowRate::from_kg_per_hour(
+                ARINC600_KG_PER_H_PER_KW * power.value() / 1000.0 * flow_multiplier,
+            );
+            let air = air_at(ambient + TempDelta::new(10.0), geometry.ambient_pressure);
+            let (h, _) = forced_convection_channel(
+                &air,
+                flow,
+                Length::new(ly),
+                Length::new(geometry.channel_gap),
+            )?;
+            // Air heats along the channel: mean air rise = Q/(2·ṁ·cp).
+            let cp = air.specific_heat.value();
+            let air_rise = power.value() / (2.0 * flow.value() * cp);
+            let g = h.film_conductance(face_area * 2.0);
+            Ok(ambient + TempDelta::new(air_rise) + power / g)
+        }
+        CoolingMode::ConductionCooled { rail_temperature } => {
+            // Uniformly heated strip conducting to both wedge-locked
+            // edges: mean board rise over the edges is q·L/(12·k·t·w)
+            // (mean of the parabola), plus the wedge-lock drop (two
+            // locks in parallel, each carrying half the heat).
+            let k_t = geometry.in_plane_kt + geometry.core_kt;
+            let r_spread = lx / (12.0 * k_t * ly);
+            let r_lock = geometry.wedge_lock.value() / 2.0;
+            Ok(rail_temperature + TempDelta::new(power.value() * (r_spread + r_lock)))
+        }
+        CoolingMode::AirFlowThrough { flow_multiplier } => {
+            if flow_multiplier <= 0.0 {
+                return Err(DesignError::invalid("flow multiplier must be positive"));
+            }
+            // As forced air, but through an internal finned exchanger
+            // with ~4× the wetted area, plus a plate-to-exchanger
+            // conduction drop.
+            let flow = MassFlowRate::from_kg_per_hour(
+                ARINC600_KG_PER_H_PER_KW * power.value() / 1000.0 * flow_multiplier,
+            );
+            let air = air_at(ambient + TempDelta::new(10.0), geometry.ambient_pressure);
+            let (h, _) = forced_convection_channel(
+                &air,
+                flow,
+                Length::new(ly),
+                Length::new(geometry.channel_gap),
+            )?;
+            let cp = air.specific_heat.value();
+            let air_rise = power.value() / (2.0 * flow.value() * cp);
+            let g = h.film_conductance(face_area * 4.0);
+            let r_conduction = 0.05; // board-to-exchanger bond
+            Ok(ambient
+                + TempDelta::new(air_rise)
+                + power / g
+                + TempDelta::new(power.value() * r_conduction))
+        }
+        CoolingMode::LiquidFlowThrough { coolant_inlet } => {
+            // Cold plate at h ≈ 2500 W/m²K over one face + bond.
+            let g = aeropack_units::HeatTransferCoeff::new(2500.0).film_conductance(face_area);
+            let r_bond = 0.03;
+            Ok(coolant_inlet + power / g + TempDelta::new(power.value() * r_bond))
+        }
+    }
+}
+
+/// The Level-1 technology selector: walks the trade space from the
+/// simplest option upward and returns the first that holds the board
+/// limit, together with the whole candidate table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingSelector {
+    /// The board temperature limit (the paper's 85 °C ambient-class
+    /// limit by default).
+    pub board_limit: Celsius,
+    /// Module geometry used for prediction.
+    pub geometry: ModuleGeometry,
+    /// Rail temperature assumed available for conduction cooling.
+    pub rail_temperature_offset: TempDelta,
+}
+
+impl Default for CoolingSelector {
+    fn default() -> Self {
+        Self {
+            board_limit: Celsius::new(85.0),
+            geometry: ModuleGeometry::default(),
+            rail_temperature_offset: TempDelta::new(10.0),
+        }
+    }
+}
+
+/// The outcome of a cooling selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingSelection {
+    /// The chosen technology.
+    pub mode: CoolingMode,
+    /// Predicted board temperature with the chosen technology.
+    pub board_temperature: Celsius,
+    /// All evaluated candidates `(mode, predicted board temperature)`
+    /// in evaluation order.
+    pub candidates: Vec<(CoolingMode, Celsius)>,
+}
+
+impl CoolingSelector {
+    /// Creates a selector with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects a technology for a module power and ambient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::NoFeasibleCooling`] if even the liquid
+    /// option exceeds the limit, or prediction errors.
+    pub fn select(&self, power: Power, ambient: Celsius) -> Result<CoolingSelection, DesignError> {
+        let rail = ambient + self.rail_temperature_offset;
+        let options = [
+            CoolingMode::FreeConvection,
+            CoolingMode::DirectForcedAir {
+                flow_multiplier: 1.0,
+            },
+            CoolingMode::ConductionCooled {
+                rail_temperature: rail,
+            },
+            CoolingMode::AirFlowThrough {
+                flow_multiplier: 1.0,
+            },
+            CoolingMode::LiquidFlowThrough {
+                coolant_inlet: ambient,
+            },
+        ];
+        let mut candidates = Vec::with_capacity(options.len());
+        let mut chosen: Option<(CoolingMode, Celsius)> = None;
+        for mode in options {
+            let t = predict_board_temperature(&mode, &self.geometry, power, ambient)?;
+            candidates.push((mode, t));
+            if chosen.is_none() && t <= self.board_limit {
+                chosen = Some((mode, t));
+            }
+        }
+        match chosen {
+            Some((mode, board_temperature)) => Ok(CoolingSelection {
+                mode,
+                board_temperature,
+                candidates,
+            }),
+            None => Err(DesignError::NoFeasibleCooling {
+                power_watts: power.value(),
+                limit_c: self.board_limit.value(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_watt_module_runs_on_free_convection() {
+        // Fig 6 history: 10 W/module worked with simple means.
+        let sel = CoolingSelector::default();
+        let s = sel.select(Power::new(8.0), Celsius::new(40.0)).unwrap();
+        assert_eq!(s.mode, CoolingMode::FreeConvection);
+    }
+
+    #[test]
+    fn sixty_watt_module_needs_forced_flow() {
+        // The paper's next-generation 60 W/module: free convection is
+        // out; some forced option is selected.
+        let sel = CoolingSelector::default();
+        let s = sel.select(Power::new(60.0), Celsius::new(55.0)).unwrap();
+        assert_ne!(s.mode, CoolingMode::FreeConvection);
+        assert!(s.board_temperature <= Celsius::new(85.0));
+        // The free-convection candidate row must show the violation.
+        let free = &s.candidates[0];
+        assert!(free.1 > Celsius::new(85.0));
+    }
+
+    #[test]
+    fn escalating_power_escalates_technology() {
+        let sel = CoolingSelector::default();
+        let order = |mode: &CoolingMode| match mode {
+            CoolingMode::FreeConvection => 0,
+            CoolingMode::DirectForcedAir { .. } => 1,
+            CoolingMode::ConductionCooled { .. } => 2,
+            CoolingMode::AirFlowThrough { .. } => 3,
+            CoolingMode::LiquidFlowThrough { .. } => 4,
+        };
+        let mut last = 0;
+        for p in [5.0, 20.0, 60.0, 150.0, 400.0] {
+            let s = sel.select(Power::new(p), Celsius::new(55.0)).unwrap();
+            let o = order(&s.mode);
+            assert!(o >= last, "technology cannot de-escalate at {p} W");
+            last = o;
+        }
+    }
+
+    #[test]
+    fn impossible_requirement_is_reported() {
+        let sel = CoolingSelector {
+            board_limit: Celsius::new(56.0),
+            ..CoolingSelector::default()
+        };
+        // 5 kW on one card at 55 °C ambient with a 1 K budget.
+        let err = sel
+            .select(Power::new(5000.0), Celsius::new(55.0))
+            .unwrap_err();
+        assert!(matches!(err, DesignError::NoFeasibleCooling { .. }));
+    }
+
+    #[test]
+    fn forced_air_beats_free_convection() {
+        let g = ModuleGeometry::default();
+        let p = Power::new(40.0);
+        let amb = Celsius::new(40.0);
+        let free = predict_board_temperature(&CoolingMode::FreeConvection, &g, p, amb).unwrap();
+        let forced = predict_board_temperature(
+            &CoolingMode::DirectForcedAir {
+                flow_multiplier: 1.0,
+            },
+            &g,
+            p,
+            amb,
+        )
+        .unwrap();
+        assert!(forced.value() < free.value());
+    }
+
+    #[test]
+    fn more_airflow_cools_better() {
+        let g = ModuleGeometry::default();
+        let p = Power::new(60.0);
+        let amb = Celsius::new(55.0);
+        let t1 = predict_board_temperature(
+            &CoolingMode::DirectForcedAir {
+                flow_multiplier: 1.0,
+            },
+            &g,
+            p,
+            amb,
+        )
+        .unwrap();
+        let t10 = predict_board_temperature(
+            &CoolingMode::DirectForcedAir {
+                flow_multiplier: 10.0,
+            },
+            &g,
+            p,
+            amb,
+        )
+        .unwrap();
+        assert!(t10.value() < t1.value() - 3.0);
+    }
+
+    #[test]
+    fn conduction_mode_tracks_rail_temperature() {
+        let g = ModuleGeometry::default();
+        let p = Power::new(30.0);
+        let cold = predict_board_temperature(
+            &CoolingMode::ConductionCooled {
+                rail_temperature: Celsius::new(30.0),
+            },
+            &g,
+            p,
+            Celsius::new(55.0),
+        )
+        .unwrap();
+        let warm = predict_board_temperature(
+            &CoolingMode::ConductionCooled {
+                rail_temperature: Celsius::new(60.0),
+            },
+            &g,
+            p,
+            Celsius::new(55.0),
+        )
+        .unwrap();
+        assert!((warm.value() - cold.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = ModuleGeometry::default();
+        assert!(predict_board_temperature(
+            &CoolingMode::FreeConvection,
+            &g,
+            Power::ZERO,
+            Celsius::new(40.0)
+        )
+        .is_err());
+        assert!(predict_board_temperature(
+            &CoolingMode::DirectForcedAir {
+                flow_multiplier: 0.0
+            },
+            &g,
+            Power::new(10.0),
+            Celsius::new(40.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! The Level-1 equipment-scale thermal field: the box of Fig 4's first
+//! panel, with "dissipative PCBs … simulated with volumetric sources".
+//!
+//! Closure note: the paper uses a CFD code for the internal air; this
+//! surrogate replaces the internal convective mixing with an enhanced
+//! effective conductivity of the cavity medium (a standard
+//! lumped-mixing trick: ~20–60× still air for a fan-stirred box,
+//! ~5–15× for a buoyancy-stirred one), while the walls exchange with
+//! the outside through a film coefficient. It reproduces what Level 1
+//! is for — ranking module placements and checking global feasibility —
+//! not local film detail, which belongs to Level 2.
+
+use aeropack_thermal::{Face, FaceBc, FvField, FvGrid, FvModel};
+use aeropack_units::{Celsius, HeatTransferCoeff, ThermalConductivity};
+
+use crate::error::DesignError;
+use crate::product::Equipment;
+
+/// The equipment-scale finite-volume model with one source box per
+/// module.
+#[derive(Debug, Clone)]
+pub struct EquipmentThermalModel {
+    model: FvModel,
+    module_cells: Vec<(usize, usize, usize)>,
+}
+
+impl EquipmentThermalModel {
+    /// Builds the model: the cavity filled with an effective mixing
+    /// medium of conductivity `internal_mixing_k`, each module a
+    /// volumetric source slab, and all six walls exchanging with the
+    /// equipment ambient through `external_h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive closure parameters or more
+    /// modules than the grid can slot.
+    pub fn new(
+        equipment: &Equipment,
+        internal_mixing_k: ThermalConductivity,
+        external_h: HeatTransferCoeff,
+    ) -> Result<Self, DesignError> {
+        if internal_mixing_k.value() <= 0.0 || external_h.value() <= 0.0 {
+            return Err(DesignError::invalid(
+                "mixing conductivity and external film must be positive",
+            ));
+        }
+        let (lx, ly, lz) = equipment.dimensions;
+        let n_modules = equipment.modules.len();
+        // Slot modules along x: 2 cells of source + 1 cell of gap each.
+        let nx = (3 * n_modules + 1).max(6);
+        let ny = 6;
+        let nz = 6;
+        let grid = FvGrid::new((lx, ly, lz), (nx, ny, nz))?;
+        // Fill with the mixing medium (heat capacity of air, irrelevant
+        // for steady state).
+        let mut model = FvModel::new(grid, &aeropack_materials::Material::fr4());
+        model.fill_box_orthotropic(
+            [internal_mixing_k, internal_mixing_k, internal_mixing_k],
+            1.2e3,
+            (0, 0, 0),
+            (nx, ny, nz),
+        )?;
+        let mut module_cells = Vec::with_capacity(n_modules);
+        for (i, module) in equipment.modules.iter().enumerate() {
+            let x0 = 1 + 3 * i;
+            let x1 = (x0 + 2).min(nx);
+            // Module slab spans most of the cross-section.
+            model.add_power_box(module.power(), (x0, 1, 1), (x1, ny - 1, nz - 1))?;
+            module_cells.push((x0, ny / 2, nz / 2));
+        }
+        let bc = FaceBc::Convection {
+            h: external_h,
+            ambient: equipment.ambient,
+        };
+        for face in Face::ALL {
+            model.set_face_bc(face, bc);
+        }
+        Ok(Self {
+            model,
+            module_cells,
+        })
+    }
+
+    /// A default closure for a sealed, buoyancy-stirred box: mixing
+    /// conductivity 0.3 W/m·K (≈ 12× still air) and 10 W/m²K external
+    /// film (natural convection + radiation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn sealed_box(equipment: &Equipment) -> Result<Self, DesignError> {
+        Self::new(
+            equipment,
+            ThermalConductivity::new(0.3),
+            HeatTransferCoeff::new(10.0),
+        )
+    }
+
+    /// Solves the cavity field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve(&self) -> Result<FvField, DesignError> {
+        Ok(self.model.solve_steady()?)
+    }
+
+    /// The representative temperature of module `index` from a solved
+    /// field (the cell at its slab centre).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range module index.
+    pub fn module_temperature(
+        &self,
+        field: &FvField,
+        index: usize,
+    ) -> Result<Celsius, DesignError> {
+        let &(i, j, k) = self
+            .module_cells
+            .get(index)
+            .ok_or_else(|| DesignError::invalid(format!("no module slot {index}")))?;
+        Ok(field.at(i, j, k)?)
+    }
+
+    /// The underlying finite-volume model.
+    pub fn fv_model(&self) -> &FvModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::{representative_board, Equipment, Module};
+    use aeropack_thermal::Face;
+    use aeropack_units::Power;
+
+    fn equipment(powers: &[f64]) -> Equipment {
+        let modules = powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Module::new(
+                    format!("m{i}"),
+                    representative_board(format!("b{i}"), Power::new(p)).unwrap(),
+                )
+            })
+            .collect();
+        Equipment::new("box", (0.4, 0.25, 0.2), modules, Celsius::new(40.0)).unwrap()
+    }
+
+    #[test]
+    fn hotter_module_reads_hotter() {
+        let eq = equipment(&[5.0, 40.0, 5.0]);
+        let model = EquipmentThermalModel::sealed_box(&eq).unwrap();
+        let field = model.solve().unwrap();
+        let t0 = model.module_temperature(&field, 0).unwrap();
+        let t1 = model.module_temperature(&field, 1).unwrap();
+        let t2 = model.module_temperature(&field, 2).unwrap();
+        assert!(t1.value() > t0.value() + 3.0, "{t0} vs {t1}");
+        assert!(t1.value() > t2.value() + 3.0);
+    }
+
+    #[test]
+    fn energy_balance_over_the_box() {
+        let eq = equipment(&[10.0, 20.0]);
+        let model = EquipmentThermalModel::sealed_box(&eq).unwrap();
+        let field = model.solve().unwrap();
+        let out: f64 = Face::ALL
+            .iter()
+            .map(|&f| model.fv_model().boundary_heat(&field, f).unwrap().value())
+            .sum();
+        assert!((out - 30.0).abs() < 1e-6 * 30.0, "out = {out}");
+    }
+
+    #[test]
+    fn better_mixing_flattens_the_field() {
+        let eq = equipment(&[30.0]);
+        let still = EquipmentThermalModel::new(
+            &eq,
+            ThermalConductivity::new(0.05),
+            HeatTransferCoeff::new(10.0),
+        )
+        .unwrap();
+        let stirred = EquipmentThermalModel::new(
+            &eq,
+            ThermalConductivity::new(2.0),
+            HeatTransferCoeff::new(10.0),
+        )
+        .unwrap();
+        let f_still = still.solve().unwrap();
+        let f_stirred = stirred.solve().unwrap();
+        let spread_still = (f_still.max_temperature() - f_still.min_temperature()).kelvin();
+        let spread_stirred = (f_stirred.max_temperature() - f_stirred.min_temperature()).kelvin();
+        assert!(spread_stirred < 0.3 * spread_still);
+    }
+
+    #[test]
+    fn bad_closure_parameters_rejected() {
+        let eq = equipment(&[10.0]);
+        assert!(EquipmentThermalModel::new(
+            &eq,
+            ThermalConductivity::ZERO,
+            HeatTransferCoeff::new(10.0)
+        )
+        .is_err());
+        let model = EquipmentThermalModel::sealed_box(&eq).unwrap();
+        let field = model.solve().unwrap();
+        assert!(model.module_temperature(&field, 5).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the co-design framework.
+
+use std::error::Error;
+use std::fmt;
+
+use aeropack_envqual::QualError;
+use aeropack_fem::FemError;
+use aeropack_materials::MaterialError;
+use aeropack_thermal::ThermalError;
+use aeropack_tim::TimError;
+use aeropack_twophase::TwoPhaseError;
+
+/// Error returned by the design-level analyses.
+#[derive(Debug)]
+pub enum DesignError {
+    /// Invalid product or analysis definition.
+    Invalid {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// No cooling technology in the selector's repertoire can hold the
+    /// requirement.
+    NoFeasibleCooling {
+        /// The dissipation that could not be cooled.
+        power_watts: f64,
+        /// The limit temperature that was violated by every option.
+        limit_c: f64,
+    },
+    /// A thermal solver failure.
+    Thermal(ThermalError),
+    /// A structural solver failure.
+    Structural(FemError),
+    /// A two-phase device failure (including dry-out).
+    TwoPhase(TwoPhaseError),
+    /// A material/fluid property failure.
+    Material(MaterialError),
+    /// A TIM model failure.
+    Tim(TimError),
+    /// A qualification analysis failure.
+    Qualification(QualError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Invalid { reason } => write!(f, "invalid design input: {reason}"),
+            Self::NoFeasibleCooling {
+                power_watts,
+                limit_c,
+            } => write!(
+                f,
+                "no cooling technology holds {power_watts} W below {limit_c} °C"
+            ),
+            Self::Thermal(e) => write!(f, "thermal analysis: {e}"),
+            Self::Structural(e) => write!(f, "structural analysis: {e}"),
+            Self::TwoPhase(e) => write!(f, "two-phase device: {e}"),
+            Self::Material(e) => write!(f, "material property: {e}"),
+            Self::Tim(e) => write!(f, "interface material: {e}"),
+            Self::Qualification(e) => write!(f, "qualification: {e}"),
+        }
+    }
+}
+
+impl Error for DesignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Thermal(e) => Some(e),
+            Self::Structural(e) => Some(e),
+            Self::TwoPhase(e) => Some(e),
+            Self::Material(e) => Some(e),
+            Self::Tim(e) => Some(e),
+            Self::Qualification(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for DesignError {
+            fn from(e: $ty) -> Self {
+                Self::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Thermal, ThermalError);
+from_err!(Structural, FemError);
+from_err!(TwoPhase, TwoPhaseError);
+from_err!(Material, MaterialError);
+from_err!(Tim, TimError);
+from_err!(Qualification, QualError);
+
+impl DesignError {
+    /// Shorthand for [`DesignError::Invalid`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::Invalid {
+            reason: reason.into(),
+        }
+    }
+}

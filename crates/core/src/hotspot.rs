@@ -1,0 +1,261 @@
+//! The hot-spot study of the paper's §IV: a highly integrated component
+//! at 10–100 W/cm² under ARINC 600 forced air, showing why "up to ten
+//! times the standard air flow rate would be required" and how a
+//! two-phase spreader fixes it.
+
+use aeropack_materials::{air_at_sea_level, Material};
+use aeropack_thermal::{forced_convection_channel, Face, FaceBc, FvGrid, FvModel};
+use aeropack_units::{
+    Celsius, HeatFlux, Length, MassFlowRate, Power, TempDelta, ThermalConductivity,
+    ThermalResistance,
+};
+
+use crate::cooling::ARINC600_KG_PER_H_PER_KW;
+use crate::error::DesignError;
+
+/// A hot-spot scenario: one concentrated source on a conduction board in
+/// a forced-air card channel.
+#[derive(Debug, Clone)]
+pub struct HotSpotStudy {
+    /// Board size, metres.
+    pub board: (f64, f64),
+    /// Board core thickness (aluminium conduction core).
+    pub core_thickness: Length,
+    /// Core material.
+    pub core_material: Material,
+    /// Hot-spot flux.
+    pub flux: HeatFlux,
+    /// Hot-spot footprint side (square), metres.
+    pub spot_side: f64,
+    /// Junction-to-case resistance of the hot component.
+    pub theta_jc: ThermalResistance,
+    /// Cooling-air inlet temperature.
+    pub ambient: Celsius,
+    /// Optional embedded two-phase spreader: effective conductivity it
+    /// gives the core region under and around the spot.
+    pub spreader: Option<ThermalConductivity>,
+}
+
+impl HotSpotStudy {
+    /// The paper's baseline: a 10 W/cm² component on a conduction board
+    /// under ARINC 600 air at 55 °C.
+    pub fn ten_watt_per_cm2() -> Self {
+        Self {
+            board: (0.16, 0.10),
+            core_thickness: Length::from_millimeters(2.0),
+            core_material: Material::aluminum_6061(),
+            flux: HeatFlux::from_watts_per_square_centimeter(10.0),
+            spot_side: 0.02,
+            theta_jc: ThermalResistance::new(0.25),
+            ambient: Celsius::new(55.0),
+            spreader: None,
+        }
+    }
+
+    /// The coming generation: 100 W/cm² over a 1 cm² die.
+    pub fn hundred_watt_per_cm2() -> Self {
+        Self {
+            flux: HeatFlux::from_watts_per_square_centimeter(100.0),
+            spot_side: 0.01,
+            ..Self::ten_watt_per_cm2()
+        }
+    }
+
+    /// Adds an embedded two-phase spreader (vapour-chamber class
+    /// effective conductivity).
+    pub fn with_two_phase_spreader(mut self) -> Self {
+        self.spreader = Some(ThermalConductivity::new(2000.0));
+        self
+    }
+
+    /// Adds a modelled vapour chamber as the spreader, taking its
+    /// homogenised conductivity at the expected ~80 °C operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fluid-range errors from the chamber model.
+    pub fn with_vapor_chamber(
+        mut self,
+        chamber: &aeropack_twophase::VaporChamber,
+    ) -> Result<Self, DesignError> {
+        let k = chamber.homogenized_conductivity(Celsius::new(80.0))?;
+        self.spreader = Some(k);
+        Ok(self)
+    }
+
+    /// Hot-spot power.
+    pub fn spot_power(&self) -> Power {
+        self.flux * aeropack_units::Area::new(self.spot_side * self.spot_side)
+    }
+
+    /// Junction temperature at a given multiple of the ARINC 600 air
+    /// flow (1.0 = 220 kg/h per kW).
+    ///
+    /// # Errors
+    ///
+    /// Propagates correlation and solver failures.
+    pub fn junction_temperature(&self, flow_multiplier: f64) -> Result<Celsius, DesignError> {
+        if flow_multiplier <= 0.0 {
+            return Err(DesignError::invalid("flow multiplier must be positive"));
+        }
+        let q = self.spot_power();
+        let (lx, ly) = self.board;
+        let n = 24;
+        let m = (n as f64 * ly / lx).round() as usize;
+        let grid = FvGrid::new((lx, ly, self.core_thickness.value()), (n, m.max(4), 1))?;
+        let mut model = FvModel::new(grid, &self.core_material);
+        if let Some(k_spread) = self.spreader {
+            // The spreader occupies a band around the spot (3× its side).
+            let (nx, ny, _) = grid.shape();
+            let cx = nx / 2;
+            let cy = ny / 2;
+            let half_x = ((1.5 * self.spot_side / lx * nx as f64).ceil() as usize).max(1);
+            let half_y = ((1.5 * self.spot_side / ly * ny as f64).ceil() as usize).max(1);
+            let lo = (cx.saturating_sub(half_x), cy.saturating_sub(half_y), 0);
+            let hi = ((cx + half_x).min(nx), (cy + half_y).min(ny), 1);
+            model.fill_box_orthotropic([k_spread, k_spread, k_spread], 2.0e6, lo, hi)?;
+        }
+        // Spot source centred on the board.
+        let (nx, ny, _) = grid.shape();
+        let cx = nx / 2;
+        let cy = ny / 2;
+        let half_x = ((0.5 * self.spot_side / lx * nx as f64).ceil() as usize).max(1);
+        let half_y = ((0.5 * self.spot_side / ly * ny as f64).ceil() as usize).max(1);
+        let lo = (cx.saturating_sub(half_x), cy.saturating_sub(half_y), 0);
+        let hi = ((cx + half_x).min(nx), (cy + half_y).min(ny), 1);
+        model.add_power_box(q, lo, hi)?;
+
+        // ARINC 600 channel flow scaled by the multiplier.
+        let flow = MassFlowRate::from_kg_per_hour(
+            ARINC600_KG_PER_H_PER_KW * q.value() / 1000.0 * flow_multiplier,
+        );
+        let air = air_at_sea_level(self.ambient + TempDelta::new(10.0));
+        let (h, _) =
+            forced_convection_channel(&air, flow, Length::new(ly), Length::from_millimeters(5.0))?;
+        let cp = air.specific_heat.value();
+        let air_mean = self.ambient + TempDelta::new(q.value() / (2.0 * flow.value() * cp));
+        let bc = FaceBc::Convection {
+            h,
+            ambient: air_mean,
+        };
+        model.set_face_bc(Face::ZMin, bc);
+        model.set_face_bc(Face::ZMax, bc);
+        let field = model.solve_steady()?;
+        Ok(field.max_temperature() + self.theta_jc * q)
+    }
+
+    /// The smallest ARINC 600 flow multiplier that holds the junction at
+    /// or below `limit`, searched over `[1, max_multiplier]`. Returns
+    /// `None` when even `max_multiplier` is not enough.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn required_flow_multiplier(
+        &self,
+        limit: Celsius,
+        max_multiplier: f64,
+    ) -> Result<Option<f64>, DesignError> {
+        if self.junction_temperature(1.0)? <= limit {
+            return Ok(Some(1.0));
+        }
+        if self.junction_temperature(max_multiplier)? > limit {
+            return Ok(None);
+        }
+        let (mut lo, mut hi) = (1.0, max_multiplier);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.junction_temperature(mid)? > limit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(Some(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMIT: Celsius = Celsius::new(125.0);
+
+    #[test]
+    fn standard_flow_fails_ten_watt_per_cm2() {
+        // The paper's premise: ARINC 600 flow cannot hold a 10 W/cm² hot
+        // spot at the junction limit.
+        let study = HotSpotStudy::ten_watt_per_cm2();
+        let t1 = study.junction_temperature(1.0).unwrap();
+        assert!(t1 > LIMIT, "Tj at 1× flow = {t1}");
+    }
+
+    #[test]
+    fn several_times_the_flow_is_needed() {
+        // "up to ten times the standard air flow rate would be required".
+        let study = HotSpotStudy::ten_watt_per_cm2();
+        let needed = study.required_flow_multiplier(LIMIT, 40.0).unwrap();
+        match needed {
+            Some(mult) => assert!(
+                (1.3..40.0).contains(&mult),
+                "required multiplier = {mult:.1}"
+            ),
+            None => panic!("40× flow should eventually hold 10 W/cm²"),
+        }
+    }
+
+    #[test]
+    fn hundred_watt_per_cm2_is_hopeless_on_air() {
+        let study = HotSpotStudy::hundred_watt_per_cm2();
+        let needed = study.required_flow_multiplier(LIMIT, 10.0).unwrap();
+        assert!(needed.is_none(), "100 W/cm² must defeat air cooling");
+    }
+
+    #[test]
+    fn two_phase_spreader_rescues_the_hot_spot() {
+        let plain = HotSpotStudy::ten_watt_per_cm2();
+        let spread = HotSpotStudy::ten_watt_per_cm2().with_two_phase_spreader();
+        let t_plain = plain.junction_temperature(2.0).unwrap();
+        let t_spread = spread.junction_temperature(2.0).unwrap();
+        assert!(
+            t_spread.value() < t_plain.value() - 5.0,
+            "spreader must cut the peak: {t_plain} vs {t_spread}"
+        );
+    }
+
+    #[test]
+    fn more_flow_always_helps() {
+        let study = HotSpotStudy::ten_watt_per_cm2();
+        let mut last = f64::INFINITY;
+        for mult in [1.0, 3.0, 9.0] {
+            let t = study.junction_temperature(mult).unwrap().value();
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn modelled_vapor_chamber_matches_generic_spreader_class() {
+        use aeropack_twophase::VaporChamber;
+        use aeropack_units::Length as L;
+        let chamber = VaporChamber::water_spreader((0.06, 0.06), L::from_millimeters(3.0)).unwrap();
+        let study = HotSpotStudy::ten_watt_per_cm2()
+            .with_vapor_chamber(&chamber)
+            .unwrap();
+        let bare = HotSpotStudy::ten_watt_per_cm2();
+        let t_vc = study.junction_temperature(2.0).unwrap();
+        let t_bare = bare.junction_temperature(2.0).unwrap();
+        assert!(t_vc.value() < t_bare.value() - 5.0, "{t_bare} vs {t_vc}");
+        // The modelled chamber is at least as good as the generic
+        // 2000 W/mK assumption.
+        let generic = HotSpotStudy::ten_watt_per_cm2().with_two_phase_spreader();
+        let t_gen = generic.junction_temperature(2.0).unwrap();
+        assert!(t_vc.value() <= t_gen.value() + 0.5);
+    }
+
+    #[test]
+    fn invalid_multiplier_rejected() {
+        let study = HotSpotStudy::ten_watt_per_cm2();
+        assert!(study.junction_temperature(0.0).is_err());
+    }
+}

@@ -1,0 +1,538 @@
+//! The three simulation levels of the paper's Fig 4.
+//!
+//! * **Level 1 — equipment**: modules are volumetric sources; the
+//!   analysis selects the cooling technology (see
+//!   [`CoolingSelector`](crate::CoolingSelector)) and budgets each
+//!   module's board temperature.
+//! * **Level 2 — PCB**: the board is a finite-volume plate with
+//!   component footprints as dissipative surfaces; used to optimise
+//!   copper content, drains and wedge locks.
+//! * **Level 3 — component**: every part gets a junction temperature
+//!   (local board temperature + case and interface drops), feeding the
+//!   safety and reliability calculations.
+
+use aeropack_envqual::{Environment, PartGroup, ReliabilityModel};
+use aeropack_materials::air_at_sea_level;
+use aeropack_thermal::{
+    forced_convection_channel, natural_convection_vertical_plate, radiation_coefficient, Face,
+    FaceBc, FvField, FvGrid, FvModel,
+};
+use aeropack_tim::TimJoint;
+use aeropack_units::{Celsius, Length, MassFlowRate, Power, Pressure, TempDelta};
+
+use crate::cooling::{
+    predict_board_temperature, CoolingMode, CoolingSelection, CoolingSelector, ModuleGeometry,
+    ARINC600_KG_PER_H_PER_KW,
+};
+use crate::error::DesignError;
+use crate::product::{Equipment, Pcb};
+
+/// Level-1 result: one row per module.
+#[derive(Debug, Clone)]
+pub struct Level1Report {
+    /// Per-module rows: name, dissipation, selection.
+    pub modules: Vec<(String, Power, CoolingSelection)>,
+}
+
+impl Level1Report {
+    /// The hottest predicted board temperature across modules.
+    pub fn worst_board_temperature(&self) -> Celsius {
+        self.modules
+            .iter()
+            .map(|(_, _, s)| s.board_temperature)
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Whether every module found a feasible technology (always true if
+    /// construction succeeded — selection errors abort the analysis).
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+}
+
+/// Runs the Level-1 analysis on an equipment: selects a cooling
+/// technology per module.
+///
+/// # Errors
+///
+/// Returns an error when any module has no feasible cooling option.
+pub fn level1(
+    equipment: &Equipment,
+    selector: &CoolingSelector,
+) -> Result<Level1Report, DesignError> {
+    let mut modules = Vec::with_capacity(equipment.modules.len());
+    for m in &equipment.modules {
+        let mut sel = selector.clone();
+        sel.geometry.board = m.pcb.size;
+        let selection = sel.select(m.power(), equipment.ambient)?;
+        modules.push((m.name.clone(), m.power(), selection));
+    }
+    Ok(Level1Report { modules })
+}
+
+/// The Level-2 board thermal model: the PCB as an orthotropic
+/// finite-volume plate with component footprint sources.
+#[derive(Debug, Clone)]
+pub struct Level2Model {
+    model: FvModel,
+    grid: FvGrid,
+    nx: usize,
+    ny: usize,
+    board: (f64, f64),
+}
+
+impl Level2Model {
+    /// Builds the board model under a cooling mode, with roughly
+    /// `resolution` metres per cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate resolution or model-building
+    /// failures.
+    pub fn new(
+        pcb: &Pcb,
+        mode: &CoolingMode,
+        ambient: Celsius,
+        resolution: Length,
+    ) -> Result<Self, DesignError> {
+        if resolution.value() <= 0.0 {
+            return Err(DesignError::invalid("resolution must be positive"));
+        }
+        let (lx, ly) = pcb.size;
+        let nx = ((lx / resolution.value()).round() as usize).max(4);
+        let ny = ((ly / resolution.value()).round() as usize).max(4);
+        let t = pcb.thickness().value();
+        let grid = FvGrid::new((lx, ly, t), (nx, ny, 1))?;
+        let mut model = FvModel::new(grid, &aeropack_materials::Material::fr4());
+        // Orthotropic laminate properties everywhere. A conduction-
+        // cooled module carries a bonded aluminium core; homogenise its
+        // in-plane k·t into the board thickness.
+        let k_in = if matches!(mode, CoolingMode::ConductionCooled { .. }) {
+            let core_kt = ModuleGeometry::default().core_kt;
+            pcb.laminate.in_plane_conductivity()
+                + aeropack_units::ThermalConductivity::new(core_kt / t)
+        } else {
+            pcb.laminate.in_plane_conductivity()
+        };
+        let k_thru = pcb.laminate.through_plane_conductivity();
+        model.fill_box_orthotropic([k_in, k_in, k_thru], 1.85e6, (0, 0, 0), (nx, ny, 1))?;
+        // Component sources.
+        for c in &pcb.components {
+            if c.power.value() <= 0.0 {
+                continue;
+            }
+            let i0 = ((c.position.0 / lx * nx as f64).floor() as usize).min(nx - 1);
+            let j0 = ((c.position.1 / ly * ny as f64).floor() as usize).min(ny - 1);
+            let i1 =
+                (((c.position.0 + c.size.0) / lx * nx as f64).ceil() as usize).clamp(i0 + 1, nx);
+            let j1 =
+                (((c.position.1 + c.size.1) / ly * ny as f64).ceil() as usize).clamp(j0 + 1, ny);
+            model.add_power_box(c.power, (i0, j0, 0), (i1, j1, 1))?;
+        }
+        // Boundary conditions per cooling mode.
+        let total = pcb.total_power();
+        match *mode {
+            CoolingMode::FreeConvection => {
+                let t_est = ambient + TempDelta::new(30.0);
+                let air = air_at_sea_level(ambient + TempDelta::new(15.0));
+                let h_c = natural_convection_vertical_plate(&air, t_est, Length::new(ly))?;
+                let h_r = radiation_coefficient(0.8, t_est, ambient)?;
+                let bc = FaceBc::Convection {
+                    h: h_c + h_r,
+                    ambient,
+                };
+                model.set_face_bc(Face::ZMin, bc);
+                model.set_face_bc(Face::ZMax, bc);
+            }
+            CoolingMode::DirectForcedAir { flow_multiplier }
+            | CoolingMode::AirFlowThrough { flow_multiplier } => {
+                let flow = MassFlowRate::from_kg_per_hour(
+                    ARINC600_KG_PER_H_PER_KW * total.value() / 1000.0 * flow_multiplier,
+                );
+                let air = air_at_sea_level(ambient + TempDelta::new(10.0));
+                let (h, _) = forced_convection_channel(
+                    &air,
+                    flow,
+                    Length::new(ly),
+                    Length::new(ModuleGeometry::default().channel_gap),
+                )?;
+                let cp = air.specific_heat.value();
+                let air_mean = ambient + TempDelta::new(total.value() / (2.0 * flow.value() * cp));
+                let area_factor = if matches!(mode, CoolingMode::AirFlowThrough { .. }) {
+                    2.0
+                } else {
+                    1.0
+                };
+                let bc = FaceBc::Convection {
+                    h: h * area_factor,
+                    ambient: air_mean,
+                };
+                model.set_face_bc(Face::ZMin, bc);
+                model.set_face_bc(Face::ZMax, bc);
+            }
+            CoolingMode::ConductionCooled { rail_temperature } => {
+                model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(rail_temperature));
+                model.set_face_bc(Face::XMax, FaceBc::FixedTemperature(rail_temperature));
+            }
+            CoolingMode::LiquidFlowThrough { coolant_inlet } => {
+                model.set_face_bc(
+                    Face::ZMin,
+                    FaceBc::Convection {
+                        h: aeropack_units::HeatTransferCoeff::new(2500.0),
+                        ambient: coolant_inlet,
+                    },
+                );
+            }
+        }
+        Ok(Self {
+            model,
+            grid,
+            nx,
+            ny,
+            board: (lx, ly),
+        })
+    }
+
+    /// Solves the steady board temperature field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve(&self) -> Result<FvField, DesignError> {
+        Ok(self.model.solve_steady()?)
+    }
+
+    /// Board temperature at a physical location, from a solved field.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the point is outside the board.
+    pub fn temperature_at(&self, field: &FvField, x: f64, y: f64) -> Result<Celsius, DesignError> {
+        let (lx, ly) = self.board;
+        if !(0.0..=lx).contains(&x) || !(0.0..=ly).contains(&y) {
+            return Err(DesignError::invalid("probe point outside the board"));
+        }
+        let i = ((x / lx * self.nx as f64) as usize).min(self.nx - 1);
+        let j = ((y / ly * self.ny as f64) as usize).min(self.ny - 1);
+        Ok(field.at(i, j, 0)?)
+    }
+
+    /// The underlying finite-volume model (for boundary heat queries).
+    pub fn fv_model(&self) -> &FvModel {
+        &self.model
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> &FvGrid {
+        &self.grid
+    }
+}
+
+/// One Level-3 row: a component's junction state.
+#[derive(Debug, Clone)]
+pub struct JunctionResult {
+    /// Component name.
+    pub name: String,
+    /// Local board temperature under the part.
+    pub board_temperature: Celsius,
+    /// Junction temperature.
+    pub junction_temperature: Celsius,
+    /// Dissipation.
+    pub power: Power,
+}
+
+/// The Level-3 analysis result for one board.
+#[derive(Debug, Clone)]
+pub struct Level3Report {
+    /// Per-component junction rows.
+    pub junctions: Vec<JunctionResult>,
+}
+
+impl Level3Report {
+    /// The hottest junction.
+    pub fn max_junction(&self) -> Celsius {
+        self.junctions
+            .iter()
+            .map(|j| j.junction_temperature)
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Whether every junction respects a limit (the paper's 125 °C).
+    pub fn all_below(&self, limit: Celsius) -> bool {
+        self.junctions
+            .iter()
+            .all(|j| j.junction_temperature <= limit)
+    }
+
+    /// Builds the reliability model these junctions imply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reliability-model construction errors.
+    pub fn reliability(
+        &self,
+        pcb: &Pcb,
+        environment: Environment,
+    ) -> Result<ReliabilityModel, DesignError> {
+        let mut model = ReliabilityModel::new(environment);
+        for (j, c) in self.junctions.iter().zip(&pcb.components) {
+            model.add(PartGroup {
+                kind: c.part_kind,
+                count: 1,
+                junction: j.junction_temperature,
+            })?;
+        }
+        Ok(model)
+    }
+}
+
+/// Runs Level 3 on a solved Level-2 field: junction = local board
+/// temperature + interface drop (optional TIM under the part at the
+/// assembly pressure) + `P·θjc`.
+///
+/// # Errors
+///
+/// Propagates probe and TIM evaluation errors.
+pub fn level3(
+    pcb: &Pcb,
+    level2: &Level2Model,
+    field: &FvField,
+    tim: Option<(&TimJoint, Pressure)>,
+) -> Result<Level3Report, DesignError> {
+    let mut junctions = Vec::with_capacity(pcb.components.len());
+    for c in &pcb.components {
+        let (cx, cy) = c.center();
+        let board = level2.temperature_at(field, cx, cy)?;
+        let mut junction = board + c.theta_jc * c.power;
+        if let Some((joint, pressure)) = tim {
+            let r = joint.area_resistance(pressure)?.over_area(c.footprint());
+            junction += r * c.power;
+        }
+        junctions.push(JunctionResult {
+            name: c.name.clone(),
+            board_temperature: board,
+            junction_temperature: junction,
+            power: c.power,
+        });
+    }
+    Ok(Level3Report { junctions })
+}
+
+/// Convenience: the full Level-1 → Level-2 → Level-3 chain on one
+/// module, returning `(selection, field peak, level-3 report)`.
+///
+/// # Errors
+///
+/// Propagates any stage's failure.
+pub fn analyze_module(
+    pcb: &Pcb,
+    selector: &CoolingSelector,
+    ambient: Celsius,
+) -> Result<(CoolingSelection, Celsius, Level3Report), DesignError> {
+    let mut sel = selector.clone();
+    sel.geometry.board = pcb.size;
+    let selection = sel.select(pcb.total_power(), ambient)?;
+    let l2 = Level2Model::new(pcb, &selection.mode, ambient, Length::from_millimeters(5.0))?;
+    let field = l2.solve()?;
+    let report = level3(pcb, &l2, &field, None)?;
+    Ok((selection, field.max_temperature(), report))
+}
+
+/// Sanity link between Level 1 and Level 2: the Level-1 scalar estimate
+/// for a mode should bracket the Level-2 mean within a stated factor.
+/// Exposed for validation and tests.
+///
+/// # Errors
+///
+/// Propagates prediction errors.
+pub fn level1_level2_consistency(
+    pcb: &Pcb,
+    mode: &CoolingMode,
+    ambient: Celsius,
+) -> Result<(Celsius, Celsius), DesignError> {
+    let geometry = ModuleGeometry {
+        board: pcb.size,
+        ..ModuleGeometry::default()
+    };
+    let l1 = predict_board_temperature(mode, &geometry, pcb.total_power(), ambient)?;
+    let l2 = Level2Model::new(pcb, mode, ambient, Length::from_millimeters(5.0))?;
+    let field = l2.solve()?;
+    Ok((l1, field.mean_temperature()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::{representative_board, Module};
+
+    fn board() -> Pcb {
+        representative_board("test-board", Power::new(30.0)).unwrap()
+    }
+
+    #[test]
+    fn level2_peak_sits_on_the_cpu() {
+        let pcb = board();
+        let mode = CoolingMode::DirectForcedAir {
+            flow_multiplier: 1.0,
+        };
+        let l2 = Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(40.0),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let field = l2.solve().unwrap();
+        // The CPU footprint centre must be hotter than the board mean.
+        let cpu = &pcb.components[0];
+        let (cx, cy) = cpu.center();
+        let t_cpu = l2.temperature_at(&field, cx, cy).unwrap();
+        assert!(t_cpu.value() > field.mean_temperature().value() + 1.0);
+    }
+
+    #[test]
+    fn level3_junctions_exceed_board() {
+        let pcb = board();
+        let mode = CoolingMode::DirectForcedAir {
+            flow_multiplier: 1.0,
+        };
+        let l2 = Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(40.0),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let field = l2.solve().unwrap();
+        let l3 = level3(&pcb, &l2, &field, None).unwrap();
+        assert_eq!(l3.junctions.len(), pcb.components.len());
+        for j in &l3.junctions {
+            assert!(j.junction_temperature >= j.board_temperature);
+        }
+        // CPU: 12 W × 0.8 K/W = 9.6 K above its board spot.
+        let cpu = &l3.junctions[0];
+        let dt = (cpu.junction_temperature - cpu.board_temperature).kelvin();
+        assert!((dt - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tim_interface_adds_junction_rise() {
+        let pcb = board();
+        let mode = CoolingMode::ConductionCooled {
+            rail_temperature: Celsius::new(45.0),
+        };
+        let l2 = Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(55.0),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let field = l2.solve().unwrap();
+        let joint = TimJoint::conventional_grease().unwrap();
+        let without = level3(&pcb, &l2, &field, None).unwrap();
+        let with = level3(
+            &pcb,
+            &l2,
+            &field,
+            Some((&joint, Pressure::from_kilopascals(200.0))),
+        )
+        .unwrap();
+        assert!(with.max_junction().value() > without.max_junction().value());
+    }
+
+    #[test]
+    fn level1_level2_agree_within_factor() {
+        // The scalar Level-1 estimate and the FV Level-2 mean must agree
+        // within a factor ~2 for forced air (both first-order models).
+        let pcb = board();
+        let mode = CoolingMode::DirectForcedAir {
+            flow_multiplier: 1.0,
+        };
+        let (l1, l2) = level1_level2_consistency(&pcb, &mode, Celsius::new(40.0)).unwrap();
+        let rise1 = l1.value() - 40.0;
+        let rise2 = l2.value() - 40.0;
+        let ratio = rise1 / rise2;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "L1 rise {rise1:.1} K vs L2 rise {rise2:.1} K"
+        );
+    }
+
+    #[test]
+    fn conduction_cooling_pins_the_edges() {
+        let pcb = board();
+        let rail = Celsius::new(45.0);
+        let mode = CoolingMode::ConductionCooled {
+            rail_temperature: rail,
+        };
+        let l2 = Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(55.0),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let field = l2.solve().unwrap();
+        // Edge cells sit near the rail; the centre is warmer.
+        let t_edge = l2.temperature_at(&field, 0.001, pcb.size.1 / 2.0).unwrap();
+        let t_mid = l2
+            .temperature_at(&field, pcb.size.0 / 2.0, pcb.size.1 / 2.0)
+            .unwrap();
+        assert!(t_mid.value() > t_edge.value());
+        assert!(t_edge.value() < rail.value() + 15.0);
+    }
+
+    #[test]
+    fn level1_report_covers_all_modules() {
+        let eq = Equipment::new(
+            "rack",
+            (0.4, 0.3, 0.2),
+            vec![
+                Module::new("M1", representative_board("b1", Power::new(10.0)).unwrap()),
+                Module::new("M2", representative_board("b2", Power::new(60.0)).unwrap()),
+            ],
+            Celsius::new(55.0),
+        )
+        .unwrap();
+        let report = level1(&eq, &CoolingSelector::default()).unwrap();
+        assert_eq!(report.module_count(), 2);
+        assert!(report.worst_board_temperature() <= Celsius::new(85.0));
+    }
+
+    #[test]
+    fn reliability_from_level3() {
+        let pcb = board();
+        let mode = CoolingMode::DirectForcedAir {
+            flow_multiplier: 1.0,
+        };
+        let l2 = Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(40.0),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let field = l2.solve().unwrap();
+        let l3 = level3(&pcb, &l2, &field, None).unwrap();
+        let rel = l3
+            .reliability(&pcb, Environment::AirborneInhabited)
+            .unwrap();
+        assert!(rel.mtbf_hours() > 10_000.0);
+    }
+
+    #[test]
+    fn probe_outside_board_is_rejected() {
+        let pcb = board();
+        let mode = CoolingMode::FreeConvection;
+        let l2 = Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(40.0),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let field = l2.solve().unwrap();
+        assert!(l2.temperature_at(&field, 1.0, 0.05).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! The avionics packaging co-design framework — the paper's actual
+//! contribution: a procedure (Fig 1) that runs mechanical and thermal
+//! analyses in parallel, walks the three simulation levels of Fig 4,
+//! selects a cooling technology from the Fig 5 trade space, and closes
+//! the design against the qualification spec.
+//!
+//! Key entry points:
+//!
+//! * [`Equipment`] / [`Module`] / [`Pcb`] / [`Component`] — the product
+//!   model.
+//! * [`CoolingSelector`] — Level-1 technology selection.
+//! * [`Level2Model`] / [`level3`] — board fields and junction
+//!   temperatures.
+//! * [`SebModel`] — the COSEE Seat Electronic Box with heat pipes and
+//!   loop heat pipes (the Fig 10 system).
+//! * [`HotSpotStudy`] — the §IV hot-spot-vs-airflow argument.
+//! * [`run_design`] — the full Fig 1 procedure producing a
+//!   [`DesignReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use aeropack_core::{CoolingSelector, CoolingMode};
+//! use aeropack_units::{Celsius, Power};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let selection = CoolingSelector::default()
+//!     .select(Power::new(60.0), Celsius::new(55.0))?;
+//! assert_ne!(selection.mode, CoolingMode::FreeConvection);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cooling;
+mod equipment_model;
+mod error;
+mod hotspot;
+mod levels;
+mod product;
+mod seb;
+mod workflow;
+
+pub use cooling::{
+    predict_board_temperature, CoolingMode, CoolingSelection, CoolingSelector, ModuleGeometry,
+    ARINC600_KG_PER_H_PER_KW,
+};
+pub use equipment_model::EquipmentThermalModel;
+pub use error::DesignError;
+pub use hotspot::HotSpotStudy;
+pub use levels::{
+    analyze_module, level1, level1_level2_consistency, level3, JunctionResult, Level1Report,
+    Level2Model, Level3Report,
+};
+pub use product::{representative_board, Component, Equipment, Module, Pcb};
+pub use seb::{LhpInstallation, SeatStructure, SebModel, SebOperatingState};
+pub use workflow::{run_design, DesignReport, DesignSpec, ModuleReport};

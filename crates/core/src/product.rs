@@ -1,0 +1,361 @@
+//! The product model: components on boards in modules in an equipment —
+//! the hierarchy the paper's three simulation levels walk down (Fig 4).
+
+use aeropack_envqual::{ComponentStyle, PartKind};
+use aeropack_materials::PcbLaminate;
+use aeropack_units::{Area, Celsius, HeatFlux, Length, Power, ThermalResistance};
+
+use crate::error::DesignError;
+
+/// A dissipating component placed on a board.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Reference designator / name.
+    pub name: String,
+    /// Dissipated power.
+    pub power: Power,
+    /// Footprint lower-left corner on the board, metres.
+    pub position: (f64, f64),
+    /// Footprint size, metres.
+    pub size: (f64, f64),
+    /// Junction-to-case thermal resistance.
+    pub theta_jc: ThermalResistance,
+    /// Part family for reliability prediction.
+    pub part_kind: PartKind,
+    /// Mechanical style for fatigue assessment.
+    pub style: ComponentStyle,
+}
+
+impl Component {
+    /// Builds a component; validates geometry and power.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negative power, non-positive footprint or
+    /// non-positive θjc.
+    pub fn new(
+        name: impl Into<String>,
+        power: Power,
+        position: (f64, f64),
+        size: (f64, f64),
+        theta_jc: ThermalResistance,
+        part_kind: PartKind,
+        style: ComponentStyle,
+    ) -> Result<Self, DesignError> {
+        if power.value() < 0.0 {
+            return Err(DesignError::invalid("component power cannot be negative"));
+        }
+        if size.0 <= 0.0 || size.1 <= 0.0 {
+            return Err(DesignError::invalid("component footprint must be positive"));
+        }
+        if theta_jc.value() <= 0.0 {
+            return Err(DesignError::invalid("θjc must be positive"));
+        }
+        Ok(Self {
+            name: name.into(),
+            power,
+            position,
+            size,
+            theta_jc,
+            part_kind,
+            style,
+        })
+    }
+
+    /// Footprint area.
+    pub fn footprint(&self) -> Area {
+        Area::new(self.size.0 * self.size.1)
+    }
+
+    /// Footprint heat flux — the quantity the paper tracks from
+    /// 10 W/cm² toward 100 W/cm².
+    pub fn heat_flux(&self) -> HeatFlux {
+        self.power / self.footprint()
+    }
+
+    /// Centre of the footprint.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            self.position.0 + 0.5 * self.size.0,
+            self.position.1 + 0.5 * self.size.1,
+        )
+    }
+}
+
+/// A printed circuit board with its laminate and components.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    /// Board name.
+    pub name: String,
+    /// Board size, metres.
+    pub size: (f64, f64),
+    /// The copper/FR-4 stack.
+    pub laminate: PcbLaminate,
+    /// Placed components.
+    pub components: Vec<Component>,
+}
+
+impl Pcb {
+    /// Builds a board and validates component placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive dimensions or a component
+    /// extending beyond the board.
+    pub fn new(
+        name: impl Into<String>,
+        size: (f64, f64),
+        laminate: PcbLaminate,
+        components: Vec<Component>,
+    ) -> Result<Self, DesignError> {
+        if size.0 <= 0.0 || size.1 <= 0.0 {
+            return Err(DesignError::invalid("board dimensions must be positive"));
+        }
+        for c in &components {
+            if c.position.0 < 0.0
+                || c.position.1 < 0.0
+                || c.position.0 + c.size.0 > size.0 + 1e-12
+                || c.position.1 + c.size.1 > size.1 + 1e-12
+            {
+                return Err(DesignError::invalid(format!(
+                    "component `{}` extends beyond the board",
+                    c.name
+                )));
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            size,
+            laminate,
+            components,
+        })
+    }
+
+    /// Total board dissipation.
+    pub fn total_power(&self) -> Power {
+        self.components.iter().map(|c| c.power).sum()
+    }
+
+    /// Board thickness from the laminate.
+    pub fn thickness(&self) -> Length {
+        self.laminate.thickness()
+    }
+
+    /// The hottest component by footprint flux.
+    pub fn peak_flux(&self) -> HeatFlux {
+        self.components
+            .iter()
+            .map(Component::heat_flux)
+            .fold(HeatFlux::ZERO, HeatFlux::max)
+    }
+}
+
+/// A module (LRU card or box slice) holding one board.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// The board inside.
+    pub pcb: Pcb,
+}
+
+impl Module {
+    /// Builds a module.
+    pub fn new(name: impl Into<String>, pcb: Pcb) -> Self {
+        Self {
+            name: name.into(),
+            pcb,
+        }
+    }
+
+    /// Module dissipation.
+    pub fn power(&self) -> Power {
+        self.pcb.total_power()
+    }
+}
+
+/// A complete equipment: a box of modules in an environment.
+#[derive(Debug, Clone)]
+pub struct Equipment {
+    /// Equipment name.
+    pub name: String,
+    /// External box dimensions, metres.
+    pub dimensions: (f64, f64, f64),
+    /// The modules inside.
+    pub modules: Vec<Module>,
+    /// The ambient the equipment lives in.
+    pub ambient: Celsius,
+}
+
+impl Equipment {
+    /// Builds an equipment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive dimensions or no modules.
+    pub fn new(
+        name: impl Into<String>,
+        dimensions: (f64, f64, f64),
+        modules: Vec<Module>,
+        ambient: Celsius,
+    ) -> Result<Self, DesignError> {
+        if dimensions.0 <= 0.0 || dimensions.1 <= 0.0 || dimensions.2 <= 0.0 {
+            return Err(DesignError::invalid(
+                "equipment dimensions must be positive",
+            ));
+        }
+        if modules.is_empty() {
+            return Err(DesignError::invalid("equipment needs at least one module"));
+        }
+        Ok(Self {
+            name: name.into(),
+            dimensions,
+            modules,
+            ambient,
+        })
+    }
+
+    /// Total equipment dissipation.
+    pub fn total_power(&self) -> Power {
+        self.modules.iter().map(Module::power).sum()
+    }
+
+    /// External surface area of the box.
+    pub fn surface_area(&self) -> Area {
+        let (x, y, z) = self.dimensions;
+        Area::new(2.0 * (x * y + y * z + x * z))
+    }
+}
+
+/// A convenience builder for a representative avionics board of the kind
+/// Fig 6 racks carry: a processor, memory, a power stage and support
+/// parts, scaled to a total power.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid `total_power`).
+pub fn representative_board(
+    name: impl Into<String>,
+    total_power: Power,
+) -> Result<Pcb, DesignError> {
+    if total_power.value() <= 0.0 {
+        return Err(DesignError::invalid("board power must be positive"));
+    }
+    let p = total_power.value();
+    let laminate = PcbLaminate::symmetric(6, 4, Length::from_millimeters(1.6))?;
+    let mk = |name: &str,
+              frac: f64,
+              pos: (f64, f64),
+              size: (f64, f64),
+              theta: f64,
+              kind: PartKind,
+              style: ComponentStyle| {
+        Component::new(
+            name,
+            Power::new(p * frac),
+            pos,
+            size,
+            ThermalResistance::new(theta),
+            kind,
+            style,
+        )
+    };
+    let components = vec![
+        mk(
+            "CPU",
+            0.40,
+            (0.060, 0.040),
+            (0.030, 0.030),
+            0.8,
+            PartKind::Microprocessor,
+            ComponentStyle::Bga,
+        )?,
+        mk(
+            "DDR",
+            0.15,
+            (0.100, 0.045),
+            (0.020, 0.012),
+            1.5,
+            PartKind::Memory,
+            ComponentStyle::Bga,
+        )?,
+        mk(
+            "PSU",
+            0.30,
+            (0.015, 0.015),
+            (0.035, 0.025),
+            1.2,
+            PartKind::PowerSemiconductor,
+            ComponentStyle::SmtGullWing,
+        )?,
+        mk(
+            "IO",
+            0.15,
+            (0.110, 0.012),
+            (0.022, 0.022),
+            2.0,
+            PartKind::AnalogIc,
+            ComponentStyle::SmtGullWing,
+        )?,
+    ];
+    Pcb::new(name, (0.160, 0.100), laminate, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_board_is_consistent() {
+        let board = representative_board("test", Power::new(30.0)).unwrap();
+        assert!((board.total_power().value() - 30.0).abs() < 1e-9);
+        assert_eq!(board.components.len(), 4);
+        // CPU flux at 12 W over 9 cm² = 1.33 W/cm².
+        let cpu = &board.components[0];
+        assert!((cpu.heat_flux().watts_per_square_centimeter() - 12.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_board_component_is_rejected() {
+        let laminate = PcbLaminate::symmetric(4, 2, Length::from_millimeters(1.6)).unwrap();
+        let c = Component::new(
+            "X",
+            Power::new(1.0),
+            (0.15, 0.09),
+            (0.03, 0.03),
+            ThermalResistance::new(1.0),
+            PartKind::AnalogIc,
+            ComponentStyle::SmtGullWing,
+        )
+        .unwrap();
+        assert!(Pcb::new("b", (0.16, 0.10), laminate, vec![c]).is_err());
+    }
+
+    #[test]
+    fn equipment_totals() {
+        let m1 = Module::new("M1", representative_board("b1", Power::new(20.0)).unwrap());
+        let m2 = Module::new("M2", representative_board("b2", Power::new(40.0)).unwrap());
+        let eq = Equipment::new("rack", (0.3, 0.2, 0.2), vec![m1, m2], Celsius::new(55.0)).unwrap();
+        assert!((eq.total_power().value() - 60.0).abs() < 1e-9);
+        assert!((eq.surface_area().value() - 0.32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_products_rejected() {
+        assert!(representative_board("x", Power::ZERO).is_err());
+        assert!(Equipment::new("e", (0.0, 0.1, 0.1), vec![], Celsius::new(20.0)).is_err());
+        let m = Module::new("M", representative_board("b", Power::new(10.0)).unwrap());
+        assert!(Equipment::new("e", (0.3, 0.2, 0.2), vec![m], Celsius::new(20.0)).is_ok());
+    }
+
+    #[test]
+    fn peak_flux_finds_worst_component() {
+        let board = representative_board("t", Power::new(50.0)).unwrap();
+        let peak = board.peak_flux();
+        // The DDR is the densest part: 7.5 W over 2.4 cm² ≈ 3.1 W/cm²,
+        // above the CPU's 20 W / 9 cm² ≈ 2.2 W/cm².
+        let ddr_flux = board.components[1].heat_flux();
+        assert_eq!(peak, ddr_flux);
+        assert!(peak.watts_per_square_centimeter() > 3.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! The packaging design procedure of the paper's Fig 1: parallel
+//! mechanical and thermal analyses feeding one design report.
+
+use aeropack_envqual::{
+    acceleration_test, assess_fatigue, Do160Curve, Environment, QualificationReport,
+    SolderAttachment, TestOutcome, ThermalCycleProfile,
+};
+use aeropack_fem::{modal, random_response, Dof, HarmonicResponse, PlateMesh, PlateProperties};
+use aeropack_materials::Material;
+use aeropack_units::{Acceleration, Celsius, Frequency, Length, Stress};
+
+use crate::cooling::CoolingSelector;
+use crate::error::DesignError;
+use crate::levels::{analyze_module, Level3Report};
+use crate::product::{Equipment, Pcb};
+
+/// The environmental specification the design is qualified against.
+#[derive(Debug, Clone)]
+pub struct DesignSpec {
+    /// Junction temperature limit (the paper's 125 °C).
+    pub junction_limit: Celsius,
+    /// Random-vibration test curve.
+    pub vibration: Do160Curve,
+    /// Structural damping ratio assumed for the boards.
+    pub damping: f64,
+    /// Quasi-static acceleration level (the paper's 9 g).
+    pub acceleration: Acceleration,
+    /// Thermal shock profile.
+    pub shock: ThermalCycleProfile,
+    /// Reliability environment.
+    pub environment: Environment,
+    /// Required fatigue life under the vibration spectrum, hours.
+    pub vibration_life_hours: f64,
+    /// Required number of thermal shock cycles.
+    pub shock_cycles: f64,
+    /// Lowest admissible first natural frequency (frequency allocation
+    /// plan), if any.
+    pub min_first_mode: Option<Frequency>,
+}
+
+impl DesignSpec {
+    /// The paper's qualification set: 125 °C junctions, DO-160 C1,
+    /// 9 g, −45/+55 °C shock, airborne-inhabited environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile construction errors (cannot occur).
+    pub fn date2010() -> Result<Self, DesignError> {
+        Ok(Self {
+            junction_limit: Celsius::new(125.0),
+            vibration: Do160Curve::C1,
+            damping: 0.03,
+            acceleration: Acceleration::from_g(9.0),
+            shock: ThermalCycleProfile::date2010_shock()?,
+            environment: Environment::AirborneInhabited,
+            vibration_life_hours: 9.0, // 3 h per axis
+            shock_cycles: 100.0,
+            min_first_mode: None,
+        })
+    }
+}
+
+/// One module's design-report row.
+#[derive(Debug, Clone)]
+pub struct ModuleReport {
+    /// Module name.
+    pub name: String,
+    /// Chosen cooling technology label.
+    pub cooling: &'static str,
+    /// Peak board temperature from Level 2.
+    pub board_peak: Celsius,
+    /// Level-3 junction rows.
+    pub level3: Level3Report,
+    /// First natural frequency of the board.
+    pub first_mode: Frequency,
+    /// MTBF of the module, hours.
+    pub mtbf_hours: f64,
+}
+
+/// The complete design report of the Fig 1 procedure.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Per-module rows.
+    pub modules: Vec<ModuleReport>,
+    /// The qualification campaign results.
+    pub qualification: QualificationReport,
+    /// Equipment MTBF (series combination of modules), hours.
+    pub mtbf_hours: f64,
+}
+
+impl DesignReport {
+    /// Whether thermal limits, qualification and (if specified) the
+    /// frequency allocation all hold.
+    pub fn design_closes(&self) -> bool {
+        self.qualification.all_passed()
+    }
+}
+
+impl std::fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for m in &self.modules {
+            writeln!(
+                f,
+                "{}: {} | board peak {:.1} | worst junction {:.1} | \
+                 f1 {:.0} Hz | MTBF {:.0} h",
+                m.name,
+                m.cooling,
+                m.board_peak,
+                m.level3.max_junction(),
+                m.first_mode.value(),
+                m.mtbf_hours
+            )?;
+        }
+        writeln!(f, "{}", self.qualification)?;
+        write!(
+            f,
+            "equipment MTBF {:.0} h — design {}",
+            self.mtbf_hours,
+            if self.design_closes() {
+                "CLOSES"
+            } else {
+                "OPEN (iterate)"
+            }
+        )
+    }
+}
+
+/// Builds the structural model of a board: an FR-4 plate with the
+/// component masses smeared, pinned in card guides.
+fn board_structure(pcb: &Pcb) -> Result<PlateMesh, DesignError> {
+    let thickness = pcb.thickness();
+    // Smear 1.5 g/cm² of component mass over the board (typical
+    // populated density) on top of the laminate mass.
+    let props = PlateProperties::from_material(&Material::fr4(), thickness)?.with_smeared_mass(3.0);
+    let mut mesh = PlateMesh::rectangular(pcb.size.0, pcb.size.1, 8, 5, &props)?;
+    mesh.pin_all_edges()?;
+    Ok(mesh)
+}
+
+/// Runs the full Fig 1 procedure on an equipment: Level-1 cooling
+/// selection, Level-2/3 thermal fields and junctions, modal placement,
+/// random-vibration fatigue, 9 g, thermal shock, and the reliability
+/// rollup.
+///
+/// # Errors
+///
+/// Propagates any analysis failure, including infeasible cooling.
+pub fn run_design(
+    equipment: &Equipment,
+    selector: &CoolingSelector,
+    spec: &DesignSpec,
+) -> Result<DesignReport, DesignError> {
+    let mut modules = Vec::with_capacity(equipment.modules.len());
+    let mut qual = QualificationReport::new();
+    let mut total_failure_rate = 0.0;
+
+    for module in &equipment.modules {
+        let pcb = &module.pcb;
+        // Thermal chain.
+        let (selection, board_peak, level3) = analyze_module(pcb, selector, equipment.ambient)?;
+        let worst_junction = level3.max_junction();
+        qual.record(TestOutcome::new(
+            format!("{}: junction limit", module.name),
+            (spec.junction_limit - equipment.ambient).kelvin()
+                / (worst_junction - equipment.ambient).kelvin().max(1e-9),
+            format!("worst junction {worst_junction:.1}"),
+        ));
+
+        // Mechanical chain.
+        let mesh = board_structure(pcb)?;
+        let modes = modal(&mesh.model, 3)?;
+        let first_mode = modes.fundamental();
+        if let Some(f_min) = spec.min_first_mode {
+            qual.record(TestOutcome::new(
+                format!("{}: frequency allocation", module.name),
+                first_mode.value() / f_min.value(),
+                format!("first mode {first_mode:.0}"),
+            ));
+        }
+        let response = HarmonicResponse::new(&mesh.model, &modes, spec.damping)?;
+        let center = mesh.center_node();
+        let rand = random_response(&response, center, Dof::W, &spec.vibration.psd())?;
+        // Fatigue of every component, each with its Steinberg position
+        // factor (parts near a supported edge see less curvature, so
+        // their allowable deflection grows: r = 1 at the centre, → 2 at
+        // the edges for the fundamental mode shape).
+        if pcb.components.is_empty() {
+            return Err(DesignError::invalid("board has no components"));
+        }
+        let mut worst_life = f64::INFINITY;
+        let mut worst_name = String::new();
+        for c in &pcb.components {
+            let (cx, cy) = c.center();
+            let sx = (std::f64::consts::PI * cx / pcb.size.0).sin().abs();
+            let sy = (std::f64::consts::PI * cy / pcb.size.1).sin().abs();
+            let position_factor = (1.0 / (sx * sy).max(0.5)).min(2.0);
+            let fatigue = assess_fatigue(
+                &rand,
+                Length::new(pcb.size.0),
+                pcb.thickness(),
+                Length::new(c.size.0.max(c.size.1)),
+                position_factor,
+                c.style,
+            )?;
+            if fatigue.life_hours < worst_life {
+                worst_life = fatigue.life_hours;
+                worst_name = c.name.clone();
+            }
+        }
+        qual.record(TestOutcome::new(
+            format!("{}: DO-160 random vibration", module.name),
+            worst_life / spec.vibration_life_hours,
+            format!(
+                "worst part `{worst_name}`: life {worst_life:.0} h vs {:.0} h demanded",
+                spec.vibration_life_hours
+            ),
+        ));
+        let largest = pcb
+            .components
+            .iter()
+            .max_by(|a, b| {
+                (a.size.0 * a.size.1)
+                    .partial_cmp(&(b.size.0 * b.size.1))
+                    .expect("finite footprints")
+            })
+            .expect("non-empty checked above");
+
+        // 9 g quasi-static.
+        let fr4 = Material::fr4();
+        let accel = acceleration_test(
+            &mesh.model,
+            spec.acceleration,
+            Stress::new(fr4.yield_strength.value() / 2.0), // laminate knock-down
+        )?;
+        qual.record(TestOutcome::new(
+            format!("{}: linear acceleration", module.name),
+            accel.stress_margin,
+            format!("peak stress {:.1} MPa", accel.max_stress.megapascals()),
+        ));
+
+        // Thermal shock solder fatigue on the largest part.
+        let attachment = SolderAttachment::ceramic_on_fr4(
+            Length::new(0.5 * (largest.size.0.powi(2) + largest.size.1.powi(2)).sqrt()),
+            Length::from_micrometers(120.0),
+        );
+        let n_f = attachment.cycles_to_failure(&spec.shock)?;
+        qual.record(TestOutcome::new(
+            format!("{}: thermal shock", module.name),
+            n_f / spec.shock_cycles,
+            format!("{n_f:.0} cycles to failure"),
+        ));
+
+        // Reliability.
+        let reliability = level3.reliability(pcb, spec.environment)?;
+        total_failure_rate += reliability.failure_rate_per_hour();
+
+        modules.push(ModuleReport {
+            name: module.name.clone(),
+            cooling: selection.mode.label(),
+            board_peak,
+            level3,
+            first_mode,
+            mtbf_hours: reliability.mtbf_hours(),
+        });
+    }
+
+    let mtbf_hours = if total_failure_rate > 0.0 {
+        1.0 / total_failure_rate
+    } else {
+        f64::INFINITY
+    };
+    Ok(DesignReport {
+        modules,
+        qualification: qual,
+        mtbf_hours,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::{representative_board, Module};
+    use aeropack_units::Power;
+
+    fn small_equipment() -> Equipment {
+        Equipment::new(
+            "demo unit",
+            (0.3, 0.2, 0.15),
+            vec![
+                Module::new(
+                    "CPU module",
+                    representative_board("b1", Power::new(25.0)).unwrap(),
+                ),
+                Module::new(
+                    "IO module",
+                    representative_board("b2", Power::new(12.0)).unwrap(),
+                ),
+            ],
+            Celsius::new(55.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_procedure_closes_for_a_sane_design() {
+        let report = run_design(
+            &small_equipment(),
+            &CoolingSelector::default(),
+            &DesignSpec::date2010().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.modules.len(), 2);
+        assert!(report.design_closes(), "{}", report.qualification);
+        assert!(report.mtbf_hours > 10_000.0, "MTBF {}", report.mtbf_hours);
+        for m in &report.modules {
+            assert!(m.first_mode.value() > 50.0);
+            assert!(m.level3.all_below(Celsius::new(125.0)));
+        }
+    }
+
+    #[test]
+    fn frequency_allocation_is_enforced() {
+        let mut spec = DesignSpec::date2010().unwrap();
+        spec.min_first_mode = Some(Frequency::new(10_000.0)); // absurd demand
+        let report = run_design(&small_equipment(), &CoolingSelector::default(), &spec).unwrap();
+        assert!(!report.design_closes());
+    }
+
+    #[test]
+    fn report_display_is_complete() {
+        let report = run_design(
+            &small_equipment(),
+            &CoolingSelector::default(),
+            &DesignSpec::date2010().unwrap(),
+        )
+        .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("CPU module"));
+        assert!(text.contains("IO module"));
+        assert!(text.contains("equipment MTBF"));
+        assert!(text.contains("CLOSES"));
+    }
+
+    #[test]
+    fn equipment_mtbf_is_series_of_modules() {
+        let report = run_design(
+            &small_equipment(),
+            &CoolingSelector::default(),
+            &DesignSpec::date2010().unwrap(),
+        )
+        .unwrap();
+        let series: f64 = 1.0
+            / report
+                .modules
+                .iter()
+                .map(|m| 1.0 / m.mtbf_hours)
+                .sum::<f64>();
+        assert!((series - report.mtbf_hours).abs() < 1e-6 * series);
+        assert!(report.mtbf_hours < report.modules[0].mtbf_hours);
+    }
+}

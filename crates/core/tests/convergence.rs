@@ -1,0 +1,65 @@
+//! Discretisation-robustness tests: the Level-2 board fields and the
+//! equipment model must be mesh-converged at the default resolutions,
+//! or every calibrated number downstream is an artefact.
+
+use aeropack_core::{representative_board, CoolingMode, Level2Model};
+use aeropack_units::{Celsius, Length, Power};
+
+#[test]
+fn level2_peak_is_mesh_converged() {
+    let pcb = representative_board("conv", Power::new(30.0)).unwrap();
+    let mode = CoolingMode::DirectForcedAir {
+        flow_multiplier: 1.0,
+    };
+    let ambient = Celsius::new(40.0);
+    let peak = |res_mm: f64| {
+        Level2Model::new(&pcb, &mode, ambient, Length::from_millimeters(res_mm))
+            .unwrap()
+            .solve()
+            .unwrap()
+            .max_temperature()
+            .value()
+    };
+    let coarse = peak(8.0);
+    let default = peak(5.0);
+    let fine = peak(2.5);
+    // The default grid sits within a few percent of the refined one.
+    let rel = (default - fine).abs() / (fine - ambient.value());
+    assert!(
+        rel < 0.08,
+        "default vs fine peak rise differ by {:.1}%",
+        rel * 100.0
+    );
+    // And refinement moves monotonically less than coarsening did.
+    let step1 = (coarse - default).abs();
+    let step2 = (default - fine).abs();
+    assert!(
+        step2 <= step1 + 0.5,
+        "refinement must converge: {step1} then {step2}"
+    );
+}
+
+#[test]
+fn level2_mean_is_grid_insensitive() {
+    // The mean (energy balance) should be nearly exact at any grid.
+    let pcb = representative_board("conv2", Power::new(25.0)).unwrap();
+    let mode = CoolingMode::LiquidFlowThrough {
+        coolant_inlet: Celsius::new(30.0),
+    };
+    let mean = |res_mm: f64| {
+        Level2Model::new(
+            &pcb,
+            &mode,
+            Celsius::new(40.0),
+            Length::from_millimeters(res_mm),
+        )
+        .unwrap()
+        .solve()
+        .unwrap()
+        .mean_temperature()
+        .value()
+    };
+    let a = mean(8.0);
+    let b = mean(3.0);
+    assert!((a - b).abs() < 1.5, "means {a} vs {b}");
+}

@@ -1,0 +1,158 @@
+//! Quasi-static linear-acceleration qualification — the paper's
+//! "linear acceleration (up to 9 g, 3 minutes in each axis)" test,
+//! evaluated as an inertial static load case on the structural model.
+
+use aeropack_fem::{Dof, Model};
+use aeropack_units::{Acceleration, Length, Stress};
+
+use crate::error::QualError;
+
+/// Result of a quasi-static acceleration load case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelerationResult {
+    /// Peak out-of-plane deflection anywhere on the model.
+    pub max_deflection: Length,
+    /// Estimated peak bending stress (from the peak curvature of the
+    /// deformed shape).
+    pub max_stress: Stress,
+    /// Margin against the allowable stress (>1 passes).
+    pub stress_margin: f64,
+}
+
+impl AccelerationResult {
+    /// Whether the stress margin exceeds unity.
+    pub fn passes(&self) -> bool {
+        self.stress_margin >= 1.0
+    }
+}
+
+/// Runs the inertial load case: every mass in the model pulls with
+/// `a·m` on its translational DOF (consistent-mass loading `f = M·r·a`),
+/// the static problem is solved, and the peak deflection and the
+/// recovered bending stress are reported against `allowable`.
+///
+/// The bending stress is recovered element by element: curvatures from
+/// the ACM shape functions at each plate-element centre, moments
+/// through the stored per-element rigidity, equivalent outer-fibre
+/// stress.
+///
+/// # Errors
+///
+/// Returns an error for non-positive inputs or a singular (unsupported)
+/// model.
+pub fn acceleration_test(
+    model: &Model,
+    accel: Acceleration,
+    allowable: Stress,
+) -> Result<AccelerationResult, QualError> {
+    if accel.value() <= 0.0 {
+        return Err(QualError::invalid(
+            "accel",
+            "must be positive",
+            accel.value(),
+        ));
+    }
+    if allowable.value() <= 0.0 {
+        return Err(QualError::invalid(
+            "allowable",
+            "must be positive",
+            allowable.value(),
+        ));
+    }
+    // f = M·r·a over all DOFs.
+    let r = model.influence_vector();
+    let mr = model.mass().matvec(&r);
+    let loads: Vec<(usize, Dof, f64)> = (0..model.node_count())
+        .map(|n| (n, Dof::W, -mr[3 * n] * accel.value()))
+        .collect();
+    let u = model.solve_static(&loads)?;
+
+    let mut max_w: f64 = 0.0;
+    for n in 0..model.node_count() {
+        max_w = max_w.max(u[3 * n].abs());
+    }
+
+    // Element-level stress recovery (curvatures → moments → outer-fibre
+    // equivalent stress at each plate-element centre).
+    let sigma = model.max_bending_stress(&u)?;
+    let margin = if sigma > 0.0 {
+        allowable.value() / sigma
+    } else {
+        f64::INFINITY
+    };
+    Ok(AccelerationResult {
+        max_deflection: Length::new(max_w),
+        max_stress: Stress::new(sigma),
+        stress_margin: margin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeropack_fem::{PlateMesh, PlateProperties};
+    use aeropack_materials::Material;
+
+    fn board() -> (PlateMesh, PlateProperties) {
+        let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(1.6))
+            .unwrap()
+            .with_smeared_mass(2.0);
+        let mut mesh = PlateMesh::rectangular(0.16, 0.1, 6, 4, &props).unwrap();
+        mesh.simply_support_edges().unwrap();
+        (mesh, props)
+    }
+
+    #[test]
+    fn nine_g_is_mild_for_a_supported_board() {
+        let (mesh, _props) = board();
+        let res = acceleration_test(
+            &mesh.model,
+            Acceleration::from_g(9.0),
+            Material::fr4().yield_strength,
+        )
+        .unwrap();
+        assert!(res.passes(), "margin = {}", res.stress_margin);
+        // Deflections are tens of microns, not millimetres.
+        assert!(res.max_deflection.value() < 5e-4, "{}", res.max_deflection);
+    }
+
+    #[test]
+    fn deflection_scales_linearly_with_g() {
+        let (mesh, _props) = board();
+        let run = |g: f64| {
+            acceleration_test(
+                &mesh.model,
+                Acceleration::from_g(g),
+                Material::fr4().yield_strength,
+            )
+            .unwrap()
+        };
+        let a = run(3.0);
+        let b = run(9.0);
+        let ratio = b.max_deflection.value() / a.max_deflection.value();
+        assert!((ratio - 3.0).abs() < 1e-6, "linear scaling: {ratio}");
+    }
+
+    #[test]
+    fn absurd_acceleration_fails() {
+        let (mesh, _props) = board();
+        let res = acceleration_test(
+            &mesh.model,
+            Acceleration::from_g(100_000.0),
+            Material::fr4().yield_strength,
+        )
+        .unwrap();
+        assert!(!res.passes());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let (mesh, _props) = board();
+        assert!(acceleration_test(
+            &mesh.model,
+            Acceleration::ZERO,
+            Material::fr4().yield_strength,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for environmental qualification analyses.
+
+use std::error::Error;
+use std::fmt;
+
+use aeropack_fem::FemError;
+
+/// Error returned by qualification analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualError {
+    /// An argument violated a physical constraint.
+    InvalidArgument {
+        /// Name of the argument.
+        name: &'static str,
+        /// The violated constraint.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The underlying structural analysis failed.
+    Structural(FemError),
+}
+
+impl fmt::Display for QualError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidArgument {
+                name,
+                constraint,
+                value,
+            } => write!(f, "argument `{name}` = {value} violates: {constraint}"),
+            Self::Structural(e) => write!(f, "structural analysis: {e}"),
+        }
+    }
+}
+
+impl Error for QualError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Structural(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FemError> for QualError {
+    fn from(e: FemError) -> Self {
+        Self::Structural(e)
+    }
+}
+
+impl QualError {
+    pub(crate) fn invalid(name: &'static str, constraint: &'static str, value: f64) -> Self {
+        Self::InvalidArgument {
+            name,
+            constraint,
+            value,
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Environmental qualification and reliability for avionics equipment —
+//! the analyses behind the paper's test campaign (9 g linear
+//! acceleration, DO-160 curve C1 random vibration, −45/+55 °C thermal
+//! shock) and its 40,000 h MTBF figure.
+//!
+//! * [`Do160Curve`] — the DO-160 Section 8 random-vibration spectra.
+//! * [`assess_fatigue`] / [`steinberg_allowable_deflection`] —
+//!   Steinberg board-level fatigue on top of the FEM random response.
+//! * [`acceleration_test`] — quasi-static inertial load cases.
+//! * [`ThermalCycleProfile`] / [`SolderAttachment`] — shock profiles and
+//!   Engelmaier solder low-cycle fatigue.
+//! * [`ReliabilityModel`] — Arrhenius parts-count MTBF driven by the
+//!   Level-3 junction temperatures.
+//! * [`QualificationReport`] — the campaign-level pass/fail + margin
+//!   summary.
+//!
+//! # Example
+//!
+//! ```
+//! use aeropack_envqual::Do160Curve;
+//!
+//! let c1 = Do160Curve::C1.psd();
+//! assert!(c1.grms() > 1.5); // a real shake, not a tickle
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acceleration;
+mod error;
+mod mission;
+mod qualification;
+mod reliability;
+mod thermal_cycle;
+mod vibration;
+
+pub use acceleration::{acceleration_test, AccelerationResult};
+pub use error::QualError;
+pub use mission::{MissionProfile, MissionSegment};
+pub use qualification::{QualificationReport, TestOutcome};
+pub use reliability::{Environment, PartGroup, PartKind, ReliabilityModel};
+pub use thermal_cycle::{SolderAttachment, ThermalCycleProfile};
+pub use vibration::{
+    assess_fatigue, steinberg_allowable_deflection, ComponentStyle, Do160Curve, FatigueAssessment,
+};

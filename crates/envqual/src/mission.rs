@@ -1,0 +1,176 @@
+//! Mission-profile fatigue accumulation (Miner's rule): real equipment
+//! does not sit at one vibration level — taxi, take-off, cruise and
+//! landing each contribute their share of damage. The qualification
+//! levels of §IV.A bound the envelope; this module converts a segment
+//! mix into a service life.
+
+use crate::error::QualError;
+
+/// One mission segment: a vibration condition held for a duration, with
+/// the fatigue life the structure would have if exposed to it
+/// continuously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionSegment {
+    /// Segment name ("taxi", "cruise", …).
+    pub name: String,
+    /// Hours per mission spent in this segment.
+    pub hours: f64,
+    /// Continuous-exposure fatigue life at this segment's level, hours
+    /// (from [`crate::assess_fatigue`] at the segment PSD).
+    pub life_at_level_hours: f64,
+}
+
+impl MissionSegment {
+    /// Builds a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive duration or life.
+    pub fn new(
+        name: impl Into<String>,
+        hours: f64,
+        life_at_level_hours: f64,
+    ) -> Result<Self, QualError> {
+        if hours <= 0.0 {
+            return Err(QualError::invalid("hours", "must be positive", hours));
+        }
+        if life_at_level_hours <= 0.0 {
+            return Err(QualError::invalid(
+                "life_at_level_hours",
+                "must be positive",
+                life_at_level_hours,
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            hours,
+            life_at_level_hours,
+        })
+    }
+
+    /// Miner damage fraction accumulated per mission in this segment.
+    pub fn damage_per_mission(&self) -> f64 {
+        self.hours / self.life_at_level_hours
+    }
+}
+
+/// A repeating mission built from segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionProfile {
+    segments: Vec<MissionSegment>,
+}
+
+impl MissionProfile {
+    /// Builds a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty segment list.
+    pub fn new(segments: Vec<MissionSegment>) -> Result<Self, QualError> {
+        if segments.is_empty() {
+            return Err(QualError::invalid(
+                "segments",
+                "profile needs at least one segment",
+                0.0,
+            ));
+        }
+        Ok(Self { segments })
+    }
+
+    /// Mission duration, hours.
+    pub fn mission_hours(&self) -> f64 {
+        self.segments.iter().map(|s| s.hours).sum()
+    }
+
+    /// Miner damage per mission (failure at 1.0 cumulative).
+    pub fn damage_per_mission(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(MissionSegment::damage_per_mission)
+            .sum()
+    }
+
+    /// Missions to failure under Miner's rule.
+    pub fn missions_to_failure(&self) -> f64 {
+        1.0 / self.damage_per_mission()
+    }
+
+    /// Service life in flight hours.
+    pub fn service_life_hours(&self) -> f64 {
+        self.missions_to_failure() * self.mission_hours()
+    }
+
+    /// The segment contributing the most damage per mission.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: construction guarantees at least one segment.
+    pub fn dominant_segment(&self) -> &MissionSegment {
+        self.segments
+            .iter()
+            .max_by(|a, b| {
+                a.damage_per_mission()
+                    .partial_cmp(&b.damage_per_mission())
+                    .expect("finite damage")
+            })
+            .expect("non-empty profile")
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[MissionSegment] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_haul() -> MissionProfile {
+        MissionProfile::new(vec![
+            MissionSegment::new("taxi", 0.3, 2_000.0).unwrap(),
+            MissionSegment::new("takeoff/climb", 0.4, 800.0).unwrap(),
+            MissionSegment::new("cruise", 1.5, 50_000.0).unwrap(),
+            MissionSegment::new("descent/landing", 0.3, 1_500.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_segment_reduces_to_plain_life() {
+        let p =
+            MissionProfile::new(vec![MissionSegment::new("only", 2.0, 10_000.0).unwrap()]).unwrap();
+        assert!((p.missions_to_failure() - 5_000.0).abs() < 1e-9);
+        assert!((p.service_life_hours() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn damage_is_additive() {
+        let p = short_haul();
+        let manual: f64 = 0.3 / 2_000.0 + 0.4 / 800.0 + 1.5 / 50_000.0 + 0.3 / 1_500.0;
+        assert!((p.damage_per_mission() - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn takeoff_dominates_a_short_haul() {
+        // The highest-level/shortest segment usually owns the damage.
+        let p = short_haul();
+        assert_eq!(p.dominant_segment().name, "takeoff/climb");
+    }
+
+    #[test]
+    fn service_life_between_bounding_cases() {
+        // The mixed life must fall between all-cruise and all-takeoff.
+        let p = short_haul();
+        let life = p.service_life_hours();
+        assert!(life > 800.0, "better than continuous take-off: {life}");
+        assert!(life < 50_000.0, "worse than pure cruise: {life}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(MissionSegment::new("x", 0.0, 1.0).is_err());
+        assert!(MissionSegment::new("x", 1.0, 0.0).is_err());
+        assert!(MissionProfile::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Qualification campaign reporting: the pass/fail + margin summary the
+//! paper's test section boils down to ("the seats have been submitted to
+//! all the different tests without damage").
+
+use std::fmt;
+
+/// One qualification test outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Test name (e.g. "linear acceleration 9 g").
+    pub name: String,
+    /// Demonstrated margin (capability / requirement; > 1 passes).
+    pub margin: f64,
+    /// Short description of the governing observation.
+    pub note: String,
+}
+
+impl TestOutcome {
+    /// Creates an outcome.
+    pub fn new(name: impl Into<String>, margin: f64, note: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            margin,
+            note: note.into(),
+        }
+    }
+
+    /// Whether the test passed.
+    pub fn passed(&self) -> bool {
+        self.margin >= 1.0
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {:<38} margin {:>7.2}  {}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.name,
+            self.margin,
+            self.note
+        )
+    }
+}
+
+/// A full qualification campaign over one equipment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualificationReport {
+    outcomes: Vec<TestOutcome>,
+}
+
+impl QualificationReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an outcome.
+    pub fn record(&mut self, outcome: TestOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// All recorded outcomes.
+    pub fn outcomes(&self) -> &[TestOutcome] {
+        &self.outcomes
+    }
+
+    /// Whether every recorded test passed.
+    pub fn all_passed(&self) -> bool {
+        !self.outcomes.is_empty() && self.outcomes.iter().all(TestOutcome::passed)
+    }
+
+    /// The smallest margin in the campaign (`f64::INFINITY` when empty).
+    pub fn worst_margin(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.margin)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for QualificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in &self.outcomes {
+            writeln!(f, "{o}")?;
+        }
+        write!(
+            f,
+            "overall: {} (worst margin {:.2})",
+            if self.all_passed() { "PASS" } else { "FAIL" },
+            self.worst_margin()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_outcomes() {
+        let mut r = QualificationReport::new();
+        r.record(TestOutcome::new(
+            "vibration DO-160 C1",
+            3.5,
+            "fatigue life 9000 h",
+        ));
+        r.record(TestOutcome::new(
+            "linear acceleration 9 g",
+            12.0,
+            "stress margin",
+        ));
+        assert!(r.all_passed());
+        assert!((r.worst_margin() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_failure_fails_campaign() {
+        let mut r = QualificationReport::new();
+        r.record(TestOutcome::new("ok", 2.0, ""));
+        r.record(TestOutcome::new("bad", 0.8, "exceeds limit"));
+        assert!(!r.all_passed());
+    }
+
+    #[test]
+    fn empty_report_is_not_a_pass() {
+        assert!(!QualificationReport::new().all_passed());
+    }
+
+    #[test]
+    fn display_contains_verdicts() {
+        let mut r = QualificationReport::new();
+        r.record(TestOutcome::new("thermal shock", 1.4, "Engelmaier life"));
+        let s = r.to_string();
+        assert!(s.contains("PASS"));
+        assert!(s.contains("thermal shock"));
+    }
+}

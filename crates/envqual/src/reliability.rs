@@ -1,0 +1,351 @@
+//! Part-count reliability prediction with Arrhenius temperature
+//! acceleration — the calculation the paper's Level-3 junction
+//! temperatures feed ("the temperature will be used as an input data for
+//! the safety and reliability calculations. Typical MTBF for aerospace
+//! applications is about 40,000 h").
+//!
+//! The structure follows the MIL-HDBK-217F parts-count method: each part
+//! carries a base failure rate at a reference temperature, multiplied by
+//! an Arrhenius temperature factor and an application-environment
+//! factor; the equipment failure rate is the series sum.
+
+use aeropack_units::Celsius;
+
+use crate::error::QualError;
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617_333_262e-5;
+
+/// Reference junction temperature for the base failure rates, °C.
+const T_REF_C: f64 = 40.0;
+
+/// Part families with base failure rates (in FIT = failures per 10⁹ h,
+/// at 40 °C junction) and activation energies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartKind {
+    /// Complex processor / FPGA.
+    Microprocessor,
+    /// Memory device.
+    Memory,
+    /// Analog / mixed-signal IC.
+    AnalogIc,
+    /// Power transistor or power diode.
+    PowerSemiconductor,
+    /// Small-signal discrete semiconductor.
+    SignalSemiconductor,
+    /// Ceramic capacitor.
+    CeramicCapacitor,
+    /// Aluminium/tantalum electrolytic capacitor.
+    ElectrolyticCapacitor,
+    /// Film or chip resistor.
+    Resistor,
+    /// Magnetics (inductor, transformer).
+    Magnetics,
+    /// Board-to-board or I/O connector.
+    Connector,
+}
+
+impl PartKind {
+    /// Base failure rate at 40 °C, FIT.
+    pub fn base_fit(self) -> f64 {
+        match self {
+            Self::Microprocessor => 40.0,
+            Self::Memory => 20.0,
+            Self::AnalogIc => 15.0,
+            Self::PowerSemiconductor => 30.0,
+            Self::SignalSemiconductor => 4.0,
+            Self::CeramicCapacitor => 1.5,
+            Self::ElectrolyticCapacitor => 15.0,
+            Self::Resistor => 0.75,
+            Self::Magnetics => 5.0,
+            Self::Connector => 8.0,
+        }
+    }
+
+    /// Arrhenius activation energy, eV.
+    pub fn activation_energy(self) -> f64 {
+        match self {
+            Self::Microprocessor | Self::Memory | Self::AnalogIc => 0.55,
+            Self::PowerSemiconductor | Self::SignalSemiconductor => 0.5,
+            Self::ElectrolyticCapacitor => 0.45,
+            Self::CeramicCapacitor => 0.35,
+            Self::Resistor | Self::Magnetics | Self::Connector => 0.25,
+        }
+    }
+
+    /// Arrhenius acceleration factor from the 40 °C reference to a
+    /// junction temperature.
+    pub fn temperature_factor(self, junction: Celsius) -> f64 {
+        let t_ref = Celsius::new(T_REF_C).kelvin();
+        let t = junction.kelvin();
+        (self.activation_energy() / K_B_EV * (1.0 / t_ref - 1.0 / t)).exp()
+    }
+}
+
+/// Application environment multipliers (MIL-HDBK-217F π_E flavour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// Ground benign (lab).
+    GroundBenign,
+    /// Ground mobile.
+    GroundMobile,
+    /// Airborne, inhabited cargo/cabin — the IFE situation.
+    AirborneInhabited,
+    /// Airborne, uninhabited (equipment bay, fighter).
+    AirborneUninhabited,
+    /// Space launch / boost — the Ariane situation.
+    SpaceLaunch,
+}
+
+impl Environment {
+    /// The environment multiplier.
+    pub fn factor(self) -> f64 {
+        match self {
+            Self::GroundBenign => 0.5,
+            Self::GroundMobile => 3.0,
+            Self::AirborneInhabited => 2.0,
+            Self::AirborneUninhabited => 4.0,
+            Self::SpaceLaunch => 6.0,
+        }
+    }
+}
+
+/// One entry of the parts list: a kind, a count and the (analysed)
+/// junction temperature those parts run at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartGroup {
+    /// Part family.
+    pub kind: PartKind,
+    /// Number of such parts.
+    pub count: usize,
+    /// Operating junction temperature from the Level-3 analysis.
+    pub junction: Celsius,
+}
+
+/// A parts-count reliability model of one equipment.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_envqual::{Environment, PartGroup, PartKind, ReliabilityModel};
+/// use aeropack_units::Celsius;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = ReliabilityModel::new(Environment::AirborneInhabited);
+/// model.add(PartGroup {
+///     kind: PartKind::Microprocessor,
+///     count: 2,
+///     junction: Celsius::new(95.0),
+/// })?;
+/// assert!(model.mtbf_hours() > 100_000.0); // two parts only
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliabilityModel {
+    environment: Environment,
+    groups: Vec<PartGroup>,
+}
+
+impl ReliabilityModel {
+    /// Creates an empty model for an environment.
+    pub fn new(environment: Environment) -> Self {
+        Self {
+            environment,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds a group of identical parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero count or an unphysical junction
+    /// temperature.
+    pub fn add(&mut self, group: PartGroup) -> Result<(), QualError> {
+        if group.count == 0 {
+            return Err(QualError::invalid("count", "must be at least 1", 0.0));
+        }
+        if !group.junction.is_physical() {
+            return Err(QualError::invalid(
+                "junction",
+                "must be a physical temperature",
+                group.junction.value(),
+            ));
+        }
+        self.groups.push(group);
+        Ok(())
+    }
+
+    /// Equipment failure rate, failures per hour.
+    pub fn failure_rate_per_hour(&self) -> f64 {
+        let pi_e = self.environment.factor();
+        self.groups
+            .iter()
+            .map(|g| {
+                g.count as f64
+                    * g.kind.base_fit()
+                    * g.kind.temperature_factor(g.junction)
+                    * pi_e
+                    * 1e-9
+            })
+            .sum()
+    }
+
+    /// Mean time between failures, hours (`f64::INFINITY` for an empty
+    /// model).
+    pub fn mtbf_hours(&self) -> f64 {
+        let lambda = self.failure_rate_per_hour();
+        if lambda > 0.0 {
+            1.0 / lambda
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The contribution (fraction of total failure rate) of each group,
+    /// for Pareto reporting.
+    pub fn contributions(&self) -> Vec<(PartKind, f64)> {
+        let total = self.failure_rate_per_hour();
+        let pi_e = self.environment.factor();
+        self.groups
+            .iter()
+            .map(|g| {
+                let lam = g.count as f64
+                    * g.kind.base_fit()
+                    * g.kind.temperature_factor(g.junction)
+                    * pi_e
+                    * 1e-9;
+                (g.kind, if total > 0.0 { lam / total } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// A representative avionics computer module: a processor complex,
+    /// memory bank, power stage and the passives around them, with all
+    /// junction temperatures set to `junction`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates add errors (cannot occur for these values).
+    pub fn typical_avionics_module(
+        environment: Environment,
+        junction: Celsius,
+    ) -> Result<Self, QualError> {
+        let mut model = Self::new(environment);
+        for (kind, count) in [
+            (PartKind::Microprocessor, 2),
+            (PartKind::Memory, 8),
+            (PartKind::AnalogIc, 12),
+            (PartKind::PowerSemiconductor, 6),
+            (PartKind::SignalSemiconductor, 40),
+            (PartKind::CeramicCapacitor, 220),
+            (PartKind::ElectrolyticCapacitor, 8),
+            (PartKind::Resistor, 320),
+            (PartKind::Magnetics, 6),
+            (PartKind::Connector, 4),
+        ] {
+            model.add(PartGroup {
+                kind,
+                count,
+                junction,
+            })?;
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrhenius_factor_grows_with_temperature() {
+        let k = PartKind::Microprocessor;
+        let f60 = k.temperature_factor(Celsius::new(60.0));
+        let f100 = k.temperature_factor(Celsius::new(100.0));
+        assert!(f60 > 1.0);
+        assert!(f100 > 2.0 * f60);
+        // At the reference, exactly 1.
+        assert!((k.temperature_factor(Celsius::new(40.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typical_module_hits_paper_mtbf_ballpark() {
+        // "Typical MTBF for aerospace applications is about 40,000 h":
+        // our representative module at a warm 85 °C junction in an
+        // airborne environment lands in that decade.
+        let model = ReliabilityModel::typical_avionics_module(
+            Environment::AirborneInhabited,
+            Celsius::new(85.0),
+        )
+        .unwrap();
+        let mtbf = model.mtbf_hours();
+        assert!(
+            mtbf > 15_000.0 && mtbf < 150_000.0,
+            "module MTBF = {mtbf:.0} h"
+        );
+    }
+
+    #[test]
+    fn cooler_junctions_give_longer_mtbf() {
+        let hot = ReliabilityModel::typical_avionics_module(
+            Environment::AirborneInhabited,
+            Celsius::new(110.0),
+        )
+        .unwrap();
+        let cool = ReliabilityModel::typical_avionics_module(
+            Environment::AirborneInhabited,
+            Celsius::new(70.0),
+        )
+        .unwrap();
+        assert!(cool.mtbf_hours() > 1.8 * hot.mtbf_hours());
+    }
+
+    #[test]
+    fn harsher_environment_shortens_mtbf() {
+        let t = Celsius::new(85.0);
+        let cabin =
+            ReliabilityModel::typical_avionics_module(Environment::AirborneInhabited, t).unwrap();
+        let launch =
+            ReliabilityModel::typical_avionics_module(Environment::SpaceLaunch, t).unwrap();
+        let ratio = cabin.mtbf_hours() / launch.mtbf_hours();
+        assert!((ratio - 3.0).abs() < 1e-9, "π_E ratio 6/2: {ratio}");
+    }
+
+    #[test]
+    fn contributions_sum_to_one() {
+        let model = ReliabilityModel::typical_avionics_module(
+            Environment::AirborneInhabited,
+            Celsius::new(85.0),
+        )
+        .unwrap();
+        let total: f64 = model.contributions().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model_is_infinite() {
+        let model = ReliabilityModel::new(Environment::GroundBenign);
+        assert_eq!(model.mtbf_hours(), f64::INFINITY);
+    }
+
+    #[test]
+    fn invalid_groups_rejected() {
+        let mut model = ReliabilityModel::new(Environment::GroundBenign);
+        assert!(model
+            .add(PartGroup {
+                kind: PartKind::Resistor,
+                count: 0,
+                junction: Celsius::new(50.0),
+            })
+            .is_err());
+        assert!(model
+            .add(PartGroup {
+                kind: PartKind::Resistor,
+                count: 1,
+                junction: Celsius::new(-400.0),
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Thermal-shock profiles and solder-joint low-cycle fatigue
+//! (Engelmaier model) — the paper's "thermal shock (−45 °C/+55 °C,
+//! 5 °C/min)" qualification case.
+
+use aeropack_units::{Celsius, Length, TempRate};
+
+use crate::error::QualError;
+
+/// A thermal shock / thermal cycling test profile.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_envqual::ThermalCycleProfile;
+/// use aeropack_units::{Celsius, TempRate};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let shock = ThermalCycleProfile::new(
+///     Celsius::new(-45.0), Celsius::new(55.0),
+///     TempRate::per_minute(5.0), 900.0)?;
+/// assert!((shock.delta().kelvin() - 100.0).abs() < 1e-12);
+/// assert!((shock.cycle_duration_seconds() - 2.0 * (1200.0 + 900.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCycleProfile {
+    cold: Celsius,
+    hot: Celsius,
+    ramp: TempRate,
+    dwell_seconds: f64,
+}
+
+impl ThermalCycleProfile {
+    /// Builds a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `hot ≤ cold`, the ramp is non-positive, or
+    /// the dwell is negative.
+    pub fn new(
+        cold: Celsius,
+        hot: Celsius,
+        ramp: TempRate,
+        dwell_seconds: f64,
+    ) -> Result<Self, QualError> {
+        if hot.value() <= cold.value() {
+            return Err(QualError::invalid(
+                "hot",
+                "must exceed the cold extreme",
+                hot.value(),
+            ));
+        }
+        if ramp.value() <= 0.0 {
+            return Err(QualError::invalid("ramp", "must be positive", ramp.value()));
+        }
+        if dwell_seconds < 0.0 {
+            return Err(QualError::invalid(
+                "dwell_seconds",
+                "cannot be negative",
+                dwell_seconds,
+            ));
+        }
+        Ok(Self {
+            cold,
+            hot,
+            ramp,
+            dwell_seconds,
+        })
+    }
+
+    /// The paper's shock profile: −45 °C/+55 °C at 5 °C/min with a
+    /// 15-minute dwell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn date2010_shock() -> Result<Self, QualError> {
+        Self::new(
+            Celsius::new(-45.0),
+            Celsius::new(55.0),
+            TempRate::per_minute(5.0),
+            900.0,
+        )
+    }
+
+    /// Temperature swing of one cycle.
+    pub fn delta(&self) -> aeropack_units::TempDelta {
+        self.hot - self.cold
+    }
+
+    /// Cold extreme.
+    pub fn cold(&self) -> Celsius {
+        self.cold
+    }
+
+    /// Hot extreme.
+    pub fn hot(&self) -> Celsius {
+        self.hot
+    }
+
+    /// Mean cyclic temperature (enters the Engelmaier exponent).
+    pub fn mean(&self) -> Celsius {
+        Celsius::new(0.5 * (self.cold.value() + self.hot.value()))
+    }
+
+    /// Full cycle duration: two ramps + two dwells, seconds.
+    pub fn cycle_duration_seconds(&self) -> f64 {
+        2.0 * (self.delta() / self.ramp) + 2.0 * self.dwell_seconds
+    }
+
+    /// Temperature at time `t` seconds into the cycle (starting at the
+    /// cold dwell end, ramping up first).
+    pub fn temperature_at(&self, t_seconds: f64) -> Celsius {
+        let ramp_time = self.delta() / self.ramp;
+        let period = self.cycle_duration_seconds();
+        let t = t_seconds.rem_euclid(period);
+        if t < ramp_time {
+            self.cold + aeropack_units::TempDelta::new(self.ramp.value() * t)
+        } else if t < ramp_time + self.dwell_seconds {
+            self.hot
+        } else if t < 2.0 * ramp_time + self.dwell_seconds {
+            self.hot
+                - aeropack_units::TempDelta::new(
+                    self.ramp.value() * (t - ramp_time - self.dwell_seconds),
+                )
+        } else {
+            self.cold
+        }
+    }
+}
+
+/// A solder attachment between a component and a board with a CTE
+/// mismatch, assessed with the Engelmaier low-cycle fatigue model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolderAttachment {
+    /// Distance from the neutral point (half the component diagonal).
+    pub neutral_distance: Length,
+    /// Solder joint height.
+    pub joint_height: Length,
+    /// Component CTE, 1/K.
+    pub component_cte: f64,
+    /// Board CTE, 1/K.
+    pub board_cte: f64,
+}
+
+impl SolderAttachment {
+    /// A leadless ceramic component on FR-4 — the classic worst case.
+    pub fn ceramic_on_fr4(body_diagonal_half: Length, joint_height: Length) -> Self {
+        Self {
+            neutral_distance: body_diagonal_half,
+            joint_height,
+            component_cte: 6.5e-6,
+            board_cte: 15.0e-6,
+        }
+    }
+
+    /// Cyclic shear-strain range `Δγ = C·L_D·|Δα|·ΔT / h` with the
+    /// conventional distribution factor C = 0.5 for stiff leadless
+    /// attachments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate geometry.
+    pub fn shear_strain_range(&self, profile: &ThermalCycleProfile) -> Result<f64, QualError> {
+        if self.neutral_distance.value() <= 0.0 || self.joint_height.value() <= 0.0 {
+            return Err(QualError::invalid(
+                "attachment",
+                "geometry must be positive",
+                self.neutral_distance.value().min(self.joint_height.value()),
+            ));
+        }
+        let d_alpha = (self.component_cte - self.board_cte).abs();
+        Ok(
+            0.5 * self.neutral_distance.value() * d_alpha * profile.delta().kelvin()
+                / self.joint_height.value(),
+        )
+    }
+
+    /// Engelmaier cycles-to-failure:
+    /// `N_f = ½·(Δγ / 2ε_f)^(1/c)` with `ε_f = 0.325` and
+    /// `c = −0.442 − 6·10⁻⁴·T_sj + 1.74·10⁻²·ln(1+f)` where `T_sj` is
+    /// the mean cyclic solder temperature (°C) and `f` the cycle
+    /// frequency in cycles/day.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate geometry.
+    pub fn cycles_to_failure(&self, profile: &ThermalCycleProfile) -> Result<f64, QualError> {
+        let d_gamma = self.shear_strain_range(profile)?;
+        let t_sj = profile.mean().value();
+        let cycles_per_day = 86_400.0 / profile.cycle_duration_seconds();
+        let c = -0.442 - 6.0e-4 * t_sj + 1.74e-2 * (1.0 + cycles_per_day).ln();
+        let eps_f = 0.325;
+        Ok(0.5 * (d_gamma / (2.0 * eps_f)).powf(1.0 / c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attachment() -> SolderAttachment {
+        SolderAttachment::ceramic_on_fr4(
+            Length::from_millimeters(8.0),
+            Length::from_micrometers(120.0),
+        )
+    }
+
+    #[test]
+    fn profile_timing_matches_paper() {
+        // 100 K at 5 K/min = 20 min per ramp.
+        let p = ThermalCycleProfile::date2010_shock().unwrap();
+        assert!((p.delta().kelvin() - 100.0).abs() < 1e-12);
+        let ramp = p.delta() / TempRate::per_minute(5.0);
+        assert!((ramp - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_waveform_hits_extremes() {
+        let p = ThermalCycleProfile::date2010_shock().unwrap();
+        let ramp = 1200.0;
+        // End of up-ramp → hot.
+        assert!((p.temperature_at(ramp).value() - 55.0).abs() < 1e-9);
+        // Mid up-ramp → mean.
+        assert!((p.temperature_at(ramp / 2.0).value() - 5.0).abs() < 1e-9);
+        // During hot dwell.
+        assert!((p.temperature_at(ramp + 100.0).value() - 55.0).abs() < 1e-9);
+        // Final cold dwell.
+        let period = p.cycle_duration_seconds();
+        assert!((p.temperature_at(period - 1.0).value() + 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_swing_shortens_life() {
+        let a = attachment();
+        let mild = ThermalCycleProfile::new(
+            Celsius::new(0.0),
+            Celsius::new(60.0),
+            TempRate::per_minute(5.0),
+            600.0,
+        )
+        .unwrap();
+        let harsh = ThermalCycleProfile::new(
+            Celsius::new(-55.0),
+            Celsius::new(125.0),
+            TempRate::per_minute(5.0),
+            600.0,
+        )
+        .unwrap();
+        let n_mild = a.cycles_to_failure(&mild).unwrap();
+        let n_harsh = a.cycles_to_failure(&harsh).unwrap();
+        assert!(n_mild > 5.0 * n_harsh, "{n_mild} vs {n_harsh}");
+    }
+
+    #[test]
+    fn life_magnitude_is_credible() {
+        // A leadless ceramic part over the paper's shock profile:
+        // hundreds to tens of thousands of cycles, not millions.
+        let n = attachment()
+            .cycles_to_failure(&ThermalCycleProfile::date2010_shock().unwrap())
+            .unwrap();
+        assert!(n > 100.0 && n < 1.0e6, "N_f = {n}");
+    }
+
+    #[test]
+    fn taller_joints_live_longer() {
+        let p = ThermalCycleProfile::date2010_shock().unwrap();
+        let short = SolderAttachment::ceramic_on_fr4(
+            Length::from_millimeters(8.0),
+            Length::from_micrometers(80.0),
+        );
+        let tall = SolderAttachment::ceramic_on_fr4(
+            Length::from_millimeters(8.0),
+            Length::from_micrometers(200.0),
+        );
+        assert!(tall.cycles_to_failure(&p).unwrap() > short.cycles_to_failure(&p).unwrap());
+    }
+
+    #[test]
+    fn invalid_profiles() {
+        assert!(ThermalCycleProfile::new(
+            Celsius::new(50.0),
+            Celsius::new(-10.0),
+            TempRate::per_minute(5.0),
+            0.0
+        )
+        .is_err());
+        assert!(ThermalCycleProfile::new(
+            Celsius::new(-10.0),
+            Celsius::new(50.0),
+            TempRate::ZERO,
+            0.0
+        )
+        .is_err());
+    }
+}

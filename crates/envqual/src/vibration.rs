@@ -1,0 +1,319 @@
+//! DO-160 random-vibration spectra and the Steinberg fatigue check.
+//!
+//! The COSEE seats were vibration-tested "according to DO160 Curve C1";
+//! this module encodes the standard's curve shapes (engineering
+//! approximations of the Section 8 tables) and evaluates component
+//! fatigue life with Steinberg's three-band method on top of the FEM
+//! random-response results.
+
+use aeropack_fem::{PsdCurve, RandomResponse};
+use aeropack_units::{AccelPsd, Frequency, Length};
+
+use crate::error::QualError;
+
+/// DO-160 Section 8 random-vibration test curves (standard fixed-wing
+/// categories, encoded as breakpoint approximations of the published
+/// tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Do160Curve {
+    /// Curve B1 — low-vibration zones (equipment bays, pressurised
+    /// cabin).
+    B1,
+    /// Curve C — standard turbojet fuselage equipment.
+    C,
+    /// Curve C1 — the COSEE seat test level (cabin-mounted equipment,
+    /// turbofan).
+    C1,
+    /// Curve D — higher-level zones (near engines).
+    D,
+}
+
+impl Do160Curve {
+    /// The curve as a piecewise log-log PSD.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the encoded breakpoints are statically valid.
+    pub fn psd(self) -> PsdCurve {
+        let pts = |v: &[(f64, f64)]| {
+            PsdCurve::new(
+                v.iter()
+                    .map(|&(f, p)| (Frequency::new(f), AccelPsd::new(p)))
+                    .collect(),
+            )
+            .expect("static DO-160 breakpoints are valid")
+        };
+        match self {
+            Self::B1 => pts(&[
+                (10.0, 0.0005),
+                (40.0, 0.002),
+                (500.0, 0.002),
+                (2000.0, 0.0002),
+            ]),
+            Self::C => pts(&[
+                (10.0, 0.0012),
+                (40.0, 0.012),
+                (500.0, 0.012),
+                (2000.0, 0.0012),
+            ]),
+            Self::C1 => pts(&[
+                (10.0, 0.0008),
+                (40.0, 0.008),
+                (500.0, 0.008),
+                (2000.0, 0.0008),
+            ]),
+            Self::D => pts(&[(10.0, 0.002), (40.0, 0.02), (2000.0, 0.02)]),
+        }
+    }
+
+    /// Overall input level in g RMS.
+    pub fn grms(self) -> f64 {
+        self.psd().grms()
+    }
+}
+
+/// Component families for the Steinberg board-level fatigue constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentStyle {
+    /// Dual-inline / axial leaded parts.
+    LeadedDip,
+    /// Small-outline / gull-wing surface mount.
+    SmtGullWing,
+    /// Leadless chip carriers and chip passives.
+    Leadless,
+    /// Ball-grid arrays.
+    Bga,
+}
+
+impl ComponentStyle {
+    /// Steinberg component constant `c`.
+    pub fn steinberg_constant(self) -> f64 {
+        match self {
+            Self::LeadedDip => 1.0,
+            Self::SmtGullWing => 1.0,
+            Self::Leadless => 1.26,
+            Self::Bga => 1.75,
+        }
+    }
+}
+
+/// Steinberg's allowable 3σ board deflection for 20-million-cycle
+/// component life:
+/// `Z₃σ = 0.00022·B / (c·h·r·√L)` (inch units internally).
+///
+/// * `board_edge` — board edge length parallel to the component,
+/// * `board_thickness` — PCB thickness,
+/// * `component_length` — component body length,
+/// * `position_factor` — 1.0 at the board centre, up to ~2 near a
+///   supported edge (less curvature),
+/// * `style` — component family.
+///
+/// # Errors
+///
+/// Returns an error for non-positive dimensions or position factor.
+pub fn steinberg_allowable_deflection(
+    board_edge: Length,
+    board_thickness: Length,
+    component_length: Length,
+    position_factor: f64,
+    style: ComponentStyle,
+) -> Result<Length, QualError> {
+    for (name, v) in [
+        ("board_edge", board_edge.value()),
+        ("board_thickness", board_thickness.value()),
+        ("component_length", component_length.value()),
+        ("position_factor", position_factor),
+    ] {
+        if v <= 0.0 {
+            return Err(QualError::invalid(name, "must be strictly positive", v));
+        }
+    }
+    const M_TO_IN: f64 = 39.370_078_74;
+    let b_in = board_edge.value() * M_TO_IN;
+    let h_in = board_thickness.value() * M_TO_IN;
+    let l_in = component_length.value() * M_TO_IN;
+    let z_in = 0.00022 * b_in / (style.steinberg_constant() * h_in * position_factor * l_in.sqrt());
+    Ok(Length::new(z_in / M_TO_IN))
+}
+
+/// The fatigue assessment of one component location under a random
+/// vibration response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatigueAssessment {
+    /// Actual 3σ board deflection at the component.
+    pub deflection_3sigma: Length,
+    /// Steinberg's allowable 3σ deflection for 20 M cycles.
+    pub allowable_3sigma: Length,
+    /// Predicted life in hours of continued exposure.
+    pub life_hours: f64,
+    /// Margin = allowable/actual (>1 passes the 20 M-cycle criterion).
+    pub margin: f64,
+}
+
+impl FatigueAssessment {
+    /// Whether the location meets the Steinberg 20-million-cycle
+    /// criterion outright.
+    pub fn passes(&self) -> bool {
+        self.margin >= 1.0
+    }
+}
+
+/// Evaluates Steinberg fatigue at a component location from the FEM
+/// random response (RMS relative displacement + characteristic
+/// frequency) using the inverse-power fatigue law with exponent 6.4
+/// (solder/lead alloys).
+///
+/// # Errors
+///
+/// Returns an error for invalid Steinberg geometry.
+pub fn assess_fatigue(
+    response: &RandomResponse,
+    board_edge: Length,
+    board_thickness: Length,
+    component_length: Length,
+    position_factor: f64,
+    style: ComponentStyle,
+) -> Result<FatigueAssessment, QualError> {
+    let allowable = steinberg_allowable_deflection(
+        board_edge,
+        board_thickness,
+        component_length,
+        position_factor,
+        style,
+    )?;
+    let actual = Length::new(3.0 * response.disp_rms);
+    let margin = if actual.value() > 0.0 {
+        allowable.value() / actual.value()
+    } else {
+        f64::INFINITY
+    };
+    // N = 20e6 · margin^6.4 cycles at the characteristic frequency.
+    let cycles = 20.0e6 * margin.powf(6.4);
+    let rate = response.characteristic_frequency.value().max(1e-9);
+    let life_hours = cycles / (rate * 3600.0);
+    Ok(FatigueAssessment {
+        deflection_3sigma: actual,
+        allowable_3sigma: allowable,
+        life_hours,
+        margin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_levels_are_ordered() {
+        assert!(Do160Curve::B1.grms() < Do160Curve::C1.grms());
+        assert!(Do160Curve::C1.grms() < Do160Curve::C.grms());
+        assert!(Do160Curve::C.grms() < Do160Curve::D.grms());
+    }
+
+    #[test]
+    fn curve_c_magnitude() {
+        // DO-160 curve C overall level is a few g RMS.
+        let g = Do160Curve::C.grms();
+        assert!(g > 2.0 && g < 5.0, "curve C grms = {g}");
+    }
+
+    #[test]
+    fn steinberg_textbook_example() {
+        // Steinberg's classic: 8 in board, 0.08 in thick, 2 in DIP at
+        // centre → Z_allow = 0.00022·8/(1·0.08·1·√2) ≈ 0.0156 in.
+        let z = steinberg_allowable_deflection(
+            Length::new(8.0 * 0.0254),
+            Length::new(0.08 * 0.0254),
+            Length::new(2.0 * 0.0254),
+            1.0,
+            ComponentStyle::LeadedDip,
+        )
+        .unwrap();
+        let z_in = z.value() / 0.0254;
+        assert!((z_in - 0.01556).abs() < 2e-4, "Z = {z_in} in");
+    }
+
+    #[test]
+    fn bga_is_stricter_than_dip() {
+        let args = (
+            Length::new(0.2),
+            Length::from_millimeters(1.6),
+            Length::from_millimeters(30.0),
+        );
+        let dip =
+            steinberg_allowable_deflection(args.0, args.1, args.2, 1.0, ComponentStyle::LeadedDip)
+                .unwrap();
+        let bga = steinberg_allowable_deflection(args.0, args.1, args.2, 1.0, ComponentStyle::Bga)
+            .unwrap();
+        assert!(bga.value() < dip.value());
+    }
+
+    #[test]
+    fn fatigue_life_scales_with_power_law() {
+        use aeropack_fem::RandomResponse;
+        let mk = |disp: f64| RandomResponse {
+            accel_grms: 5.0,
+            disp_rms: disp,
+            characteristic_frequency: Frequency::new(200.0),
+        };
+        let geo = (
+            Length::new(0.2),
+            Length::from_millimeters(1.6),
+            Length::from_millimeters(20.0),
+        );
+        let a = assess_fatigue(
+            &mk(20e-6),
+            geo.0,
+            geo.1,
+            geo.2,
+            1.0,
+            ComponentStyle::SmtGullWing,
+        )
+        .unwrap();
+        let b = assess_fatigue(
+            &mk(40e-6),
+            geo.0,
+            geo.1,
+            geo.2,
+            1.0,
+            ComponentStyle::SmtGullWing,
+        )
+        .unwrap();
+        // Doubling deflection divides life by 2^6.4 ≈ 84.
+        let ratio = a.life_hours / b.life_hours;
+        assert!((ratio - 2f64.powf(6.4)).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn low_response_passes_with_long_life() {
+        use aeropack_fem::RandomResponse;
+        let resp = RandomResponse {
+            accel_grms: 2.0,
+            disp_rms: 5e-6,
+            characteristic_frequency: Frequency::new(300.0),
+        };
+        let a = assess_fatigue(
+            &resp,
+            Length::new(0.2),
+            Length::from_millimeters(2.0),
+            Length::from_millimeters(15.0),
+            1.0,
+            ComponentStyle::SmtGullWing,
+        )
+        .unwrap();
+        assert!(a.passes());
+        assert!(a.life_hours > 1e4, "life = {} h", a.life_hours);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(steinberg_allowable_deflection(
+            Length::ZERO,
+            Length::from_millimeters(1.6),
+            Length::from_millimeters(10.0),
+            1.0,
+            ComponentStyle::LeadedDip,
+        )
+        .is_err());
+    }
+}

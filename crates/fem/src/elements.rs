@@ -1,0 +1,513 @@
+//! Element stiffness and mass matrices.
+//!
+//! Node DOF convention throughout the crate: each node carries three
+//! out-of-plane bending DOFs `(w, ∂w/∂x, ∂w/∂y)`. This makes the plate,
+//! beam and spring elements directly compatible.
+
+use aeropack_materials::Material;
+use aeropack_units::Length;
+
+use crate::error::FemError;
+use crate::linalg::{DMatrix, Lu};
+
+/// Gauss–Legendre points and weights on `[-1, 1]`.
+const GAUSS_5: [(f64, f64); 5] = [
+    (-0.906_179_845_938_664, 0.236_926_885_056_189),
+    (-0.538_469_310_105_683, 0.478_628_670_499_366),
+    (0.0, 0.568_888_888_888_889),
+    (0.538_469_310_105_683, 0.478_628_670_499_366),
+    (0.906_179_845_938_664, 0.236_926_885_056_189),
+];
+
+/// Bending properties of a thin plate panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateProperties {
+    /// Young's modulus, Pa.
+    pub youngs_modulus: f64,
+    /// Poisson's ratio.
+    pub poisson_ratio: f64,
+    /// Plate thickness, m.
+    pub thickness: f64,
+    /// Mass per unit area, kg/m² (density × thickness plus any smeared
+    /// component mass).
+    pub areal_mass: f64,
+}
+
+impl PlateProperties {
+    /// Builds plate properties from a material and thickness.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the thickness is not strictly positive.
+    pub fn from_material(material: &Material, thickness: Length) -> Result<Self, FemError> {
+        if thickness.value() <= 0.0 {
+            return Err(FemError::invalid("plate thickness must be positive"));
+        }
+        Ok(Self {
+            youngs_modulus: material.youngs_modulus.value(),
+            poisson_ratio: material.poisson_ratio,
+            thickness: thickness.value(),
+            areal_mass: material.density.value() * thickness.value(),
+        })
+    }
+
+    /// Adds non-structural smeared mass (components, conformal coat),
+    /// kg/m².
+    pub fn with_smeared_mass(mut self, extra_areal_mass: f64) -> Self {
+        self.areal_mass += extra_areal_mass;
+        self
+    }
+
+    /// Flexural rigidity `D = E·t³ / 12(1−ν²)`, N·m.
+    pub fn flexural_rigidity(&self) -> f64 {
+        self.youngs_modulus * self.thickness.powi(3) / (12.0 * (1.0 - self.poisson_ratio.powi(2)))
+    }
+}
+
+/// Basis evaluation: `(p, px, py, pxx, pyy, pxy)` arrays of the 12 terms.
+type BasisEval = (
+    [f64; 12],
+    [f64; 12],
+    [f64; 12],
+    [f64; 12],
+    [f64; 12],
+    [f64; 12],
+);
+
+/// The 12-term polynomial basis of the ACM rectangle, evaluated at
+/// `(x, y)`: value, first and second derivatives.
+fn basis(x: f64, y: f64) -> BasisEval {
+    let p = [
+        1.0,
+        x,
+        y,
+        x * x,
+        x * y,
+        y * y,
+        x * x * x,
+        x * x * y,
+        x * y * y,
+        y * y * y,
+        x * x * x * y,
+        x * y * y * y,
+    ];
+    let px = [
+        0.0,
+        1.0,
+        0.0,
+        2.0 * x,
+        y,
+        0.0,
+        3.0 * x * x,
+        2.0 * x * y,
+        y * y,
+        0.0,
+        3.0 * x * x * y,
+        y * y * y,
+    ];
+    let py = [
+        0.0,
+        0.0,
+        1.0,
+        0.0,
+        x,
+        2.0 * y,
+        0.0,
+        x * x,
+        2.0 * x * y,
+        3.0 * y * y,
+        x * x * x,
+        3.0 * x * y * y,
+    ];
+    let pxx = [
+        0.0,
+        0.0,
+        0.0,
+        2.0,
+        0.0,
+        0.0,
+        6.0 * x,
+        2.0 * y,
+        0.0,
+        0.0,
+        6.0 * x * y,
+        0.0,
+    ];
+    let pyy = [
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        2.0,
+        0.0,
+        0.0,
+        2.0 * x,
+        6.0 * y,
+        0.0,
+        6.0 * x * y,
+    ];
+    let pxy = [
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+        1.0,
+        0.0,
+        0.0,
+        2.0 * x,
+        2.0 * y,
+        0.0,
+        3.0 * x * x,
+        3.0 * y * y,
+    ];
+    (p, px, py, pxx, pyy, pxy)
+}
+
+/// Stiffness and consistent mass of an ACM (Adini–Clough–Melosh)
+/// rectangular plate-bending element of size `a × b`.
+///
+/// The node order is counter-clockwise from the local origin:
+/// `(0,0), (a,0), (a,b), (0,b)`; the 12 DOFs are
+/// `(w, ∂w/∂x, ∂w/∂y)` at each node.
+///
+/// # Errors
+///
+/// Returns an error if the element geometry is degenerate.
+pub fn acm_plate(a: f64, b: f64, props: &PlateProperties) -> Result<(DMatrix, DMatrix), FemError> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(FemError::invalid("plate element sides must be positive"));
+    }
+    // Map polynomial coefficients to nodal DOFs.
+    let corners = [(0.0, 0.0), (a, 0.0), (a, b), (0.0, b)];
+    let mut amat = DMatrix::zeros(12, 12);
+    for (node, &(x, y)) in corners.iter().enumerate() {
+        let (p, px, py, ..) = basis(x, y);
+        for j in 0..12 {
+            amat[(3 * node, j)] = p[j];
+            amat[(3 * node + 1, j)] = px[j];
+            amat[(3 * node + 2, j)] = py[j];
+        }
+    }
+    let ainv = Lu::factor(&amat)
+        .map_err(|_| FemError::invalid("degenerate ACM element geometry"))?
+        .inverse();
+
+    // Bending rigidity matrix.
+    let d0 = props.flexural_rigidity();
+    let nu = props.poisson_ratio;
+    let d = [
+        [d0, d0 * nu, 0.0],
+        [d0 * nu, d0, 0.0],
+        [0.0, 0.0, d0 * (1.0 - nu) / 2.0],
+    ];
+
+    // Integrate K_poly and M_poly by 5×5 Gauss quadrature.
+    let mut k_poly = DMatrix::zeros(12, 12);
+    let mut m_poly = DMatrix::zeros(12, 12);
+    for &(gx, wx) in &GAUSS_5 {
+        let x = 0.5 * a * (gx + 1.0);
+        for &(gy, wy) in &GAUSS_5 {
+            let y = 0.5 * b * (gy + 1.0);
+            let w = wx * wy * 0.25 * a * b;
+            let (p, _, _, pxx, pyy, pxy) = basis(x, y);
+            // Curvature rows: [pxx; pyy; 2 pxy].
+            for i in 0..12 {
+                let bi = [pxx[i], pyy[i], 2.0 * pxy[i]];
+                for j in 0..12 {
+                    let bj = [pxx[j], pyy[j], 2.0 * pxy[j]];
+                    let mut kij = 0.0;
+                    for r in 0..3 {
+                        for s in 0..3 {
+                            kij += bi[r] * d[r][s] * bj[s];
+                        }
+                    }
+                    k_poly[(i, j)] += w * kij;
+                    m_poly[(i, j)] += w * props.areal_mass * p[i] * p[j];
+                }
+            }
+        }
+    }
+
+    // Transform to nodal DOFs: K = A⁻ᵀ K_poly A⁻¹.
+    let k = ainv.t_matmul(&k_poly.matmul(&ainv));
+    let m = ainv.t_matmul(&m_poly.matmul(&ainv));
+    Ok((k, m))
+}
+
+/// Maximum surface bending stress of an ACM element at its centre,
+/// recovered from the nodal DOF vector `u_e` (12 entries in element
+/// order): curvatures from the basis second derivatives, moments
+/// through the plate rigidity, and `σ = 6·M/t²` at the outer fibre.
+/// Returns the von-Mises-style equivalent of the two bending stresses
+/// plus twist.
+///
+/// # Errors
+///
+/// Returns an error for degenerate geometry or a wrong-length vector.
+pub fn acm_plate_center_stress(
+    a: f64,
+    b: f64,
+    props: &PlateProperties,
+    u_e: &[f64],
+) -> Result<f64, FemError> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(FemError::invalid("plate element sides must be positive"));
+    }
+    if u_e.len() != 12 {
+        return Err(FemError::invalid("element DOF vector must have 12 entries"));
+    }
+    // Coefficients from nodal DOFs.
+    let corners = [(0.0, 0.0), (a, 0.0), (a, b), (0.0, b)];
+    let mut amat = DMatrix::zeros(12, 12);
+    for (node, &(x, y)) in corners.iter().enumerate() {
+        let (p, px, py, ..) = basis(x, y);
+        for j in 0..12 {
+            amat[(3 * node, j)] = p[j];
+            amat[(3 * node + 1, j)] = px[j];
+            amat[(3 * node + 2, j)] = py[j];
+        }
+    }
+    let c = Lu::factor(&amat)
+        .map_err(|_| FemError::invalid("degenerate ACM element geometry"))?
+        .solve(u_e);
+    // Curvatures at the element centre.
+    let (_, _, _, pxx, pyy, pxy) = basis(0.5 * a, 0.5 * b);
+    let kxx: f64 = (0..12).map(|j| pxx[j] * c[j]).sum();
+    let kyy: f64 = (0..12).map(|j| pyy[j] * c[j]).sum();
+    let kxy: f64 = (0..12).map(|j| 2.0 * pxy[j] * c[j]).sum();
+    // Moments per unit width and outer-fibre stresses.
+    let d0 = props.flexural_rigidity();
+    let nu = props.poisson_ratio;
+    let mx = d0 * (kxx + nu * kyy);
+    let my = d0 * (kyy + nu * kxx);
+    let mxy = d0 * (1.0 - nu) / 2.0 * kxy;
+    let t2 = props.thickness * props.thickness;
+    let sx = 6.0 * mx / t2;
+    let sy = 6.0 * my / t2;
+    let sxy = 6.0 * mxy / t2;
+    Ok((sx * sx - sx * sy + sy * sy + 3.0 * sxy * sxy).sqrt())
+}
+
+/// Properties of a prismatic bending beam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamProperties {
+    /// Young's modulus, Pa.
+    pub youngs_modulus: f64,
+    /// Second moment of area, m⁴.
+    pub second_moment: f64,
+    /// Mass per unit length, kg/m.
+    pub linear_mass: f64,
+}
+
+impl BeamProperties {
+    /// Rectangular cross-section `width × height` bending about the
+    /// width axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-positive dimensions.
+    pub fn rectangular(
+        material: &Material,
+        width: Length,
+        height: Length,
+    ) -> Result<Self, FemError> {
+        if width.value() <= 0.0 || height.value() <= 0.0 {
+            return Err(FemError::invalid(
+                "beam section dimensions must be positive",
+            ));
+        }
+        let area = width.value() * height.value();
+        Ok(Self {
+            youngs_modulus: material.youngs_modulus.value(),
+            second_moment: width.value() * height.value().powi(3) / 12.0,
+            linear_mass: material.density.value() * area,
+        })
+    }
+}
+
+/// Stiffness and consistent mass of a 2-node Euler–Bernoulli bending
+/// element of length `l`. DOFs: `(w₁, θ₁, w₂, θ₂)` with `θ = ∂w/∂s`
+/// along the beam axis.
+///
+/// # Errors
+///
+/// Returns an error if the length is not strictly positive.
+pub fn bernoulli_beam(l: f64, props: &BeamProperties) -> Result<(DMatrix, DMatrix), FemError> {
+    if l <= 0.0 {
+        return Err(FemError::invalid("beam element length must be positive"));
+    }
+    let ei = props.youngs_modulus * props.second_moment;
+    let c = ei / l.powi(3);
+    let k = DMatrix::from_rows(
+        4,
+        4,
+        vec![
+            12.0 * c,
+            6.0 * c * l,
+            -12.0 * c,
+            6.0 * c * l,
+            6.0 * c * l,
+            4.0 * c * l * l,
+            -6.0 * c * l,
+            2.0 * c * l * l,
+            -12.0 * c,
+            -6.0 * c * l,
+            12.0 * c,
+            -6.0 * c * l,
+            6.0 * c * l,
+            2.0 * c * l * l,
+            -6.0 * c * l,
+            4.0 * c * l * l,
+        ],
+    );
+    let mc = props.linear_mass * l / 420.0;
+    let m = DMatrix::from_rows(
+        4,
+        4,
+        vec![
+            156.0 * mc,
+            22.0 * l * mc,
+            54.0 * mc,
+            -13.0 * l * mc,
+            22.0 * l * mc,
+            4.0 * l * l * mc,
+            13.0 * l * mc,
+            -3.0 * l * l * mc,
+            54.0 * mc,
+            13.0 * l * mc,
+            156.0 * mc,
+            -22.0 * l * mc,
+            -13.0 * l * mc,
+            -3.0 * l * l * mc,
+            -22.0 * l * mc,
+            4.0 * l * l * mc,
+        ],
+    );
+    Ok((k, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steel_plate() -> PlateProperties {
+        PlateProperties {
+            youngs_modulus: 200e9,
+            poisson_ratio: 0.3,
+            thickness: 0.002,
+            areal_mass: 7850.0 * 0.002,
+        }
+    }
+
+    #[test]
+    fn plate_matrices_are_symmetric() {
+        let (k, m) = acm_plate(0.1, 0.08, &steel_plate()).unwrap();
+        assert!(k.asymmetry() < 1e-6 * k.max_abs());
+        assert!(m.asymmetry() < 1e-9 * m.max_abs());
+    }
+
+    #[test]
+    fn plate_stiffness_annihilates_rigid_modes() {
+        // Rigid translation and both rigid rotations produce zero strain
+        // energy: K·u_rigid = 0.
+        let a = 0.1;
+        let b = 0.08;
+        let (k, _) = acm_plate(a, b, &steel_plate()).unwrap();
+        let corners = [(0.0, 0.0), (a, 0.0), (a, b), (0.0, b)];
+        // w = 1 (translation), w = x (rotation about y), w = y.
+        type Field = Box<dyn Fn(f64, f64) -> (f64, f64, f64)>;
+        let fields: [Field; 3] = [
+            Box::new(|_, _| (1.0, 0.0, 0.0)),
+            Box::new(|x, _| (x, 1.0, 0.0)),
+            Box::new(|_, y| (y, 0.0, 1.0)),
+        ];
+        for field in &fields {
+            let mut u = vec![0.0; 12];
+            for (n, &(x, y)) in corners.iter().enumerate() {
+                let (w, wx, wy) = field(x, y);
+                u[3 * n] = w;
+                u[3 * n + 1] = wx;
+                u[3 * n + 2] = wy;
+            }
+            let f = k.matvec(&u);
+            let worst = f.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            assert!(
+                worst < 1e-4 * k.max_abs(),
+                "rigid mode leaks force: {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn plate_mass_total_is_exact() {
+        // Sum of the w-translational mass block against a uniform unit
+        // translation recovers the total element mass.
+        let a = 0.1;
+        let b = 0.08;
+        let p = steel_plate();
+        let (_, m) = acm_plate(a, b, &p).unwrap();
+        let mut u = vec![0.0; 12];
+        for n in 0..4 {
+            u[3 * n] = 1.0;
+        }
+        let f = m.matvec(&u);
+        let total: f64 = (0..4).map(|n| f[3 * n]).sum();
+        let exact = p.areal_mass * a * b;
+        assert!((total - exact).abs() < 1e-9 * exact);
+    }
+
+    #[test]
+    fn beam_matrices_match_textbook() {
+        let props = BeamProperties {
+            youngs_modulus: 1.0,
+            second_moment: 1.0,
+            linear_mass: 420.0,
+        };
+        let (k, m) = bernoulli_beam(1.0, &props).unwrap();
+        assert!((k[(0, 0)] - 12.0).abs() < 1e-12);
+        assert!((k[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!((m[(0, 0)] - 156.0).abs() < 1e-9);
+        assert!((m[(3, 3)] - 4.0).abs() < 1e-9);
+        assert!(k.asymmetry() < 1e-12);
+        assert!(m.asymmetry() < 1e-12);
+    }
+
+    #[test]
+    fn beam_cantilever_tip_deflection() {
+        // Single element cantilever: tip load P → w = P L³ / 3EI exactly
+        // (cubic shape functions capture this).
+        let props = BeamProperties {
+            youngs_modulus: 70e9,
+            second_moment: 1e-8,
+            linear_mass: 1.0,
+        };
+        let l = 0.3;
+        let (k, _) = bernoulli_beam(l, &props).unwrap();
+        // Fix DOFs 0,1 → solve 2x2 for (w2, th2) under tip load.
+        let sub = DMatrix::from_rows(2, 2, vec![k[(2, 2)], k[(2, 3)], k[(3, 2)], k[(3, 3)]]);
+        let p = 10.0;
+        let x = crate::linalg::Lu::factor(&sub).unwrap().solve(&[p, 0.0]);
+        let exact = p * l.powi(3) / (3.0 * props.youngs_modulus * props.second_moment);
+        assert!((x[0] - exact).abs() < 1e-9 * exact);
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected() {
+        assert!(acm_plate(0.0, 0.1, &steel_plate()).is_err());
+        let props = BeamProperties {
+            youngs_modulus: 1.0,
+            second_moment: 1.0,
+            linear_mass: 1.0,
+        };
+        assert!(bernoulli_beam(0.0, &props).is_err());
+    }
+
+    #[test]
+    fn flexural_rigidity_formula() {
+        let p = steel_plate();
+        let d = p.flexural_rigidity();
+        let exact = 200e9 * 0.002f64.powi(3) / (12.0 * (1.0 - 0.09));
+        assert!((d - exact).abs() < 1e-9 * exact);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the structural solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by model construction and the numerical solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FemError {
+    /// A factorisation failed because the matrix is singular or not
+    /// positive definite (typically an under-constrained model).
+    SingularMatrix {
+        /// What was being factorised.
+        context: &'static str,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NotConverged {
+        /// Which solver failed to converge.
+        context: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual measure at the last iteration.
+        residual: f64,
+    },
+    /// A mesh or model construction argument was invalid.
+    InvalidModel {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A node or DOF index was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SingularMatrix { context } => {
+                write!(f, "singular or non-positive-definite matrix in {context}")
+            }
+            Self::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Self::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            Self::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl Error for FemError {}
+
+impl FemError {
+    /// Shorthand for an [`FemError::InvalidModel`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::InvalidModel {
+            reason: reason.into(),
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Modal-superposition harmonic (frequency-domain) response to base
+//! excitation.
+//!
+//! This is the analysis behind the paper's Fig 3: the PCB response
+//! compared against the rack input over the qualification spectrum.
+
+use aeropack_units::Frequency;
+
+use crate::error::FemError;
+use crate::modal::ModalResult;
+use crate::model::{Dof, Model};
+
+/// A complex number, minimal implementation for the frequency response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn div_by(self, o: Self) -> Self {
+        let d = o.re * o.re + o.im * o.im;
+        Self::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+
+    fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// A base-excitation harmonic response analysis built on an extracted
+/// mode set with uniform modal damping.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_fem::{PlateMesh, PlateProperties, modal, HarmonicResponse, Dof};
+/// use aeropack_materials::Material;
+/// use aeropack_units::{Frequency, Length};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let props = PlateProperties::from_material(
+///     &Material::aluminum_6061(), Length::from_millimeters(2.0))?;
+/// let mut mesh = PlateMesh::rectangular(0.3, 0.3, 4, 4, &props)?;
+/// mesh.simply_support_edges()?;
+/// let modes = modal(&mesh.model, 3)?;
+/// let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03)?;
+/// let t = resp.transmissibility(mesh.center_node(), Dof::W, modes.fundamental())?;
+/// assert!(t > 5.0); // resonant amplification at the fundamental
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HarmonicResponse {
+    /// Natural angular frequencies ωᵢ.
+    omegas: Vec<f64>,
+    /// Modal damping ratios ζᵢ.
+    zetas: Vec<f64>,
+    /// Γᵢ·φᵢ(dof) pre-multiplied per mode, full DOF length.
+    weighted_shapes: Vec<Vec<f64>>,
+    ndof: usize,
+}
+
+impl HarmonicResponse {
+    /// Prepares a response analysis with the same damping ratio for all
+    /// modes (3–5 % is typical for bolted avionics assemblies).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the damping ratio is outside `(0, 1)`.
+    pub fn new(model: &Model, modes: &ModalResult, damping: f64) -> Result<Self, FemError> {
+        if !(0.0..1.0).contains(&damping) || damping == 0.0 {
+            return Err(FemError::invalid("damping ratio must lie in (0, 1)"));
+        }
+        let m = modes.mode_count();
+        let mut omegas = Vec::with_capacity(m);
+        let mut weighted_shapes = Vec::with_capacity(m);
+        for i in 0..m {
+            omegas.push(modes.frequencies()[i].angular());
+            let gamma = modes.participation(i)?;
+            let shape = modes.shape(i)?;
+            weighted_shapes.push(shape.iter().map(|&s| gamma * s).collect());
+        }
+        Ok(Self {
+            omegas,
+            zetas: vec![damping; m],
+            weighted_shapes,
+            ndof: model.dof_count(),
+        })
+    }
+
+    /// Overrides the damping ratio of one mode (e.g. a damped isolator
+    /// mode among lightly damped plate modes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range mode or damping outside
+    /// `(0, 1)`.
+    pub fn set_mode_damping(&mut self, mode: usize, damping: f64) -> Result<(), FemError> {
+        if !(0.0..1.0).contains(&damping) || damping == 0.0 {
+            return Err(FemError::invalid("damping ratio must lie in (0, 1)"));
+        }
+        let z = self.zetas.get_mut(mode).ok_or(FemError::IndexOutOfRange {
+            what: "mode",
+            index: mode,
+            len: self.omegas.len(),
+        })?;
+        *z = damping;
+        Ok(())
+    }
+
+    /// Complex acceleration transmissibility H(f) at a DOF for uniform
+    /// base acceleration: `a_abs(dof) = H(f) · a_base`.
+    fn transfer(&self, dof_index: usize, f: Frequency) -> Complex {
+        let omega = f.angular();
+        let mut h = Complex::ONE;
+        for i in 0..self.omegas.len() {
+            let wi = self.omegas[i];
+            let zi = self.zetas[i];
+            let num = Complex::new(omega * omega, 0.0).scale(self.weighted_shapes[i][dof_index]);
+            let den = Complex::new(wi * wi - omega * omega, 2.0 * zi * wi * omega);
+            h = h.add(num.div_by(den));
+        }
+        h
+    }
+
+    /// Magnitude of the acceleration transmissibility at `(node, dof)`
+    /// and frequency `f` (≥ 1 at resonance peaks, → 1 well below the
+    /// first mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range DOF index.
+    pub fn transmissibility(&self, node: usize, dof: Dof, f: Frequency) -> Result<f64, FemError> {
+        let idx = self.dof_index(node, dof)?;
+        Ok(self.transfer(idx, f).abs())
+    }
+
+    /// Sweeps the transmissibility over a log-spaced frequency grid,
+    /// returning `(frequency, |H|)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid DOF or empty/degenerate range.
+    pub fn sweep(
+        &self,
+        node: usize,
+        dof: Dof,
+        f_min: Frequency,
+        f_max: Frequency,
+        points: usize,
+    ) -> Result<Vec<(Frequency, f64)>, FemError> {
+        if points < 2 || f_min.value() <= 0.0 || f_max.value() <= f_min.value() {
+            return Err(FemError::invalid(
+                "sweep needs f_max > f_min > 0 and ≥ 2 points",
+            ));
+        }
+        let idx = self.dof_index(node, dof)?;
+        let log_min = f_min.value().ln();
+        let log_max = f_max.value().ln();
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let f = Frequency::new(
+                (log_min + (log_max - log_min) * i as f64 / (points - 1) as f64).exp(),
+            );
+            out.push((f, self.transfer(idx, f).abs()));
+        }
+        Ok(out)
+    }
+
+    /// Squared relative-displacement transfer `|H_d(f)|²` in (m per
+    /// m/s² of base acceleration)², needed by the random-vibration
+    /// displacement response.
+    pub(crate) fn displacement_transfer_sq(&self, dof_index: usize, f: Frequency) -> f64 {
+        let omega = f.angular();
+        let mut h = Complex::new(0.0, 0.0);
+        for i in 0..self.omegas.len() {
+            let wi = self.omegas[i];
+            let zi = self.zetas[i];
+            let num = Complex::new(-self.weighted_shapes[i][dof_index], 0.0);
+            let den = Complex::new(wi * wi - omega * omega, 2.0 * zi * wi * omega);
+            h = h.add(num.div_by(den));
+        }
+        let m = h.abs();
+        m * m
+    }
+
+    /// Squared acceleration transfer `|H(f)|²`.
+    pub(crate) fn acceleration_transfer_sq(&self, dof_index: usize, f: Frequency) -> f64 {
+        let m = self.transfer(dof_index, f).abs();
+        m * m
+    }
+
+    pub(crate) fn dof_index(&self, node: usize, dof: Dof) -> Result<usize, FemError> {
+        let idx = 3 * node
+            + match dof {
+                Dof::W => 0,
+                Dof::Wx => 1,
+                Dof::Wy => 2,
+            };
+        if idx >= self.ndof {
+            return Err(FemError::IndexOutOfRange {
+                what: "dof",
+                index: idx,
+                len: self.ndof,
+            });
+        }
+        Ok(idx)
+    }
+
+    /// The modal angular frequencies in use.
+    pub fn omegas(&self) -> &[f64] {
+        &self.omegas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::PlateProperties;
+    use crate::modal::modal;
+    use crate::model::PlateMesh;
+    use aeropack_materials::Material;
+    use aeropack_units::Length;
+
+    fn setup() -> (PlateMesh, ModalResult) {
+        let props = PlateProperties::from_material(
+            &Material::aluminum_6061(),
+            Length::from_millimeters(2.0),
+        )
+        .unwrap();
+        let mut mesh = PlateMesh::rectangular(0.3, 0.3, 4, 4, &props).unwrap();
+        mesh.simply_support_edges().unwrap();
+        let modes = modal(&mesh.model, 3).unwrap();
+        (mesh, modes)
+    }
+
+    #[test]
+    fn low_frequency_transmissibility_is_unity() {
+        let (mesh, modes) = setup();
+        let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).unwrap();
+        let t = resp
+            .transmissibility(mesh.center_node(), Dof::W, Frequency::new(1.0))
+            .unwrap();
+        assert!((t - 1.0).abs() < 0.01, "static transmissibility {t}");
+    }
+
+    #[test]
+    fn resonance_peak_magnitude_tracks_damping() {
+        let (mesh, modes) = setup();
+        let f1 = modes.fundamental();
+        let node = mesh.center_node();
+        let t_light = HarmonicResponse::new(&mesh.model, &modes, 0.02)
+            .unwrap()
+            .transmissibility(node, Dof::W, f1)
+            .unwrap();
+        let t_heavy = HarmonicResponse::new(&mesh.model, &modes, 0.10)
+            .unwrap()
+            .transmissibility(node, Dof::W, f1)
+            .unwrap();
+        assert!(t_light > 3.0 * t_heavy / 1.2, "damping must cut the peak");
+        // SDOF estimate: peak ≈ Γφ(center)·Q = (16/π²)·25 ≈ 40.5 for the
+        // (1,1) mode of a simply-supported plate.
+        let expect = 16.0 / std::f64::consts::PI.powi(2) * 25.0;
+        assert!(
+            (t_light - expect).abs() / expect < 0.05,
+            "peak {t_light} vs Γφ·Q = {expect}"
+        );
+    }
+
+    #[test]
+    fn sweep_brackets_the_resonance() {
+        let (mesh, modes) = setup();
+        let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).unwrap();
+        let sweep = resp
+            .sweep(
+                mesh.center_node(),
+                Dof::W,
+                Frequency::new(10.0),
+                Frequency::new(2000.0),
+                200,
+            )
+            .unwrap();
+        let (peak_f, peak_t) = sweep
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let f1 = modes.fundamental().value();
+        assert!(
+            (peak_f.value() - f1).abs() / f1 < 0.05,
+            "peak at {peak_f} vs fundamental {f1}"
+        );
+        assert!(peak_t > 5.0);
+    }
+
+    #[test]
+    fn invalid_damping_is_rejected() {
+        let (mesh, modes) = setup();
+        assert!(HarmonicResponse::new(&mesh.model, &modes, 0.0).is_err());
+        assert!(HarmonicResponse::new(&mesh.model, &modes, 1.5).is_err());
+    }
+
+    #[test]
+    fn node_at_support_has_unit_transmissibility() {
+        // A constrained DOF moves with the base: its relative motion is 0,
+        // so its absolute transmissibility is exactly 1.
+        let (mesh, modes) = setup();
+        let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).unwrap();
+        let corner = mesh.node_at(0, 0).unwrap();
+        let t = resp
+            .transmissibility(corner, Dof::W, modes.fundamental())
+            .unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,629 @@
+//! Dense linear algebra: matrices, factorisations and symmetric
+//! eigenproblems.
+//!
+//! Everything the structural solver needs is implemented here from
+//! scratch: LU with partial pivoting, Cholesky, the cyclic Jacobi
+//! eigensolver for small symmetric matrices, and the Cholesky reduction
+//! of the generalised symmetric problem `K·x = λ·M·x`.
+
+use crate::error::FemError;
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &DMatrix) -> DMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = DMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Product `selfᵀ · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn t_matmul(&self, rhs: &DMatrix) -> DMatrix {
+        assert_eq!(self.rows, rhs.rows, "row counts must agree for AᵀB");
+        let mut out = DMatrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self[(k, i)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch in matvec");
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DMatrix {
+        let mut out = DMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Extracts column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Sets column `j` from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn set_column(&mut self, j: usize, col: &[f64]) {
+        assert_eq!(col.len(), self.rows, "column length mismatch");
+        for i in 0..self.rows {
+            self[(i, j)] = col[i];
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Symmetry defect `max |A - Aᵀ|`.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// An LU factorisation with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: DMatrix,
+    pivots: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorises a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FemError::SingularMatrix`] if a pivot underflows.
+    pub fn factor(a: &DMatrix) -> Result<Self, FemError> {
+        assert_eq!(a.nrows(), a.ncols(), "LU requires a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut pivots = vec![0usize; n];
+        for k in 0..n {
+            // Partial pivot.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(FemError::SingularMatrix {
+                    context: "LU factorisation",
+                });
+            }
+            pivots[k] = p;
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let inv = 1.0 / lu[(k, k)];
+            for i in (k + 1)..n {
+                let f = lu[(i, k)] * inv;
+                lu[(i, k)] = f;
+                for j in (k + 1)..n {
+                    let v = lu[(k, j)];
+                    lu[(i, j)] -= f * v;
+                }
+            }
+        }
+        Ok(Self { lu, pivots })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.nrows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        // Apply the full row permutation first; the stored multipliers
+        // are in final (fully pivoted) row order, so interleaving swaps
+        // with the elimination would pair them with stale positions.
+        for k in 0..n {
+            x.swap(k, self.pivots[k]);
+        }
+        for k in 0..n {
+            for i in (k + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+        }
+        for k in (0..n).rev() {
+            for j in (k + 1)..n {
+                x[k] -= self.lu[(k, j)] * x[j];
+            }
+            x[k] /= self.lu[(k, k)];
+        }
+        x
+    }
+
+    /// Inverts the factorised matrix (column-by-column solve).
+    pub fn inverse(&self) -> DMatrix {
+        let n = self.lu.nrows();
+        let mut inv = DMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            inv.set_column(j, &col);
+        }
+        inv
+    }
+}
+
+/// A Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DMatrix,
+}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix (only the lower
+    /// triangle is read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FemError::SingularMatrix`] when the matrix is not
+    /// positive definite.
+    pub fn factor(a: &DMatrix) -> Result<Self, FemError> {
+        assert_eq!(a.nrows(), a.ncols(), "Cholesky requires a square matrix");
+        let n = a.nrows();
+        let mut l = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(FemError::SingularMatrix {
+                            context: "Cholesky factorisation",
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut y = b.to_vec();
+        // Forward: L y = b.
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Forward substitution only: solves `L·y = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn forward(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Back substitution only: solves `Lᵀ·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn backward(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DMatrix {
+        &self.l
+    }
+}
+
+/// Eigendecomposition of a small symmetric matrix by the cyclic Jacobi
+/// method. Returns `(eigenvalues, eigenvectors)` sorted ascending; the
+/// eigenvectors are the *columns* of the returned matrix.
+///
+/// # Errors
+///
+/// Returns [`FemError::NotConverged`] if the off-diagonal norm fails to
+/// drop below tolerance within 50 sweeps.
+pub fn jacobi_eigen(a: &DMatrix) -> Result<(Vec<f64>, DMatrix), FemError> {
+    assert_eq!(a.nrows(), a.ncols(), "eigen requires a square matrix");
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = DMatrix::identity(n);
+    let tol = 1e-12 * m.max_abs().max(1e-300);
+    for sweep in 0..50 {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off <= tol {
+            // Sort ascending.
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&p, &q| {
+                m[(p, p)]
+                    .partial_cmp(&m[(q, q)])
+                    .expect("finite eigenvalues")
+            });
+            let vals: Vec<f64> = idx.iter().map(|&p| m[(p, p)]).collect();
+            let mut vecs = DMatrix::zeros(n, n);
+            for (new_j, &old_j) in idx.iter().enumerate() {
+                for i in 0..n {
+                    vecs[(i, new_j)] = v[(i, old_j)];
+                }
+            }
+            return Ok((vals, vecs));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(FemError::NotConverged {
+        context: "Jacobi eigensolver",
+        iterations: 50,
+        residual: f64::NAN,
+    })
+}
+
+/// Solves the generalised symmetric eigenproblem `K·x = λ·M·x` with both
+/// `K` and `M` symmetric positive definite, via the Cholesky reduction
+/// `M = L·Lᵀ`, `C = L⁻¹·K·L⁻ᵀ`, followed by a Jacobi decomposition of
+/// `C`. Returns `(eigenvalues, eigenvectors)` ascending; eigenvectors are
+/// M-orthonormal columns.
+///
+/// Intended for the *projected* (small) problems inside subspace
+/// iteration, but correct at any size.
+///
+/// # Errors
+///
+/// Propagates factorisation and convergence failures.
+pub fn generalized_eigen_dense(k: &DMatrix, m: &DMatrix) -> Result<(Vec<f64>, DMatrix), FemError> {
+    let n = k.nrows();
+    let chol = Cholesky::factor(m)?;
+    // C = L⁻¹ K L⁻ᵀ, built column-wise.
+    let mut c = DMatrix::zeros(n, n);
+    for j in 0..n {
+        // e_j -> L⁻ᵀ e_j is a backward solve.
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let linv_t_col = chol.backward(&e);
+        let k_col = k.matvec(&linv_t_col);
+        let c_col = chol.forward(&k_col);
+        c.set_column(j, &c_col);
+    }
+    // Symmetrise against round-off.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (c[(i, j)] + c[(j, i)]);
+            c[(i, j)] = avg;
+            c[(j, i)] = avg;
+        }
+    }
+    let (vals, y) = jacobi_eigen(&c)?;
+    // x = L⁻ᵀ y per column.
+    let mut x = DMatrix::zeros(n, n);
+    for j in 0..n {
+        let col = chol.backward(&y.column(j));
+        x.set_column(j, &col);
+    }
+    Ok((vals, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn lu_solves_small_system() {
+        let a = DMatrix::from_rows(3, 3, vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[4.0, 5.0, 6.0]);
+        // Exact solution: x = [6, 15, -23].
+        assert!(approx(x[0], 6.0, 1e-12));
+        assert!(approx(x[1], 15.0, 1e-12));
+        assert!(approx(x[2], -23.0, 1e-12));
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = DMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(FemError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip() {
+        let a = DMatrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0]);
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd() {
+        let a = DMatrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, 1.5, 0.5, 1.5, 6.0]);
+        let b = [1.0, 2.0, 3.0];
+        let x1 = Cholesky::factor(&a).unwrap().solve(&b);
+        let x2 = Lu::factor(&a).unwrap().solve(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+        let a = DMatrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        assert!(approx(vals[0], 1.0, 1e-10));
+        assert!(approx(vals[1], 3.0, 1e-10));
+        // A v = λ v check.
+        let v0 = vecs.column(0);
+        let av0 = a.matvec(&v0);
+        for i in 0..2 {
+            assert!((av0[i] - vals[0] * v0[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn generalized_eigen_mass_spring_chain() {
+        // Two-DOF chain: m=1 each, k=1 each (fixed-free):
+        // K = [[2,-1],[-1,1]], M = I. λ = (3 ∓ √5)/2.
+        let k = DMatrix::from_rows(2, 2, vec![2.0, -1.0, -1.0, 1.0]);
+        let m = DMatrix::identity(2);
+        let (vals, vecs) = generalized_eigen_dense(&k, &m).unwrap();
+        let exact0 = (3.0 - 5f64.sqrt()) / 2.0;
+        let exact1 = (3.0 + 5f64.sqrt()) / 2.0;
+        assert!(approx(vals[0], exact0, 1e-10));
+        assert!(approx(vals[1], exact1, 1e-10));
+        // M-orthonormality.
+        let g = vecs.t_matmul(&m.matmul(&vecs));
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_eigen_with_nontrivial_mass() {
+        // K = diag(2, 8), M = diag(1, 2) → λ = {2, 4}.
+        let k = DMatrix::from_rows(2, 2, vec![2.0, 0.0, 0.0, 8.0]);
+        let m = DMatrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        let (vals, _) = generalized_eigen_dense(&k, &m).unwrap();
+        assert!(approx(vals[0], 2.0, 1e-10));
+        assert!(approx(vals[1], 4.0, 1e-10));
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = a.transpose();
+        let g = a.matmul(&at); // 2x2 Gram matrix
+        assert!(approx(g[(0, 0)], 14.0, 1e-14));
+        assert!(approx(g[(0, 1)], 32.0, 1e-14));
+        assert!(approx(g[(1, 1)], 77.0, 1e-14));
+        // t_matmul(a, a) = aᵀ a must equal transpose().matmul(a).
+        let gt1 = a.t_matmul(&a);
+        let gt2 = at.matmul(&a);
+        assert_eq!(gt1, gt2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Random-vibration (PSD) base-excitation response by modal
+//! superposition, plus the piecewise log-log PSD curve type used to
+//! describe DO-160-style test spectra.
+
+use aeropack_units::{AccelPsd, Frequency, STANDARD_GRAVITY};
+
+use crate::error::FemError;
+use crate::harmonic::HarmonicResponse;
+use crate::model::Dof;
+
+/// A one-sided acceleration PSD specified by breakpoints interpolated
+/// log-log, the way vibration test standards (DO-160, MIL-STD-810)
+/// tabulate their curves.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_fem::PsdCurve;
+/// use aeropack_units::{AccelPsd, Frequency};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let curve = PsdCurve::new(vec![
+///     (Frequency::new(10.0), AccelPsd::new(0.003)),
+///     (Frequency::new(40.0), AccelPsd::new(0.01)),
+///     (Frequency::new(500.0), AccelPsd::new(0.01)),
+///     (Frequency::new(2000.0), AccelPsd::new(0.001)),
+/// ])?;
+/// let grms = curve.grms();
+/// assert!(grms > 2.0 && grms < 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdCurve {
+    points: Vec<(Frequency, AccelPsd)>,
+}
+
+impl PsdCurve {
+    /// Builds a curve from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two points are given, frequencies
+    /// are not strictly increasing and positive, or any level is not
+    /// strictly positive.
+    pub fn new(points: Vec<(Frequency, AccelPsd)>) -> Result<Self, FemError> {
+        if points.len() < 2 {
+            return Err(FemError::invalid(
+                "a PSD curve needs at least two breakpoints",
+            ));
+        }
+        for w in points.windows(2) {
+            if w[1].0.value() <= w[0].0.value() {
+                return Err(FemError::invalid(
+                    "PSD breakpoints must be strictly increasing",
+                ));
+            }
+        }
+        if points
+            .iter()
+            .any(|p| p.0.value() <= 0.0 || p.1.value() <= 0.0)
+        {
+            return Err(FemError::invalid("PSD breakpoints must be positive"));
+        }
+        Ok(Self { points })
+    }
+
+    /// Lowest specified frequency.
+    pub fn f_min(&self) -> Frequency {
+        self.points[0].0
+    }
+
+    /// Highest specified frequency.
+    pub fn f_max(&self) -> Frequency {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Level at frequency `f` by log-log interpolation; zero outside the
+    /// specified band.
+    pub fn level(&self, f: Frequency) -> AccelPsd {
+        let x = f.value();
+        if x < self.f_min().value() || x > self.f_max().value() {
+            return AccelPsd::ZERO;
+        }
+        let idx = match self.points.windows(2).position(|w| x <= w[1].0.value()) {
+            Some(i) => i,
+            None => return AccelPsd::ZERO,
+        };
+        let (f0, p0) = self.points[idx];
+        let (f1, p1) = self.points[idx + 1];
+        let t = (x.ln() - f0.value().ln()) / (f1.value().ln() - f0.value().ln());
+        AccelPsd::new((p0.value().ln() + t * (p1.value().ln() - p0.value().ln())).exp())
+    }
+
+    /// Overall input level in g RMS: `√(∫ S(f) df)` with exact
+    /// integration of the log-log segments.
+    pub fn grms(&self) -> f64 {
+        let mut integral = 0.0;
+        for w in self.points.windows(2) {
+            let (f0, p0) = (w[0].0.value(), w[0].1.value());
+            let (f1, p1) = (w[1].0.value(), w[1].1.value());
+            // S(f) = p0 (f/f0)^n on the segment.
+            let n = (p1 / p0).ln() / (f1 / f0).ln();
+            integral += if (n + 1.0).abs() < 1e-12 {
+                p0 * f0 * (f1 / f0).ln()
+            } else {
+                p0 * f0 / (n + 1.0) * ((f1 / f0).powf(n + 1.0) - 1.0)
+            };
+        }
+        integral.sqrt()
+    }
+
+    /// Scales the whole curve by a factor (test-level tailoring).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive factor.
+    pub fn scaled(&self, factor: f64) -> Result<Self, FemError> {
+        if factor <= 0.0 {
+            return Err(FemError::invalid("scale factor must be positive"));
+        }
+        Ok(Self {
+            points: self.points.iter().map(|&(f, p)| (f, p * factor)).collect(),
+        })
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(Frequency, AccelPsd)] {
+        &self.points
+    }
+}
+
+/// The random-vibration response at one location: RMS acceleration and
+/// RMS relative displacement, the two inputs every fatigue rule
+/// (Steinberg, Miles) needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomResponse {
+    /// RMS absolute acceleration, in g.
+    pub accel_grms: f64,
+    /// RMS relative displacement, metres.
+    pub disp_rms: f64,
+    /// The positive-crossing (characteristic) frequency of the response,
+    /// Hz — used as the cycle-counting rate in fatigue life estimates.
+    pub characteristic_frequency: Frequency,
+}
+
+/// Computes the random-vibration response at `(node, dof)` for a base
+/// PSD input, integrating `|H|²·S` over a log grid.
+///
+/// # Errors
+///
+/// Returns an error for invalid DOF addressing or an empty integration
+/// band.
+pub fn random_response(
+    response: &HarmonicResponse,
+    node: usize,
+    dof: Dof,
+    input: &PsdCurve,
+) -> Result<RandomResponse, FemError> {
+    let idx = response.dof_index(node, dof)?;
+    let f_lo = input.f_min().value();
+    let f_hi = input.f_max().value();
+    if f_hi <= f_lo {
+        return Err(FemError::invalid("PSD band is empty"));
+    }
+    // Log-spaced grid, refined enough to resolve 1% damping peaks.
+    let n = 2000;
+    let mut accel_var = 0.0; // g²
+    let mut disp_var = 0.0; // m²
+    let mut disp_vel_var = 0.0; // weighted by f² for characteristic freq
+    let mut prev: Option<(f64, f64, f64)> = None;
+    for i in 0..=n {
+        let f = (f_lo.ln() + (f_hi.ln() - f_lo.ln()) * i as f64 / n as f64).exp();
+        let freq = Frequency::new(f);
+        let s_in_g2 = input.level(freq).value(); // g²/Hz
+        let h2a = response.acceleration_transfer_sq(idx, freq);
+        let h2d = response.displacement_transfer_sq(idx, freq);
+        // Displacement transfer is per (m/s²) of base accel: convert
+        // input to (m/s²)²/Hz.
+        let s_in_si = s_in_g2 * STANDARD_GRAVITY * STANDARD_GRAVITY;
+        let sa = h2a * s_in_g2;
+        let sd = h2d * s_in_si;
+        if let Some((fp, sap, sdp)) = prev {
+            let df = f - fp;
+            accel_var += 0.5 * (sa + sap) * df;
+            let d_disp = 0.5 * (sd + sdp) * df;
+            disp_var += d_disp;
+            let fm = 0.5 * (f + fp);
+            disp_vel_var += d_disp * fm * fm;
+        }
+        prev = Some((f, sa, sd));
+    }
+    let characteristic_frequency = if disp_var > 0.0 {
+        Frequency::new((disp_vel_var / disp_var).sqrt())
+    } else {
+        Frequency::ZERO
+    };
+    Ok(RandomResponse {
+        accel_grms: accel_var.sqrt(),
+        disp_rms: disp_var.sqrt(),
+        characteristic_frequency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::PlateProperties;
+    use crate::modal::modal;
+    use crate::model::PlateMesh;
+    use aeropack_materials::Material;
+    use aeropack_units::Length;
+
+    fn flat_curve(level: f64, f0: f64, f1: f64) -> PsdCurve {
+        PsdCurve::new(vec![
+            (Frequency::new(f0), AccelPsd::new(level)),
+            (Frequency::new(f1), AccelPsd::new(level)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_psd_grms_is_analytic() {
+        // Flat 0.04 g²/Hz from 20 to 2000 Hz → grms = √(0.04·1980) ≈ 8.9.
+        let c = flat_curve(0.04, 20.0, 2000.0);
+        assert!((c.grms() - (0.04f64 * 1980.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sloped_segment_integates_exactly() {
+        // One decade at -3 dB/octave: S = p0·(f/f0)^(-1);
+        // ∫ = p0 f0 ln(f1/f0).
+        let c = PsdCurve::new(vec![
+            (Frequency::new(100.0), AccelPsd::new(0.1)),
+            (Frequency::new(1000.0), AccelPsd::new(0.01)),
+        ])
+        .unwrap();
+        let exact = (0.1f64 * 100.0 * (10.0f64).ln()).sqrt();
+        assert!((c.grms() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_is_log_log() {
+        let c = PsdCurve::new(vec![
+            (Frequency::new(10.0), AccelPsd::new(0.01)),
+            (Frequency::new(1000.0), AccelPsd::new(1.0)),
+        ])
+        .unwrap();
+        // Geometric midpoint 100 Hz must give geometric mean 0.1.
+        let mid = c.level(Frequency::new(100.0)).value();
+        assert!((mid - 0.1).abs() < 1e-9);
+        // Outside band → zero.
+        assert_eq!(c.level(Frequency::new(5.0)), AccelPsd::ZERO);
+    }
+
+    #[test]
+    fn miles_equation_agrees_with_integration() {
+        // For a lightly damped SDOF-dominated response under a flat PSD,
+        // the integrated grms must approach Miles:
+        // grms = √(π/2 · fₙ · Q · S).
+        let props = PlateProperties::from_material(
+            &Material::aluminum_6061(),
+            Length::from_millimeters(2.0),
+        )
+        .unwrap();
+        let mut mesh = PlateMesh::rectangular(0.3, 0.3, 4, 4, &props).unwrap();
+        mesh.simply_support_edges().unwrap();
+        let modes = modal(&mesh.model, 1).unwrap();
+        let zeta = 0.03;
+        let resp = HarmonicResponse::new(&mesh.model, &modes, zeta).unwrap();
+        let f1 = modes.fundamental().value();
+        let s = 0.01;
+        let curve = flat_curve(s, f1 / 20.0, f1 * 20.0);
+        let out = random_response(&resp, mesh.center_node(), Dof::W, &curve).unwrap();
+        // Modal peak gain at the centre node: Γφ(center); Miles with that
+        // participation: grms² ≈ (Γφ)²·(π/2)·f₁·Q·S.
+        let gamma_phi =
+            modes.participation(0).unwrap() * modes.shape(0).unwrap()[3 * mesh.center_node()];
+        let q = 1.0 / (2.0 * zeta);
+        let miles = (gamma_phi * gamma_phi * std::f64::consts::FRAC_PI_2 * f1 * q * s).sqrt();
+        let rel = (out.accel_grms - miles).abs() / miles;
+        assert!(
+            rel < 0.12,
+            "integrated {:.3} vs Miles {:.3} ({:.1}%)",
+            out.accel_grms,
+            miles,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn characteristic_frequency_near_fundamental() {
+        let props = PlateProperties::from_material(
+            &Material::aluminum_6061(),
+            Length::from_millimeters(2.0),
+        )
+        .unwrap();
+        let mut mesh = PlateMesh::rectangular(0.3, 0.3, 4, 4, &props).unwrap();
+        mesh.simply_support_edges().unwrap();
+        let modes = modal(&mesh.model, 1).unwrap();
+        let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).unwrap();
+        let f1 = modes.fundamental().value();
+        let curve = flat_curve(0.01, f1 / 10.0, f1 * 10.0);
+        let out = random_response(&resp, mesh.center_node(), Dof::W, &curve).unwrap();
+        let rel = (out.characteristic_frequency.value() - f1).abs() / f1;
+        assert!(
+            rel < 0.1,
+            "ν₀ {:.1} vs f₁ {:.1}",
+            out.characteristic_frequency.value(),
+            f1
+        );
+    }
+
+    #[test]
+    fn bad_curves_are_rejected() {
+        assert!(PsdCurve::new(vec![(Frequency::new(10.0), AccelPsd::new(0.1))]).is_err());
+        assert!(PsdCurve::new(vec![
+            (Frequency::new(100.0), AccelPsd::new(0.1)),
+            (Frequency::new(10.0), AccelPsd::new(0.1)),
+        ])
+        .is_err());
+        assert!(PsdCurve::new(vec![
+            (Frequency::new(10.0), AccelPsd::new(0.0)),
+            (Frequency::new(100.0), AccelPsd::new(0.1)),
+        ])
+        .is_err());
+        let c = flat_curve(0.1, 10.0, 100.0);
+        assert!(c.scaled(0.0).is_err());
+        assert!((c.scaled(2.0).unwrap().grms() - c.grms() * 2f64.sqrt()).abs() < 1e-9);
+    }
+}

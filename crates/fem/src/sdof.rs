@@ -1,0 +1,230 @@
+//! Single-degree-of-freedom utilities: isolator design, Miles' equation.
+//!
+//! These back the paper's second mechanical example (Fig 3): the
+//! "mechanical filtering function and dampers of an inertial measurement
+//! unit" — an isolated mass whose mount is tuned to attenuate the
+//! carrier spectrum above the crossover frequency.
+
+use aeropack_units::{AccelPsd, Frequency, Mass};
+
+use crate::error::FemError;
+
+/// A base-excited single-degree-of-freedom oscillator (isolated
+/// equipment on a flexible mount).
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_fem::Sdof;
+/// use aeropack_units::{Frequency, Mass};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 4 kg IMU isolated at 45 Hz with 10 % damping attenuates a
+/// // 500 Hz disturbance by more than a factor of 50.
+/// let imu = Sdof::from_frequency(Frequency::new(45.0), Mass::new(4.0), 0.10)?;
+/// assert!(imu.transmissibility(Frequency::new(500.0)) < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sdof {
+    natural_frequency: Frequency,
+    mass: Mass,
+    damping: f64,
+}
+
+impl Sdof {
+    /// Builds an oscillator directly from its natural frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive frequency/mass or damping
+    /// outside `(0, 1)`.
+    pub fn from_frequency(
+        natural_frequency: Frequency,
+        mass: Mass,
+        damping: f64,
+    ) -> Result<Self, FemError> {
+        if natural_frequency.value() <= 0.0 {
+            return Err(FemError::invalid("natural frequency must be positive"));
+        }
+        if mass.value() <= 0.0 {
+            return Err(FemError::invalid("mass must be positive"));
+        }
+        if !(0.0..1.0).contains(&damping) || damping == 0.0 {
+            return Err(FemError::invalid("damping ratio must lie in (0, 1)"));
+        }
+        Ok(Self {
+            natural_frequency,
+            mass,
+            damping,
+        })
+    }
+
+    /// Builds an oscillator from a mount stiffness in N/m.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sdof::from_frequency`].
+    pub fn from_stiffness(stiffness: f64, mass: Mass, damping: f64) -> Result<Self, FemError> {
+        if stiffness <= 0.0 {
+            return Err(FemError::invalid("stiffness must be positive"));
+        }
+        if mass.value() <= 0.0 {
+            return Err(FemError::invalid("mass must be positive"));
+        }
+        let omega = (stiffness / mass.value()).sqrt();
+        Self::from_frequency(Frequency::from_angular(omega), mass, damping)
+    }
+
+    /// The natural frequency.
+    pub fn natural_frequency(&self) -> Frequency {
+        self.natural_frequency
+    }
+
+    /// The suspended mass.
+    pub fn mass(&self) -> Mass {
+        self.mass
+    }
+
+    /// The damping ratio ζ.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+
+    /// Mount stiffness implied by the tuning, N/m.
+    pub fn stiffness(&self) -> f64 {
+        let omega = self.natural_frequency.angular();
+        self.mass.value() * omega * omega
+    }
+
+    /// Resonant quality factor Q = 1/(2ζ).
+    pub fn quality_factor(&self) -> f64 {
+        1.0 / (2.0 * self.damping)
+    }
+
+    /// Absolute acceleration transmissibility of base motion at `f`
+    /// (includes damping stiffening at high frequency):
+    /// `|T| = √((1+(2ζr)²) / ((1−r²)²+(2ζr)²))`.
+    pub fn transmissibility(&self, f: Frequency) -> f64 {
+        let r = f.value() / self.natural_frequency.value();
+        let z2r = 2.0 * self.damping * r;
+        ((1.0 + z2r * z2r) / ((1.0 - r * r).powi(2) + z2r * z2r)).sqrt()
+    }
+
+    /// The crossover frequency √2·fₙ above which the isolator attenuates.
+    pub fn crossover_frequency(&self) -> Frequency {
+        Frequency::new(self.natural_frequency.value() * std::f64::consts::SQRT_2)
+    }
+
+    /// Miles' equation: RMS response of the oscillator to a flat base
+    /// PSD of level `input_at_fn` (value at the natural frequency), in g:
+    /// `g_rms = √(π/2 · fₙ · Q · S)`.
+    pub fn miles_grms(&self, input_at_fn: AccelPsd) -> f64 {
+        (std::f64::consts::FRAC_PI_2
+            * self.natural_frequency.value()
+            * self.quality_factor()
+            * input_at_fn.value())
+        .sqrt()
+    }
+
+    /// Designs the mount stiffness that attenuates `disturbance` by at
+    /// least `attenuation` (>1, e.g. 10 for −20 dB), returning the tuned
+    /// oscillator. Uses the undamped high-frequency asymptote
+    /// `T ≈ 1/(r²−1)` and then verifies with damping included.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the requested attenuation is ≤ 1 or
+    /// unreachable with the given damping (damping transmission floor).
+    pub fn design_isolator(
+        mass: Mass,
+        damping: f64,
+        disturbance: Frequency,
+        attenuation: f64,
+    ) -> Result<Self, FemError> {
+        if attenuation <= 1.0 {
+            return Err(FemError::invalid("attenuation factor must exceed 1"));
+        }
+        // Undamped estimate: r² = attenuation + 1.
+        let r = (attenuation + 1.0).sqrt();
+        let fn_guess = disturbance.value() / r;
+        let mut osc = Self::from_frequency(Frequency::new(fn_guess), mass, damping)?;
+        // Refine downward until the damped transmissibility meets spec.
+        for _ in 0..60 {
+            if osc.transmissibility(disturbance) <= 1.0 / attenuation {
+                return Ok(osc);
+            }
+            osc = Self::from_frequency(
+                Frequency::new(osc.natural_frequency.value() * 0.93),
+                mass,
+                damping,
+            )?;
+        }
+        Err(FemError::invalid(format!(
+            "attenuation {attenuation}x unreachable at ζ = {damping}: damping floor dominates"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_resonant_transmissibility() {
+        let osc = Sdof::from_frequency(Frequency::new(100.0), Mass::new(1.0), 0.05).unwrap();
+        assert!((osc.transmissibility(Frequency::new(0.1)) - 1.0).abs() < 1e-4);
+        let t_res = osc.transmissibility(Frequency::new(100.0));
+        // At resonance |T| ≈ √(1+4ζ²)·Q ≈ Q for light damping.
+        assert!((t_res - osc.quality_factor()).abs() / osc.quality_factor() < 0.02);
+    }
+
+    #[test]
+    fn crossover_is_sqrt2_fn() {
+        let osc = Sdof::from_frequency(Frequency::new(50.0), Mass::new(1.0), 0.1).unwrap();
+        let t = osc.transmissibility(osc.crossover_frequency());
+        assert!((t - 1.0).abs() < 1e-9, "|T(√2·fn)| must equal 1, got {t}");
+    }
+
+    #[test]
+    fn stiffness_frequency_roundtrip() {
+        let osc = Sdof::from_stiffness(4.0e5, Mass::new(4.0), 0.1).unwrap();
+        let back = Sdof::from_frequency(osc.natural_frequency(), Mass::new(4.0), 0.1).unwrap();
+        assert!((back.stiffness() - 4.0e5).abs() < 1e-6 * 4.0e5);
+    }
+
+    #[test]
+    fn miles_grms_formula() {
+        let osc = Sdof::from_frequency(Frequency::new(100.0), Mass::new(1.0), 0.05).unwrap();
+        let g = osc.miles_grms(AccelPsd::new(0.04));
+        let exact = (std::f64::consts::FRAC_PI_2 * 100.0 * 10.0 * 0.04).sqrt();
+        assert!((g - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolator_design_meets_spec() {
+        // The IMU example: attenuate a 500 Hz carrier disturbance 20×.
+        let osc = Sdof::design_isolator(Mass::new(4.0), 0.10, Frequency::new(500.0), 20.0).unwrap();
+        assert!(osc.transmissibility(Frequency::new(500.0)) <= 0.05);
+        // And the mount is still usable (not absurdly soft).
+        assert!(osc.natural_frequency().value() > 20.0);
+    }
+
+    #[test]
+    fn impossible_isolation_is_detected() {
+        // At ζ=0.5 the damping floor T ≈ 2ζ/r requires r ≈ 10⁶ for a
+        // million-fold attenuation — beyond the refinement range.
+        let res = Sdof::design_isolator(Mass::new(1.0), 0.5, Frequency::new(200.0), 1.0e6);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn invalid_arguments() {
+        assert!(Sdof::from_frequency(Frequency::ZERO, Mass::new(1.0), 0.1).is_err());
+        assert!(Sdof::from_frequency(Frequency::new(10.0), Mass::ZERO, 0.1).is_err());
+        assert!(Sdof::from_frequency(Frequency::new(10.0), Mass::new(1.0), 0.0).is_err());
+        assert!(Sdof::from_stiffness(-1.0, Mass::new(1.0), 0.1).is_err());
+        assert!(Sdof::design_isolator(Mass::new(1.0), 0.1, Frequency::new(100.0), 0.5).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Dry-air transport properties.
+//!
+//! Implemented as temperature power laws anchored at 300 K (Sutherland's
+//! law for viscosity), valid over the avionics envelope of roughly
+//! −60 °C … +300 °C. Density follows the ideal-gas law so that altitude
+//! (reduced pressure) effects on convection are captured.
+
+use aeropack_units::{Celsius, Density, Pressure, SpecificHeat, ThermalConductivity};
+
+/// Specific gas constant of dry air, J/(kg·K).
+const R_AIR: f64 = 287.058;
+
+/// The complete transport state of dry air at a given temperature and
+/// pressure, as consumed by the convection correlations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AirState {
+    /// Film temperature the properties were evaluated at.
+    pub temperature: Celsius,
+    /// Static pressure.
+    pub pressure: Pressure,
+    /// Density ρ.
+    pub density: Density,
+    /// Thermal conductivity k.
+    pub conductivity: ThermalConductivity,
+    /// Dynamic viscosity µ, Pa·s.
+    pub dynamic_viscosity: f64,
+    /// Specific heat at constant pressure cₚ.
+    pub specific_heat: SpecificHeat,
+}
+
+impl AirState {
+    /// Kinematic viscosity ν = µ/ρ, m²/s.
+    pub fn kinematic_viscosity(&self) -> f64 {
+        self.dynamic_viscosity / self.density.value()
+    }
+
+    /// Prandtl number Pr = µ·cₚ/k.
+    pub fn prandtl(&self) -> f64 {
+        self.dynamic_viscosity * self.specific_heat.value() / self.conductivity.value()
+    }
+
+    /// Thermal diffusivity α = k/(ρ·cₚ), m²/s.
+    pub fn thermal_diffusivity(&self) -> f64 {
+        self.conductivity.value() / (self.density.value() * self.specific_heat.value())
+    }
+
+    /// Isobaric expansion coefficient β = 1/T for an ideal gas, 1/K.
+    pub fn expansion_coefficient(&self) -> f64 {
+        1.0 / self.temperature.kelvin()
+    }
+}
+
+/// Evaluates dry-air properties at a given temperature and pressure.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_materials::air_at;
+/// use aeropack_units::{Celsius, Pressure};
+///
+/// let air = air_at(Celsius::new(20.0), Pressure::standard_atmosphere());
+/// assert!((air.density.value() - 1.204).abs() < 0.01);
+/// assert!((air.prandtl() - 0.71).abs() < 0.02);
+/// ```
+pub fn air_at(temperature: Celsius, pressure: Pressure) -> AirState {
+    let t = temperature.kelvin();
+    // Sutherland's law, reference 273.15 K.
+    let mu = 1.716e-5 * (t / 273.15).powf(1.5) * (273.15 + 110.4) / (t + 110.4);
+    // Conductivity power-law anchored at k(300 K) = 0.02624 W/mK.
+    let k = 0.02624 * (t / 300.0).powf(0.8646);
+    // cp varies weakly below 500 K; linear fit around 300 K.
+    let cp = 1006.0 + 0.05 * (t - 300.0);
+    let rho = pressure.value() / (R_AIR * t);
+    AirState {
+        temperature,
+        pressure,
+        density: Density::new(rho),
+        conductivity: ThermalConductivity::new(k),
+        dynamic_viscosity: mu,
+        specific_heat: SpecificHeat::new(cp),
+    }
+}
+
+/// Evaluates dry-air properties at a given temperature and one standard
+/// atmosphere.
+pub fn air_at_sea_level(temperature: Celsius) -> AirState {
+    air_at(temperature, Pressure::standard_atmosphere())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handbook_values_at_300_kelvin() {
+        let air = air_at(Celsius::from_kelvin(300.0), Pressure::standard_atmosphere());
+        // Incropera Table A.4: ρ=1.1614, µ=1.846e-5, k=0.0263, Pr=0.707.
+        assert!((air.density.value() - 1.1614).abs() < 0.02);
+        assert!((air.dynamic_viscosity - 1.846e-5).abs() < 0.05e-5);
+        assert!((air.conductivity.value() - 0.0263).abs() < 0.001);
+        assert!((air.prandtl() - 0.707).abs() < 0.02);
+    }
+
+    #[test]
+    fn handbook_values_at_350_kelvin() {
+        let air = air_at(Celsius::from_kelvin(350.0), Pressure::standard_atmosphere());
+        // Incropera: ρ=0.995, µ=2.082e-5, k=0.030.
+        assert!((air.density.value() - 0.995).abs() < 0.02);
+        assert!((air.dynamic_viscosity - 2.082e-5).abs() < 0.06e-5);
+        assert!((air.conductivity.value() - 0.030).abs() < 0.0015);
+    }
+
+    #[test]
+    fn density_scales_with_pressure() {
+        let t = Celsius::new(20.0);
+        let sea = air_at(t, Pressure::standard_atmosphere());
+        // Cruise-cabin-adjacent bay at reduced pressure.
+        let altitude = air_at(t, Pressure::from_kilopascals(75.0));
+        let ratio = altitude.density.value() / sea.density.value();
+        assert!((ratio - 75.0 / 101.325).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_soak_extreme_is_usable() {
+        // The paper's −45 °C thermal-shock extreme must be evaluable.
+        let air = air_at_sea_level(Celsius::new(-45.0));
+        assert!(air.density.value() > 1.4);
+        assert!(air.prandtl() > 0.6 && air.prandtl() < 0.8);
+    }
+
+    #[test]
+    fn expansion_coefficient_is_inverse_kelvin() {
+        let air = air_at_sea_level(Celsius::new(26.85));
+        assert!((air.expansion_coefficient() - 1.0 / 300.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! The International Standard Atmosphere (ISA) — ambient pressure and
+//! temperature versus altitude, up to 20 km.
+//!
+//! Avionics cooling is certified against altitude as well as
+//! temperature (DO-160 §4): air density falls with altitude, and with
+//! it every convective film coefficient. This module provides the
+//! standard profile so the convection correlations can be evaluated at
+//! bay conditions.
+
+use aeropack_units::{Celsius, Pressure};
+
+use crate::air::{air_at, AirState};
+use crate::error::MaterialError;
+
+/// Sea-level ISA temperature, °C.
+const T0_C: f64 = 15.0;
+/// Tropospheric lapse rate, K/m.
+const LAPSE: f64 = 6.5e-3;
+/// Tropopause altitude, m.
+const TROPOPAUSE_M: f64 = 11_000.0;
+/// Model ceiling, m.
+const CEILING_M: f64 = 20_000.0;
+/// Specific gas constant of air, J/(kg·K).
+const R_AIR: f64 = 287.058;
+/// Standard gravity, m/s².
+const G0: f64 = 9.806_65;
+
+/// The ISA state at one altitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsaPoint {
+    /// Geopotential altitude, m.
+    pub altitude_m: f64,
+    /// Standard temperature at that altitude.
+    pub temperature: Celsius,
+    /// Standard pressure at that altitude.
+    pub pressure: Pressure,
+}
+
+/// Evaluates the standard atmosphere at a geopotential altitude.
+///
+/// # Errors
+///
+/// Returns an error below −500 m or above the 20 km model ceiling.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_materials::isa_atmosphere;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cruise = isa_atmosphere(11_000.0)?;
+/// assert!((cruise.temperature.value() + 56.5).abs() < 0.1);
+/// assert!((cruise.pressure.kilopascals() - 22.6).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn isa_atmosphere(altitude_m: f64) -> Result<IsaPoint, MaterialError> {
+    if !(-500.0..=CEILING_M).contains(&altitude_m) {
+        return Err(MaterialError::TemperatureOutOfRange {
+            what: "ISA atmosphere model (−500 m … 20 km)".into(),
+            requested_c: altitude_m,
+            min_c: -500.0,
+            max_c: CEILING_M,
+        });
+    }
+    let p0 = Pressure::standard_atmosphere().value();
+    let t0_k = Celsius::new(T0_C).kelvin();
+    if altitude_m <= TROPOPAUSE_M {
+        let t_k = t0_k - LAPSE * altitude_m;
+        let p = p0 * (t_k / t0_k).powf(G0 / (R_AIR * LAPSE));
+        Ok(IsaPoint {
+            altitude_m,
+            temperature: Celsius::from_kelvin(t_k),
+            pressure: Pressure::new(p),
+        })
+    } else {
+        // Isothermal stratosphere above the tropopause.
+        let t11_k = t0_k - LAPSE * TROPOPAUSE_M;
+        let p11 = p0 * (t11_k / t0_k).powf(G0 / (R_AIR * LAPSE));
+        let p = p11 * (-(altitude_m - TROPOPAUSE_M) * G0 / (R_AIR * t11_k)).exp();
+        Ok(IsaPoint {
+            altitude_m,
+            temperature: Celsius::from_kelvin(t11_k),
+            pressure: Pressure::new(p),
+        })
+    }
+}
+
+/// Air transport properties at an altitude, with an optional ISA
+/// deviation (hot-day/cold-day analysis) applied to the temperature.
+///
+/// # Errors
+///
+/// Returns an error outside the ISA model range.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_materials::air_at_altitude;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bay = air_at_altitude(8_000.0, 20.0)?; // ISA+20 hot day
+/// assert!(bay.density.value() < 0.6); // thin air up there
+/// # Ok(())
+/// # }
+/// ```
+pub fn air_at_altitude(altitude_m: f64, delta_isa_k: f64) -> Result<AirState, MaterialError> {
+    let isa = isa_atmosphere(altitude_m)?;
+    let t = Celsius::new(isa.temperature.value() + delta_isa_k);
+    Ok(air_at(t, isa.pressure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sea_level_anchors() {
+        let sl = isa_atmosphere(0.0).unwrap();
+        assert!((sl.temperature.value() - 15.0).abs() < 1e-9);
+        assert!((sl.pressure.value() - 101_325.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tropopause_anchor() {
+        // Standard values: −56.5 °C and 226.32 hPa at 11 km.
+        let tp = isa_atmosphere(11_000.0).unwrap();
+        assert!((tp.temperature.value() + 56.5).abs() < 0.05);
+        assert!((tp.pressure.value() - 22_632.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn stratosphere_is_isothermal_but_thinning() {
+        let a = isa_atmosphere(12_000.0).unwrap();
+        let b = isa_atmosphere(16_000.0).unwrap();
+        assert_eq!(a.temperature, b.temperature);
+        assert!(b.pressure.value() < a.pressure.value());
+        // 16 km standard pressure ≈ 10.35 kPa.
+        assert!((b.pressure.kilopascals() - 10.35).abs() < 0.3);
+    }
+
+    #[test]
+    fn pressure_monotone_with_altitude() {
+        let mut last = f64::INFINITY;
+        for h in (0..=20).map(|k| k as f64 * 1000.0) {
+            let p = isa_atmosphere(h).unwrap().pressure.value();
+            assert!(p < last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn density_collapses_at_cruise() {
+        let sl = air_at_altitude(0.0, 0.0).unwrap();
+        let cruise = air_at_altitude(11_000.0, 0.0).unwrap();
+        let ratio = cruise.density.value() / sl.density.value();
+        // Standard: ρ(11 km)/ρ(0) ≈ 0.297.
+        assert!((ratio - 0.297).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(isa_atmosphere(-1000.0).is_err());
+        assert!(isa_atmosphere(25_000.0).is_err());
+    }
+
+    #[test]
+    fn hot_day_offset_applies() {
+        let std = air_at_altitude(5_000.0, 0.0).unwrap();
+        let hot = air_at_altitude(5_000.0, 20.0).unwrap();
+        assert!((hot.temperature.value() - std.temperature.value() - 20.0).abs() < 1e-9);
+        assert!(hot.density.value() < std.density.value());
+    }
+}

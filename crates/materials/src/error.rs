@@ -1,0 +1,74 @@
+//! Error type for property lookups.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a property is requested outside its validity range
+/// or a construction argument is physically meaningless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaterialError {
+    /// A temperature fell outside the validity range of a property
+    /// correlation or table.
+    TemperatureOutOfRange {
+        /// The item (fluid or correlation) whose range was violated.
+        what: String,
+        /// Requested temperature, °C.
+        requested_c: f64,
+        /// Lower validity bound, °C.
+        min_c: f64,
+        /// Upper validity bound, °C.
+        max_c: f64,
+    },
+    /// A constructor argument was not physically meaningful
+    /// (non-positive thickness, fraction outside `[0, 1]`, …).
+    InvalidArgument {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MaterialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TemperatureOutOfRange {
+                what,
+                requested_c,
+                min_c,
+                max_c,
+            } => write!(
+                f,
+                "temperature {requested_c} °C outside the validity range \
+                 [{min_c}, {max_c}] °C of {what}"
+            ),
+            Self::InvalidArgument {
+                name,
+                constraint,
+                value,
+            } => write!(f, "argument `{name}` = {value} violates: {constraint}"),
+        }
+    }
+}
+
+impl Error for MaterialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MaterialError::TemperatureOutOfRange {
+            what: "water saturation table".into(),
+            requested_c: 300.0,
+            min_c: 0.0,
+            max_c: 200.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains("water"));
+    }
+}

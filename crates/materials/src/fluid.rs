@@ -1,0 +1,455 @@
+//! Two-phase working fluids for heat pipes, loop heat pipes and
+//! thermosyphons.
+//!
+//! Each fluid carries an Antoine saturation-pressure correlation and a
+//! sparse property table interpolated linearly in temperature. The table
+//! values are standard engineering-handbook numbers — adequate for
+//! operating-limit and loop-closure calculations, which is what the
+//! paper's COSEE devices require.
+
+use aeropack_units::{Celsius, Density, Pressure, ThermalConductivity};
+
+use crate::error::MaterialError;
+use crate::GAS_CONSTANT;
+
+/// One row of a saturation-property table.
+#[derive(Debug, Clone, Copy)]
+struct TableRow {
+    /// Temperature, °C.
+    t_c: f64,
+    /// Latent heat of vaporisation, kJ/kg.
+    h_fg_kj: f64,
+    /// Saturated-liquid density, kg/m³.
+    rho_l: f64,
+    /// Saturated-liquid dynamic viscosity, mPa·s.
+    mu_l_mpa_s: f64,
+    /// Saturated-liquid thermal conductivity, W/(m·K).
+    k_l: f64,
+    /// Surface tension, mN/m.
+    sigma_mn: f64,
+}
+
+/// Antoine coefficients in the conventional (°C, mmHg, log₁₀) form:
+/// `log10(P[mmHg]) = a − b / (c + T[°C])`.
+#[derive(Debug, Clone, Copy)]
+struct Antoine {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl Antoine {
+    fn pressure(&self, t_c: f64) -> Pressure {
+        let mmhg = 10f64.powf(self.a - self.b / (self.c + t_c));
+        Pressure::new(mmhg * 133.322)
+    }
+}
+
+/// The saturation state of a working fluid at one temperature: everything
+/// the two-phase device models need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Saturation {
+    /// Saturation temperature.
+    pub temperature: Celsius,
+    /// Saturation (vapour) pressure.
+    pub pressure: Pressure,
+    /// Latent heat of vaporisation, J/kg.
+    pub latent_heat: f64,
+    /// Saturated-liquid density.
+    pub liquid_density: Density,
+    /// Saturated-vapour density (ideal-gas estimate).
+    pub vapor_density: Density,
+    /// Saturated-liquid dynamic viscosity, Pa·s.
+    pub liquid_viscosity: f64,
+    /// Saturated-vapour dynamic viscosity, Pa·s.
+    pub vapor_viscosity: f64,
+    /// Saturated-liquid thermal conductivity.
+    pub liquid_conductivity: ThermalConductivity,
+    /// Surface tension, N/m.
+    pub surface_tension: f64,
+}
+
+impl Saturation {
+    /// The figure of merit for capillary two-phase devices (the "merit
+    /// number"): `M = ρ_l · σ · h_fg / µ_l`, W/m².
+    ///
+    /// Higher is better; it ranks fluids for heat-pipe duty.
+    pub fn merit_number(&self) -> f64 {
+        self.liquid_density.value() * self.surface_tension * self.latent_heat
+            / self.liquid_viscosity
+    }
+}
+
+/// A two-phase working fluid with tabulated saturation properties.
+///
+/// The five fluids the COSEE-style hardware actually uses are provided as
+/// constructors ([`WorkingFluid::water`], [`WorkingFluid::ammonia`],
+/// [`WorkingFluid::acetone`], [`WorkingFluid::methanol`],
+/// [`WorkingFluid::ethanol`]).
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_materials::WorkingFluid;
+/// use aeropack_units::Celsius;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ammonia = WorkingFluid::ammonia();
+/// let sat = ammonia.saturation(Celsius::new(20.0))?;
+/// assert!(sat.pressure.bar() > 7.0); // NH₃ is a pressurised fluid
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkingFluid {
+    name: &'static str,
+    molar_mass: f64,
+    antoine: Antoine,
+    /// Vapour viscosity at the reference temperature, Pa·s.
+    mu_v_ref: f64,
+    /// Reference temperature for vapour viscosity, K.
+    t_ref_k: f64,
+    table: &'static [TableRow],
+}
+
+macro_rules! rows {
+    ($( [$t:expr, $h:expr, $rl:expr, $ml:expr, $kl:expr, $s:expr] ),+ $(,)?) => {
+        &[ $( TableRow { t_c: $t, h_fg_kj: $h, rho_l: $rl, mu_l_mpa_s: $ml, k_l: $kl, sigma_mn: $s } ),+ ]
+    };
+}
+
+static WATER_TABLE: &[TableRow] = rows![
+    [0.01, 2501.0, 999.8, 1.792, 0.561, 75.6],
+    [25.0, 2442.0, 997.0, 0.890, 0.607, 72.0],
+    [50.0, 2382.0, 988.0, 0.547, 0.644, 67.9],
+    [75.0, 2321.0, 974.8, 0.378, 0.667, 63.6],
+    [100.0, 2257.0, 958.4, 0.282, 0.679, 58.9],
+    [150.0, 2114.0, 917.0, 0.182, 0.682, 48.6],
+    [200.0, 1940.0, 864.7, 0.134, 0.663, 37.7],
+];
+
+static AMMONIA_TABLE: &[TableRow] = rows![
+    [-40.0, 1390.0, 690.0, 0.281, 0.614, 35.4],
+    [-20.0, 1329.0, 665.0, 0.236, 0.585, 30.4],
+    [0.0, 1262.0, 639.0, 0.190, 0.540, 26.8],
+    [20.0, 1186.0, 610.0, 0.152, 0.500, 21.9],
+    [40.0, 1099.0, 579.0, 0.125, 0.450, 18.0],
+    [60.0, 997.0, 545.0, 0.105, 0.400, 14.2],
+    [80.0, 870.0, 505.0, 0.088, 0.345, 10.5],
+    [100.0, 715.0, 456.0, 0.070, 0.290, 6.8],
+];
+
+static ACETONE_TABLE: &[TableRow] = rows![
+    [0.0, 564.0, 812.0, 0.40, 0.171, 26.2],
+    [20.0, 546.0, 790.0, 0.32, 0.161, 23.7],
+    [40.0, 536.0, 768.0, 0.27, 0.152, 21.2],
+    [60.0, 517.0, 746.0, 0.23, 0.146, 18.6],
+    [80.0, 495.0, 719.0, 0.20, 0.138, 16.2],
+    [100.0, 471.0, 693.0, 0.17, 0.132, 13.4],
+];
+
+static METHANOL_TABLE: &[TableRow] = rows![
+    [0.0, 1194.0, 810.0, 0.82, 0.210, 24.5],
+    [20.0, 1169.0, 791.0, 0.59, 0.203, 22.6],
+    [40.0, 1144.0, 772.0, 0.45, 0.197, 20.9],
+    [60.0, 1115.0, 754.0, 0.35, 0.190, 18.9],
+    [80.0, 1084.0, 735.0, 0.29, 0.184, 17.0],
+    [100.0, 1047.0, 714.0, 0.24, 0.177, 15.0],
+];
+
+static ETHANOL_TABLE: &[TableRow] = rows![
+    [0.0, 921.0, 806.0, 1.77, 0.174, 24.0],
+    [20.0, 904.0, 789.0, 1.20, 0.171, 22.3],
+    [40.0, 885.0, 772.0, 0.83, 0.168, 20.6],
+    [60.0, 862.0, 754.0, 0.59, 0.165, 18.9],
+    [78.3, 837.0, 737.0, 0.45, 0.162, 17.3],
+    [100.0, 800.0, 716.0, 0.34, 0.158, 15.5],
+];
+
+impl WorkingFluid {
+    /// Distilled water — the classic copper/water heat-pipe fill.
+    pub fn water() -> Self {
+        Self {
+            name: "water",
+            molar_mass: 0.018_015,
+            antoine: Antoine {
+                a: 8.07131,
+                b: 1730.63,
+                c: 233.426,
+            },
+            mu_v_ref: 12.0e-6,
+            t_ref_k: 373.15,
+            table: WATER_TABLE,
+        }
+    }
+
+    /// Anhydrous ammonia — the standard LHP working fluid (the COSEE
+    /// loop heat pipes from ITP are ammonia devices).
+    pub fn ammonia() -> Self {
+        Self {
+            name: "ammonia",
+            molar_mass: 0.017_031,
+            antoine: Antoine {
+                a: 7.36050,
+                b: 926.132,
+                c: 240.17,
+            },
+            mu_v_ref: 9.8e-6,
+            t_ref_k: 293.15,
+            table: AMMONIA_TABLE,
+        }
+    }
+
+    /// Acetone — low-temperature heat-pipe fill for aluminium envelopes.
+    pub fn acetone() -> Self {
+        Self {
+            name: "acetone",
+            molar_mass: 0.058_08,
+            antoine: Antoine {
+                a: 7.02447,
+                b: 1161.0,
+                c: 224.0,
+            },
+            mu_v_ref: 8.0e-6,
+            t_ref_k: 300.0,
+            table: ACETONE_TABLE,
+        }
+    }
+
+    /// Methanol — mid-range heat-pipe fill.
+    pub fn methanol() -> Self {
+        Self {
+            name: "methanol",
+            molar_mass: 0.032_04,
+            antoine: Antoine {
+                a: 7.89750,
+                b: 1474.08,
+                c: 229.13,
+            },
+            mu_v_ref: 9.7e-6,
+            t_ref_k: 300.0,
+            table: METHANOL_TABLE,
+        }
+    }
+
+    /// Ethanol — alternative mid-range fill.
+    pub fn ethanol() -> Self {
+        Self {
+            name: "ethanol",
+            molar_mass: 0.046_07,
+            antoine: Antoine {
+                a: 8.20417,
+                b: 1642.89,
+                c: 230.3,
+            },
+            mu_v_ref: 9.0e-6,
+            t_ref_k: 300.0,
+            table: ETHANOL_TABLE,
+        }
+    }
+
+    /// The fluid's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Molar mass in kg/mol.
+    pub fn molar_mass(&self) -> f64 {
+        self.molar_mass
+    }
+
+    /// Lower bound of the validity range.
+    pub fn min_temperature(&self) -> Celsius {
+        Celsius::new(self.table[0].t_c)
+    }
+
+    /// Upper bound of the validity range.
+    pub fn max_temperature(&self) -> Celsius {
+        Celsius::new(self.table[self.table.len() - 1].t_c)
+    }
+
+    /// Evaluates the complete saturation state at `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaterialError::TemperatureOutOfRange`] when `t` lies
+    /// outside the tabulated range of this fluid.
+    pub fn saturation(&self, t: Celsius) -> Result<Saturation, MaterialError> {
+        let t_c = t.value();
+        let (lo, hi) = (self.table[0].t_c, self.table[self.table.len() - 1].t_c);
+        if !(lo..=hi).contains(&t_c) {
+            return Err(MaterialError::TemperatureOutOfRange {
+                what: format!("{} saturation table", self.name),
+                requested_c: t_c,
+                min_c: lo,
+                max_c: hi,
+            });
+        }
+        // Locate the bracketing rows and interpolate linearly.
+        let idx = self
+            .table
+            .windows(2)
+            .position(|w| t_c <= w[1].t_c)
+            .expect("t within table bounds");
+        let (r0, r1) = (&self.table[idx], &self.table[idx + 1]);
+        let f = if (r1.t_c - r0.t_c).abs() < f64::EPSILON {
+            0.0
+        } else {
+            (t_c - r0.t_c) / (r1.t_c - r0.t_c)
+        };
+        let lerp = |a: f64, b: f64| a + f * (b - a);
+
+        let pressure = self.antoine.pressure(t_c);
+        let t_k = t.kelvin();
+        let rho_v = pressure.value() * self.molar_mass / (GAS_CONSTANT * t_k);
+        let mu_v = self.mu_v_ref * (t_k / self.t_ref_k).sqrt();
+
+        Ok(Saturation {
+            temperature: t,
+            pressure,
+            latent_heat: lerp(r0.h_fg_kj, r1.h_fg_kj) * 1e3,
+            liquid_density: Density::new(lerp(r0.rho_l, r1.rho_l)),
+            vapor_density: Density::new(rho_v),
+            liquid_viscosity: lerp(r0.mu_l_mpa_s, r1.mu_l_mpa_s) * 1e-3,
+            vapor_viscosity: mu_v,
+            liquid_conductivity: ThermalConductivity::new(lerp(r0.k_l, r1.k_l)),
+            surface_tension: lerp(r0.sigma_mn, r1.sigma_mn) * 1e-3,
+        })
+    }
+
+    /// Slope of the saturation curve dP/dT at `t`, Pa/K, by a centred
+    /// finite difference on the Antoine correlation. Used by the sonic
+    /// and Clausius–Clapeyron consistency checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `t` is out of the validity range.
+    pub fn saturation_slope(&self, t: Celsius) -> Result<f64, MaterialError> {
+        // Range-check via saturation().
+        let _ = self.saturation(t)?;
+        let h = 0.01;
+        let p_hi = self.antoine.pressure(t.value() + h).value();
+        let p_lo = self.antoine.pressure(t.value() - h).value();
+        Ok((p_hi - p_lo) / (2.0 * h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_fluids() -> Vec<WorkingFluid> {
+        vec![
+            WorkingFluid::water(),
+            WorkingFluid::ammonia(),
+            WorkingFluid::acetone(),
+            WorkingFluid::methanol(),
+            WorkingFluid::ethanol(),
+        ]
+    }
+
+    #[test]
+    fn water_boils_at_one_atmosphere() {
+        let sat = WorkingFluid::water()
+            .saturation(Celsius::new(100.0))
+            .unwrap();
+        assert!((sat.pressure.kilopascals() - 101.325).abs() < 2.5);
+        assert!((sat.latent_heat - 2.257e6).abs() < 1e4);
+    }
+
+    #[test]
+    fn acetone_boils_near_56c() {
+        // Antoine should give 1 atm at ≈ 56.1 °C.
+        let f = WorkingFluid::acetone();
+        let p56 = f.saturation(Celsius::new(56.1)).unwrap().pressure;
+        assert!((p56.kilopascals() - 101.325).abs() < 4.0);
+    }
+
+    #[test]
+    fn ammonia_is_pressurized_at_room_temperature() {
+        let sat = WorkingFluid::ammonia()
+            .saturation(Celsius::new(20.0))
+            .unwrap();
+        // NH₃ saturation at 20 °C ≈ 8.6 bar.
+        assert!((sat.pressure.bar() - 8.6).abs() < 0.5);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let err = WorkingFluid::water()
+            .saturation(Celsius::new(250.0))
+            .unwrap_err();
+        assert!(matches!(err, MaterialError::TemperatureOutOfRange { .. }));
+    }
+
+    #[test]
+    fn properties_are_positive_and_monotone_sensible() {
+        for fluid in all_fluids() {
+            let lo = fluid.min_temperature().value();
+            let hi = fluid.max_temperature().value();
+            let mut last_p = 0.0;
+            let mut last_sigma = f64::INFINITY;
+            let mut last_mu = f64::INFINITY;
+            let n = 25;
+            for i in 0..=n {
+                let t = Celsius::new(lo + (hi - lo) * i as f64 / n as f64);
+                let s = fluid.saturation(t).unwrap();
+                assert!(s.pressure.value() > last_p, "{}: P monotone", fluid.name());
+                assert!(
+                    s.surface_tension <= last_sigma + 1e-12,
+                    "{}: σ decreasing",
+                    fluid.name()
+                );
+                assert!(
+                    s.liquid_viscosity <= last_mu + 1e-12,
+                    "{}: µ_l decreasing",
+                    fluid.name()
+                );
+                assert!(s.latent_heat > 1e5, "{}: h_fg", fluid.name());
+                assert!(
+                    s.vapor_density.value() < s.liquid_density.value(),
+                    "{}: ρ_v < ρ_l",
+                    fluid.name()
+                );
+                last_p = s.pressure.value();
+                last_sigma = s.surface_tension;
+                last_mu = s.liquid_viscosity;
+            }
+        }
+    }
+
+    #[test]
+    fn clausius_clapeyron_consistency() {
+        // dP/dT ≈ h_fg · ρ_v / T within ~12 % for an ideal-gas vapour far
+        // from critical; checks that Antoine and the table agree.
+        for fluid in all_fluids() {
+            let mid = Celsius::new(
+                0.5 * (fluid.min_temperature().value() + fluid.max_temperature().value()),
+            );
+            let s = fluid.saturation(mid).unwrap();
+            let slope = fluid.saturation_slope(mid).unwrap();
+            let cc = s.latent_heat * s.vapor_density.value() / mid.kelvin();
+            let rel = (slope - cc).abs() / cc;
+            assert!(
+                rel < 0.15,
+                "{}: Antoine vs Clausius-Clapeyron differ by {:.1}%",
+                fluid.name(),
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn water_has_best_merit_number_at_100c() {
+        // Classic heat-pipe ranking: water dominates mid-range fluids.
+        let water = WorkingFluid::water()
+            .saturation(Celsius::new(100.0))
+            .unwrap()
+            .merit_number();
+        let methanol = WorkingFluid::methanol()
+            .saturation(Celsius::new(100.0))
+            .unwrap()
+            .merit_number();
+        assert!(water > 5.0 * methanol);
+    }
+}

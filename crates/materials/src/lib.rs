@@ -1,0 +1,52 @@
+//! Material and working-fluid property database for avionics packaging.
+//!
+//! Four families of data live here:
+//!
+//! * [`Material`] — solid structural/thermal materials (aluminium alloys,
+//!   copper, FR-4, carbon composite, solders, ceramics) with the constants
+//!   needed by both the thermal and the mechanical solvers.
+//! * [`AirState`] / [`air_at`] — dry-air transport properties as a
+//!   function of temperature and pressure, used by every convection
+//!   correlation.
+//! * [`WorkingFluid`] — two-phase working fluids (water, ammonia, acetone,
+//!   methanol, ethanol) with saturation curves, used by the heat-pipe and
+//!   loop-heat-pipe models.
+//! * [`PcbLaminate`] — effective orthotropic conductivity of a copper/FR-4
+//!   layup, the quantity that the paper's Level-2 simulations optimise
+//!   ("copper layers, specific drains").
+//!
+//! # Examples
+//!
+//! ```
+//! use aeropack_materials::{Material, WorkingFluid};
+//! use aeropack_units::Celsius;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let alu = Material::aluminum_6061();
+//! assert!(alu.thermal_conductivity.value() > 150.0);
+//!
+//! let sat = WorkingFluid::water().saturation(Celsius::new(100.0))?;
+//! assert!((sat.pressure.kilopascals() - 101.3).abs() < 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod air;
+mod atmosphere;
+mod error;
+mod fluid;
+mod pcb;
+mod solid;
+
+pub use air::{air_at, air_at_sea_level, AirState};
+pub use atmosphere::{air_at_altitude, isa_atmosphere, IsaPoint};
+pub use error::MaterialError;
+pub use fluid::{Saturation, WorkingFluid};
+pub use pcb::{PcbLaminate, PcbLayer};
+pub use solid::Material;
+
+/// Universal gas constant, J/(mol·K).
+pub const GAS_CONSTANT: f64 = 8.314_462_618;

@@ -1,0 +1,283 @@
+//! Effective orthotropic conductivity of a PCB copper/dielectric layup.
+//!
+//! The paper's Level-2 design loop optimises "copper layers, specific
+//! drains, thermal wedge lock"; the quantity being tuned is exactly the
+//! in-plane effective conductivity computed here.
+
+use aeropack_units::{Length, ThermalConductivity};
+
+use crate::error::MaterialError;
+use crate::solid::Material;
+
+/// One layer of a PCB stack: a conductor plane (with fractional coverage)
+/// or a dielectric core/prepreg.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcbLayer {
+    /// Layer thickness.
+    pub thickness: Length,
+    /// Conductivity of the layer's bulk material.
+    pub conductivity: ThermalConductivity,
+    /// Fraction of the layer plane actually occupied by that material
+    /// (copper coverage); the rest is assumed to be FR-4 resin.
+    pub coverage: f64,
+}
+
+impl PcbLayer {
+    /// A copper plane of the given thickness and areal coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `coverage` is outside `[0, 1]` or the
+    /// thickness is not positive.
+    pub fn copper(thickness: Length, coverage: f64) -> Result<Self, MaterialError> {
+        if !(0.0..=1.0).contains(&coverage) {
+            return Err(MaterialError::InvalidArgument {
+                name: "coverage",
+                constraint: "must lie in [0, 1]",
+                value: coverage,
+            });
+        }
+        if thickness.value() <= 0.0 {
+            return Err(MaterialError::InvalidArgument {
+                name: "thickness",
+                constraint: "must be strictly positive",
+                value: thickness.value(),
+            });
+        }
+        Ok(Self {
+            thickness,
+            conductivity: Material::copper().thermal_conductivity,
+            coverage,
+        })
+    }
+
+    /// Standard 1 oz copper (35 µm) plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `coverage` is outside `[0, 1]`.
+    pub fn one_ounce_copper(coverage: f64) -> Result<Self, MaterialError> {
+        Self::copper(Length::from_micrometers(35.0), coverage)
+    }
+
+    /// An FR-4 dielectric core of the given thickness.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the thickness is not positive.
+    pub fn fr4_core(thickness: Length) -> Result<Self, MaterialError> {
+        if thickness.value() <= 0.0 {
+            return Err(MaterialError::InvalidArgument {
+                name: "thickness",
+                constraint: "must be strictly positive",
+                value: thickness.value(),
+            });
+        }
+        Ok(Self {
+            thickness,
+            conductivity: Material::fr4().thermal_conductivity,
+            coverage: 1.0,
+        })
+    }
+
+    /// Effective in-plane conductivity of this layer (rule of mixtures
+    /// between the layer material and FR-4 resin).
+    fn k_in_plane(&self) -> f64 {
+        let k_resin = Material::fr4().thermal_conductivity.value();
+        self.coverage * self.conductivity.value() + (1.0 - self.coverage) * k_resin
+    }
+
+    /// Effective through-plane conductivity of this layer (parallel paths
+    /// through the covered and uncovered fractions).
+    fn k_through(&self) -> f64 {
+        let k_resin = Material::fr4().thermal_conductivity.value();
+        self.coverage * self.conductivity.value() + (1.0 - self.coverage) * k_resin
+    }
+}
+
+/// A complete PCB stack with effective orthotropic conductivities.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_materials::{PcbLaminate, PcbLayer};
+/// use aeropack_units::Length;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 1.6 mm 6-layer board with four full ground/power planes.
+/// let board = PcbLaminate::symmetric(6, 4, Length::from_millimeters(1.6))?;
+/// // In-plane conduction is dominated by copper: tens of W/mK.
+/// assert!(board.in_plane_conductivity().value() > 20.0);
+/// // Through-plane stays resin-limited: below 1 W/mK.
+/// assert!(board.through_plane_conductivity().value() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcbLaminate {
+    layers: Vec<PcbLayer>,
+}
+
+impl PcbLaminate {
+    /// Builds a laminate from an explicit layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stack is empty.
+    pub fn new(layers: Vec<PcbLayer>) -> Result<Self, MaterialError> {
+        if layers.is_empty() {
+            return Err(MaterialError::InvalidArgument {
+                name: "layers",
+                constraint: "stack must contain at least one layer",
+                value: 0.0,
+            });
+        }
+        Ok(Self { layers })
+    }
+
+    /// Builds a symmetric board: `copper_layers` planes of 1 oz copper
+    /// (full planes for the first `full_planes`, 30 % coverage signal
+    /// layers for the rest) separated by equal FR-4 cores filling the
+    /// remaining thickness.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `copper_layers == 0`, `full_planes >
+    /// copper_layers`, or the copper alone is thicker than
+    /// `total_thickness`.
+    pub fn symmetric(
+        copper_layers: usize,
+        full_planes: usize,
+        total_thickness: Length,
+    ) -> Result<Self, MaterialError> {
+        if copper_layers == 0 {
+            return Err(MaterialError::InvalidArgument {
+                name: "copper_layers",
+                constraint: "must be at least 1",
+                value: 0.0,
+            });
+        }
+        if full_planes > copper_layers {
+            return Err(MaterialError::InvalidArgument {
+                name: "full_planes",
+                constraint: "cannot exceed copper_layers",
+                value: full_planes as f64,
+            });
+        }
+        let cu_t = Length::from_micrometers(35.0);
+        let copper_total = cu_t.value() * copper_layers as f64;
+        if copper_total >= total_thickness.value() {
+            return Err(MaterialError::InvalidArgument {
+                name: "total_thickness",
+                constraint: "must exceed the combined copper thickness",
+                value: total_thickness.value(),
+            });
+        }
+        let n_cores = copper_layers + 1;
+        let core_t = Length::new((total_thickness.value() - copper_total) / n_cores as f64);
+        let mut layers = Vec::with_capacity(copper_layers + n_cores);
+        layers.push(PcbLayer::fr4_core(core_t)?);
+        for i in 0..copper_layers {
+            let coverage = if i < full_planes { 0.95 } else { 0.30 };
+            layers.push(PcbLayer::copper(cu_t, coverage)?);
+            layers.push(PcbLayer::fr4_core(core_t)?);
+        }
+        Self::new(layers)
+    }
+
+    /// Total stack thickness.
+    pub fn thickness(&self) -> Length {
+        Length::new(self.layers.iter().map(|l| l.thickness.value()).sum())
+    }
+
+    /// Effective in-plane conductivity (thickness-weighted arithmetic
+    /// mean — layers conduct in parallel).
+    pub fn in_plane_conductivity(&self) -> ThermalConductivity {
+        let total = self.thickness().value();
+        let sum: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.k_in_plane() * l.thickness.value())
+            .sum();
+        ThermalConductivity::new(sum / total)
+    }
+
+    /// Effective through-plane conductivity (thickness-weighted harmonic
+    /// mean — layers conduct in series).
+    pub fn through_plane_conductivity(&self) -> ThermalConductivity {
+        let total = self.thickness().value();
+        let sum: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.thickness.value() / l.k_through())
+            .sum();
+        ThermalConductivity::new(total / sum)
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[PcbLayer] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_copper_more_in_plane_conduction() {
+        let t = Length::from_millimeters(1.6);
+        let two = PcbLaminate::symmetric(2, 2, t).unwrap();
+        let six = PcbLaminate::symmetric(6, 6, t).unwrap();
+        assert!(
+            six.in_plane_conductivity().value() > 2.5 * two.in_plane_conductivity().value(),
+            "six planes should carry much more heat in-plane"
+        );
+    }
+
+    #[test]
+    fn through_plane_is_resin_limited() {
+        let board = PcbLaminate::symmetric(8, 8, Length::from_millimeters(2.0)).unwrap();
+        let k_z = board.through_plane_conductivity().value();
+        let k_fr4 = Material::fr4().thermal_conductivity.value();
+        assert!(k_z < 3.0 * k_fr4, "through-plane must stay near resin k");
+    }
+
+    #[test]
+    fn thickness_is_preserved() {
+        let t = Length::from_millimeters(1.6);
+        let board = PcbLaminate::symmetric(4, 2, t).unwrap();
+        assert!((board.thickness().value() - t.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anisotropy_ratio_is_large() {
+        let board = PcbLaminate::symmetric(6, 4, Length::from_millimeters(1.6)).unwrap();
+        let ratio =
+            board.in_plane_conductivity().value() / board.through_plane_conductivity().value();
+        assert!(
+            ratio > 30.0,
+            "typical PCB anisotropy is O(100): got {ratio}"
+        );
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(PcbLayer::one_ounce_copper(1.5).is_err());
+        assert!(PcbLayer::fr4_core(Length::ZERO).is_err());
+        assert!(PcbLaminate::new(vec![]).is_err());
+        assert!(PcbLaminate::symmetric(0, 0, Length::from_millimeters(1.6)).is_err());
+        assert!(PcbLaminate::symmetric(2, 3, Length::from_millimeters(1.6)).is_err());
+        // 50 layers of copper cannot fit in 1 mm.
+        assert!(PcbLaminate::symmetric(50, 50, Length::from_millimeters(1.0)).is_err());
+    }
+
+    #[test]
+    fn in_plane_bounds() {
+        // Effective k must lie between the resin and copper bounds.
+        let board = PcbLaminate::symmetric(4, 4, Length::from_millimeters(1.6)).unwrap();
+        let k = board.in_plane_conductivity().value();
+        assert!(k > Material::fr4().thermal_conductivity.value());
+        assert!(k < Material::copper().thermal_conductivity.value());
+    }
+}

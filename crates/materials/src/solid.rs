@@ -1,0 +1,258 @@
+//! Solid material library.
+
+use aeropack_units::{Density, SpecificHeat, Stress, ThermalConductivity};
+
+/// An isotropic solid material with the constants needed by both the
+/// thermal and the structural solvers.
+///
+/// All fields are public: this is a passive record in the C-struct spirit,
+/// and downstream crates legitimately build custom materials (e.g. the
+/// NANOPACK composites) by struct literal update syntax:
+///
+/// ```
+/// use aeropack_materials::Material;
+/// use aeropack_units::ThermalConductivity;
+///
+/// let nanopack_composite = Material {
+///     name: "metal-polymer composite",
+///     thermal_conductivity: ThermalConductivity::new(20.0),
+///     ..Material::epoxy()
+/// };
+/// assert_eq!(nanopack_composite.thermal_conductivity.value(), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    /// Human-readable material name.
+    pub name: &'static str,
+    /// Bulk thermal conductivity.
+    pub thermal_conductivity: ThermalConductivity,
+    /// Mass density.
+    pub density: Density,
+    /// Specific heat capacity.
+    pub specific_heat: SpecificHeat,
+    /// Young's modulus.
+    pub youngs_modulus: Stress,
+    /// Poisson's ratio (dimensionless).
+    pub poisson_ratio: f64,
+    /// Coefficient of thermal expansion, 1/K.
+    pub cte_per_kelvin: f64,
+    /// Yield (or for brittle/laminate materials, allowable) strength.
+    pub yield_strength: Stress,
+}
+
+impl Material {
+    /// Thermal diffusivity α = k / (ρ·cₚ), m²/s.
+    pub fn thermal_diffusivity(&self) -> f64 {
+        self.thermal_conductivity.value() / (self.density.value() * self.specific_heat.value())
+    }
+
+    /// Aluminium 6061-T6 — the workhorse avionics chassis alloy.
+    pub fn aluminum_6061() -> Self {
+        Self {
+            name: "Al 6061-T6",
+            thermal_conductivity: ThermalConductivity::new(167.0),
+            density: Density::new(2700.0),
+            specific_heat: SpecificHeat::new(896.0),
+            youngs_modulus: Stress::new(68.9e9),
+            poisson_ratio: 0.33,
+            cte_per_kelvin: 23.6e-6,
+            yield_strength: Stress::from_megapascals(276.0),
+        }
+    }
+
+    /// Aluminium 7075-T6 — high-strength aerospace alloy.
+    pub fn aluminum_7075() -> Self {
+        Self {
+            name: "Al 7075-T6",
+            thermal_conductivity: ThermalConductivity::new(130.0),
+            density: Density::new(2810.0),
+            specific_heat: SpecificHeat::new(960.0),
+            youngs_modulus: Stress::new(71.7e9),
+            poisson_ratio: 0.33,
+            cte_per_kelvin: 23.4e-6,
+            yield_strength: Stress::from_megapascals(503.0),
+        }
+    }
+
+    /// Oxygen-free copper — thermal drains and heat-pipe walls.
+    pub fn copper() -> Self {
+        Self {
+            name: "Cu OFHC",
+            thermal_conductivity: ThermalConductivity::new(391.0),
+            density: Density::new(8940.0),
+            specific_heat: SpecificHeat::new(385.0),
+            youngs_modulus: Stress::new(117.0e9),
+            poisson_ratio: 0.34,
+            cte_per_kelvin: 17.0e-6,
+            yield_strength: Stress::from_megapascals(70.0),
+        }
+    }
+
+    /// FR-4 glass-epoxy laminate (resin-dominated bulk values; use
+    /// [`crate::PcbLaminate`] for copper-loaded effective properties).
+    pub fn fr4() -> Self {
+        Self {
+            name: "FR-4",
+            thermal_conductivity: ThermalConductivity::new(0.30),
+            density: Density::new(1850.0),
+            specific_heat: SpecificHeat::new(1100.0),
+            youngs_modulus: Stress::new(22.0e9),
+            poisson_ratio: 0.15,
+            cte_per_kelvin: 15.0e-6,
+            yield_strength: Stress::from_megapascals(300.0),
+        }
+    }
+
+    /// Quasi-isotropic carbon-fibre composite, as in the COSEE
+    /// carbon-composite seat structure ("rather poor thermal
+    /// conductivity" compared to aluminium).
+    pub fn carbon_composite() -> Self {
+        Self {
+            name: "CFRP quasi-isotropic",
+            thermal_conductivity: ThermalConductivity::new(5.0),
+            density: Density::new(1600.0),
+            specific_heat: SpecificHeat::new(900.0),
+            youngs_modulus: Stress::new(60.0e9),
+            poisson_ratio: 0.30,
+            cte_per_kelvin: 2.0e-6,
+            yield_strength: Stress::from_megapascals(600.0),
+        }
+    }
+
+    /// 304 stainless steel — fasteners, wedge locks.
+    pub fn steel_304() -> Self {
+        Self {
+            name: "SS 304",
+            thermal_conductivity: ThermalConductivity::new(16.2),
+            density: Density::new(8000.0),
+            specific_heat: SpecificHeat::new(500.0),
+            youngs_modulus: Stress::new(193.0e9),
+            poisson_ratio: 0.29,
+            cte_per_kelvin: 17.3e-6,
+            yield_strength: Stress::from_megapascals(215.0),
+        }
+    }
+
+    /// SAC305 lead-free solder — joint fatigue calculations.
+    pub fn sac305() -> Self {
+        Self {
+            name: "SAC305",
+            thermal_conductivity: ThermalConductivity::new(58.0),
+            density: Density::new(7400.0),
+            specific_heat: SpecificHeat::new(230.0),
+            youngs_modulus: Stress::new(51.0e9),
+            poisson_ratio: 0.36,
+            cte_per_kelvin: 21.0e-6,
+            yield_strength: Stress::from_megapascals(37.0),
+        }
+    }
+
+    /// Unfilled epoxy resin — the TIM matrix before filler loading.
+    pub fn epoxy() -> Self {
+        Self {
+            name: "epoxy (unfilled)",
+            thermal_conductivity: ThermalConductivity::new(0.20),
+            density: Density::new(1200.0),
+            specific_heat: SpecificHeat::new(1100.0),
+            youngs_modulus: Stress::new(3.0e9),
+            poisson_ratio: 0.35,
+            cte_per_kelvin: 60.0e-6,
+            yield_strength: Stress::from_megapascals(60.0),
+        }
+    }
+
+    /// Silver — the NANOPACK filler metal (flakes and micro-spheres).
+    pub fn silver() -> Self {
+        Self {
+            name: "Ag",
+            thermal_conductivity: ThermalConductivity::new(429.0),
+            density: Density::new(10490.0),
+            specific_heat: SpecificHeat::new(235.0),
+            youngs_modulus: Stress::new(83.0e9),
+            poisson_ratio: 0.37,
+            cte_per_kelvin: 18.9e-6,
+            yield_strength: Stress::from_megapascals(55.0),
+        }
+    }
+
+    /// Silicon die material.
+    pub fn silicon() -> Self {
+        Self {
+            name: "Si",
+            thermal_conductivity: ThermalConductivity::new(148.0),
+            density: Density::new(2330.0),
+            specific_heat: SpecificHeat::new(712.0),
+            youngs_modulus: Stress::new(130.0e9),
+            poisson_ratio: 0.28,
+            cte_per_kelvin: 2.6e-6,
+            yield_strength: Stress::from_megapascals(7000.0),
+        }
+    }
+
+    /// Alumina (Al₂O₃) ceramic substrate.
+    pub fn alumina() -> Self {
+        Self {
+            name: "Al₂O₃ 96%",
+            thermal_conductivity: ThermalConductivity::new(24.0),
+            density: Density::new(3700.0),
+            specific_heat: SpecificHeat::new(880.0),
+            youngs_modulus: Stress::new(300.0e9),
+            poisson_ratio: 0.21,
+            cte_per_kelvin: 7.2e-6,
+            yield_strength: Stress::from_megapascals(300.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_values_are_physical() {
+        for m in [
+            Material::aluminum_6061(),
+            Material::aluminum_7075(),
+            Material::copper(),
+            Material::fr4(),
+            Material::carbon_composite(),
+            Material::steel_304(),
+            Material::sac305(),
+            Material::epoxy(),
+            Material::silver(),
+            Material::silicon(),
+            Material::alumina(),
+        ] {
+            assert!(m.thermal_conductivity.value() > 0.0, "{}", m.name);
+            assert!(m.density.value() > 500.0, "{}", m.name);
+            assert!(m.specific_heat.value() > 100.0, "{}", m.name);
+            assert!(m.youngs_modulus.value() > 1e9, "{}", m.name);
+            assert!(m.poisson_ratio > 0.0 && m.poisson_ratio < 0.5, "{}", m.name);
+            assert!(m.thermal_diffusivity() > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn copper_beats_aluminum_thermally() {
+        assert!(
+            Material::copper().thermal_conductivity.value()
+                > Material::aluminum_6061().thermal_conductivity.value()
+        );
+    }
+
+    #[test]
+    fn composite_is_poor_conductor_vs_aluminum() {
+        // The paper's carbon seat gave smaller improvements than the
+        // aluminium one precisely because of this gap.
+        let ratio = Material::aluminum_6061().thermal_conductivity.value()
+            / Material::carbon_composite().thermal_conductivity.value();
+        assert!(ratio > 20.0);
+    }
+
+    #[test]
+    fn diffusivity_of_aluminum() {
+        // α(Al) ≈ 6.9e-5 m²/s
+        let a = Material::aluminum_6061().thermal_diffusivity();
+        assert!((a - 6.9e-5).abs() / 6.9e-5 < 0.05);
+    }
+}

@@ -1,0 +1,329 @@
+//! Empirical convection and radiation correlations — the film
+//! coefficients that close the conduction models against their
+//! environment. These take the place of the CFD layer in FloTHERM for
+//! the geometries avionics packaging actually uses: plates, card
+//! channels and ducts.
+
+use aeropack_materials::AirState;
+use aeropack_units::{
+    Celsius, HeatTransferCoeff, Length, MassFlowRate, Velocity, STANDARD_GRAVITY,
+};
+
+use crate::error::ThermalError;
+
+/// Stefan–Boltzmann constant, W/(m²·K⁴).
+pub const STEFAN_BOLTZMANN: f64 = 5.670_374_419e-8;
+
+/// Rayleigh number for a surface-to-ambient temperature difference over
+/// a characteristic length.
+fn rayleigh(air: &AirState, surface: Celsius, characteristic: Length) -> f64 {
+    let dt = (surface.value() - air.temperature.value()).abs();
+    let l = characteristic.value();
+    let nu = air.kinematic_viscosity();
+    let alpha = air.thermal_diffusivity();
+    STANDARD_GRAVITY * air.expansion_coefficient() * dt * l.powi(3) / (nu * alpha)
+}
+
+/// Natural convection from a vertical plate (Churchill–Chu, valid for
+/// all Ra).
+///
+/// `air` should be evaluated at the film temperature; `height` is the
+/// plate's vertical extent.
+///
+/// # Errors
+///
+/// Returns an error for a non-positive height.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_materials::air_at_sea_level;
+/// use aeropack_thermal::natural_convection_vertical_plate;
+/// use aeropack_units::{Celsius, Length};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let air = air_at_sea_level(Celsius::new(32.5)); // film temp
+/// let h = natural_convection_vertical_plate(&air, Celsius::new(40.0), Length::new(0.3))?;
+/// assert!(h.value() > 2.0 && h.value() < 6.0); // classic "a few W/m²K"
+/// # Ok(())
+/// # }
+/// ```
+pub fn natural_convection_vertical_plate(
+    air: &AirState,
+    surface: Celsius,
+    height: Length,
+) -> Result<HeatTransferCoeff, ThermalError> {
+    if height.value() <= 0.0 {
+        return Err(ThermalError::invalid("plate height must be positive"));
+    }
+    let ra = rayleigh(air, surface, height);
+    let pr = air.prandtl();
+    let nu = (0.825
+        + 0.387 * ra.powf(1.0 / 6.0) / (1.0 + (0.492 / pr).powf(9.0 / 16.0)).powf(8.0 / 27.0))
+    .powi(2);
+    Ok(HeatTransferCoeff::new(
+        nu * air.conductivity.value() / height.value(),
+    ))
+}
+
+/// Natural convection from a horizontal plate with the hot side facing
+/// up (or cold side down). `characteristic` is area/perimeter.
+///
+/// # Errors
+///
+/// Returns an error for a non-positive characteristic length.
+pub fn natural_convection_horizontal_plate_up(
+    air: &AirState,
+    surface: Celsius,
+    characteristic: Length,
+) -> Result<HeatTransferCoeff, ThermalError> {
+    if characteristic.value() <= 0.0 {
+        return Err(ThermalError::invalid(
+            "characteristic length must be positive",
+        ));
+    }
+    let ra = rayleigh(air, surface, characteristic).max(1.0);
+    let nu = if ra < 1e7 {
+        0.54 * ra.powf(0.25)
+    } else {
+        0.15 * ra.powf(1.0 / 3.0)
+    };
+    Ok(HeatTransferCoeff::new(
+        nu.max(1.0) * air.conductivity.value() / characteristic.value(),
+    ))
+}
+
+/// Natural convection from a horizontal plate with the hot side facing
+/// down — the stagnant orientation (Nu = 0.27·Ra^¼).
+///
+/// # Errors
+///
+/// Returns an error for a non-positive characteristic length.
+pub fn natural_convection_horizontal_plate_down(
+    air: &AirState,
+    surface: Celsius,
+    characteristic: Length,
+) -> Result<HeatTransferCoeff, ThermalError> {
+    if characteristic.value() <= 0.0 {
+        return Err(ThermalError::invalid(
+            "characteristic length must be positive",
+        ));
+    }
+    let ra = rayleigh(air, surface, characteristic).max(1.0);
+    let nu = (0.27 * ra.powf(0.25)).max(1.0);
+    Ok(HeatTransferCoeff::new(
+        nu * air.conductivity.value() / characteristic.value(),
+    ))
+}
+
+/// Forced convection over a flat plate of length `length` at free-stream
+/// velocity `velocity`; laminar + turbulent mixed correlation with
+/// transition at Re = 5×10⁵.
+///
+/// # Errors
+///
+/// Returns an error for non-positive length or velocity.
+pub fn forced_convection_flat_plate(
+    air: &AirState,
+    velocity: Velocity,
+    length: Length,
+) -> Result<HeatTransferCoeff, ThermalError> {
+    if length.value() <= 0.0 {
+        return Err(ThermalError::invalid("plate length must be positive"));
+    }
+    if velocity.value() <= 0.0 {
+        return Err(ThermalError::invalid("velocity must be positive"));
+    }
+    let re = velocity.value() * length.value() / air.kinematic_viscosity();
+    let pr = air.prandtl();
+    let nu = if re < 5e5 {
+        0.664 * re.sqrt() * pr.cbrt()
+    } else {
+        (0.037 * re.powf(0.8) - 871.0) * pr.cbrt()
+    };
+    Ok(HeatTransferCoeff::new(
+        nu * air.conductivity.value() / length.value(),
+    ))
+}
+
+/// Forced convection in a rectangular card channel (`width × gap`) at a
+/// given air mass flow. Uses Dittus–Boelter above Re = 4000 and the
+/// constant laminar Nusselt number (7.54, parallel plates) below, with a
+/// linear blend through transition.
+///
+/// Returns the film coefficient and the bulk velocity.
+///
+/// # Errors
+///
+/// Returns an error for non-positive geometry or flow.
+pub fn forced_convection_channel(
+    air: &AirState,
+    mass_flow: MassFlowRate,
+    width: Length,
+    gap: Length,
+) -> Result<(HeatTransferCoeff, Velocity), ThermalError> {
+    if width.value() <= 0.0 || gap.value() <= 0.0 {
+        return Err(ThermalError::invalid("channel dimensions must be positive"));
+    }
+    if mass_flow.value() <= 0.0 {
+        return Err(ThermalError::invalid("mass flow must be positive"));
+    }
+    let area = width.value() * gap.value();
+    let velocity = mass_flow.value() / (air.density.value() * area);
+    // Hydraulic diameter of a wide rectangular duct.
+    let dh = 2.0 * width.value() * gap.value() / (width.value() + gap.value());
+    let re = air.density.value() * velocity * dh / air.dynamic_viscosity;
+    let pr = air.prandtl();
+    let nu_lam = 7.54;
+    let nu = if re < 2300.0 {
+        nu_lam
+    } else if re > 4000.0 {
+        0.023 * re.powf(0.8) * pr.powf(0.4)
+    } else {
+        // Linear blend through the transition band.
+        let f = (re - 2300.0) / 1700.0;
+        let nu_turb = 0.023 * 4000.0f64.powf(0.8) * pr.powf(0.4);
+        nu_lam + f * (nu_turb - nu_lam)
+    };
+    Ok((
+        HeatTransferCoeff::new(nu * air.conductivity.value() / dh),
+        Velocity::new(velocity),
+    ))
+}
+
+/// Linearised radiation film coefficient between a surface at
+/// `surface` and surroundings at `surroundings`:
+/// `h = ε·σ·(Ts² + T∞²)·(Ts + T∞)`.
+///
+/// # Errors
+///
+/// Returns an error for an emissivity outside `[0, 1]`.
+pub fn radiation_coefficient(
+    emissivity: f64,
+    surface: Celsius,
+    surroundings: Celsius,
+) -> Result<HeatTransferCoeff, ThermalError> {
+    if !(0.0..=1.0).contains(&emissivity) {
+        return Err(ThermalError::invalid("emissivity must lie in [0, 1]"));
+    }
+    let ts = surface.kelvin();
+    let ta = surroundings.kelvin();
+    Ok(HeatTransferCoeff::new(
+        emissivity * STEFAN_BOLTZMANN * (ts * ts + ta * ta) * (ts + ta),
+    ))
+}
+
+/// Film temperature (arithmetic mean of surface and ambient), the
+/// temperature at which air properties should be evaluated for the
+/// correlations above.
+pub fn film_temperature(surface: Celsius, ambient: Celsius) -> Celsius {
+    Celsius::new(0.5 * (surface.value() + ambient.value()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeropack_materials::air_at_sea_level;
+
+    #[test]
+    fn vertical_plate_handbook_case() {
+        // 0.3 m plate at 60 °C in 20 °C air: h ≈ 4.5 W/m²K (±20 %).
+        let film = film_temperature(Celsius::new(60.0), Celsius::new(20.0));
+        let air = air_at_sea_level(film);
+        let h =
+            natural_convection_vertical_plate(&air, Celsius::new(60.0), Length::new(0.3)).unwrap();
+        assert!(
+            h.value() > 3.5 && h.value() < 5.5,
+            "vertical plate h = {}",
+            h
+        );
+    }
+
+    #[test]
+    fn hot_side_down_is_weaker_than_up() {
+        let air = air_at_sea_level(Celsius::new(30.0));
+        let up =
+            natural_convection_horizontal_plate_up(&air, Celsius::new(70.0), Length::new(0.05))
+                .unwrap();
+        let down =
+            natural_convection_horizontal_plate_down(&air, Celsius::new(70.0), Length::new(0.05))
+                .unwrap();
+        assert!(up.value() > down.value());
+    }
+
+    #[test]
+    fn forced_plate_handbook_case() {
+        // 2 m/s over a 0.2 m plate at ~27 °C: laminar, h ≈ 9–12 W/m²K.
+        let air = air_at_sea_level(Celsius::new(27.0));
+        let h = forced_convection_flat_plate(&air, Velocity::new(2.0), Length::new(0.2)).unwrap();
+        assert!(h.value() > 8.0 && h.value() < 14.0, "h = {h}");
+    }
+
+    #[test]
+    fn forced_plate_turbulent_branch() {
+        // 20 m/s over 1 m: Re ≈ 1.2×10⁶ → mixed correlation.
+        let air = air_at_sea_level(Celsius::new(27.0));
+        let h = forced_convection_flat_plate(&air, Velocity::new(20.0), Length::new(1.0)).unwrap();
+        assert!(h.value() > 30.0 && h.value() < 60.0, "h = {h}");
+    }
+
+    #[test]
+    fn channel_flow_increases_with_mass_flow() {
+        let air = air_at_sea_level(Celsius::new(40.0));
+        let w = Length::new(0.15);
+        let g = Length::from_millimeters(5.0);
+        let (h1, v1) =
+            forced_convection_channel(&air, MassFlowRate::from_kg_per_hour(5.0), w, g).unwrap();
+        let (h2, v2) =
+            forced_convection_channel(&air, MassFlowRate::from_kg_per_hour(50.0), w, g).unwrap();
+        assert!(v2.value() > 9.0 * v1.value());
+        assert!(h2.value() > h1.value());
+    }
+
+    #[test]
+    fn channel_laminar_floor() {
+        // Tiny flow: Nu stays at the laminar constant.
+        let air = air_at_sea_level(Celsius::new(40.0));
+        let (h, _) = forced_convection_channel(
+            &air,
+            MassFlowRate::from_kg_per_hour(0.2),
+            Length::new(0.15),
+            Length::from_millimeters(5.0),
+        )
+        .unwrap();
+        let dh = 2.0 * 0.15 * 0.005 / (0.15 + 0.005);
+        let expect = 7.54 * air.conductivity.value() / dh;
+        assert!((h.value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radiation_coefficient_magnitude() {
+        // ε=0.9 near room temperature: h_rad ≈ 5–6.5 W/m²K.
+        let h = radiation_coefficient(0.9, Celsius::new(60.0), Celsius::new(20.0)).unwrap();
+        assert!(h.value() > 5.0 && h.value() < 7.5, "h_rad = {h}");
+        // ε=0 kills it.
+        let h0 = radiation_coefficient(0.0, Celsius::new(60.0), Celsius::new(20.0)).unwrap();
+        assert_eq!(h0.value(), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let air = air_at_sea_level(Celsius::new(25.0));
+        assert!(natural_convection_vertical_plate(&air, Celsius::new(50.0), Length::ZERO).is_err());
+        assert!(forced_convection_flat_plate(&air, Velocity::ZERO, Length::new(0.1)).is_err());
+        assert!(radiation_coefficient(1.5, Celsius::new(50.0), Celsius::new(20.0)).is_err());
+        assert!(forced_convection_channel(
+            &air,
+            MassFlowRate::ZERO,
+            Length::new(0.1),
+            Length::new(0.005)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn film_temperature_is_mean() {
+        let f = film_temperature(Celsius::new(80.0), Celsius::new(20.0));
+        assert_eq!(f, Celsius::new(50.0));
+    }
+}

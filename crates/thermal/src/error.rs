@@ -1,0 +1,75 @@
+//! Error type for the thermal solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by thermal model construction and solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// The linear system could not be solved (network floating, grid
+    /// without any temperature reference, …).
+    SingularSystem {
+        /// What was being solved.
+        context: &'static str,
+    },
+    /// An iterative solver exhausted its budget.
+    NotConverged {
+        /// Which solver.
+        context: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// Invalid model construction input.
+    InvalidModel {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A node/cell index was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SingularSystem { context } => {
+                write!(
+                    f,
+                    "singular thermal system in {context} (no temperature reference?)"
+                )
+            }
+            Self::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Self::InvalidModel { reason } => write!(f, "invalid thermal model: {reason}"),
+            Self::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+impl ThermalError {
+    /// Shorthand for [`ThermalError::InvalidModel`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::InvalidModel {
+            reason: reason.into(),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Internal linear solvers: a dense Cholesky for resistive networks and
+//! a Jacobi-preconditioned conjugate gradient for the finite-volume
+//! grids (matrix-free, SPD).
+
+use crate::error::ThermalError;
+
+/// Solves a dense symmetric positive-definite system in place
+/// (row-major `a` of size `n×n`).
+pub(crate) fn cholesky_solve(
+    a: &mut [f64],
+    b: &[f64],
+    n: usize,
+    context: &'static str,
+) -> Result<Vec<f64>, ThermalError> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    // In-place lower Cholesky.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(ThermalError::SingularSystem { context });
+                }
+                a[i * n + j] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    let mut x = b.to_vec();
+    for i in 0..n {
+        for k in 0..i {
+            let v = a[i * n + k] * x[k];
+            x[i] -= v;
+        }
+        x[i] /= a[i * n + i];
+    }
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            let v = a[k * n + i] * x[k];
+            x[i] -= v;
+        }
+        x[i] /= a[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Conjugate gradient with Jacobi preconditioning on a matrix-free SPD
+/// operator. `apply` computes `y = A·x`; `diag` is the matrix diagonal.
+pub(crate) fn pcg<F>(
+    apply: F,
+    diag: &[f64],
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    context: &'static str,
+) -> Result<Vec<f64>, ThermalError>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = b.len();
+    if diag.iter().any(|&d| d <= 0.0) {
+        return Err(ThermalError::SingularSystem { context });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let b_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if b_norm == 0.0 {
+        return Ok(x);
+    }
+    let mut z: Vec<f64> = r.iter().zip(diag).map(|(ri, di)| ri / di).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let mut ap = vec![0.0; n];
+    for iter in 0..max_iter {
+        apply(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap <= 0.0 {
+            return Err(ThermalError::SingularSystem { context });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let r_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if r_norm <= tol * b_norm {
+            return Ok(x);
+        }
+        for i in 0..n {
+            z[i] = r[i] / diag[i];
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        let _ = iter;
+    }
+    let r_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    Err(ThermalError::NotConverged {
+        context,
+        iterations: max_iter,
+        residual: r_norm / b_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_spd_solve() {
+        let mut a = vec![4.0, 1.0, 1.0, 3.0];
+        let x = cholesky_solve(&mut a, &[1.0, 2.0], 2, "test").unwrap();
+        // [[4,1],[1,3]] x = [1,2] → x = [1/11, 7/11].
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0];
+        assert!(cholesky_solve(&mut a, &[1.0, 1.0], 2, "test").is_err());
+    }
+
+    #[test]
+    fn pcg_solves_laplacian_chain() {
+        // Tridiagonal [2,-1] chain with Dirichlet ends, n=50.
+        let n = 50;
+        let apply = |x: &[f64], y: &mut [f64]| {
+            for i in 0..n {
+                let mut v = 2.0 * x[i];
+                if i > 0 {
+                    v -= x[i - 1];
+                }
+                if i + 1 < n {
+                    v -= x[i + 1];
+                }
+                y[i] = v;
+            }
+        };
+        let diag = vec![2.0; n];
+        let b = vec![1.0; n];
+        let x = pcg(apply, &diag, &b, 1e-12, 1000, "test").unwrap();
+        // Exact solution of -u'' = 1: x_i = i(n+1-i)/2 with 1-based i.
+        for (i, &xi) in x.iter().enumerate() {
+            let k = (i + 1) as f64;
+            let exact = k * (n as f64 + 1.0 - k) / 2.0;
+            assert!((xi - exact).abs() < 1e-6 * exact.max(1.0), "i={i}");
+        }
+    }
+
+    #[test]
+    fn pcg_rejects_zero_diag() {
+        let diag = vec![0.0; 3];
+        let r = pcg(
+            |_, y| y.fill(0.0),
+            &diag,
+            &[1.0, 1.0, 1.0],
+            1e-10,
+            10,
+            "test",
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Resistive thermal networks — the "resistive network model" of the
+//! paper's Fig 4, used for Level-1 sizing and for assembling device
+//! models (heat-pipe paths, TIM joints, seat structures) into a solvable
+//! system.
+
+use aeropack_units::{Celsius, Power, ThermalConductance, ThermalResistance};
+
+use crate::error::ThermalError;
+use crate::linsolve::cholesky_solve;
+
+/// Handle to a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Fixed(Celsius),
+    Floating { heat: Power },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    a: usize,
+    b: usize,
+    conductance: f64,
+}
+
+/// A lumped thermal network of fixed-temperature and floating nodes
+/// joined by conductances.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_thermal::Network;
+/// use aeropack_units::{Celsius, Power, ThermalResistance};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // junction —(θjc)— case —(R_sink)— ambient
+/// let mut net = Network::new();
+/// let ambient = net.add_fixed("ambient", Celsius::new(55.0));
+/// let case = net.add_floating("case");
+/// let junction = net.add_floating("junction");
+/// net.add_heat(junction, Power::new(20.0))?;
+/// net.connect(junction, case, ThermalResistance::new(0.8))?;
+/// net.connect(case, ambient, ThermalResistance::new(2.0))?;
+/// let sol = net.solve()?;
+/// // T_j = 55 + 20·(0.8+2.0) = 111 °C
+/// assert!((sol.temperature(junction)?.value() - 111.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fixed-temperature (boundary) node.
+    pub fn add_fixed(&mut self, name: impl Into<String>, temperature: Celsius) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            kind: NodeKind::Fixed(temperature),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a floating node with no heat input (yet).
+    pub fn add_floating(&mut self, name: impl Into<String>) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            kind: NodeKind::Floating { heat: Power::ZERO },
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds heat input to a floating node (cumulative).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range node or a fixed node.
+    pub fn add_heat(&mut self, node: NodeId, heat: Power) -> Result<(), ThermalError> {
+        let n = self
+            .nodes
+            .get_mut(node.0)
+            .ok_or(ThermalError::IndexOutOfRange {
+                what: "node",
+                index: node.0,
+                len: 0,
+            })?;
+        match &mut n.kind {
+            NodeKind::Floating { heat: h } => {
+                *h += heat;
+                Ok(())
+            }
+            NodeKind::Fixed(_) => Err(ThermalError::invalid(format!(
+                "cannot inject heat into fixed node `{}`",
+                n.name
+            ))),
+        }
+    }
+
+    /// Connects two nodes through a thermal resistance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid nodes, self-loops, or non-positive
+    /// resistance.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        resistance: ThermalResistance,
+    ) -> Result<(), ThermalError> {
+        if resistance.value() <= 0.0 {
+            return Err(ThermalError::invalid("edge resistance must be positive"));
+        }
+        self.connect_conductance(a, b, resistance.to_conductance())
+    }
+
+    /// Connects two nodes through a thermal conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid nodes, self-loops, or non-positive
+    /// conductance.
+    pub fn connect_conductance(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        conductance: ThermalConductance,
+    ) -> Result<(), ThermalError> {
+        let len = self.nodes.len();
+        if a.0 >= len || b.0 >= len {
+            return Err(ThermalError::IndexOutOfRange {
+                what: "node",
+                index: a.0.max(b.0),
+                len,
+            });
+        }
+        if a == b {
+            return Err(ThermalError::invalid("self-loop edges are not allowed"));
+        }
+        if conductance.value() <= 0.0 {
+            return Err(ThermalError::invalid("edge conductance must be positive"));
+        }
+        self.edges.push(Edge {
+            a: a.0,
+            b: b.0,
+            conductance: conductance.value(),
+        });
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range node.
+    pub fn name(&self, node: NodeId) -> Result<&str, ThermalError> {
+        self.nodes
+            .get(node.0)
+            .map(|n| n.name.as_str())
+            .ok_or(ThermalError::IndexOutOfRange {
+                what: "node",
+                index: node.0,
+                len: self.nodes.len(),
+            })
+    }
+
+    /// Solves the steady-state temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::SingularSystem`] when some floating node
+    /// has no path to any fixed node, and [`ThermalError::InvalidModel`]
+    /// when the network has no fixed node at all but carries heat.
+    pub fn solve(&self) -> Result<Solution, ThermalError> {
+        let n_all = self.nodes.len();
+        // Map floating nodes to unknown indices.
+        let mut unknown = vec![usize::MAX; n_all];
+        let mut floating = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.kind, NodeKind::Floating { .. }) {
+                unknown[i] = floating.len();
+                floating.push(i);
+            }
+        }
+        let n = floating.len();
+        let mut temps = vec![0.0f64; n_all];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Fixed(t) = node.kind {
+                temps[i] = t.value();
+            }
+        }
+        if n > 0 {
+            let mut a = vec![0.0f64; n * n];
+            let mut b = vec![0.0f64; n];
+            for (i, node) in self.nodes.iter().enumerate() {
+                if let NodeKind::Floating { heat } = node.kind {
+                    b[unknown[i]] += heat.value();
+                }
+            }
+            for e in &self.edges {
+                let (ua, ub) = (unknown[e.a], unknown[e.b]);
+                match (ua != usize::MAX, ub != usize::MAX) {
+                    (true, true) => {
+                        a[ua * n + ua] += e.conductance;
+                        a[ub * n + ub] += e.conductance;
+                        a[ua * n + ub] -= e.conductance;
+                        a[ub * n + ua] -= e.conductance;
+                    }
+                    (true, false) => {
+                        a[ua * n + ua] += e.conductance;
+                        b[ua] += e.conductance * temps[e.b];
+                    }
+                    (false, true) => {
+                        a[ub * n + ub] += e.conductance;
+                        b[ub] += e.conductance * temps[e.a];
+                    }
+                    (false, false) => {}
+                }
+            }
+            let x = cholesky_solve(&mut a, &b, n, "thermal network")?;
+            for (u, &i) in floating.iter().enumerate() {
+                temps[i] = x[u];
+            }
+        }
+        // Edge heat flows a→b.
+        let flows = self
+            .edges
+            .iter()
+            .map(|e| Power::new(e.conductance * (temps[e.a] - temps[e.b])))
+            .collect();
+        Ok(Solution {
+            temperatures: temps.into_iter().map(Celsius::new).collect(),
+            edge_flows: flows,
+            edges: self
+                .edges
+                .iter()
+                .map(|e| (NodeId(e.a), NodeId(e.b)))
+                .collect(),
+        })
+    }
+}
+
+/// The solved state of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    temperatures: Vec<Celsius>,
+    edge_flows: Vec<Power>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Solution {
+    /// Temperature of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range node.
+    pub fn temperature(&self, node: NodeId) -> Result<Celsius, ThermalError> {
+        self.temperatures
+            .get(node.0)
+            .copied()
+            .ok_or(ThermalError::IndexOutOfRange {
+                what: "node",
+                index: node.0,
+                len: self.temperatures.len(),
+            })
+    }
+
+    /// Heat flow through edge `index` (positive from the edge's first to
+    /// second node).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range edge.
+    pub fn edge_flow(&self, index: usize) -> Result<Power, ThermalError> {
+        self.edge_flows
+            .get(index)
+            .copied()
+            .ok_or(ThermalError::IndexOutOfRange {
+                what: "edge",
+                index,
+                len: self.edge_flows.len(),
+            })
+    }
+
+    /// Net heat flowing *into* `node` through all its edges — for a
+    /// fixed node this is the heat it absorbs from the network.
+    pub fn heat_into(&self, node: NodeId) -> Power {
+        let mut q = Power::ZERO;
+        for (i, &(a, b)) in self.edges.iter().enumerate() {
+            if b == node {
+                q += self.edge_flows[i];
+            } else if a == node {
+                q -= self.edge_flows[i];
+            }
+        }
+        q
+    }
+
+    /// The hottest node temperature.
+    pub fn max_temperature(&self) -> Celsius {
+        self.temperatures
+            .iter()
+            .copied()
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_chain_matches_hand_calc() {
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(20.0));
+        let a = net.add_floating("a");
+        let b = net.add_floating("b");
+        net.add_heat(b, Power::new(10.0)).unwrap();
+        net.connect(b, a, ThermalResistance::new(1.5)).unwrap();
+        net.connect(a, amb, ThermalResistance::new(0.5)).unwrap();
+        let sol = net.solve().unwrap();
+        assert!((sol.temperature(a).unwrap().value() - 25.0).abs() < 1e-9);
+        assert!((sol.temperature(b).unwrap().value() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_split_heat_by_conductance() {
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(0.0));
+        let src = net.add_floating("source");
+        net.add_heat(src, Power::new(30.0)).unwrap();
+        net.connect(src, amb, ThermalResistance::new(1.0)).unwrap(); // G=1
+        net.connect(src, amb, ThermalResistance::new(0.5)).unwrap(); // G=2
+        let sol = net.solve().unwrap();
+        // R_parallel = 1/3 → T = 10.
+        assert!((sol.temperature(src).unwrap().value() - 10.0).abs() < 1e-9);
+        // Flow split 10 and 20 W.
+        assert!((sol.edge_flow(0).unwrap().value() - 10.0).abs() < 1e-9);
+        assert!((sol.edge_flow(1).unwrap().value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_balance_at_fixed_node() {
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(25.0));
+        let n1 = net.add_floating("n1");
+        let n2 = net.add_floating("n2");
+        net.add_heat(n1, Power::new(7.0)).unwrap();
+        net.add_heat(n2, Power::new(5.0)).unwrap();
+        net.connect(n1, n2, ThermalResistance::new(0.7)).unwrap();
+        net.connect(n2, amb, ThermalResistance::new(1.1)).unwrap();
+        net.connect(n1, amb, ThermalResistance::new(2.3)).unwrap();
+        let sol = net.solve().unwrap();
+        // All injected heat ends up in the ambient node.
+        assert!((sol.heat_into(amb).value() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_fixed_nodes_conduct_between_themselves() {
+        let mut net = Network::new();
+        let hot = net.add_fixed("hot", Celsius::new(100.0));
+        let cold = net.add_fixed("cold", Celsius::new(0.0));
+        net.connect(hot, cold, ThermalResistance::new(4.0)).unwrap();
+        let sol = net.solve().unwrap();
+        assert!((sol.edge_flow(0).unwrap().value() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_floating_node_is_singular() {
+        let mut net = Network::new();
+        let _amb = net.add_fixed("ambient", Celsius::new(25.0));
+        let orphan = net.add_floating("orphan");
+        net.add_heat(orphan, Power::new(1.0)).unwrap();
+        assert!(matches!(
+            net.solve(),
+            Err(ThermalError::SingularSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn heat_into_fixed_node_is_rejected() {
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(25.0));
+        assert!(net.add_heat(amb, Power::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn invalid_edges_are_rejected() {
+        let mut net = Network::new();
+        let a = net.add_floating("a");
+        let b = net.add_floating("b");
+        assert!(net.connect(a, a, ThermalResistance::new(1.0)).is_err());
+        assert!(net.connect(a, b, ThermalResistance::new(0.0)).is_err());
+        assert!(net
+            .connect(a, NodeId(99), ThermalResistance::new(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn max_temperature_finds_hot_spot() {
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(20.0));
+        let warm = net.add_floating("warm");
+        let hot = net.add_floating("hot");
+        net.add_heat(hot, Power::new(50.0)).unwrap();
+        net.connect(hot, warm, ThermalResistance::new(1.0)).unwrap();
+        net.connect(warm, amb, ThermalResistance::new(0.2)).unwrap();
+        let sol = net.solve().unwrap();
+        assert_eq!(sol.max_temperature(), sol.temperature(hot).unwrap());
+    }
+}

@@ -1,0 +1,212 @@
+//! Analytic spreading (constriction) resistance — the closed-form
+//! companion to the finite-volume hot-spot solutions, after S. Lee,
+//! S. Song, V. Au and K. P. Moran, "Constriction/spreading resistance
+//! model for electronics packaging" (1995).
+//!
+//! A circular heat source of radius `a` sits on a circular plate of
+//! radius `b` and thickness `t` whose far face is cooled by a film
+//! coefficient `h`. The total source-to-fluid resistance splits into
+//! the one-dimensional slab + film part and the constriction part
+//! `ψ/(k·a·√π)`.
+
+use aeropack_units::{HeatTransferCoeff, Length, ThermalConductivity, ThermalResistance};
+
+use crate::error::ThermalError;
+
+/// The decomposed result of a spreading-resistance calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadingResult {
+    /// Constriction (spreading) contribution.
+    pub spreading: ThermalResistance,
+    /// One-dimensional slab conduction contribution.
+    pub one_dimensional: ThermalResistance,
+    /// Film (convective) contribution over the plate.
+    pub film: ThermalResistance,
+}
+
+impl SpreadingResult {
+    /// The total source-to-fluid resistance.
+    pub fn total(&self) -> ThermalResistance {
+        self.spreading + self.one_dimensional + self.film
+    }
+}
+
+/// Computes the Lee–Song–Au–Moran spreading resistance of a circular
+/// source (radius `source`) centred on a circular plate (radius
+/// `plate`, thickness `thickness`, conductivity `k`) cooled on the far
+/// face by `h`.
+///
+/// # Errors
+///
+/// Returns an error for non-positive dimensions, `source >= plate`, or
+/// non-positive `k`/`h`.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_thermal::spreading_resistance;
+/// use aeropack_units::{HeatTransferCoeff, Length, ThermalConductivity};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 1 cm die on a 5 cm aluminium plate, 3 mm thick, h = 200 W/m²K.
+/// let r = spreading_resistance(
+///     Length::from_millimeters(5.0),
+///     Length::from_millimeters(25.0),
+///     Length::from_millimeters(3.0),
+///     ThermalConductivity::new(167.0),
+///     HeatTransferCoeff::new(200.0),
+/// )?;
+/// assert!(r.spreading.value() > 0.0);
+/// assert!(r.total().value() > r.film.value());
+/// # Ok(())
+/// # }
+/// ```
+pub fn spreading_resistance(
+    source: Length,
+    plate: Length,
+    thickness: Length,
+    k: ThermalConductivity,
+    h: HeatTransferCoeff,
+) -> Result<SpreadingResult, ThermalError> {
+    let a = source.value();
+    let b = plate.value();
+    let t = thickness.value();
+    if a <= 0.0 || b <= 0.0 || t <= 0.0 {
+        return Err(ThermalError::invalid("dimensions must be positive"));
+    }
+    if a >= b {
+        return Err(ThermalError::invalid(
+            "source radius must be below the plate radius",
+        ));
+    }
+    if k.value() <= 0.0 || h.value() <= 0.0 {
+        return Err(ThermalError::invalid("k and h must be positive"));
+    }
+    let sqrt_pi = std::f64::consts::PI.sqrt();
+    let eps = a / b;
+    let tau = t / b;
+    let bi = h.value() * b / k.value();
+    let lambda = std::f64::consts::PI + 1.0 / (sqrt_pi * eps);
+    let phi = ((lambda * tau).tanh() + lambda / bi) / (1.0 + (lambda / bi) * (lambda * tau).tanh());
+    let psi = 0.5 * (1.0 - eps).powf(1.5) * phi;
+    let plate_area = std::f64::consts::PI * b * b;
+    Ok(SpreadingResult {
+        spreading: ThermalResistance::new(psi / (k.value() * a * sqrt_pi)),
+        one_dimensional: ThermalResistance::new(t / (k.value() * plate_area)),
+        film: ThermalResistance::new(1.0 / (h.value() * plate_area)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fv::{Face, FaceBc, FvGrid, FvModel};
+    use aeropack_materials::Material;
+    use aeropack_units::{Celsius, Power};
+
+    #[test]
+    fn half_space_limit() {
+        // Thick plate, large b/a, strong cooling: the constriction term
+        // approaches the classical isolated-source value ≈ 0.28/(k·a).
+        let k = ThermalConductivity::new(167.0);
+        let r = spreading_resistance(
+            Length::from_millimeters(2.0),
+            Length::from_millimeters(100.0),
+            Length::from_millimeters(100.0),
+            k,
+            HeatTransferCoeff::new(1.0e5),
+        )
+        .unwrap();
+        let classical = 0.28 / (k.value() * 2.0e-3);
+        let rel = (r.spreading.value() - classical).abs() / classical;
+        assert!(
+            rel < 0.15,
+            "spreading {} vs classical {classical} ({rel})",
+            r.spreading
+        );
+    }
+
+    #[test]
+    fn thin_plate_needs_more_spreading() {
+        let run = |t_mm: f64| {
+            spreading_resistance(
+                Length::from_millimeters(5.0),
+                Length::from_millimeters(30.0),
+                Length::from_millimeters(t_mm),
+                ThermalConductivity::new(167.0),
+                HeatTransferCoeff::new(100.0),
+            )
+            .unwrap()
+            .spreading
+            .value()
+        };
+        // Thinner plates constrain the spreading cone: higher ψ.
+        assert!(run(1.0) > run(5.0));
+    }
+
+    #[test]
+    fn agrees_with_finite_volume_solution() {
+        // Cross-validation of the two independent implementations: a
+        // square-plate FV hot-spot against the circular-geometry
+        // analytic model at equivalent areas, compared on total
+        // source-to-fluid resistance.
+        let k_al = Material::aluminum_6061().thermal_conductivity;
+        let h = HeatTransferCoeff::new(150.0);
+        let t = 2.0e-3;
+        let side = 0.10;
+        let spot = 0.02;
+        let q = 10.0;
+
+        // FV: 2 mm aluminium plate, 2 cm central source, convection on
+        // the far face.
+        let grid = FvGrid::new((side, side, t), (25, 25, 1)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        let lo = ((side / 2.0 - spot / 2.0) / side * 25.0) as usize;
+        let hi = ((side / 2.0 + spot / 2.0) / side * 25.0).ceil() as usize;
+        model
+            .add_power_box(Power::new(q), (lo, lo, 0), (hi, hi, 1))
+            .unwrap();
+        model.set_face_bc(
+            Face::ZMin,
+            FaceBc::Convection {
+                h,
+                ambient: Celsius::new(0.0),
+            },
+        );
+        let field = model.solve_steady().unwrap();
+        // Source-average temperature ≈ max for a small spot.
+        let r_fv = field.max_temperature().value() / q;
+
+        // Analytic at equivalent radii.
+        let a = spot / std::f64::consts::PI.sqrt();
+        let b = side / std::f64::consts::PI.sqrt();
+        let r_an = spreading_resistance(Length::new(a), Length::new(b), Length::new(t), k_al, h)
+            .unwrap()
+            .total()
+            .value();
+        let rel = (r_fv - r_an).abs() / r_an;
+        assert!(
+            rel < 0.20,
+            "FV {r_fv:.3} K/W vs analytic {r_an:.3} K/W ({:.0}% apart)",
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let k = ThermalConductivity::new(100.0);
+        let h = HeatTransferCoeff::new(50.0);
+        assert!(spreading_resistance(
+            Length::new(0.02),
+            Length::new(0.01),
+            Length::new(0.002),
+            k,
+            h
+        )
+        .is_err());
+        assert!(
+            spreading_resistance(Length::ZERO, Length::new(0.01), Length::new(0.002), k, h)
+                .is_err()
+        );
+    }
+}

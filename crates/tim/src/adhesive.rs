@@ -1,0 +1,195 @@
+//! Electrically conductive adhesives — the full NANOPACK materials
+//! story. The paper reports that the silver-filled epoxies are not only
+//! thermal successes but "electrically conductive (10⁻⁴ Ω·cm)" with a
+//! shear strength of 14 MPa "which is also remarkable and suggests
+//! excellent mechanical and reliability properties".
+//!
+//! Electrical conduction in a filled adhesive is percolative: below the
+//! threshold the epoxy insulates (~10¹⁴ Ω·cm); above it a silver network
+//! carries current with a power-law approach to a contact-limited floor.
+//! Shear strength falls with loading (filler replaces load-bearing
+//! matrix) from the neat-resin value.
+
+use aeropack_units::{Stress, ThermalConductivity};
+
+use crate::effective_medium::{lewis_nielsen, FillerShape};
+use crate::error::TimError;
+
+/// Electrical resistivity floor of a well-percolated silver-flake
+/// network, Ω·cm (contact-limited; bulk silver is 1.6×10⁻⁶).
+const RHO_FLOOR_OHM_CM: f64 = 5.0e-5;
+/// Neat epoxy resistivity, Ω·cm.
+const RHO_MATRIX_OHM_CM: f64 = 1.0e14;
+/// Electrical percolation threshold for flakes (lower than spheres
+/// because of their aspect ratio).
+const PHI_C_FLAKE: f64 = 0.18;
+/// Electrical percolation threshold for spheres.
+const PHI_C_SPHERE: f64 = 0.28;
+/// Neat epoxy lap-shear strength, MPa.
+const SHEAR_NEAT_MPA: f64 = 22.0;
+
+/// A silver-filled electrically/thermally conductive adhesive.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_tim::{ConductiveAdhesive, FillerShape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The NANOPACK flake formulation at 47 vol%.
+/// let adhesive = ConductiveAdhesive::new(0.47, FillerShape::Flake)?;
+/// assert!(adhesive.is_electrically_conductive());
+/// assert!(adhesive.shear_strength().megapascals() > 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductiveAdhesive {
+    loading: f64,
+    shape: FillerShape,
+}
+
+impl ConductiveAdhesive {
+    /// Builds an adhesive description from the silver volume loading.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a loading outside `[0, 1)` or beyond the
+    /// shape's packing limit.
+    pub fn new(loading: f64, shape: FillerShape) -> Result<Self, TimError> {
+        if !(0.0..1.0).contains(&loading) {
+            return Err(TimError::InvalidArgument {
+                name: "loading",
+                constraint: "must lie in [0, 1)",
+                value: loading,
+            });
+        }
+        if loading >= shape.max_packing() {
+            return Err(TimError::InvalidArgument {
+                name: "loading",
+                constraint: "must stay below the shape's maximum packing",
+                value: loading,
+            });
+        }
+        Ok(Self { loading, shape })
+    }
+
+    /// The silver volume loading.
+    pub fn loading(&self) -> f64 {
+        self.loading
+    }
+
+    /// Electrical percolation threshold for this filler shape.
+    pub fn percolation_threshold(&self) -> f64 {
+        match self.shape {
+            FillerShape::Flake => PHI_C_FLAKE,
+            FillerShape::Sphere => PHI_C_SPHERE,
+            FillerShape::Fiber => 0.12,
+        }
+    }
+
+    /// Electrical volume resistivity, Ω·cm: percolation power law above
+    /// threshold (`t = 2`), insulating below.
+    pub fn electrical_resistivity_ohm_cm(&self) -> f64 {
+        let phi_c = self.percolation_threshold();
+        if self.loading <= phi_c {
+            return RHO_MATRIX_OHM_CM;
+        }
+        let x = (self.loading - phi_c) / (1.0 - phi_c);
+        // ρ = ρ_floor · x^(−2), capped at the matrix value.
+        (RHO_FLOOR_OHM_CM * x.powf(-2.0)).min(RHO_MATRIX_OHM_CM)
+    }
+
+    /// Whether the adhesive conducts electrically (ρ below 1 Ω·cm —
+    /// orders of magnitude under any antistatic threshold).
+    pub fn is_electrically_conductive(&self) -> bool {
+        self.electrical_resistivity_ohm_cm() < 1.0
+    }
+
+    /// Lap-shear strength: filler dilutes the load-bearing matrix
+    /// roughly as `σ = σ_neat·(1 − φ)^(2/3)` (area-fraction rule).
+    pub fn shear_strength(&self) -> Stress {
+        Stress::from_megapascals(SHEAR_NEAT_MPA * (1.0 - self.loading).powf(2.0 / 3.0))
+    }
+
+    /// Thermal conductivity via the Lewis–Nielsen model with silver
+    /// filler in epoxy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates effective-medium model errors.
+    pub fn thermal_conductivity(&self) -> Result<ThermalConductivity, TimError> {
+        lewis_nielsen(
+            aeropack_materials::Material::epoxy().thermal_conductivity,
+            aeropack_materials::Material::silver().thermal_conductivity,
+            self.loading,
+            self.shape,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanopack_flake_formulation_matches_the_table() {
+        // 47 vol% flakes: ~6 W/m·K thermal, ~10⁻⁴ Ω·cm electrical,
+        // ≥ 14 MPa shear — the three numbers in the paper's results list.
+        let a = ConductiveAdhesive::new(0.47, FillerShape::Flake).unwrap();
+        let k = a.thermal_conductivity().unwrap().value();
+        assert!((5.0..8.0).contains(&k), "k = {k}");
+        let rho = a.electrical_resistivity_ohm_cm();
+        assert!(
+            (1.0e-5..1.0e-3).contains(&rho),
+            "ρ = {rho:.2e} Ω·cm (paper: ~10⁻⁴)"
+        );
+        let shear = a.shear_strength().megapascals();
+        assert!(
+            (12.0..18.0).contains(&shear),
+            "shear = {shear} MPa (paper: 14)"
+        );
+    }
+
+    #[test]
+    fn below_threshold_is_an_insulator() {
+        let a = ConductiveAdhesive::new(0.10, FillerShape::Flake).unwrap();
+        assert!(!a.is_electrically_conductive());
+        assert!(a.electrical_resistivity_ohm_cm() > 1.0e10);
+    }
+
+    #[test]
+    fn resistivity_monotone_above_threshold() {
+        let rho = |phi: f64| {
+            ConductiveAdhesive::new(phi, FillerShape::Flake)
+                .unwrap()
+                .electrical_resistivity_ohm_cm()
+        };
+        assert!(rho(0.25) > rho(0.35));
+        assert!(rho(0.35) > rho(0.45));
+    }
+
+    #[test]
+    fn flakes_percolate_before_spheres() {
+        let flake = ConductiveAdhesive::new(0.22, FillerShape::Flake).unwrap();
+        let sphere = ConductiveAdhesive::new(0.22, FillerShape::Sphere).unwrap();
+        assert!(flake.is_electrically_conductive());
+        assert!(!sphere.is_electrically_conductive());
+    }
+
+    #[test]
+    fn shear_strength_falls_with_loading() {
+        let lo = ConductiveAdhesive::new(0.2, FillerShape::Flake).unwrap();
+        let hi = ConductiveAdhesive::new(0.45, FillerShape::Flake).unwrap();
+        assert!(hi.shear_strength().value() < lo.shear_strength().value());
+        // Neat resin at zero loading.
+        let neat = ConductiveAdhesive::new(0.0, FillerShape::Flake).unwrap();
+        assert!((neat.shear_strength().megapascals() - SHEAR_NEAT_MPA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_loadings_rejected() {
+        assert!(ConductiveAdhesive::new(-0.1, FillerShape::Flake).is_err());
+        assert!(ConductiveAdhesive::new(0.55, FillerShape::Flake).is_err());
+    }
+}

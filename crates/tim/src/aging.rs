@@ -1,0 +1,135 @@
+//! TIM degradation over thermal cycling — the reliability argument the
+//! paper's conclusion makes implicitly: greases pump out of the joint as
+//! the surfaces breathe with each thermal cycle, while cured adhesives
+//! (the NANOPACK route) stay put.
+//!
+//! The grease closure follows the observed behaviour of pump-out data:
+//! resistance grows with the square root of the cycle count (material
+//! leaves the gap at a rate proportional to the remaining mobile
+//! fraction) toward a dry-contact asymptote.
+
+use aeropack_units::{AreaResistance, Pressure};
+
+use crate::error::TimError;
+use crate::interface::TimJoint;
+
+/// How a joint's material responds to thermal cycling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimAgingClass {
+    /// Mobile grease/paste: pumps out of the joint with cycling.
+    Grease,
+    /// Cured adhesive or gel: dimensionally stable.
+    CuredAdhesive,
+}
+
+/// Pump-out model for a cycled joint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimAging {
+    class: TimAgingClass,
+    /// Fractional resistance growth per √cycle for greases.
+    pump_out_rate: f64,
+    /// Cap on the growth factor (dry contact).
+    max_growth: f64,
+}
+
+impl TimAging {
+    /// The default closure for a mobile grease: ~1 % resistance growth
+    /// per √cycle, saturating at 4× (dry voided contact).
+    pub fn grease() -> Self {
+        Self {
+            class: TimAgingClass::Grease,
+            pump_out_rate: 0.01,
+            max_growth: 4.0,
+        }
+    }
+
+    /// A cured adhesive: no pump-out.
+    pub fn cured_adhesive() -> Self {
+        Self {
+            class: TimAgingClass::CuredAdhesive,
+            pump_out_rate: 0.0,
+            max_growth: 1.0,
+        }
+    }
+
+    /// The aging class.
+    pub fn class(&self) -> TimAgingClass {
+        self.class
+    }
+
+    /// Resistance growth factor after `cycles` thermal cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a negative cycle count.
+    pub fn growth_factor(&self, cycles: f64) -> Result<f64, TimError> {
+        if cycles < 0.0 {
+            return Err(TimError::InvalidArgument {
+                name: "cycles",
+                constraint: "cannot be negative",
+                value: cycles,
+            });
+        }
+        Ok((1.0 + self.pump_out_rate * cycles.sqrt()).min(self.max_growth))
+    }
+
+    /// The aged area resistance of a joint at an assembly pressure after
+    /// `cycles` thermal cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates joint evaluation and cycle-count errors.
+    pub fn aged_resistance(
+        &self,
+        joint: &TimJoint,
+        pressure: Pressure,
+        cycles: f64,
+    ) -> Result<AreaResistance, TimError> {
+        let fresh = joint.area_resistance(pressure)?;
+        Ok(fresh * self.growth_factor(cycles)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grease_degrades_adhesive_does_not() {
+        let joint = TimJoint::conventional_grease().unwrap();
+        let p = Pressure::from_kilopascals(200.0);
+        let fresh = joint.area_resistance(p).unwrap();
+        let grease = TimAging::grease()
+            .aged_resistance(&joint, p, 5_000.0)
+            .unwrap();
+        let adhesive = TimAging::cured_adhesive()
+            .aged_resistance(&joint, p, 5_000.0)
+            .unwrap();
+        assert!(grease.value() > 1.4 * fresh.value(), "grease must pump out");
+        assert!((adhesive.value() - fresh.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn growth_is_monotone_and_capped() {
+        let aging = TimAging::grease();
+        let g1 = aging.growth_factor(100.0).unwrap();
+        let g2 = aging.growth_factor(10_000.0).unwrap();
+        let g3 = aging.growth_factor(1.0e9).unwrap();
+        assert!(1.0 < g1 && g1 < g2);
+        assert!((g3 - 4.0).abs() < 1e-12, "saturates at the dry cap");
+    }
+
+    #[test]
+    fn sqrt_law_shape() {
+        let aging = TimAging::grease();
+        let g100 = aging.growth_factor(100.0).unwrap() - 1.0;
+        let g400 = aging.growth_factor(400.0).unwrap() - 1.0;
+        assert!((g400 / g100 - 2.0).abs() < 1e-9, "√4 = 2 scaling");
+    }
+
+    #[test]
+    fn zero_cycles_is_fresh() {
+        assert!((TimAging::grease().growth_factor(0.0).unwrap() - 1.0).abs() < 1e-15);
+        assert!(TimAging::grease().growth_factor(-1.0).is_err());
+    }
+}

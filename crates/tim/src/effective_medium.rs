@@ -1,0 +1,428 @@
+//! Effective-medium models for filled thermal interface materials —
+//! the physics behind the NANOPACK adhesive results (6 and 9.5 W/m·K
+//! silver-filled epoxies, 20 W/m·K metal–polymer composite).
+
+use aeropack_units::ThermalConductivity;
+
+use crate::error::TimError;
+
+/// Filler particle geometry for the Lewis–Nielsen model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FillerShape {
+    /// Near-spherical particles (micro silver spheres): shape factor
+    /// A = 1.5, random-close-pack limit φₘ = 0.637.
+    Sphere,
+    /// Platelet/flake fillers (silver flakes): higher shape factor,
+    /// lower packing limit.
+    Flake,
+    /// Short fibres / rods.
+    Fiber,
+}
+
+impl FillerShape {
+    /// Lewis–Nielsen generalised Einstein coefficient A.
+    pub fn shape_factor(self) -> f64 {
+        match self {
+            Self::Sphere => 1.5,
+            Self::Flake => 7.0,
+            Self::Fiber => 4.9,
+        }
+    }
+
+    /// Maximum packing fraction φₘ.
+    pub fn max_packing(self) -> f64 {
+        match self {
+            Self::Sphere => 0.637,
+            Self::Flake => 0.52,
+            Self::Fiber => 0.52,
+        }
+    }
+}
+
+fn check_fraction(phi: f64) -> Result<(), TimError> {
+    if !(0.0..1.0).contains(&phi) {
+        return Err(TimError::invalid(
+            "volume_fraction",
+            "must lie in [0, 1)",
+            phi,
+        ));
+    }
+    Ok(())
+}
+
+fn check_conductivities(k_matrix: f64, k_filler: f64) -> Result<(), TimError> {
+    if k_matrix <= 0.0 {
+        return Err(TimError::invalid(
+            "k_matrix",
+            "must be strictly positive",
+            k_matrix,
+        ));
+    }
+    if k_filler <= 0.0 {
+        return Err(TimError::invalid(
+            "k_filler",
+            "must be strictly positive",
+            k_filler,
+        ));
+    }
+    Ok(())
+}
+
+/// Maxwell–Garnett effective conductivity for a dilute suspension of
+/// spheres. Accurate below ~25 % loading.
+///
+/// # Errors
+///
+/// Returns an error for non-positive conductivities or a fraction
+/// outside `[0, 1)`.
+pub fn maxwell_garnett(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    volume_fraction: f64,
+) -> Result<ThermalConductivity, TimError> {
+    check_fraction(volume_fraction)?;
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    let km = k_matrix.value();
+    let kf = k_filler.value();
+    let beta = (kf - km) / (kf + 2.0 * km);
+    Ok(ThermalConductivity::new(
+        km * (1.0 + 2.0 * beta * volume_fraction) / (1.0 - beta * volume_fraction),
+    ))
+}
+
+/// Bruggeman symmetric effective-medium conductivity (self-consistent),
+/// valid through the percolation region for sphere-like constituents.
+///
+/// # Errors
+///
+/// Returns an error for invalid inputs.
+pub fn bruggeman(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    volume_fraction: f64,
+) -> Result<ThermalConductivity, TimError> {
+    check_fraction(volume_fraction)?;
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    let km = k_matrix.value();
+    let kf = k_filler.value();
+    let phi = volume_fraction;
+    // Solve φ(kf−ke)/(kf+2ke) + (1−φ)(km−ke)/(km+2ke) = 0 by bisection
+    // between the Wiener bounds.
+    let (mut lo, mut hi) = wiener_bounds_raw(km, kf, phi);
+    let f = |ke: f64| phi * (kf - ke) / (kf + 2.0 * ke) + (1.0 - phi) * (km - ke) / (km + 2.0 * ke);
+    // The function is positive at the lower bound, negative at the upper.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(ThermalConductivity::new(0.5 * (lo + hi)))
+}
+
+/// Lewis–Nielsen model — the workhorse for highly filled adhesives,
+/// capturing both particle shape and the divergence near maximum
+/// packing.
+///
+/// # Errors
+///
+/// Returns an error for invalid inputs or a loading at/above the shape's
+/// maximum packing fraction.
+pub fn lewis_nielsen(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    volume_fraction: f64,
+    shape: FillerShape,
+) -> Result<ThermalConductivity, TimError> {
+    check_fraction(volume_fraction)?;
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    let phi_m = shape.max_packing();
+    if volume_fraction >= phi_m {
+        return Err(TimError::invalid(
+            "volume_fraction",
+            "must stay below the shape's maximum packing fraction",
+            volume_fraction,
+        ));
+    }
+    let km = k_matrix.value();
+    let kf = k_filler.value();
+    let a = shape.shape_factor();
+    let ratio = kf / km;
+    let b = (ratio - 1.0) / (ratio + a);
+    let psi = 1.0 + volume_fraction * (1.0 - phi_m) / (phi_m * phi_m);
+    let denom = 1.0 - b * psi * volume_fraction;
+    if denom <= 0.0 {
+        return Err(TimError::invalid(
+            "volume_fraction",
+            "Lewis-Nielsen diverges at this loading (beyond validity)",
+            volume_fraction,
+        ));
+    }
+    Ok(ThermalConductivity::new(
+        km * (1.0 + a * b * volume_fraction) / denom,
+    ))
+}
+
+/// Percolation power-law for composites with a connected metallic
+/// network above the threshold (the NANOPACK "specific process"
+/// metal–polymer composite): `k = k_m + (k_f − k_m)·((φ−φ_c)/(1−φ_c))^t`
+/// for `φ > φ_c`, matrix-dominated below.
+///
+/// # Errors
+///
+/// Returns an error for invalid inputs.
+pub fn percolation(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    volume_fraction: f64,
+    threshold: f64,
+    exponent: f64,
+) -> Result<ThermalConductivity, TimError> {
+    check_fraction(volume_fraction)?;
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(TimError::invalid(
+            "threshold",
+            "must lie in [0, 1)",
+            threshold,
+        ));
+    }
+    if exponent <= 0.0 {
+        return Err(TimError::invalid("exponent", "must be positive", exponent));
+    }
+    let km = k_matrix.value();
+    let kf = k_filler.value();
+    if volume_fraction <= threshold {
+        // Below threshold: fall back to Maxwell-Garnett behaviour.
+        return maxwell_garnett(k_matrix, k_filler, volume_fraction);
+    }
+    let x = (volume_fraction - threshold) / (1.0 - threshold);
+    Ok(ThermalConductivity::new(km + (kf - km) * x.powf(exponent)))
+}
+
+fn wiener_bounds_raw(km: f64, kf: f64, phi: f64) -> (f64, f64) {
+    let series = 1.0 / (phi / kf + (1.0 - phi) / km);
+    let parallel = phi * kf + (1.0 - phi) * km;
+    (series.min(parallel), series.max(parallel))
+}
+
+/// Wiener (series/parallel) bounds — the loosest rigorous bounds any
+/// two-phase effective conductivity must respect.
+///
+/// # Errors
+///
+/// Returns an error for invalid inputs.
+pub fn wiener_bounds(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    volume_fraction: f64,
+) -> Result<(ThermalConductivity, ThermalConductivity), TimError> {
+    check_fraction(volume_fraction)?;
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    let (lo, hi) = wiener_bounds_raw(k_matrix.value(), k_filler.value(), volume_fraction);
+    Ok((ThermalConductivity::new(lo), ThermalConductivity::new(hi)))
+}
+
+/// Hashin–Shtrikman bounds for statistically isotropic two-phase media —
+/// tighter than Wiener.
+///
+/// # Errors
+///
+/// Returns an error for invalid inputs.
+pub fn hashin_shtrikman_bounds(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    volume_fraction: f64,
+) -> Result<(ThermalConductivity, ThermalConductivity), TimError> {
+    check_fraction(volume_fraction)?;
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    let (k1, k2) = (k_matrix.value(), k_filler.value());
+    let (phi1, phi2) = (1.0 - volume_fraction, volume_fraction);
+    // Lower: matrix-continuous; upper: filler-continuous.
+    let lower = k1 + phi2 / (1.0 / (k2 - k1) + phi1 / (3.0 * k1));
+    let upper = k2 + phi1 / (1.0 / (k1 - k2) + phi2 / (3.0 * k2));
+    Ok((
+        ThermalConductivity::new(lower.min(upper)),
+        ThermalConductivity::new(lower.max(upper)),
+    ))
+}
+
+/// Finds the filler loading that hits a target conductivity with the
+/// Lewis–Nielsen model, by bisection.
+///
+/// # Errors
+///
+/// Returns [`TimError::TargetUnreachable`] when even 99.5 % of the
+/// packing limit stays below the target.
+pub fn loading_for_target(
+    k_matrix: ThermalConductivity,
+    k_filler: ThermalConductivity,
+    target: ThermalConductivity,
+    shape: FillerShape,
+) -> Result<f64, TimError> {
+    check_conductivities(k_matrix.value(), k_filler.value())?;
+    if target.value() <= k_matrix.value() {
+        return Ok(0.0);
+    }
+    let phi_max = shape.max_packing() * 0.995;
+    let k_at = |phi: f64| {
+        lewis_nielsen(k_matrix, k_filler, phi, shape)
+            .map(|k| k.value())
+            .unwrap_or(f64::INFINITY)
+    };
+    if k_at(phi_max) < target.value() {
+        return Err(TimError::TargetUnreachable {
+            what: format!(
+                "{} with {} filler in {} matrix ({:?})",
+                target, k_filler, k_matrix, shape
+            ),
+        });
+    }
+    let (mut lo, mut hi) = (0.0, phi_max);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if k_at(mid) < target.value() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeropack_materials::Material;
+
+    fn silver_in_epoxy() -> (ThermalConductivity, ThermalConductivity) {
+        (
+            Material::epoxy().thermal_conductivity,
+            Material::silver().thermal_conductivity,
+        )
+    }
+
+    #[test]
+    fn maxwell_garnett_dilute_limit() {
+        // φ → 0 recovers the matrix; small φ gives ~3φ enhancement for
+        // high-contrast fillers.
+        let (km, kf) = silver_in_epoxy();
+        let k0 = maxwell_garnett(km, kf, 0.0).unwrap();
+        assert!((k0.value() - km.value()).abs() < 1e-12);
+        let k05 = maxwell_garnett(km, kf, 0.05).unwrap();
+        let enhancement = k05.value() / km.value();
+        assert!((enhancement - 1.157).abs() < 0.01, "got {enhancement}");
+    }
+
+    #[test]
+    fn all_models_respect_wiener_bounds() {
+        let (km, kf) = silver_in_epoxy();
+        for phi in [0.05, 0.15, 0.3, 0.45] {
+            let (lo, hi) = wiener_bounds(km, kf, phi).unwrap();
+            for k in [
+                maxwell_garnett(km, kf, phi).unwrap(),
+                bruggeman(km, kf, phi).unwrap(),
+                lewis_nielsen(km, kf, phi, FillerShape::Sphere).unwrap(),
+                percolation(km, kf, phi, 0.25, 3.0).unwrap(),
+            ] {
+                assert!(
+                    k.value() >= lo.value() - 1e-9 && k.value() <= hi.value() + 1e-9,
+                    "phi={phi}: k={k} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hs_bounds_inside_wiener() {
+        let (km, kf) = silver_in_epoxy();
+        for phi in [0.1, 0.3, 0.5] {
+            let (wl, wh) = wiener_bounds(km, kf, phi).unwrap();
+            let (hl, hh) = hashin_shtrikman_bounds(km, kf, phi).unwrap();
+            assert!(hl.value() >= wl.value() - 1e-9);
+            assert!(hh.value() <= wh.value() + 1e-9);
+            assert!(hl.value() <= hh.value());
+        }
+    }
+
+    #[test]
+    fn maxwell_garnett_matches_hs_lower() {
+        // MG with matrix-continuous topology *is* the HS lower bound.
+        let (km, kf) = silver_in_epoxy();
+        for phi in [0.1, 0.25, 0.4] {
+            let mg = maxwell_garnett(km, kf, phi).unwrap();
+            let (hl, _) = hashin_shtrikman_bounds(km, kf, phi).unwrap();
+            assert!(
+                (mg.value() - hl.value()).abs() < 1e-9 * hl.value(),
+                "phi={phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn nanopack_flake_adhesive_reaches_6() {
+        // Silver flakes in mono-epoxy: 6 W/m·K at a plausible loading.
+        let (km, kf) = silver_in_epoxy();
+        let phi =
+            loading_for_target(km, kf, ThermalConductivity::new(6.0), FillerShape::Flake).unwrap();
+        assert!(phi > 0.30 && phi < 0.52, "flake loading for 6 W/mK = {phi}");
+    }
+
+    #[test]
+    fn nanopack_sphere_adhesive_reaches_9_5() {
+        // Micro silver spheres: 9.5 W/m·K at high but feasible loading.
+        let (km, kf) = silver_in_epoxy();
+        let phi =
+            loading_for_target(km, kf, ThermalConductivity::new(9.5), FillerShape::Sphere).unwrap();
+        assert!(
+            phi > 0.50 && phi < 0.637,
+            "sphere loading for 9.5 W/mK = {phi}"
+        );
+    }
+
+    #[test]
+    fn percolation_composite_reaches_20() {
+        // The metal-polymer composite: above threshold the network
+        // carries the heat; 20 W/m·K is reachable at moderate loading.
+        let (km, kf) = silver_in_epoxy();
+        let k = percolation(km, kf, 0.52, 0.25, 3.0).unwrap();
+        assert!(k.value() > 20.0, "percolating composite k = {k}");
+        // Below threshold it behaves like a dilute suspension.
+        let k_below = percolation(km, kf, 0.2, 0.25, 3.0).unwrap();
+        assert!(k_below.value() < 2.0);
+    }
+
+    #[test]
+    fn monotone_in_loading() {
+        let (km, kf) = silver_in_epoxy();
+        let mut last = 0.0;
+        for i in 0..10 {
+            let phi = 0.05 * i as f64;
+            let k = lewis_nielsen(km, kf, phi, FillerShape::Sphere)
+                .unwrap()
+                .value();
+            assert!(k >= last, "k must grow with loading");
+            last = k;
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_reported() {
+        // Glass beads can't make a 20 W/mK paste.
+        let km = Material::epoxy().thermal_conductivity;
+        let kf = ThermalConductivity::new(1.1);
+        let r = loading_for_target(km, kf, ThermalConductivity::new(20.0), FillerShape::Sphere);
+        assert!(matches!(r, Err(TimError::TargetUnreachable { .. })));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (km, kf) = silver_in_epoxy();
+        assert!(maxwell_garnett(km, kf, 1.2).is_err());
+        assert!(maxwell_garnett(ThermalConductivity::ZERO, kf, 0.2).is_err());
+        assert!(lewis_nielsen(km, kf, 0.70, FillerShape::Sphere).is_err());
+        assert!(percolation(km, kf, 0.3, 1.5, 2.0).is_err());
+    }
+}

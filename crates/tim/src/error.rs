@@ -1,0 +1,49 @@
+//! Error type for the TIM models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by TIM model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimError {
+    /// An argument violated a physical constraint.
+    InvalidArgument {
+        /// Name of the argument.
+        name: &'static str,
+        /// The constraint that was violated.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A requested target (e.g. a conductivity) is unreachable with the
+    /// given constituents.
+    TargetUnreachable {
+        /// What was requested.
+        what: String,
+    },
+}
+
+impl fmt::Display for TimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidArgument {
+                name,
+                constraint,
+                value,
+            } => write!(f, "argument `{name}` = {value} violates: {constraint}"),
+            Self::TargetUnreachable { what } => write!(f, "target unreachable: {what}"),
+        }
+    }
+}
+
+impl Error for TimError {}
+
+impl TimError {
+    pub(crate) fn invalid(name: &'static str, constraint: &'static str, value: f64) -> Self {
+        Self::InvalidArgument {
+            name,
+            constraint,
+            value,
+        }
+    }
+}

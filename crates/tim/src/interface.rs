@@ -1,0 +1,308 @@
+//! The TIM joint model: bond-line thickness under pressure, contact
+//! resistance, and the total area-specific interface resistance —
+//! the quantity NANOPACK targets at "< 5 K·mm²/W with bond line
+//! thickness lower than 20 µm".
+
+use aeropack_units::{AreaResistance, Length, Pressure, ThermalConductivity};
+
+use crate::error::TimError;
+use crate::hnc::HncSurface;
+
+/// A thermal-interface joint: a TIM of given bulk conductivity squeezed
+/// between two surfaces of given roughness.
+///
+/// The bond-line thickness follows a squeeze-flow closure
+/// `BLT(P) = BLT_min + (BLT₀ − BLT_min)·P_ref/(P_ref + P)`: unbounded
+/// thinning is prevented by the filler particle size (`BLT_min`), and
+/// the thinning rate is set by the paste rheology through `P_ref`.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_tim::TimJoint;
+/// use aeropack_units::{Length, Pressure, ThermalConductivity};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let joint = TimJoint::new(
+///     ThermalConductivity::new(6.0),       // NANOPACK flake adhesive
+///     Length::from_micrometers(60.0),      // unloaded bond line
+///     Length::from_micrometers(12.0),      // largest filler
+///     Pressure::from_kilopascals(100.0),   // rheology reference
+///     Length::from_micrometers(0.5),       // surface roughness (each side)
+/// )?;
+/// let r = joint.area_resistance(Pressure::from_kilopascals(300.0))?;
+/// assert!(r.kelvin_mm2_per_watt() < 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimJoint {
+    bulk_conductivity: ThermalConductivity,
+    blt_zero: Length,
+    blt_min: Length,
+    pressure_ref: Pressure,
+    roughness: Length,
+}
+
+impl TimJoint {
+    /// Builds a joint model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive conductivity/pressures or an
+    /// inconsistent thickness pair (`blt_min > blt_zero`).
+    pub fn new(
+        bulk_conductivity: ThermalConductivity,
+        blt_zero: Length,
+        blt_min: Length,
+        pressure_ref: Pressure,
+        roughness: Length,
+    ) -> Result<Self, TimError> {
+        if bulk_conductivity.value() <= 0.0 {
+            return Err(TimError::invalid(
+                "bulk_conductivity",
+                "must be strictly positive",
+                bulk_conductivity.value(),
+            ));
+        }
+        if blt_zero.value() <= 0.0 || blt_min.value() <= 0.0 {
+            return Err(TimError::invalid(
+                "blt",
+                "thicknesses must be strictly positive",
+                blt_zero.value().min(blt_min.value()),
+            ));
+        }
+        if blt_min.value() > blt_zero.value() {
+            return Err(TimError::invalid(
+                "blt_min",
+                "cannot exceed the unloaded bond line",
+                blt_min.value(),
+            ));
+        }
+        if pressure_ref.value() <= 0.0 {
+            return Err(TimError::invalid(
+                "pressure_ref",
+                "must be strictly positive",
+                pressure_ref.value(),
+            ));
+        }
+        if roughness.value() < 0.0 {
+            return Err(TimError::invalid(
+                "roughness",
+                "cannot be negative",
+                roughness.value(),
+            ));
+        }
+        Ok(Self {
+            bulk_conductivity,
+            blt_zero,
+            blt_min,
+            pressure_ref,
+            roughness,
+        })
+    }
+
+    /// A conventional silicone thermal grease (k ≈ 0.8 W/m·K) — the
+    /// state of practice NANOPACK set out to beat.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn conventional_grease() -> Result<Self, TimError> {
+        Self::new(
+            ThermalConductivity::new(0.8),
+            Length::from_micrometers(80.0),
+            Length::from_micrometers(25.0),
+            Pressure::from_kilopascals(80.0),
+            Length::from_micrometers(0.5),
+        )
+    }
+
+    /// The NANOPACK silver-flake adhesive at 6 W/m·K with fine filler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn nanopack_flake_adhesive() -> Result<Self, TimError> {
+        Self::new(
+            ThermalConductivity::new(6.0),
+            Length::from_micrometers(60.0),
+            Length::from_micrometers(12.0),
+            Pressure::from_kilopascals(100.0),
+            Length::from_micrometers(0.4),
+        )
+    }
+
+    /// The NANOPACK micro-sphere adhesive at 9.5 W/m·K.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn nanopack_sphere_adhesive() -> Result<Self, TimError> {
+        Self::new(
+            ThermalConductivity::new(9.5),
+            Length::from_micrometers(70.0),
+            Length::from_micrometers(15.0),
+            Pressure::from_kilopascals(120.0),
+            Length::from_micrometers(0.4),
+        )
+    }
+
+    /// Bond-line thickness at an assembly pressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a negative pressure.
+    pub fn bond_line(&self, pressure: Pressure) -> Result<Length, TimError> {
+        if pressure.value() < 0.0 {
+            return Err(TimError::invalid(
+                "pressure",
+                "cannot be negative",
+                pressure.value(),
+            ));
+        }
+        let p_ref = self.pressure_ref.value();
+        let span = self.blt_zero.value() - self.blt_min.value();
+        Ok(Length::new(
+            self.blt_min.value() + span * p_ref / (p_ref + pressure.value()),
+        ))
+    }
+
+    /// Contact resistance of *one* surface: the unfilled roughness layer
+    /// conducts through the TIM at reduced (half) efficiency.
+    pub fn contact_resistance(&self) -> AreaResistance {
+        AreaResistance::new(self.roughness.value() / (0.5 * self.bulk_conductivity.value()))
+    }
+
+    /// Total area-specific resistance at pressure:
+    /// `R = BLT/k + 2·R_contact`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a negative pressure.
+    pub fn area_resistance(&self, pressure: Pressure) -> Result<AreaResistance, TimError> {
+        let blt = self.bond_line(pressure)?;
+        let bulk = AreaResistance::new(blt.value() / self.bulk_conductivity.value());
+        Ok(bulk + self.contact_resistance() + self.contact_resistance())
+    }
+
+    /// The joint with a hierarchical-nested-channel surface applied to
+    /// one side: the channels shorten the squeeze-flow escape path,
+    /// reducing the achieved bond line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid pressure.
+    pub fn area_resistance_with_hnc(
+        &self,
+        pressure: Pressure,
+        hnc: &HncSurface,
+        contact_half_width: Length,
+    ) -> Result<(AreaResistance, Length), TimError> {
+        let blt_flat = self.bond_line(pressure)?;
+        let blt = hnc.reduced_bond_line(blt_flat, contact_half_width)?;
+        let blt = blt.max(self.blt_min);
+        let bulk = AreaResistance::new(blt.value() / self.bulk_conductivity.value());
+        let r = bulk + self.contact_resistance() + self.contact_resistance();
+        Ok((r, blt))
+    }
+
+    /// Bulk conductivity of the TIM.
+    pub fn bulk_conductivity(&self) -> ThermalConductivity {
+        self.bulk_conductivity
+    }
+
+    /// Minimum (filler-limited) bond line.
+    pub fn blt_min(&self) -> Length {
+        self.blt_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blt_decreases_with_pressure_to_floor() {
+        let joint = TimJoint::nanopack_flake_adhesive().unwrap();
+        let b0 = joint.bond_line(Pressure::ZERO).unwrap();
+        let b1 = joint.bond_line(Pressure::from_kilopascals(100.0)).unwrap();
+        let b2 = joint.bond_line(Pressure::from_kilopascals(1000.0)).unwrap();
+        assert!(b1.value() < b0.value());
+        assert!(b2.value() < b1.value());
+        assert!(b2.value() >= joint.blt_min().value());
+        // At the reference pressure the excess thickness has halved.
+        assert!(
+            (b1.micrometers() - (12.0 + (60.0 - 12.0) * 0.5)).abs() < 1e-9,
+            "{b1}"
+        );
+    }
+
+    #[test]
+    fn nanopack_adhesives_beat_grease() {
+        let p = Pressure::from_kilopascals(300.0);
+        let grease = TimJoint::conventional_grease()
+            .unwrap()
+            .area_resistance(p)
+            .unwrap();
+        let flake = TimJoint::nanopack_flake_adhesive()
+            .unwrap()
+            .area_resistance(p)
+            .unwrap();
+        let sphere = TimJoint::nanopack_sphere_adhesive()
+            .unwrap()
+            .area_resistance(p)
+            .unwrap();
+        assert!(flake.kelvin_mm2_per_watt() < 0.3 * grease.kelvin_mm2_per_watt());
+        assert!(sphere.kelvin_mm2_per_watt() < flake.kelvin_mm2_per_watt() * 1.2);
+    }
+
+    #[test]
+    fn nanopack_target_is_met_at_assembly_pressure() {
+        // < 5 K·mm²/W with BLT < 20 µm.
+        let joint = TimJoint::nanopack_sphere_adhesive().unwrap();
+        let p = Pressure::from_kilopascals(500.0);
+        let blt = joint.bond_line(p).unwrap();
+        let r = joint.area_resistance(p).unwrap();
+        assert!(blt.micrometers() < 30.0, "BLT = {blt}");
+        assert!(
+            r.kelvin_mm2_per_watt() < 5.0,
+            "R = {} K·mm²/W",
+            r.kelvin_mm2_per_watt()
+        );
+    }
+
+    #[test]
+    fn resistance_decomposition_is_consistent() {
+        let joint = TimJoint::nanopack_flake_adhesive().unwrap();
+        let p = Pressure::from_kilopascals(200.0);
+        let blt = joint.bond_line(p).unwrap();
+        let r = joint.area_resistance(p).unwrap();
+        let bulk = blt.value() / joint.bulk_conductivity().value();
+        let contact = 2.0 * joint.contact_resistance().value();
+        assert!((r.value() - bulk - contact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(TimJoint::new(
+            ThermalConductivity::ZERO,
+            Length::from_micrometers(50.0),
+            Length::from_micrometers(10.0),
+            Pressure::from_kilopascals(100.0),
+            Length::from_micrometers(0.5),
+        )
+        .is_err());
+        // blt_min above blt_zero.
+        assert!(TimJoint::new(
+            ThermalConductivity::new(5.0),
+            Length::from_micrometers(10.0),
+            Length::from_micrometers(50.0),
+            Pressure::from_kilopascals(100.0),
+            Length::from_micrometers(0.5),
+        )
+        .is_err());
+        let joint = TimJoint::conventional_grease().unwrap();
+        assert!(joint.bond_line(Pressure::new(-1.0)).is_err());
+    }
+}

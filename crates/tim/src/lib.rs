@@ -1,0 +1,62 @@
+//! Thermal interface materials — the NANOPACK half of the paper.
+//!
+//! "One of the bottlenecks of the thermal path is thermal interface
+//! resistance": this crate models the materials NANOPACK developed and
+//! the instrument it measured them with:
+//!
+//! * Effective-medium models ([`maxwell_garnett`], [`bruggeman`],
+//!   [`lewis_nielsen`], [`percolation`], rigorous [`wiener_bounds`] /
+//!   [`hashin_shtrikman_bounds`]) — how silver flakes, micro-spheres
+//!   and percolating metal networks turn a 0.2 W/m·K epoxy into 6, 9.5
+//!   and 20 W/m·K composites.
+//! * [`TimJoint`] — bond-line-vs-pressure squeeze closure, contact
+//!   resistance, and the total interface resistance against the
+//!   "< 5 K·mm²/W at < 20 µm" target.
+//! * [`HncSurface`] — the hierarchical nested channel surfaces that cut
+//!   the achieved bond line by > 20 % on cm² pads.
+//! * [`CntArray`] — carbon-nanotube array interfaces and their contact-
+//!   dominated reality.
+//! * [`D5470Tester`] — a virtual ASTM D5470 reference-bar instrument
+//!   with realistic noise, reproducing the ±1 K·mm²/W / ±2 µm rating.
+//!
+//! # Example
+//!
+//! ```
+//! use aeropack_tim::{lewis_nielsen, FillerShape};
+//! use aeropack_materials::Material;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let k = lewis_nielsen(
+//!     Material::epoxy().thermal_conductivity,
+//!     Material::silver().thermal_conductivity,
+//!     0.45,
+//!     FillerShape::Flake,
+//! )?;
+//! assert!(k.value() > 3.0); // silver flakes transform the epoxy
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adhesive;
+mod aging;
+mod cnt;
+mod effective_medium;
+mod error;
+mod hnc;
+mod interface;
+mod tester;
+
+pub use adhesive::ConductiveAdhesive;
+pub use aging::{TimAging, TimAgingClass};
+pub use cnt::CntArray;
+pub use effective_medium::{
+    bruggeman, hashin_shtrikman_bounds, lewis_nielsen, loading_for_target, maxwell_garnett,
+    percolation, wiener_bounds, FillerShape,
+};
+pub use error::TimError;
+pub use hnc::HncSurface;
+pub use interface::TimJoint;
+pub use tester::{D5470Measurement, D5470Tester};

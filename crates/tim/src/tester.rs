@@ -1,0 +1,363 @@
+//! Virtual ASTM D5470 reference-bar tester.
+//!
+//! NANOPACK built a physical tester "according to the ASTM standard
+//! D5470 (achieved accuracy ±1 K·mm²/W)" that "also measures thermal
+//! interface material's thickness (with ±2 µm accuracy)". This module
+//! simulates that instrument: two instrumented copper meter bars with a
+//! sample squeezed between them, thermocouple readings with Gaussian
+//! noise, linear extrapolation of the surface temperatures, and a
+//! displacement gauge for the bond line. It exercises the same data-
+//! reduction path as the real machine and reproduces its accuracy
+//! figures.
+
+use aeropack_units::{AreaResistance, Celsius, HeatFlux, Length, Pressure, ThermalConductivity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::TimError;
+use crate::interface::TimJoint;
+
+/// One D5470 measurement: the reduced interface resistance and bond
+/// line, plus the raw extrapolated surface temperatures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct D5470Measurement {
+    /// Measured area-specific interface resistance.
+    pub area_resistance: AreaResistance,
+    /// Measured bond-line thickness.
+    pub bond_line: Length,
+    /// Extrapolated hot-bar surface temperature.
+    pub hot_surface: Celsius,
+    /// Extrapolated cold-bar surface temperature.
+    pub cold_surface: Celsius,
+}
+
+/// The virtual instrument.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_tim::{D5470Tester, TimJoint};
+/// use aeropack_units::Pressure;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tester = D5470Tester::standard()?;
+/// let joint = TimJoint::nanopack_sphere_adhesive()?;
+/// let m = tester.measure(&joint, Pressure::from_kilopascals(300.0), 42)?;
+/// let truth = joint.area_resistance(Pressure::from_kilopascals(300.0))?;
+/// let err = (m.area_resistance.kelvin_mm2_per_watt()
+///     - truth.kelvin_mm2_per_watt()).abs();
+/// assert!(err < 3.0); // single-shot; averaging brings this under ±1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct D5470Tester {
+    bar_conductivity: ThermalConductivity,
+    /// Thermocouple positions measured from the bar/sample surface, m.
+    tc_positions: Vec<f64>,
+    /// Applied heat flux through the stack.
+    flux: HeatFlux,
+    /// Cold-plate temperature at the bottom of the cold bar.
+    cold_plate: Celsius,
+    /// 1σ thermocouple noise, K.
+    temperature_noise: f64,
+    /// 1σ displacement-gauge noise, m.
+    thickness_noise: f64,
+}
+
+impl D5470Tester {
+    /// The standard instrument: copper bars, four thermocouples per bar
+    /// at 5 mm spacing starting 5 mm from the surface, 10 W/cm² test
+    /// flux, 0.05 K thermocouples and a 1 µm displacement gauge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn standard() -> Result<Self, TimError> {
+        Self::new(
+            ThermalConductivity::new(391.0),
+            vec![5e-3, 10e-3, 15e-3, 20e-3],
+            HeatFlux::from_watts_per_square_centimeter(10.0),
+            Celsius::new(25.0),
+            0.05,
+            1.0e-6,
+        )
+    }
+
+    /// Builds a custom instrument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than two thermocouples, non-positive
+    /// flux/conductivity, or negative noise levels.
+    pub fn new(
+        bar_conductivity: ThermalConductivity,
+        tc_positions: Vec<f64>,
+        flux: HeatFlux,
+        cold_plate: Celsius,
+        temperature_noise: f64,
+        thickness_noise: f64,
+    ) -> Result<Self, TimError> {
+        if tc_positions.len() < 2 {
+            return Err(TimError::invalid(
+                "tc_positions",
+                "need at least two thermocouples per bar",
+                tc_positions.len() as f64,
+            ));
+        }
+        if tc_positions.iter().any(|&p| p <= 0.0) {
+            return Err(TimError::invalid(
+                "tc_positions",
+                "positions must be positive distances from the surface",
+                0.0,
+            ));
+        }
+        if bar_conductivity.value() <= 0.0 || flux.value() <= 0.0 {
+            return Err(TimError::invalid(
+                "bar/flux",
+                "conductivity and flux must be positive",
+                bar_conductivity.value().min(flux.value()),
+            ));
+        }
+        if temperature_noise < 0.0 || thickness_noise < 0.0 {
+            return Err(TimError::invalid(
+                "noise",
+                "noise levels cannot be negative",
+                temperature_noise.min(thickness_noise),
+            ));
+        }
+        Ok(Self {
+            bar_conductivity,
+            tc_positions,
+            flux,
+            cold_plate,
+            temperature_noise,
+            thickness_noise,
+        })
+    }
+
+    /// Performs one measurement of a joint at an assembly pressure with
+    /// a deterministic noise seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates joint evaluation errors.
+    pub fn measure(
+        &self,
+        joint: &TimJoint,
+        pressure: Pressure,
+        seed: u64,
+    ) -> Result<D5470Measurement, TimError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth_r = joint.area_resistance(pressure)?;
+        let truth_blt = joint.bond_line(pressure)?;
+        let q = self.flux.value();
+        let k = self.bar_conductivity.value();
+
+        // True surface temperatures (1-D steady stack above the cold
+        // plate; absolute level set by the cold bar gradient).
+        let cold_surface = self.cold_plate.value() + q * self.tc_positions[0] / k; // arbitrary datum
+        let hot_surface = cold_surface + q * truth_r.value();
+
+        // Simulated thermocouple readings and linear fits.
+        let gauss = |rng: &mut StdRng, sigma: f64| {
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let mut read_bar = |surface: f64, sign: f64| {
+            // sign = +1: temperatures increase away from the sample (hot
+            // bar); -1: decrease (cold bar).
+            let pts: Vec<(f64, f64)> = self
+                .tc_positions
+                .iter()
+                .map(|&d| {
+                    (
+                        d,
+                        surface + sign * q * d / k + gauss(&mut rng, self.temperature_noise),
+                    )
+                })
+                .collect();
+            // Least-squares line T(d) = a + b·d → surface estimate a.
+            let n = pts.len() as f64;
+            let sx: f64 = pts.iter().map(|p| p.0).sum();
+            let sy: f64 = pts.iter().map(|p| p.1).sum();
+            let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+            let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+            let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+            (sy - b * sx) / n
+        };
+        let hot_est = read_bar(hot_surface, 1.0);
+        let cold_est = read_bar(cold_surface, -1.0);
+        let r_meas = (hot_est - cold_est) / q;
+        let blt_meas = truth_blt.value() + gauss(&mut rng, self.thickness_noise);
+
+        Ok(D5470Measurement {
+            area_resistance: AreaResistance::new(r_meas),
+            bond_line: Length::new(blt_meas.max(0.0)),
+            hot_surface: Celsius::new(hot_est),
+            cold_surface: Celsius::new(cold_est),
+        })
+    }
+
+    /// Measures a joint `n` times (different seeds derived from `seed`)
+    /// and returns the mean resistance and bond line — the averaging the
+    /// real instrument does to reach its rated accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates joint evaluation errors; errors on `n == 0`.
+    pub fn measure_averaged(
+        &self,
+        joint: &TimJoint,
+        pressure: Pressure,
+        n: usize,
+        seed: u64,
+    ) -> Result<D5470Measurement, TimError> {
+        if n == 0 {
+            return Err(TimError::invalid("n", "need at least one repetition", 0.0));
+        }
+        let mut r_sum = 0.0;
+        let mut blt_sum = 0.0;
+        let mut hot = 0.0;
+        let mut cold = 0.0;
+        for i in 0..n {
+            let m = self.measure(joint, pressure, seed.wrapping_add(i as u64))?;
+            r_sum += m.area_resistance.value();
+            blt_sum += m.bond_line.value();
+            hot += m.hot_surface.value();
+            cold += m.cold_surface.value();
+        }
+        let nf = n as f64;
+        Ok(D5470Measurement {
+            area_resistance: AreaResistance::new(r_sum / nf),
+            bond_line: Length::new(blt_sum / nf),
+            hot_surface: Celsius::new(hot / nf),
+            cold_surface: Celsius::new(cold / nf),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averaged_measurement_is_within_rated_accuracy() {
+        // The NANOPACK claim: ±1 K·mm²/W resistance, ±2 µm thickness.
+        let tester = D5470Tester::standard().unwrap();
+        let joint = TimJoint::nanopack_flake_adhesive().unwrap();
+        let p = Pressure::from_kilopascals(300.0);
+        let truth_r = joint.area_resistance(p).unwrap();
+        let truth_blt = joint.bond_line(p).unwrap();
+        let m = tester.measure_averaged(&joint, p, 25, 7).unwrap();
+        let dr = (m.area_resistance.kelvin_mm2_per_watt() - truth_r.kelvin_mm2_per_watt()).abs();
+        let dblt = (m.bond_line.micrometers() - truth_blt.micrometers()).abs();
+        assert!(dr < 1.0, "resistance error {dr} K·mm²/W");
+        assert!(dblt < 2.0, "thickness error {dblt} µm");
+    }
+
+    #[test]
+    fn single_shots_scatter_more_than_averages() {
+        let tester = D5470Tester::standard().unwrap();
+        let joint = TimJoint::conventional_grease().unwrap();
+        let p = Pressure::from_kilopascals(200.0);
+        let truth = joint.area_resistance(p).unwrap().kelvin_mm2_per_watt();
+        let spread_single: f64 = (0..20)
+            .map(|s| {
+                (tester
+                    .measure(&joint, p, s)
+                    .unwrap()
+                    .area_resistance
+                    .kelvin_mm2_per_watt()
+                    - truth)
+                    .powi(2)
+            })
+            .sum::<f64>()
+            .sqrt();
+        let spread_avg: f64 = (0..20)
+            .map(|s| {
+                (tester
+                    .measure_averaged(&joint, p, 16, 1000 + s * 100)
+                    .unwrap()
+                    .area_resistance
+                    .kelvin_mm2_per_watt()
+                    - truth)
+                    .powi(2)
+            })
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            spread_avg < 0.6 * spread_single,
+            "averaging must reduce scatter: {spread_avg} vs {spread_single}"
+        );
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let tester = D5470Tester::standard().unwrap();
+        let joint = TimJoint::nanopack_sphere_adhesive().unwrap();
+        let p = Pressure::from_kilopascals(300.0);
+        let a = tester.measure(&joint, p, 99).unwrap();
+        let b = tester.measure(&joint, p, 99).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_surface_is_above_cold() {
+        let tester = D5470Tester::standard().unwrap();
+        let joint = TimJoint::conventional_grease().unwrap();
+        let m = tester
+            .measure(&joint, Pressure::from_kilopascals(100.0), 3)
+            .unwrap();
+        assert!(m.hot_surface > m.cold_surface);
+    }
+
+    #[test]
+    fn pressure_sweep_reproduces_blt_curve() {
+        // Sweeping pressure on the virtual tester recovers the squeeze
+        // curve within gauge noise.
+        let tester = D5470Tester::standard().unwrap();
+        let joint = TimJoint::nanopack_flake_adhesive().unwrap();
+        let mut last = f64::INFINITY;
+        for (i, kpa) in [50.0, 150.0, 400.0, 1000.0].iter().enumerate() {
+            let p = Pressure::from_kilopascals(*kpa);
+            let m = tester
+                .measure_averaged(&joint, p, 9, 40 + i as u64)
+                .unwrap();
+            assert!(
+                m.bond_line.micrometers() < last + 0.5,
+                "BLT must fall with pressure"
+            );
+            last = m.bond_line.micrometers();
+        }
+    }
+
+    #[test]
+    fn invalid_instruments_rejected() {
+        assert!(D5470Tester::new(
+            ThermalConductivity::new(391.0),
+            vec![5e-3],
+            HeatFlux::from_watts_per_square_centimeter(10.0),
+            Celsius::new(25.0),
+            0.05,
+            1e-6,
+        )
+        .is_err());
+        assert!(D5470Tester::new(
+            ThermalConductivity::new(391.0),
+            vec![5e-3, -1e-3],
+            HeatFlux::from_watts_per_square_centimeter(10.0),
+            Celsius::new(25.0),
+            0.05,
+            1e-6,
+        )
+        .is_err());
+        let t = D5470Tester::standard().unwrap();
+        let joint = TimJoint::conventional_grease().unwrap();
+        assert!(t
+            .measure_averaged(&joint, Pressure::from_kilopascals(100.0), 0, 1)
+            .is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for two-phase device models.
+
+use std::error::Error;
+use std::fmt;
+
+use aeropack_materials::MaterialError;
+use aeropack_units::Power;
+
+/// Which physical transport limit a device ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportLimit {
+    /// Capillary pumping exhausted (wick dry-out).
+    Capillary,
+    /// Choked vapour flow.
+    Sonic,
+    /// Liquid entrainment by the counter-flowing vapour.
+    Entrainment,
+    /// Nucleate boiling disrupting the wick.
+    Boiling,
+    /// Viscous vapour-flow limit (low-temperature start-up).
+    Viscous,
+    /// Counter-current flooding (thermosyphon).
+    Flooding,
+}
+
+impl fmt::Display for TransportLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Capillary => "capillary",
+            Self::Sonic => "sonic",
+            Self::Entrainment => "entrainment",
+            Self::Boiling => "boiling",
+            Self::Viscous => "viscous",
+            Self::Flooding => "flooding",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned by the two-phase device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TwoPhaseError {
+    /// The requested load exceeds the device's transport capability at
+    /// the given conditions.
+    DryOut {
+        /// The binding limit.
+        limit: TransportLimit,
+        /// Maximum transportable power at these conditions.
+        q_max: Power,
+        /// Requested power.
+        q_requested: Power,
+    },
+    /// The working fluid left its tabulated range.
+    Fluid(MaterialError),
+    /// Device geometry or conditions were invalid.
+    InvalidDevice {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The iterative operating-point search failed to converge.
+    NoOperatingPoint {
+        /// What was being solved.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for TwoPhaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DryOut {
+                limit,
+                q_max,
+                q_requested,
+            } => write!(
+                f,
+                "{limit} limit exceeded: requested {q_requested:.1} but only \
+                 {q_max:.1} transportable"
+            ),
+            Self::Fluid(e) => write!(f, "working fluid: {e}"),
+            Self::InvalidDevice { reason } => write!(f, "invalid device: {reason}"),
+            Self::NoOperatingPoint { context } => {
+                write!(f, "no operating point found for {context}")
+            }
+        }
+    }
+}
+
+impl Error for TwoPhaseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Fluid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MaterialError> for TwoPhaseError {
+    fn from(e: MaterialError) -> Self {
+        Self::Fluid(e)
+    }
+}
+
+impl TwoPhaseError {
+    /// Shorthand for [`TwoPhaseError::InvalidDevice`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::InvalidDevice {
+            reason: reason.into(),
+        }
+    }
+}

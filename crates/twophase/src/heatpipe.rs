@@ -1,0 +1,542 @@
+//! Conventional (wick-in-tube) heat-pipe model: the five classical
+//! operating limits and the series thermal resistance.
+//!
+//! These are the devices the COSEE project used "to transfer the heat
+//! from the dissipating components and the edge of the SEB".
+
+use aeropack_materials::{Material, Saturation, WorkingFluid};
+use aeropack_units::{
+    Celsius, Length, Power, ThermalConductivity, ThermalResistance, STANDARD_GRAVITY,
+};
+
+use crate::error::{TransportLimit, TwoPhaseError};
+
+/// Wick structure of a heat pipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wick {
+    /// Effective capillary pore radius, m.
+    pub pore_radius: f64,
+    /// Permeability, m².
+    pub permeability: f64,
+    /// Porosity (liquid volume fraction).
+    pub porosity: f64,
+}
+
+impl Wick {
+    /// Sintered copper powder — high capillary pressure, moderate
+    /// permeability; the standard electronics-cooling wick.
+    pub fn sintered_powder() -> Self {
+        Self {
+            pore_radius: 20e-6,
+            permeability: 5e-11,
+            porosity: 0.5,
+        }
+    }
+
+    /// Axial grooves — low capillary pressure, high permeability;
+    /// gravity-sensitive but cheap (extruded aluminium pipes).
+    pub fn axial_grooves() -> Self {
+        Self {
+            pore_radius: 0.4e-3,
+            permeability: 1e-9,
+            porosity: 0.6,
+        }
+    }
+
+    /// Wrapped screen mesh — intermediate properties.
+    pub fn screen_mesh() -> Self {
+        Self {
+            pore_radius: 60e-6,
+            permeability: 1e-10,
+            porosity: 0.65,
+        }
+    }
+
+    /// Maximum capillary pressure `2σ/r_eff`, Pa.
+    pub fn capillary_pressure(&self, sat: &Saturation) -> f64 {
+        2.0 * sat.surface_tension / self.pore_radius
+    }
+
+    /// Effective conductivity of the liquid-saturated wick (Maxwell
+    /// model with the solid as the continuous phase).
+    pub fn effective_conductivity(
+        &self,
+        solid: &Material,
+        sat: &Saturation,
+    ) -> ThermalConductivity {
+        let ks = solid.thermal_conductivity.value();
+        let kl = sat.liquid_conductivity.value();
+        let eps = self.porosity;
+        let ratio = kl / ks;
+        let k_eff =
+            ks * (2.0 + ratio - 2.0 * eps * (1.0 - ratio)) / (2.0 + ratio + eps * (1.0 - ratio));
+        ThermalConductivity::new(k_eff)
+    }
+}
+
+/// Geometry and materials of a cylindrical heat pipe.
+#[derive(Debug, Clone)]
+pub struct HeatPipe {
+    fluid: WorkingFluid,
+    wick: Wick,
+    envelope: Material,
+    outer_diameter: f64,
+    wall_thickness: f64,
+    wick_thickness: f64,
+    evaporator_length: f64,
+    adiabatic_length: f64,
+    condenser_length: f64,
+}
+
+/// The computed transport limits of a heat pipe at one operating state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatPipeLimits {
+    /// Capillary (wick dry-out) limit.
+    pub capillary: Power,
+    /// Sonic (choked vapour) limit.
+    pub sonic: Power,
+    /// Entrainment limit.
+    pub entrainment: Power,
+    /// Boiling limit.
+    pub boiling: Power,
+    /// Viscous limit.
+    pub viscous: Power,
+}
+
+impl HeatPipeLimits {
+    /// The binding (smallest) limit and its kind.
+    pub fn governing(&self) -> (TransportLimit, Power) {
+        let all = [
+            (TransportLimit::Capillary, self.capillary),
+            (TransportLimit::Sonic, self.sonic),
+            (TransportLimit::Entrainment, self.entrainment),
+            (TransportLimit::Boiling, self.boiling),
+            (TransportLimit::Viscous, self.viscous),
+        ];
+        all.into_iter()
+            .min_by(|a, b| {
+                a.1.value()
+                    .partial_cmp(&b.1.value())
+                    .expect("finite limits")
+            })
+            .expect("non-empty limit list")
+    }
+}
+
+impl HeatPipe {
+    /// Builds a heat pipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cross-section is inconsistent (no vapour
+    /// core left) or any dimension is non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fluid: WorkingFluid,
+        wick: Wick,
+        envelope: Material,
+        outer_diameter: Length,
+        wall_thickness: Length,
+        wick_thickness: Length,
+        evaporator_length: Length,
+        adiabatic_length: Length,
+        condenser_length: Length,
+    ) -> Result<Self, TwoPhaseError> {
+        let d = outer_diameter.value();
+        let tw = wall_thickness.value();
+        let tk = wick_thickness.value();
+        if d <= 0.0 || tw <= 0.0 || tk <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "diameters and thicknesses must be positive",
+            ));
+        }
+        if evaporator_length.value() <= 0.0 || condenser_length.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "evaporator and condenser lengths must be positive",
+            ));
+        }
+        if adiabatic_length.value() < 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "adiabatic length cannot be negative",
+            ));
+        }
+        let r_vapor = d / 2.0 - tw - tk;
+        if r_vapor <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "wall + wick leave no vapour core in the cross-section",
+            ));
+        }
+        Ok(Self {
+            fluid,
+            wick,
+            envelope,
+            outer_diameter: d,
+            wall_thickness: tw,
+            wick_thickness: tk,
+            evaporator_length: evaporator_length.value(),
+            adiabatic_length: adiabatic_length.value(),
+            condenser_length: condenser_length.value(),
+        })
+    }
+
+    /// A 6 mm copper/water pipe with a sintered wick — the COSEE-style
+    /// SEB board drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn copper_water_6mm(
+        evaporator_length: Length,
+        adiabatic_length: Length,
+        condenser_length: Length,
+    ) -> Result<Self, TwoPhaseError> {
+        Self::new(
+            WorkingFluid::water(),
+            Wick::sintered_powder(),
+            Material::copper(),
+            Length::from_millimeters(6.0),
+            Length::from_millimeters(0.3),
+            Length::from_millimeters(0.6),
+            evaporator_length,
+            adiabatic_length,
+            condenser_length,
+        )
+    }
+
+    /// Vapour-core radius, m.
+    fn vapor_radius(&self) -> f64 {
+        self.outer_diameter / 2.0 - self.wall_thickness - self.wick_thickness
+    }
+
+    /// Wick annulus cross-section, m².
+    fn wick_area(&self) -> f64 {
+        let r_i = self.outer_diameter / 2.0 - self.wall_thickness;
+        let r_v = self.vapor_radius();
+        std::f64::consts::PI * (r_i * r_i - r_v * r_v)
+    }
+
+    /// Effective pumping length, m.
+    fn effective_length(&self) -> f64 {
+        self.adiabatic_length + 0.5 * (self.evaporator_length + self.condenser_length)
+    }
+
+    /// Total pipe length, m.
+    pub fn total_length(&self) -> Length {
+        Length::new(self.evaporator_length + self.adiabatic_length + self.condenser_length)
+    }
+
+    /// The working fluid.
+    pub fn fluid(&self) -> &WorkingFluid {
+        &self.fluid
+    }
+
+    /// Computes all five transport limits at the given vapour
+    /// temperature and adverse tilt (radians; positive = evaporator
+    /// above condenser).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn limits(
+        &self,
+        vapor_temp: Celsius,
+        tilt_rad: f64,
+    ) -> Result<HeatPipeLimits, TwoPhaseError> {
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let r_v = self.vapor_radius();
+        let a_v = std::f64::consts::PI * r_v * r_v;
+        let l_eff = self.effective_length();
+        let l_total = self.total_length().value();
+
+        // Capillary limit: Δp_cap − Δp_gravity = (F_l + F_v)·L_eff·Q.
+        let dp_cap = self.wick.capillary_pressure(&sat);
+        let dp_grav = sat.liquid_density.value() * STANDARD_GRAVITY * l_total * tilt_rad.sin();
+        let f_l = sat.liquid_viscosity
+            / (self.wick.permeability
+                * self.wick_area()
+                * sat.liquid_density.value()
+                * sat.latent_heat);
+        let f_v = 8.0 * sat.vapor_viscosity
+            / (std::f64::consts::PI * r_v.powi(4) * sat.vapor_density.value() * sat.latent_heat);
+        let head = dp_cap - dp_grav;
+        let capillary = if head <= 0.0 {
+            0.0
+        } else {
+            head / ((f_l + f_v) * l_eff)
+        };
+
+        // Sonic limit (Busse).
+        let gamma = 1.33;
+        let r_specific = aeropack_materials::GAS_CONSTANT / self.fluid.molar_mass();
+        let t_k = vapor_temp.kelvin();
+        let sonic = a_v
+            * sat.vapor_density.value()
+            * sat.latent_heat
+            * (gamma * r_specific * t_k / (2.0 * (gamma + 1.0))).sqrt();
+
+        // Entrainment limit (Cotter, with the wick pore as the
+        // characteristic wavelength).
+        let entrainment = a_v
+            * sat.latent_heat
+            * (sat.surface_tension * sat.vapor_density.value() / (2.0 * self.wick.pore_radius))
+                .sqrt();
+
+        // Boiling limit (nucleation radius 2.5e-7 m).
+        let r_nucleation = 2.5e-7;
+        let k_eff = self
+            .wick
+            .effective_conductivity(&self.envelope, &sat)
+            .value();
+        let r_i = self.outer_diameter / 2.0 - self.wall_thickness;
+        let boiling = 2.0 * std::f64::consts::PI * self.evaporator_length * k_eff * t_k
+            / (sat.latent_heat * sat.vapor_density.value() * (r_i / r_v).ln())
+            * (2.0 * sat.surface_tension / r_nucleation - dp_cap).max(0.0);
+
+        // Viscous limit (Busse).
+        let viscous =
+            r_v * r_v * sat.latent_heat * sat.vapor_density.value() * sat.pressure.value() * a_v
+                / (16.0 * sat.vapor_viscosity * l_eff);
+
+        Ok(HeatPipeLimits {
+            capillary: Power::new(capillary),
+            sonic: Power::new(sonic),
+            entrainment: Power::new(entrainment),
+            boiling: Power::new(boiling),
+            viscous: Power::new(viscous),
+        })
+    }
+
+    /// Maximum transportable power at the given state (the governing
+    /// limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn max_power(&self, vapor_temp: Celsius, tilt_rad: f64) -> Result<Power, TwoPhaseError> {
+        Ok(self.limits(vapor_temp, tilt_rad)?.governing().1)
+    }
+
+    /// End-to-end thermal resistance (wall + saturated wick at both
+    /// ends; the vapour path is taken as isothermal).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn thermal_resistance(
+        &self,
+        vapor_temp: Celsius,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let k_wall = self.envelope.thermal_conductivity.value();
+        let k_wick = self
+            .wick
+            .effective_conductivity(&self.envelope, &sat)
+            .value();
+        let r_o = self.outer_diameter / 2.0;
+        let r_i = r_o - self.wall_thickness;
+        let r_v = self.vapor_radius();
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let section = |length: f64| {
+            let r_wall = (r_o / r_i).ln() / (two_pi * k_wall * length);
+            let r_wick = (r_i / r_v).ln() / (two_pi * k_wick * length);
+            r_wall + r_wick
+        };
+        Ok(ThermalResistance::new(
+            section(self.evaporator_length) + section(self.condenser_length),
+        ))
+    }
+
+    /// Verifies that the pipe can carry `q` at the given state and
+    /// returns its resistance; dry-out is an error naming the governing
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// [`TwoPhaseError::DryOut`] when `q` exceeds the governing limit,
+    /// or a fluid range error.
+    pub fn operate(
+        &self,
+        q: Power,
+        vapor_temp: Celsius,
+        tilt_rad: f64,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let limits = self.limits(vapor_temp, tilt_rad)?;
+        let (limit, q_max) = limits.governing();
+        if q.value() > q_max.value() {
+            return Err(TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q,
+            });
+        }
+        self.thermal_resistance(vapor_temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seb_pipe() -> HeatPipe {
+        HeatPipe::copper_water_6mm(
+            Length::from_millimeters(60.0),
+            Length::from_millimeters(120.0),
+            Length::from_millimeters(60.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn horizontal_capillary_limit_magnitude() {
+        // A 6 mm water pipe carries tens of watts horizontally at 60 °C.
+        let q = seb_pipe()
+            .max_power(Celsius::new(60.0), 0.0)
+            .unwrap()
+            .value();
+        assert!(q > 20.0 && q < 500.0, "Q_max = {q} W");
+    }
+
+    #[test]
+    fn adverse_tilt_reduces_capacity() {
+        let pipe = seb_pipe();
+        let q0 = pipe.limits(Celsius::new(60.0), 0.0).unwrap().capillary;
+        let q45 = pipe
+            .limits(Celsius::new(60.0), 45f64.to_radians())
+            .unwrap()
+            .capillary;
+        let q90 = pipe
+            .limits(Celsius::new(60.0), 90f64.to_radians())
+            .unwrap()
+            .capillary;
+        assert!(q45.value() < q0.value());
+        assert!(q90.value() < q45.value());
+    }
+
+    #[test]
+    fn favorable_tilt_helps() {
+        let pipe = seb_pipe();
+        let q0 = pipe.limits(Celsius::new(60.0), 0.0).unwrap().capillary;
+        let q_down = pipe
+            .limits(Celsius::new(60.0), -30f64.to_radians())
+            .unwrap()
+            .capillary;
+        assert!(q_down.value() > q0.value());
+    }
+
+    #[test]
+    fn grooved_wick_dies_against_gravity() {
+        // Grooves have 20× larger pores: almost no pumping head when
+        // tilted 90° adverse.
+        let grooved = HeatPipe::new(
+            WorkingFluid::water(),
+            Wick::axial_grooves(),
+            Material::copper(),
+            Length::from_millimeters(6.0),
+            Length::from_millimeters(0.3),
+            Length::from_millimeters(0.6),
+            Length::from_millimeters(60.0),
+            Length::from_millimeters(120.0),
+            Length::from_millimeters(60.0),
+        )
+        .unwrap();
+        let q = grooved
+            .limits(Celsius::new(60.0), 90f64.to_radians())
+            .unwrap()
+            .capillary;
+        assert!(q.value() < 1.0, "grooves against gravity: {q}");
+        // The fine sintered wick, by contrast, retains most of its
+        // pumping head even fully against gravity.
+        let sintered = seb_pipe();
+        let q_flat = sintered.limits(Celsius::new(60.0), 0.0).unwrap().capillary;
+        let q_up = sintered
+            .limits(Celsius::new(60.0), 90f64.to_radians())
+            .unwrap()
+            .capillary;
+        assert!(
+            q_up.value() > 0.4 * q_flat.value(),
+            "sintered at 90°: {q_up} vs flat {q_flat}"
+        );
+    }
+
+    #[test]
+    fn sonic_limit_dominates_only_at_cold_start() {
+        let pipe = seb_pipe();
+        let warm = pipe.limits(Celsius::new(80.0), 0.0).unwrap();
+        // Warm: sonic is far above capillary.
+        assert!(warm.sonic.value() > 10.0 * warm.capillary.value());
+        // Near the bottom of the table the vapour is thin and the sonic
+        // limit collapses by orders of magnitude.
+        let cold = pipe.limits(Celsius::new(1.0), 0.0).unwrap();
+        assert!(cold.sonic.value() < 0.02 * warm.sonic.value());
+    }
+
+    #[test]
+    fn resistance_is_small_and_positive() {
+        // A heat pipe is a near-superconductor: R ≈ 0.01–0.5 K/W.
+        let r = seb_pipe().thermal_resistance(Celsius::new(60.0)).unwrap();
+        assert!(r.value() > 0.005 && r.value() < 0.5, "R = {r}");
+    }
+
+    #[test]
+    fn equivalent_solid_rod_is_far_worse() {
+        // The classic comparison: same geometry in solid copper.
+        let pipe = seb_pipe();
+        let r_hp = pipe.thermal_resistance(Celsius::new(60.0)).unwrap();
+        let area = std::f64::consts::PI * (0.003f64).powi(2);
+        let r_rod = Material::copper()
+            .thermal_conductivity
+            .bar_conductance(aeropack_units::Area::new(area), pipe.total_length())
+            .to_resistance();
+        assert!(
+            r_rod.value() > 20.0 * r_hp.value(),
+            "rod {r_rod} vs pipe {r_hp}"
+        );
+    }
+
+    #[test]
+    fn operate_reports_dry_out() {
+        let pipe = seb_pipe();
+        let q_max = pipe.max_power(Celsius::new(60.0), 0.0).unwrap();
+        let err = pipe
+            .operate(q_max * 1.5, Celsius::new(60.0), 0.0)
+            .unwrap_err();
+        match err {
+            TwoPhaseError::DryOut { q_max: qm, .. } => {
+                assert!((qm.value() - q_max.value()).abs() < 1e-9);
+            }
+            other => panic!("expected DryOut, got {other}"),
+        }
+        assert!(pipe.operate(q_max * 0.5, Celsius::new(60.0), 0.0).is_ok());
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        // Wick + wall thicker than the radius.
+        let r = HeatPipe::new(
+            WorkingFluid::water(),
+            Wick::sintered_powder(),
+            Material::copper(),
+            Length::from_millimeters(4.0),
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.5),
+            Length::from_millimeters(50.0),
+            Length::ZERO,
+            Length::from_millimeters(50.0),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wick_conductivity_between_bounds() {
+        let sat = WorkingFluid::water()
+            .saturation(Celsius::new(60.0))
+            .unwrap();
+        let k = Wick::sintered_powder()
+            .effective_conductivity(&Material::copper(), &sat)
+            .value();
+        assert!(k > sat.liquid_conductivity.value());
+        assert!(k < Material::copper().thermal_conductivity.value());
+        // Typical sintered copper/water k_eff is tens of W/mK.
+        assert!(k > 30.0 && k < 250.0, "k_eff = {k}");
+    }
+}

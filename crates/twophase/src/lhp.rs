@@ -1,0 +1,513 @@
+//! Loop heat pipe (LHP) steady-state model.
+//!
+//! LHPs are the second COSEE device: "particularly interesting when the
+//! heat is transferred over large distance under small temperature
+//! differences". The model closes the loop pressure balance (primary
+//! wick capillary head against vapour-line, liquid-line and gravity
+//! losses) and converts the transport losses into the saturation-
+//! temperature offset via the local Clausius–Clapeyron slope. Adverse
+//! tilt additionally floods part of the condenser, modelled as a
+//! proportional loss of condenser conductance — an engineering closure
+//! calibrated to reproduce the "few degrees at 22°" behaviour the COSEE
+//! seats showed.
+
+use aeropack_materials::WorkingFluid;
+use aeropack_units::{
+    Area, Celsius, HeatFlux, Length, Power, ThermalConductance, ThermalResistance, STANDARD_GRAVITY,
+};
+
+use crate::error::{TransportLimit, TwoPhaseError};
+
+/// A smooth transport line (vapour or liquid) of the loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Line length, m.
+    pub length: f64,
+    /// Inner diameter, m.
+    pub inner_diameter: f64,
+}
+
+impl Line {
+    /// Laminar (Hagen–Poiseuille) pressure drop per watt transported,
+    /// Pa/W, for a given density/viscosity and latent heat.
+    fn dp_per_watt(&self, density: f64, viscosity: f64, latent_heat: f64) -> f64 {
+        128.0 * viscosity * self.length
+            / (std::f64::consts::PI * self.inner_diameter.powi(4) * density * latent_heat)
+    }
+}
+
+/// A steady-state loop-heat-pipe model.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_twophase::LoopHeatPipe;
+/// use aeropack_units::{Celsius, Length, Power};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8))?;
+/// let op = lhp.operating_point(Power::new(29.0), Celsius::new(35.0), 0.0)?;
+/// // Small ΔT over 0.8 m of transport: that's the point of an LHP.
+/// assert!((op.case_temperature - Celsius::new(35.0)).kelvin() < 25.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopHeatPipe {
+    fluid: WorkingFluid,
+    /// Primary-wick effective pore radius, m.
+    pore_radius: f64,
+    /// Evaporator case-to-vapour resistance.
+    evaporator_resistance: ThermalResistance,
+    /// Condenser-to-sink conductance (UA) when fully active.
+    condenser_conductance: ThermalConductance,
+    /// Active evaporator wick area (critical-flux check).
+    evaporator_area: Area,
+    /// Critical evaporator heat flux.
+    critical_flux: HeatFlux,
+    vapor_line: Line,
+    liquid_line: Line,
+}
+
+/// A solved LHP operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LhpOperatingPoint {
+    /// Transported power.
+    pub power: Power,
+    /// Loop saturation (vapour) temperature.
+    pub vapor_temperature: Celsius,
+    /// Evaporator case temperature (what the SEB wall sees).
+    pub case_temperature: Celsius,
+    /// End-to-end conductance case→sink.
+    pub conductance: ThermalConductance,
+    /// Remaining capillary pressure margin, Pa.
+    pub pressure_margin: f64,
+}
+
+impl LoopHeatPipe {
+    /// Builds an LHP.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive geometry, resistance or
+    /// conductance values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fluid: WorkingFluid,
+        pore_radius: Length,
+        evaporator_resistance: ThermalResistance,
+        condenser_conductance: ThermalConductance,
+        evaporator_area: Area,
+        critical_flux: HeatFlux,
+        vapor_line: Line,
+        liquid_line: Line,
+    ) -> Result<Self, TwoPhaseError> {
+        if pore_radius.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid("pore radius must be positive"));
+        }
+        if evaporator_resistance.value() <= 0.0 || condenser_conductance.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "evaporator resistance and condenser conductance must be positive",
+            ));
+        }
+        if evaporator_area.value() <= 0.0 || critical_flux.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "evaporator area and critical flux must be positive",
+            ));
+        }
+        for line in [&vapor_line, &liquid_line] {
+            if line.length <= 0.0 || line.inner_diameter <= 0.0 {
+                return Err(TwoPhaseError::invalid("line geometry must be positive"));
+            }
+        }
+        Ok(Self {
+            fluid,
+            pore_radius: pore_radius.value(),
+            evaporator_resistance,
+            condenser_conductance,
+            evaporator_area,
+            critical_flux,
+            vapor_line,
+            liquid_line,
+        })
+    }
+
+    /// An ammonia LHP sized like the COSEE seat units (ITP-style): fine
+    /// sintered-nickel primary wick, ~30 W class, transporting heat over
+    /// `transport_length` to the seat structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn ammonia_seb(transport_length: Length) -> Result<Self, TwoPhaseError> {
+        Self::new(
+            WorkingFluid::ammonia(),
+            Length::from_micrometers(1.2),
+            ThermalResistance::new(0.25),
+            ThermalConductance::new(3.0),
+            Area::from_square_centimeters(15.0),
+            HeatFlux::from_watts_per_square_centimeter(20.0),
+            Line {
+                length: transport_length.value(),
+                inner_diameter: 2.0e-3,
+            },
+            Line {
+                length: transport_length.value(),
+                inner_diameter: 1.5e-3,
+            },
+        )
+    }
+
+    /// Height of the evaporator above the condenser for a given adverse
+    /// tilt (radians), using the vapour-line length as the transport
+    /// distance.
+    fn elevation(&self, tilt_rad: f64) -> f64 {
+        self.vapor_line.length * tilt_rad.sin()
+    }
+
+    /// Solves the loop at a given load, sink temperature and adverse
+    /// tilt (positive = evaporator above condenser).
+    ///
+    /// # Errors
+    ///
+    /// [`TwoPhaseError::DryOut`] when the capillary margin is exhausted
+    /// or the evaporator critical flux is exceeded; fluid-range errors
+    /// when the loop runs off the property tables.
+    pub fn operating_point(
+        &self,
+        q: Power,
+        sink: Celsius,
+        tilt_rad: f64,
+    ) -> Result<LhpOperatingPoint, TwoPhaseError> {
+        if q.value() < 0.0 {
+            return Err(TwoPhaseError::invalid("power must be non-negative"));
+        }
+        // Critical-flux check first: it does not depend on the closure.
+        let q_crit = Power::new(self.critical_flux.value() * self.evaporator_area.value());
+        if q.value() > q_crit.value() {
+            return Err(TwoPhaseError::DryOut {
+                limit: TransportLimit::Boiling,
+                q_max: q_crit,
+                q_requested: q,
+            });
+        }
+
+        // Fixed-point iteration on the vapour temperature: the condenser
+        // flooding factor and the fluid properties both depend on it.
+        let mut t_v = sink + (q / self.condenser_conductance);
+        let mut last_margin = 0.0;
+        let mut ua_eff = self.condenser_conductance;
+        for _ in 0..50 {
+            // If flooding pushes the loop off the property tables, the
+            // real diagnosis is usually dry-out, not a table limit.
+            let sat = match self.fluid.saturation(t_v) {
+                Ok(sat) => sat,
+                Err(e) => {
+                    let q_max = self.max_transport(sink, tilt_rad)?;
+                    if q.value() > q_max.value() {
+                        return Err(TwoPhaseError::DryOut {
+                            limit: TransportLimit::Capillary,
+                            q_max,
+                            q_requested: q,
+                        });
+                    }
+                    return Err(e.into());
+                }
+            };
+            let dp_cap = 2.0 * sat.surface_tension / self.pore_radius;
+            let dp_grav = sat.liquid_density.value() * STANDARD_GRAVITY * self.elevation(tilt_rad);
+            let dp_v = self.vapor_line.dp_per_watt(
+                sat.vapor_density.value(),
+                sat.vapor_viscosity,
+                sat.latent_heat,
+            ) * q.value();
+            let dp_l = self.liquid_line.dp_per_watt(
+                sat.liquid_density.value(),
+                sat.liquid_viscosity,
+                sat.latent_heat,
+            ) * q.value();
+            let dp_transport = dp_v + dp_l + dp_grav.max(0.0);
+            last_margin = dp_cap - dp_transport;
+
+            // Condenser flooding under adverse tilt: the fraction of
+            // capillary head spent on gravity is lost as blocked
+            // two-phase length.
+            let flood = (dp_grav.max(0.0) / dp_cap).clamp(0.0, 0.9);
+            ua_eff = self.condenser_conductance * (1.0 - flood);
+            let t_new = sink + (q / ua_eff);
+            if (t_new - t_v).kelvin().abs() < 1e-9 {
+                t_v = t_new;
+                break;
+            }
+            t_v = t_new;
+        }
+        if last_margin < 0.0 {
+            let q_max = self.max_transport(sink, tilt_rad)?;
+            return Err(TwoPhaseError::DryOut {
+                limit: TransportLimit::Capillary,
+                q_max,
+                q_requested: q,
+            });
+        }
+        // Transport losses appear as a saturation-temperature offset via
+        // the Clausius–Clapeyron slope dP/dT.
+        let slope = self.fluid.saturation_slope(t_v)?;
+        let sat = self.fluid.saturation(t_v)?;
+        let dp_grav = sat.liquid_density.value() * STANDARD_GRAVITY * self.elevation(tilt_rad);
+        let dp_v = self.vapor_line.dp_per_watt(
+            sat.vapor_density.value(),
+            sat.vapor_viscosity,
+            sat.latent_heat,
+        ) * q.value();
+        let dp_l = self.liquid_line.dp_per_watt(
+            sat.liquid_density.value(),
+            sat.liquid_viscosity,
+            sat.latent_heat,
+        ) * q.value();
+        let dt_loop = (dp_v + dp_l + dp_grav.max(0.0)) / slope;
+
+        let case = t_v + aeropack_units::TempDelta::new(dt_loop) + self.evaporator_resistance * q;
+        let dt_total = (case - sink).kelvin();
+        let conductance = if dt_total > 0.0 {
+            ThermalConductance::new(q.value() / dt_total)
+        } else {
+            // Zero-power query: report the series small-signal value.
+            ThermalConductance::new(
+                1.0 / (self.evaporator_resistance.value() + 1.0 / ua_eff.value()),
+            )
+        };
+        Ok(LhpOperatingPoint {
+            power: q,
+            vapor_temperature: t_v,
+            case_temperature: case,
+            conductance,
+            pressure_margin: last_margin,
+        })
+    }
+
+    /// Maximum transportable power at a sink temperature and tilt, by
+    /// bisection on the capillary margin (and the critical-flux cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns fluid-range errors if even zero power is outside the
+    /// tables.
+    pub fn max_transport(&self, sink: Celsius, tilt_rad: f64) -> Result<Power, TwoPhaseError> {
+        let q_crit = self.critical_flux.value() * self.evaporator_area.value();
+        // Margin at a given q, ignoring dry-out recursion.
+        let margin = |qv: f64| -> Result<f64, TwoPhaseError> {
+            let mut t_v = sink + (Power::new(qv) / self.condenser_conductance);
+            let mut m = 0.0;
+            for _ in 0..50 {
+                let sat = self.fluid.saturation(t_v)?;
+                let dp_cap = 2.0 * sat.surface_tension / self.pore_radius;
+                let dp_grav =
+                    sat.liquid_density.value() * STANDARD_GRAVITY * self.elevation(tilt_rad);
+                let dp_v = self.vapor_line.dp_per_watt(
+                    sat.vapor_density.value(),
+                    sat.vapor_viscosity,
+                    sat.latent_heat,
+                ) * qv;
+                let dp_l = self.liquid_line.dp_per_watt(
+                    sat.liquid_density.value(),
+                    sat.liquid_viscosity,
+                    sat.latent_heat,
+                ) * qv;
+                m = dp_cap - (dp_v + dp_l + dp_grav.max(0.0));
+                let flood = (dp_grav.max(0.0) / dp_cap).clamp(0.0, 0.9);
+                let t_new = sink + Power::new(qv) / (self.condenser_conductance * (1.0 - flood));
+                if (t_new - t_v).kelvin().abs() < 1e-9 {
+                    break;
+                }
+                t_v = t_new;
+            }
+            Ok(m)
+        };
+        if margin(0.0)? <= 0.0 {
+            return Ok(Power::ZERO);
+        }
+        // Find an upper bracket: either q_crit or where the fluid table
+        // ends / margin flips.
+        let mut hi = q_crit;
+        let mut lo = 0.0;
+        match margin(hi) {
+            Ok(m) if m > 0.0 => return Ok(Power::new(hi)),
+            Ok(_) => {}
+            Err(_) => {
+                // Condenser drove the loop off the table before q_crit:
+                // shrink until evaluable.
+                while hi > 1e-6 {
+                    hi *= 0.5;
+                    match margin(hi) {
+                        Ok(m) if m > 0.0 => {
+                            lo = hi;
+                            hi *= 2.0;
+                            break;
+                        }
+                        Ok(_) => break,
+                        Err(_) => continue,
+                    }
+                }
+            }
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            match margin(mid) {
+                Ok(m) if m > 0.0 => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        Ok(Power::new(lo))
+    }
+
+    /// The working fluid.
+    pub fn fluid(&self) -> &WorkingFluid {
+        &self.fluid
+    }
+
+    /// Fully active condenser conductance.
+    pub fn condenser_conductance(&self) -> ThermalConductance {
+        self.condenser_conductance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seb_lhp() -> LoopHeatPipe {
+        LoopHeatPipe::ammonia_seb(Length::new(0.8)).unwrap()
+    }
+
+    #[test]
+    fn nominal_point_has_small_loop_dt() {
+        let lhp = seb_lhp();
+        let op = lhp
+            .operating_point(Power::new(29.0), Celsius::new(35.0), 0.0)
+            .unwrap();
+        // Condenser UA = 3 W/K → ~9.7 K there, plus ~7 K evaporator.
+        let dt = (op.case_temperature - Celsius::new(35.0)).kelvin();
+        assert!(dt > 10.0 && dt < 25.0, "ΔT = {dt}");
+        assert!(op.pressure_margin > 0.0);
+    }
+
+    #[test]
+    fn tilt_costs_a_few_degrees_not_tens() {
+        // The Fig 10 behaviour: 22° tilt slightly degrades the loop.
+        let lhp = seb_lhp();
+        let q = Power::new(29.0);
+        let sink = Celsius::new(35.0);
+        let flat = lhp.operating_point(q, sink, 0.0).unwrap();
+        let tilted = lhp.operating_point(q, sink, 22f64.to_radians()).unwrap();
+        let penalty = (tilted.case_temperature - flat.case_temperature).kelvin();
+        assert!(
+            penalty > 0.05 && penalty < 8.0,
+            "22° tilt penalty = {penalty} K"
+        );
+    }
+
+    #[test]
+    fn max_transport_decreases_with_tilt() {
+        let lhp = seb_lhp();
+        let sink = Celsius::new(35.0);
+        let q0 = lhp.max_transport(sink, 0.0).unwrap();
+        let q22 = lhp.max_transport(sink, 22f64.to_radians()).unwrap();
+        assert!(q22.value() <= q0.value());
+        // Still comfortably above the 29 W duty.
+        assert!(q22.value() > 29.0, "Q_max(22°) = {q22}");
+    }
+
+    #[test]
+    fn critical_flux_caps_the_load() {
+        let lhp = seb_lhp();
+        // 15 cm² at 20 W/cm² → 300 W cap.
+        let err = lhp
+            .operating_point(Power::new(400.0), Celsius::new(35.0), 0.0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TwoPhaseError::DryOut {
+                limit: TransportLimit::Boiling,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn conductance_definition_consistent() {
+        let lhp = seb_lhp();
+        let q = Power::new(20.0);
+        let sink = Celsius::new(30.0);
+        let op = lhp.operating_point(q, sink, 0.0).unwrap();
+        let dt = (op.case_temperature - sink).kelvin();
+        assert!((op.conductance.value() - 20.0 / dt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_is_well_defined() {
+        let lhp = seb_lhp();
+        let op = lhp
+            .operating_point(Power::ZERO, Celsius::new(30.0), 0.0)
+            .unwrap();
+        assert!((op.vapor_temperature.value() - 30.0).abs() < 1e-9);
+        assert!(op.conductance.value() > 0.0);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        let bad = LoopHeatPipe::new(
+            WorkingFluid::ammonia(),
+            Length::ZERO,
+            ThermalResistance::new(0.1),
+            ThermalConductance::new(3.0),
+            Area::from_square_centimeters(10.0),
+            HeatFlux::from_watts_per_square_centimeter(20.0),
+            Line {
+                length: 1.0,
+                inner_diameter: 2e-3,
+            },
+            Line {
+                length: 1.0,
+                inner_diameter: 1.5e-3,
+            },
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn steep_tilt_eventually_kills_transport() {
+        // With a coarse wick (low capillary head) a 90° adverse tilt over
+        // a long run exhausts the pumping head entirely.
+        let weak = LoopHeatPipe::new(
+            WorkingFluid::ammonia(),
+            Length::from_micrometers(400.0),
+            ThermalResistance::new(0.25),
+            ThermalConductance::new(3.0),
+            Area::from_square_centimeters(15.0),
+            HeatFlux::from_watts_per_square_centimeter(20.0),
+            Line {
+                length: 2.0,
+                inner_diameter: 2e-3,
+            },
+            Line {
+                length: 2.0,
+                inner_diameter: 1.5e-3,
+            },
+        )
+        .unwrap();
+        let q = weak
+            .max_transport(Celsius::new(35.0), 90f64.to_radians())
+            .unwrap();
+        assert!(q.value() < 1.0, "coarse wick at 90°: {q}");
+        let err = weak
+            .operating_point(Power::new(20.0), Celsius::new(35.0), 90f64.to_radians())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TwoPhaseError::DryOut {
+                limit: TransportLimit::Capillary,
+                ..
+            }
+        ));
+    }
+}

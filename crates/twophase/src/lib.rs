@@ -1,0 +1,50 @@
+//! Heat pipes, loop heat pipes and thermosyphons — the "phase change
+//! systems" the paper's COSEE project built its fan-less SEB cooling
+//! from.
+//!
+//! Three device models, all steady-state and all driven by the
+//! working-fluid saturation tables in `aeropack-materials`:
+//!
+//! * [`HeatPipe`] — wick-in-tube pipe with the five classical transport
+//!   limits (capillary, sonic, entrainment, boiling, viscous) and a
+//!   series wall/wick thermal resistance.
+//! * [`LoopHeatPipe`] — loop pressure-balance closure with tilt
+//!   sensitivity; the device that moves the SEB heat to the seat frame
+//!   "over large distance under small temperature differences".
+//! * [`Thermosyphon`] — the gravity-driven baseline, with the flooding
+//!   limit and the orientation restriction that motivates wicks.
+//! * [`VaporChamber`] — the flat-plate spreader that rescues the §IV
+//!   hot spots, with the Hele–Shaw vapour-core conductivity model.
+//!
+//! # Example
+//!
+//! ```
+//! use aeropack_twophase::HeatPipe;
+//! use aeropack_units::{Celsius, Length, Power};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pipe = HeatPipe::copper_water_6mm(
+//!     Length::from_millimeters(60.0),
+//!     Length::from_millimeters(120.0),
+//!     Length::from_millimeters(60.0),
+//! )?;
+//! let r = pipe.operate(Power::new(25.0), Celsius::new(60.0), 0.0)?;
+//! assert!(r.value() < 0.5); // near-isothermal transport
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod heatpipe;
+mod lhp;
+mod thermosyphon;
+mod vapor_chamber;
+
+pub use error::{TransportLimit, TwoPhaseError};
+pub use heatpipe::{HeatPipe, HeatPipeLimits, Wick};
+pub use lhp::{LhpOperatingPoint, Line, LoopHeatPipe};
+pub use thermosyphon::Thermosyphon;
+pub use vapor_chamber::VaporChamber;

@@ -1,0 +1,267 @@
+//! Two-phase closed thermosyphon (gravity-driven heat pipe, no wick).
+//!
+//! The cheapest of the paper's "phase change systems" — works only when
+//! the condenser sits above the evaporator, which is exactly why the
+//! COSEE seat hardware used wicked devices instead. Provided here both
+//! for completeness of the technology trade space and for the ceiling-
+//! mounted IFE equipment case the project also considered.
+
+use aeropack_materials::WorkingFluid;
+use aeropack_units::{Celsius, Length, Power, ThermalResistance, STANDARD_GRAVITY};
+
+use crate::error::{TransportLimit, TwoPhaseError};
+
+/// A vertical (or tilted) two-phase closed thermosyphon.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_twophase::Thermosyphon;
+/// use aeropack_materials::WorkingFluid;
+/// use aeropack_units::{Celsius, Length, Power};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = Thermosyphon::new(
+///     WorkingFluid::water(),
+///     Length::from_millimeters(10.0),
+///     Length::from_millimeters(150.0),
+///     Length::from_millimeters(150.0),
+/// )?;
+/// let r = ts.thermal_resistance(Power::new(50.0), Celsius::new(70.0))?;
+/// assert!(r.value() < 1.0); // far better than a solid conductor
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Thermosyphon {
+    fluid: WorkingFluid,
+    inner_diameter: f64,
+    evaporator_length: f64,
+    condenser_length: f64,
+}
+
+impl Thermosyphon {
+    /// Builds a thermosyphon.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive dimensions.
+    pub fn new(
+        fluid: WorkingFluid,
+        inner_diameter: Length,
+        evaporator_length: Length,
+        condenser_length: Length,
+    ) -> Result<Self, TwoPhaseError> {
+        if inner_diameter.value() <= 0.0
+            || evaporator_length.value() <= 0.0
+            || condenser_length.value() <= 0.0
+        {
+            return Err(TwoPhaseError::invalid("all dimensions must be positive"));
+        }
+        Ok(Self {
+            fluid,
+            inner_diameter: inner_diameter.value(),
+            evaporator_length: evaporator_length.value(),
+            condenser_length: condenser_length.value(),
+        })
+    }
+
+    /// Counter-current flooding limit (Kutateladze form with Ku = 3.2),
+    /// assuming the device is oriented with the condenser above the
+    /// evaporator. `tilt_rad` is the adverse tilt: 0 = fully vertical
+    /// favourable; at ≥ 90° gravity return fails completely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fluid range error, or [`TwoPhaseError::DryOut`] with
+    /// zero capacity when the orientation defeats gravity return.
+    pub fn flooding_limit(
+        &self,
+        vapor_temp: Celsius,
+        tilt_rad: f64,
+    ) -> Result<Power, TwoPhaseError> {
+        if tilt_rad.cos() <= 0.0 {
+            return Ok(Power::ZERO);
+        }
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let area = std::f64::consts::PI * (self.inner_diameter / 2.0).powi(2);
+        let rho_v = sat.vapor_density.value();
+        let rho_l = sat.liquid_density.value();
+        let g_eff = STANDARD_GRAVITY * tilt_rad.cos();
+        let ku = 3.2;
+        let q = ku
+            * area
+            * sat.latent_heat
+            * rho_v.sqrt()
+            * (sat.surface_tension * g_eff * (rho_l - rho_v)).powf(0.25);
+        Ok(Power::new(q))
+    }
+
+    /// End-to-end thermal resistance at a given load using the Imura
+    /// pool-boiling correlation in the evaporator and Nusselt film
+    /// condensation in the condenser (iterated on the film ΔT).
+    ///
+    /// # Errors
+    ///
+    /// Returns fluid-range errors, an invalid-power error for `q ≤ 0`.
+    pub fn thermal_resistance(
+        &self,
+        q: Power,
+        vapor_temp: Celsius,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        if q.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid("power must be positive"));
+        }
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let d = self.inner_diameter;
+        let a_e = std::f64::consts::PI * d * self.evaporator_length;
+        let a_c = std::f64::consts::PI * d * self.condenser_length;
+        let flux_e = q.value() / a_e;
+
+        // Imura evaporator correlation.
+        let rho_l = sat.liquid_density.value();
+        let rho_v = sat.vapor_density.value();
+        let k_l = sat.liquid_conductivity.value();
+        let mu_l = sat.liquid_viscosity;
+        // cp of the liquid: approximate from conductivity-scale data;
+        // use 4186·(k_l/0.6) clamped — water-anchored engineering value.
+        let cp_l = (4186.0 * k_l / 0.6).clamp(1500.0, 5000.0);
+        let p_ratio = sat.pressure.value() / 101_325.0;
+        let h_e = 0.32
+            * (rho_l.powf(0.65) * k_l.powf(0.3) * cp_l.powf(0.7) * STANDARD_GRAVITY.powf(0.2)
+                / (rho_v.powf(0.25) * sat.latent_heat.powf(0.4) * mu_l.powf(0.1)))
+            * p_ratio.powf(0.3)
+            * flux_e.powf(0.4);
+
+        // Nusselt film condensation, iterating on the film ΔT.
+        let mut dt_c: f64 = 3.0;
+        let mut h_c = 1000.0;
+        for _ in 0..50 {
+            h_c = 0.943
+                * (rho_l * (rho_l - rho_v) * STANDARD_GRAVITY * sat.latent_heat * k_l.powi(3)
+                    / (mu_l * self.condenser_length * dt_c.max(1e-3)))
+                .powf(0.25);
+            let dt_new = q.value() / (h_c * a_c);
+            if (dt_new - dt_c).abs() < 1e-9 {
+                dt_c = dt_new;
+                break;
+            }
+            dt_c = 0.5 * (dt_c + dt_new);
+        }
+        let _ = h_c;
+        let r_e = 1.0 / (h_e * a_e);
+        let r_c = dt_c / q.value();
+        Ok(ThermalResistance::new(r_e + r_c))
+    }
+
+    /// Verifies orientation and flooding, returning the resistance.
+    ///
+    /// # Errors
+    ///
+    /// [`TwoPhaseError::DryOut`] (flooding) when `q` exceeds the
+    /// counter-current limit or gravity return fails.
+    pub fn operate(
+        &self,
+        q: Power,
+        vapor_temp: Celsius,
+        tilt_rad: f64,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let q_max = self.flooding_limit(vapor_temp, tilt_rad)?;
+        if q.value() > q_max.value() {
+            return Err(TwoPhaseError::DryOut {
+                limit: TransportLimit::Flooding,
+                q_max,
+                q_requested: q,
+            });
+        }
+        self.thermal_resistance(q, vapor_temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> Thermosyphon {
+        Thermosyphon::new(
+            WorkingFluid::water(),
+            Length::from_millimeters(10.0),
+            Length::from_millimeters(150.0),
+            Length::from_millimeters(150.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vertical_capacity_is_large() {
+        // A 10 mm water thermosyphon floods in the kW range.
+        let q = ts().flooding_limit(Celsius::new(80.0), 0.0).unwrap();
+        assert!(q.value() > 300.0, "flooding limit {q}");
+    }
+
+    #[test]
+    fn upside_down_fails() {
+        let ts = ts();
+        let q = ts
+            .flooding_limit(Celsius::new(80.0), 120f64.to_radians())
+            .unwrap();
+        assert_eq!(q, Power::ZERO);
+        let err = ts
+            .operate(Power::new(10.0), Celsius::new(80.0), 120f64.to_radians())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TwoPhaseError::DryOut {
+                limit: TransportLimit::Flooding,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tilt_reduces_flooding_limit() {
+        let ts = ts();
+        let q0 = ts.flooding_limit(Celsius::new(80.0), 0.0).unwrap();
+        let q60 = ts
+            .flooding_limit(Celsius::new(80.0), 60f64.to_radians())
+            .unwrap();
+        assert!(q60.value() < q0.value());
+    }
+
+    #[test]
+    fn resistance_magnitude_is_sensible() {
+        // 50 W through a 15 cm/15 cm water thermosyphon: R of order
+        // 0.05–0.5 K/W (film-dominated).
+        let r = ts()
+            .thermal_resistance(Power::new(50.0), Celsius::new(70.0))
+            .unwrap();
+        assert!(r.value() > 0.01 && r.value() < 1.0, "R = {r}");
+    }
+
+    #[test]
+    fn resistance_improves_with_load() {
+        // Boiling intensifies with flux: R(100 W) < R(10 W).
+        let ts = ts();
+        let r10 = ts
+            .thermal_resistance(Power::new(10.0), Celsius::new(70.0))
+            .unwrap();
+        let r100 = ts
+            .thermal_resistance(Power::new(100.0), Celsius::new(70.0))
+            .unwrap();
+        assert!(r100.value() < r10.value());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(Thermosyphon::new(
+            WorkingFluid::water(),
+            Length::ZERO,
+            Length::new(0.1),
+            Length::new(0.1)
+        )
+        .is_err());
+        assert!(ts()
+            .thermal_resistance(Power::ZERO, Celsius::new(70.0))
+            .is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Flat-plate vapour chamber — the two-phase *spreader* the paper's
+//! §IV implies when air alone cannot hold a hot spot: the device takes
+//! a concentrated flux on one face and presents a near-isothermal large
+//! face to the cooling stream.
+//!
+//! The in-plane transport model treats the vapour core as a saturated
+//! Hele–Shaw slot: a Poiseuille pressure gradient maps into a
+//! temperature gradient through the saturation-curve slope, giving the
+//! classical enormous effective conductivity
+//! `k_vap = h_fg²·ρ_v²·t_v² / (12·µ_v·T)`.
+
+use aeropack_materials::{Material, WorkingFluid};
+use aeropack_units::{Area, Celsius, Length, Power, ThermalConductivity, ThermalResistance};
+
+use crate::error::{TransportLimit, TwoPhaseError};
+use crate::heatpipe::Wick;
+
+/// A rectangular flat-plate vapour chamber.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_twophase::VaporChamber;
+/// use aeropack_units::{Celsius, Length};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let vc = VaporChamber::water_spreader(
+///     (0.06, 0.06), Length::from_millimeters(3.0))?;
+/// let k = vc.vapor_core_conductivity(Celsius::new(60.0))?;
+/// assert!(k.value() > 10_000.0); // orders beyond solid copper
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VaporChamber {
+    fluid: WorkingFluid,
+    envelope: Material,
+    wick: Wick,
+    footprint: (f64, f64),
+    thickness: f64,
+    wall_thickness: f64,
+    wick_thickness: f64,
+}
+
+impl VaporChamber {
+    /// Builds a vapour chamber.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the walls and wicks leave no vapour core or
+    /// any dimension is non-positive.
+    pub fn new(
+        fluid: WorkingFluid,
+        envelope: Material,
+        wick: Wick,
+        footprint: (f64, f64),
+        thickness: Length,
+        wall_thickness: Length,
+        wick_thickness: Length,
+    ) -> Result<Self, TwoPhaseError> {
+        if footprint.0 <= 0.0 || footprint.1 <= 0.0 {
+            return Err(TwoPhaseError::invalid("footprint must be positive"));
+        }
+        let t = thickness.value();
+        let tw = wall_thickness.value();
+        let tk = wick_thickness.value();
+        if t <= 0.0 || tw <= 0.0 || tk <= 0.0 {
+            return Err(TwoPhaseError::invalid("thicknesses must be positive"));
+        }
+        if t - 2.0 * (tw + tk) <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "walls and wicks leave no vapour core",
+            ));
+        }
+        Ok(Self {
+            fluid,
+            envelope,
+            wick,
+            footprint,
+            thickness: t,
+            wall_thickness: tw,
+            wick_thickness: tk,
+        })
+    }
+
+    /// A copper/water spreader with standard 0.5 mm walls and 0.4 mm
+    /// sintered wicks — the commodity electronics-cooling part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (occur only for a chamber thinner
+    /// than ~1.9 mm).
+    pub fn water_spreader(footprint: (f64, f64), thickness: Length) -> Result<Self, TwoPhaseError> {
+        Self::new(
+            WorkingFluid::water(),
+            Material::copper(),
+            Wick::sintered_powder(),
+            footprint,
+            thickness,
+            Length::from_micrometers(500.0),
+            Length::from_micrometers(400.0),
+        )
+    }
+
+    /// Vapour-core thickness, m.
+    fn core_thickness(&self) -> f64 {
+        self.thickness - 2.0 * (self.wall_thickness + self.wick_thickness)
+    }
+
+    /// The effective in-plane conductivity of the *vapour core* at an
+    /// operating temperature: `k = h_fg²·ρ_v²·t_v² / (12·µ_v·T_K)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns fluid-range errors.
+    pub fn vapor_core_conductivity(
+        &self,
+        operating: Celsius,
+    ) -> Result<ThermalConductivity, TwoPhaseError> {
+        let sat = self.fluid.saturation(operating)?;
+        let t_v = self.core_thickness();
+        let k = (sat.latent_heat * sat.vapor_density.value()).powi(2) * t_v * t_v
+            / (12.0 * sat.vapor_viscosity * operating.kelvin());
+        Ok(ThermalConductivity::new(k))
+    }
+
+    /// The homogenised in-plane conductivity of the whole chamber slab
+    /// (vapour core + copper walls + wicks in parallel over the total
+    /// thickness) — the value to paint into a finite-volume grid cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns fluid-range errors.
+    pub fn homogenized_conductivity(
+        &self,
+        operating: Celsius,
+    ) -> Result<ThermalConductivity, TwoPhaseError> {
+        let sat = self.fluid.saturation(operating)?;
+        let k_vap = self.vapor_core_conductivity(operating)?.value();
+        let k_wall = self.envelope.thermal_conductivity.value();
+        let k_wick = self
+            .wick
+            .effective_conductivity(&self.envelope, &sat)
+            .value();
+        let sum = k_vap * self.core_thickness()
+            + 2.0 * k_wall * self.wall_thickness
+            + 2.0 * k_wick * self.wick_thickness;
+        Ok(ThermalConductivity::new(sum / self.thickness))
+    }
+
+    /// Through-thickness resistance from a source of area `source` on
+    /// one face to the (isothermal) opposite face: wall + wick at the
+    /// source, then wall + wick over the full footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive or over-size source area, or
+    /// fluid-range errors.
+    pub fn through_resistance(
+        &self,
+        source: Area,
+        operating: Celsius,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let foot = self.footprint.0 * self.footprint.1;
+        if source.value() <= 0.0 || source.value() > foot {
+            return Err(TwoPhaseError::invalid(
+                "source area must be positive and within the footprint",
+            ));
+        }
+        let sat = self.fluid.saturation(operating)?;
+        let k_wall = self.envelope.thermal_conductivity.value();
+        let k_wick = self
+            .wick
+            .effective_conductivity(&self.envelope, &sat)
+            .value();
+        let r_unit = self.wall_thickness / k_wall + self.wick_thickness / k_wick;
+        Ok(ThermalResistance::new(
+            r_unit / source.value() + r_unit / foot,
+        ))
+    }
+
+    /// The radial capillary transport limit for a given source: liquid
+    /// must return through the two face wicks and squeeze through the
+    /// constriction around the source perimeter, across a mean path of
+    /// a quarter diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns fluid-range and geometry errors.
+    pub fn capillary_limit(
+        &self,
+        source: Area,
+        operating: Celsius,
+    ) -> Result<Power, TwoPhaseError> {
+        let foot = self.footprint.0 * self.footprint.1;
+        if source.value() <= 0.0 || source.value() > foot {
+            return Err(TwoPhaseError::invalid(
+                "source area must be positive and within the footprint",
+            ));
+        }
+        let sat = self.fluid.saturation(operating)?;
+        let dp_cap = self.wick.capillary_pressure(&sat);
+        let (lx, ly) = self.footprint;
+        let l_eff = 0.25 * (lx * lx + ly * ly).sqrt();
+        // The binding cross-section is the wick ring around the source
+        // (square-equivalent perimeter), both faces.
+        let source_perimeter = 4.0 * source.value().sqrt();
+        let a_wick = 2.0 * self.wick_thickness * source_perimeter;
+        let f_l = sat.liquid_viscosity
+            / (self.wick.permeability * a_wick * sat.liquid_density.value() * sat.latent_heat);
+        Ok(Power::new(dp_cap / (f_l * l_eff)))
+    }
+
+    /// The evaporator boiling limit over the source footprint, using the
+    /// ~75 W/cm² critical flux of sintered-wick evaporators.
+    ///
+    /// # Errors
+    ///
+    /// Returns geometry errors.
+    pub fn boiling_limit(&self, source: Area) -> Result<Power, TwoPhaseError> {
+        if source.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid("source area must be positive"));
+        }
+        Ok(Power::new(75.0e4 * source.value()))
+    }
+
+    /// The governing transport limit for a source: the smaller of the
+    /// capillary and boiling limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns fluid-range and geometry errors.
+    pub fn max_power(
+        &self,
+        source: Area,
+        operating: Celsius,
+    ) -> Result<(TransportLimit, Power), TwoPhaseError> {
+        let cap = self.capillary_limit(source, operating)?;
+        let boil = self.boiling_limit(source)?;
+        Ok(if cap.value() <= boil.value() {
+            (TransportLimit::Capillary, cap)
+        } else {
+            (TransportLimit::Boiling, boil)
+        })
+    }
+
+    /// Verifies the chamber carries `q` and returns the source-to-face
+    /// resistance.
+    ///
+    /// # Errors
+    ///
+    /// [`TwoPhaseError::DryOut`] past the governing limit; fluid and
+    /// geometry errors as above.
+    pub fn operate(
+        &self,
+        q: Power,
+        source: Area,
+        operating: Celsius,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let (limit, q_max) = self.max_power(source, operating)?;
+        if q.value() > q_max.value() {
+            return Err(TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q,
+            });
+        }
+        self.through_resistance(source, operating)
+    }
+
+    /// Footprint, metres.
+    pub fn footprint(&self) -> (f64, f64) {
+        self.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chamber() -> VaporChamber {
+        VaporChamber::water_spreader((0.06, 0.06), Length::from_millimeters(3.0)).unwrap()
+    }
+
+    #[test]
+    fn vapor_core_is_a_superconductor() {
+        // Literature values for water cores: 10⁴–10⁷ W/mK.
+        let k = chamber()
+            .vapor_core_conductivity(Celsius::new(60.0))
+            .unwrap()
+            .value();
+        assert!((1.0e4..1.0e8).contains(&k), "k_vap = {k:.3e}");
+    }
+
+    #[test]
+    fn homogenized_k_beats_copper_hugely() {
+        let k = chamber()
+            .homogenized_conductivity(Celsius::new(60.0))
+            .unwrap()
+            .value();
+        assert!(
+            k > 5.0 * Material::copper().thermal_conductivity.value(),
+            "homogenised k = {k:.0}"
+        );
+    }
+
+    #[test]
+    fn conductivity_rises_with_temperature() {
+        // Denser vapour at higher temperature → better transport.
+        let c = chamber();
+        let k40 = c.vapor_core_conductivity(Celsius::new(40.0)).unwrap();
+        let k80 = c.vapor_core_conductivity(Celsius::new(80.0)).unwrap();
+        assert!(k80.value() > 3.0 * k40.value());
+    }
+
+    #[test]
+    fn through_resistance_scales_with_source() {
+        let c = chamber();
+        let small = c
+            .through_resistance(Area::from_square_centimeters(1.0), Celsius::new(60.0))
+            .unwrap();
+        let large = c
+            .through_resistance(Area::from_square_centimeters(9.0), Celsius::new(60.0))
+            .unwrap();
+        assert!(small.value() > large.value());
+        // A cm² source sees a small fraction of a K/W.
+        assert!(small.value() < 0.2, "R = {small}");
+    }
+
+    #[test]
+    fn limits_magnitude_for_a_cm2_die() {
+        // A 60 mm spreader fed by a 1 cm² die: boiling-limited around
+        // 75 W; a 4 cm² die gets 300 W.
+        let c = chamber();
+        let (limit1, q1) = c
+            .max_power(Area::from_square_centimeters(1.0), Celsius::new(60.0))
+            .unwrap();
+        assert_eq!(limit1, TransportLimit::Boiling);
+        assert!((q1.value() - 75.0).abs() < 1e-9, "Q_max = {q1}");
+        let (_, q4) = c
+            .max_power(Area::from_square_centimeters(4.0), Celsius::new(60.0))
+            .unwrap();
+        assert!(q4.value() > 2.5 * q1.value());
+    }
+
+    #[test]
+    fn capillary_tightens_for_large_footprints() {
+        // Stretch the chamber: longer return path, lower capillary head
+        // margin per watt.
+        let small =
+            VaporChamber::water_spreader((0.04, 0.04), Length::from_millimeters(3.0)).unwrap();
+        let large =
+            VaporChamber::water_spreader((0.20, 0.20), Length::from_millimeters(3.0)).unwrap();
+        let src = Area::from_square_centimeters(1.0);
+        let q_small = small.capillary_limit(src, Celsius::new(60.0)).unwrap();
+        let q_large = large.capillary_limit(src, Celsius::new(60.0)).unwrap();
+        assert!(q_large.value() < q_small.value());
+    }
+
+    #[test]
+    fn operate_reports_dry_out() {
+        let c = chamber();
+        let src = Area::from_square_centimeters(1.0);
+        let (_, q_max) = c.max_power(src, Celsius::new(60.0)).unwrap();
+        let err = c.operate(q_max * 2.0, src, Celsius::new(60.0)).unwrap_err();
+        assert!(matches!(err, TwoPhaseError::DryOut { .. }));
+        assert!(c.operate(q_max * 0.5, src, Celsius::new(60.0)).is_ok());
+    }
+
+    #[test]
+    fn degenerate_geometry_rejected() {
+        // 1 mm total cannot hold 2×(0.5+0.4) mm of structure.
+        assert!(VaporChamber::water_spreader((0.05, 0.05), Length::from_millimeters(1.0)).is_err());
+        let c = chamber();
+        assert!(c
+            .through_resistance(Area::ZERO, Celsius::new(60.0))
+            .is_err());
+        assert!(c
+            .through_resistance(Area::new(1.0), Celsius::new(60.0))
+            .is_err());
+    }
+}

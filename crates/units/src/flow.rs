@@ -1,0 +1,95 @@
+//! Fluid-flow quantities: mass flow, velocity, pressure.
+
+quantity!(
+    /// A mass flow rate in kg/s.
+    ///
+    /// The ARINC 600 cooling specification in the paper is quoted in
+    /// kg/h per kW of dissipation; [`MassFlowRate::from_kg_per_hour`]
+    /// covers the conventional unit.
+    ///
+    /// ```
+    /// use aeropack_units::MassFlowRate;
+    /// // ARINC 600: 220 kg/h per kW, so a 300 W equipment gets 66 kg/h.
+    /// let flow = MassFlowRate::from_kg_per_hour(220.0 * 0.3);
+    /// assert!((flow.kg_per_hour() - 66.0).abs() < 1e-9);
+    /// ```
+    MassFlowRate,
+    "kg/s"
+);
+
+impl MassFlowRate {
+    /// Creates a flow rate from kg/h.
+    #[inline]
+    pub fn from_kg_per_hour(kg_per_h: f64) -> Self {
+        Self::new(kg_per_h / 3600.0)
+    }
+
+    /// Returns the flow rate in kg/h.
+    #[inline]
+    pub fn kg_per_hour(self) -> f64 {
+        self.value() * 3600.0
+    }
+}
+
+quantity!(
+    /// A flow velocity in m/s.
+    Velocity,
+    "m/s"
+);
+
+quantity!(
+    /// A pressure in pascals.
+    Pressure,
+    "Pa"
+);
+
+impl Pressure {
+    /// Creates a pressure from kilopascals.
+    #[inline]
+    pub fn from_kilopascals(kpa: f64) -> Self {
+        Self::new(kpa * 1e3)
+    }
+
+    /// Creates a pressure from bar.
+    #[inline]
+    pub fn from_bar(bar: f64) -> Self {
+        Self::new(bar * 1e5)
+    }
+
+    /// Returns the pressure in kilopascals.
+    #[inline]
+    pub fn kilopascals(self) -> f64 {
+        self.value() * 1e-3
+    }
+
+    /// Returns the pressure in bar.
+    #[inline]
+    pub fn bar(self) -> f64 {
+        self.value() * 1e-5
+    }
+
+    /// One standard atmosphere.
+    #[inline]
+    pub fn standard_atmosphere() -> Self {
+        Self::new(101_325.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arinc_mass_flow() {
+        let flow = MassFlowRate::from_kg_per_hour(220.0);
+        assert!((flow.value() - 220.0 / 3600.0).abs() < 1e-12);
+        assert!((flow.kg_per_hour() - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pressure_units() {
+        let p = Pressure::from_bar(1.01325);
+        assert!((p.value() - Pressure::standard_atmosphere().value()).abs() < 1e-6);
+        assert!((p.kilopascals() - 101.325).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Lengths, areas and volumes.
+
+quantity!(
+    /// A length in metres.
+    ///
+    /// Convenience constructors exist for the millimetre and micrometre
+    /// scales common in packaging (bond-line thicknesses are tens of µm).
+    ///
+    /// ```
+    /// use aeropack_units::Length;
+    /// let blt = Length::from_micrometers(20.0);
+    /// assert!((blt.millimeters() - 0.02).abs() < 1e-12);
+    /// ```
+    Length,
+    "m"
+);
+
+impl Length {
+    /// Creates a length from millimetres.
+    #[inline]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm * 1e-3)
+    }
+
+    /// Creates a length from micrometres.
+    #[inline]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Returns the length in millimetres.
+    #[inline]
+    pub fn millimeters(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Returns the length in micrometres.
+    #[inline]
+    pub fn micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+quantity!(
+    /// An area in square metres.
+    Area,
+    "m²"
+);
+
+impl Area {
+    /// Creates an area from square centimetres.
+    #[inline]
+    pub fn from_square_centimeters(cm2: f64) -> Self {
+        Self::new(cm2 * 1e-4)
+    }
+
+    /// Creates an area from square millimetres.
+    #[inline]
+    pub fn from_square_millimeters(mm2: f64) -> Self {
+        Self::new(mm2 * 1e-6)
+    }
+
+    /// Returns the area in square centimetres.
+    #[inline]
+    pub fn square_centimeters(self) -> f64 {
+        self.value() * 1e4
+    }
+
+    /// Returns the area in square millimetres.
+    #[inline]
+    pub fn square_millimeters(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+quantity!(
+    /// A volume in cubic metres.
+    Volume,
+    "m³"
+);
+
+impl Volume {
+    /// Creates a volume from litres.
+    #[inline]
+    pub fn from_liters(liters: f64) -> Self {
+        Self::new(liters * 1e-3)
+    }
+
+    /// Returns the volume in litres.
+    #[inline]
+    pub fn liters(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+// Length × Length = Area is deliberately *not* auto-derived by
+// `relation!` because the commuted impl would be a duplicate; provide the
+// single product plus the quotient by hand.
+impl std::ops::Mul<Length> for Length {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Length) -> Area {
+        Area::new(self.value() * rhs.value())
+    }
+}
+
+relation!(Volume = Area * Length);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_unit_conversions() {
+        let l = Length::from_millimeters(250.0);
+        assert!((l.value() - 0.25).abs() < 1e-12);
+        assert!((l.micrometers() - 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_products() {
+        let a = Length::from_millimeters(100.0) * Length::from_millimeters(200.0);
+        assert!((a.square_centimeters() - 200.0).abs() < 1e-9);
+        let v = a * Length::from_millimeters(2.0);
+        assert!((v.liters() - 0.04).abs() < 1e-9);
+        // Quotient recovers the thickness.
+        let t: Length = v / a;
+        assert!((t.millimeters() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.2}", Length::new(0.25)), "0.25 m");
+        assert_eq!(format!("{:.1}", Area::new(1.5)), "1.5 m²");
+    }
+}

@@ -1,0 +1,55 @@
+//! Strongly-typed physical quantities for avionics packaging analysis.
+//!
+//! Every quantity used by the `aeropack` crates is a newtype over `f64`
+//! with an explicit SI (or conventional-engineering) unit, so that a heat
+//! flux in W/cm² can never be confused with one in W/m², and an absolute
+//! temperature can never be added to another absolute temperature.
+//!
+//! The two temperature types deserve a note:
+//!
+//! * [`Celsius`] is an *absolute* temperature (a point on the scale).
+//! * [`TempDelta`] is a temperature *difference* in kelvin.
+//!
+//! Their arithmetic mirrors affine-space rules: `Celsius - Celsius =
+//! TempDelta`, `Celsius + TempDelta = Celsius`, and `Celsius + Celsius`
+//! does not compile.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeropack_units::{Celsius, Power, ThermalResistance};
+//!
+//! let ambient = Celsius::new(55.0);
+//! let junction_limit = Celsius::new(125.0);
+//! let budget = junction_limit - ambient; // TempDelta of 70 K
+//! let r = ThermalResistance::new(1.4);   // K/W
+//! let q = Power::new(30.0);
+//! assert!(r * q < budget);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod flow;
+mod geometry;
+mod mechanics;
+mod temperature;
+mod thermal;
+
+pub use flow::{MassFlowRate, Pressure, Velocity};
+pub use geometry::{Area, Length, Volume};
+pub use mechanics::{AccelPsd, Acceleration, Density, Frequency, Mass, Stress};
+pub use temperature::{Celsius, TempDelta, TempRate};
+pub use thermal::{
+    AreaResistance, HeatFlux, HeatTransferCoeff, Power, PowerDensity, SpecificHeat,
+    ThermalConductance, ThermalConductivity, ThermalResistance,
+};
+
+/// Standard gravitational acceleration, m/s².
+pub const STANDARD_GRAVITY: f64 = 9.806_65;
+
+/// Absolute zero expressed in degrees Celsius.
+pub const ABSOLUTE_ZERO_CELSIUS: f64 = -273.15;

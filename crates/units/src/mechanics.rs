@@ -1,0 +1,132 @@
+//! Structural-dynamics quantities: frequency, acceleration, PSD, stress.
+
+use crate::STANDARD_GRAVITY;
+
+quantity!(
+    /// A frequency in hertz.
+    Frequency,
+    "Hz"
+);
+
+impl Frequency {
+    /// Angular frequency ω = 2πf in rad/s.
+    #[inline]
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.value()
+    }
+
+    /// Creates a frequency from an angular frequency in rad/s.
+    #[inline]
+    pub fn from_angular(omega: f64) -> Self {
+        Self::new(omega / (2.0 * std::f64::consts::PI))
+    }
+}
+
+quantity!(
+    /// An acceleration in m/s².
+    ///
+    /// Test specifications are written in g; use [`Acceleration::from_g`].
+    ///
+    /// ```
+    /// use aeropack_units::Acceleration;
+    /// let accel = Acceleration::from_g(9.0); // the paper's 9 g test
+    /// assert!((accel.g() - 9.0).abs() < 1e-12);
+    /// ```
+    Acceleration,
+    "m/s²"
+);
+
+impl Acceleration {
+    /// Creates an acceleration from a multiple of standard gravity.
+    #[inline]
+    pub fn from_g(g: f64) -> Self {
+        Self::new(g * STANDARD_GRAVITY)
+    }
+
+    /// Returns the acceleration as a multiple of standard gravity.
+    #[inline]
+    pub fn g(self) -> f64 {
+        self.value() / STANDARD_GRAVITY
+    }
+}
+
+quantity!(
+    /// Acceleration power spectral density in g²/Hz.
+    ///
+    /// DO-160 random-vibration curves are specified in this unit, so it is
+    /// kept in g²/Hz rather than (m/s²)²/Hz.
+    AccelPsd,
+    "g²/Hz"
+);
+
+quantity!(
+    /// A mechanical stress in pascals.
+    Stress,
+    "Pa"
+);
+
+impl Stress {
+    /// Creates a stress from megapascals.
+    #[inline]
+    pub fn from_megapascals(mpa: f64) -> Self {
+        Self::new(mpa * 1e6)
+    }
+
+    /// Returns the stress in megapascals.
+    #[inline]
+    pub fn megapascals(self) -> f64 {
+        self.value() * 1e-6
+    }
+}
+
+quantity!(
+    /// A mass in kilograms.
+    Mass,
+    "kg"
+);
+
+impl Mass {
+    /// Creates a mass from grams.
+    #[inline]
+    pub fn from_grams(g: f64) -> Self {
+        Self::new(g * 1e-3)
+    }
+
+    /// Returns the mass in grams.
+    #[inline]
+    pub fn grams(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+quantity!(
+    /// A mass density in kg/m³.
+    Density,
+    "kg/m³"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angular_frequency_roundtrip() {
+        let f = Frequency::new(500.0);
+        let back = Frequency::from_angular(f.angular());
+        assert!((back.value() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn g_conversion() {
+        let a = Acceleration::from_g(9.0);
+        assert!((a.value() - 88.25985).abs() < 1e-4);
+        assert!((a.g() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stress_megapascals() {
+        // The NANOPACK adhesive shear strength of 14 MPa.
+        let s = Stress::from_megapascals(14.0);
+        assert!((s.value() - 1.4e7).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Absolute temperatures and temperature differences.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Neg, Sub, SubAssign};
+
+use crate::ABSOLUTE_ZERO_CELSIUS;
+
+/// An absolute temperature, stored in degrees Celsius.
+///
+/// `Celsius` is a *point* on the temperature scale, not an amount of
+/// heating: two `Celsius` values cannot be added, only subtracted (which
+/// yields a [`TempDelta`]).
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_units::{Celsius, TempDelta};
+///
+/// let junction = Celsius::new(101.5);
+/// let ambient = Celsius::new(55.0);
+/// let rise: TempDelta = junction - ambient;
+/// assert!((rise.kelvin() - 46.5).abs() < 1e-12);
+/// assert_eq!(ambient + rise, junction);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates an absolute temperature from a value in degrees Celsius.
+    #[inline]
+    pub const fn new(deg_c: f64) -> Self {
+        Self(deg_c)
+    }
+
+    /// Creates an absolute temperature from a value in kelvin.
+    #[inline]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        Self(kelvin + ABSOLUTE_ZERO_CELSIUS)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the temperature in kelvin.
+    #[inline]
+    pub fn kelvin(self) -> f64 {
+        self.0 - ABSOLUTE_ZERO_CELSIUS
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns `true` when the value is neither NaN nor infinite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns `true` if the temperature is physically meaningful
+    /// (finite and at or above absolute zero).
+    #[inline]
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= ABSOLUTE_ZERO_CELSIUS
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} °C", prec, self.0)
+        } else {
+            write!(f, "{} °C", self.0)
+        }
+    }
+}
+
+quantity!(
+    /// A temperature difference in kelvin.
+    ///
+    /// Produced by subtracting two [`Celsius`] values; adding it back to a
+    /// `Celsius` yields another absolute temperature.
+    TempDelta,
+    "K"
+);
+
+impl TempDelta {
+    /// Returns the difference in kelvin (alias of [`TempDelta::value`]).
+    #[inline]
+    pub const fn kelvin(self) -> f64 {
+        self.value()
+    }
+}
+
+quantity!(
+    /// A rate of temperature change in kelvin per second.
+    ///
+    /// Used for thermal-shock ramp specifications such as the paper's
+    /// −45 °C/+55 °C shock at 5 °C/min.
+    TempRate,
+    "K/s"
+);
+
+impl TempRate {
+    /// Creates a rate from a value in kelvin (or °C) per minute.
+    #[inline]
+    pub fn per_minute(kelvin_per_minute: f64) -> Self {
+        Self::new(kelvin_per_minute / 60.0)
+    }
+
+    /// Returns the rate in kelvin per minute.
+    #[inline]
+    pub fn kelvin_per_minute(self) -> f64 {
+        self.value() * 60.0
+    }
+}
+
+impl Sub for Celsius {
+    type Output = TempDelta;
+    #[inline]
+    fn sub(self, rhs: Self) -> TempDelta {
+        TempDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<TempDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 + rhs.value())
+    }
+}
+
+impl Sub<TempDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 - rhs.value())
+    }
+}
+
+impl AddAssign<TempDelta> for Celsius {
+    #[inline]
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.value();
+    }
+}
+
+impl SubAssign<TempDelta> for Celsius {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TempDelta) {
+        self.0 -= rhs.value();
+    }
+}
+
+/// Division of a temperature difference by a ramp rate gives the ramp
+/// duration in seconds.
+impl Div<TempRate> for TempDelta {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: TempRate) -> f64 {
+        self.value() / rhs.value()
+    }
+}
+
+impl Neg for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn neg(self) -> Celsius {
+        Celsius(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_roundtrip() {
+        let t = Celsius::new(25.0);
+        assert!((t.kelvin() - 298.15).abs() < 1e-12);
+        let back = Celsius::from_kelvin(t.kelvin());
+        assert!((back.value() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_arithmetic() {
+        let hot = Celsius::new(125.0);
+        let cold = Celsius::new(-45.0);
+        let delta = hot - cold;
+        assert!((delta.kelvin() - 170.0).abs() < 1e-12);
+        assert_eq!(cold + delta, hot);
+        assert_eq!(hot - delta, cold);
+    }
+
+    #[test]
+    fn ramp_rate_duration() {
+        // −45 °C → +55 °C at 5 °C/min takes 20 minutes.
+        let shock = Celsius::new(55.0) - Celsius::new(-45.0);
+        let rate = TempRate::per_minute(5.0);
+        let seconds = shock / rate;
+        assert!((seconds - 1200.0).abs() < 1e-9);
+        assert!((rate.kelvin_per_minute() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physicality() {
+        assert!(Celsius::new(-100.0).is_physical());
+        assert!(!Celsius::new(-300.0).is_physical());
+        assert!(!Celsius::new(f64::NAN).is_physical());
+    }
+}

@@ -1,0 +1,256 @@
+//! Thermal quantities: power, flux, conductivity, resistances.
+
+use crate::geometry::{Area, Length, Volume};
+use crate::temperature::TempDelta;
+
+quantity!(
+    /// Dissipated or transported heat power in watts.
+    ///
+    /// ```
+    /// use aeropack_units::Power;
+    /// let module: Power = [Power::new(10.0), Power::new(20.0)].iter().sum();
+    /// assert_eq!(module, Power::new(30.0));
+    /// ```
+    Power,
+    "W"
+);
+
+quantity!(
+    /// Heat flux in W/m².
+    ///
+    /// The paper quotes hot spots in W/cm²; use
+    /// [`HeatFlux::from_watts_per_square_centimeter`] for those.
+    HeatFlux,
+    "W/m²"
+);
+
+impl HeatFlux {
+    /// Creates a flux from a value in W/cm² (the paper's customary unit).
+    #[inline]
+    pub fn from_watts_per_square_centimeter(w_per_cm2: f64) -> Self {
+        Self::new(w_per_cm2 * 1e4)
+    }
+
+    /// Returns the flux in W/cm².
+    #[inline]
+    pub fn watts_per_square_centimeter(self) -> f64 {
+        self.value() * 1e-4
+    }
+}
+
+quantity!(
+    /// Volumetric power density in W/m³ (Level-1 equipment sources).
+    PowerDensity,
+    "W/m³"
+);
+
+quantity!(
+    /// Thermal conductivity in W/(m·K).
+    ThermalConductivity,
+    "W/(m·K)"
+);
+
+quantity!(
+    /// Convective/radiative film coefficient in W/(m²·K).
+    HeatTransferCoeff,
+    "W/(m²·K)"
+);
+
+quantity!(
+    /// Absolute thermal resistance in K/W.
+    ThermalResistance,
+    "K/W"
+);
+
+impl ThermalResistance {
+    /// The reciprocal conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    #[inline]
+    pub fn to_conductance(self) -> ThermalConductance {
+        assert!(
+            self.value() != 0.0,
+            "zero thermal resistance has no finite conductance"
+        );
+        ThermalConductance::new(1.0 / self.value())
+    }
+
+    /// Series combination of two resistances.
+    #[inline]
+    pub fn in_series(self, other: Self) -> Self {
+        self + other
+    }
+
+    /// Parallel combination of two resistances.
+    #[inline]
+    pub fn in_parallel(self, other: Self) -> Self {
+        let (a, b) = (self.value(), other.value());
+        Self::new(a * b / (a + b))
+    }
+}
+
+quantity!(
+    /// Thermal conductance in W/K.
+    ThermalConductance,
+    "W/K"
+);
+
+impl ThermalConductance {
+    /// The reciprocal resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero.
+    #[inline]
+    pub fn to_resistance(self) -> ThermalResistance {
+        assert!(
+            self.value() != 0.0,
+            "zero conductance has no finite resistance"
+        );
+        ThermalResistance::new(1.0 / self.value())
+    }
+}
+
+quantity!(
+    /// Area-specific interface resistance in K·m²/W.
+    ///
+    /// The TIM literature (and the NANOPACK targets in the paper) quote
+    /// this in K·mm²/W; use the dedicated constructors.
+    ///
+    /// ```
+    /// use aeropack_units::AreaResistance;
+    /// let target = AreaResistance::from_kelvin_mm2_per_watt(5.0);
+    /// assert!((target.kelvin_mm2_per_watt() - 5.0).abs() < 1e-12);
+    /// ```
+    AreaResistance,
+    "K·m²/W"
+);
+
+impl AreaResistance {
+    /// Creates an area resistance from a value in K·mm²/W.
+    #[inline]
+    pub fn from_kelvin_mm2_per_watt(k_mm2_per_w: f64) -> Self {
+        Self::new(k_mm2_per_w * 1e-6)
+    }
+
+    /// Returns the area resistance in K·mm²/W.
+    #[inline]
+    pub fn kelvin_mm2_per_watt(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Converts to an absolute resistance over a given contact area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not strictly positive.
+    #[inline]
+    pub fn over_area(self, area: Area) -> ThermalResistance {
+        assert!(area.value() > 0.0, "contact area must be positive");
+        ThermalResistance::new(self.value() / area.value())
+    }
+}
+
+quantity!(
+    /// Specific heat capacity in J/(kg·K).
+    SpecificHeat,
+    "J/(kg·K)"
+);
+
+// Dimensional relations.
+relation!(Power = HeatFlux * Area);
+relation!(Power = PowerDensity * Volume);
+relation!(TempDelta = ThermalResistance * Power);
+relation!(Power = ThermalConductance * TempDelta);
+
+/// Conductivity × length⁻¹ × area relations are provided as methods since
+/// the intermediate (W/K per unit length) has no standalone meaning here.
+impl ThermalConductivity {
+    /// Conductance of a prismatic bar: `k·A/L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not strictly positive.
+    #[inline]
+    pub fn bar_conductance(self, area: Area, length: Length) -> ThermalConductance {
+        assert!(length.value() > 0.0, "bar length must be positive");
+        ThermalConductance::new(self.value() * area.value() / length.value())
+    }
+
+    /// Area-specific resistance of a slab of a given thickness: `t/k`.
+    #[inline]
+    pub fn slab_area_resistance(self, thickness: Length) -> AreaResistance {
+        AreaResistance::new(thickness.value() / self.value())
+    }
+}
+
+impl HeatTransferCoeff {
+    /// Film conductance over a wetted area: `h·A`.
+    #[inline]
+    pub fn film_conductance(self, area: Area) -> ThermalConductance {
+        ThermalConductance::new(self.value() * area.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flux_paper_units() {
+        let hot_spot = HeatFlux::from_watts_per_square_centimeter(100.0);
+        assert!((hot_spot.value() - 1e6).abs() < 1e-6);
+        let q = hot_spot * Area::from_square_centimeters(1.0);
+        assert!((q.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistance_conductance_reciprocity() {
+        let r = ThermalResistance::new(2.5);
+        let g = r.to_conductance();
+        assert!((g.value() - 0.4).abs() < 1e-12);
+        assert!((g.to_resistance().value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_parallel() {
+        let a = ThermalResistance::new(2.0);
+        let b = ThermalResistance::new(2.0);
+        assert!((a.in_series(b).value() - 4.0).abs() < 1e-12);
+        assert!((a.in_parallel(b).value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ohms_law_relations() {
+        let r = ThermalResistance::new(1.4);
+        let q = Power::new(50.0);
+        let dt: TempDelta = r * q;
+        assert!((dt.kelvin() - 70.0).abs() < 1e-12);
+        let back: Power = dt / r;
+        assert!((back.value() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bar_conductance() {
+        // Aluminium-ish bar: k = 180 W/mK, 10 cm² cross-section, 0.5 m long.
+        let k = ThermalConductivity::new(180.0);
+        let g = k.bar_conductance(Area::from_square_centimeters(10.0), Length::new(0.5));
+        assert!((g.value() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanopack_target_area_resistance() {
+        // < 5 K·mm²/W over 1 cm² is < 0.05 K/W.
+        let r = AreaResistance::from_kelvin_mm2_per_watt(5.0)
+            .over_area(Area::from_square_centimeters(1.0));
+        assert!((r.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero thermal resistance")]
+    fn zero_resistance_panics() {
+        let _ = ThermalResistance::ZERO.to_conductance();
+    }
+}

@@ -1,0 +1,50 @@
+//! The Fig 5/6 cooling trade: watch the Level-1 selector escalate the
+//! technology as module power climbs through the paper's generations
+//! (10 W → 20/30 W → 60 W), and see where ARINC 600 forced air runs
+//! out against a hot spot.
+//!
+//! ```bash
+//! cargo run --release --example cooling_tradeoff
+//! ```
+
+use aeropack::design::{CoolingSelector, HotSpotStudy};
+use aeropack::units::{Celsius, Power};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ambient = Celsius::new(55.0);
+    let selector = CoolingSelector::default();
+
+    println!("Level-1 technology selection vs module power ({ambient} ambient):");
+    for p in [5.0, 10.0, 20.0, 30.0, 60.0, 100.0, 200.0] {
+        let selection = selector.select(Power::new(p), ambient)?;
+        println!(
+            "  {p:>5.0} W → {:<20} (board {:.1})",
+            selection.mode.label(),
+            selection.board_temperature
+        );
+    }
+
+    println!();
+    println!("and the §IV hot-spot problem (10 W/cm² die under ARINC 600 air):");
+    let study = HotSpotStudy::ten_watt_per_cm2();
+    for mult in [1.0, 2.0, 4.0, 8.0] {
+        let tj = study.junction_temperature(mult)?;
+        println!(
+            "  {mult:>3.0}× ARINC 600 flow → junction {tj:.0} ({})",
+            if tj <= Celsius::new(125.0) {
+                "ok"
+            } else {
+                "over the 125 °C limit"
+            }
+        );
+    }
+    let bare = study.junction_temperature(1.0)?;
+    let rescued = study.with_two_phase_spreader().junction_temperature(1.0)?;
+    println!(
+        "  1× flow + embedded two-phase spreader → junction {rescued:.0} \
+         ({:.0} K cooler than the bare die)",
+        (bare - rescued).kelvin()
+    );
+    println!("— which is precisely why the paper turns to heat pipes and LHPs.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run the paper's full packaging-design procedure (Fig 1)
+//! on a small avionics unit — cooling selection, board thermal field,
+//! junction temperatures, modal placement, qualification and MTBF.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use aeropack::design::{
+    representative_board, run_design, CoolingSelector, DesignSpec, Equipment, Module,
+};
+use aeropack::units::{Celsius, Power};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the product: two modules in one box at 55 °C ambient.
+    let equipment = Equipment::new(
+        "demo avionics unit",
+        (0.32, 0.20, 0.16),
+        vec![
+            Module::new(
+                "processing",
+                representative_board("cpu-board", Power::new(25.0))?,
+            ),
+            Module::new("io", representative_board("io-board", Power::new(12.0))?),
+        ],
+        Celsius::new(55.0),
+    )?;
+
+    // 2. Run the Fig 1 procedure against the paper's qualification spec.
+    let report = run_design(
+        &equipment,
+        &CoolingSelector::default(),
+        &DesignSpec::date2010()?,
+    )?;
+
+    // 3. Read the design report.
+    println!("design report for `{}`:", equipment.name);
+    for module in &report.modules {
+        println!(
+            "  {}: cooled by {}, board peak {:.1}, worst junction {:.1}, \
+             first mode {:.0} Hz, MTBF {:.0} h",
+            module.name,
+            module.cooling,
+            module.board_peak,
+            module.level3.max_junction(),
+            module.first_mode.value(),
+            module.mtbf_hours,
+        );
+    }
+    println!();
+    println!("{}", report.qualification);
+    println!();
+    println!(
+        "equipment MTBF: {:.0} h — design {}",
+        report.mtbf_hours,
+        if report.design_closes() {
+            "CLOSES in one shot"
+        } else {
+            "needs another iteration"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The COSEE scenario: a fan-less Seat Electronic Box cooled by heat
+//! pipes and loop heat pipes into the seat structure (the paper's
+//! Fig 9/10 system).
+//!
+//! ```bash
+//! cargo run --release --example seb_cooling
+//! ```
+
+use aeropack::design::{SeatStructure, SebModel};
+use aeropack::units::{Celsius, Power, TempDelta};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cabin = Celsius::new(25.0);
+    let duty = Power::new(40.0);
+
+    // The three Fig 10 configurations.
+    let baseline = SebModel::cosee(SeatStructure::aluminum(), false, 0.0)?;
+    let upgraded = SebModel::cosee(SeatStructure::aluminum(), true, 0.0)?;
+    let tilted = SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians())?;
+
+    println!("SEB at {duty} in a {cabin} cabin:");
+    for (name, model) in [
+        ("natural convection only", &baseline),
+        ("HP + LHP, horizontal", &upgraded),
+        ("HP + LHP, 22° tilt", &tilted),
+    ] {
+        let state = model.solve(duty, cabin)?;
+        println!(
+            "  {name:<26} PCB {:.1}  (ΔT {:.1}; {:.0} W via LHPs, {:.0} W via the box)",
+            state.pcb_temperature,
+            state.dt_pcb_air(cabin),
+            state.lhp_power.value(),
+            state.box_power.value(),
+        );
+    }
+
+    // Capability at the Fig 10 reading line (ΔT = 60 K).
+    let dt = TempDelta::new(60.0);
+    let cap_base = baseline.capability(dt, cabin)?;
+    let cap_lhp = upgraded.capability(dt, cabin)?;
+    println!();
+    println!(
+        "heat-dissipation capability at ΔT = 60 K: {:.0} W → {:.0} W (+{:.0} %)",
+        cap_base.value(),
+        cap_lhp.value(),
+        (cap_lhp.value() / cap_base.value() - 1.0) * 100.0
+    );
+    println!("(the paper reports 40 W → 100 W, +150 %, without any fan)");
+    Ok(())
+}

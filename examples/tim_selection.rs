@@ -1,0 +1,73 @@
+//! NANOPACK-style TIM trade study: design a filled adhesive for a target
+//! conductivity, squeeze it in a joint, machine HNC channels into the
+//! mating surface, and verify the result on the virtual ASTM D5470
+//! tester.
+//!
+//! ```bash
+//! cargo run --release --example tim_selection
+//! ```
+
+use aeropack::materials::Material;
+use aeropack::tim::{
+    lewis_nielsen, loading_for_target, D5470Tester, FillerShape, HncSurface, TimJoint,
+};
+use aeropack::units::{Length, Pressure, ThermalConductivity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let epoxy = Material::epoxy().thermal_conductivity;
+    let silver = Material::silver().thermal_conductivity;
+
+    // 1. Formulate: how much silver flake does a 6 W/m·K adhesive need?
+    let target = ThermalConductivity::new(6.0);
+    let loading = loading_for_target(epoxy, silver, target, FillerShape::Flake)?;
+    let achieved = lewis_nielsen(epoxy, silver, loading, FillerShape::Flake)?;
+    println!(
+        "formulation: {:.0} vol% silver flakes in epoxy → k = {achieved:.2}",
+        loading * 100.0
+    );
+
+    // 2. Build the joint and sweep assembly pressure.
+    let joint = TimJoint::nanopack_flake_adhesive()?;
+    println!("joint resistance vs assembly pressure (flat surfaces):");
+    for kpa in [50.0, 150.0, 300.0, 600.0] {
+        let p = Pressure::from_kilopascals(kpa);
+        let blt = joint.bond_line(p)?;
+        let r = joint.area_resistance(p)?;
+        println!(
+            "  {kpa:>5.0} kPa: BLT {:.1} µm, R {:.2} K·mm²/W",
+            blt.micrometers(),
+            r.kelvin_mm2_per_watt()
+        );
+    }
+
+    // 3. Machine HNC channels into one surface.
+    let hnc = HncSurface::nanopack_demo()?;
+    let p = Pressure::from_kilopascals(300.0);
+    let (r_hnc, blt_hnc) =
+        joint.area_resistance_with_hnc(p, &hnc, Length::from_millimeters(5.0))?;
+    println!(
+        "with HNC surface at 300 kPa: BLT {:.1} µm, R {:.2} K·mm²/W",
+        blt_hnc.micrometers(),
+        r_hnc.kelvin_mm2_per_watt()
+    );
+
+    // 4. Verify on the virtual D5470 instrument.
+    let tester = D5470Tester::standard()?;
+    let measurement = tester.measure_averaged(&joint, p, 25, 2024)?;
+    let truth = joint.area_resistance(p)?;
+    println!(
+        "D5470 verification: measured {:.2} K·mm²/W (true {:.2}), BLT {:.1} µm",
+        measurement.area_resistance.kelvin_mm2_per_watt(),
+        truth.kelvin_mm2_per_watt(),
+        measurement.bond_line.micrometers()
+    );
+    println!(
+        "NANOPACK objective (R < 5 K·mm²/W, BLT < 20 µm): {}",
+        if measurement.area_resistance.kelvin_mm2_per_watt() < 5.0 && blt_hnc.micrometers() < 20.0 {
+            "MET"
+        } else {
+            "NOT MET"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `aeropack` — avionics packaging thermal/mechanical co-design toolkit.
+//!
+//! This façade crate re-exports the whole workspace under one roof:
+//!
+//! * [`units`] — strongly-typed physical quantities.
+//! * [`materials`] — structural materials, air and two-phase working fluids.
+//! * [`fem`] — structural finite elements: modal, harmonic and random
+//!   vibration analysis.
+//! * [`thermal`] — finite-volume conduction, resistive networks and
+//!   convection correlations.
+//! * [`twophase`] — heat pipes, loop heat pipes and thermosyphons.
+//! * [`tim`] — thermal interface materials and the virtual ASTM D5470
+//!   tester.
+//! * [`envqual`] — DO-160 environmental qualification and reliability.
+//! * [`design`] — the co-design framework tying it all together
+//!   (three-level thermal analysis, cooling selection, the SEB model).
+//!
+//! It reproduces the system described in *"Integration, cooling and
+//! packaging issues for aerospace equipments"* (C. Sarno, C. Tantolin,
+//! DATE 2010). See `DESIGN.md` for the full inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aeropack::units::{Celsius, Power};
+//! use aeropack::design::{CoolingMode, CoolingSelector};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let selector = CoolingSelector::default();
+//! let choice = selector.select(Power::new(60.0), Celsius::new(55.0))?;
+//! assert_ne!(choice.mode, CoolingMode::FreeConvection);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use aeropack_core as design;
+pub use aeropack_envqual as envqual;
+pub use aeropack_fem as fem;
+pub use aeropack_materials as materials;
+pub use aeropack_thermal as thermal;
+pub use aeropack_tim as tim;
+pub use aeropack_twophase as twophase;
+pub use aeropack_units as units;

@@ -1,0 +1,151 @@
+//! Integration of the Fig 1 design procedure: product model → three
+//! analysis levels → qualification → reliability, end to end.
+
+use aeropack::design::{
+    analyze_module, level1, representative_board, run_design, CoolingSelector, DesignSpec,
+    Equipment, Module,
+};
+use aeropack::envqual::Environment;
+use aeropack::units::{Celsius, Power};
+
+fn demo_equipment(powers: &[f64]) -> Equipment {
+    let modules = powers
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            Module::new(
+                format!("module-{i}"),
+                representative_board(format!("board-{i}"), Power::new(p)).unwrap(),
+            )
+        })
+        .collect();
+    Equipment::new(
+        "integration unit",
+        (0.4, 0.25, 0.2),
+        modules,
+        Celsius::new(55.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn level1_escalates_with_power() {
+    let eq = demo_equipment(&[8.0, 25.0, 60.0]);
+    let report = level1(&eq, &CoolingSelector::default()).unwrap();
+    assert_eq!(report.module_count(), 3);
+    // Selected labels must not de-escalate with power.
+    let ranks: Vec<usize> = report
+        .modules
+        .iter()
+        .map(|(_, _, s)| match s.mode.label() {
+            "free convection" => 0,
+            "direct forced air" => 1,
+            "conduction cooled" => 2,
+            "air flow-through" => 3,
+            _ => 4,
+        })
+        .collect();
+    assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+}
+
+#[test]
+fn full_chain_junctions_feed_reliability() {
+    let pcb = representative_board("chain", Power::new(30.0)).unwrap();
+    let (selection, peak, l3) =
+        analyze_module(&pcb, &CoolingSelector::default(), Celsius::new(55.0)).unwrap();
+    // Level 2 peak bounds the level-3 board temperatures.
+    for j in &l3.junctions {
+        assert!(j.board_temperature <= peak);
+        assert!(j.junction_temperature >= j.board_temperature);
+    }
+    // The board respects the limit under the selected technology.
+    assert!(
+        l3.all_below(Celsius::new(125.0)),
+        "selected {} but worst junction {}",
+        selection.mode.label(),
+        l3.max_junction()
+    );
+    // MTBF from those junctions is finite and positive.
+    let rel = l3
+        .reliability(&pcb, Environment::AirborneInhabited)
+        .unwrap();
+    assert!(rel.mtbf_hours().is_finite());
+    assert!(rel.mtbf_hours() > 1000.0);
+}
+
+#[test]
+fn design_report_is_reproducible() {
+    let eq = demo_equipment(&[20.0, 12.0]);
+    let spec = DesignSpec::date2010().unwrap();
+    let a = run_design(&eq, &CoolingSelector::default(), &spec).unwrap();
+    let b = run_design(&eq, &CoolingSelector::default(), &spec).unwrap();
+    assert_eq!(a.modules.len(), b.modules.len());
+    assert!((a.mtbf_hours - b.mtbf_hours).abs() < 1e-9);
+    for (ma, mb) in a.modules.iter().zip(&b.modules) {
+        assert_eq!(ma.cooling, mb.cooling);
+        assert!((ma.first_mode.value() - mb.first_mode.value()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn hotter_ambient_erodes_margins() {
+    let spec = DesignSpec::date2010().unwrap();
+    let cool = Equipment::new(
+        "cool",
+        (0.4, 0.25, 0.2),
+        vec![Module::new(
+            "m",
+            representative_board("b", Power::new(25.0)).unwrap(),
+        )],
+        Celsius::new(40.0),
+    )
+    .unwrap();
+    let hot = Equipment::new(
+        "hot",
+        (0.4, 0.25, 0.2),
+        vec![Module::new(
+            "m",
+            representative_board("b", Power::new(25.0)).unwrap(),
+        )],
+        Celsius::new(70.0),
+    )
+    .unwrap();
+    let r_cool = run_design(&cool, &CoolingSelector::default(), &spec).unwrap();
+    let r_hot = run_design(&hot, &CoolingSelector::default(), &spec).unwrap();
+    // The procedure compensates for a hotter ambient in one of two
+    // ways: the design loses reliability margin, or Level 1 escalates
+    // the cooling technology to buy it back.
+    let escalated = r_hot.modules[0].cooling != r_cool.modules[0].cooling;
+    assert!(
+        escalated || r_hot.mtbf_hours < r_cool.mtbf_hours,
+        "hot: {} / {:.0} h, cool: {} / {:.0} h",
+        r_hot.modules[0].cooling,
+        r_hot.mtbf_hours,
+        r_cool.modules[0].cooling,
+        r_cool.mtbf_hours
+    );
+}
+
+#[test]
+fn infeasible_requirement_is_a_clean_error() {
+    // A 2 kW single card cannot be cooled within an 86 °C board limit by
+    // anything in the repertoire at 85 °C ambient.
+    let eq = Equipment::new(
+        "impossible",
+        (0.4, 0.25, 0.2),
+        vec![Module::new(
+            "m",
+            representative_board("b", Power::new(2000.0)).unwrap(),
+        )],
+        Celsius::new(85.0),
+    )
+    .unwrap();
+    let err = run_design(
+        &eq,
+        &CoolingSelector::default(),
+        &DesignSpec::date2010().unwrap(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("no cooling technology"), "got: {msg}");
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration of the COSEE pipeline: materials → two-phase
+//! devices → thermal network → SEB system → qualification, crossing
+//! every crate boundary in the workspace.
+
+use aeropack::design::{SeatStructure, SebModel};
+use aeropack::envqual::{QualificationReport, SolderAttachment, TestOutcome, ThermalCycleProfile};
+use aeropack::units::{Celsius, Length, Power, TempDelta};
+
+const CABIN: Celsius = Celsius::new(25.0);
+
+#[test]
+fn fig10_pipeline_reproduces_paper_shape() {
+    let baseline = SebModel::cosee(SeatStructure::aluminum(), false, 0.0).unwrap();
+    let upgraded = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).unwrap();
+    let tilted = SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).unwrap();
+    let composite = SebModel::cosee(SeatStructure::carbon_composite(), true, 0.0).unwrap();
+
+    let dt = TempDelta::new(60.0);
+    let cap_base = baseline.capability(dt, CABIN).unwrap().value();
+    let cap_alu = upgraded.capability(dt, CABIN).unwrap().value();
+    let cap_tilt = tilted.capability(dt, CABIN).unwrap().value();
+    let cap_comp = composite.capability(dt, CABIN).unwrap().value();
+
+    // The paper's ordering and rough magnitudes.
+    assert!((30.0..55.0).contains(&cap_base), "baseline {cap_base}");
+    assert!((80.0..130.0).contains(&cap_alu), "aluminium {cap_alu}");
+    assert!(
+        cap_tilt <= cap_alu && cap_tilt > 0.9 * cap_alu,
+        "tilt {cap_tilt}"
+    );
+    assert!(
+        cap_base < cap_comp && cap_comp < cap_alu,
+        "composite must sit between: {cap_base} < {cap_comp} < {cap_alu}"
+    );
+    // Gains: +150 % aluminium, +80 % composite (generous bands).
+    let gain_alu = cap_alu / cap_base - 1.0;
+    let gain_comp = cap_comp / cap_base - 1.0;
+    assert!((1.0..2.2).contains(&gain_alu), "aluminium gain {gain_alu}");
+    assert!(
+        (0.4..1.6).contains(&gain_comp),
+        "composite gain {gain_comp}"
+    );
+}
+
+#[test]
+fn seb_solution_is_internally_consistent_over_the_sweep() {
+    let model = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).unwrap();
+    let mut last_dt = 0.0;
+    for p in (10..=100).step_by(10) {
+        let state = model.solve(Power::new(p as f64), CABIN).unwrap();
+        // Energy balance.
+        assert!(
+            (state.lhp_power.value() + state.box_power.value() - p as f64).abs() < 1e-6,
+            "balance at {p} W"
+        );
+        // Temperature ordering: ambient < seat < wall < pcb.
+        let seat = state.seat_temperature.expect("LHP installed");
+        assert!(CABIN < seat && seat < state.wall_temperature);
+        assert!(state.wall_temperature < state.pcb_temperature);
+        // Monotone ΔT.
+        let dt = state.dt_pcb_air(CABIN).kelvin();
+        assert!(dt > last_dt, "ΔT monotone at {p} W");
+        last_dt = dt;
+    }
+}
+
+#[test]
+fn seat_qualification_campaign_passes() {
+    // The §IV.A campaign as a cross-crate flow: SEB thermal margins +
+    // thermal shock solder life, rolled into one report.
+    let model = SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).unwrap();
+    let mut report = QualificationReport::new();
+
+    // Climatic: 40 W duty must stay under the 85 °C board class across
+    // the cabin range.
+    for amb in [-25.0, 25.0, 55.0] {
+        let state = model.solve(Power::new(40.0), Celsius::new(amb)).unwrap();
+        report.record(TestOutcome::new(
+            format!("climatic at {amb} °C"),
+            (Celsius::new(85.0).value() - amb) / (state.pcb_temperature.value() - amb),
+            format!("PCB {:.1}", state.pcb_temperature),
+        ));
+    }
+    // Thermal shock: the SEB solder joints over the paper profile.
+    let shock = ThermalCycleProfile::date2010_shock().unwrap();
+    let joint = SolderAttachment::ceramic_on_fr4(
+        Length::from_millimeters(10.0),
+        Length::from_micrometers(120.0),
+    );
+    let n_f = joint.cycles_to_failure(&shock).unwrap();
+    report.record(TestOutcome::new(
+        "thermal shock (−45/+55 °C)",
+        n_f / 50.0,
+        format!("{n_f:.0} cycles to failure"),
+    ));
+
+    assert!(report.all_passed(), "{report}");
+}
+
+#[test]
+fn overload_leads_to_heat_pipe_dry_out_not_nonsense() {
+    let model = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).unwrap();
+    // Push far beyond the internal heat pipes' combined capability.
+    let result = model.solve(Power::new(3000.0), CABIN);
+    assert!(result.is_err(), "3 kW through three 6 mm pipes must fail");
+}
+
+#[test]
+fn ceiling_installation_can_use_a_thermosyphon() {
+    // The paper also considers IFE equipment "installed in the ceiling",
+    // where gravity return works and a wickless thermosyphon into the
+    // aircraft structure suffices. Compose it from the substrates: box
+    // wall → thermosyphon → structure → cabin air.
+    use aeropack::materials::WorkingFluid;
+    use aeropack::thermal::Network;
+    use aeropack::twophase::Thermosyphon;
+    use aeropack::units::{Length, ThermalResistance};
+
+    let ts = Thermosyphon::new(
+        WorkingFluid::water(),
+        Length::from_millimeters(10.0),
+        Length::from_millimeters(150.0),
+        Length::from_millimeters(150.0),
+    )
+    .unwrap();
+    let q = Power::new(40.0);
+    // Ceiling unit: condenser above evaporator (favourable, tilt 0).
+    let r_ts = ts.operate(q, Celsius::new(60.0), 0.0).unwrap();
+
+    let mut net = Network::new();
+    let air = net.add_fixed("cabin air", CABIN);
+    let structure = net.add_floating("ceiling structure");
+    let wall = net.add_floating("box wall");
+    net.add_heat(wall, q).unwrap();
+    net.connect(wall, structure, r_ts + ThermalResistance::new(0.1))
+        .unwrap(); // thermosyphon + clamp TIM
+    net.connect(structure, air, ThermalResistance::new(0.6))
+        .unwrap();
+    let sol = net.solve().unwrap();
+    let t_wall = sol.temperature(wall).unwrap();
+    assert!(
+        t_wall < Celsius::new(85.0),
+        "ceiling unit wall at {t_wall} must hold the class limit"
+    );
+    // And the same device upside down (floor-mounted, condenser below)
+    // is unusable — the reason the seats needed capillary devices.
+    assert!(ts
+        .operate(q, Celsius::new(60.0), 120f64.to_radians())
+        .is_err());
+}
