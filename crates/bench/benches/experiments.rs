@@ -1,9 +1,10 @@
-//! Criterion benches of the end-to-end experiments: one timed kernel
-//! per paper figure/table, so regressions in any layer show up against
-//! the exact workload the reproduction runs.
+//! Benches of the end-to-end experiments: one timed kernel per paper
+//! figure/table, so regressions in any layer show up against the exact
+//! workload the reproduction runs.
+//!
+//! Run with `cargo bench -p aeropack-bench --bench experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use aeropack_bench::{report, time_mean};
 use aeropack_core::{
     analyze_module, representative_board, CoolingSelector, HotSpotStudy, SeatStructure, SebModel,
 };
@@ -13,77 +14,71 @@ use aeropack_materials::Material;
 use aeropack_tim::{D5470Tester, TimJoint};
 use aeropack_units::{Celsius, Length, Power, Pressure, TempDelta};
 
-fn bench_exp01_modal(c: &mut Criterion) {
+fn bench_exp01_modal() {
     let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(2.4))
         .expect("props")
         .with_smeared_mass(4.0);
-    c.bench_function("exp01_board_modes_and_psd", |b| {
-        b.iter(|| {
-            let mut mesh = PlateMesh::rectangular(0.14, 0.09, 6, 4, &props).expect("mesh");
-            mesh.pin_all_edges().expect("bc");
-            let modes = modal(&mesh.model, 3).expect("modal");
-            let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).expect("resp");
-            random_response(&resp, mesh.center_node(), Dof::W, &Do160Curve::C1.psd())
-                .expect("random")
-        });
+    let mean = time_mean(1, 5, || {
+        let mut mesh = PlateMesh::rectangular(0.14, 0.09, 6, 4, &props).expect("mesh");
+        mesh.pin_all_edges().expect("bc");
+        let modes = modal(&mesh.model, 3).expect("modal");
+        let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).expect("resp");
+        random_response(&resp, mesh.center_node(), Dof::W, &Do160Curve::C1.psd()).expect("random")
     });
+    report("exp01_board_modes_and_psd", mean);
 }
 
-fn bench_exp02_levels(c: &mut Criterion) {
+fn bench_exp02_levels() {
     let pcb = representative_board("bench module", Power::new(30.0)).expect("board");
     let selector = CoolingSelector::default();
-    c.bench_function("exp02_three_level_chain", |b| {
-        b.iter(|| analyze_module(&pcb, &selector, Celsius::new(55.0)).expect("chain"));
+    let mean = time_mean(1, 5, || {
+        analyze_module(&pcb, &selector, Celsius::new(55.0)).expect("chain")
     });
+    report("exp02_three_level_chain", mean);
 }
 
-fn bench_exp04_hotspot(c: &mut Criterion) {
+fn bench_exp04_hotspot() {
     let study = HotSpotStudy::ten_watt_per_cm2();
-    c.bench_function("exp04_hotspot_solve", |b| {
-        b.iter(|| study.junction_temperature(2.0).expect("solve"));
-    });
+    let mean = time_mean(1, 5, || study.junction_temperature(2.0).expect("solve"));
+    report("exp04_hotspot_solve", mean);
 }
 
-fn bench_exp05_seb(c: &mut Criterion) {
+fn bench_exp05_seb() {
     let model =
         SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model");
-    c.bench_function("exp05_seb_solve", |b| {
-        b.iter(|| {
-            model
-                .solve(Power::new(80.0), Celsius::new(25.0))
-                .expect("solve")
-        });
+    let mean = time_mean(1, 5, || {
+        model
+            .solve(Power::new(80.0), Celsius::new(25.0))
+            .expect("solve")
     });
-    let mut group = c.benchmark_group("exp05_seb_capability");
-    group.sample_size(10);
-    group.bench_function("capability_dt60", |b| {
-        b.iter(|| {
-            model
-                .capability(TempDelta::new(60.0), Celsius::new(25.0))
-                .expect("capability")
-        });
+    report("exp05_seb_solve", mean);
+    let mean = time_mean(0, 2, || {
+        model
+            .capability(TempDelta::new(60.0), Celsius::new(25.0))
+            .expect("capability")
     });
-    group.finish();
+    report("exp05_seb_capability_dt60", mean);
 }
 
-fn bench_exp08_tester(c: &mut Criterion) {
+fn bench_exp08_tester() {
     let tester = D5470Tester::standard().expect("tester");
     let joint = TimJoint::nanopack_sphere_adhesive().expect("joint");
-    c.bench_function("exp08_d5470_averaged_measurement", |b| {
-        b.iter(|| {
-            tester
-                .measure_averaged(&joint, Pressure::from_kilopascals(300.0), 25, 7)
-                .expect("measure")
-        });
+    let mean = time_mean(2, 10, || {
+        tester
+            .measure_averaged(&joint, Pressure::from_kilopascals(300.0), 25, 7)
+            .expect("measure")
     });
+    report("exp08_d5470_averaged_measurement", mean);
 }
 
-criterion_group!(
-    benches,
-    bench_exp01_modal,
-    bench_exp02_levels,
-    bench_exp04_hotspot,
-    bench_exp05_seb,
-    bench_exp08_tester
-);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "{:<44} {:>12}",
+        "experiment benches (mean per iteration)", "time"
+    );
+    bench_exp01_modal();
+    bench_exp02_levels();
+    bench_exp04_hotspot();
+    bench_exp05_seb();
+    bench_exp08_tester();
+}

@@ -1,42 +1,75 @@
-//! Criterion benches of the numerical solvers behind the experiments:
-//! the finite-volume steady solve, the modal extraction, the resistive
-//! network, and the two-phase device closures. These double as a
-//! performance regression suite for the substrates.
+//! Benches of the numerical solvers behind the experiments: the
+//! finite-volume steady solve (including the threaded-SpMV scaling
+//! check), the modal extraction, the resistive network, and the
+//! two-phase device closures. These double as a performance regression
+//! suite for the substrates.
+//!
+//! Run with `cargo bench -p aeropack-bench --bench solvers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use aeropack_bench::{report, time_mean};
 use aeropack_fem::{modal, PlateMesh, PlateProperties};
 use aeropack_materials::{Material, WorkingFluid};
 use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, Network};
 use aeropack_twophase::{HeatPipe, LoopHeatPipe};
 use aeropack_units::{Celsius, HeatTransferCoeff, Length, Power, ThermalResistance};
 
-fn bench_fv_steady(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fv_steady");
-    group.sample_size(10);
-    for n in [16usize, 32, 48] {
-        let grid = FvGrid::new((0.16, 0.10, 0.0016), (n, n * 5 / 8, 1)).expect("grid");
-        let mut model = FvModel::new(grid, &Material::fr4());
-        model
-            .add_power_box(Power::new(30.0), (n / 3, n / 4, 0), (n / 2, n / 2, 1))
-            .expect("source");
-        model.set_face_bc(
-            Face::ZMax,
-            FaceBc::Convection {
-                h: HeatTransferCoeff::new(50.0),
-                ambient: Celsius::new(40.0),
-            },
-        );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
-            b.iter(|| m.solve_steady().expect("solve"));
-        });
-    }
-    group.finish();
+fn board_model(n: usize) -> FvModel {
+    let grid = FvGrid::new((0.16, 0.10, 0.0016), (n, n * 5 / 8, 1)).expect("grid");
+    let mut model = FvModel::new(grid, &Material::fr4());
+    model
+        .add_power_box(Power::new(30.0), (n / 3, n / 4, 0), (n / 2, n / 2, 1))
+        .expect("source");
+    model.set_face_bc(
+        Face::ZMax,
+        FaceBc::Convection {
+            h: HeatTransferCoeff::new(50.0),
+            ambient: Celsius::new(40.0),
+        },
+    );
+    model
 }
 
-fn bench_modal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("modal_extraction");
-    group.sample_size(10);
+fn bench_fv_steady() {
+    for n in [16usize, 32, 48] {
+        let model = board_model(n);
+        let mean = time_mean(1, 5, || model.solve_steady().expect("solve"));
+        report(&format!("fv_steady/{n}"), mean);
+    }
+}
+
+/// The acceptance scenario: a 48³ steady conduction brick solved with
+/// one thread and with four. On a multicore host the threaded SpMV and
+/// assembly give ≥2× wall-clock; both timings are printed so the
+/// scaling is visible wherever the bench runs.
+fn bench_fv_threads() {
+    let build = |threads: usize| {
+        let grid = FvGrid::new((0.096, 0.096, 0.096), (48, 48, 48)).expect("grid");
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(200.0), (16, 16, 16), (32, 32, 32))
+            .expect("source");
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(30.0)));
+        model.set_face_bc(Face::XMax, FaceBc::FixedTemperature(Celsius::new(30.0)));
+        model.set_solver_config(model.solver_config().clone().threads(threads));
+        model
+    };
+    let m1 = build(1);
+    let m4 = build(4);
+    let t1 = time_mean(1, 3, || m1.solve_steady().expect("solve"));
+    let t4 = time_mean(1, 3, || m4.solve_steady().expect("solve"));
+    report("fv_steady_48cubed/threads=1", t1);
+    report("fv_steady_48cubed/threads=4", t4);
+    println!(
+        "{:<44} {:>11.2}x",
+        "fv_steady_48cubed speedup (t1/t4)",
+        t1.as_secs_f64() / t4.as_secs_f64()
+    );
+    if let Some(stats) = m4.last_solve_stats() {
+        println!("  {stats}");
+    }
+}
+
+fn bench_modal() {
     for n in [4usize, 6, 8] {
         let props = PlateProperties::from_material(
             &Material::aluminum_6061(),
@@ -45,15 +78,12 @@ fn bench_modal(c: &mut Criterion) {
         .expect("props");
         let mut mesh = PlateMesh::rectangular(0.3, 0.3, n, n, &props).expect("mesh");
         mesh.simply_support_edges().expect("bc");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &mesh, |b, m| {
-            b.iter(|| modal(&m.model, 4).expect("modal"));
-        });
+        let mean = time_mean(1, 5, || modal(&mesh.model, 4).expect("modal"));
+        report(&format!("modal_extraction/{n}"), mean);
     }
-    group.finish();
 }
 
-fn bench_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_solve");
+fn bench_network() {
     for n in [10usize, 50, 150] {
         // A ladder of n floating nodes to one ambient.
         let mut net = Network::new();
@@ -66,43 +96,49 @@ fn bench_network(c: &mut Criterion) {
                 .expect("edge");
             prev = node;
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, m| {
-            b.iter(|| m.solve().expect("solve"));
-        });
+        let mean = time_mean(2, 10, || net.solve().expect("solve"));
+        report(&format!("network_solve/{n}"), mean);
     }
-    group.finish();
 }
 
-fn bench_two_phase(c: &mut Criterion) {
-    let mut group = c.benchmark_group("two_phase");
+fn bench_two_phase() {
     let pipe = HeatPipe::copper_water_6mm(
         Length::from_millimeters(80.0),
         Length::from_millimeters(150.0),
         Length::from_millimeters(80.0),
     )
     .expect("pipe");
-    group.bench_function("heat_pipe_limits", |b| {
-        b.iter(|| pipe.limits(Celsius::new(60.0), 0.2).expect("limits"));
-    });
+    report(
+        "two_phase/heat_pipe_limits",
+        time_mean(10, 100, || {
+            pipe.limits(Celsius::new(60.0), 0.2).expect("limits")
+        }),
+    );
     let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8)).expect("lhp");
-    group.bench_function("lhp_operating_point", |b| {
-        b.iter(|| {
+    report(
+        "two_phase/lhp_operating_point",
+        time_mean(10, 100, || {
             lhp.operating_point(Power::new(29.0), Celsius::new(35.0), 0.2)
                 .expect("op")
-        });
-    });
-    group.bench_function("fluid_saturation", |b| {
-        let water = WorkingFluid::water();
-        b.iter(|| water.saturation(Celsius::new(80.0)).expect("sat"));
-    });
-    group.finish();
+        }),
+    );
+    let water = WorkingFluid::water();
+    report(
+        "two_phase/fluid_saturation",
+        time_mean(10, 100, || {
+            water.saturation(Celsius::new(80.0)).expect("sat")
+        }),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_fv_steady,
-    bench_modal,
-    bench_network,
-    bench_two_phase
-);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "{:<44} {:>12}",
+        "solver benches (mean per iteration)", "time"
+    );
+    bench_fv_steady();
+    bench_fv_threads();
+    bench_modal();
+    bench_network();
+    bench_two_phase();
+}

@@ -42,6 +42,9 @@ fn main() {
     let l2_model = Level2Model::new(&pcb, &mode, ambient, Length::from_millimeters(4.0))
         .expect("level 2 model");
     let field = l2_model.solve().expect("level 2 solve");
+    if let Some(stats) = l2_model.last_solve_stats() {
+        println!("Level-2 solver: {stats}");
+    }
 
     // Level 3: junctions.
     let l3 = level3(&pcb, &l2_model, &field, None).expect("level 3");

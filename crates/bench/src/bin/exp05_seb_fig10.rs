@@ -97,9 +97,10 @@ fn main() {
         "{}",
         compare("PCB drop at 40 W (K)", 32.0, (t_base - t_lhp).kelvin(), 0.4)
     );
-    let near_cap = lhp_flat
-        .solve(cap_lhp.min(Power::new(100.0)), ambient)
+    let (near_cap, stats) = lhp_flat
+        .solve_with_stats(cap_lhp.min(Power::new(100.0)), ambient)
         .expect("solve");
+    println!("operating-point solver: {stats}");
     println!(
         "{}",
         compare(

@@ -1,6 +1,7 @@
 //! Shared utilities for the experiment harness: every figure and table
 //! of the paper has a binary in `src/bin/` that regenerates it, and the
-//! Criterion benches in `benches/` time the solvers behind them.
+//! hand-rolled benches in `benches/` time the solvers behind them
+//! (no external benchmarking dependency — the workspace builds offline).
 //!
 //! Run an experiment with e.g.
 //! `cargo run --release -p aeropack-bench --bin exp05_seb_fig10`.
@@ -9,6 +10,42 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Times `f` over `iters` iterations after `warmup` warm-up runs and
+/// returns the mean wall time per iteration. The closure's result is
+/// returned through a `std::hint::black_box` so the work is not
+/// optimised away.
+pub fn time_mean<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / iters as u32
+}
+
+/// Formats a per-iteration duration for the bench report.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Prints one bench result line: `name ... mean`.
+pub fn report(name: &str, mean: Duration) {
+    println!("{name:<44} {:>12}", fmt_duration(mean));
+}
 
 /// Prints the experiment banner.
 pub fn banner(id: &str, title: &str, paper_ref: &str) {

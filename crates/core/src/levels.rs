@@ -222,6 +222,11 @@ impl Level2Model {
         &self.model
     }
 
+    /// Statistics from the most recent [`solve`](Self::solve), if any.
+    pub fn last_solve_stats(&self) -> Option<aeropack_solver::SolverStats> {
+        self.model.last_solve_stats()
+    }
+
     /// The grid.
     pub fn grid(&self) -> &FvGrid {
         &self.grid

@@ -403,6 +403,36 @@ impl SebModel {
         })
     }
 
+    /// Like [`solve`](Self::solve), but also reports how the
+    /// operating-point search went as [`SolverStats`] — the same
+    /// observability contract the linear solvers offer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_with_stats(
+        &self,
+        power: Power,
+        ambient: Celsius,
+    ) -> Result<(SebOperatingState, aeropack_solver::SolverStats), DesignError> {
+        use aeropack_solver::{Method, Precond, SolverStats};
+        let start = std::time::Instant::now();
+        let state = self.solve(power, ambient)?;
+        let stats = SolverStats {
+            context: "SEB operating point",
+            method: Method::Bisection,
+            preconditioner: Precond::None,
+            unknowns: if self.lhp.is_some() { 3 } else { 2 },
+            threads: 1,
+            iterations: if self.lhp.is_some() { 60 } else { 0 },
+            residual_history: Vec::new(),
+            final_residual: 0.0,
+            tolerance: 1e-7,
+            wall_time: start.elapsed(),
+        };
+        Ok((state, stats))
+    }
+
     /// The heat-dissipation capability: the largest power whose
     /// PCB-to-air ΔT stays at or below `dt_limit` (Fig 10's reading at a
     /// constant PCB temperature).

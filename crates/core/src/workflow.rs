@@ -75,6 +75,8 @@ pub struct ModuleReport {
     pub first_mode: Frequency,
     /// MTBF of the module, hours.
     pub mtbf_hours: f64,
+    /// How the modal extraction went (from the shared solver backend).
+    pub modal_stats: Option<aeropack_solver::SolverStats>,
 }
 
 /// The complete design report of the Fig 1 procedure.
@@ -169,6 +171,7 @@ pub fn run_design(
         // Mechanical chain.
         let mesh = board_structure(pcb)?;
         let modes = modal(&mesh.model, 3)?;
+        let modal_stats = mesh.model.last_solve_stats();
         let first_mode = modes.fundamental();
         if let Some(f_min) = spec.min_first_mode {
             qual.record(TestOutcome::new(
@@ -261,6 +264,7 @@ pub fn run_design(
             level3,
             first_mode,
             mtbf_hours: reliability.mtbf_hours(),
+            modal_stats,
         });
     }
 

@@ -1,66 +1,81 @@
-//! Property-based tests of the qualification and reliability models.
+//! Property-style tests of the qualification and reliability models,
+//! driven by the deterministic in-repo [`SplitMix64`] generator so the
+//! suite runs fully offline.
 
 use aeropack_envqual::{
     steinberg_allowable_deflection, ComponentStyle, Environment, PartGroup, PartKind,
     ReliabilityModel, SolderAttachment, ThermalCycleProfile,
 };
-use aeropack_units::{Celsius, Length, TempRate};
-use proptest::prelude::*;
+use aeropack_units::{Celsius, Length, SplitMix64, TempRate};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn steinberg_scaling_laws(
-        edge_mm in 80.0..300.0f64,
-        t_mm in 1.0..3.2f64,
-        comp_mm in 5.0..50.0f64,
-    ) {
-        let z = |e: f64, t: f64, c: f64| steinberg_allowable_deflection(
-            Length::from_millimeters(e),
-            Length::from_millimeters(t),
-            Length::from_millimeters(c),
-            1.0,
-            ComponentStyle::SmtGullWing,
-        ).unwrap().value();
+#[test]
+fn steinberg_scaling_laws() {
+    let mut rng = SplitMix64::new(0xe9a1_0001);
+    for _ in 0..CASES {
+        let edge_mm = rng.range_f64(80.0, 300.0);
+        let t_mm = rng.range_f64(1.0, 3.2);
+        let comp_mm = rng.range_f64(5.0, 50.0);
+        let z = |e: f64, t: f64, c: f64| {
+            steinberg_allowable_deflection(
+                Length::from_millimeters(e),
+                Length::from_millimeters(t),
+                Length::from_millimeters(c),
+                1.0,
+                ComponentStyle::SmtGullWing,
+            )
+            .unwrap()
+            .value()
+        };
         let base = z(edge_mm, t_mm, comp_mm);
         // Linear in board edge.
-        prop_assert!((z(2.0 * edge_mm, t_mm, comp_mm) - 2.0 * base).abs() < 1e-9 * base);
+        assert!((z(2.0 * edge_mm, t_mm, comp_mm) - 2.0 * base).abs() < 1e-9 * base);
         // Inverse in thickness.
-        prop_assert!((z(edge_mm, 2.0 * t_mm, comp_mm) - base / 2.0).abs() < 1e-9 * base);
+        assert!((z(edge_mm, 2.0 * t_mm, comp_mm) - base / 2.0).abs() < 1e-9 * base);
         // Inverse square-root in component length.
-        prop_assert!(
-            (z(edge_mm, t_mm, 4.0 * comp_mm) - base / 2.0).abs() < 1e-9 * base
-        );
+        assert!((z(edge_mm, t_mm, 4.0 * comp_mm) - base / 2.0).abs() < 1e-9 * base);
     }
+}
 
-    #[test]
-    fn engelmaier_life_monotone_in_swing(
-        cold in -55.0..0.0f64,
-        hot1 in 40.0..80.0f64,
-        widen in 5.0..60.0f64,
-    ) {
+#[test]
+fn engelmaier_life_monotone_in_swing() {
+    let mut rng = SplitMix64::new(0xe9a1_0002);
+    for _ in 0..CASES {
+        let cold = rng.range_f64(-55.0, 0.0);
+        let hot1 = rng.range_f64(40.0, 80.0);
+        let widen = rng.range_f64(5.0, 60.0);
         let attach = SolderAttachment::ceramic_on_fr4(
             Length::from_millimeters(8.0),
             Length::from_micrometers(120.0),
         );
         let mild = ThermalCycleProfile::new(
-            Celsius::new(cold), Celsius::new(hot1), TempRate::per_minute(5.0), 600.0,
-        ).unwrap();
+            Celsius::new(cold),
+            Celsius::new(hot1),
+            TempRate::per_minute(5.0),
+            600.0,
+        )
+        .unwrap();
         let harsh = ThermalCycleProfile::new(
-            Celsius::new(cold), Celsius::new(hot1 + widen), TempRate::per_minute(5.0), 600.0,
-        ).unwrap();
+            Celsius::new(cold),
+            Celsius::new(hot1 + widen),
+            TempRate::per_minute(5.0),
+            600.0,
+        )
+        .unwrap();
         let n_mild = attach.cycles_to_failure(&mild).unwrap();
         let n_harsh = attach.cycles_to_failure(&harsh).unwrap();
-        prop_assert!(n_harsh < n_mild, "wider swing must shorten life");
-        prop_assert!(n_harsh > 0.0);
+        assert!(n_harsh < n_mild, "wider swing must shorten life");
+        assert!(n_harsh > 0.0);
     }
+}
 
-    #[test]
-    fn engelmaier_life_monotone_in_joint_height(
-        h1_um in 60.0..150.0f64,
-        grow in 1.2..2.5f64,
-    ) {
+#[test]
+fn engelmaier_life_monotone_in_joint_height() {
+    let mut rng = SplitMix64::new(0xe9a1_0003);
+    for _ in 0..CASES {
+        let h1_um = rng.range_f64(60.0, 150.0);
+        let grow = rng.range_f64(1.2, 2.5);
         let profile = ThermalCycleProfile::date2010_shock().unwrap();
         let short = SolderAttachment::ceramic_on_fr4(
             Length::from_millimeters(8.0),
@@ -70,17 +85,18 @@ proptest! {
             Length::from_millimeters(8.0),
             Length::from_micrometers(h1_um * grow),
         );
-        prop_assert!(
-            tall.cycles_to_failure(&profile).unwrap()
-                > short.cycles_to_failure(&profile).unwrap()
+        assert!(
+            tall.cycles_to_failure(&profile).unwrap() > short.cycles_to_failure(&profile).unwrap()
         );
     }
+}
 
-    #[test]
-    fn arrhenius_monotone_and_unity_at_reference(
-        t1 in 40.0..120.0f64,
-        dt in 1.0..40.0f64,
-    ) {
+#[test]
+fn arrhenius_monotone_and_unity_at_reference() {
+    let mut rng = SplitMix64::new(0xe9a1_0004);
+    for _ in 0..CASES {
+        let t1 = rng.range_f64(40.0, 120.0);
+        let dt = rng.range_f64(1.0, 40.0);
         for kind in [
             PartKind::Microprocessor,
             PartKind::PowerSemiconductor,
@@ -89,38 +105,57 @@ proptest! {
         ] {
             let f1 = kind.temperature_factor(Celsius::new(t1));
             let f2 = kind.temperature_factor(Celsius::new(t1 + dt));
-            prop_assert!(f2 > f1, "{kind:?} must accelerate with temperature");
-            prop_assert!(f1 >= 1.0 - 1e-12, "above the 40 °C reference");
+            assert!(f2 > f1, "{kind:?} must accelerate with temperature");
+            assert!(f1 >= 1.0 - 1e-12, "above the 40 °C reference");
         }
     }
+}
 
-    #[test]
-    fn mtbf_additivity(
-        n1 in 1usize..50,
-        n2 in 1usize..50,
-        tj in 40.0..110.0f64,
-    ) {
+#[test]
+fn mtbf_additivity() {
+    let mut rng = SplitMix64::new(0xe9a1_0005);
+    for _ in 0..CASES {
+        let n1 = 1 + (rng.next_u64() % 49) as usize;
+        let n2 = 1 + (rng.next_u64() % 49) as usize;
+        let tj = rng.range_f64(40.0, 110.0);
         // Failure rates add: λ(A∪B) = λ(A) + λ(B).
         let t = Celsius::new(tj);
         let single = |kind: PartKind, count: usize| {
             let mut m = ReliabilityModel::new(Environment::AirborneInhabited);
-            m.add(PartGroup { kind, count, junction: t }).unwrap();
+            m.add(PartGroup {
+                kind,
+                count,
+                junction: t,
+            })
+            .unwrap();
             m.failure_rate_per_hour()
         };
         let mut both = ReliabilityModel::new(Environment::AirborneInhabited);
-        both.add(PartGroup { kind: PartKind::Memory, count: n1, junction: t }).unwrap();
-        both.add(PartGroup { kind: PartKind::Resistor, count: n2, junction: t }).unwrap();
+        both.add(PartGroup {
+            kind: PartKind::Memory,
+            count: n1,
+            junction: t,
+        })
+        .unwrap();
+        both.add(PartGroup {
+            kind: PartKind::Resistor,
+            count: n2,
+            junction: t,
+        })
+        .unwrap();
         let sum = single(PartKind::Memory, n1) + single(PartKind::Resistor, n2);
-        prop_assert!((both.failure_rate_per_hour() - sum).abs() < 1e-18);
+        assert!((both.failure_rate_per_hour() - sum).abs() < 1e-18);
     }
+}
 
-    #[test]
-    fn cycle_waveform_stays_within_extremes(
-        t_frac in 0.0..4.0f64,
-    ) {
+#[test]
+fn cycle_waveform_stays_within_extremes() {
+    let mut rng = SplitMix64::new(0xe9a1_0006);
+    for _ in 0..CASES {
+        let t_frac = rng.range_f64(0.0, 4.0);
         let p = ThermalCycleProfile::date2010_shock().unwrap();
         let t = p.temperature_at(t_frac * p.cycle_duration_seconds());
-        prop_assert!(t >= p.cold() - aeropack_units::TempDelta::new(1e-9));
-        prop_assert!(t <= p.hot() + aeropack_units::TempDelta::new(1e-9));
+        assert!(t >= p.cold() - aeropack_units::TempDelta::new(1e-9));
+        assert!(t <= p.hot() + aeropack_units::TempDelta::new(1e-9));
     }
 }

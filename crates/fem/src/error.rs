@@ -62,6 +62,25 @@ impl fmt::Display for FemError {
 
 impl Error for FemError {}
 
+impl From<aeropack_solver::SolverError> for FemError {
+    fn from(e: aeropack_solver::SolverError) -> Self {
+        use aeropack_solver::SolverError;
+        match e {
+            SolverError::Singular { context } => Self::SingularMatrix { context },
+            SolverError::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => Self::NotConverged {
+                context,
+                iterations,
+                residual,
+            },
+            SolverError::InvalidInput { reason } => Self::InvalidModel { reason },
+        }
+    }
+}
+
 impl FemError {
     /// Shorthand for an [`FemError::InvalidModel`].
     pub fn invalid(reason: impl Into<String>) -> Self {

@@ -1,10 +1,12 @@
 //! Dense linear algebra: matrices, factorisations and symmetric
 //! eigenproblems.
 //!
-//! Everything the structural solver needs is implemented here from
-//! scratch: LU with partial pivoting, Cholesky, the cyclic Jacobi
-//! eigensolver for small symmetric matrices, and the Cholesky reduction
-//! of the generalised symmetric problem `K·x = λ·M·x`.
+//! The LU and Cholesky factorisations are thin [`DMatrix`] adapters over
+//! the shared [`aeropack_solver`] dense kernels; the cyclic Jacobi
+//! eigensolver for small symmetric matrices and the Cholesky reduction
+//! of the generalised symmetric problem `K·x = λ·M·x` live here.
+
+use aeropack_solver::{DenseCholesky, DenseLu};
 
 use crate::error::FemError;
 
@@ -147,6 +149,12 @@ impl DMatrix {
         }
     }
 
+    /// The underlying row-major data, e.g. for handing the matrix to
+    /// the shared `aeropack_solver` kernels.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
@@ -179,11 +187,11 @@ impl std::ops::IndexMut<(usize, usize)> for DMatrix {
     }
 }
 
-/// An LU factorisation with partial pivoting.
+/// An LU factorisation with partial pivoting, backed by the shared
+/// [`aeropack_solver`] dense kernel.
 #[derive(Debug, Clone)]
 pub struct Lu {
-    lu: DMatrix,
-    pivots: Vec<usize>,
+    inner: DenseLu,
 }
 
 impl Lu {
@@ -194,44 +202,8 @@ impl Lu {
     /// Returns [`FemError::SingularMatrix`] if a pivot underflows.
     pub fn factor(a: &DMatrix) -> Result<Self, FemError> {
         assert_eq!(a.nrows(), a.ncols(), "LU requires a square matrix");
-        let n = a.nrows();
-        let mut lu = a.clone();
-        let mut pivots = vec![0usize; n];
-        for k in 0..n {
-            // Partial pivot.
-            let mut p = k;
-            let mut best = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < 1e-300 {
-                return Err(FemError::SingularMatrix {
-                    context: "LU factorisation",
-                });
-            }
-            pivots[k] = p;
-            if p != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-            }
-            let inv = 1.0 / lu[(k, k)];
-            for i in (k + 1)..n {
-                let f = lu[(i, k)] * inv;
-                lu[(i, k)] = f;
-                for j in (k + 1)..n {
-                    let v = lu[(k, j)];
-                    lu[(i, j)] -= f * v;
-                }
-            }
-        }
-        Ok(Self { lu, pivots })
+        let inner = DenseLu::factor(a.data(), a.nrows(), "LU factorisation")?;
+        Ok(Self { inner })
     }
 
     /// Solves `A·x = b`.
@@ -240,32 +212,12 @@ impl Lu {
     ///
     /// Panics if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.lu.nrows();
-        assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut x = b.to_vec();
-        // Apply the full row permutation first; the stored multipliers
-        // are in final (fully pivoted) row order, so interleaving swaps
-        // with the elimination would pair them with stale positions.
-        for k in 0..n {
-            x.swap(k, self.pivots[k]);
-        }
-        for k in 0..n {
-            for i in (k + 1)..n {
-                x[i] -= self.lu[(i, k)] * x[k];
-            }
-        }
-        for k in (0..n).rev() {
-            for j in (k + 1)..n {
-                x[k] -= self.lu[(k, j)] * x[j];
-            }
-            x[k] /= self.lu[(k, k)];
-        }
-        x
+        self.inner.solve(b)
     }
 
     /// Inverts the factorised matrix (column-by-column solve).
     pub fn inverse(&self) -> DMatrix {
-        let n = self.lu.nrows();
+        let n = self.inner.n();
         let mut inv = DMatrix::zeros(n, n);
         let mut e = vec![0.0; n];
         for j in 0..n {
@@ -279,10 +231,10 @@ impl Lu {
 }
 
 /// A Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
-/// matrix.
+/// matrix, backed by the shared [`aeropack_solver`] dense kernel.
 #[derive(Debug, Clone)]
 pub struct Cholesky {
-    l: DMatrix,
+    inner: DenseCholesky,
 }
 
 impl Cholesky {
@@ -295,27 +247,8 @@ impl Cholesky {
     /// positive definite.
     pub fn factor(a: &DMatrix) -> Result<Self, FemError> {
         assert_eq!(a.nrows(), a.ncols(), "Cholesky requires a square matrix");
-        let n = a.nrows();
-        let mut l = DMatrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if sum <= 0.0 {
-                        return Err(FemError::SingularMatrix {
-                            context: "Cholesky factorisation",
-                        });
-                    }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
-                }
-            }
-        }
-        Ok(Self { l })
+        let inner = DenseCholesky::factor(a.data(), a.nrows(), "Cholesky factorisation")?;
+        Ok(Self { inner })
     }
 
     /// Solves `A·x = b`.
@@ -324,24 +257,7 @@ impl Cholesky {
     ///
     /// Panics if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.l.nrows();
-        assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut y = b.to_vec();
-        // Forward: L y = b.
-        for i in 0..n {
-            for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
-            }
-            y[i] /= self.l[(i, i)];
-        }
-        // Backward: Lᵀ x = y.
-        for i in (0..n).rev() {
-            for k in (i + 1)..n {
-                y[i] -= self.l[(k, i)] * y[k];
-            }
-            y[i] /= self.l[(i, i)];
-        }
-        y
+        self.inner.solve(b)
     }
 
     /// Forward substitution only: solves `L·y = b`.
@@ -350,16 +266,7 @@ impl Cholesky {
     ///
     /// Panics if `b` has the wrong length.
     pub fn forward(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.l.nrows();
-        assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut y = b.to_vec();
-        for i in 0..n {
-            for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
-            }
-            y[i] /= self.l[(i, i)];
-        }
-        y
+        self.inner.forward(b)
     }
 
     /// Back substitution only: solves `Lᵀ·x = b`.
@@ -368,21 +275,13 @@ impl Cholesky {
     ///
     /// Panics if `b` has the wrong length.
     pub fn backward(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.l.nrows();
-        assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut x = b.to_vec();
-        for i in (0..n).rev() {
-            for k in (i + 1)..n {
-                x[i] -= self.l[(k, i)] * x[k];
-            }
-            x[i] /= self.l[(i, i)];
-        }
-        x
+        self.inner.backward(b)
     }
 
-    /// The lower-triangular factor.
-    pub fn l(&self) -> &DMatrix {
-        &self.l
+    /// The lower-triangular factor, materialised as a [`DMatrix`].
+    pub fn l(&self) -> DMatrix {
+        let n = self.inner.n();
+        DMatrix::from_rows(n, n, self.inner.l_raw().to_vec())
     }
 }
 

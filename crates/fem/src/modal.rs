@@ -1,6 +1,9 @@
 //! Modal extraction by subspace iteration, and the modal data needed by
 //! the response solvers.
 
+use std::time::Instant;
+
+use aeropack_solver::{Method, Precond, SolverStats};
 use aeropack_units::{Frequency, Mass};
 
 use crate::error::FemError;
@@ -116,11 +119,32 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
     }
 
     // For small systems, solve the dense generalised problem directly.
+    let start = Instant::now();
     let (vals, vecs) = if n <= 60 {
         let (vals, vecs) = generalized_eigen_dense(&k, &m)?;
+        model.record_solve_stats(SolverStats::direct(
+            "modal extraction (dense eigensolver)",
+            Method::Cholesky,
+            n,
+            0.0,
+            start.elapsed(),
+        ));
         (vals, vecs)
     } else {
-        subspace_iteration(&k, &m, n_modes)?
+        let (vals, vecs, iterations) = subspace_iteration(&k, &m, n_modes)?;
+        model.record_solve_stats(SolverStats {
+            context: "modal extraction (subspace iteration)",
+            method: Method::Cholesky,
+            preconditioner: Precond::None,
+            unknowns: n,
+            threads: 1,
+            iterations,
+            residual_history: Vec::new(),
+            final_residual: 0.0,
+            tolerance: 1e-10,
+            wall_time: start.elapsed(),
+        });
+        (vals, vecs)
     };
 
     // Assemble full-length shapes and participation factors.
@@ -156,13 +180,13 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
 }
 
 /// Subspace iteration for the lowest `n_modes` of `K·x = λ·M·x`.
-/// Returns eigenvalues ascending and M-orthonormal eigenvectors in the
-/// first `n_modes` columns.
+/// Returns eigenvalues ascending, M-orthonormal eigenvectors in the
+/// first `n_modes` columns, and the number of sweeps it took.
 fn subspace_iteration(
     k: &DMatrix,
     m: &DMatrix,
     n_modes: usize,
-) -> Result<(Vec<f64>, DMatrix), FemError> {
+) -> Result<(Vec<f64>, DMatrix, usize), FemError> {
     let n = k.nrows();
     let p = (2 * n_modes).min(n_modes + 8).min(n);
     let chol = Cholesky::factor(k).map_err(|_| FemError::SingularMatrix {
@@ -206,7 +230,7 @@ fn subspace_iteration(
             .fold(0.0f64, f64::max);
         last[..n_modes].copy_from_slice(&vals[..n_modes]);
         if worst < 1e-10 && iter > 1 {
-            return Ok((vals, x));
+            return Ok((vals, x, iter + 1));
         }
     }
     Err(FemError::NotConverged {
@@ -370,7 +394,7 @@ mod tests {
         mesh.simply_support_edges().unwrap();
         let (k, m, _) = mesh.model.reduced_system();
         let (dense_vals, _) = generalized_eigen_dense(&k, &m).unwrap();
-        let (sub_vals, _) = subspace_iteration(&k, &m, 3).unwrap();
+        let (sub_vals, _, _) = subspace_iteration(&k, &m, 3).unwrap();
         for i in 0..3 {
             let rel = (dense_vals[i] - sub_vals[i]).abs() / dense_vals[i];
             assert!(rel < 1e-6, "mode {i}: {rel}");

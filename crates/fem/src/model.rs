@@ -1,12 +1,15 @@
 //! Structural model assembly: nodes, elements, constraints.
 
+use std::sync::Mutex;
+
+use aeropack_solver::{solve_dense, Method, SolverConfig, SolverStats};
 use aeropack_units::Mass;
 
 use crate::elements::{
     acm_plate, acm_plate_center_stress, bernoulli_beam, BeamProperties, PlateProperties,
 };
 use crate::error::FemError;
-use crate::linalg::{Cholesky, DMatrix};
+use crate::linalg::DMatrix;
 
 /// The three bending DOFs carried by every node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,13 +54,27 @@ impl Dof {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Model {
     nodes: Vec<(f64, f64)>,
     k: DMatrix,
     m: DMatrix,
     constrained: Vec<bool>,
     plates: Vec<PlateRecord>,
+    solve_stats: Mutex<Option<SolverStats>>,
+}
+
+impl Clone for Model {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            k: self.k.clone(),
+            m: self.m.clone(),
+            constrained: self.constrained.clone(),
+            plates: self.plates.clone(),
+            solve_stats: Mutex::new(self.last_solve_stats()),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -78,6 +95,7 @@ impl Model {
             m: DMatrix::zeros(ndof, ndof),
             constrained: vec![false; ndof],
             plates: Vec::new(),
+            solve_stats: Mutex::new(None),
         }
     }
 
@@ -369,13 +387,30 @@ impl Model {
                 f[ri] += force;
             }
         }
-        let chol = Cholesky::factor(&k_ff)?;
-        let u_red = chol.solve(&f);
+        let sol = solve_dense(
+            k_ff.data(),
+            free.len(),
+            &f,
+            &SolverConfig::new()
+                .method(Method::Cholesky)
+                .context("static solve"),
+        )?;
+        self.record_solve_stats(sol.stats);
         let mut u = vec![0.0; self.dof_count()];
         for (ri, &gi) in free.iter().enumerate() {
-            u[gi] = u_red[ri];
+            u[gi] = sol.x[ri];
         }
         Ok(u)
+    }
+
+    /// Statistics recorded by the most recent solve on this model
+    /// (static or modal), if any.
+    pub fn last_solve_stats(&self) -> Option<SolverStats> {
+        self.solve_stats.lock().expect("stats lock").clone()
+    }
+
+    pub(crate) fn record_solve_stats(&self, stats: SolverStats) {
+        *self.solve_stats.lock().expect("stats lock") = Some(stats);
     }
 
     /// Total translational mass seen by a uniform `w` motion:

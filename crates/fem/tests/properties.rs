@@ -1,59 +1,70 @@
-//! Property-based tests of the structural solver's invariants.
+//! Property-style tests of the structural solver's invariants, driven
+//! by the deterministic in-repo [`SplitMix64`] generator so the suite
+//! runs fully offline.
 
 use aeropack_fem::{modal, Dof, PlateMesh, PlateProperties, PsdCurve, Sdof};
 use aeropack_materials::Material;
-use aeropack_units::{AccelPsd, Frequency, Length, Mass};
-use proptest::prelude::*;
+use aeropack_units::{AccelPsd, Frequency, Length, Mass, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn plate_mass_is_exact_for_any_geometry(
-        lx in 0.05..0.4f64,
-        ly in 0.05..0.4f64,
-        t_mm in 0.8..4.0f64,
-        extra in 0.0..6.0f64,
-        nx in 2usize..5,
-        ny in 2usize..5,
-    ) {
-        let props = PlateProperties::from_material(
-            &Material::fr4(), Length::from_millimeters(t_mm))
-            .unwrap()
-            .with_smeared_mass(extra);
+#[test]
+fn plate_mass_is_exact_for_any_geometry() {
+    let mut rng = SplitMix64::new(0xfe11_0001);
+    for _ in 0..CASES {
+        let lx = rng.range_f64(0.05, 0.4);
+        let ly = rng.range_f64(0.05, 0.4);
+        let t_mm = rng.range_f64(0.8, 4.0);
+        let extra = rng.range_f64(0.0, 6.0);
+        let nx = 2 + (rng.next_u64() % 3) as usize;
+        let ny = 2 + (rng.next_u64() % 3) as usize;
+        let props =
+            PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(t_mm))
+                .unwrap()
+                .with_smeared_mass(extra);
         let mesh = PlateMesh::rectangular(lx, ly, nx, ny, &props).unwrap();
         let exact = props.areal_mass * lx * ly;
         let got = mesh.model.total_mass().value();
-        prop_assert!((got - exact).abs() < 1e-9 * exact, "{got} vs {exact}");
+        assert!((got - exact).abs() < 1e-9 * exact, "{got} vs {exact}");
     }
+}
 
-    #[test]
-    fn modal_frequencies_positive_and_sorted(
-        lx in 0.1..0.35f64,
-        ly in 0.1..0.35f64,
-        t_mm in 1.0..3.0f64,
-    ) {
+#[test]
+fn modal_frequencies_positive_and_sorted() {
+    let mut rng = SplitMix64::new(0xfe11_0002);
+    for _ in 0..8 {
+        let lx = rng.range_f64(0.1, 0.35);
+        let ly = rng.range_f64(0.1, 0.35);
+        let t_mm = rng.range_f64(1.0, 3.0);
         let props = PlateProperties::from_material(
-            &Material::aluminum_6061(), Length::from_millimeters(t_mm)).unwrap();
+            &Material::aluminum_6061(),
+            Length::from_millimeters(t_mm),
+        )
+        .unwrap();
         let mut mesh = PlateMesh::rectangular(lx, ly, 4, 4, &props).unwrap();
         mesh.simply_support_edges().unwrap();
         let modes = modal(&mesh.model, 3).unwrap();
         let f = modes.frequencies();
-        prop_assert!(f[0].value() > 0.0);
-        prop_assert!(f.windows(2).all(|w| w[0].value() <= w[1].value() + 1e-9));
+        assert!(f[0].value() > 0.0);
+        assert!(f.windows(2).all(|w| w[0].value() <= w[1].value() + 1e-9));
         // Mass capture of three modes stays within (0, 1].
         let capture = modes.mass_capture();
-        prop_assert!(capture > 0.0 && capture <= 1.0 + 1e-9, "capture {capture}");
+        assert!(capture > 0.0 && capture <= 1.0 + 1e-9, "capture {capture}");
+        // Every modal solve leaves a stats trail on the model.
+        assert!(mesh.model.last_solve_stats().is_some());
     }
+}
 
-    #[test]
-    fn thicker_plates_ring_higher(
-        t1_mm in 0.8..2.0f64,
-        factor in 1.3..2.5f64,
-    ) {
+#[test]
+fn thicker_plates_ring_higher() {
+    let mut rng = SplitMix64::new(0xfe11_0003);
+    for _ in 0..8 {
+        let t1_mm = rng.range_f64(0.8, 2.0);
+        let factor = rng.range_f64(1.3, 2.5);
         let build = |t_mm: f64| {
-            let props = PlateProperties::from_material(
-                &Material::fr4(), Length::from_millimeters(t_mm)).unwrap();
+            let props =
+                PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(t_mm))
+                    .unwrap();
             let mut mesh = PlateMesh::rectangular(0.2, 0.15, 4, 3, &props).unwrap();
             mesh.simply_support_edges().unwrap();
             modal(&mesh.model, 1).unwrap().fundamental().value()
@@ -62,33 +73,45 @@ proptest! {
         let f1 = build(t1_mm);
         let f2 = build(t1_mm * factor);
         let ratio = f2 / f1;
-        prop_assert!((ratio - factor).abs() / factor < 0.02, "ratio {ratio} vs {factor}");
+        assert!(
+            (ratio - factor).abs() / factor < 0.02,
+            "ratio {ratio} vs {factor}"
+        );
     }
+}
 
-    #[test]
-    fn added_mass_never_raises_a_frequency(
-        extra_grams in 10.0..500.0f64,
-    ) {
-        let props = PlateProperties::from_material(
-            &Material::fr4(), Length::from_millimeters(1.6)).unwrap();
+#[test]
+fn added_mass_never_raises_a_frequency() {
+    let mut rng = SplitMix64::new(0xfe11_0004);
+    for _ in 0..8 {
+        let extra_grams = rng.range_f64(10.0, 500.0);
+        let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(1.6))
+            .unwrap();
         let build = |grams: f64| {
             let mut mesh = PlateMesh::rectangular(0.16, 0.1, 4, 3, &props).unwrap();
             mesh.simply_support_edges().unwrap();
             let c = mesh.center_node();
-            mesh.model.add_lumped_mass(c, Mass::from_grams(grams)).unwrap();
+            mesh.model
+                .add_lumped_mass(c, Mass::from_grams(grams))
+                .unwrap();
             modal(&mesh.model, 1).unwrap().fundamental().value()
         };
         let f_light = build(1.0);
         let f_heavy = build(extra_grams);
-        prop_assert!(f_heavy <= f_light + 1e-9);
+        assert!(f_heavy <= f_light + 1e-9);
     }
+}
 
-    #[test]
-    fn static_solution_satisfies_equilibrium(
-        load in 1.0..100.0f64,
-    ) {
+#[test]
+fn static_solution_satisfies_equilibrium() {
+    let mut rng = SplitMix64::new(0xfe11_0005);
+    for _ in 0..8 {
+        let load = rng.range_f64(1.0, 100.0);
         let props = PlateProperties::from_material(
-            &Material::aluminum_6061(), Length::from_millimeters(2.0)).unwrap();
+            &Material::aluminum_6061(),
+            Length::from_millimeters(2.0),
+        )
+        .unwrap();
         let mut mesh = PlateMesh::rectangular(0.2, 0.2, 4, 4, &props).unwrap();
         mesh.simply_support_edges().unwrap();
         let c = mesh.center_node();
@@ -96,35 +119,45 @@ proptest! {
         // K·u reproduces the load at the loaded free DOF.
         let f = mesh.model.stiffness().matvec(&u);
         let idx = mesh.model.dof_index(c, Dof::W).unwrap();
-        prop_assert!((f[idx] - load).abs() < 1e-6 * load, "f = {}", f[idx]);
+        assert!((f[idx] - load).abs() < 1e-6 * load, "f = {}", f[idx]);
         // Linearity: doubling the load doubles the response.
         let u2 = mesh.model.solve_static(&[(c, Dof::W, 2.0 * load)]).unwrap();
-        prop_assert!((u2[idx] - 2.0 * u[idx]).abs() < 1e-9 * u[idx].abs().max(1e-30));
+        assert!((u2[idx] - 2.0 * u[idx]).abs() < 1e-9 * u[idx].abs().max(1e-30));
+        // And the solve left its statistics behind.
+        let stats = mesh.model.last_solve_stats().unwrap();
+        assert_eq!(stats.context, "static solve");
     }
+}
 
-    #[test]
-    fn psd_grms_scales_as_sqrt(scale in 0.1..10.0f64) {
+#[test]
+fn psd_grms_scales_as_sqrt() {
+    let mut rng = SplitMix64::new(0xfe11_0006);
+    for _ in 0..CASES {
+        let scale = rng.range_f64(0.1, 10.0);
         let curve = PsdCurve::new(vec![
             (Frequency::new(20.0), AccelPsd::new(0.005)),
             (Frequency::new(100.0), AccelPsd::new(0.02)),
             (Frequency::new(1000.0), AccelPsd::new(0.02)),
             (Frequency::new(2000.0), AccelPsd::new(0.005)),
-        ]).unwrap();
+        ])
+        .unwrap();
         let scaled = curve.scaled(scale).unwrap();
         let expect = curve.grms() * scale.sqrt();
-        prop_assert!((scaled.grms() - expect).abs() < 1e-9 * expect);
+        assert!((scaled.grms() - expect).abs() < 1e-9 * expect);
     }
+}
 
-    #[test]
-    fn sdof_transmissibility_crosses_unity_at_sqrt2(
-        fn_hz in 20.0..500.0f64,
-        zeta in 0.01..0.4f64,
-    ) {
+#[test]
+fn sdof_transmissibility_crosses_unity_at_sqrt2() {
+    let mut rng = SplitMix64::new(0xfe11_0007);
+    for _ in 0..CASES {
+        let fn_hz = rng.range_f64(20.0, 500.0);
+        let zeta = rng.range_f64(0.01, 0.4);
         let osc = Sdof::from_frequency(Frequency::new(fn_hz), Mass::new(1.0), zeta).unwrap();
         let t = osc.transmissibility(osc.crossover_frequency());
-        prop_assert!((t - 1.0).abs() < 1e-9, "|T(√2 fn)| = {t}");
+        assert!((t - 1.0).abs() < 1e-9, "|T(√2 fn)| = {t}");
         // Amplification below crossover, attenuation above.
-        prop_assert!(osc.transmissibility(Frequency::new(fn_hz)) > 1.0);
-        prop_assert!(osc.transmissibility(Frequency::new(3.0 * fn_hz)) < 1.0);
+        assert!(osc.transmissibility(Frequency::new(fn_hz)) > 1.0);
+        assert!(osc.transmissibility(Frequency::new(3.0 * fn_hz)) < 1.0);
     }
 }

@@ -1,0 +1,282 @@
+//! Compressed sparse row matrices with multithreaded kernels.
+//!
+//! Both the assembly constructor and the SpMV kernel partition work by
+//! contiguous *row blocks*, so the floating-point accumulation order of
+//! every row is fixed by the CSR layout alone — results are bitwise
+//! identical at any thread count.
+
+use crate::LinearOperator;
+
+/// A square sparse matrix in compressed sparse row format. Column
+/// indices inside each row are sorted ascending and duplicate entries
+/// are summed at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles an `n × n` matrix by calling `row_fn(i, &mut row)` for
+    /// every row `i`; the callback pushes `(column, value)` entries
+    /// (any order, duplicates allowed — they are summed). Rows are
+    /// assembled in parallel blocks across `threads` workers using
+    /// [`std::thread::scope`]; the assembled matrix is identical for
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callback emits a column index `≥ n`.
+    pub fn from_row_fn<F>(n: usize, threads: usize, row_fn: F) -> Self
+    where
+        F: Fn(usize, &mut Vec<(usize, f64)>) + Sync,
+    {
+        let nthreads = threads.max(1).min(n.max(1));
+        let chunk = n.div_ceil(nthreads.max(1)).max(1);
+        let mut blocks: Vec<(Vec<usize>, Vec<f64>, Vec<usize>)> = Vec::with_capacity(nthreads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nthreads);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let row_fn = &row_fn;
+                handles.push(scope.spawn(move || assemble_rows(start, end, n, row_fn)));
+                start = end;
+            }
+            for h in handles {
+                blocks.push(h.join().expect("assembly worker panicked"));
+            }
+        });
+        let nnz: usize = blocks.iter().map(|b| b.0.len()).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for (cols, vs, counts) in blocks {
+            for c in counts {
+                row_ptr.push(row_ptr.last().copied().unwrap_or(0) + c);
+            }
+            col_idx.extend_from_slice(&cols);
+            vals.extend_from_slice(&vs);
+        }
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored (structural) non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The stored value at `(i, j)`, zero if not present.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        match self.col_idx[range.clone()].binary_search(&j) {
+            Ok(k) => self.vals[range.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The matrix diagonal.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Computes `y = A·x` over the row range `[start, end)`, writing
+    /// into `y_block` (whose index 0 corresponds to row `start`).
+    fn spmv_rows(&self, start: usize, end: usize, x: &[f64], y_block: &mut [f64]) {
+        for (k, i) in (start..end).enumerate() {
+            let mut acc = 0.0;
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.vals[idx] * x[self.col_idx[idx]];
+            }
+            y_block[k] = acc;
+        }
+    }
+
+    /// Multithreaded SpMV `y = A·x` across `threads` workers. Rows are
+    /// split into contiguous blocks, so the result is bitwise identical
+    /// for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.n, "x length must equal n");
+        assert_eq!(y.len(), self.n, "y length must equal n");
+        let nthreads = threads.max(1).min(self.n.max(1));
+        if nthreads <= 1 {
+            self.spmv_rows(0, self.n, x, y);
+            return;
+        }
+        let chunk = self.n.div_ceil(nthreads).max(1);
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let mut start = 0;
+            while start < self.n {
+                let end = (start + chunk).min(self.n);
+                let (block, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                scope.spawn(move || self.spmv_rows(start, end, x, block));
+                start = end;
+            }
+        });
+    }
+
+    /// Serial SpMV convenience wrapper.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.spmv_rows(0, self.n, x, &mut y);
+        y
+    }
+
+    /// Applies one SSOR (ω = 1, symmetric Gauss–Seidel) preconditioner
+    /// solve `z = M⁻¹·r` with `M = (D + L)·D⁻¹·(D + U)`, using `diag`
+    /// as the (pre-screened, positive) diagonal.
+    pub(crate) fn ssor_apply(&self, diag: &[f64], r: &[f64], z: &mut [f64]) {
+        let n = self.n;
+        // Forward sweep: (D + L)·u = r, stored into z.
+        for i in 0..n {
+            let mut acc = r[i];
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[idx];
+                if j >= i {
+                    break;
+                }
+                acc -= self.vals[idx] * z[j];
+            }
+            z[i] = acc / diag[i];
+        }
+        // Scale by D, then backward sweep: (D + U)·z = D·u.
+        for i in 0..n {
+            z[i] *= diag[i];
+        }
+        for i in (0..n).rev() {
+            let mut acc = z[i];
+            for idx in (self.row_ptr[i]..self.row_ptr[i + 1]).rev() {
+                let j = self.col_idx[idx];
+                if j <= i {
+                    break;
+                }
+                acc -= self.vals[idx] * z[j];
+            }
+            z[i] = acc / diag[i];
+        }
+    }
+}
+
+fn assemble_rows<F>(
+    start: usize,
+    end: usize,
+    n: usize,
+    row_fn: &F,
+) -> (Vec<usize>, Vec<f64>, Vec<usize>)
+where
+    F: Fn(usize, &mut Vec<(usize, f64)>),
+{
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    let mut counts = Vec::with_capacity(end - start);
+    let mut row: Vec<(usize, f64)> = Vec::new();
+    for i in start..end {
+        row.clear();
+        row_fn(i, &mut row);
+        row.sort_by_key(|e| e.0);
+        let before = cols.len();
+        for &(j, v) in row.iter() {
+            assert!(j < n, "column {j} out of range for n={n}");
+            if cols.len() > before && cols.last() == Some(&j) {
+                let last = vals.last_mut().expect("cols and vals stay in sync");
+                *last += v;
+            } else {
+                cols.push(j);
+                vals.push(v);
+            }
+        }
+        counts.push(cols.len() - before);
+    }
+    (cols, vals, counts)
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_rows(0, self.n, x, y);
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        self.diag()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian(n: usize, threads: usize) -> CsrMatrix {
+        CsrMatrix::from_row_fn(n, threads, |i, row| {
+            if i > 0 {
+                row.push((i - 1, -1.0));
+            }
+            row.push((i, 2.0));
+            if i + 1 < n {
+                row.push((i + 1, -1.0));
+            }
+        })
+    }
+
+    #[test]
+    fn assembly_sorts_and_sums_duplicates() {
+        let a = CsrMatrix::from_row_fn(3, 1, |i, row| {
+            row.push((2, 1.0));
+            row.push((i, 4.0));
+            row.push((i, 1.0));
+        });
+        assert!((a.get(0, 0) - 5.0).abs() < 1e-15);
+        assert!((a.get(1, 1) - 5.0).abs() < 1e-15);
+        assert!((a.get(2, 2) - 6.0).abs() < 1e-15); // 1 + 4 + 1
+        assert!((a.get(0, 2) - 1.0).abs() < 1e-15);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn threaded_assembly_is_identical_to_serial() {
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(laplacian(101, 1), laplacian(101, threads));
+        }
+    }
+
+    #[test]
+    fn threaded_spmv_is_bitwise_identical() {
+        let a = laplacian(97, 1);
+        let x: Vec<f64> = (0..97).map(|i| (i as f64 * 0.37).sin()).collect();
+        let serial = a.spmv(&x);
+        for threads in [1, 2, 4, 9] {
+            let mut y = vec![0.0; 97];
+            a.spmv_into(&x, &mut y, threads);
+            assert_eq!(serial, y, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn diag_and_nnz() {
+        let a = laplacian(10, 2);
+        assert_eq!(a.nnz(), 28);
+        assert_eq!(a.diag(), vec![2.0; 10]);
+        assert_eq!(a.n(), 10);
+    }
+}

@@ -1,0 +1,328 @@
+//! Dense direct factorisations over row-major storage: Cholesky for
+//! SPD systems (thermal networks, FEM stiffness) and LU with partial
+//! pivoting for general systems.
+
+use std::time::Instant;
+
+use crate::config::{Solution, SolverConfig};
+use crate::error::SolverError;
+use crate::stats::{Method, SolverStats};
+
+/// A Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix, stored as the row-major lower factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCholesky {
+    n: usize,
+    l: Vec<f64>,
+}
+
+impl DenseCholesky {
+    /// Factorises a row-major `n × n` SPD matrix (only the lower
+    /// triangle is read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Singular`] when the matrix is not
+    /// positive definite, and [`SolverError::InvalidInput`] on a length
+    /// mismatch.
+    pub fn factor(a: &[f64], n: usize, context: &'static str) -> Result<Self, SolverError> {
+        if a.len() != n * n {
+            return Err(SolverError::invalid(format!(
+                "matrix length {} does not match n²={}",
+                a.len(),
+                n * n
+            )));
+        }
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(SolverError::Singular { context });
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(Self { n, l })
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The row-major lower factor (entries above the diagonal are
+    /// zero).
+    pub fn l_raw(&self) -> &[f64] {
+        &self.l
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.backward(&self.forward(b))
+    }
+
+    /// Forward substitution only: solves `L·y = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn forward(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[i * n + k] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        y
+    }
+
+    /// Back substitution only: solves `Lᵀ·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn backward(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[k * n + i] * x[k];
+            }
+            x[i] /= self.l[i * n + i];
+        }
+        x
+    }
+}
+
+/// An LU factorisation with partial pivoting over row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLu {
+    n: usize,
+    lu: Vec<f64>,
+    pivots: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Factorises a row-major `n × n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Singular`] if a pivot underflows, and
+    /// [`SolverError::InvalidInput`] on a length mismatch.
+    pub fn factor(a: &[f64], n: usize, context: &'static str) -> Result<Self, SolverError> {
+        if a.len() != n * n {
+            return Err(SolverError::invalid(format!(
+                "matrix length {} does not match n²={}",
+                a.len(),
+                n * n
+            )));
+        }
+        let mut lu = a.to_vec();
+        let mut pivots = vec![0usize; n];
+        for k in 0..n {
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SolverError::Singular { context });
+            }
+            pivots[k] = p;
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+            }
+            let inv = 1.0 / lu[k * n + k];
+            for i in (k + 1)..n {
+                let f = lu[i * n + k] * inv;
+                lu[i * n + k] = f;
+                for j in (k + 1)..n {
+                    let v = lu[k * n + j];
+                    lu[i * n + j] -= f * v;
+                }
+            }
+        }
+        Ok(Self { n, lu, pivots })
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        // Apply the full row permutation first; the stored multipliers
+        // are in final (fully pivoted) row order.
+        for k in 0..n {
+            x.swap(k, self.pivots[k]);
+        }
+        for k in 0..n {
+            for i in (k + 1)..n {
+                x[i] -= self.lu[i * n + k] * x[k];
+            }
+        }
+        for k in (0..n).rev() {
+            for j in (k + 1)..n {
+                x[k] -= self.lu[k * n + j] * x[j];
+            }
+            x[k] /= self.lu[k * n + k];
+        }
+        x
+    }
+}
+
+/// Solves a dense row-major `n × n` system through the configured
+/// direct method ([`Method::Cholesky`] or [`Method::Lu`]), returning
+/// the solution together with its [`SolverStats`] (the achieved
+/// residual is measured against the intact input matrix).
+///
+/// # Errors
+///
+/// Returns [`SolverError::Singular`] for indefinite/singular matrices,
+/// and [`SolverError::InvalidInput`] for dimension mismatches or an
+/// iterative method selection (use [`solve_sparse`](crate::solve_sparse)
+/// for those).
+pub fn solve_dense(
+    a: &[f64],
+    n: usize,
+    b: &[f64],
+    cfg: &SolverConfig,
+) -> Result<Solution, SolverError> {
+    if b.len() != n {
+        return Err(SolverError::invalid(format!(
+            "rhs length {} does not match n={n}",
+            b.len()
+        )));
+    }
+    let context = cfg.get_context();
+    let start = Instant::now();
+    let (x, method) = match cfg.get_method() {
+        Method::Cholesky => (
+            DenseCholesky::factor(a, n, context)?.solve(b),
+            Method::Cholesky,
+        ),
+        Method::Lu => (DenseLu::factor(a, n, context)?.solve(b), Method::Lu),
+        other => {
+            return Err(SolverError::invalid(format!(
+                "solve_dense supports Cholesky/LU, not {other}"
+            )))
+        }
+    };
+    // Relative residual against the intact matrix.
+    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let mut r_norm = 0.0f64;
+    for i in 0..n {
+        let ax: f64 = a[i * n..(i + 1) * n]
+            .iter()
+            .zip(&x)
+            .map(|(p, q)| p * q)
+            .sum();
+        r_norm += (b[i] - ax).powi(2);
+    }
+    let final_residual = if b_norm > 0.0 {
+        r_norm.sqrt() / b_norm
+    } else {
+        0.0
+    };
+    Ok(Solution {
+        x,
+        stats: SolverStats::direct(context, method, n, final_residual, start.elapsed()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Precond;
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let a = [4.0, 1.0, 1.0, 3.0];
+        let x = DenseCholesky::factor(&a, 2, "test")
+            .unwrap()
+            .solve(&[1.0, 2.0]);
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [1.0, 2.0, 2.0, 1.0];
+        assert!(matches!(
+            DenseCholesky::factor(&a, 2, "test"),
+            Err(SolverError::Singular { context: "test" })
+        ));
+    }
+
+    #[test]
+    fn lu_solves_unsymmetric() {
+        let a = [2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0];
+        let x = DenseLu::factor(&a, 3, "test")
+            .unwrap()
+            .solve(&[4.0, 5.0, 6.0]);
+        assert!((x[0] - 6.0).abs() < 1e-12);
+        assert!((x[1] - 15.0).abs() < 1e-12);
+        assert!((x[2] + 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(DenseLu::factor(&a, 2, "test").is_err());
+    }
+
+    #[test]
+    fn solve_dense_reports_stats() {
+        let a = [4.0, 1.0, 1.0, 3.0];
+        let cfg = SolverConfig::new()
+            .method(Method::Cholesky)
+            .context("stats test");
+        let sol = solve_dense(&a, 2, &[1.0, 2.0], &cfg).unwrap();
+        assert_eq!(sol.stats.method, Method::Cholesky);
+        assert_eq!(sol.stats.preconditioner, Precond::None);
+        assert_eq!(sol.stats.iterations, 0);
+        assert!(sol.stats.final_residual < 1e-14);
+        assert!(sol.stats.converged());
+        assert!(sol.stats.to_string().contains("stats test"));
+    }
+
+    #[test]
+    fn solve_dense_rejects_iterative_method() {
+        let a = [1.0];
+        let cfg = SolverConfig::new().method(Method::Pcg);
+        assert!(matches!(
+            solve_dense(&a, 1, &[1.0], &cfg),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+}

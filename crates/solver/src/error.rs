@@ -1,0 +1,63 @@
+//! Error type shared by every solver backend.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the linear solver backends. The physics crates
+/// convert it into their own error types via `From` implementations so
+/// call sites keep their established error enums.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The matrix is singular or not positive definite (a factorisation
+    /// pivot failed, or the operator has a non-positive diagonal).
+    Singular {
+        /// What was being solved.
+        context: &'static str,
+    },
+    /// An iterative method exhausted its iteration budget.
+    NotConverged {
+        /// Which solve.
+        context: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at the last iteration.
+        residual: f64,
+    },
+    /// The inputs do not describe a solvable problem (dimension
+    /// mismatch, unsupported method/preconditioner combination, …).
+    InvalidInput {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Singular { context } => {
+                write!(f, "singular or non-positive-definite system in {context}")
+            }
+            Self::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Self::InvalidInput { reason } => write!(f, "invalid solver input: {reason}"),
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+impl SolverError {
+    /// Shorthand for [`SolverError::InvalidInput`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}

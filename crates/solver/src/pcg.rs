@@ -1,0 +1,300 @@
+//! Preconditioned conjugate gradient on SPD operators.
+
+use std::time::Instant;
+
+use crate::config::{Solution, SolverConfig};
+use crate::csr::CsrMatrix;
+use crate::error::SolverError;
+use crate::stats::{Method, Precond, SolverStats};
+use crate::LinearOperator;
+
+enum Preconditioner<'a> {
+    None,
+    Jacobi(&'a [f64]),
+    Ssor {
+        matrix: &'a CsrMatrix,
+        diag: &'a [f64],
+    },
+}
+
+impl Preconditioner<'_> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            Self::None => z.copy_from_slice(r),
+            Self::Jacobi(diag) => {
+                for ((zi, ri), di) in z.iter_mut().zip(r).zip(*diag) {
+                    *zi = ri / di;
+                }
+            }
+            Self::Ssor { matrix, diag } => matrix.ssor_apply(diag, r, z),
+        }
+    }
+}
+
+/// Solves the SPD system `A·x = b` with `A` in CSR form through the
+/// configured iterative method. This is the entry point the
+/// finite-volume solvers use; it supports every [`Precond`], including
+/// [`Precond::Ssor`] which needs the explicit sparse storage.
+///
+/// # Errors
+///
+/// * [`SolverError::Singular`] — non-positive diagonal or an indefinite
+///   operator detected during iteration.
+/// * [`SolverError::NotConverged`] — iteration budget exhausted.
+/// * [`SolverError::InvalidInput`] — dimension mismatch or a direct
+///   method selection (use [`solve_dense`](crate::solve_dense)).
+pub fn solve_sparse(a: &CsrMatrix, b: &[f64], cfg: &SolverConfig) -> Result<Solution, SolverError> {
+    if cfg.get_method() != Method::Pcg {
+        return Err(SolverError::invalid(format!(
+            "solve_sparse supports PCG, not {} (use solve_dense)",
+            cfg.get_method()
+        )));
+    }
+    let diag = screened_diagonal(a, cfg)?;
+    let precond = match cfg.get_preconditioner() {
+        Precond::None => Preconditioner::None,
+        Precond::Jacobi => Preconditioner::Jacobi(&diag),
+        Precond::Ssor => Preconditioner::Ssor {
+            matrix: a,
+            diag: &diag,
+        },
+    };
+    let threads = cfg.get_threads();
+    pcg_loop(|x, y| a.spmv_into(x, y, threads), &precond, b, cfg, a.n())
+}
+
+/// Solves the SPD system `A·x = b` for any [`LinearOperator`]
+/// (matrix-free stencils included). [`Precond::Ssor`] needs explicit
+/// storage and is rejected here — use [`solve_sparse`].
+///
+/// # Errors
+///
+/// Same contract as [`solve_sparse`].
+pub fn solve_operator(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    cfg: &SolverConfig,
+) -> Result<Solution, SolverError> {
+    if cfg.get_method() != Method::Pcg {
+        return Err(SolverError::invalid(format!(
+            "solve_operator supports PCG, not {} (use solve_dense)",
+            cfg.get_method()
+        )));
+    }
+    let diag = screened_diagonal(a, cfg)?;
+    let precond = match cfg.get_preconditioner() {
+        Precond::None => Preconditioner::None,
+        Precond::Jacobi => Preconditioner::Jacobi(&diag),
+        Precond::Ssor => {
+            return Err(SolverError::invalid(
+                "SSOR preconditioning needs explicit CSR storage (use solve_sparse)",
+            ))
+        }
+    };
+    pcg_loop(|x, y| a.apply(x, y), &precond, b, cfg, a.dim())
+}
+
+fn screened_diagonal(
+    a: &(impl LinearOperator + ?Sized),
+    cfg: &SolverConfig,
+) -> Result<Vec<f64>, SolverError> {
+    let diag = a.diagonal();
+    if diag.iter().any(|&d| d <= 0.0) {
+        return Err(SolverError::Singular {
+            context: cfg.get_context(),
+        });
+    }
+    Ok(diag)
+}
+
+fn pcg_loop<F>(
+    apply: F,
+    precond: &Preconditioner<'_>,
+    b: &[f64],
+    cfg: &SolverConfig,
+    n: usize,
+) -> Result<Solution, SolverError>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    if b.len() != n {
+        return Err(SolverError::invalid(format!(
+            "rhs length {} does not match n={n}",
+            b.len()
+        )));
+    }
+    let context = cfg.get_context();
+    let tol = cfg.get_tolerance();
+    let max_iter = cfg.iteration_budget(n);
+    let start = Instant::now();
+    let stats = |iterations, history: Vec<f64>, final_residual| SolverStats {
+        context,
+        method: Method::Pcg,
+        preconditioner: cfg.get_preconditioner(),
+        unknowns: n,
+        threads: cfg.get_threads(),
+        iterations,
+        residual_history: history,
+        final_residual,
+        tolerance: tol,
+        wall_time: start.elapsed(),
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let b_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if b_norm == 0.0 {
+        return Ok(Solution {
+            x,
+            stats: stats(0, Vec::new(), 0.0),
+        });
+    }
+    let mut z = vec![0.0; n];
+    precond.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let mut ap = vec![0.0; n];
+    let mut history = Vec::new();
+    for iter in 0..max_iter {
+        apply(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap <= 0.0 {
+            return Err(SolverError::Singular { context });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / b_norm;
+        history.push(rel);
+        if rel <= tol {
+            return Ok(Solution {
+                x,
+                stats: stats(iter + 1, history, rel),
+            });
+        }
+        precond.apply(&r, &mut z);
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let rel = history.last().copied().unwrap_or(1.0);
+    Err(SolverError::NotConverged {
+        context,
+        iterations: max_iter,
+        residual: rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        CsrMatrix::from_row_fn(n, 1, |i, row| {
+            if i > 0 {
+                row.push((i - 1, -1.0));
+            }
+            row.push((i, 2.0));
+            if i + 1 < n {
+                row.push((i + 1, -1.0));
+            }
+        })
+    }
+
+    #[test]
+    fn pcg_solves_laplacian_chain_every_precond() {
+        let n = 50;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        for precond in [Precond::None, Precond::Jacobi, Precond::Ssor] {
+            let cfg = SolverConfig::new()
+                .preconditioner(precond)
+                .tolerance(1e-12)
+                .context("laplacian");
+            let sol = solve_sparse(&a, &b, &cfg).unwrap();
+            for (i, &xi) in sol.x.iter().enumerate() {
+                let k = (i + 1) as f64;
+                let exact = k * (n as f64 + 1.0 - k) / 2.0;
+                assert!(
+                    (xi - exact).abs() < 1e-6 * exact.max(1.0),
+                    "{precond}: i={i}"
+                );
+            }
+            assert!(sol.stats.iterations > 0);
+            assert_eq!(sol.stats.residual_history.len(), sol.stats.iterations);
+            assert!(sol.stats.converged());
+        }
+    }
+
+    #[test]
+    fn ssor_converges_faster_than_jacobi() {
+        let n = 200;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let jacobi =
+            solve_sparse(&a, &b, &SolverConfig::new().preconditioner(Precond::Jacobi)).unwrap();
+        let ssor =
+            solve_sparse(&a, &b, &SolverConfig::new().preconditioner(Precond::Ssor)).unwrap();
+        assert!(
+            ssor.stats.iterations < jacobi.stats.iterations,
+            "SSOR {} vs Jacobi {}",
+            ssor.stats.iterations,
+            jacobi.stats.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = laplacian(8);
+        let sol = solve_sparse(&a, &[0.0; 8], &SolverConfig::new()).unwrap();
+        assert_eq!(sol.x, vec![0.0; 8]);
+        assert_eq!(sol.stats.iterations, 0);
+    }
+
+    #[test]
+    fn non_positive_diagonal_is_singular() {
+        let a = CsrMatrix::from_row_fn(3, 1, |i, row| {
+            row.push((i, if i == 1 { 0.0 } else { 1.0 }));
+        });
+        assert!(matches!(
+            solve_sparse(&a, &[1.0; 3], &SolverConfig::new()),
+            Err(SolverError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let a = laplacian(100);
+        let cfg = SolverConfig::new().tolerance(1e-14).max_iterations(3);
+        assert!(matches!(
+            solve_sparse(&a, &vec![1.0; 100], &cfg),
+            Err(SolverError::NotConverged { iterations: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn operator_path_matches_sparse_path() {
+        let n = 40;
+        let a = laplacian(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let cfg = SolverConfig::new().tolerance(1e-12);
+        let s1 = solve_sparse(&a, &b, &cfg).unwrap();
+        let s2 = solve_operator(&a, &b, &cfg).unwrap();
+        assert_eq!(s1.x, s2.x);
+    }
+
+    #[test]
+    fn operator_path_rejects_ssor() {
+        let a = laplacian(4);
+        let cfg = SolverConfig::new().preconditioner(Precond::Ssor);
+        assert!(matches!(
+            solve_operator(&a, &[1.0; 4], &cfg),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Solve observability: method/preconditioner tags and per-solve
+//! statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The solution method behind a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Preconditioned conjugate gradient (SPD systems).
+    Pcg,
+    /// Dense Cholesky factorisation (SPD systems).
+    Cholesky,
+    /// Dense LU factorisation with partial pivoting (general systems).
+    Lu,
+    /// Scalar bisection (used by the nonlinear operating-point solvers
+    /// — rack flow, SEB balance — for their stats reporting).
+    Bisection,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Pcg => "PCG",
+            Self::Cholesky => "Cholesky",
+            Self::Lu => "LU",
+            Self::Bisection => "bisection",
+        })
+    }
+}
+
+/// Preconditioner applied inside the iterative methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precond {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// Symmetric successive over-relaxation with ω = 1 (symmetric
+    /// Gauss–Seidel). Requires explicit sparse storage.
+    Ssor,
+}
+
+impl fmt::Display for Precond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::None => "none",
+            Self::Jacobi => "Jacobi",
+            Self::Ssor => "SSOR",
+        })
+    }
+}
+
+/// Statistics of one solve: what ran, how hard it worked and how well
+/// it converged. Returned inside every [`Solution`](crate::Solution)
+/// and cached by the model types behind their `last_solve_stats()`
+/// accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverStats {
+    /// What was being solved (human-readable tag).
+    pub context: &'static str,
+    /// The method that ran.
+    pub method: Method,
+    /// The preconditioner used (meaningful for iterative methods).
+    pub preconditioner: Precond,
+    /// Number of unknowns.
+    pub unknowns: usize,
+    /// Worker threads used by the kernels.
+    pub threads: usize,
+    /// Iterations performed (0 for direct factorisations).
+    pub iterations: usize,
+    /// Relative residual after each iteration (empty for direct
+    /// methods).
+    pub residual_history: Vec<f64>,
+    /// Achieved relative residual `‖b − A·x‖ / ‖b‖`.
+    pub final_residual: f64,
+    /// The tolerance that was requested.
+    pub tolerance: f64,
+    /// Wall-clock time of the solve.
+    pub wall_time: Duration,
+}
+
+impl SolverStats {
+    /// Stats skeleton for a direct (non-iterative) solve.
+    pub fn direct(
+        context: &'static str,
+        method: Method,
+        unknowns: usize,
+        final_residual: f64,
+        wall_time: Duration,
+    ) -> Self {
+        Self {
+            context,
+            method,
+            preconditioner: Precond::None,
+            unknowns,
+            threads: 1,
+            iterations: 0,
+            residual_history: Vec::new(),
+            final_residual,
+            tolerance: 0.0,
+            wall_time,
+        }
+    }
+
+    /// Whether the solve met its requested tolerance (direct solves
+    /// report `true`).
+    pub fn converged(&self) -> bool {
+        self.iterations == 0 || self.final_residual <= self.tolerance
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({}) n={} threads={} iters={} residual={:.2e} in {:.2} ms",
+            self.context,
+            self.method,
+            self.preconditioner,
+            self.unknowns,
+            self.threads,
+            self.iterations,
+            self.final_residual,
+            self.wall_time.as_secs_f64() * 1e3,
+        )
+    }
+}

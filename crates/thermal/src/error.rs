@@ -65,6 +65,25 @@ impl fmt::Display for ThermalError {
 
 impl Error for ThermalError {}
 
+impl From<aeropack_solver::SolverError> for ThermalError {
+    fn from(e: aeropack_solver::SolverError) -> Self {
+        use aeropack_solver::SolverError;
+        match e {
+            SolverError::Singular { context } => Self::SingularSystem { context },
+            SolverError::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => Self::NotConverged {
+                context,
+                iterations,
+                residual,
+            },
+            SolverError::InvalidInput { reason } => Self::InvalidModel { reason },
+        }
+    }
+}
+
 impl ThermalError {
     /// Shorthand for [`ThermalError::InvalidModel`].
     pub fn invalid(reason: impl Into<String>) -> Self {

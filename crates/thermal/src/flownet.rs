@@ -5,7 +5,10 @@
 //! flows, exposing the classic failure mode: one obstructed channel
 //! starving its card while the rack total still looks healthy.
 
+use std::time::Instant;
+
 use aeropack_materials::AirState;
+use aeropack_solver::{Method, Precond, SolverStats};
 use aeropack_units::{Length, MassFlowRate, Pressure};
 
 use crate::error::ThermalError;
@@ -126,6 +129,8 @@ pub struct FlowSolution {
     pub plenum_pressure: Pressure,
     /// Per-channel mass flows, in input order.
     pub channel_flows: Vec<MassFlowRate>,
+    /// How the operating-point search went.
+    pub stats: SolverStats,
 }
 
 impl FlowSolution {
@@ -163,9 +168,11 @@ pub fn solve_rack_flow(
     }
     // Bisection on the plenum pressure: total channel flow decreases the
     // fan's deliverable flow and increases channel demand monotonically.
+    let start = Instant::now();
+    let iterations = 80;
     let mut lo = 0.0;
     let mut hi = fan.stall_pressure.value();
-    for _ in 0..80 {
+    for _ in 0..iterations {
         let mid = 0.5 * (lo + hi);
         let dp = Pressure::new(mid);
         let total: f64 = channels.iter().map(|c| c.flow_at(dp).value()).sum();
@@ -177,9 +184,22 @@ pub fn solve_rack_flow(
         }
     }
     let dp = Pressure::new(0.5 * (lo + hi));
+    let bracket = (hi - lo) / fan.stall_pressure.value();
     Ok(FlowSolution {
         plenum_pressure: dp,
         channel_flows: channels.iter().map(|c| c.flow_at(dp)).collect(),
+        stats: SolverStats {
+            context: "rack flow distribution",
+            method: Method::Bisection,
+            preconditioner: Precond::None,
+            unknowns: channels.len(),
+            threads: 1,
+            iterations,
+            residual_history: Vec::new(),
+            final_residual: bracket,
+            tolerance: bracket.max(f64::MIN_POSITIVE),
+            wall_time: start.elapsed(),
+        },
     })
 }
 

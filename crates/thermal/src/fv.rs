@@ -5,14 +5,18 @@
 //! The grid is a uniform structured box. Each cell carries an orthotropic
 //! conductivity (needed for PCB laminates, which conduct ~100× better in
 //! plane than through plane) and a volumetric heat source. The six
-//! exterior faces carry boundary conditions. The steady solver is a
-//! Jacobi-preconditioned conjugate gradient on the (SPD) FV operator;
-//! the transient solver is implicit Euler on top of it.
+//! exterior faces carry boundary conditions. The (SPD) FV operator is
+//! assembled into the shared [`aeropack_solver`] CSR backend and solved
+//! with a preconditioned conjugate gradient; the transient path is
+//! implicit Euler through [`TransientStepper`], which caches the matrix
+//! across steps.
 
+use std::sync::Mutex;
+
+use aeropack_solver::{solve_sparse, CsrMatrix, SolverConfig, SolverStats};
 use aeropack_units::{Celsius, HeatFlux, HeatTransferCoeff, Power, ThermalConductivity};
 
 use crate::error::ThermalError;
-use crate::linsolve::pcg;
 
 /// A uniform structured grid of `nx × ny × nz` cells over an
 /// `lx × ly × lz` metre box.
@@ -189,7 +193,7 @@ pub enum FaceBc {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FvModel {
     grid: FvGrid,
     /// Orthotropic conductivity per cell, W/(m·K): `[kx, ky, kz]`.
@@ -199,6 +203,22 @@ pub struct FvModel {
     /// Volumetric heat capacity ρ·cₚ per cell, J/(m³·K).
     rho_cp: Vec<f64>,
     bc: [FaceBc; 6],
+    config: SolverConfig,
+    stats: Mutex<Option<SolverStats>>,
+}
+
+impl Clone for FvModel {
+    fn clone(&self) -> Self {
+        Self {
+            grid: self.grid,
+            k: self.k.clone(),
+            source: self.source.clone(),
+            rho_cp: self.rho_cp.clone(),
+            bc: self.bc,
+            config: self.config.clone(),
+            stats: Mutex::new(self.last_solve_stats()),
+        }
+    }
 }
 
 impl FvModel {
@@ -213,7 +233,26 @@ impl FvModel {
             source: vec![0.0; grid.cell_count()],
             rho_cp: vec![rho_cp; grid.cell_count()],
             bc: [FaceBc::Adiabatic; 6],
+            config: SolverConfig::new(),
+            stats: Mutex::new(None),
         }
+    }
+
+    /// Overrides the solver configuration (preconditioner, tolerance,
+    /// thread count) used by the steady and transient solves.
+    pub fn set_solver_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// The active solver configuration.
+    pub fn solver_config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Statistics of the most recent steady or (deprecated per-step)
+    /// transient solve on this model, if any.
+    pub fn last_solve_stats(&self) -> Option<SolverStats> {
+        self.stats.lock().expect("stats lock poisoned").clone()
     }
 
     /// The grid.
@@ -449,6 +488,38 @@ impl FvModel {
         }
     }
 
+    /// Assembles the operator into shared CSR storage, with an optional
+    /// per-cell diagonal addition (the transient capacity term). Rows
+    /// are built in parallel across the configured thread count.
+    fn csr(&self, asm: &Assembled, extra_diag: Option<&[f64]>) -> CsrMatrix {
+        let (nx, ny, nz) = (asm.nx, asm.ny, asm.nz);
+        CsrMatrix::from_row_fn(nx * ny * nz, self.config.get_threads(), |c, row| {
+            let i = c % nx;
+            let j = (c / nx) % ny;
+            let k = c / (nx * ny);
+            if k > 0 {
+                row.push((c - nx * ny, -asm.gzp[c - nx * ny]));
+            }
+            if j > 0 {
+                row.push((c - nx, -asm.gyp[c - nx]));
+            }
+            if i > 0 {
+                row.push((c - 1, -asm.gxp[c - 1]));
+            }
+            let extra = extra_diag.map_or(0.0, |e| e[c]);
+            row.push((c, asm.diag[c] + extra));
+            if i + 1 < nx {
+                row.push((c + 1, -asm.gxp[c]));
+            }
+            if j + 1 < ny {
+                row.push((c + nx, -asm.gyp[c]));
+            }
+            if k + 1 < nz {
+                row.push((c + nx * ny, -asm.gzp[c]));
+            }
+        })
+    }
+
     /// Solves the steady-state temperature field.
     ///
     /// # Errors
@@ -474,73 +545,75 @@ impl FvModel {
                 context: "finite-volume steady solve",
             });
         }
-        let n = self.grid.cell_count();
-        let apply = |x: &[f64], y: &mut [f64]| asm.apply(x, y);
-        let t = pcg(
-            apply,
-            &asm.diag,
-            &asm.rhs,
-            1e-11,
-            40 * n.max(100),
-            "finite-volume steady solve",
-        )?;
+        let a = self.csr(&asm, None);
+        let cfg = self.config.clone().context("finite-volume steady solve");
+        let sol = solve_sparse(&a, &asm.rhs, &cfg)?;
+        *self.stats.lock().expect("stats lock poisoned") = Some(sol.stats);
         Ok(FvField {
             grid: self.grid,
-            temperatures: t,
+            temperatures: sol.x,
         })
     }
 
     /// Advances a transient solution by one implicit-Euler step of
     /// length `dt_seconds` from the state `field`.
     ///
+    /// This re-assembles the system matrix on every call; prefer
+    /// [`FvModel::transient_stepper`], which assembles once and reuses
+    /// the matrix across steps.
+    ///
     /// # Errors
     ///
     /// Returns an error for a non-positive step, mismatched field, or a
     /// solver failure.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `transient_stepper`, which caches the assembled matrix across steps"
+    )]
     pub fn step_transient(
         &self,
         field: &FvField,
         dt_seconds: f64,
     ) -> Result<FvField, ThermalError> {
+        let mut stepper = self.transient_stepper(field.clone(), dt_seconds)?;
+        stepper.step()?;
+        *self.stats.lock().expect("stats lock poisoned") = stepper.last_solve_stats();
+        Ok(stepper.into_field())
+    }
+
+    /// Creates an implicit-Euler transient stepper starting from
+    /// `initial`. The system matrix (conduction plus capacity terms) is
+    /// assembled once here and reused by every [`TransientStepper::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive step or a mismatched field.
+    pub fn transient_stepper(
+        &self,
+        initial: FvField,
+        dt_seconds: f64,
+    ) -> Result<TransientStepper, ThermalError> {
         if dt_seconds <= 0.0 {
             return Err(ThermalError::invalid("time step must be positive"));
         }
-        if field.temperatures.len() != self.grid.cell_count() {
+        if initial.temperatures.len() != self.grid.cell_count() {
             return Err(ThermalError::invalid("field does not match this grid"));
         }
         let asm = self.assemble();
         let vol = self.grid.cell_volume();
-        let n = self.grid.cell_count();
         let cap: Vec<f64> = self
             .rho_cp
             .iter()
             .map(|&rc| rc * vol / dt_seconds)
             .collect();
-        let diag: Vec<f64> = asm.diag.iter().zip(&cap).map(|(d, c)| d + c).collect();
-        let rhs: Vec<f64> = asm
-            .rhs
-            .iter()
-            .zip(&cap)
-            .zip(&field.temperatures)
-            .map(|((r, c), t)| r + c * t)
-            .collect();
-        let apply = |x: &[f64], y: &mut [f64]| {
-            asm.apply(x, y);
-            for i in 0..x.len() {
-                y[i] += cap[i] * x[i];
-            }
-        };
-        let t = pcg(
-            apply,
-            &diag,
-            &rhs,
-            1e-11,
-            40 * n.max(100),
-            "finite-volume transient step",
-        )?;
-        Ok(FvField {
-            grid: self.grid,
-            temperatures: t,
+        let matrix = self.csr(&asm, Some(&cap));
+        Ok(TransientStepper {
+            matrix,
+            base_rhs: asm.rhs,
+            cap,
+            field: initial,
+            config: self.config.clone().context("finite-volume transient step"),
+            stats: None,
         })
     }
 
@@ -626,34 +699,77 @@ struct Assembled {
     nz: usize,
 }
 
-impl Assembled {
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-        for c in 0..x.len() {
-            y[c] = self.diag[c] * x[c];
-        }
-        for k in 0..nz {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let c = (k * ny + j) * nx + i;
-                    if i + 1 < nx {
-                        let g = self.gxp[c];
-                        y[c] -= g * x[c + 1];
-                        y[c + 1] -= g * x[c];
-                    }
-                    if j + 1 < ny {
-                        let g = self.gyp[c];
-                        y[c] -= g * x[c + nx];
-                        y[c + nx] -= g * x[c];
-                    }
-                    if k + 1 < nz {
-                        let g = self.gzp[c];
-                        y[c] -= g * x[c + nx * ny];
-                        y[c + nx * ny] -= g * x[c];
-                    }
-                }
-            }
-        }
+/// An implicit-Euler transient integrator over a fixed [`FvModel`] and
+/// step length. The system matrix is assembled (in parallel) once at
+/// construction and reused by every step, which is what makes long
+/// thermal-shock and warm-up runs cheap.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel};
+/// use aeropack_materials::Material;
+/// use aeropack_units::{Celsius, HeatTransferCoeff};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = FvGrid::new((0.02, 0.02, 0.02), (2, 2, 2))?;
+/// let mut model = FvModel::new(grid, &Material::copper());
+/// model.set_face_bc(Face::ZMax, FaceBc::Convection {
+///     h: HeatTransferCoeff::new(50.0),
+///     ambient: Celsius::new(0.0),
+/// });
+/// let mut stepper = model.transient_stepper(model.uniform_field(Celsius::new(100.0)), 10.0)?;
+/// for _ in 0..20 {
+///     stepper.step()?;
+/// }
+/// assert!(stepper.field().mean_temperature() < Celsius::new(100.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientStepper {
+    matrix: CsrMatrix,
+    base_rhs: Vec<f64>,
+    cap: Vec<f64>,
+    field: FvField,
+    config: SolverConfig,
+    stats: Option<SolverStats>,
+}
+
+impl TransientStepper {
+    /// Advances the state by one implicit-Euler step, returning the new
+    /// field.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cached linear system fails to solve.
+    pub fn step(&mut self) -> Result<&FvField, ThermalError> {
+        let rhs: Vec<f64> = self
+            .base_rhs
+            .iter()
+            .zip(&self.cap)
+            .zip(&self.field.temperatures)
+            .map(|((r, c), t)| r + c * t)
+            .collect();
+        let sol = solve_sparse(&self.matrix, &rhs, &self.config)?;
+        self.field.temperatures = sol.x;
+        self.stats = Some(sol.stats);
+        Ok(&self.field)
+    }
+
+    /// The current temperature field.
+    pub fn field(&self) -> &FvField {
+        &self.field
+    }
+
+    /// Consumes the stepper, yielding the current field.
+    pub fn into_field(self) -> FvField {
+        self.field
+    }
+
+    /// Statistics of the most recent step, if any.
+    pub fn last_solve_stats(&self) -> Option<SolverStats> {
+        self.stats.clone()
     }
 }
 
@@ -882,13 +998,16 @@ mod tests {
         let volume = 0.02f64.powi(3);
         let area = 0.02 * 0.02;
         let tau = rho_cp * volume / (h * area);
-        let mut field = model.uniform_field(Celsius::new(100.0));
         let dt = tau / 200.0;
         let steps = 100;
+        let mut stepper = model
+            .transient_stepper(model.uniform_field(Celsius::new(100.0)), dt)
+            .unwrap();
         for _ in 0..steps {
-            field = model.step_transient(&field, dt).unwrap();
+            stepper.step().unwrap();
         }
-        let t_num = field.mean_temperature().value();
+        assert!(stepper.last_solve_stats().is_some());
+        let t_num = stepper.field().mean_temperature().value();
         let t_exact = 100.0 * (-(steps as f64) * dt / tau).exp();
         assert!(
             (t_num - t_exact).abs() < 1.0,
@@ -926,10 +1045,55 @@ mod tests {
         );
         let steady = model.solve_steady().unwrap();
         let mut field = model.uniform_field(Celsius::new(20.0));
+        // The deprecated per-step path must keep working (and agreeing
+        // with the cached-stepper path) until it is removed.
+        #[allow(deprecated)]
         for _ in 0..400 {
             field = model.step_transient(&field, 5.0).unwrap();
         }
         let dmax = (field.max_temperature().value() - steady.max_temperature().value()).abs();
         assert!(dmax < 0.05, "transient must settle to steady: Δ={dmax}");
+    }
+
+    #[test]
+    fn steady_solve_records_stats() {
+        use aeropack_solver::{Method, Precond};
+        let grid = FvGrid::new((0.05, 0.05, 0.005), (8, 8, 1)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(4.0), (2, 2, 0), (5, 5, 1))
+            .unwrap();
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
+        assert!(model.last_solve_stats().is_none());
+        model.set_solver_config(SolverConfig::new().preconditioner(Precond::Ssor).threads(2));
+        model.solve_steady().unwrap();
+        let stats = model.last_solve_stats().unwrap();
+        assert_eq!(stats.method, Method::Pcg);
+        assert_eq!(stats.preconditioner, Precond::Ssor);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.unknowns, 64);
+        assert!(stats.iterations > 0);
+        assert!(stats.converged());
+        // The clone carries the recorded stats along.
+        assert_eq!(model.clone().last_solve_stats(), Some(stats));
+    }
+
+    #[test]
+    fn solver_config_choice_does_not_change_the_field() {
+        use aeropack_solver::Precond;
+        let grid = FvGrid::new((0.06, 0.04, 0.01), (6, 4, 2)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(12.0), (1, 1, 0), (3, 3, 1))
+            .unwrap();
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
+        let jacobi = model.solve_steady().unwrap();
+        model.set_solver_config(SolverConfig::new().preconditioner(Precond::Ssor).threads(4));
+        let ssor = model.solve_steady().unwrap();
+        for i in 0..6 {
+            let a = jacobi.at(i, 0, 0).unwrap().value();
+            let b = ssor.at(i, 0, 0).unwrap().value();
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
     }
 }

@@ -40,7 +40,6 @@ mod correlations;
 mod error;
 mod flownet;
 mod fv;
-mod linsolve;
 mod network;
 mod spreading;
 
@@ -51,6 +50,6 @@ pub use correlations::{
 };
 pub use error::ThermalError;
 pub use flownet::{solve_rack_flow, ChannelImpedance, FanCurve, FlowSolution};
-pub use fv::{Face, FaceBc, FvField, FvGrid, FvModel};
+pub use fv::{Face, FaceBc, FvField, FvGrid, FvModel, TransientStepper};
 pub use network::{Network, NodeId, Solution};
 pub use spreading::{spreading_resistance, SpreadingResult};

@@ -3,10 +3,12 @@
 //! models (heat-pipe paths, TIM joints, seat structures) into a solvable
 //! system.
 
+use std::sync::Mutex;
+
+use aeropack_solver::{solve_dense, Method, SolverConfig, SolverStats};
 use aeropack_units::{Celsius, Power, ThermalConductance, ThermalResistance};
 
 use crate::error::ThermalError;
-use crate::linsolve::cholesky_solve;
 
 /// Handle to a network node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,16 +57,34 @@ struct Edge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Network {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
+    stats: Mutex<Option<SolverStats>>,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            stats: Mutex::new(self.last_solve_stats()),
+        }
+    }
 }
 
 impl Network {
     /// Creates an empty network.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Statistics of the most recent [`Network::solve`], if any. A
+    /// network without floating nodes needs no linear solve and records
+    /// nothing.
+    pub fn last_solve_stats(&self) -> Option<SolverStats> {
+        self.stats.lock().expect("stats lock poisoned").clone()
     }
 
     /// Adds a fixed-temperature (boundary) node.
@@ -237,9 +257,13 @@ impl Network {
                     (false, false) => {}
                 }
             }
-            let x = cholesky_solve(&mut a, &b, n, "thermal network")?;
+            let cfg = SolverConfig::new()
+                .method(Method::Cholesky)
+                .context("thermal network");
+            let sol = solve_dense(&a, n, &b, &cfg)?;
+            *self.stats.lock().expect("stats lock poisoned") = Some(sol.stats);
             for (u, &i) in floating.iter().enumerate() {
-                temps[i] = x[u];
+                temps[i] = sol.x[u];
             }
         }
         // Edge heat flows a→b.
@@ -414,6 +438,23 @@ mod tests {
         assert!(net
             .connect(a, NodeId(99), ThermalResistance::new(1.0))
             .is_err());
+    }
+
+    #[test]
+    fn solve_records_direct_stats() {
+        let mut net = Network::new();
+        let amb = net.add_fixed("ambient", Celsius::new(20.0));
+        let a = net.add_floating("a");
+        net.add_heat(a, Power::new(10.0)).unwrap();
+        net.connect(a, amb, ThermalResistance::new(1.0)).unwrap();
+        assert!(net.last_solve_stats().is_none());
+        net.solve().unwrap();
+        let stats = net.last_solve_stats().unwrap();
+        assert_eq!(stats.method, Method::Cholesky);
+        assert_eq!(stats.unknowns, 1);
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.converged());
+        assert_eq!(net.clone().last_solve_stats(), Some(stats));
     }
 
     #[test]

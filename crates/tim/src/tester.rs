@@ -10,9 +10,9 @@
 //! reduction path as the real machine and reproduces its accuracy
 //! figures.
 
-use aeropack_units::{AreaResistance, Celsius, HeatFlux, Length, Pressure, ThermalConductivity};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aeropack_units::{
+    AreaResistance, Celsius, HeatFlux, Length, Pressure, SplitMix64, ThermalConductivity,
+};
 
 use crate::error::TimError;
 use crate::interface::TimJoint;
@@ -148,7 +148,7 @@ impl D5470Tester {
         pressure: Pressure,
         seed: u64,
     ) -> Result<D5470Measurement, TimError> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let truth_r = joint.area_resistance(pressure)?;
         let truth_blt = joint.bond_line(pressure)?;
         let q = self.flux.value();
@@ -160,12 +160,7 @@ impl D5470Tester {
         let hot_surface = cold_surface + q * truth_r.value();
 
         // Simulated thermocouple readings and linear fits.
-        let gauss = |rng: &mut StdRng, sigma: f64| {
-            // Box–Muller.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
+        let gauss = |rng: &mut SplitMix64, sigma: f64| sigma * rng.gaussian();
         let mut read_bar = |surface: f64, sign: f64| {
             // sign = +1: temperatures increase away from the sample (hot
             // bar); -1: decrease (cold bar).

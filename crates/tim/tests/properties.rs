@@ -1,104 +1,128 @@
-//! Property-based tests of the TIM models and the virtual tester.
+//! Property-style tests of the TIM models and the virtual tester,
+//! driven by the deterministic in-repo [`SplitMix64`] generator so the
+//! suite runs fully offline.
 
 use aeropack_materials::Material;
 use aeropack_tim::{
     hashin_shtrikman_bounds, lewis_nielsen, loading_for_target, maxwell_garnett, D5470Tester,
     FillerShape, HncSurface, TimJoint,
 };
-use aeropack_units::{Length, Pressure, ThermalConductivity};
-use proptest::prelude::*;
+use aeropack_units::{Length, Pressure, SplitMix64, ThermalConductivity};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn joint_resistance_monotone_in_pressure(
-        p1_kpa in 10.0..400.0f64,
-        dp_kpa in 10.0..600.0f64,
-    ) {
+#[test]
+fn joint_resistance_monotone_in_pressure() {
+    let mut rng = SplitMix64::new(0x7133_0001);
+    for _ in 0..CASES {
+        let p1_kpa = rng.range_f64(10.0, 400.0);
+        let dp_kpa = rng.range_f64(10.0, 600.0);
         let joint = TimJoint::nanopack_flake_adhesive().unwrap();
-        let r1 = joint.area_resistance(Pressure::from_kilopascals(p1_kpa)).unwrap();
+        let r1 = joint
+            .area_resistance(Pressure::from_kilopascals(p1_kpa))
+            .unwrap();
         let r2 = joint
             .area_resistance(Pressure::from_kilopascals(p1_kpa + dp_kpa))
             .unwrap();
-        prop_assert!(r2.value() <= r1.value() + 1e-15);
+        assert!(r2.value() <= r1.value() + 1e-15);
         // BLT floor is respected.
-        let blt = joint.bond_line(Pressure::from_kilopascals(p1_kpa + dp_kpa)).unwrap();
-        prop_assert!(blt.value() >= joint.blt_min().value() - 1e-15);
+        let blt = joint
+            .bond_line(Pressure::from_kilopascals(p1_kpa + dp_kpa))
+            .unwrap();
+        assert!(blt.value() >= joint.blt_min().value() - 1e-15);
     }
+}
 
-    #[test]
-    fn better_bulk_conductivity_never_hurts(
-        k1 in 0.5..5.0f64,
-        factor in 1.1..10.0f64,
-        p_kpa in 50.0..500.0f64,
-    ) {
-        let build = |k: f64| TimJoint::new(
-            ThermalConductivity::new(k),
-            Length::from_micrometers(60.0),
-            Length::from_micrometers(12.0),
-            Pressure::from_kilopascals(100.0),
-            Length::from_micrometers(0.4),
-        ).unwrap();
+#[test]
+fn better_bulk_conductivity_never_hurts() {
+    let mut rng = SplitMix64::new(0x7133_0002);
+    for _ in 0..CASES {
+        let k1 = rng.range_f64(0.5, 5.0);
+        let factor = rng.range_f64(1.1, 10.0);
+        let p_kpa = rng.range_f64(50.0, 500.0);
+        let build = |k: f64| {
+            TimJoint::new(
+                ThermalConductivity::new(k),
+                Length::from_micrometers(60.0),
+                Length::from_micrometers(12.0),
+                Pressure::from_kilopascals(100.0),
+                Length::from_micrometers(0.4),
+            )
+            .unwrap()
+        };
         let p = Pressure::from_kilopascals(p_kpa);
         let r_poor = build(k1).area_resistance(p).unwrap();
         let r_good = build(k1 * factor).area_resistance(p).unwrap();
-        prop_assert!(r_good.value() < r_poor.value());
+        assert!(r_good.value() < r_poor.value());
     }
+}
 
-    #[test]
-    fn effective_medium_monotone_in_filler_conductivity(
-        phi in 0.05..0.45f64,
-        kf1 in 10.0..200.0f64,
-        factor in 1.2..4.0f64,
-    ) {
+#[test]
+fn effective_medium_monotone_in_filler_conductivity() {
+    let mut rng = SplitMix64::new(0x7133_0003);
+    for _ in 0..CASES {
+        let phi = rng.range_f64(0.05, 0.45);
+        let kf1 = rng.range_f64(10.0, 200.0);
+        let factor = rng.range_f64(1.2, 4.0);
         let km = Material::epoxy().thermal_conductivity;
         let a = maxwell_garnett(km, ThermalConductivity::new(kf1), phi).unwrap();
         let b = maxwell_garnett(km, ThermalConductivity::new(kf1 * factor), phi).unwrap();
-        prop_assert!(b.value() >= a.value());
+        assert!(b.value() >= a.value());
         // HS bounds widen with contrast.
         let (l1, h1) = hashin_shtrikman_bounds(km, ThermalConductivity::new(kf1), phi).unwrap();
         let (_, h2) =
             hashin_shtrikman_bounds(km, ThermalConductivity::new(kf1 * factor), phi).unwrap();
-        prop_assert!(h2.value() >= h1.value());
-        prop_assert!(l1.value() <= h1.value());
+        assert!(h2.value() >= h1.value());
+        assert!(l1.value() <= h1.value());
     }
+}
 
-    #[test]
-    fn loading_search_is_consistent(target in 1.0..12.0f64) {
+#[test]
+fn loading_search_is_consistent() {
+    let mut rng = SplitMix64::new(0x7133_0004);
+    for _ in 0..CASES {
+        let target = rng.range_f64(1.0, 12.0);
         let km = Material::epoxy().thermal_conductivity;
         let kf = Material::silver().thermal_conductivity;
         let target_k = ThermalConductivity::new(target);
         let phi = loading_for_target(km, kf, target_k, FillerShape::Sphere).unwrap();
         let achieved = lewis_nielsen(km, kf, phi, FillerShape::Sphere).unwrap();
-        prop_assert!(
+        assert!(
             (achieved.value() - target).abs() < 0.02 * target,
             "wanted {target}, got {achieved} at φ = {phi}"
         );
     }
+}
 
-    #[test]
-    fn hnc_reduction_bounded_and_monotone_in_pad_size(
-        half1_mm in 0.6..4.0f64,
-        grow in 1.2..4.0f64,
-    ) {
+#[test]
+fn hnc_reduction_bounded_and_monotone_in_pad_size() {
+    let mut rng = SplitMix64::new(0x7133_0005);
+    for _ in 0..CASES {
+        let half1_mm = rng.range_f64(0.6, 4.0);
+        let grow = rng.range_f64(1.2, 4.0);
         let hnc = HncSurface::nanopack_demo().unwrap();
         let r1 = hnc.reduction(Length::from_millimeters(half1_mm)).unwrap();
-        let r2 = hnc.reduction(Length::from_millimeters(half1_mm * grow)).unwrap();
-        prop_assert!((0.0..1.0).contains(&r1));
-        prop_assert!(r2 >= r1 - 1e-12, "bigger pads benefit more");
+        let r2 = hnc
+            .reduction(Length::from_millimeters(half1_mm * grow))
+            .unwrap();
+        assert!((0.0..1.0).contains(&r1));
+        assert!(r2 >= r1 - 1e-12, "bigger pads benefit more");
     }
+}
 
-    #[test]
-    fn tester_is_unbiased_within_noise(seed in 0u64..1000) {
-        // The averaged measurement is within instrument rating of truth
-        // for any seed.
-        let tester = D5470Tester::standard().unwrap();
-        let joint = TimJoint::conventional_grease().unwrap();
-        let p = Pressure::from_kilopascals(250.0);
-        let truth = joint.area_resistance(p).unwrap().kelvin_mm2_per_watt();
+#[test]
+fn tester_is_unbiased_within_noise() {
+    // The averaged measurement is within instrument rating of truth for
+    // any seed.
+    let tester = D5470Tester::standard().unwrap();
+    let joint = TimJoint::conventional_grease().unwrap();
+    let p = Pressure::from_kilopascals(250.0);
+    let truth = joint.area_resistance(p).unwrap().kelvin_mm2_per_watt();
+    let mut rng = SplitMix64::new(0x7133_0006);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
         let m = tester.measure_averaged(&joint, p, 16, seed).unwrap();
         let err = (m.area_resistance.kelvin_mm2_per_watt() - truth).abs();
-        prop_assert!(err < 1.0, "error {err} K·mm²/W at seed {seed}");
+        assert!(err < 1.0, "error {err} K·mm²/W at seed {seed}");
     }
 }

@@ -1,9 +1,12 @@
-//! Property-based tests of the two-phase device models.
+//! Property-style tests of the two-phase device models, driven by the
+//! deterministic in-repo [`SplitMix64`] generator so the suite runs
+//! fully offline.
 
 use aeropack_materials::WorkingFluid;
 use aeropack_twophase::{HeatPipe, LoopHeatPipe, Thermosyphon, VaporChamber};
-use aeropack_units::{Area, Celsius, Length, Power};
-use proptest::prelude::*;
+use aeropack_units::{Area, Celsius, Length, Power, SplitMix64};
+
+const CASES: u64 = 32;
 
 fn pipe() -> HeatPipe {
     HeatPipe::copper_water_6mm(
@@ -14,113 +17,136 @@ fn pipe() -> HeatPipe {
     .expect("valid pipe")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn heat_pipe_capillary_monotone_in_tilt(
-        t_op in 20.0..150.0f64,
-        tilt1 in 0.0..0.7f64,
-        dtilt in 0.05..0.7f64,
-    ) {
+#[test]
+fn heat_pipe_capillary_monotone_in_tilt() {
+    let mut rng = SplitMix64::new(0x2f00_0001);
+    for _ in 0..CASES {
+        let t_op = rng.range_f64(20.0, 150.0);
+        let tilt1 = rng.range_f64(0.0, 0.7);
+        let dtilt = rng.range_f64(0.05, 0.7);
         let p = pipe();
         let q1 = p.limits(Celsius::new(t_op), tilt1).unwrap().capillary;
-        let q2 = p.limits(Celsius::new(t_op), tilt1 + dtilt).unwrap().capillary;
-        prop_assert!(q2.value() <= q1.value() + 1e-9);
+        let q2 = p
+            .limits(Celsius::new(t_op), tilt1 + dtilt)
+            .unwrap()
+            .capillary;
+        assert!(q2.value() <= q1.value() + 1e-9);
     }
+}
 
-    #[test]
-    fn heat_pipe_limits_all_positive_in_range(t_op in 10.0..180.0f64) {
+#[test]
+fn heat_pipe_limits_all_positive_in_range() {
+    let mut rng = SplitMix64::new(0x2f00_0002);
+    for _ in 0..CASES {
+        let t_op = rng.range_f64(10.0, 180.0);
         let limits = pipe().limits(Celsius::new(t_op), 0.0).unwrap();
-        prop_assert!(limits.capillary.value() > 0.0);
-        prop_assert!(limits.sonic.value() > 0.0);
-        prop_assert!(limits.entrainment.value() > 0.0);
-        prop_assert!(limits.boiling.value() >= 0.0);
-        prop_assert!(limits.viscous.value() > 0.0);
+        assert!(limits.capillary.value() > 0.0);
+        assert!(limits.sonic.value() > 0.0);
+        assert!(limits.entrainment.value() > 0.0);
+        assert!(limits.boiling.value() >= 0.0);
+        assert!(limits.viscous.value() > 0.0);
         // The governing limit is one of the five.
         let (_, q) = limits.governing();
-        prop_assert!(q.value() <= limits.capillary.value() + 1e-9);
+        assert!(q.value() <= limits.capillary.value() + 1e-9);
     }
+}
 
-    #[test]
-    fn heat_pipe_resistance_positive_and_bounded(t_op in 10.0..180.0f64) {
+#[test]
+fn heat_pipe_resistance_positive_and_bounded() {
+    let mut rng = SplitMix64::new(0x2f00_0003);
+    for _ in 0..CASES {
+        let t_op = rng.range_f64(10.0, 180.0);
         let r = pipe().thermal_resistance(Celsius::new(t_op)).unwrap();
-        prop_assert!(r.value() > 0.0 && r.value() < 2.0, "R = {r}");
+        assert!(r.value() > 0.0 && r.value() < 2.0, "R = {r}");
     }
+}
 
-    #[test]
-    fn lhp_case_temperature_monotone_in_power(
-        sink in 10.0..45.0f64,
-        q1 in 2.0..25.0f64,
-        dq in 1.0..15.0f64,
-    ) {
+#[test]
+fn lhp_case_temperature_monotone_in_power() {
+    let mut rng = SplitMix64::new(0x2f00_0004);
+    for _ in 0..CASES {
+        let sink = rng.range_f64(10.0, 45.0);
+        let q1 = rng.range_f64(2.0, 25.0);
+        let dq = rng.range_f64(1.0, 15.0);
         let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8)).unwrap();
         let sink = Celsius::new(sink);
         let op1 = lhp.operating_point(Power::new(q1), sink, 0.2).unwrap();
         let op2 = lhp.operating_point(Power::new(q1 + dq), sink, 0.2).unwrap();
-        prop_assert!(op2.case_temperature >= op1.case_temperature);
+        assert!(op2.case_temperature >= op1.case_temperature);
         // Conductance stays positive and finite.
-        prop_assert!(op1.conductance.value() > 0.0 && op1.conductance.is_finite());
+        assert!(op1.conductance.value() > 0.0 && op1.conductance.is_finite());
     }
+}
 
-    #[test]
-    fn lhp_max_transport_monotone_in_tilt(
-        sink in 15.0..40.0f64,
-        tilt in 0.1..1.4f64,
-    ) {
+#[test]
+fn lhp_max_transport_monotone_in_tilt() {
+    let mut rng = SplitMix64::new(0x2f00_0005);
+    for _ in 0..CASES {
+        let sink = rng.range_f64(15.0, 40.0);
+        let tilt = rng.range_f64(0.1, 1.4);
         let lhp = LoopHeatPipe::ammonia_seb(Length::new(1.0)).unwrap();
         let sink = Celsius::new(sink);
         let q_flat = lhp.max_transport(sink, 0.0).unwrap();
         let q_tilt = lhp.max_transport(sink, tilt).unwrap();
-        prop_assert!(q_tilt.value() <= q_flat.value() + 1e-6);
+        assert!(q_tilt.value() <= q_flat.value() + 1e-6);
     }
+}
 
-    #[test]
-    fn thermosyphon_flooding_scales_with_diameter(
-        d1_mm in 4.0..12.0f64,
-        factor in 1.2..2.5f64,
-        t_op in 40.0..120.0f64,
-    ) {
-        let build = |d_mm: f64| Thermosyphon::new(
-            WorkingFluid::water(),
-            Length::from_millimeters(d_mm),
-            Length::from_millimeters(150.0),
-            Length::from_millimeters(150.0),
-        ).unwrap();
-        let q1 = build(d1_mm).flooding_limit(Celsius::new(t_op), 0.0).unwrap();
-        let q2 = build(d1_mm * factor).flooding_limit(Celsius::new(t_op), 0.0).unwrap();
+#[test]
+fn thermosyphon_flooding_scales_with_diameter() {
+    let mut rng = SplitMix64::new(0x2f00_0006);
+    for _ in 0..CASES {
+        let d1_mm = rng.range_f64(4.0, 12.0);
+        let factor = rng.range_f64(1.2, 2.5);
+        let t_op = rng.range_f64(40.0, 120.0);
+        let build = |d_mm: f64| {
+            Thermosyphon::new(
+                WorkingFluid::water(),
+                Length::from_millimeters(d_mm),
+                Length::from_millimeters(150.0),
+                Length::from_millimeters(150.0),
+            )
+            .unwrap()
+        };
+        let q1 = build(d1_mm)
+            .flooding_limit(Celsius::new(t_op), 0.0)
+            .unwrap();
+        let q2 = build(d1_mm * factor)
+            .flooding_limit(Celsius::new(t_op), 0.0)
+            .unwrap();
         // Flooding ∝ area ∝ d².
         let ratio = q2.value() / q1.value();
-        prop_assert!((ratio - factor * factor).abs() / (factor * factor) < 1e-9);
+        assert!((ratio - factor * factor).abs() / (factor * factor) < 1e-9);
     }
+}
 
-    #[test]
-    fn vapor_chamber_conductivity_grows_with_core(
-        t_total_mm in 2.5..6.0f64,
-        t_op in 30.0..90.0f64,
-    ) {
+#[test]
+fn vapor_chamber_conductivity_grows_with_core() {
+    let mut rng = SplitMix64::new(0x2f00_0007);
+    for _ in 0..CASES {
+        let t_total_mm = rng.range_f64(2.5, 6.0);
+        let t_op = rng.range_f64(30.0, 90.0);
         let thin = VaporChamber::water_spreader((0.05, 0.05), Length::from_millimeters(t_total_mm))
             .unwrap();
-        let thick = VaporChamber::water_spreader(
-            (0.05, 0.05),
-            Length::from_millimeters(t_total_mm + 1.0),
-        )
-        .unwrap();
+        let thick =
+            VaporChamber::water_spreader((0.05, 0.05), Length::from_millimeters(t_total_mm + 1.0))
+                .unwrap();
         let k_thin = thin.vapor_core_conductivity(Celsius::new(t_op)).unwrap();
         let k_thick = thick.vapor_core_conductivity(Celsius::new(t_op)).unwrap();
-        prop_assert!(k_thick.value() > k_thin.value());
+        assert!(k_thick.value() > k_thin.value());
     }
+}
 
-    #[test]
-    fn vapor_chamber_operate_respects_its_own_limit(
-        src_cm2 in 0.5..8.0f64,
-        t_op in 35.0..90.0f64,
-    ) {
-        let vc = VaporChamber::water_spreader((0.08, 0.08), Length::from_millimeters(3.0))
-            .unwrap();
+#[test]
+fn vapor_chamber_operate_respects_its_own_limit() {
+    let mut rng = SplitMix64::new(0x2f00_0008);
+    for _ in 0..CASES {
+        let src_cm2 = rng.range_f64(0.5, 8.0);
+        let t_op = rng.range_f64(35.0, 90.0);
+        let vc = VaporChamber::water_spreader((0.08, 0.08), Length::from_millimeters(3.0)).unwrap();
         let src = Area::from_square_centimeters(src_cm2);
         let (_, q_max) = vc.max_power(src, Celsius::new(t_op)).unwrap();
-        prop_assert!(vc.operate(q_max * 0.99, src, Celsius::new(t_op)).is_ok());
-        prop_assert!(vc.operate(q_max * 1.01, src, Celsius::new(t_op)).is_err());
+        assert!(vc.operate(q_max * 0.99, src, Celsius::new(t_op)).is_ok());
+        assert!(vc.operate(q_max * 1.01, src, Celsius::new(t_op)).is_err());
     }
 }

@@ -36,12 +36,14 @@ mod macros;
 mod flow;
 mod geometry;
 mod mechanics;
+mod rng;
 mod temperature;
 mod thermal;
 
 pub use flow::{MassFlowRate, Pressure, Velocity};
 pub use geometry::{Area, Length, Volume};
 pub use mechanics::{AccelPsd, Acceleration, Density, Frequency, Mass, Stress};
+pub use rng::SplitMix64;
 pub use temperature::{Celsius, TempDelta, TempRate};
 pub use thermal::{
     AreaResistance, HeatFlux, HeatTransferCoeff, Power, PowerDensity, SpecificHeat,

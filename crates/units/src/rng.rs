@@ -1,0 +1,114 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace builds fully offline, so instead of an external `rand`
+//! dependency the few places that need reproducible noise (the virtual
+//! D5470 tester, property-style tests) share this SplitMix64 generator.
+//! SplitMix64 passes BigCrush, needs only 64 bits of state, and every
+//! seed gives an independent, well-mixed stream.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// ```
+/// use aeropack_units::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; every seed is valid.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A standard normal sample via the Box–Muller transform.
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_first_output() {
+        // Reference value for seed 0 from the published SplitMix64.
+        assert_eq!(SplitMix64::new(0).next_u64(), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_centred() {
+        let mut rng = SplitMix64::new(123);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SplitMix64::new(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let v = rng.range_f64(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&v));
+        }
+    }
+}

@@ -1,99 +1,141 @@
-//! Property tests of the macro-generated quantity arithmetic: every
-//! newtype must behave like a plain `f64` vector space plus its unit.
+//! Property-style tests of the macro-generated quantity arithmetic:
+//! every newtype must behave like a plain `f64` vector space plus its
+//! unit. Inputs are sampled with the in-repo [`SplitMix64`] generator so
+//! the suite is deterministic and fully offline.
 
 use aeropack_units::{
-    Area, Celsius, Frequency, Length, Power, TempDelta, ThermalConductance, ThermalResistance,
+    Area, Celsius, Frequency, Length, Power, SplitMix64, TempDelta, ThermalConductance,
+    ThermalResistance,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn add_sub_roundtrip(a in -1e6..1e6f64, b in -1e6..1e6f64) {
+#[test]
+fn add_sub_roundtrip() {
+    let mut rng = SplitMix64::new(0x0b51);
+    for _ in 0..CASES {
+        let a = rng.range_f64(-1e6, 1e6);
+        let b = rng.range_f64(-1e6, 1e6);
         let p = Power::new(a);
         let q = Power::new(b);
         let back = (p + q) - q;
-        prop_assert!((back.value() - a).abs() <= 1e-9 * a.abs().max(1.0));
+        assert!((back.value() - a).abs() <= 1e-9 * a.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn scalar_multiplication_commutes_and_distributes(
-        a in -1e3..1e3f64,
-        b in -1e3..1e3f64,
-        s in -50.0..50.0f64,
-    ) {
+#[test]
+fn scalar_multiplication_commutes_and_distributes() {
+    let mut rng = SplitMix64::new(0x0b52);
+    for _ in 0..CASES {
+        let a = rng.range_f64(-1e3, 1e3);
+        let b = rng.range_f64(-1e3, 1e3);
+        let s = rng.range_f64(-50.0, 50.0);
         let p = Length::new(a);
         let q = Length::new(b);
-        prop_assert_eq!((p * s).value(), (s * p).value());
+        assert_eq!((p * s).value(), (s * p).value());
         let lhs = (p + q) * s;
         let rhs = p * s + q * s;
-        prop_assert!((lhs.value() - rhs.value()).abs() <= 1e-9 * lhs.value().abs().max(1.0));
+        assert!((lhs.value() - rhs.value()).abs() <= 1e-9 * lhs.value().abs().max(1.0));
     }
+}
 
-    #[test]
-    fn same_kind_ratio_is_dimensionless_identity(a in 0.1..1e6f64, s in 0.1..100.0f64) {
+#[test]
+fn same_kind_ratio_is_dimensionless_identity() {
+    let mut rng = SplitMix64::new(0x0b53);
+    for _ in 0..CASES {
+        let a = rng.range_f64(0.1, 1e6);
+        let s = rng.range_f64(0.1, 100.0);
         let p = Frequency::new(a);
         let q = p * s;
-        prop_assert!((q / p - s).abs() < 1e-12 * s);
+        assert!((q / p - s).abs() < 1e-12 * s);
     }
+}
 
-    #[test]
-    fn sum_matches_fold(values in prop::collection::vec(-100.0..100.0f64, 1..20)) {
+#[test]
+fn sum_matches_fold() {
+    let mut rng = SplitMix64::new(0x0b54);
+    for _ in 0..CASES {
+        let len = 1 + (rng.next_u64() % 19) as usize;
+        let values: Vec<f64> = (0..len).map(|_| rng.range_f64(-100.0, 100.0)).collect();
         let total: Power = values.iter().map(|&v| Power::new(v)).sum();
         let fold: f64 = values.iter().sum();
-        prop_assert!((total.value() - fold).abs() < 1e-9);
+        assert!((total.value() - fold).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn clamp_stays_in_bounds(v in -1e4..1e4f64, lo in -100.0..0.0f64, hi in 0.0..100.0f64) {
+#[test]
+fn clamp_stays_in_bounds() {
+    let mut rng = SplitMix64::new(0x0b55);
+    for _ in 0..CASES {
+        let v = rng.range_f64(-1e4, 1e4);
+        let lo = rng.range_f64(-100.0, 0.0);
+        let hi = rng.range_f64(0.0, 100.0);
         let c = TempDelta::new(v).clamp(TempDelta::new(lo), TempDelta::new(hi));
-        prop_assert!(c.value() >= lo && c.value() <= hi);
+        assert!(c.value() >= lo && c.value() <= hi);
     }
+}
 
-    #[test]
-    fn ohms_law_inverse(r in 0.01..100.0f64, q in 0.1..500.0f64) {
+#[test]
+fn ohms_law_inverse() {
+    let mut rng = SplitMix64::new(0x0b56);
+    for _ in 0..CASES {
+        let r = rng.range_f64(0.01, 100.0);
+        let q = rng.range_f64(0.1, 500.0);
         let res = ThermalResistance::new(r);
         let power = Power::new(q);
         let dt = res * power;
         let back: Power = dt / res;
-        prop_assert!((back.value() - q).abs() < 1e-9 * q);
+        assert!((back.value() - q).abs() < 1e-9 * q);
         // Conductance reciprocal closes the loop.
         let g: ThermalConductance = res.to_conductance();
         let q2 = g * dt;
-        prop_assert!((q2.value() - q).abs() < 1e-9 * q);
+        assert!((q2.value() - q).abs() < 1e-9 * q);
     }
+}
 
-    #[test]
-    fn area_products_and_ratios(a in 0.01..10.0f64, b in 0.01..10.0f64) {
+#[test]
+fn area_products_and_ratios() {
+    let mut rng = SplitMix64::new(0x0b57);
+    for _ in 0..CASES {
+        let a = rng.range_f64(0.01, 10.0);
+        let b = rng.range_f64(0.01, 10.0);
         let area: Area = Length::new(a) * Length::new(b);
-        prop_assert!((area.value() - a * b).abs() < 1e-12 * (a * b).max(1.0));
+        assert!((area.value() - a * b).abs() < 1e-12 * (a * b).max(1.0));
         // Dimensionless ratio of two areas recovers the factor.
         let unit_strip: Area = Length::new(a) * Length::new(1.0);
-        prop_assert!((area / unit_strip - b).abs() < 1e-12 * b.max(1.0));
+        assert!((area / unit_strip - b).abs() < 1e-12 * b.max(1.0));
     }
+}
 
-    #[test]
-    fn celsius_affine_consistency(t in -100.0..200.0f64, d in -50.0..50.0f64) {
+#[test]
+fn celsius_affine_consistency() {
+    let mut rng = SplitMix64::new(0x0b58);
+    for _ in 0..CASES {
+        let t = rng.range_f64(-100.0, 200.0);
+        let d = rng.range_f64(-50.0, 50.0);
         let base = Celsius::new(t);
         let delta = TempDelta::new(d);
         let moved = base + delta;
-        prop_assert!(((moved - base).kelvin() - d).abs() < 1e-9);
+        assert!(((moved - base).kelvin() - d).abs() < 1e-9);
         // Floating-point round-trip within one ulp-scale tolerance.
-        prop_assert!(((moved - delta) - base).kelvin().abs() < 1e-10);
+        assert!(((moved - delta) - base).kelvin().abs() < 1e-10);
         // Kelvin and Celsius differences agree.
-        prop_assert!(((moved.kelvin() - base.kelvin()) - d).abs() < 1e-9);
+        assert!(((moved.kelvin() - base.kelvin()) - d).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn display_always_carries_the_unit(v in -1e3..1e3f64) {
+#[test]
+fn display_always_carries_the_unit() {
+    let mut rng = SplitMix64::new(0x0b59);
+    for _ in 0..CASES {
+        let v = rng.range_f64(-1e3, 1e3);
         let p = Power::new(v).to_string();
         let l = Length::new(v).to_string();
         let c = Celsius::new(v).to_string();
         let r = format!("{:.2}", ThermalResistance::new(v));
-        prop_assert!(p.ends_with(" W"), "power: {p}");
-        prop_assert!(l.ends_with(" m"), "length: {l}");
-        prop_assert!(c.ends_with(" °C"), "celsius: {c}");
-        prop_assert!(r.contains("K/W"), "resistance: {r}");
+        assert!(p.ends_with(" W"), "power: {p}");
+        assert!(l.ends_with(" m"), "length: {l}");
+        assert!(c.ends_with(" °C"), "celsius: {c}");
+        assert!(r.contains("K/W"), "resistance: {r}");
     }
 }

@@ -7,8 +7,7 @@
 //! cargo run --release --example cooling_tradeoff
 //! ```
 
-use aeropack::design::{CoolingSelector, HotSpotStudy};
-use aeropack::units::{Celsius, Power};
+use aeropack::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ambient = Celsius::new(55.0);

@@ -7,9 +7,7 @@
 //! cargo run --release --example ife_cabin
 //! ```
 
-use aeropack::design::{SeatStructure, SebModel};
-use aeropack::envqual::{Environment, ReliabilityModel};
-use aeropack::units::{Celsius, Power, TempDelta};
+use aeropack::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seats = 220; // a single-aisle long-haul cabin

@@ -7,10 +7,7 @@
 //! cargo run --release --example navigation_unit
 //! ```
 
-use aeropack::envqual::{acceleration_test, assess_fatigue, ComponentStyle, Do160Curve};
-use aeropack::fem::{modal, random_response, Dof, HarmonicResponse, PlateMesh, PlateProperties};
-use aeropack::materials::Material;
-use aeropack::units::{Acceleration, Length, Stress};
+use aeropack::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Candidate board designs for the power supply.

@@ -6,10 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use aeropack::design::{
-    representative_board, run_design, CoolingSelector, DesignSpec, Equipment, Module,
-};
-use aeropack::units::{Celsius, Power};
+use aeropack::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the product: two modules in one box at 55 °C ambient.

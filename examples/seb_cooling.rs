@@ -6,8 +6,7 @@
 //! cargo run --release --example seb_cooling
 //! ```
 
-use aeropack::design::{SeatStructure, SebModel};
-use aeropack::units::{Celsius, Power, TempDelta};
+use aeropack::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cabin = Celsius::new(25.0);

@@ -7,11 +7,7 @@
 //! cargo run --release --example tim_selection
 //! ```
 
-use aeropack::materials::Material;
-use aeropack::tim::{
-    lewis_nielsen, loading_for_target, D5470Tester, FillerShape, HncSurface, TimJoint,
-};
-use aeropack::units::{Length, Pressure, ThermalConductivity};
+use aeropack::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epoxy = Material::epoxy().thermal_conductivity;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate for the aeropack workspace. Everything here must pass
+# with no network access: the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test (offline)"
+cargo test -q --workspace --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> CI green"

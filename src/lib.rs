@@ -12,8 +12,12 @@
 //! * [`tim`] — thermal interface materials and the virtual ASTM D5470
 //!   tester.
 //! * [`envqual`] — DO-160 environmental qualification and reliability.
+//! * [`solver`] — the shared sparse/dense linear solver backend
+//!   (CSR + threaded SpMV, PCG with Jacobi/SSOR, solve statistics).
 //! * [`design`] — the co-design framework tying it all together
 //!   (three-level thermal analysis, cooling selection, the SEB model).
+//!
+//! Most applications can simply `use aeropack::prelude::*;`.
 //!
 //! It reproduces the system described in *"Integration, cooling and
 //! packaging issues for aerospace equipments"* (C. Sarno, C. Tantolin,
@@ -40,7 +44,57 @@ pub use aeropack_core as design;
 pub use aeropack_envqual as envqual;
 pub use aeropack_fem as fem;
 pub use aeropack_materials as materials;
+pub use aeropack_solver as solver;
 pub use aeropack_thermal as thermal;
 pub use aeropack_tim as tim;
 pub use aeropack_twophase as twophase;
 pub use aeropack_units as units;
+
+/// The most commonly used names from across the workspace: every
+/// quantity newtype, the solver configuration and statistics types, and
+/// the design-workflow entry points.
+///
+/// The thermal network's solution type is re-exported as
+/// [`NetworkSolution`](prelude::NetworkSolution) so the solver's
+/// [`Solution`](prelude::Solution) (vector + statistics) keeps the
+/// plain name.
+pub mod prelude {
+    pub use aeropack_units::{
+        AccelPsd, Acceleration, Area, AreaResistance, Celsius, Density, Frequency, HeatFlux,
+        HeatTransferCoeff, Length, Mass, MassFlowRate, Power, PowerDensity, Pressure, SpecificHeat,
+        SplitMix64, Stress, TempDelta, TempRate, ThermalConductance, ThermalConductivity,
+        ThermalResistance, Velocity, Volume,
+    };
+
+    pub use aeropack_materials::{air_at_sea_level, AirState, Material, WorkingFluid};
+
+    pub use aeropack_solver::{Method, Precond, Solution, SolverConfig, SolverError, SolverStats};
+
+    pub use aeropack_fem::{
+        modal, random_response, Dof, FemError, HarmonicResponse, ModalResult, Model, PlateMesh,
+        PlateProperties, PsdCurve, Sdof,
+    };
+
+    pub use aeropack_thermal::{
+        solve_rack_flow, ChannelImpedance, Face, FaceBc, FanCurve, FlowSolution, FvField, FvGrid,
+        FvModel, Network, NodeId, Solution as NetworkSolution, ThermalError, TransientStepper,
+    };
+
+    pub use aeropack_twophase::{HeatPipe, LoopHeatPipe, Thermosyphon, VaporChamber};
+
+    pub use aeropack_tim::{
+        lewis_nielsen, loading_for_target, D5470Tester, FillerShape, HncSurface, TimJoint,
+    };
+
+    pub use aeropack_envqual::{
+        acceleration_test, assess_fatigue, ComponentStyle, Do160Curve, Environment,
+        QualificationReport, ReliabilityModel, SolderAttachment, TestOutcome, ThermalCycleProfile,
+    };
+
+    pub use aeropack_core::{
+        analyze_module, level1, level3, predict_board_temperature, representative_board,
+        run_design, CoolingMode, CoolingSelector, DesignError, DesignReport, DesignSpec, Equipment,
+        HotSpotStudy, Level2Model, Level3Report, Module, ModuleGeometry, Pcb, SeatStructure,
+        SebModel,
+    };
+}

@@ -1,12 +1,7 @@
 //! Integration of the Fig 1 design procedure: product model → three
 //! analysis levels → qualification → reliability, end to end.
 
-use aeropack::design::{
-    analyze_module, level1, representative_board, run_design, CoolingSelector, DesignSpec,
-    Equipment, Module,
-};
-use aeropack::envqual::Environment;
-use aeropack::units::{Celsius, Power};
+use aeropack::prelude::*;
 
 fn demo_equipment(powers: &[f64]) -> Equipment {
     let modules = powers

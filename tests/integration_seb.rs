@@ -2,9 +2,7 @@
 //! devices → thermal network → SEB system → qualification, crossing
 //! every crate boundary in the workspace.
 
-use aeropack::design::{SeatStructure, SebModel};
-use aeropack::envqual::{QualificationReport, SolderAttachment, TestOutcome, ThermalCycleProfile};
-use aeropack::units::{Celsius, Length, Power, TempDelta};
+use aeropack::prelude::*;
 
 const CABIN: Celsius = Celsius::new(25.0);
 
@@ -111,11 +109,6 @@ fn ceiling_installation_can_use_a_thermosyphon() {
     // where gravity return works and a wickless thermosyphon into the
     // aircraft structure suffices. Compose it from the substrates: box
     // wall → thermosyphon → structure → cabin air.
-    use aeropack::materials::WorkingFluid;
-    use aeropack::thermal::Network;
-    use aeropack::twophase::Thermosyphon;
-    use aeropack::units::{Length, ThermalResistance};
-
     let ts = Thermosyphon::new(
         WorkingFluid::water(),
         Length::from_millimeters(10.0),
