@@ -1,0 +1,346 @@
+//! Sweep-engine benchmark: the Fig 10 power grid, a harmonic frequency
+//! sweep and a finite-volume power-derating sweep, each run serially
+//! and in parallel at 1/2/4 threads. Emits `BENCH_sweeps.json` at the
+//! repository root with walls, speedups, rolled-up solver statistics
+//! and the pattern-cache hit counts, and **exits non-zero if any sweep
+//! is not bit-identical across thread counts**.
+//!
+//! Run with `cargo bench -p aeropack-bench --bench sweeps`; pass
+//! `-- --smoke` for the tiny offline CI gate (small grids, threads
+//! 1 and 2, no JSON file written).
+
+use std::time::Duration;
+
+use aeropack_bench::{fmt_duration, time_mean};
+use aeropack_core::{SeatStructure, SebModel};
+use aeropack_fem::{modal, Dof, HarmonicResponse, PlateMesh, PlateProperties};
+use aeropack_materials::Material;
+use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
+use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel};
+use aeropack_units::{Celsius, Frequency, HeatTransferCoeff, Length, Power};
+
+/// One benchmarked sweep: timings per thread count, the stats roll-up
+/// from the widest run, and the cross-thread-count determinism verdict.
+struct SweepRecord {
+    name: &'static str,
+    scenarios: usize,
+    /// `(threads, mean wall)` pairs, serial first.
+    walls: Vec<(usize, Duration)>,
+    stats: SweepStats,
+    deterministic: bool,
+}
+
+impl SweepRecord {
+    fn speedup(&self, threads: usize) -> Option<f64> {
+        let serial = self.walls.iter().find(|(t, _)| *t == 1)?.1;
+        let at = self.walls.iter().find(|(t, _)| *t == threads)?.1;
+        Some(serial.as_secs_f64() / at.as_secs_f64())
+    }
+}
+
+/// Folds a deterministic error message into the fingerprint stream so
+/// failed scenarios participate in the bit-identity check too.
+fn fold_str(bits: &mut Vec<u64>, s: &str) {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    bits.push(h);
+}
+
+/// Runs `fingerprint` at every thread count and reports whether all
+/// runs produced bit-identical streams.
+fn check_identical(thread_counts: &[usize], fingerprint: impl Fn(usize) -> Vec<u64>) -> bool {
+    let reference = fingerprint(1);
+    thread_counts.iter().all(|&t| fingerprint(t) == reference)
+}
+
+fn seb_models(smoke: bool) -> Vec<SebModel> {
+    let mut configs = vec![
+        SebModel::cosee(SeatStructure::aluminum(), false, 0.0).expect("model"),
+        SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model"),
+    ];
+    if !smoke {
+        configs.push(
+            SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model"),
+        );
+    }
+    configs
+}
+
+fn bench_seb_fig10(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
+    let ambient = Celsius::new(25.0);
+    let configs = seb_models(smoke);
+    let n_powers = if smoke { 4 } else { 11 };
+    let powers: Vec<Power> = (1..=n_powers)
+        .map(|i| Power::new(10.0 * i as f64))
+        .collect();
+
+    let run =
+        |threads: usize| SebModel::power_sweep(&configs, &powers, ambient, &Sweep::new(threads));
+    let fingerprint = |threads: usize| {
+        let (rows, _) = run(threads);
+        let mut bits = Vec::new();
+        for row in &rows {
+            for point in row {
+                match point {
+                    Ok(state) => bits.push(state.dt_pcb_air(ambient).kelvin().to_bits()),
+                    Err(e) => fold_str(&mut bits, &e.to_string()),
+                }
+            }
+        }
+        bits
+    };
+    let deterministic = check_identical(thread_counts, fingerprint);
+
+    let iters = if smoke { 1 } else { 3 };
+    let walls: Vec<(usize, Duration)> = thread_counts
+        .iter()
+        .map(|&t| (t, time_mean(0, iters, || run(t))))
+        .collect();
+    let stats = run(*thread_counts.last().expect("thread counts")).1;
+
+    SweepRecord {
+        name: "seb_fig10",
+        scenarios: configs.len() * powers.len(),
+        walls,
+        stats,
+        deterministic,
+    }
+}
+
+fn bench_harmonic(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
+    let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(2.4))
+        .expect("props")
+        .with_smeared_mass(4.0);
+    let mut mesh = PlateMesh::rectangular(0.14, 0.09, 6, 4, &props).expect("mesh");
+    mesh.pin_all_edges().expect("bc");
+    let modes = modal(&mesh.model, 4).expect("modal");
+    let resp = HarmonicResponse::new(&mesh.model, &modes, 0.03).expect("resp");
+    let node = mesh.center_node();
+    let points = if smoke { 40 } else { 600 };
+
+    let run = |threads: usize| {
+        resp.sweep_with(
+            &Sweep::new(threads),
+            node,
+            Dof::W,
+            Frequency::new(20.0),
+            Frequency::new(2000.0),
+            points,
+        )
+        .expect("sweep")
+    };
+    let fingerprint = |threads: usize| {
+        run(threads)
+            .iter()
+            .flat_map(|(f, a)| [f.value().to_bits(), a.to_bits()])
+            .collect::<Vec<u64>>()
+    };
+    let deterministic = check_identical(thread_counts, fingerprint);
+
+    let iters = if smoke { 1 } else { 5 };
+    let walls: Vec<(usize, Duration)> = thread_counts
+        .iter()
+        .map(|&t| (t, time_mean(0, iters, || run(t))))
+        .collect();
+
+    // Harmonic points are closed-form modal sums — no linear solves, so
+    // every scenario contributes a trivial (converged, zero-iteration)
+    // record.
+    let mut stats = SweepStats::new(*thread_counts.last().expect("thread counts"));
+    for _ in 0..points {
+        stats.absorb(&ScenarioStats::trivial());
+    }
+
+    SweepRecord {
+        name: "harmonic_sweep",
+        scenarios: points,
+        walls,
+        stats,
+        deterministic,
+    }
+}
+
+fn board_model(n: usize) -> FvModel {
+    let grid = FvGrid::new((0.16, 0.10, 0.0016), (n, n * 5 / 8, 1)).expect("grid");
+    let mut model = FvModel::new(grid, &Material::fr4());
+    model
+        .add_power_box(Power::new(30.0), (n / 3, n / 4, 0), (n / 2, n / 2, 1))
+        .expect("source");
+    model.set_face_bc(
+        Face::ZMax,
+        FaceBc::Convection {
+            h: HeatTransferCoeff::new(50.0),
+            ambient: Celsius::new(40.0),
+        },
+    );
+    model
+}
+
+fn bench_fv_power_scale(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
+    let base = board_model(if smoke { 8 } else { 32 });
+    // Prime the symbolic pattern once; every sweep clone then shares it
+    // and reassembles values only.
+    base.solve_steady().expect("prime solve");
+    let n_scales = if smoke { 4 } else { 12 };
+    let scales: Vec<f64> = (0..n_scales).map(|i| 0.5 + 0.1 * i as f64).collect();
+
+    let run = |threads: usize| {
+        Sweep::new(threads).map_stats(&scales, |&scale| {
+            let mut model = base.clone();
+            model.scale_sources(scale);
+            let field = model.solve_steady().expect("solve");
+            let solver = model.last_solve_stats().expect("stats");
+            let (hits, misses) = model.pattern_cache_stats();
+            (
+                field.summary(),
+                ScenarioStats::from_solver(&solver).with_cache(hits, misses),
+            )
+        })
+    };
+    let fingerprint = |threads: usize| {
+        run(threads)
+            .0
+            .iter()
+            .flat_map(|s| {
+                [
+                    s.min.value().to_bits(),
+                    s.max.value().to_bits(),
+                    s.mean.value().to_bits(),
+                ]
+            })
+            .collect::<Vec<u64>>()
+    };
+    let deterministic = check_identical(thread_counts, fingerprint);
+
+    let iters = if smoke { 1 } else { 3 };
+    let walls: Vec<(usize, Duration)> = thread_counts
+        .iter()
+        .map(|&t| (t, time_mean(0, iters, || run(t))))
+        .collect();
+    let stats = run(*thread_counts.last().expect("thread counts")).1;
+
+    SweepRecord {
+        name: "fv_power_scale",
+        scenarios: scales.len(),
+        walls,
+        stats,
+        deterministic,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(records: &[SweepRecord], hardware_threads: usize, smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p aeropack-bench --bench sweeps\",\n");
+    out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(r.name)));
+        out.push_str(&format!("      \"scenarios\": {},\n", r.scenarios));
+        out.push_str("      \"wall_seconds\": {");
+        for (j, (t, d)) in r.walls.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{t}\": {:.6}", d.as_secs_f64()));
+        }
+        out.push_str("},\n");
+        out.push_str("      \"speedup_vs_serial\": {");
+        let mut first = true;
+        for (t, _) in r.walls.iter().filter(|(t, _)| *t > 1) {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{t}\": {:.3}",
+                r.speedup(*t).unwrap_or(f64::NAN)
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "      \"total_iterations\": {},\n",
+            r.stats.total_iterations
+        ));
+        out.push_str(&format!(
+            "      \"total_solve_time_s\": {:.6},\n",
+            r.stats.total_solve_time.as_secs_f64()
+        ));
+        out.push_str(&format!("      \"cache_hits\": {},\n", r.stats.cache_hits));
+        out.push_str(&format!(
+            "      \"cache_misses\": {},\n",
+            r.stats.cache_misses
+        ));
+        out.push_str(&format!("      \"converged\": {},\n", r.stats.converged));
+        out.push_str(&format!("      \"deterministic\": {}\n", r.deterministic));
+        out.push_str(if i + 1 == records.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "sweep benches ({} mode, hardware threads: {hardware_threads})",
+        if smoke { "smoke" } else { "full" }
+    );
+    let records = [
+        bench_seb_fig10(smoke, thread_counts),
+        bench_harmonic(smoke, thread_counts),
+        bench_fv_power_scale(smoke, thread_counts),
+    ];
+
+    for r in &records {
+        println!("\n{} — {} scenarios", r.name, r.scenarios);
+        for (t, d) in &r.walls {
+            println!("  threads={t:<2} wall {:>12}", fmt_duration(*d));
+        }
+        for (t, _) in r.walls.iter().filter(|(t, _)| *t > 1) {
+            println!(
+                "  speedup {t} threads vs serial: {:.2}x",
+                r.speedup(*t).unwrap_or(f64::NAN)
+            );
+        }
+        println!("  stats: {}", r.stats);
+        println!(
+            "  bit-identical across threads {:?}: {}",
+            thread_counts, r.deterministic
+        );
+    }
+
+    let json = emit_json(&records, hardware_threads, smoke);
+    if smoke {
+        println!("\n{json}");
+    } else {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweeps.json");
+        std::fs::write(&path, &json).expect("write BENCH_sweeps.json");
+        println!("\nwrote {}", path.display());
+    }
+
+    if let Some(bad) = records.iter().find(|r| !r.deterministic) {
+        eprintln!(
+            "NONDETERMINISM: sweep '{}' is not bit-identical across thread counts",
+            bad.name
+        );
+        std::process::exit(1);
+    }
+    println!("all sweeps bit-identical across thread counts");
+}

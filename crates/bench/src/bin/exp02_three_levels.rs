@@ -10,6 +10,7 @@ use aeropack_core::{
     level3, predict_board_temperature, representative_board, CoolingSelector, Level2Model,
     ModuleGeometry,
 };
+use aeropack_sweep::Sweep;
 use aeropack_thermal::Network;
 use aeropack_units::{Celsius, Length, Power, ThermalResistance};
 
@@ -49,6 +50,7 @@ fn main() {
     // Level 3: junctions.
     let l3 = level3(&pcb, &l2_model, &field, None).expect("level 3");
 
+    let summary = field.summary();
     let mut t = Table::new(&["level", "quantity", "value (°C)"]);
     t.row(&[
         "L1 equipment".to_string(),
@@ -58,12 +60,12 @@ fn main() {
     t.row(&[
         "L2 PCB".to_string(),
         "board mean".to_string(),
-        format!("{:.1}", field.mean_temperature().value()),
+        format!("{:.1}", summary.mean.value()),
     ]);
     t.row(&[
         "L2 PCB".to_string(),
         "board peak".to_string(),
-        format!("{:.1}", field.max_temperature().value()),
+        format!("{:.1}", summary.max.value()),
     ]);
     for j in &l3.junctions {
         t.row(&[
@@ -83,6 +85,25 @@ fn main() {
             "FAIL"
         }
     );
+
+    // Level-2 derating sweep: the same board at scaled dissipations,
+    // run through the sweep engine. The first solve above primed the
+    // CSR pattern cache, so every scenario reassembles values only.
+    let scales = [0.6, 0.8, 1.0, 1.2, 1.4];
+    let results = Sweep::from_env().map(&scales, |&scale| {
+        let scaled = l2_model.with_power_scale(scale).expect("scaled model");
+        let f = scaled.solve().expect("scaled solve");
+        let (hits, misses) = scaled.pattern_cache_stats();
+        (f.summary().max, hits, misses)
+    });
+    print!("L2 board peak vs power scale:");
+    for (scale, (peak, _, _)) in scales.iter().zip(&results) {
+        print!("  {:.0}% → {:.1} °C", scale * 100.0, peak.value());
+    }
+    println!();
+    let hits: usize = results.iter().map(|&(_, h, _)| h).sum();
+    let misses: usize = results.iter().map(|&(_, _, m)| m).sum();
+    println!("CSR pattern cache across the sweep: {hits} hits, {misses} misses (pattern built once by the base solve, values-only reassembly after)");
 
     // Resistive-network equivalent of the same module (Fig 4 inset).
     let mut net = Network::new();

@@ -7,7 +7,8 @@
 //! 40 W; ~58 W carried by the loop heat pipes; a small tilt penalty.
 
 use aeropack_bench::{banner, compare, Table};
-use aeropack_core::{SeatStructure, SebModel};
+use aeropack_core::{DesignError, SeatStructure, SebModel, SebOperatingState};
+use aeropack_sweep::Sweep;
 use aeropack_twophase::TwoPhaseError;
 use aeropack_units::{Celsius, Power, TempDelta};
 
@@ -23,15 +24,18 @@ fn main() {
     let lhp_tilt =
         SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model");
 
-    let fmt = |model: &SebModel, p: f64| -> String {
-        match model.solve(Power::new(p), ambient) {
+    // The whole Fig 10 grid — 3 configurations × 11 power levels — in
+    // one parallel sweep (AEROPACK_THREADS sets the worker count).
+    let configs = [no_lhp.clone(), lhp_flat.clone(), lhp_tilt.clone()];
+    let powers: Vec<Power> = (1..=11).map(|i| Power::new(10.0 * i as f64)).collect();
+    let runner = Sweep::from_env();
+    let (rows, sweep_stats) = SebModel::power_sweep(&configs, &powers, ambient, &runner);
+
+    let fmt = |point: &Result<SebOperatingState, DesignError>| -> String {
+        match point {
             Ok(state) => format!("{:.1}", state.dt_pcb_air(ambient).kelvin()),
-            Err(e) => match e {
-                aeropack_core::DesignError::TwoPhase(TwoPhaseError::DryOut { .. }) => {
-                    "dry-out".into()
-                }
-                other => format!("err: {other}"),
-            },
+            Err(DesignError::TwoPhase(TwoPhaseError::DryOut { .. })) => "dry-out".into(),
+            Err(other) => format!("err: {other}"),
         }
     };
 
@@ -41,17 +45,16 @@ fn main() {
         "ΔT LHP horizontal (K)",
         "ΔT LHP 22° (K)",
     ]);
-    for p in [
-        10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0,
-    ] {
+    for (pi, p) in powers.iter().enumerate() {
         t.row(&[
-            format!("{p:.0}"),
-            fmt(&no_lhp, p),
-            fmt(&lhp_flat, p),
-            fmt(&lhp_tilt, p),
+            format!("{:.0}", p.value()),
+            fmt(&rows[0][pi]),
+            fmt(&rows[1][pi]),
+            fmt(&rows[2][pi]),
         ]);
     }
     t.print();
+    println!("sweep engine: {sweep_stats}");
 
     // Paper anchors.
     let dt60 = TempDelta::new(60.0);

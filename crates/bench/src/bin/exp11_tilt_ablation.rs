@@ -8,6 +8,7 @@
 use aeropack_bench::{banner, Table};
 use aeropack_core::{SeatStructure, SebModel};
 use aeropack_materials::WorkingFluid;
+use aeropack_sweep::Sweep;
 use aeropack_twophase::{LoopHeatPipe, Thermosyphon};
 use aeropack_units::{Celsius, Length, Power, TempDelta};
 
@@ -26,7 +27,10 @@ fn main() {
         "LHP max transport (W)",
     ]);
     let lhp_alone = LoopHeatPipe::ammonia_seb(Length::new(0.8)).expect("lhp");
-    for deg in [0.0f64, 10.0, 22.0, 35.0, 50.0, 70.0, 90.0] {
+    // Each tilt angle is an independent capability search — run the
+    // grid through the sweep engine.
+    let tilts = [0.0f64, 10.0, 22.0, 35.0, 50.0, 70.0, 90.0];
+    let rows = Sweep::from_env().map(&tilts, |&deg| {
         let model =
             SebModel::cosee(SeatStructure::aluminum(), true, deg.to_radians()).expect("model");
         let cap = model.capability(dt60, ambient).expect("capability");
@@ -37,12 +41,15 @@ fn main() {
         let qmax = lhp_alone
             .max_transport(Celsius::new(35.0), deg.to_radians())
             .expect("max transport");
-        t.row(&[
+        [
             format!("{deg:.0}"),
             format!("{:.0}", cap.value()),
             dt,
             format!("{:.0}", qmax.value()),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t.print();
 

@@ -11,6 +11,7 @@
 use aeropack_bench::{banner, Table};
 use aeropack_core::{predict_board_temperature, CoolingMode, ModuleGeometry};
 use aeropack_materials::isa_atmosphere;
+use aeropack_sweep::Sweep;
 use aeropack_units::{Celsius, Power, TempDelta};
 
 fn main() {
@@ -30,7 +31,11 @@ fn main() {
         "forced air, same kg/h (°C)",
         "conduction (°C)",
     ]);
-    for km in [0.0, 3.0, 6.0, 9.0, 12.0] {
+    // Each altitude is an independent scenario (three cooling-mode
+    // predictions against its ISA state) — run the grid through the
+    // sweep engine.
+    let altitudes = [0.0, 3.0, 6.0, 9.0, 12.0];
+    let rows = Sweep::from_env().map(&altitudes, |&km| {
         let isa = isa_atmosphere(km * 1000.0).expect("within ISA range");
         let geometry = ModuleGeometry {
             ambient_pressure: isa.pressure,
@@ -57,13 +62,16 @@ fn main() {
             ambient,
         )
         .expect("prediction");
-        t.row(&[
+        [
             format!("{km:.0}"),
             format!("{:.1}", isa.pressure.kilopascals()),
             format!("{:.1}", free.value()),
             format!("{:.1}", forced.value()),
             format!("{:.1}", conduction.value()),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!("20 W module, bay air held at 40 °C so only the density effect shows.");

@@ -217,6 +217,29 @@ impl Level2Model {
         Ok(field.at(i, j, 0)?)
     }
 
+    /// A copy of this board model with every heat source scaled by
+    /// `factor` — the cheap way a power sweep builds its scenario list.
+    /// The copy shares the cached CSR pattern, so its assemblies skip
+    /// the symbolic phase (solve one scale first to prime the cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive factor.
+    pub fn with_power_scale(&self, factor: f64) -> Result<Self, DesignError> {
+        if factor <= 0.0 {
+            return Err(DesignError::invalid("power scale must be positive"));
+        }
+        let mut scaled = self.clone();
+        scaled.model.scale_sources(factor);
+        Ok(scaled)
+    }
+
+    /// Symbolic-cache counters of the underlying FV model:
+    /// `(hits, misses)`.
+    pub fn pattern_cache_stats(&self) -> (usize, usize) {
+        self.model.pattern_cache_stats()
+    }
+
     /// The underlying finite-volume model (for boundary heat queries).
     pub fn fv_model(&self) -> &FvModel {
         &self.model

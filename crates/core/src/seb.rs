@@ -14,6 +14,7 @@
 //! tilt) and all convection coefficients resolved self-consistently.
 
 use aeropack_materials::{air_at_sea_level, Material};
+use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
 use aeropack_thermal::{
     film_temperature, natural_convection_vertical_plate, radiation_coefficient,
 };
@@ -433,6 +434,44 @@ impl SebModel {
         Ok((state, stats))
     }
 
+    /// Solves the whole Fig 10 grid — every `configs` entry at every
+    /// power level — in one parallel call over the sweep engine.
+    ///
+    /// Returns one result row per configuration (in `configs` order,
+    /// each row in `powers` order) plus the [`SweepStats`] roll-up of
+    /// every operating-point search. Per-point failures (e.g. heat-pipe
+    /// dry-out past the capability knee) are reported in place rather
+    /// than aborting the rest of the grid.
+    ///
+    /// Results are bitwise identical at any thread count: scenarios are
+    /// pure functions of `(config, power, ambient)` and the runner
+    /// preserves ordering.
+    #[allow(clippy::type_complexity)]
+    pub fn power_sweep(
+        configs: &[SebModel],
+        powers: &[Power],
+        ambient: Celsius,
+        runner: &Sweep,
+    ) -> (Vec<Vec<Result<SebOperatingState, DesignError>>>, SweepStats) {
+        let grid: Vec<(usize, Power)> = configs
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, _)| powers.iter().map(move |&p| (ci, p)))
+            .collect();
+        let (flat, stats) = runner.map_stats(&grid, |&(ci, p)| {
+            match configs[ci].solve_with_stats(p, ambient) {
+                Ok((state, st)) => (Ok(state), ScenarioStats::from_solver(&st)),
+                Err(e) => (Err(e), ScenarioStats::default()),
+            }
+        });
+        let mut rows = Vec::with_capacity(configs.len());
+        let mut flat = flat.into_iter();
+        for _ in configs {
+            rows.push(flat.by_ref().take(powers.len()).collect());
+        }
+        (rows, stats)
+    }
+
     /// The heat-dissipation capability: the largest power whose
     /// PCB-to-air ΔT stays at or below `dt_limit` (Fig 10's reading at a
     /// constant PCB temperature).
@@ -607,5 +646,34 @@ mod tests {
     #[test]
     fn invalid_power_rejected() {
         assert!(no_lhp().solve(Power::ZERO, AMBIENT).is_err());
+    }
+
+    #[test]
+    fn power_sweep_matches_pointwise_solves_at_any_thread_count() {
+        let configs = [no_lhp(), with_lhp(0.0), with_lhp(22.0)];
+        let powers: Vec<Power> = (1..=6).map(|i| Power::new(15.0 * i as f64)).collect();
+        let reference: Vec<Vec<Option<f64>>> = configs
+            .iter()
+            .map(|m| {
+                powers
+                    .iter()
+                    .map(|&p| m.solve(p, AMBIENT).ok().map(|s| s.pcb_temperature.value()))
+                    .collect()
+            })
+            .collect();
+        for threads in [1, 2, 8] {
+            let (rows, stats) =
+                SebModel::power_sweep(&configs, &powers, AMBIENT, &Sweep::new(threads));
+            assert_eq!(rows.len(), configs.len());
+            assert_eq!(stats.scenarios, configs.len() * powers.len());
+            for (ci, row) in rows.iter().enumerate() {
+                assert_eq!(row.len(), powers.len());
+                for (pi, point) in row.iter().enumerate() {
+                    let got = point.as_ref().ok().map(|s| s.pcb_temperature.value());
+                    // Bitwise identity with the serial pointwise path.
+                    assert_eq!(got, reference[ci][pi], "threads={threads} ci={ci} pi={pi}");
+                }
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@
 //! This is the analysis behind the paper's Fig 3: the PCB response
 //! compared against the rack input over the qualification spectrum.
 
+use aeropack_sweep::Sweep;
 use aeropack_units::Frequency;
 
 use crate::error::FemError;
@@ -156,11 +157,35 @@ impl HarmonicResponse {
     /// Sweeps the transmissibility over a log-spaced frequency grid,
     /// returning `(frequency, |H|)` pairs.
     ///
+    /// Frequency points are evaluated through the shared sweep engine
+    /// with the `AEROPACK_THREADS` worker count; results are identical
+    /// at any thread count ([`Sweep`] preserves ordering and each point
+    /// is a pure function of its frequency).
+    ///
     /// # Errors
     ///
     /// Returns an error for an invalid DOF or empty/degenerate range.
     pub fn sweep(
         &self,
+        node: usize,
+        dof: Dof,
+        f_min: Frequency,
+        f_max: Frequency,
+        points: usize,
+    ) -> Result<Vec<(Frequency, f64)>, FemError> {
+        self.sweep_with(&Sweep::from_env(), node, dof, f_min, f_max, points)
+    }
+
+    /// [`HarmonicResponse::sweep`] on an explicit [`Sweep`] runner —
+    /// the entry point experiment binaries use to pin or vary the
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid DOF or empty/degenerate range.
+    pub fn sweep_with(
+        &self,
+        runner: &Sweep,
         node: usize,
         dof: Dof,
         f_min: Frequency,
@@ -175,14 +200,13 @@ impl HarmonicResponse {
         let idx = self.dof_index(node, dof)?;
         let log_min = f_min.value().ln();
         let log_max = f_max.value().ln();
-        let mut out = Vec::with_capacity(points);
-        for i in 0..points {
+        let grid: Vec<usize> = (0..points).collect();
+        Ok(runner.map(&grid, |&i| {
             let f = Frequency::new(
                 (log_min + (log_max - log_min) * i as f64 / (points - 1) as f64).exp(),
             );
-            out.push((f, self.transfer(idx, f).abs()));
-        }
-        Ok(out)
+            (f, self.transfer(idx, f).abs())
+        }))
     }
 
     /// Squared relative-displacement transfer `|H_d(f)|²` in (m per

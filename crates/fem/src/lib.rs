@@ -61,5 +61,5 @@ pub use error::FemError;
 pub use harmonic::HarmonicResponse;
 pub use modal::{modal, ModalResult};
 pub use model::{Dof, Model, PlateMesh};
-pub use random::{random_response, PsdCurve, RandomResponse};
+pub use random::{random_response, random_response_with, PsdCurve, RandomResponse};
 pub use sdof::Sdof;

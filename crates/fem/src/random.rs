@@ -2,6 +2,7 @@
 //! superposition, plus the piecewise log-log PSD curve type used to
 //! describe DO-160-style test spectra.
 
+use aeropack_sweep::Sweep;
 use aeropack_units::{AccelPsd, Frequency, STANDARD_GRAVITY};
 
 use crate::error::FemError;
@@ -157,6 +158,25 @@ pub fn random_response(
     dof: Dof,
     input: &PsdCurve,
 ) -> Result<RandomResponse, FemError> {
+    random_response_with(&Sweep::from_env(), response, node, dof, input)
+}
+
+/// [`random_response`] on an explicit [`Sweep`] runner: the transfer
+/// functions are evaluated at every grid point in parallel, then the
+/// trapezoid integration runs serially in frequency order — so the
+/// result is bitwise identical to the serial path at any thread count.
+///
+/// # Errors
+///
+/// Returns an error for invalid DOF addressing or an empty integration
+/// band.
+pub fn random_response_with(
+    runner: &Sweep,
+    response: &HarmonicResponse,
+    node: usize,
+    dof: Dof,
+    input: &PsdCurve,
+) -> Result<RandomResponse, FemError> {
     let idx = response.dof_index(node, dof)?;
     let f_lo = input.f_min().value();
     let f_hi = input.f_max().value();
@@ -165,11 +185,9 @@ pub fn random_response(
     }
     // Log-spaced grid, refined enough to resolve 1% damping peaks.
     let n = 2000;
-    let mut accel_var = 0.0; // g²
-    let mut disp_var = 0.0; // m²
-    let mut disp_vel_var = 0.0; // weighted by f² for characteristic freq
-    let mut prev: Option<(f64, f64, f64)> = None;
-    for i in 0..=n {
+    let grid: Vec<usize> = (0..=n).collect();
+    // Per-point response PSDs, embarrassingly parallel.
+    let samples = runner.map(&grid, |&i| {
         let f = (f_lo.ln() + (f_hi.ln() - f_lo.ln()) * i as f64 / n as f64).exp();
         let freq = Frequency::new(f);
         let s_in_g2 = input.level(freq).value(); // g²/Hz
@@ -178,17 +196,21 @@ pub fn random_response(
         // Displacement transfer is per (m/s²) of base accel: convert
         // input to (m/s²)²/Hz.
         let s_in_si = s_in_g2 * STANDARD_GRAVITY * STANDARD_GRAVITY;
-        let sa = h2a * s_in_g2;
-        let sd = h2d * s_in_si;
-        if let Some((fp, sap, sdp)) = prev {
-            let df = f - fp;
-            accel_var += 0.5 * (sa + sap) * df;
-            let d_disp = 0.5 * (sd + sdp) * df;
-            disp_var += d_disp;
-            let fm = 0.5 * (f + fp);
-            disp_vel_var += d_disp * fm * fm;
-        }
-        prev = Some((f, sa, sd));
+        (f, h2a * s_in_g2, h2d * s_in_si)
+    });
+    // Trapezoid integration, serially in frequency order.
+    let mut accel_var = 0.0; // g²
+    let mut disp_var = 0.0; // m²
+    let mut disp_vel_var = 0.0; // weighted by f² for characteristic freq
+    for w in samples.windows(2) {
+        let (fp, sap, sdp) = w[0];
+        let (f, sa, sd) = w[1];
+        let df = f - fp;
+        accel_var += 0.5 * (sa + sap) * df;
+        let d_disp = 0.5 * (sd + sdp) * df;
+        disp_var += d_disp;
+        let fm = 0.5 * (f + fp);
+        disp_vel_var += d_disp * fm * fm;
     }
     let characteristic_frequency = if disp_var > 0.0 {
         Frequency::new((disp_vel_var / disp_var).sqrt())

@@ -23,6 +23,7 @@ pub struct SolverConfig {
     max_iterations: Option<usize>,
     threads: usize,
     context: &'static str,
+    record_history: bool,
 }
 
 impl Default for SolverConfig {
@@ -34,6 +35,7 @@ impl Default for SolverConfig {
             max_iterations: None,
             threads: 1,
             context: "linear solve",
+            record_history: true,
         }
     }
 }
@@ -89,6 +91,17 @@ impl SolverConfig {
         self
     }
 
+    /// Enables or disables per-iteration residual recording (on by
+    /// default). Disabling it keeps
+    /// [`SolverStats::residual_history`](crate::SolverStats) empty and
+    /// makes warm-workspace solves fully allocation-free — the mode
+    /// sweep engines run in.
+    #[must_use]
+    pub fn record_history(mut self, record: bool) -> Self {
+        self.record_history = record;
+        self
+    }
+
     /// The configured method.
     pub fn get_method(&self) -> Method {
         self.method
@@ -117,6 +130,11 @@ impl SolverConfig {
     /// The context tag.
     pub fn get_context(&self) -> &'static str {
         self.context
+    }
+
+    /// Whether per-iteration residuals are recorded into the stats.
+    pub fn get_record_history(&self) -> bool {
+        self.record_history
     }
 }
 

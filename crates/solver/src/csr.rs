@@ -5,17 +5,50 @@
 //! every row is fixed by the CSR layout alone — results are bitwise
 //! identical at any thread count.
 
+use std::sync::Arc;
+
 use crate::LinearOperator;
 
 /// A square sparse matrix in compressed sparse row format. Column
 /// indices inside each row are sorted ascending and duplicate entries
 /// are summed at construction.
+///
+/// The symbolic structure (`row_ptr` + `col_idx`) is held behind
+/// [`Arc`]s so that [`CsrMatrix::pattern`] can hand it out for reuse:
+/// re-assembling a matrix with the same sparsity through
+/// [`CsrMatrix::from_pattern_row_fn`] rebuilds only the coefficient
+/// values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     n: usize,
-    row_ptr: Vec<usize>,
-    col_idx: Vec<usize>,
+    row_ptr: Arc<Vec<usize>>,
+    col_idx: Arc<Vec<usize>>,
     vals: Vec<f64>,
+}
+
+/// The symbolic (structure-only) part of a [`CsrMatrix`]: row pointers
+/// and sorted column indices, shared cheaply via [`Arc`]. Obtained from
+/// [`CsrMatrix::pattern`] and consumed by
+/// [`CsrMatrix::from_pattern_row_fn`], which skips the sort/merge
+/// symbolic phase entirely — the caching layer behind fast scenario
+/// sweeps whose matrices share one grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrPattern {
+    n: usize,
+    row_ptr: Arc<Vec<usize>>,
+    col_idx: Arc<Vec<usize>>,
+}
+
+impl CsrPattern {
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Structural non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
 }
 
 impl CsrMatrix {
@@ -63,8 +96,73 @@ impl CsrMatrix {
         }
         Self {
             n,
-            row_ptr,
-            col_idx,
+            row_ptr: Arc::new(row_ptr),
+            col_idx: Arc::new(col_idx),
+            vals,
+        }
+    }
+
+    /// The symbolic structure of this matrix, shared by reference
+    /// counting — no copy of the index arrays is made.
+    pub fn pattern(&self) -> CsrPattern {
+        CsrPattern {
+            n: self.n,
+            row_ptr: Arc::clone(&self.row_ptr),
+            col_idx: Arc::clone(&self.col_idx),
+        }
+    }
+
+    /// Re-assembles a matrix over a cached [`CsrPattern`]: only the
+    /// coefficient values are computed — the per-row sort, duplicate
+    /// merge and index-array construction of
+    /// [`CsrMatrix::from_row_fn`] are skipped. The callback contract is
+    /// identical, and for the same callback the numeric result is
+    /// bitwise identical to a full assembly (duplicates are summed in
+    /// the same stable order). Rows are filled in parallel blocks
+    /// across `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callback emits a column absent from the pattern
+    /// (the pattern may be a superset; missing entries stay 0).
+    pub fn from_pattern_row_fn<F>(pattern: &CsrPattern, threads: usize, row_fn: F) -> Self
+    where
+        F: Fn(usize, &mut Vec<(usize, f64)>) + Sync,
+    {
+        let n = pattern.n;
+        let row_ptr: &[usize] = &pattern.row_ptr;
+        let col_idx: &[usize] = &pattern.col_idx;
+        let mut vals = vec![0.0f64; col_idx.len()];
+        let nthreads = threads.max(1).min(n.max(1));
+        if nthreads <= 1 {
+            fill_pattern_rows(0, n, 0, row_ptr, col_idx, &mut vals, &row_fn);
+            return Self {
+                n,
+                row_ptr: Arc::clone(&pattern.row_ptr),
+                col_idx: Arc::clone(&pattern.col_idx),
+                vals,
+            };
+        }
+        let chunk = n.div_ceil(nthreads).max(1);
+        std::thread::scope(|scope| {
+            let mut rest = vals.as_mut_slice();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let base = row_ptr[start];
+                let (block, tail) = rest.split_at_mut(row_ptr[end] - base);
+                rest = tail;
+                let row_fn = &row_fn;
+                scope.spawn(move || {
+                    fill_pattern_rows(start, end, base, row_ptr, col_idx, block, row_fn)
+                });
+                start = end;
+            }
+        });
+        Self {
+            n,
+            row_ptr: Arc::clone(&pattern.row_ptr),
+            col_idx: Arc::clone(&pattern.col_idx),
             vals,
         }
     }
@@ -91,6 +189,14 @@ impl CsrMatrix {
     /// The matrix diagonal.
     pub fn diag(&self) -> Vec<f64> {
         (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Writes the matrix diagonal into `out`, reusing its capacity —
+    /// the allocation-free counterpart of [`CsrMatrix::diag`] used by
+    /// the workspace solve path.
+    pub fn diag_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n).map(|i| self.get(i, i)));
     }
 
     /// Computes `y = A·x` over the row range `[start, end)`, writing
@@ -172,6 +278,41 @@ impl CsrMatrix {
                 acc -= self.vals[idx] * z[j];
             }
             z[i] = acc / diag[i];
+        }
+    }
+}
+
+/// Numeric-only row fill over a cached pattern: sorts the emitted
+/// entries (stable, so duplicate summation order matches a full
+/// assembly) and scatters them into the pattern's slots.
+fn fill_pattern_rows<F>(
+    start: usize,
+    end: usize,
+    base: usize,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals_block: &mut [f64],
+    row_fn: &F,
+) where
+    F: Fn(usize, &mut Vec<(usize, f64)>),
+{
+    let mut row: Vec<(usize, f64)> = Vec::new();
+    for i in start..end {
+        row.clear();
+        row_fn(i, &mut row);
+        row.sort_by_key(|e| e.0);
+        let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+        let out = &mut vals_block[row_ptr[i] - base..row_ptr[i + 1] - base];
+        let mut k = 0;
+        for &(j, v) in row.iter() {
+            while k < cols.len() && cols[k] < j {
+                k += 1;
+            }
+            assert!(
+                k < cols.len() && cols[k] == j,
+                "column {j} of row {i} is not in the cached pattern"
+            );
+            out[k] += v;
         }
     }
 }
@@ -278,5 +419,58 @@ mod tests {
         assert_eq!(a.nnz(), 28);
         assert_eq!(a.diag(), vec![2.0; 10]);
         assert_eq!(a.n(), 10);
+        let mut d = Vec::new();
+        a.diag_into(&mut d);
+        assert_eq!(d, a.diag());
+    }
+
+    #[test]
+    fn pattern_reassembly_is_bitwise_identical() {
+        let n = 53;
+        let value_fn = |scale: f64| {
+            move |i: usize, row: &mut Vec<(usize, f64)>| {
+                if i > 0 {
+                    row.push((i - 1, -scale * (i as f64 * 0.11).sin()));
+                }
+                // Duplicate diagonal entries, pushed out of order, to
+                // exercise the stable merge.
+                row.push((i, 1.5 * scale));
+                if i + 1 < n {
+                    row.push((i + 1, -scale));
+                }
+                row.push((i, 2.5 * scale + (i as f64 * 0.07).cos()));
+            }
+        };
+        let full = CsrMatrix::from_row_fn(n, 3, value_fn(2.0));
+        let pattern = CsrMatrix::from_row_fn(n, 1, value_fn(1.0)).pattern();
+        assert_eq!(pattern.n(), n);
+        assert_eq!(pattern.nnz(), full.nnz());
+        for threads in [1, 2, 4, 7] {
+            let refilled = CsrMatrix::from_pattern_row_fn(&pattern, threads, value_fn(2.0));
+            assert_eq!(full, refilled, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pattern_superset_leaves_structural_zeros() {
+        // Pattern from a tridiagonal stencil, values from a diagonal-only
+        // callback: off-diagonal slots must stay exactly 0.
+        let pattern = laplacian(8, 1).pattern();
+        let a = CsrMatrix::from_pattern_row_fn(&pattern, 2, |i, row| {
+            row.push((i, 3.0));
+        });
+        assert_eq!(a.nnz(), pattern.nnz());
+        assert_eq!(a.diag(), vec![3.0; 8]);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the cached pattern")]
+    fn pattern_rejects_unknown_column() {
+        let pattern = CsrMatrix::from_row_fn(4, 1, |i, row| row.push((i, 1.0))).pattern();
+        let _ = CsrMatrix::from_pattern_row_fn(&pattern, 1, |i, row| {
+            row.push((i, 1.0));
+            row.push(((i + 1) % 4, 1.0));
+        });
     }
 }

@@ -73,6 +73,53 @@ impl DenseCholesky {
         self.backward(&self.forward(b))
     }
 
+    /// Solves `A·X = B` for `k` right-hand sides stored contiguously in
+    /// `b` (`k·n` values, one RHS after another), with a single
+    /// traversal of the factor applied to all columns at each
+    /// elimination step — the true multi-column substitution batched
+    /// solves use. Returns the solutions in the same contiguous layout.
+    ///
+    /// Column `j` of the result is bitwise identical to
+    /// `self.solve(&b[j*n..(j+1)*n])`: the per-column arithmetic and
+    /// its order are unchanged, only the loop nest is interchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is empty or not a multiple of `n` in length.
+    pub fn solve_multi(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert!(
+            n > 0 && !b.is_empty() && b.len().is_multiple_of(n),
+            "rhs block length {} is not a positive multiple of n={n}",
+            b.len()
+        );
+        let k = b.len() / n;
+        let mut x = b.to_vec();
+        // Forward: L·Y = B, all k columns advanced together per row i.
+        for i in 0..n {
+            for j in 0..k {
+                let col = &mut x[j * n..(j + 1) * n];
+                let mut yi = col[i];
+                for (m, lim) in self.l[i * n..i * n + i].iter().enumerate() {
+                    yi -= lim * col[m];
+                }
+                col[i] = yi / self.l[i * n + i];
+            }
+        }
+        // Backward: Lᵀ·X = Y.
+        for i in (0..n).rev() {
+            for j in 0..k {
+                let col = &mut x[j * n..(j + 1) * n];
+                let mut xi = col[i];
+                for (m, &cm) in col.iter().enumerate().skip(i + 1) {
+                    xi -= self.l[m * n + i] * cm;
+                }
+                col[i] = xi / self.l[i * n + i];
+            }
+        }
+        x
+    }
+
     /// Forward substitution only: solves `L·y = b`.
     ///
     /// # Panics
@@ -273,6 +320,38 @@ mod tests {
             .solve(&[1.0, 2.0]);
         assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
         assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_multi_matches_column_by_column() {
+        let n = 4;
+        // SPD: diagonally dominant symmetric matrix.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j {
+                    6.0 + i as f64
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+            }
+        }
+        let chol = DenseCholesky::factor(&a, n, "test").unwrap();
+        let k = 3;
+        let block: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+        let multi = chol.solve_multi(&block);
+        for j in 0..k {
+            let single = chol.solve(&block[j * n..(j + 1) * n]);
+            assert_eq!(&multi[j * n..(j + 1) * n], single.as_slice(), "column {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive multiple")]
+    fn solve_multi_rejects_ragged_block() {
+        let a = [4.0, 1.0, 1.0, 3.0];
+        let chol = DenseCholesky::factor(&a, 2, "test").unwrap();
+        let _ = chol.solve_multi(&[1.0; 3]);
     }
 
     #[test]

@@ -53,10 +53,13 @@ mod pcg;
 mod stats;
 
 pub use config::{Solution, SolverConfig};
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, CsrPattern};
 pub use dense::{solve_dense, DenseCholesky, DenseLu};
 pub use error::SolverError;
-pub use pcg::{solve_operator, solve_sparse};
+pub use pcg::{
+    solve_multi_rhs, solve_multi_rhs_with, solve_operator, solve_sparse, solve_sparse_into,
+    solve_sparse_with, PcgWorkspace,
+};
 pub use stats::{Method, Precond, SolverStats};
 
 /// A symmetric (or general) linear operator `y = A·x` — the

@@ -1,4 +1,20 @@
-//! Preconditioned conjugate gradient on SPD operators.
+//! Preconditioned conjugate gradient on SPD operators, with reusable
+//! workspaces and batched multi-RHS solves.
+//!
+//! Three tiers of entry point, from convenient to allocation-free:
+//!
+//! * [`solve_sparse`] / [`solve_operator`] — one-shot solves that
+//!   allocate a private [`PcgWorkspace`] internally.
+//! * [`solve_sparse_with`] — borrows a caller-owned workspace, so a
+//!   scenario sweep reuses the r/z/p/Ap buffers and the screened
+//!   preconditioner diagonal across solves.
+//! * [`solve_sparse_into`] — additionally writes the solution into a
+//!   caller buffer; with residual-history recording disabled
+//!   ([`SolverConfig::record_history`]) it performs **zero heap
+//!   allocations** once the workspace is warm.
+//!
+//! [`solve_multi_rhs`] solves `k` right-hand sides against one matrix,
+//! screening/preconditioning once and reusing the same CSR traversal.
 
 use std::time::Instant;
 
@@ -31,10 +47,53 @@ impl Preconditioner<'_> {
     }
 }
 
+/// Reusable PCG scratch space: the residual/search/preconditioner
+/// buffers and the screened diagonal. Create one per solving context
+/// (a sweep worker, a transient stepper) and pass it to
+/// [`solve_sparse_with`] / [`solve_sparse_into`]; after the first solve
+/// of a given size the buffers are warm and the iteration loop runs
+/// without touching the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct PcgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    diag: Vec<f64>,
+    history: Vec<f64>,
+}
+
+impl PcgWorkspace {
+    /// An empty workspace; buffers grow to the problem size on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `n` unknowns, so even the first solve
+    /// allocates nothing inside the iteration loop.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut ws = Self::default();
+        ws.ensure(n);
+        ws
+    }
+
+    fn ensure(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+        self.history.clear();
+    }
+}
+
 /// Solves the SPD system `A·x = b` with `A` in CSR form through the
 /// configured iterative method. This is the entry point the
 /// finite-volume solvers use; it supports every [`Precond`], including
 /// [`Precond::Ssor`] which needs the explicit sparse storage.
+///
+/// Allocates a fresh [`PcgWorkspace`] per call — prefer
+/// [`solve_sparse_with`] when solving repeatedly.
 ///
 /// # Errors
 ///
@@ -44,23 +103,91 @@ impl Preconditioner<'_> {
 /// * [`SolverError::InvalidInput`] — dimension mismatch or a direct
 ///   method selection (use [`solve_dense`](crate::solve_dense)).
 pub fn solve_sparse(a: &CsrMatrix, b: &[f64], cfg: &SolverConfig) -> Result<Solution, SolverError> {
+    let mut ws = PcgWorkspace::new();
+    solve_sparse_with(&mut ws, a, b, cfg)
+}
+
+/// Like [`solve_sparse`], but borrows a caller-owned [`PcgWorkspace`]
+/// instead of allocating: across a sweep of same-sized systems the
+/// work vectors and the screened diagonal buffer are reused, and the
+/// PCG iteration loop performs no heap allocation after the first
+/// solve.
+///
+/// # Errors
+///
+/// Same contract as [`solve_sparse`].
+pub fn solve_sparse_with(
+    ws: &mut PcgWorkspace,
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &SolverConfig,
+) -> Result<Solution, SolverError> {
+    let mut x = vec![0.0; a.n()];
+    let stats = solve_sparse_into(ws, a, b, &mut x, cfg)?;
+    Ok(Solution { x, stats })
+}
+
+/// The fully allocation-free entry point: solves `A·x = b` writing the
+/// solution into `x` (which must be zeroed or hold any starting values
+/// — it is overwritten). With residual-history recording disabled via
+/// [`SolverConfig::record_history`]`(false)`, a warm workspace makes
+/// the whole call zero-allocation.
+///
+/// # Errors
+///
+/// Same contract as [`solve_sparse`], plus [`SolverError::InvalidInput`]
+/// when `x` has the wrong length.
+pub fn solve_sparse_into(
+    ws: &mut PcgWorkspace,
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &SolverConfig,
+) -> Result<SolverStats, SolverError> {
     if cfg.get_method() != Method::Pcg {
         return Err(SolverError::invalid(format!(
             "solve_sparse supports PCG, not {} (use solve_dense)",
             cfg.get_method()
         )));
     }
-    let diag = screened_diagonal(a, cfg)?;
+    let n = a.n();
+    if x.len() != n {
+        return Err(SolverError::invalid(format!(
+            "solution length {} does not match n={n}",
+            x.len()
+        )));
+    }
+    ws.ensure(n);
+    a.diag_into(&mut ws.diag);
+    if ws.diag.iter().any(|&d| d <= 0.0) {
+        return Err(SolverError::Singular {
+            context: cfg.get_context(),
+        });
+    }
+    let PcgWorkspace {
+        r,
+        z,
+        p,
+        ap,
+        diag,
+        history,
+    } = ws;
     let precond = match cfg.get_preconditioner() {
         Precond::None => Preconditioner::None,
-        Precond::Jacobi => Preconditioner::Jacobi(&diag),
-        Precond::Ssor => Preconditioner::Ssor {
-            matrix: a,
-            diag: &diag,
-        },
+        Precond::Jacobi => Preconditioner::Jacobi(diag),
+        Precond::Ssor => Preconditioner::Ssor { matrix: a, diag },
     };
     let threads = cfg.get_threads();
-    pcg_loop(|x, y| a.spmv_into(x, y, threads), &precond, b, cfg, a.n())
+    pcg_loop(
+        |v, y| a.spmv_into(v, y, threads),
+        &precond,
+        b,
+        x,
+        (r, z, p, ap),
+        history,
+        cfg,
+        n,
+    )
 }
 
 /// Solves the SPD system `A·x = b` for any [`LinearOperator`]
@@ -81,39 +208,106 @@ pub fn solve_operator(
             cfg.get_method()
         )));
     }
-    let diag = screened_diagonal(a, cfg)?;
+    let n = a.dim();
+    let mut ws = PcgWorkspace::with_capacity(n);
+    ws.diag = a.diagonal();
+    if ws.diag.iter().any(|&d| d <= 0.0) {
+        return Err(SolverError::Singular {
+            context: cfg.get_context(),
+        });
+    }
+    let PcgWorkspace {
+        r,
+        z,
+        p,
+        ap,
+        diag,
+        history,
+    } = &mut ws;
     let precond = match cfg.get_preconditioner() {
         Precond::None => Preconditioner::None,
-        Precond::Jacobi => Preconditioner::Jacobi(&diag),
+        Precond::Jacobi => Preconditioner::Jacobi(diag),
         Precond::Ssor => {
             return Err(SolverError::invalid(
                 "SSOR preconditioning needs explicit CSR storage (use solve_sparse)",
             ))
         }
     };
-    pcg_loop(|x, y| a.apply(x, y), &precond, b, cfg, a.dim())
+    let mut x = vec![0.0; n];
+    let stats = pcg_loop(
+        |v, y| a.apply(v, y),
+        &precond,
+        b,
+        &mut x,
+        (r, z, p, ap),
+        history,
+        cfg,
+        n,
+    )?;
+    Ok(Solution { x, stats })
 }
 
-fn screened_diagonal(
-    a: &(impl LinearOperator + ?Sized),
+/// Solves `k` right-hand sides against one matrix: `rhs_block` holds
+/// the RHS vectors contiguously (`k·n` values), and the returned
+/// solutions are in the same order. The diagonal is screened and the
+/// preconditioner set up **once**, and every solve reuses the same
+/// workspace and CSR traversal — the batched path scenario sweeps use
+/// when many load cases share one operator.
+///
+/// # Errors
+///
+/// [`SolverError::InvalidInput`] when `rhs_block` is empty or not a
+/// multiple of `n`; otherwise the per-RHS contract of
+/// [`solve_sparse`] (the first failing RHS aborts the batch).
+pub fn solve_multi_rhs(
+    a: &CsrMatrix,
+    rhs_block: &[f64],
     cfg: &SolverConfig,
-) -> Result<Vec<f64>, SolverError> {
-    let diag = a.diagonal();
-    if diag.iter().any(|&d| d <= 0.0) {
-        return Err(SolverError::Singular {
-            context: cfg.get_context(),
-        });
-    }
-    Ok(diag)
+) -> Result<Vec<Solution>, SolverError> {
+    let mut ws = PcgWorkspace::new();
+    solve_multi_rhs_with(&mut ws, a, rhs_block, cfg)
 }
 
+/// [`solve_multi_rhs`] over a caller-owned workspace.
+///
+/// # Errors
+///
+/// Same contract as [`solve_multi_rhs`].
+pub fn solve_multi_rhs_with(
+    ws: &mut PcgWorkspace,
+    a: &CsrMatrix,
+    rhs_block: &[f64],
+    cfg: &SolverConfig,
+) -> Result<Vec<Solution>, SolverError> {
+    let n = a.n();
+    if n == 0 || rhs_block.is_empty() || !rhs_block.len().is_multiple_of(n) {
+        return Err(SolverError::invalid(format!(
+            "rhs block length {} is not a positive multiple of n={n}",
+            rhs_block.len()
+        )));
+    }
+    let k = rhs_block.len() / n;
+    let mut out = Vec::with_capacity(k);
+    for b in rhs_block.chunks_exact(n) {
+        out.push(solve_sparse_with(ws, a, b, cfg)?);
+    }
+    Ok(out)
+}
+
+/// The PCG iteration. All scratch comes in through `bufs`/`history`;
+/// the loop body performs no allocation (history pushes reuse warm
+/// capacity and are skipped entirely when recording is off).
+#[allow(clippy::too_many_arguments)]
 fn pcg_loop<F>(
     apply: F,
     precond: &Preconditioner<'_>,
     b: &[f64],
+    x: &mut [f64],
+    bufs: (&mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>),
+    history: &mut Vec<f64>,
     cfg: &SolverConfig,
     n: usize,
-) -> Result<Solution, SolverError>
+) -> Result<SolverStats, SolverError>
 where
     F: Fn(&[f64], &mut [f64]),
 {
@@ -123,8 +317,10 @@ where
             b.len()
         )));
     }
+    let (r, z, p, ap) = bufs;
     let context = cfg.get_context();
     let tol = cfg.get_tolerance();
+    let record = cfg.get_record_history();
     let max_iter = cfg.iteration_budget(n);
     let start = Instant::now();
     let stats = |iterations, history: Vec<f64>, final_residual| SolverStats {
@@ -140,24 +336,18 @@ where
         wall_time: start.elapsed(),
     };
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
+    x.fill(0.0);
+    r.copy_from_slice(b);
     let b_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
     if b_norm == 0.0 {
-        return Ok(Solution {
-            x,
-            stats: stats(0, Vec::new(), 0.0),
-        });
+        return Ok(stats(0, Vec::new(), 0.0));
     }
-    let mut z = vec![0.0; n];
-    precond.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-    let mut ap = vec![0.0; n];
-    let mut history = Vec::new();
+    precond.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz: f64 = r.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
     for iter in 0..max_iter {
-        apply(&p, &mut ap);
-        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        apply(p, ap);
+        let pap: f64 = p.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
         if pap <= 0.0 {
             return Err(SolverError::Singular { context });
         }
@@ -167,15 +357,15 @@ where
             r[i] -= alpha * ap[i];
         }
         let rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / b_norm;
-        history.push(rel);
-        if rel <= tol {
-            return Ok(Solution {
-                x,
-                stats: stats(iter + 1, history, rel),
-            });
+        if record {
+            history.push(rel);
         }
-        precond.apply(&r, &mut z);
-        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        if rel <= tol {
+            let recorded = if record { history.clone() } else { Vec::new() };
+            return Ok(stats(iter + 1, recorded, rel));
+        }
+        precond.apply(r, z);
+        let rz_new: f64 = r.iter().zip(z.iter()).map(|(a, b)| a * b).sum();
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
@@ -193,6 +383,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::Precond;
 
     fn laplacian(n: usize) -> CsrMatrix {
         CsrMatrix::from_row_fn(n, 1, |i, row| {
@@ -294,6 +485,91 @@ mod tests {
         let cfg = SolverConfig::new().preconditioner(Precond::Ssor);
         assert!(matches!(
             solve_operator(&a, &[1.0; 4], &cfg),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn reused_workspace_is_bitwise_identical_to_fresh_solves() {
+        let n = 60;
+        let a = laplacian(n);
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                (0..n)
+                    .map(|i| ((i + k) as f64 * 0.07).sin() + 2.0)
+                    .collect()
+            })
+            .collect();
+        for precond in [Precond::None, Precond::Jacobi, Precond::Ssor] {
+            let cfg = SolverConfig::new().preconditioner(precond).tolerance(1e-12);
+            let mut ws = PcgWorkspace::new();
+            for b in &rhs {
+                let fresh = solve_sparse(&a, b, &cfg).unwrap();
+                let reused = solve_sparse_with(&mut ws, &a, b, &cfg).unwrap();
+                assert_eq!(fresh.x, reused.x, "{precond}");
+                assert_eq!(fresh.stats.iterations, reused.stats.iterations);
+                assert_eq!(fresh.stats.residual_history, reused.stats.residual_history);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_writes_caller_buffer_and_skips_history() {
+        let n = 30;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = SolverConfig::new().record_history(false);
+        let mut ws = PcgWorkspace::with_capacity(n);
+        let mut x = vec![7.0; n]; // stale values must be overwritten
+        let stats = solve_sparse_into(&mut ws, &a, &b, &mut x, &cfg).unwrap();
+        let reference = solve_sparse(&a, &b, &SolverConfig::new()).unwrap();
+        assert_eq!(x, reference.x);
+        assert_eq!(stats.iterations, reference.stats.iterations);
+        assert!(stats.residual_history.is_empty());
+        assert!(stats.converged());
+    }
+
+    #[test]
+    fn solve_into_rejects_wrong_solution_length() {
+        let a = laplacian(5);
+        let mut ws = PcgWorkspace::new();
+        let mut x = vec![0.0; 4];
+        assert!(matches!(
+            solve_sparse_into(&mut ws, &a, &[1.0; 5], &mut x, &SolverConfig::new()),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_rhs_matches_independent_solves() {
+        let n = 48;
+        let a = laplacian(n);
+        let k = 5;
+        let mut block = Vec::with_capacity(k * n);
+        for j in 0..k {
+            for i in 0..n {
+                block.push(((i * (j + 1)) as f64 * 0.05).cos() + 1.5);
+            }
+        }
+        let cfg = SolverConfig::new().tolerance(1e-12);
+        let batch = solve_multi_rhs(&a, &block, &cfg).unwrap();
+        assert_eq!(batch.len(), k);
+        for (j, sol) in batch.iter().enumerate() {
+            let single = solve_sparse(&a, &block[j * n..(j + 1) * n], &cfg).unwrap();
+            assert_eq!(sol.x, single.x, "rhs {j}");
+            assert_eq!(sol.stats.iterations, single.stats.iterations);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_rejects_ragged_block() {
+        let a = laplacian(4);
+        assert!(matches!(
+            solve_multi_rhs(&a, &[1.0; 7], &SolverConfig::new()),
+            Err(SolverError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            solve_multi_rhs(&a, &[], &SolverConfig::new()),
             Err(SolverError::InvalidInput { .. })
         ));
     }

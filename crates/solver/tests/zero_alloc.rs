@@ -1,0 +1,90 @@
+//! Proves the zero-allocation contract of the warm PCG path: with a
+//! reused [`PcgWorkspace`], history recording off and a caller-owned
+//! solution buffer, `solve_sparse_into` performs **no heap allocation**.
+//!
+//! The library itself forbids `unsafe`; this integration test is its
+//! own crate root, so it can install a counting [`GlobalAlloc`] without
+//! weakening that guarantee.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use aeropack_solver::{solve_sparse_into, CsrMatrix, PcgWorkspace, Precond, SolverConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn laplacian(n: usize) -> CsrMatrix {
+    CsrMatrix::from_row_fn(n, 1, |i, row| {
+        if i > 0 {
+            row.push((i - 1, -1.0));
+        }
+        row.push((i, 2.0));
+        if i + 1 < n {
+            row.push((i + 1, -1.0));
+        }
+    })
+}
+
+/// Kept as the single test in this file: the allocation counter is
+/// process-global, and a concurrently running sibling test would
+/// register its own allocations inside the measured window.
+#[test]
+fn warm_pcg_solve_performs_no_heap_allocation() {
+    let n = 400;
+    let a = laplacian(n);
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let cfg = SolverConfig::new()
+        .preconditioner(Precond::Jacobi)
+        .threads(1)
+        .record_history(false)
+        .context("zero-alloc proof");
+    let mut ws = PcgWorkspace::with_capacity(n);
+
+    // Warm-up: the first solve may size the diagonal buffer.
+    let warm = solve_sparse_into(&mut ws, &a, &b, &mut x, &cfg).expect("warm solve");
+    assert!(warm.converged(), "warm-up must converge");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let stats = solve_sparse_into(&mut ws, &a, &b, &mut x, &cfg).expect("warm solve");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(stats.converged(), "measured solve must converge");
+    assert!(stats.iterations > 0, "solve must actually iterate");
+    assert_eq!(
+        after - before,
+        0,
+        "warm solve_sparse_into allocated {} time(s); the warm PCG loop must be allocation-free",
+        after - before
+    );
+
+    // Sanity: the counter does observe ordinary allocations.
+    let probe = ALLOCATIONS.load(Ordering::SeqCst);
+    let v = std::hint::black_box(vec![0u8; 64]);
+    assert!(
+        ALLOCATIONS.load(Ordering::SeqCst) > probe,
+        "allocation counter must be live"
+    );
+    drop(v);
+}

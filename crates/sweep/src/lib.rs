@@ -1,0 +1,402 @@
+//! Deterministic parallel scenario sweeps for the aeropack workspace.
+//!
+//! Every headline result of the reproduction is a *sweep*: the Fig 10
+//! ΔT-vs-power curves, the harmonic transmissibility and random-PSD
+//! frequency grids, the tilt/altitude ablations. Each point is an
+//! independent solve, which makes the grid embarrassingly parallel —
+//! but only if parallelism does not perturb the numbers. This crate
+//! provides the one runner everything routes through:
+//!
+//! * [`Sweep::map`] — evaluates a scenario list across worker threads
+//!   using [`std::thread::scope`] with **contiguous block
+//!   partitioning** (no work stealing, no channels). Scenario `i`
+//!   always lands in result slot `i`, each scenario is evaluated by
+//!   exactly one deterministic closure call, and results are bitwise
+//!   identical at any thread count.
+//! * [`Sweep::map_stats`] — the same runner for closures that also
+//!   report per-scenario [`ScenarioStats`]; the per-point records are
+//!   aggregated into a [`SweepStats`] roll-up (total solver
+//!   iterations, accumulated solve time, pattern-cache hits).
+//! * [`Sweep::from_env`] — thread-count configuration from the
+//!   `AEROPACK_THREADS` environment variable.
+//!
+//! # Determinism contract
+//!
+//! The runner never reorders, splits or merges scenario evaluations.
+//! Whether results are bitwise identical across thread counts is
+//! therefore exactly the closure's property: a closure whose output
+//! depends only on its scenario (plus shared read-only state) is
+//! reproducible by construction. All aeropack consumers are written
+//! that way, and the workspace's tier-1 determinism tests pin it.
+//!
+//! # Example
+//!
+//! ```
+//! use aeropack_sweep::Sweep;
+//!
+//! let powers: Vec<f64> = (0..32).map(|i| 10.0 + i as f64 * 5.0).collect();
+//! let squares = Sweep::new(4).map(&powers, |&p| p * p);
+//! assert_eq!(squares[3], powers[3] * powers[3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+use aeropack_solver::SolverStats;
+
+/// Environment variable read by [`Sweep::from_env`] to pick the worker
+/// thread count.
+pub const THREADS_ENV: &str = "AEROPACK_THREADS";
+
+/// A deterministic parallel runner for scenario grids.
+///
+/// Construction picks the worker count; [`Sweep::map`] /
+/// [`Sweep::map_stats`] then evaluate any number of scenario lists with
+/// it. The runner is trivially `Copy` — it owns no threads; workers are
+/// scoped to each call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sweep {
+    threads: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Sweep {
+    /// A runner with an explicit worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A serial runner — the reference the determinism tests compare
+    /// against.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Reads the worker count from `AEROPACK_THREADS`, falling back to
+    /// the machine's available parallelism when the variable is unset
+    /// or unparseable.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// The configured worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f` over every scenario, in parallel, preserving input
+    /// order in the returned vector: `out[i] = f(&scenarios[i])`.
+    ///
+    /// Scenarios are partitioned into contiguous blocks, one per
+    /// worker, so the assignment of scenario to thread is a pure
+    /// function of `(len, threads)` — deterministic, no work stealing.
+    /// Each worker reuses whatever state `f` builds internally only
+    /// through `f`'s own captures; give workers reusable scratch (e.g.
+    /// a [`PcgWorkspace`](aeropack_solver::PcgWorkspace)) by keeping it
+    /// inside `f` behind a `thread_local!` or by using
+    /// [`Sweep::map_with`].
+    pub fn map<S, R, F>(&self, scenarios: &[S], f: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&S) -> R + Sync,
+    {
+        self.map_with(scenarios, || (), |(), s| f(s))
+    }
+
+    /// [`Sweep::map`] with per-worker state: `init` runs once on each
+    /// worker thread and the resulting scratch value is passed by
+    /// mutable reference to every scenario that worker evaluates. This
+    /// is how sweeps reuse solver workspaces without cross-thread
+    /// sharing — each worker warms its own buffers once.
+    pub fn map_with<S, R, W, I, F>(&self, scenarios: &[S], init: I, f: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &S) -> R + Sync,
+    {
+        let n = scenarios.len();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            let mut scratch = init();
+            for (slot, s) in out.iter_mut().zip(scenarios) {
+                *slot = Some(f(&mut scratch, s));
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut rest = out.as_mut_slice();
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    let (block, tail) = rest.split_at_mut(end - start);
+                    rest = tail;
+                    let scenarios = &scenarios[start..end];
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut scratch = init();
+                        for (slot, s) in block.iter_mut().zip(scenarios) {
+                            *slot = Some(f(&mut scratch, s));
+                        }
+                    });
+                    start = end;
+                }
+            });
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Evaluates scenarios that report per-point [`ScenarioStats`]
+    /// alongside their result, and rolls the records up into a
+    /// [`SweepStats`]. Ordering and determinism are exactly as in
+    /// [`Sweep::map`].
+    pub fn map_stats<S, R, F>(&self, scenarios: &[S], f: F) -> (Vec<R>, SweepStats)
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&S) -> (R, ScenarioStats) + Sync,
+    {
+        let pairs = self.map(scenarios, f);
+        let mut stats = SweepStats::new(self.threads);
+        let mut out = Vec::with_capacity(pairs.len());
+        for (r, s) in pairs {
+            stats.absorb(&s);
+            out.push(r);
+        }
+        (out, stats)
+    }
+}
+
+/// What one scenario cost: solver effort plus cache behaviour,
+/// reported by the closure under [`Sweep::map_stats`] and rolled up
+/// into [`SweepStats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioStats {
+    /// Linear-solver iterations spent on this scenario (0 for direct
+    /// or closed-form scenarios).
+    pub iterations: usize,
+    /// Wall-clock time of the scenario's solves.
+    pub solve_time: Duration,
+    /// Symbolic-pattern cache hits (assemblies that skipped the CSR
+    /// sort/merge).
+    pub cache_hits: usize,
+    /// Cache misses (full symbolic assemblies).
+    pub cache_misses: usize,
+    /// Whether every solve in the scenario converged.
+    pub converged: bool,
+}
+
+impl ScenarioStats {
+    /// A record for a scenario that needed no linear solve.
+    pub fn trivial() -> Self {
+        Self {
+            converged: true,
+            ..Self::default()
+        }
+    }
+
+    /// Builds a record from one [`SolverStats`].
+    pub fn from_solver(stats: &SolverStats) -> Self {
+        Self {
+            iterations: stats.iterations,
+            solve_time: stats.wall_time,
+            cache_hits: 0,
+            cache_misses: 0,
+            converged: stats.converged(),
+        }
+    }
+
+    /// Folds another solve into this scenario's record.
+    pub fn add_solve(&mut self, stats: &SolverStats) {
+        self.iterations += stats.iterations;
+        self.solve_time += stats.wall_time;
+        self.converged &= stats.converged();
+    }
+
+    /// Records pattern-cache behaviour for this scenario.
+    #[must_use]
+    pub fn with_cache(mut self, hits: usize, misses: usize) -> Self {
+        self.cache_hits = hits;
+        self.cache_misses = misses;
+        self
+    }
+}
+
+/// The roll-up over a whole sweep: totals of every per-scenario
+/// [`ScenarioStats`], ready for benchmark tables and JSON emission.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// Scenarios evaluated.
+    pub scenarios: usize,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Total linear-solver iterations across all scenarios.
+    pub total_iterations: usize,
+    /// Accumulated solver wall time (sum over scenarios — exceeds the
+    /// sweep's elapsed wall time when workers overlap).
+    pub total_solve_time: Duration,
+    /// Total symbolic-pattern cache hits.
+    pub cache_hits: usize,
+    /// Total symbolic assemblies (cache misses).
+    pub cache_misses: usize,
+    /// Scenarios whose solves all converged.
+    pub converged: usize,
+}
+
+impl SweepStats {
+    /// An empty roll-up for a sweep on `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Folds one scenario's record into the roll-up.
+    pub fn absorb(&mut self, s: &ScenarioStats) {
+        self.scenarios += 1;
+        self.total_iterations += s.iterations;
+        self.total_solve_time += s.solve_time;
+        self.cache_hits += s.cache_hits;
+        self.cache_misses += s.cache_misses;
+        self.converged += usize::from(s.converged);
+    }
+
+    /// Whether every scenario converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged == self.scenarios
+    }
+
+    /// Mean solver iterations per scenario.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.total_iterations as f64 / self.scenarios as f64
+        }
+    }
+}
+
+impl fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios on {} thread(s): {} iterations ({:.1}/scenario), {:.2} ms solve time, cache {}/{} hits, {} converged",
+            self.scenarios,
+            self.threads,
+            self.total_iterations,
+            self.mean_iterations(),
+            self.total_solve_time.as_secs_f64() * 1e3,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.converged,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_every_thread_count() {
+        let xs: Vec<usize> = (0..103).collect();
+        let serial = Sweep::serial().map(&xs, |&x| x * x + 1);
+        for threads in [2, 3, 4, 8, 16] {
+            let par = Sweep::new(threads).map(&xs, |&x| x * x + 1);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Sweep::new(4).map(&empty, |&x| x).is_empty());
+        assert_eq!(Sweep::new(8).map(&[5u32], |&x| x + 1), vec![6]);
+        // More threads than scenarios.
+        assert_eq!(Sweep::new(64).map(&[1u32, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn map_with_gives_each_worker_private_scratch() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let out = Sweep::new(4).map_with(&xs, Vec::<f64>::new, |scratch, &x| {
+            scratch.push(x); // private: no cross-worker interference
+            x * 2.0 + scratch.len() as f64 * 0.0
+        });
+        let reference: Vec<f64> = xs.iter().map(|&x| x * 2.0).collect();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn map_stats_rolls_up() {
+        let xs: Vec<usize> = (0..10).collect();
+        let (out, stats) = Sweep::new(3).map_stats(&xs, |&x| {
+            let s = ScenarioStats {
+                iterations: x,
+                solve_time: Duration::from_micros(10),
+                cache_hits: usize::from(x > 0),
+                cache_misses: usize::from(x == 0),
+                converged: true,
+            };
+            (x * 10, s)
+        });
+        assert_eq!(out[7], 70);
+        assert_eq!(stats.scenarios, 10);
+        assert_eq!(stats.total_iterations, 45);
+        assert_eq!(stats.cache_hits, 9);
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.all_converged());
+        assert_eq!(stats.threads, 3);
+        assert!((stats.mean_iterations() - 4.5).abs() < 1e-12);
+        assert!(stats.to_string().contains("10 scenarios"));
+    }
+
+    #[test]
+    fn from_env_parses_thread_count() {
+        // Avoid mutating the process environment (unsafe in newer
+        // toolchains and racy under the parallel test runner): exercise
+        // the fallback path plus the explicit constructor.
+        assert!(Sweep::from_env().threads() >= 1);
+        assert_eq!(Sweep::new(0).threads(), 1);
+        assert_eq!(Sweep::new(6).threads(), 6);
+    }
+
+    #[test]
+    fn scenario_stats_folds_solver_stats() {
+        use aeropack_solver::{CsrMatrix, SolverConfig};
+        let a = CsrMatrix::from_row_fn(8, 1, |i, row| row.push((i, 2.0)));
+        let sol = aeropack_solver::solve_sparse(&a, &[1.0; 8], &SolverConfig::new()).unwrap();
+        let mut s = ScenarioStats::from_solver(&sol.stats);
+        assert!(s.converged);
+        s.add_solve(&sol.stats);
+        assert_eq!(s.iterations, 2 * sol.stats.iterations);
+        let s = s.with_cache(3, 1);
+        assert_eq!((s.cache_hits, s.cache_misses), (3, 1));
+    }
+}

@@ -11,9 +11,12 @@
 //! implicit Euler through [`TransientStepper`], which caches the matrix
 //! across steps.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use aeropack_solver::{solve_sparse, CsrMatrix, SolverConfig, SolverStats};
+use aeropack_solver::{
+    solve_sparse_into, CsrMatrix, CsrPattern, PcgWorkspace, SolverConfig, SolverStats,
+};
 use aeropack_units::{Celsius, HeatFlux, HeatTransferCoeff, Power, ThermalConductivity};
 
 use crate::error::ThermalError;
@@ -205,6 +208,13 @@ pub struct FvModel {
     bc: [FaceBc; 6],
     config: SolverConfig,
     stats: Mutex<Option<SolverStats>>,
+    /// Cached symbolic CSR structure: the FV stencil sparsity depends
+    /// only on the grid shape, so repeated assemblies (power sweeps,
+    /// BC ablations) rebuild coefficient values only.
+    pattern: Mutex<Option<CsrPattern>>,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    workspace: Mutex<PcgWorkspace>,
 }
 
 impl Clone for FvModel {
@@ -217,6 +227,14 @@ impl Clone for FvModel {
             bc: self.bc,
             config: self.config.clone(),
             stats: Mutex::new(self.last_solve_stats()),
+            // The symbolic pattern is shared (reference-counted index
+            // arrays), so a primed model hands its structure to every
+            // clone a sweep spawns; hit/miss counters start fresh so
+            // per-scenario accounting stays per-scenario.
+            pattern: Mutex::new(self.pattern.lock().expect("pattern lock poisoned").clone()),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
+            workspace: Mutex::new(PcgWorkspace::new()),
         }
     }
 }
@@ -235,6 +253,10 @@ impl FvModel {
             bc: [FaceBc::Adiabatic; 6],
             config: SolverConfig::new(),
             stats: Mutex::new(None),
+            pattern: Mutex::new(None),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
+            workspace: Mutex::new(PcgWorkspace::new()),
         }
     }
 
@@ -491,9 +513,58 @@ impl FvModel {
     /// Assembles the operator into shared CSR storage, with an optional
     /// per-cell diagonal addition (the transient capacity term). Rows
     /// are built in parallel across the configured thread count.
+    ///
+    /// The symbolic structure (row pointers and column indices) depends
+    /// only on the grid shape, so it is computed once and cached: every
+    /// later assembly — a new power level, a changed film coefficient,
+    /// the transient capacity matrix — refills coefficient values over
+    /// the cached pattern, skipping the per-row sort and merge. The
+    /// numeric result is bitwise identical either way.
     fn csr(&self, asm: &Assembled, extra_diag: Option<&[f64]>) -> CsrMatrix {
+        let row_fn = self.row_fn(asm, extra_diag);
+        let n = self.grid.cell_count();
+        let threads = self.config.get_threads();
+        let mut cached = self.pattern.lock().expect("pattern lock poisoned");
+        if let Some(pattern) = cached.as_ref() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            CsrMatrix::from_pattern_row_fn(pattern, threads, row_fn)
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let matrix = CsrMatrix::from_row_fn(n, threads, row_fn);
+            *cached = Some(matrix.pattern());
+            matrix
+        }
+    }
+
+    /// Symbolic-cache counters for this model instance:
+    /// `(hits, misses)` — assemblies that reused the cached CSR pattern
+    /// vs. full symbolic builds.
+    pub fn pattern_cache_stats(&self) -> (usize, usize) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Multiplies every heat source by `factor` — the cheap way a power
+    /// sweep re-targets total dissipation without rebuilding the source
+    /// layout.
+    pub fn scale_sources(&mut self, factor: f64) {
+        for s in &mut self.source {
+            *s *= factor;
+        }
+    }
+
+    /// The per-row coefficient callback shared by the full and
+    /// pattern-cached assembly paths (identical push order keeps the
+    /// two bitwise interchangeable).
+    fn row_fn<'a>(
+        &self,
+        asm: &'a Assembled,
+        extra_diag: Option<&'a [f64]>,
+    ) -> impl Fn(usize, &mut Vec<(usize, f64)>) + Sync + 'a {
         let (nx, ny, nz) = (asm.nx, asm.ny, asm.nz);
-        CsrMatrix::from_row_fn(nx * ny * nz, self.config.get_threads(), |c, row| {
+        move |c, row| {
             let i = c % nx;
             let j = (c / nx) % ny;
             let k = c / (nx * ny);
@@ -517,7 +588,7 @@ impl FvModel {
             if k + 1 < nz {
                 row.push((c + nx * ny, -asm.gzp[c]));
             }
-        })
+        }
     }
 
     /// Solves the steady-state temperature field.
@@ -547,11 +618,15 @@ impl FvModel {
         }
         let a = self.csr(&asm, None);
         let cfg = self.config.clone().context("finite-volume steady solve");
-        let sol = solve_sparse(&a, &asm.rhs, &cfg)?;
-        *self.stats.lock().expect("stats lock poisoned") = Some(sol.stats);
+        let mut temperatures = vec![0.0; self.grid.cell_count()];
+        let stats = {
+            let mut ws = self.workspace.lock().expect("workspace lock poisoned");
+            solve_sparse_into(&mut ws, &a, &asm.rhs, &mut temperatures, &cfg)?
+        };
+        *self.stats.lock().expect("stats lock poisoned") = Some(stats);
         Ok(FvField {
             grid: self.grid,
-            temperatures: sol.x,
+            temperatures,
         })
     }
 
@@ -607,10 +682,13 @@ impl FvModel {
             .map(|&rc| rc * vol / dt_seconds)
             .collect();
         let matrix = self.csr(&asm, Some(&cap));
+        let n = self.grid.cell_count();
         Ok(TransientStepper {
             matrix,
             base_rhs: asm.rhs,
             cap,
+            rhs: vec![0.0; n],
+            workspace: PcgWorkspace::with_capacity(n),
             field: initial,
             config: self.config.clone().context("finite-volume transient step"),
             stats: None,
@@ -731,6 +809,8 @@ pub struct TransientStepper {
     matrix: CsrMatrix,
     base_rhs: Vec<f64>,
     cap: Vec<f64>,
+    rhs: Vec<f64>,
+    workspace: PcgWorkspace,
     field: FvField,
     config: SolverConfig,
     stats: Option<SolverStats>,
@@ -740,20 +820,32 @@ impl TransientStepper {
     /// Advances the state by one implicit-Euler step, returning the new
     /// field.
     ///
+    /// The right-hand side is refreshed in place and the solve runs
+    /// over the stepper's own [`PcgWorkspace`], so after the first step
+    /// a long transient run performs no per-step heap allocation
+    /// (beyond the residual history, if recording is enabled on the
+    /// model's [`SolverConfig`]).
+    ///
     /// # Errors
     ///
     /// Returns an error when the cached linear system fails to solve.
     pub fn step(&mut self) -> Result<&FvField, ThermalError> {
-        let rhs: Vec<f64> = self
-            .base_rhs
-            .iter()
-            .zip(&self.cap)
-            .zip(&self.field.temperatures)
-            .map(|((r, c), t)| r + c * t)
-            .collect();
-        let sol = solve_sparse(&self.matrix, &rhs, &self.config)?;
-        self.field.temperatures = sol.x;
-        self.stats = Some(sol.stats);
+        for (dst, ((r, c), t)) in self.rhs.iter_mut().zip(
+            self.base_rhs
+                .iter()
+                .zip(&self.cap)
+                .zip(&self.field.temperatures),
+        ) {
+            *dst = r + c * t;
+        }
+        let stats = solve_sparse_into(
+            &mut self.workspace,
+            &self.matrix,
+            &self.rhs,
+            &mut self.field.temperatures,
+            &self.config,
+        )?;
+        self.stats = Some(stats);
         Ok(&self.field)
     }
 
@@ -790,34 +882,62 @@ impl FvField {
         Ok(Celsius::new(self.temperatures[self.grid.index(i, j, k)?]))
     }
 
+    /// Minimum, maximum and volume-average temperature in one pass over
+    /// the field — the accessor to use when more than one of the three
+    /// is needed (the individual getters below delegate here, so the
+    /// field is never scanned more than once per call).
+    pub fn summary(&self) -> FieldSummary {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &t in &self.temperatures {
+            min = min.min(t);
+            max = max.max(t);
+            sum += t;
+        }
+        FieldSummary {
+            min: Celsius::new(min),
+            max: Celsius::new(max),
+            mean: Celsius::new(sum / self.temperatures.len() as f64),
+        }
+    }
+
     /// The hottest cell temperature.
     pub fn max_temperature(&self) -> Celsius {
-        Celsius::new(
-            self.temperatures
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max),
-        )
+        self.summary().max
     }
 
     /// The coldest cell temperature.
     pub fn min_temperature(&self) -> Celsius {
-        Celsius::new(
-            self.temperatures
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min),
-        )
+        self.summary().min
     }
 
     /// Volume-average temperature.
     pub fn mean_temperature(&self) -> Celsius {
-        Celsius::new(self.temperatures.iter().sum::<f64>() / self.temperatures.len() as f64)
+        self.summary().mean
     }
 
     /// The grid this field lives on.
     pub fn grid(&self) -> &FvGrid {
         &self.grid
+    }
+}
+
+/// Single-pass field statistics returned by [`FvField::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSummary {
+    /// The coldest cell temperature.
+    pub min: Celsius,
+    /// The hottest cell temperature.
+    pub max: Celsius,
+    /// Volume-average temperature.
+    pub mean: Celsius,
+}
+
+impl FieldSummary {
+    /// Max-to-min spread across the field.
+    pub fn spread(&self) -> f64 {
+        self.max.value() - self.min.value()
     }
 }
 
@@ -1076,6 +1196,57 @@ mod tests {
         assert!(stats.converged());
         // The clone carries the recorded stats along.
         assert_eq!(model.clone().last_solve_stats(), Some(stats));
+    }
+
+    #[test]
+    fn pattern_cache_reuses_structure_bitwise() {
+        let grid = FvGrid::new((0.05, 0.05, 0.005), (6, 6, 2)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(5.0), (1, 1, 0), (4, 4, 1))
+            .unwrap();
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
+        assert_eq!(model.pattern_cache_stats(), (0, 0));
+        let first = model.solve_steady().unwrap();
+        assert_eq!(model.pattern_cache_stats(), (0, 1));
+        // Re-solving (and solving at a scaled power) hits the cache and
+        // reproduces the cold-path numbers exactly.
+        let again = model.solve_steady().unwrap();
+        assert_eq!(model.pattern_cache_stats(), (1, 1));
+        assert_eq!(first.temperatures, again.temperatures);
+        model.scale_sources(2.0);
+        assert!((model.total_power().value() - 10.0).abs() < 1e-12);
+        let doubled = model.solve_steady().unwrap();
+        assert_eq!(model.pattern_cache_stats(), (2, 1));
+        let mut cold = FvModel::new(grid, &Material::aluminum_6061());
+        cold.add_power_box(Power::new(10.0), (1, 1, 0), (4, 4, 1))
+            .unwrap();
+        cold.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
+        let reference = cold.solve_steady().unwrap();
+        assert_eq!(doubled.temperatures, reference.temperatures);
+        // Clones inherit the pattern (first solve is already a hit) but
+        // start their own counters.
+        let clone = model.clone();
+        assert_eq!(clone.pattern_cache_stats(), (0, 0));
+        clone.solve_steady().unwrap();
+        assert_eq!(clone.pattern_cache_stats(), (1, 0));
+    }
+
+    #[test]
+    fn summary_matches_individual_scans() {
+        let grid = FvGrid::new((0.05, 0.05, 0.005), (5, 5, 1)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(4.0), (2, 2, 0), (3, 3, 1))
+            .unwrap();
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
+        let field = model.solve_steady().unwrap();
+        let s = field.summary();
+        assert_eq!(s.max, field.max_temperature());
+        assert_eq!(s.min, field.min_temperature());
+        assert_eq!(s.mean, field.mean_temperature());
+        assert!(s.spread() > 0.0);
+        assert!(s.min <= s.mean && s.mean <= s.max);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sweep-engine benchmark runner: builds the workspace in release mode
+# and runs the `sweeps` bench, which times every sweep workload serially
+# and at 2/4 threads, verifies bit-identical results across thread
+# counts, and writes BENCH_sweeps.json at the repository root.
+#
+# Usage:
+#   scripts/bench.sh            # full run, writes BENCH_sweeps.json
+#   scripts/bench.sh --smoke    # tiny CI gate (threads 1/2, no file)
+#
+# Everything runs offline; the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench --bench sweeps $*"
+cargo bench -q --offline -p aeropack-bench --bench sweeps -- "$@"

@@ -16,4 +16,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> sweep bench smoke (tiny grids, 2 threads, determinism gate)"
+# Exits non-zero if any sweep is not bit-identical across thread counts.
+cargo bench -q --offline -p aeropack-bench --bench sweeps -- --smoke
+
 echo "==> CI green"

@@ -14,6 +14,9 @@
 //! * [`envqual`] — DO-160 environmental qualification and reliability.
 //! * [`solver`] — the shared sparse/dense linear solver backend
 //!   (CSR + threaded SpMV, PCG with Jacobi/SSOR, solve statistics).
+//! * [`sweep`] — the deterministic parallel scenario-sweep engine
+//!   (order-preserving thread-scoped runner, `AEROPACK_THREADS`
+//!   configuration, per-sweep solver-stats roll-ups).
 //! * [`design`] — the co-design framework tying it all together
 //!   (three-level thermal analysis, cooling selection, the SEB model).
 //!
@@ -45,6 +48,7 @@ pub use aeropack_envqual as envqual;
 pub use aeropack_fem as fem;
 pub use aeropack_materials as materials;
 pub use aeropack_solver as solver;
+pub use aeropack_sweep as sweep;
 pub use aeropack_thermal as thermal;
 pub use aeropack_tim as tim;
 pub use aeropack_twophase as twophase;
@@ -68,7 +72,11 @@ pub mod prelude {
 
     pub use aeropack_materials::{air_at_sea_level, AirState, Material, WorkingFluid};
 
-    pub use aeropack_solver::{Method, Precond, Solution, SolverConfig, SolverError, SolverStats};
+    pub use aeropack_solver::{
+        Method, PcgWorkspace, Precond, Solution, SolverConfig, SolverError, SolverStats,
+    };
+
+    pub use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
 
     pub use aeropack_fem::{
         modal, random_response, Dof, FemError, HarmonicResponse, ModalResult, Model, PlateMesh,
@@ -76,8 +84,9 @@ pub mod prelude {
     };
 
     pub use aeropack_thermal::{
-        solve_rack_flow, ChannelImpedance, Face, FaceBc, FanCurve, FlowSolution, FvField, FvGrid,
-        FvModel, Network, NodeId, Solution as NetworkSolution, ThermalError, TransientStepper,
+        solve_rack_flow, ChannelImpedance, Face, FaceBc, FanCurve, FieldSummary, FlowSolution,
+        FvField, FvGrid, FvModel, Network, NodeId, Solution as NetworkSolution, ThermalError,
+        TransientStepper,
     };
 
     pub use aeropack_twophase::{HeatPipe, LoopHeatPipe, Thermosyphon, VaporChamber};

@@ -1,0 +1,174 @@
+//! Cross-layer determinism guarantees of the sweep engine: the Fig 10
+//! power sweep, the harmonic frequency sweep and the random-vibration
+//! integral must be **bit-identical** at every thread count, and equal
+//! to the pre-engine serial paths they replaced.
+
+use aeropack::design::{SeatStructure, SebModel};
+use aeropack::fem::{
+    modal, random_response, random_response_with, Dof, HarmonicResponse, PlateMesh, PlateProperties,
+};
+use aeropack::materials::Material;
+use aeropack::sweep::Sweep;
+use aeropack::units::{Celsius, Frequency, Length, Power};
+use aeropack_envqual::Do160Curve;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn fig10_configs() -> Vec<SebModel> {
+    vec![
+        SebModel::cosee(SeatStructure::aluminum(), false, 0.0).expect("model"),
+        SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model"),
+        SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model"),
+    ]
+}
+
+/// Collapses one Fig 10 grid into comparable bit patterns (errors keep
+/// their display string so failure modes must match too).
+fn fig10_bits(
+    rows: &[Vec<Result<aeropack::design::SebOperatingState, aeropack::design::DesignError>>],
+    ambient: Celsius,
+) -> Vec<Result<u64, String>> {
+    rows.iter()
+        .flatten()
+        .map(|point| match point {
+            Ok(state) => Ok(state.dt_pcb_air(ambient).kelvin().to_bits()),
+            Err(e) => Err(e.to_string()),
+        })
+        .collect()
+}
+
+#[test]
+fn fig10_power_sweep_is_bit_identical_across_thread_counts() {
+    let ambient = Celsius::new(25.0);
+    let configs = fig10_configs();
+    let powers: Vec<Power> = (1..=11).map(|i| Power::new(10.0 * i as f64)).collect();
+
+    let (serial_rows, serial_stats) =
+        SebModel::power_sweep(&configs, &powers, ambient, &Sweep::serial());
+    let reference = fig10_bits(&serial_rows, ambient);
+    assert_eq!(serial_stats.scenarios, configs.len() * powers.len());
+
+    for threads in THREAD_COUNTS {
+        let (rows, stats) = SebModel::power_sweep(&configs, &powers, ambient, &Sweep::new(threads));
+        assert_eq!(
+            fig10_bits(&rows, ambient),
+            reference,
+            "Fig 10 sweep diverged at {threads} threads"
+        );
+        // The stats roll-up must not depend on scheduling either.
+        assert_eq!(stats.scenarios, serial_stats.scenarios);
+        assert_eq!(stats.total_iterations, serial_stats.total_iterations);
+        assert_eq!(stats.converged, serial_stats.converged);
+    }
+}
+
+#[test]
+fn fig10_power_sweep_matches_the_old_pointwise_serial_path() {
+    let ambient = Celsius::new(25.0);
+    let configs = fig10_configs();
+    let powers: Vec<Power> = (1..=11).map(|i| Power::new(10.0 * i as f64)).collect();
+
+    let (rows, _) = SebModel::power_sweep(&configs, &powers, ambient, &Sweep::new(8));
+    for (ci, config) in configs.iter().enumerate() {
+        for (pi, &p) in powers.iter().enumerate() {
+            // The pre-engine path: one direct solve per grid point.
+            let old = config.solve(p, ambient);
+            match (&rows[ci][pi], &old) {
+                (Ok(new_state), Ok(old_state)) => assert_eq!(
+                    new_state.dt_pcb_air(ambient).kelvin().to_bits(),
+                    old_state.dt_pcb_air(ambient).kelvin().to_bits(),
+                    "sweep diverged from pointwise solve at config {ci}, {p:?}"
+                ),
+                (Err(new_err), Err(old_err)) => {
+                    assert_eq!(new_err.to_string(), old_err.to_string())
+                }
+                (new, old) => panic!(
+                    "outcome mismatch at config {ci}, {p:?}: sweep {new:?} vs pointwise {old:?}"
+                ),
+            }
+        }
+    }
+}
+
+fn board_response() -> (HarmonicResponse, usize) {
+    let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(2.4))
+        .expect("props")
+        .with_smeared_mass(4.0);
+    let mut mesh = PlateMesh::rectangular(0.14, 0.09, 6, 4, &props).expect("mesh");
+    mesh.pin_all_edges().expect("bc");
+    let modes = modal(&mesh.model, 4).expect("modal");
+    let node = mesh.center_node();
+    (
+        HarmonicResponse::new(&mesh.model, &modes, 0.03).expect("resp"),
+        node,
+    )
+}
+
+#[test]
+fn harmonic_sweep_is_bit_identical_across_thread_counts() {
+    let (resp, node) = board_response();
+    let f_min = Frequency::new(20.0);
+    let f_max = Frequency::new(2000.0);
+    let points = 257;
+
+    let reference: Vec<(u64, u64)> = resp
+        .sweep_with(&Sweep::serial(), node, Dof::W, f_min, f_max, points)
+        .expect("serial sweep")
+        .iter()
+        .map(|(f, a)| (f.value().to_bits(), a.to_bits()))
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        let parallel: Vec<(u64, u64)> = resp
+            .sweep_with(&Sweep::new(threads), node, Dof::W, f_min, f_max, points)
+            .expect("parallel sweep")
+            .iter()
+            .map(|(f, a)| (f.value().to_bits(), a.to_bits()))
+            .collect();
+        assert_eq!(
+            parallel, reference,
+            "harmonic sweep diverged at {threads} threads"
+        );
+    }
+
+    // The old serial path computed exactly this loop in frequency
+    // order; reproduce it point by point against the engine output.
+    let log_min = f_min.value().ln();
+    let log_max = f_max.value().ln();
+    for (i, &(f_bits, _)) in reference.iter().enumerate() {
+        let f = (log_min + (log_max - log_min) * i as f64 / (points - 1) as f64).exp();
+        assert_eq!(f.to_bits(), f_bits, "frequency grid changed at point {i}");
+    }
+}
+
+#[test]
+fn random_response_is_bit_identical_across_thread_counts() {
+    let (resp, node) = board_response();
+    let psd = Do160Curve::C1.psd();
+
+    let reference = random_response_with(&Sweep::serial(), &resp, node, Dof::W, &psd)
+        .expect("serial random response");
+    // `random_response` itself reads AEROPACK_THREADS; exercise the
+    // explicit-runner path at every count and the env path once.
+    for threads in THREAD_COUNTS {
+        let parallel = random_response_with(&Sweep::new(threads), &resp, node, Dof::W, &psd)
+            .expect("parallel random response");
+        assert_eq!(
+            parallel.accel_grms.to_bits(),
+            reference.accel_grms.to_bits(),
+            "g_rms diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.disp_rms.to_bits(),
+            reference.disp_rms.to_bits(),
+            "displacement RMS diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.characteristic_frequency.value().to_bits(),
+            reference.characteristic_frequency.value().to_bits(),
+            "characteristic frequency diverged at {threads} threads"
+        );
+    }
+    let via_env = random_response(&resp, node, Dof::W, &psd).expect("env-path random response");
+    assert_eq!(via_env.accel_grms.to_bits(), reference.accel_grms.to_bits());
+}
