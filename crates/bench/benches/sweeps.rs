@@ -195,7 +195,7 @@ fn bench_fv_power_scale(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
             let solver = model.last_solve_stats().expect("stats");
             let (hits, misses) = model.pattern_cache_stats();
             (
-                field.summary(),
+                field.summary().expect("non-degenerate field"),
                 ScenarioStats::from_solver(&solver).with_cache(hits, misses),
             )
         })

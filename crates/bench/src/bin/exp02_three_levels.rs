@@ -50,7 +50,7 @@ fn main() {
     // Level 3: junctions.
     let l3 = level3(&pcb, &l2_model, &field, None).expect("level 3");
 
-    let summary = field.summary();
+    let summary = field.summary().expect("non-degenerate field");
     let mut t = Table::new(&["level", "quantity", "value (°C)"]);
     t.row(&[
         "L1 equipment".to_string(),
@@ -94,7 +94,7 @@ fn main() {
         let scaled = l2_model.with_power_scale(scale).expect("scaled model");
         let f = scaled.solve().expect("scaled solve");
         let (hits, misses) = scaled.pattern_cache_stats();
-        (f.summary().max, hits, misses)
+        (f.summary().expect("non-degenerate field").max, hits, misses)
     });
     print!("L2 board peak vs power scale:");
     for (scale, (peak, _, _)) in scales.iter().zip(&results) {

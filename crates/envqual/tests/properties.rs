@@ -1,22 +1,24 @@
 //! Property-style tests of the qualification and reliability models,
-//! driven by the deterministic in-repo [`SplitMix64`] generator so the
-//! suite runs fully offline.
+//! driven through the [`aeropack_verify`] harness: failures shrink to a
+//! minimal counterexample and print a one-line reproducer seed.
 
 use aeropack_envqual::{
     steinberg_allowable_deflection, ComponentStyle, Environment, PartGroup, PartKind,
     ReliabilityModel, SolderAttachment, ThermalCycleProfile,
 };
-use aeropack_units::{Celsius, Length, SplitMix64, TempRate};
+use aeropack_units::{Celsius, Length, TempRate};
+use aeropack_verify::{check, ensure, tuple3, Gen};
 
 const CASES: u64 = 48;
 
 #[test]
 fn steinberg_scaling_laws() {
-    let mut rng = SplitMix64::new(0xe9a1_0001);
-    for _ in 0..CASES {
-        let edge_mm = rng.range_f64(80.0, 300.0);
-        let t_mm = rng.range_f64(1.0, 3.2);
-        let comp_mm = rng.range_f64(5.0, 50.0);
+    let gen = tuple3(
+        &Gen::f64_range(80.0, 300.0),
+        &Gen::f64_range(1.0, 3.2),
+        &Gen::f64_range(5.0, 50.0),
+    );
+    check(0xe9a1_0001, CASES, &gen, |&(edge_mm, t_mm, comp_mm)| {
         let z = |e: f64, t: f64, c: f64| {
             steinberg_allowable_deflection(
                 Length::from_millimeters(e),
@@ -30,73 +32,80 @@ fn steinberg_scaling_laws() {
         };
         let base = z(edge_mm, t_mm, comp_mm);
         // Linear in board edge.
-        assert!((z(2.0 * edge_mm, t_mm, comp_mm) - 2.0 * base).abs() < 1e-9 * base);
+        ensure!((z(2.0 * edge_mm, t_mm, comp_mm) - 2.0 * base).abs() < 1e-9 * base);
         // Inverse in thickness.
-        assert!((z(edge_mm, 2.0 * t_mm, comp_mm) - base / 2.0).abs() < 1e-9 * base);
+        ensure!((z(edge_mm, 2.0 * t_mm, comp_mm) - base / 2.0).abs() < 1e-9 * base);
         // Inverse square-root in component length.
-        assert!((z(edge_mm, t_mm, 4.0 * comp_mm) - base / 2.0).abs() < 1e-9 * base);
-    }
+        ensure!((z(edge_mm, t_mm, 4.0 * comp_mm) - base / 2.0).abs() < 1e-9 * base);
+        Ok(())
+    });
 }
 
 #[test]
 fn engelmaier_life_monotone_in_swing() {
-    let mut rng = SplitMix64::new(0xe9a1_0002);
-    for _ in 0..CASES {
-        let cold = rng.range_f64(-55.0, 0.0);
-        let hot1 = rng.range_f64(40.0, 80.0);
-        let widen = rng.range_f64(5.0, 60.0);
+    let gen = tuple3(
+        &Gen::f64_range(-55.0, 0.0),
+        &Gen::f64_range(40.0, 80.0),
+        &Gen::f64_range(5.0, 60.0),
+    );
+    check(0xe9a1_0002, CASES, &gen, |&(cold, hot1, widen)| {
         let attach = SolderAttachment::ceramic_on_fr4(
             Length::from_millimeters(8.0),
             Length::from_micrometers(120.0),
         );
-        let mild = ThermalCycleProfile::new(
-            Celsius::new(cold),
-            Celsius::new(hot1),
-            TempRate::per_minute(5.0),
-            600.0,
-        )
-        .unwrap();
-        let harsh = ThermalCycleProfile::new(
-            Celsius::new(cold),
-            Celsius::new(hot1 + widen),
-            TempRate::per_minute(5.0),
-            600.0,
-        )
-        .unwrap();
-        let n_mild = attach.cycles_to_failure(&mild).unwrap();
-        let n_harsh = attach.cycles_to_failure(&harsh).unwrap();
-        assert!(n_harsh < n_mild, "wider swing must shorten life");
-        assert!(n_harsh > 0.0);
-    }
+        let profile = |hot: f64| {
+            ThermalCycleProfile::new(
+                Celsius::new(cold),
+                Celsius::new(hot),
+                TempRate::per_minute(5.0),
+                600.0,
+            )
+            .map_err(|e| e.to_string())
+        };
+        let n_mild = attach
+            .cycles_to_failure(&profile(hot1)?)
+            .map_err(|e| e.to_string())?;
+        let n_harsh = attach
+            .cycles_to_failure(&profile(hot1 + widen)?)
+            .map_err(|e| e.to_string())?;
+        ensure!(
+            n_harsh < n_mild,
+            "wider swing must shorten life: {n_harsh} vs {n_mild}"
+        );
+        ensure!(n_harsh > 0.0);
+        Ok(())
+    });
 }
 
 #[test]
 fn engelmaier_life_monotone_in_joint_height() {
-    let mut rng = SplitMix64::new(0xe9a1_0003);
-    for _ in 0..CASES {
-        let h1_um = rng.range_f64(60.0, 150.0);
-        let grow = rng.range_f64(1.2, 2.5);
-        let profile = ThermalCycleProfile::date2010_shock().unwrap();
-        let short = SolderAttachment::ceramic_on_fr4(
-            Length::from_millimeters(8.0),
-            Length::from_micrometers(h1_um),
+    let gen = Gen::f64_range(60.0, 150.0).zip(&Gen::f64_range(1.2, 2.5));
+    check(0xe9a1_0003, CASES, &gen, |&(h1_um, grow)| {
+        let profile = ThermalCycleProfile::date2010_shock().map_err(|e| e.to_string())?;
+        let joint = |h_um: f64| {
+            SolderAttachment::ceramic_on_fr4(
+                Length::from_millimeters(8.0),
+                Length::from_micrometers(h_um),
+            )
+        };
+        let short = joint(h1_um)
+            .cycles_to_failure(&profile)
+            .map_err(|e| e.to_string())?;
+        let tall = joint(h1_um * grow)
+            .cycles_to_failure(&profile)
+            .map_err(|e| e.to_string())?;
+        ensure!(
+            tall > short,
+            "taller joint must live longer: {tall} vs {short}"
         );
-        let tall = SolderAttachment::ceramic_on_fr4(
-            Length::from_millimeters(8.0),
-            Length::from_micrometers(h1_um * grow),
-        );
-        assert!(
-            tall.cycles_to_failure(&profile).unwrap() > short.cycles_to_failure(&profile).unwrap()
-        );
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn arrhenius_monotone_and_unity_at_reference() {
-    let mut rng = SplitMix64::new(0xe9a1_0004);
-    for _ in 0..CASES {
-        let t1 = rng.range_f64(40.0, 120.0);
-        let dt = rng.range_f64(1.0, 40.0);
+    let gen = Gen::f64_range(40.0, 120.0).zip(&Gen::f64_range(1.0, 40.0));
+    check(0xe9a1_0004, CASES, &gen, |&(t1, dt)| {
         for kind in [
             PartKind::Microprocessor,
             PartKind::PowerSemiconductor,
@@ -105,30 +114,32 @@ fn arrhenius_monotone_and_unity_at_reference() {
         ] {
             let f1 = kind.temperature_factor(Celsius::new(t1));
             let f2 = kind.temperature_factor(Celsius::new(t1 + dt));
-            assert!(f2 > f1, "{kind:?} must accelerate with temperature");
-            assert!(f1 >= 1.0 - 1e-12, "above the 40 °C reference");
+            ensure!(f2 > f1, "{kind:?} must accelerate with temperature");
+            ensure!(f1 >= 1.0 - 1e-12, "above the 40 °C reference");
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn mtbf_additivity() {
-    let mut rng = SplitMix64::new(0xe9a1_0005);
-    for _ in 0..CASES {
-        let n1 = 1 + (rng.next_u64() % 49) as usize;
-        let n2 = 1 + (rng.next_u64() % 49) as usize;
-        let tj = rng.range_f64(40.0, 110.0);
+    let gen = tuple3(
+        &Gen::usize_range(1, 50),
+        &Gen::usize_range(1, 50),
+        &Gen::f64_range(40.0, 110.0),
+    );
+    check(0xe9a1_0005, CASES, &gen, |&(n1, n2, tj)| {
         // Failure rates add: λ(A∪B) = λ(A) + λ(B).
         let t = Celsius::new(tj);
-        let single = |kind: PartKind, count: usize| {
+        let single = |kind: PartKind, count: usize| -> Result<f64, String> {
             let mut m = ReliabilityModel::new(Environment::AirborneInhabited);
             m.add(PartGroup {
                 kind,
                 count,
                 junction: t,
             })
-            .unwrap();
-            m.failure_rate_per_hour()
+            .map_err(|e| e.to_string())?;
+            Ok(m.failure_rate_per_hour())
         };
         let mut both = ReliabilityModel::new(Environment::AirborneInhabited);
         both.add(PartGroup {
@@ -136,26 +147,30 @@ fn mtbf_additivity() {
             count: n1,
             junction: t,
         })
-        .unwrap();
+        .map_err(|e| e.to_string())?;
         both.add(PartGroup {
             kind: PartKind::Resistor,
             count: n2,
             junction: t,
         })
-        .unwrap();
-        let sum = single(PartKind::Memory, n1) + single(PartKind::Resistor, n2);
-        assert!((both.failure_rate_per_hour() - sum).abs() < 1e-18);
-    }
+        .map_err(|e| e.to_string())?;
+        let sum = single(PartKind::Memory, n1)? + single(PartKind::Resistor, n2)?;
+        ensure!(
+            (both.failure_rate_per_hour() - sum).abs() < 1e-18,
+            "λ(A∪B) = {}, λ(A)+λ(B) = {sum}",
+            both.failure_rate_per_hour()
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn cycle_waveform_stays_within_extremes() {
-    let mut rng = SplitMix64::new(0xe9a1_0006);
-    for _ in 0..CASES {
-        let t_frac = rng.range_f64(0.0, 4.0);
-        let p = ThermalCycleProfile::date2010_shock().unwrap();
+    check(0xe9a1_0006, CASES, &Gen::f64_range(0.0, 4.0), |&t_frac| {
+        let p = ThermalCycleProfile::date2010_shock().map_err(|e| e.to_string())?;
         let t = p.temperature_at(t_frac * p.cycle_duration_seconds());
-        assert!(t >= p.cold() - aeropack_units::TempDelta::new(1e-9));
-        assert!(t <= p.hot() + aeropack_units::TempDelta::new(1e-9));
-    }
+        ensure!(t >= p.cold() - aeropack_units::TempDelta::new(1e-9));
+        ensure!(t <= p.hot() + aeropack_units::TempDelta::new(1e-9));
+        Ok(())
+    });
 }

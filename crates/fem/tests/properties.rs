@@ -1,66 +1,76 @@
 //! Property-style tests of the structural solver's invariants, driven
-//! by the deterministic in-repo [`SplitMix64`] generator so the suite
-//! runs fully offline.
+//! through the [`aeropack_verify`] harness: failures shrink to a
+//! minimal counterexample and print a one-line reproducer seed.
 
 use aeropack_fem::{modal, Dof, PlateMesh, PlateProperties, PsdCurve, Sdof};
 use aeropack_materials::Material;
-use aeropack_units::{AccelPsd, Frequency, Length, Mass, SplitMix64};
+use aeropack_units::{AccelPsd, Frequency, Length, Mass};
+use aeropack_verify::{check, ensure, tuple3, tuple5, Gen};
 
 const CASES: u64 = 24;
 
 #[test]
 fn plate_mass_is_exact_for_any_geometry() {
-    let mut rng = SplitMix64::new(0xfe11_0001);
-    for _ in 0..CASES {
-        let lx = rng.range_f64(0.05, 0.4);
-        let ly = rng.range_f64(0.05, 0.4);
-        let t_mm = rng.range_f64(0.8, 4.0);
-        let extra = rng.range_f64(0.0, 6.0);
-        let nx = 2 + (rng.next_u64() % 3) as usize;
-        let ny = 2 + (rng.next_u64() % 3) as usize;
-        let props =
-            PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(t_mm))
-                .unwrap()
-                .with_smeared_mass(extra);
-        let mesh = PlateMesh::rectangular(lx, ly, nx, ny, &props).unwrap();
-        let exact = props.areal_mass * lx * ly;
-        let got = mesh.model.total_mass().value();
-        assert!((got - exact).abs() < 1e-9 * exact, "{got} vs {exact}");
-    }
+    let gen = tuple5(
+        &Gen::f64_range(0.05, 0.4).zip(&Gen::f64_range(0.05, 0.4)),
+        &Gen::f64_range(0.8, 4.0),
+        &Gen::f64_range(0.0, 6.0),
+        &Gen::usize_range(2, 5),
+        &Gen::usize_range(2, 5),
+    );
+    check(
+        0xfe11_0001,
+        CASES,
+        &gen,
+        |&((lx, ly), t_mm, extra, nx, ny)| {
+            let props =
+                PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(t_mm))
+                    .map_err(|e| e.to_string())?
+                    .with_smeared_mass(extra);
+            let mesh = PlateMesh::rectangular(lx, ly, nx, ny, &props).map_err(|e| e.to_string())?;
+            let exact = props.areal_mass * lx * ly;
+            let got = mesh.model.total_mass().value();
+            ensure!((got - exact).abs() < 1e-9 * exact, "{got} vs {exact}");
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn modal_frequencies_positive_and_sorted() {
-    let mut rng = SplitMix64::new(0xfe11_0002);
-    for _ in 0..8 {
-        let lx = rng.range_f64(0.1, 0.35);
-        let ly = rng.range_f64(0.1, 0.35);
-        let t_mm = rng.range_f64(1.0, 3.0);
+    let gen = tuple3(
+        &Gen::f64_range(0.1, 0.35),
+        &Gen::f64_range(0.1, 0.35),
+        &Gen::f64_range(1.0, 3.0),
+    );
+    check(0xfe11_0002, 8, &gen, |&(lx, ly, t_mm)| {
         let props = PlateProperties::from_material(
             &Material::aluminum_6061(),
             Length::from_millimeters(t_mm),
         )
-        .unwrap();
-        let mut mesh = PlateMesh::rectangular(lx, ly, 4, 4, &props).unwrap();
-        mesh.simply_support_edges().unwrap();
-        let modes = modal(&mesh.model, 3).unwrap();
+        .map_err(|e| e.to_string())?;
+        let mut mesh = PlateMesh::rectangular(lx, ly, 4, 4, &props).map_err(|e| e.to_string())?;
+        mesh.simply_support_edges().map_err(|e| e.to_string())?;
+        let modes = modal(&mesh.model, 3).map_err(|e| e.to_string())?;
         let f = modes.frequencies();
-        assert!(f[0].value() > 0.0);
-        assert!(f.windows(2).all(|w| w[0].value() <= w[1].value() + 1e-9));
+        ensure!(f[0].value() > 0.0, "fundamental must be positive");
+        ensure!(
+            f.windows(2).all(|w| w[0].value() <= w[1].value() + 1e-9),
+            "frequencies must ascend"
+        );
         // Mass capture of three modes stays within (0, 1].
         let capture = modes.mass_capture();
-        assert!(capture > 0.0 && capture <= 1.0 + 1e-9, "capture {capture}");
+        ensure!(capture > 0.0 && capture <= 1.0 + 1e-9, "capture {capture}");
         // Every modal solve leaves a stats trail on the model.
-        assert!(mesh.model.last_solve_stats().is_some());
-    }
+        ensure!(mesh.model.last_solve_stats().is_some());
+        Ok(())
+    });
 }
 
 #[test]
 fn thicker_plates_ring_higher() {
-    let mut rng = SplitMix64::new(0xfe11_0003);
-    for _ in 0..8 {
-        let t1_mm = rng.range_f64(0.8, 2.0);
-        let factor = rng.range_f64(1.3, 2.5);
+    let gen = Gen::f64_range(0.8, 2.0).zip(&Gen::f64_range(1.3, 2.5));
+    check(0xfe11_0003, 8, &gen, |&(t1_mm, factor)| {
         let build = |t_mm: f64| {
             let props =
                 PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(t_mm))
@@ -73,91 +83,108 @@ fn thicker_plates_ring_higher() {
         let f1 = build(t1_mm);
         let f2 = build(t1_mm * factor);
         let ratio = f2 / f1;
-        assert!(
+        ensure!(
             (ratio - factor).abs() / factor < 0.02,
             "ratio {ratio} vs {factor}"
         );
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn added_mass_never_raises_a_frequency() {
-    let mut rng = SplitMix64::new(0xfe11_0004);
-    for _ in 0..8 {
-        let extra_grams = rng.range_f64(10.0, 500.0);
-        let props = PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(1.6))
-            .unwrap();
-        let build = |grams: f64| {
-            let mut mesh = PlateMesh::rectangular(0.16, 0.1, 4, 3, &props).unwrap();
-            mesh.simply_support_edges().unwrap();
-            let c = mesh.center_node();
-            mesh.model
-                .add_lumped_mass(c, Mass::from_grams(grams))
-                .unwrap();
-            modal(&mesh.model, 1).unwrap().fundamental().value()
-        };
-        let f_light = build(1.0);
-        let f_heavy = build(extra_grams);
-        assert!(f_heavy <= f_light + 1e-9);
-    }
+    check(
+        0xfe11_0004,
+        8,
+        &Gen::f64_range(10.0, 500.0),
+        |&extra_grams| {
+            let props =
+                PlateProperties::from_material(&Material::fr4(), Length::from_millimeters(1.6))
+                    .map_err(|e| e.to_string())?;
+            let build = |grams: f64| {
+                let mut mesh = PlateMesh::rectangular(0.16, 0.1, 4, 3, &props).unwrap();
+                mesh.simply_support_edges().unwrap();
+                let c = mesh.center_node();
+                mesh.model
+                    .add_lumped_mass(c, Mass::from_grams(grams))
+                    .unwrap();
+                modal(&mesh.model, 1).unwrap().fundamental().value()
+            };
+            let f_light = build(1.0);
+            let f_heavy = build(extra_grams);
+            ensure!(
+                f_heavy <= f_light + 1e-9,
+                "{extra_grams} g raised {f_light} Hz to {f_heavy} Hz"
+            );
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn static_solution_satisfies_equilibrium() {
-    let mut rng = SplitMix64::new(0xfe11_0005);
-    for _ in 0..8 {
-        let load = rng.range_f64(1.0, 100.0);
+    check(0xfe11_0005, 8, &Gen::f64_range(1.0, 100.0), |&load| {
         let props = PlateProperties::from_material(
             &Material::aluminum_6061(),
             Length::from_millimeters(2.0),
         )
-        .unwrap();
-        let mut mesh = PlateMesh::rectangular(0.2, 0.2, 4, 4, &props).unwrap();
-        mesh.simply_support_edges().unwrap();
+        .map_err(|e| e.to_string())?;
+        let mut mesh = PlateMesh::rectangular(0.2, 0.2, 4, 4, &props).map_err(|e| e.to_string())?;
+        mesh.simply_support_edges().map_err(|e| e.to_string())?;
         let c = mesh.center_node();
-        let u = mesh.model.solve_static(&[(c, Dof::W, load)]).unwrap();
+        let u = mesh
+            .model
+            .solve_static(&[(c, Dof::W, load)])
+            .map_err(|e| e.to_string())?;
         // K·u reproduces the load at the loaded free DOF.
         let f = mesh.model.stiffness().matvec(&u);
-        let idx = mesh.model.dof_index(c, Dof::W).unwrap();
-        assert!((f[idx] - load).abs() < 1e-6 * load, "f = {}", f[idx]);
+        let idx = mesh.model.dof_index(c, Dof::W).map_err(|e| e.to_string())?;
+        ensure!((f[idx] - load).abs() < 1e-6 * load, "f = {}", f[idx]);
         // Linearity: doubling the load doubles the response.
-        let u2 = mesh.model.solve_static(&[(c, Dof::W, 2.0 * load)]).unwrap();
-        assert!((u2[idx] - 2.0 * u[idx]).abs() < 1e-9 * u[idx].abs().max(1e-30));
+        let u2 = mesh
+            .model
+            .solve_static(&[(c, Dof::W, 2.0 * load)])
+            .map_err(|e| e.to_string())?;
+        ensure!((u2[idx] - 2.0 * u[idx]).abs() < 1e-9 * u[idx].abs().max(1e-30));
         // And the solve left its statistics behind.
-        let stats = mesh.model.last_solve_stats().unwrap();
-        assert_eq!(stats.context, "static solve");
-    }
+        let stats = mesh.model.last_solve_stats().ok_or("no stats recorded")?;
+        ensure!(stats.context == "static solve");
+        Ok(())
+    });
 }
 
 #[test]
 fn psd_grms_scales_as_sqrt() {
-    let mut rng = SplitMix64::new(0xfe11_0006);
-    for _ in 0..CASES {
-        let scale = rng.range_f64(0.1, 10.0);
+    check(0xfe11_0006, CASES, &Gen::f64_range(0.1, 10.0), |&scale| {
         let curve = PsdCurve::new(vec![
             (Frequency::new(20.0), AccelPsd::new(0.005)),
             (Frequency::new(100.0), AccelPsd::new(0.02)),
             (Frequency::new(1000.0), AccelPsd::new(0.02)),
             (Frequency::new(2000.0), AccelPsd::new(0.005)),
         ])
-        .unwrap();
-        let scaled = curve.scaled(scale).unwrap();
+        .map_err(|e| e.to_string())?;
+        let scaled = curve.scaled(scale).map_err(|e| e.to_string())?;
         let expect = curve.grms() * scale.sqrt();
-        assert!((scaled.grms() - expect).abs() < 1e-9 * expect);
-    }
+        ensure!(
+            (scaled.grms() - expect).abs() < 1e-9 * expect,
+            "grms({scale}×) = {}, expected {expect}",
+            scaled.grms()
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn sdof_transmissibility_crosses_unity_at_sqrt2() {
-    let mut rng = SplitMix64::new(0xfe11_0007);
-    for _ in 0..CASES {
-        let fn_hz = rng.range_f64(20.0, 500.0);
-        let zeta = rng.range_f64(0.01, 0.4);
-        let osc = Sdof::from_frequency(Frequency::new(fn_hz), Mass::new(1.0), zeta).unwrap();
+    let gen = Gen::f64_range(20.0, 500.0).zip(&Gen::f64_range(0.01, 0.4));
+    check(0xfe11_0007, CASES, &gen, |&(fn_hz, zeta)| {
+        let osc = Sdof::from_frequency(Frequency::new(fn_hz), Mass::new(1.0), zeta)
+            .map_err(|e| e.to_string())?;
         let t = osc.transmissibility(osc.crossover_frequency());
-        assert!((t - 1.0).abs() < 1e-9, "|T(√2 fn)| = {t}");
+        ensure!((t - 1.0).abs() < 1e-9, "|T(√2 fn)| = {t}");
         // Amplification below crossover, attenuation above.
-        assert!(osc.transmissibility(Frequency::new(fn_hz)) > 1.0);
-        assert!(osc.transmissibility(Frequency::new(3.0 * fn_hz)) < 1.0);
-    }
+        ensure!(osc.transmissibility(Frequency::new(fn_hz)) > 1.0);
+        ensure!(osc.transmissibility(Frequency::new(3.0 * fn_hz)) < 1.0);
+        Ok(())
+    });
 }

@@ -254,11 +254,16 @@ pub fn solve_operator(
 /// workspace and CSR traversal — the batched path scenario sweeps use
 /// when many load cases share one operator.
 ///
+/// A `k = 0` batch (empty `rhs_block`) is a well-defined degenerate
+/// case and returns an empty solution list; a `k = 1` batch is
+/// bit-identical to the corresponding [`solve_sparse`] call.
+///
 /// # Errors
 ///
-/// [`SolverError::InvalidInput`] when `rhs_block` is empty or not a
-/// multiple of `n`; otherwise the per-RHS contract of
-/// [`solve_sparse`] (the first failing RHS aborts the batch).
+/// [`SolverError::InvalidInput`] when the matrix is empty or
+/// `rhs_block` is not a multiple of `n`; otherwise the per-RHS
+/// contract of [`solve_sparse`] (the first failing RHS aborts the
+/// batch).
 pub fn solve_multi_rhs(
     a: &CsrMatrix,
     rhs_block: &[f64],
@@ -280,9 +285,12 @@ pub fn solve_multi_rhs_with(
     cfg: &SolverConfig,
 ) -> Result<Vec<Solution>, SolverError> {
     let n = a.n();
-    if n == 0 || rhs_block.is_empty() || !rhs_block.len().is_multiple_of(n) {
+    if n == 0 {
+        return Err(SolverError::invalid("matrix has no rows"));
+    }
+    if !rhs_block.len().is_multiple_of(n) {
         return Err(SolverError::invalid(format!(
-            "rhs block length {} is not a positive multiple of n={n}",
+            "rhs block length {} is not a multiple of n={n}",
             rhs_block.len()
         )));
     }
@@ -568,9 +576,23 @@ mod tests {
             solve_multi_rhs(&a, &[1.0; 7], &SolverConfig::new()),
             Err(SolverError::InvalidInput { .. })
         ));
-        assert!(matches!(
-            solve_multi_rhs(&a, &[], &SolverConfig::new()),
-            Err(SolverError::InvalidInput { .. })
-        ));
+    }
+
+    #[test]
+    fn multi_rhs_degenerate_batches() {
+        let a = laplacian(6);
+        // k = 0: a well-defined empty batch, not an error.
+        let empty = solve_multi_rhs(&a, &[], &SolverConfig::new()).unwrap();
+        assert!(empty.is_empty());
+        // k = 1: bit-identical to the single-RHS path.
+        let b: Vec<f64> = (0..6).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+        let cfg = SolverConfig::new().tolerance(1e-12);
+        let batch = solve_multi_rhs(&a, &b, &cfg).unwrap();
+        let single = solve_sparse(&a, &b, &cfg).unwrap();
+        assert_eq!(batch.len(), 1);
+        for (p, q) in batch[0].x.iter().zip(&single.x) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        assert_eq!(batch[0].stats.iterations, single.stats.iterations);
     }
 }

@@ -84,10 +84,19 @@ impl Sweep {
 
     /// Reads the worker count from `AEROPACK_THREADS`, falling back to
     /// the machine's available parallelism when the variable is unset
-    /// or unparseable.
+    /// or unparseable (see [`Sweep::from_env_value`] for the exact
+    /// parsing contract).
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
+        Self::from_env_value(std::env::var(THREADS_ENV).ok().as_deref())
+    }
+
+    /// The pure parsing half of [`Sweep::from_env`], testable without
+    /// mutating the process environment: `Some("4")` (whitespace
+    /// tolerated) selects 4 workers; `None`, `Some("0")` and anything
+    /// unparseable (`"garbage"`, `""`, `"-2"`) fall back to the
+    /// machine's available parallelism.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let threads = value
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&t| t >= 1)
             .unwrap_or_else(|| {

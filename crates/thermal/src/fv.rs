@@ -886,35 +886,61 @@ impl FvField {
     /// the field — the accessor to use when more than one of the three
     /// is needed (the individual getters below delegate here, so the
     /// field is never scanned more than once per call).
-    pub fn summary(&self) -> FieldSummary {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a degenerate field: no cells (min/max of an
+    /// empty set is undefined — the old behaviour returned ±∞ and a NaN
+    /// mean) or any non-finite temperature (`f64::min`/`max` silently
+    /// skip NaN, so a poisoned field would otherwise report a healthy
+    /// min/max around a NaN mean).
+    pub fn summary(&self) -> Result<FieldSummary, ThermalError> {
+        if self.temperatures.is_empty() {
+            return Err(ThermalError::invalid(
+                "cannot summarise an empty temperature field",
+            ));
+        }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
         for &t in &self.temperatures {
+            if !t.is_finite() {
+                return Err(ThermalError::invalid(
+                    "temperature field contains a non-finite value",
+                ));
+            }
             min = min.min(t);
             max = max.max(t);
             sum += t;
         }
-        FieldSummary {
+        Ok(FieldSummary {
             min: Celsius::new(min),
             max: Celsius::new(max),
             mean: Celsius::new(sum / self.temperatures.len() as f64),
-        }
+        })
     }
 
-    /// The hottest cell temperature.
+    /// Number of cells in the field.
+    pub fn cell_count(&self) -> usize {
+        self.temperatures.len()
+    }
+
+    /// The hottest cell temperature (NaN for a degenerate field — use
+    /// [`FvField::summary`] for checked access).
     pub fn max_temperature(&self) -> Celsius {
-        self.summary().max
+        self.summary().map_or(Celsius::new(f64::NAN), |s| s.max)
     }
 
-    /// The coldest cell temperature.
+    /// The coldest cell temperature (NaN for a degenerate field — use
+    /// [`FvField::summary`] for checked access).
     pub fn min_temperature(&self) -> Celsius {
-        self.summary().min
+        self.summary().map_or(Celsius::new(f64::NAN), |s| s.min)
     }
 
-    /// Volume-average temperature.
+    /// Volume-average temperature (NaN for a degenerate field — use
+    /// [`FvField::summary`] for checked access).
     pub fn mean_temperature(&self) -> Celsius {
-        self.summary().mean
+        self.summary().map_or(Celsius::new(f64::NAN), |s| s.mean)
     }
 
     /// The grid this field lives on.
@@ -1241,12 +1267,43 @@ mod tests {
             .unwrap();
         model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
         let field = model.solve_steady().unwrap();
-        let s = field.summary();
+        let s = field.summary().unwrap();
         assert_eq!(s.max, field.max_temperature());
         assert_eq!(s.min, field.min_temperature());
         assert_eq!(s.mean, field.mean_temperature());
         assert!(s.spread() > 0.0);
         assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn summary_rejects_degenerate_fields() {
+        // No public constructor produces these (FvGrid forbids zero
+        // cells), but the accessor must stay well-defined if one ever
+        // appears: the old code returned min = +∞, max = −∞, mean = NaN.
+        let grid = FvGrid::new((0.01, 0.01, 0.01), (1, 1, 1)).unwrap();
+        let empty = FvField {
+            grid,
+            temperatures: Vec::new(),
+        };
+        assert!(empty.summary().is_err());
+        assert!(empty.max_temperature().value().is_nan());
+        assert!(empty.min_temperature().value().is_nan());
+        assert!(empty.mean_temperature().value().is_nan());
+        assert_eq!(empty.cell_count(), 0);
+
+        let poisoned = FvField {
+            grid,
+            temperatures: vec![f64::NAN],
+        };
+        assert!(poisoned.summary().is_err());
+        assert!(poisoned.mean_temperature().value().is_nan());
+
+        let healthy = FvModel::new(grid, &Material::aluminum_6061())
+            .uniform_field(Celsius::new(25.0))
+            .summary()
+            .unwrap();
+        assert_eq!(healthy.min, healthy.max);
+        assert_eq!(healthy.mean.value(), 25.0);
     }
 
     #[test]

@@ -1,47 +1,55 @@
 //! Property-style tests of the thermal solvers' conservation and
-//! reciprocity invariants, driven by a deterministic in-repo PRNG so
-//! the suite runs fully offline.
+//! reciprocity invariants, driven through the [`aeropack_verify`]
+//! harness: failures shrink to a minimal counterexample and print a
+//! one-line reproducer seed.
 
 use aeropack_materials::Material;
 use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, Network};
-use aeropack_units::{Celsius, HeatTransferCoeff, Power, SplitMix64, ThermalResistance};
+use aeropack_units::{Celsius, HeatTransferCoeff, Power, ThermalResistance};
+use aeropack_verify::{check, ensure, tuple3, tuple4, tuple5, Gen};
 
 const CASES: u64 = 32;
 
 #[test]
 fn fv_dirichlet_energy_balance() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0x5eed_0001 + case);
-        let nx = 2 + (rng.next_u64() % 6) as usize;
-        let ny = 2 + (rng.next_u64() % 4) as usize;
-        let nz = 1 + (rng.next_u64() % 2) as usize;
-        let q = rng.range_f64(0.5, 80.0);
-        let t_hot = rng.range_f64(20.0, 120.0);
-        let grid = FvGrid::new((0.1, 0.08, 0.01), (nx, ny, nz)).unwrap();
+    let gen = tuple5(
+        &Gen::usize_range(2, 8),
+        &Gen::usize_range(2, 6),
+        &Gen::usize_range(1, 3),
+        &Gen::f64_range(0.5, 80.0),
+        &Gen::f64_range(20.0, 120.0),
+    );
+    check(0x5eed_0001, CASES, &gen, |&(nx, ny, nz, q, t_hot)| {
+        let grid = FvGrid::new((0.1, 0.08, 0.01), (nx, ny, nz)).map_err(|e| e.to_string())?;
         let mut model = FvModel::new(grid, &Material::copper());
         model
             .add_power_box(Power::new(q), (0, 0, 0), (nx, ny, nz))
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(t_hot)));
         model.set_face_bc(Face::XMax, FaceBc::FixedTemperature(Celsius::new(0.0)));
-        let field = model.solve_steady().unwrap();
-        let out: f64 = Face::ALL
-            .iter()
-            .map(|&f| model.boundary_heat(&field, f).unwrap().value())
-            .sum();
+        let field = model.solve_steady().map_err(|e| e.to_string())?;
+        let mut out = 0.0;
+        for &f in Face::ALL.iter() {
+            out += model
+                .boundary_heat(&field, f)
+                .map_err(|e| e.to_string())?
+                .value();
+        }
         // All generated heat leaves; Dirichlet faces also exchange the
         // conduction between themselves, which cancels in the sum.
-        assert!((out - q).abs() < 1e-6 * q.max(1.0), "out {out} vs q {q}");
-    }
+        ensure!((out - q).abs() < 1e-6 * q.max(1.0), "out {out} vs q {q}");
+        Ok(())
+    });
 }
 
 #[test]
 fn fv_superposition() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0x5eed_0002 + case);
-        let q1 = rng.range_f64(1.0, 40.0);
-        let q2 = rng.range_f64(1.0, 40.0);
-        let h = rng.range_f64(10.0, 300.0);
+    let gen = tuple3(
+        &Gen::f64_range(1.0, 40.0),
+        &Gen::f64_range(1.0, 40.0),
+        &Gen::f64_range(10.0, 300.0),
+    );
+    check(0x5eed_0002, CASES, &gen, |&(q1, q2, h)| {
         // Linear problem: probe a fixed cell (max is not linear) with
         // each source alone and with both.
         let probe = |qa: f64, qb: f64| {
@@ -68,18 +76,23 @@ fn fv_superposition() {
         };
         let both = probe(q1, q2);
         let sum = probe(q1, 0.0) + probe(0.0, q2);
-        assert!((both - sum).abs() < 1e-6 * sum.abs().max(1.0));
-    }
+        ensure!(
+            (both - sum).abs() < 1e-6 * sum.abs().max(1.0),
+            "T(q1+q2) = {both}, T(q1)+T(q2) = {sum}"
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn network_reciprocity() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0x5eed_0003 + case);
-        let g1 = rng.range_f64(0.1, 10.0);
-        let g2 = rng.range_f64(0.1, 10.0);
-        let g3 = rng.range_f64(0.1, 10.0);
-        let q = rng.range_f64(1.0, 50.0);
+    let gen = tuple4(
+        &Gen::f64_range(0.1, 10.0),
+        &Gen::f64_range(0.1, 10.0),
+        &Gen::f64_range(0.1, 10.0),
+        &Gen::f64_range(1.0, 50.0),
+    );
+    check(0x5eed_0003, CASES, &gen, |&(g1, g2, g3, q)| {
         // Reciprocity: injecting q at node A and reading ΔT at node B
         // equals injecting q at B and reading ΔT at A.
         let build = |inject_at_a: bool| {
@@ -105,21 +118,23 @@ fn network_reciprocity() {
         };
         let (_, t_b_when_a) = build(true);
         let (t_a_when_b, _) = build(false);
-        assert!((t_b_when_a - t_a_when_b).abs() < 1e-9, "reciprocity");
-    }
+        ensure!(
+            (t_b_when_a - t_a_when_b).abs() < 1e-9,
+            "reciprocity: {t_b_when_a} vs {t_a_when_b}"
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn transient_approaches_steady_monotonically_from_below() {
-    for case in 0..CASES {
-        let mut rng = SplitMix64::new(0x5eed_0004 + case);
-        let q = rng.range_f64(1.0, 30.0);
-        let h = rng.range_f64(20.0, 400.0);
-        let grid = FvGrid::new((0.04, 0.04, 0.004), (4, 4, 1)).unwrap();
+    let gen = Gen::f64_range(1.0, 30.0).zip(&Gen::f64_range(20.0, 400.0));
+    check(0x5eed_0004, CASES, &gen, |&(q, h)| {
+        let grid = FvGrid::new((0.04, 0.04, 0.004), (4, 4, 1)).map_err(|e| e.to_string())?;
         let mut model = FvModel::new(grid, &Material::aluminum_6061());
         model
             .add_power_box(Power::new(q), (1, 1, 0), (3, 3, 1))
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         model.set_face_bc(
             Face::ZMax,
             FaceBc::Convection {
@@ -127,16 +142,25 @@ fn transient_approaches_steady_monotonically_from_below() {
                 ambient: Celsius::new(20.0),
             },
         );
-        let steady = model.solve_steady().unwrap().mean_temperature().value();
+        let steady = model
+            .solve_steady()
+            .map_err(|e| e.to_string())?
+            .mean_temperature()
+            .value();
         let mut stepper = model
             .transient_stepper(model.uniform_field(Celsius::new(20.0)), 2.0)
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         let mut last = 20.0;
         for _ in 0..30 {
-            let mean = stepper.step().unwrap().mean_temperature().value();
-            assert!(mean >= last - 1e-9, "monotone warm-up");
-            assert!(mean <= steady + 1e-6, "never overshoots steady");
+            let mean = stepper
+                .step()
+                .map_err(|e| e.to_string())?
+                .mean_temperature()
+                .value();
+            ensure!(mean >= last - 1e-9, "monotone warm-up: {mean} < {last}");
+            ensure!(mean <= steady + 1e-6, "overshoots steady {steady}: {mean}");
             last = mean;
         }
-    }
+        Ok(())
+    });
 }

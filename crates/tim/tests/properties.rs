@@ -1,45 +1,52 @@
 //! Property-style tests of the TIM models and the virtual tester,
-//! driven by the deterministic in-repo [`SplitMix64`] generator so the
-//! suite runs fully offline.
+//! driven through the [`aeropack_verify`] harness: failures shrink to a
+//! minimal counterexample and print a one-line reproducer seed.
 
 use aeropack_materials::Material;
 use aeropack_tim::{
     hashin_shtrikman_bounds, lewis_nielsen, loading_for_target, maxwell_garnett, D5470Tester,
     FillerShape, HncSurface, TimJoint,
 };
-use aeropack_units::{Length, Pressure, SplitMix64, ThermalConductivity};
+use aeropack_units::{Length, Pressure, ThermalConductivity};
+use aeropack_verify::{check, ensure, tuple3, Gen};
 
 const CASES: u64 = 32;
 
 #[test]
 fn joint_resistance_monotone_in_pressure() {
-    let mut rng = SplitMix64::new(0x7133_0001);
-    for _ in 0..CASES {
-        let p1_kpa = rng.range_f64(10.0, 400.0);
-        let dp_kpa = rng.range_f64(10.0, 600.0);
-        let joint = TimJoint::nanopack_flake_adhesive().unwrap();
+    let gen = Gen::f64_range(10.0, 400.0).zip(&Gen::f64_range(10.0, 600.0));
+    check(0x7133_0001, CASES, &gen, |&(p1_kpa, dp_kpa)| {
+        let joint = TimJoint::nanopack_flake_adhesive().map_err(|e| e.to_string())?;
         let r1 = joint
             .area_resistance(Pressure::from_kilopascals(p1_kpa))
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         let r2 = joint
             .area_resistance(Pressure::from_kilopascals(p1_kpa + dp_kpa))
-            .unwrap();
-        assert!(r2.value() <= r1.value() + 1e-15);
+            .map_err(|e| e.to_string())?;
+        ensure!(
+            r2.value() <= r1.value() + 1e-15,
+            "R({}) = {} > R({p1_kpa}) = {}",
+            p1_kpa + dp_kpa,
+            r2.value(),
+            r1.value()
+        );
         // BLT floor is respected.
         let blt = joint
             .bond_line(Pressure::from_kilopascals(p1_kpa + dp_kpa))
-            .unwrap();
-        assert!(blt.value() >= joint.blt_min().value() - 1e-15);
-    }
+            .map_err(|e| e.to_string())?;
+        ensure!(blt.value() >= joint.blt_min().value() - 1e-15);
+        Ok(())
+    });
 }
 
 #[test]
 fn better_bulk_conductivity_never_hurts() {
-    let mut rng = SplitMix64::new(0x7133_0002);
-    for _ in 0..CASES {
-        let k1 = rng.range_f64(0.5, 5.0);
-        let factor = rng.range_f64(1.1, 10.0);
-        let p_kpa = rng.range_f64(50.0, 500.0);
+    let gen = tuple3(
+        &Gen::f64_range(0.5, 5.0),
+        &Gen::f64_range(1.1, 10.0),
+        &Gen::f64_range(50.0, 500.0),
+    );
+    check(0x7133_0002, CASES, &gen, |&(k1, factor, p_kpa)| {
         let build = |k: f64| {
             TimJoint::new(
                 ThermalConductivity::new(k),
@@ -51,63 +58,78 @@ fn better_bulk_conductivity_never_hurts() {
             .unwrap()
         };
         let p = Pressure::from_kilopascals(p_kpa);
-        let r_poor = build(k1).area_resistance(p).unwrap();
-        let r_good = build(k1 * factor).area_resistance(p).unwrap();
-        assert!(r_good.value() < r_poor.value());
-    }
+        let r_poor = build(k1).area_resistance(p).map_err(|e| e.to_string())?;
+        let r_good = build(k1 * factor)
+            .area_resistance(p)
+            .map_err(|e| e.to_string())?;
+        ensure!(
+            r_good.value() < r_poor.value(),
+            "k ×{factor} did not lower R: {} vs {}",
+            r_good.value(),
+            r_poor.value()
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn effective_medium_monotone_in_filler_conductivity() {
-    let mut rng = SplitMix64::new(0x7133_0003);
-    for _ in 0..CASES {
-        let phi = rng.range_f64(0.05, 0.45);
-        let kf1 = rng.range_f64(10.0, 200.0);
-        let factor = rng.range_f64(1.2, 4.0);
+    let gen = tuple3(
+        &Gen::f64_range(0.05, 0.45),
+        &Gen::f64_range(10.0, 200.0),
+        &Gen::f64_range(1.2, 4.0),
+    );
+    check(0x7133_0003, CASES, &gen, |&(phi, kf1, factor)| {
         let km = Material::epoxy().thermal_conductivity;
-        let a = maxwell_garnett(km, ThermalConductivity::new(kf1), phi).unwrap();
-        let b = maxwell_garnett(km, ThermalConductivity::new(kf1 * factor), phi).unwrap();
-        assert!(b.value() >= a.value());
+        let a =
+            maxwell_garnett(km, ThermalConductivity::new(kf1), phi).map_err(|e| e.to_string())?;
+        let b = maxwell_garnett(km, ThermalConductivity::new(kf1 * factor), phi)
+            .map_err(|e| e.to_string())?;
+        ensure!(b.value() >= a.value(), "MG fell from {} to {}", a, b);
         // HS bounds widen with contrast.
-        let (l1, h1) = hashin_shtrikman_bounds(km, ThermalConductivity::new(kf1), phi).unwrap();
-        let (_, h2) =
-            hashin_shtrikman_bounds(km, ThermalConductivity::new(kf1 * factor), phi).unwrap();
-        assert!(h2.value() >= h1.value());
-        assert!(l1.value() <= h1.value());
-    }
+        let (l1, h1) = hashin_shtrikman_bounds(km, ThermalConductivity::new(kf1), phi)
+            .map_err(|e| e.to_string())?;
+        let (_, h2) = hashin_shtrikman_bounds(km, ThermalConductivity::new(kf1 * factor), phi)
+            .map_err(|e| e.to_string())?;
+        ensure!(h2.value() >= h1.value());
+        ensure!(l1.value() <= h1.value());
+        Ok(())
+    });
 }
 
 #[test]
 fn loading_search_is_consistent() {
-    let mut rng = SplitMix64::new(0x7133_0004);
-    for _ in 0..CASES {
-        let target = rng.range_f64(1.0, 12.0);
+    check(0x7133_0004, CASES, &Gen::f64_range(1.0, 12.0), |&target| {
         let km = Material::epoxy().thermal_conductivity;
         let kf = Material::silver().thermal_conductivity;
         let target_k = ThermalConductivity::new(target);
-        let phi = loading_for_target(km, kf, target_k, FillerShape::Sphere).unwrap();
-        let achieved = lewis_nielsen(km, kf, phi, FillerShape::Sphere).unwrap();
-        assert!(
+        let phi =
+            loading_for_target(km, kf, target_k, FillerShape::Sphere).map_err(|e| e.to_string())?;
+        let achieved =
+            lewis_nielsen(km, kf, phi, FillerShape::Sphere).map_err(|e| e.to_string())?;
+        ensure!(
             (achieved.value() - target).abs() < 0.02 * target,
             "wanted {target}, got {achieved} at φ = {phi}"
         );
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn hnc_reduction_bounded_and_monotone_in_pad_size() {
-    let mut rng = SplitMix64::new(0x7133_0005);
-    for _ in 0..CASES {
-        let half1_mm = rng.range_f64(0.6, 4.0);
-        let grow = rng.range_f64(1.2, 4.0);
-        let hnc = HncSurface::nanopack_demo().unwrap();
-        let r1 = hnc.reduction(Length::from_millimeters(half1_mm)).unwrap();
+    let gen = Gen::f64_range(0.6, 4.0).zip(&Gen::f64_range(1.2, 4.0));
+    check(0x7133_0005, CASES, &gen, |&(half1_mm, grow)| {
+        let hnc = HncSurface::nanopack_demo().map_err(|e| e.to_string())?;
+        let r1 = hnc
+            .reduction(Length::from_millimeters(half1_mm))
+            .map_err(|e| e.to_string())?;
         let r2 = hnc
             .reduction(Length::from_millimeters(half1_mm * grow))
-            .unwrap();
-        assert!((0.0..1.0).contains(&r1));
-        assert!(r2 >= r1 - 1e-12, "bigger pads benefit more");
-    }
+            .map_err(|e| e.to_string())?;
+        ensure!((0.0..1.0).contains(&r1), "reduction {r1} out of [0, 1)");
+        ensure!(r2 >= r1 - 1e-12, "bigger pads benefit more: {r2} < {r1}");
+        Ok(())
+    });
 }
 
 #[test]
@@ -118,11 +140,12 @@ fn tester_is_unbiased_within_noise() {
     let joint = TimJoint::conventional_grease().unwrap();
     let p = Pressure::from_kilopascals(250.0);
     let truth = joint.area_resistance(p).unwrap().kelvin_mm2_per_watt();
-    let mut rng = SplitMix64::new(0x7133_0006);
-    for _ in 0..CASES {
-        let seed = rng.next_u64() % 1000;
-        let m = tester.measure_averaged(&joint, p, 16, seed).unwrap();
+    check(0x7133_0006, CASES, &Gen::u64_range(0, 1000), |&seed| {
+        let m = tester
+            .measure_averaged(&joint, p, 16, seed)
+            .map_err(|e| e.to_string())?;
         let err = (m.area_resistance.kelvin_mm2_per_watt() - truth).abs();
-        assert!(err < 1.0, "error {err} K·mm²/W at seed {seed}");
-    }
+        ensure!(err < 1.0, "error {err} K·mm²/W at seed {seed}");
+        Ok(())
+    });
 }

@@ -1,10 +1,11 @@
-//! Property-style tests of the two-phase device models, driven by the
-//! deterministic in-repo [`SplitMix64`] generator so the suite runs
-//! fully offline.
+//! Property-style tests of the two-phase device models, driven through
+//! the [`aeropack_verify`] harness: failures shrink to a minimal
+//! counterexample and print a one-line reproducer seed.
 
 use aeropack_materials::WorkingFluid;
 use aeropack_twophase::{HeatPipe, LoopHeatPipe, Thermosyphon, VaporChamber};
-use aeropack_units::{Area, Celsius, Length, Power, SplitMix64};
+use aeropack_units::{Area, Celsius, Length, Power};
+use aeropack_verify::{check, ensure, tuple3, Gen};
 
 const CASES: u64 = 32;
 
@@ -19,86 +20,112 @@ fn pipe() -> HeatPipe {
 
 #[test]
 fn heat_pipe_capillary_monotone_in_tilt() {
-    let mut rng = SplitMix64::new(0x2f00_0001);
-    for _ in 0..CASES {
-        let t_op = rng.range_f64(20.0, 150.0);
-        let tilt1 = rng.range_f64(0.0, 0.7);
-        let dtilt = rng.range_f64(0.05, 0.7);
+    let gen = tuple3(
+        &Gen::f64_range(20.0, 150.0),
+        &Gen::f64_range(0.0, 0.7),
+        &Gen::f64_range(0.05, 0.7),
+    );
+    check(0x2f00_0001, CASES, &gen, |&(t_op, tilt1, dtilt)| {
         let p = pipe();
-        let q1 = p.limits(Celsius::new(t_op), tilt1).unwrap().capillary;
+        let q1 = p
+            .limits(Celsius::new(t_op), tilt1)
+            .map_err(|e| e.to_string())?
+            .capillary;
         let q2 = p
             .limits(Celsius::new(t_op), tilt1 + dtilt)
-            .unwrap()
+            .map_err(|e| e.to_string())?
             .capillary;
-        assert!(q2.value() <= q1.value() + 1e-9);
-    }
+        ensure!(
+            q2.value() <= q1.value() + 1e-9,
+            "tilt {tilt1}+{dtilt} raised capillary {} to {}",
+            q1.value(),
+            q2.value()
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn heat_pipe_limits_all_positive_in_range() {
-    let mut rng = SplitMix64::new(0x2f00_0002);
-    for _ in 0..CASES {
-        let t_op = rng.range_f64(10.0, 180.0);
-        let limits = pipe().limits(Celsius::new(t_op), 0.0).unwrap();
-        assert!(limits.capillary.value() > 0.0);
-        assert!(limits.sonic.value() > 0.0);
-        assert!(limits.entrainment.value() > 0.0);
-        assert!(limits.boiling.value() >= 0.0);
-        assert!(limits.viscous.value() > 0.0);
+    check(0x2f00_0002, CASES, &Gen::f64_range(10.0, 180.0), |&t_op| {
+        let limits = pipe()
+            .limits(Celsius::new(t_op), 0.0)
+            .map_err(|e| e.to_string())?;
+        ensure!(limits.capillary.value() > 0.0);
+        ensure!(limits.sonic.value() > 0.0);
+        ensure!(limits.entrainment.value() > 0.0);
+        ensure!(limits.boiling.value() >= 0.0);
+        ensure!(limits.viscous.value() > 0.0);
         // The governing limit is one of the five.
         let (_, q) = limits.governing();
-        assert!(q.value() <= limits.capillary.value() + 1e-9);
-    }
+        ensure!(q.value() <= limits.capillary.value() + 1e-9);
+        Ok(())
+    });
 }
 
 #[test]
 fn heat_pipe_resistance_positive_and_bounded() {
-    let mut rng = SplitMix64::new(0x2f00_0003);
-    for _ in 0..CASES {
-        let t_op = rng.range_f64(10.0, 180.0);
-        let r = pipe().thermal_resistance(Celsius::new(t_op)).unwrap();
-        assert!(r.value() > 0.0 && r.value() < 2.0, "R = {r}");
-    }
+    check(0x2f00_0003, CASES, &Gen::f64_range(10.0, 180.0), |&t_op| {
+        let r = pipe()
+            .thermal_resistance(Celsius::new(t_op))
+            .map_err(|e| e.to_string())?;
+        ensure!(r.value() > 0.0 && r.value() < 2.0, "R = {r}");
+        Ok(())
+    });
 }
 
 #[test]
 fn lhp_case_temperature_monotone_in_power() {
-    let mut rng = SplitMix64::new(0x2f00_0004);
-    for _ in 0..CASES {
-        let sink = rng.range_f64(10.0, 45.0);
-        let q1 = rng.range_f64(2.0, 25.0);
-        let dq = rng.range_f64(1.0, 15.0);
-        let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8)).unwrap();
+    let gen = tuple3(
+        &Gen::f64_range(10.0, 45.0),
+        &Gen::f64_range(2.0, 25.0),
+        &Gen::f64_range(1.0, 15.0),
+    );
+    check(0x2f00_0004, CASES, &gen, |&(sink, q1, dq)| {
+        let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8)).map_err(|e| e.to_string())?;
         let sink = Celsius::new(sink);
-        let op1 = lhp.operating_point(Power::new(q1), sink, 0.2).unwrap();
-        let op2 = lhp.operating_point(Power::new(q1 + dq), sink, 0.2).unwrap();
-        assert!(op2.case_temperature >= op1.case_temperature);
+        let op1 = lhp
+            .operating_point(Power::new(q1), sink, 0.2)
+            .map_err(|e| e.to_string())?;
+        let op2 = lhp
+            .operating_point(Power::new(q1 + dq), sink, 0.2)
+            .map_err(|e| e.to_string())?;
+        ensure!(
+            op2.case_temperature >= op1.case_temperature,
+            "case T fell when power rose by {dq} W"
+        );
         // Conductance stays positive and finite.
-        assert!(op1.conductance.value() > 0.0 && op1.conductance.is_finite());
-    }
+        ensure!(op1.conductance.value() > 0.0 && op1.conductance.is_finite());
+        Ok(())
+    });
 }
 
 #[test]
 fn lhp_max_transport_monotone_in_tilt() {
-    let mut rng = SplitMix64::new(0x2f00_0005);
-    for _ in 0..CASES {
-        let sink = rng.range_f64(15.0, 40.0);
-        let tilt = rng.range_f64(0.1, 1.4);
-        let lhp = LoopHeatPipe::ammonia_seb(Length::new(1.0)).unwrap();
+    let gen = Gen::f64_range(15.0, 40.0).zip(&Gen::f64_range(0.1, 1.4));
+    check(0x2f00_0005, CASES, &gen, |&(sink, tilt)| {
+        let lhp = LoopHeatPipe::ammonia_seb(Length::new(1.0)).map_err(|e| e.to_string())?;
         let sink = Celsius::new(sink);
-        let q_flat = lhp.max_transport(sink, 0.0).unwrap();
-        let q_tilt = lhp.max_transport(sink, tilt).unwrap();
-        assert!(q_tilt.value() <= q_flat.value() + 1e-6);
-    }
+        let q_flat = lhp.max_transport(sink, 0.0).map_err(|e| e.to_string())?;
+        let q_tilt = lhp.max_transport(sink, tilt).map_err(|e| e.to_string())?;
+        ensure!(
+            q_tilt.value() <= q_flat.value() + 1e-6,
+            "tilt {tilt} raised max transport {} to {}",
+            q_flat.value(),
+            q_tilt.value()
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn thermosyphon_flooding_scales_with_diameter() {
-    let mut rng = SplitMix64::new(0x2f00_0006);
-    for _ in 0..CASES {
-        let d1_mm = rng.range_f64(4.0, 12.0);
-        let factor = rng.range_f64(1.2, 2.5);
-        let t_op = rng.range_f64(40.0, 120.0);
+    let gen = tuple3(
+        &Gen::f64_range(4.0, 12.0),
+        &Gen::f64_range(1.2, 2.5),
+        &Gen::f64_range(40.0, 120.0),
+    );
+    check(0x2f00_0006, CASES, &gen, |&(d1_mm, factor, t_op)| {
         let build = |d_mm: f64| {
             Thermosyphon::new(
                 WorkingFluid::water(),
@@ -110,43 +137,56 @@ fn thermosyphon_flooding_scales_with_diameter() {
         };
         let q1 = build(d1_mm)
             .flooding_limit(Celsius::new(t_op), 0.0)
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         let q2 = build(d1_mm * factor)
             .flooding_limit(Celsius::new(t_op), 0.0)
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         // Flooding ∝ area ∝ d².
         let ratio = q2.value() / q1.value();
-        assert!((ratio - factor * factor).abs() / (factor * factor) < 1e-9);
-    }
+        ensure!(
+            (ratio - factor * factor).abs() / (factor * factor) < 1e-9,
+            "ratio {ratio} vs {}",
+            factor * factor
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn vapor_chamber_conductivity_grows_with_core() {
-    let mut rng = SplitMix64::new(0x2f00_0007);
-    for _ in 0..CASES {
-        let t_total_mm = rng.range_f64(2.5, 6.0);
-        let t_op = rng.range_f64(30.0, 90.0);
+    let gen = Gen::f64_range(2.5, 6.0).zip(&Gen::f64_range(30.0, 90.0));
+    check(0x2f00_0007, CASES, &gen, |&(t_total_mm, t_op)| {
         let thin = VaporChamber::water_spreader((0.05, 0.05), Length::from_millimeters(t_total_mm))
-            .unwrap();
+            .map_err(|e| e.to_string())?;
         let thick =
             VaporChamber::water_spreader((0.05, 0.05), Length::from_millimeters(t_total_mm + 1.0))
-                .unwrap();
-        let k_thin = thin.vapor_core_conductivity(Celsius::new(t_op)).unwrap();
-        let k_thick = thick.vapor_core_conductivity(Celsius::new(t_op)).unwrap();
-        assert!(k_thick.value() > k_thin.value());
-    }
+                .map_err(|e| e.to_string())?;
+        let k_thin = thin
+            .vapor_core_conductivity(Celsius::new(t_op))
+            .map_err(|e| e.to_string())?;
+        let k_thick = thick
+            .vapor_core_conductivity(Celsius::new(t_op))
+            .map_err(|e| e.to_string())?;
+        ensure!(
+            k_thick.value() > k_thin.value(),
+            "thicker core did not raise k: {k_thick} vs {k_thin}"
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn vapor_chamber_operate_respects_its_own_limit() {
-    let mut rng = SplitMix64::new(0x2f00_0008);
-    for _ in 0..CASES {
-        let src_cm2 = rng.range_f64(0.5, 8.0);
-        let t_op = rng.range_f64(35.0, 90.0);
-        let vc = VaporChamber::water_spreader((0.08, 0.08), Length::from_millimeters(3.0)).unwrap();
+    let gen = Gen::f64_range(0.5, 8.0).zip(&Gen::f64_range(35.0, 90.0));
+    check(0x2f00_0008, CASES, &gen, |&(src_cm2, t_op)| {
+        let vc = VaporChamber::water_spreader((0.08, 0.08), Length::from_millimeters(3.0))
+            .map_err(|e| e.to_string())?;
         let src = Area::from_square_centimeters(src_cm2);
-        let (_, q_max) = vc.max_power(src, Celsius::new(t_op)).unwrap();
-        assert!(vc.operate(q_max * 0.99, src, Celsius::new(t_op)).is_ok());
-        assert!(vc.operate(q_max * 1.01, src, Celsius::new(t_op)).is_err());
-    }
+        let (_, q_max) = vc
+            .max_power(src, Celsius::new(t_op))
+            .map_err(|e| e.to_string())?;
+        ensure!(vc.operate(q_max * 0.99, src, Celsius::new(t_op)).is_ok());
+        ensure!(vc.operate(q_max * 1.01, src, Celsius::new(t_op)).is_err());
+        Ok(())
+    });
 }

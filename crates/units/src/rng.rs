@@ -42,14 +42,31 @@ impl SplitMix64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// A uniform sample in `[lo, hi)`.
+    /// A uniform sample in the half-open interval `[lo, hi)`.
+    ///
+    /// The half-open contract is **guaranteed**, not approximate: the
+    /// affine map `lo + (hi − lo)·u` can round up to `hi` when the
+    /// interval is wide or straddles a precision boundary (e.g.
+    /// `[1, 1 + ε)`), so any such sample is clamped to the largest
+    /// representable value below `hi`. `lo` itself is always a possible
+    /// return value; `hi` never is.
     ///
     /// # Panics
     ///
-    /// Panics when `lo >= hi` or either bound is not finite.
+    /// Panics when `lo >= hi` (including `lo == hi`: an empty interval
+    /// has no samples) or when either bound is NaN or infinite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid range");
-        lo + (hi - lo) * self.next_f64()
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "invalid range [{lo}, {hi}): bounds must be finite"
+        );
+        assert!(lo < hi, "invalid range [{lo}, {hi}): lo must be < hi");
+        let v = lo + (hi - lo) * self.next_f64();
+        if v >= hi {
+            next_down(hi).max(lo)
+        } else {
+            v
+        }
     }
 
     /// A standard normal sample via the Box–Muller transform.
@@ -58,6 +75,18 @@ impl SplitMix64 {
         let u2 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
+}
+
+/// The largest float strictly below a finite `x`.
+fn next_down(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    f64::from_bits(if x > 0.0 {
+        x.to_bits() - 1
+    } else if x < 0.0 {
+        x.to_bits() + 1
+    } else {
+        (-f64::MIN_POSITIVE).to_bits()
+    })
 }
 
 #[cfg(test)]
@@ -110,5 +139,46 @@ mod tests {
             let v = rng.range_f64(-3.0, 7.0);
             assert!((-3.0..7.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn range_is_half_open_even_on_tiny_intervals() {
+        // The only representable value in [1, 1+ε) is 1.0 itself. The
+        // unclamped affine map rounds some samples up to 1+ε — the
+        // half-open guarantee requires them all to be exactly 1.0.
+        let hi = 1.0 + f64::EPSILON;
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..10_000 {
+            assert_eq!(rng.range_f64(1.0, hi), 1.0);
+        }
+        // Wide interval: samples stay strictly below hi.
+        let mut rng = SplitMix64::new(18);
+        for _ in 0..10_000 {
+            assert!(rng.range_f64(0.0, 1e300) < 1e300);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be < hi")]
+    fn range_rejects_empty_interval() {
+        SplitMix64::new(1).range_f64(2.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be < hi")]
+    fn range_rejects_inverted_interval() {
+        SplitMix64::new(1).range_f64(5.0, -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be finite")]
+    fn range_rejects_nan_bound() {
+        SplitMix64::new(1).range_f64(f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be finite")]
+    fn range_rejects_infinite_bound() {
+        SplitMix64::new(1).range_f64(0.0, f64::INFINITY);
     }
 }

@@ -1,0 +1,331 @@
+//! The property runner: deterministic case generation, counterexample
+//! shrinking, and reproducer-seed reporting.
+
+use std::fmt;
+
+use crate::gen::{Gen, Source};
+
+/// The SplitMix64 golden-gamma increment; per-case seeds stride by it
+/// so every case owns an independent, well-mixed stream — and so the
+/// seed printed in a failure report regenerates the failing case as
+/// case 0 of a one-case run.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Evaluation budget for the shrink loop (property evaluations, not
+/// rounds) — generous for the workspace's cheap invariants, bounded so
+/// an expensive property cannot hang a failing test.
+const SHRINK_BUDGET: usize = 2000;
+
+/// A property failure: the original counterexample, the shrunk minimal
+/// one, and everything needed to reproduce the case deterministically.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Index of the failing case within the run.
+    pub case: u64,
+    /// Seed that regenerates the failing case as case 0 of a 1-case
+    /// run: `check(reproducer_seed, 1, gen, prop)`.
+    pub reproducer_seed: u64,
+    /// The value the generator first produced.
+    pub original: T,
+    /// The counterexample after shrinking (equals `original` when no
+    /// simpler failing value was found).
+    pub minimal: T,
+    /// Accepted shrink steps.
+    pub shrink_steps: usize,
+    /// The property's message for the minimal counterexample.
+    pub message: String,
+}
+
+impl<T: fmt::Debug> fmt::Display for Failure<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "property failed at case {} after {} shrink step(s)",
+            self.case, self.shrink_steps
+        )?;
+        writeln!(f, "  minimal counterexample: {:?}", self.minimal)?;
+        writeln!(f, "  original counterexample: {:?}", self.original)?;
+        writeln!(f, "  message: {}", self.message)?;
+        write!(
+            f,
+            "  reproducer: check(0x{:016x}, 1, gen, prop)",
+            self.reproducer_seed
+        )
+    }
+}
+
+/// Runs `prop` over `cases` generated values and returns the shrunk
+/// failure instead of panicking — the entry point for meta-tests (and
+/// for callers that want to inspect the counterexample).
+///
+/// Generation is fully deterministic: case `i` draws from a SplitMix64
+/// stream seeded with `seed + i·γ` (γ the golden gamma), so any failing
+/// case can be replayed in isolation from the reported seed.
+///
+/// # Errors
+///
+/// Returns the [`Failure`] (original value, minimal shrunk value,
+/// reproducer seed) for the first failing case.
+pub fn check_outcome<T: fmt::Debug + 'static>(
+    seed: u64,
+    cases: u64,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) -> Result<(), Failure<T>> {
+    for case in 0..cases {
+        let case_seed = seed.wrapping_add(case.wrapping_mul(GOLDEN_GAMMA));
+        let mut src = Source::from_seed(case_seed);
+        let value = gen.sample(&mut src);
+        if let Err(message) = prop(&value) {
+            let choices = src.consumed().to_vec();
+            let (minimal, shrink_steps, message) = shrink(gen, &prop, choices, message);
+            return Err(Failure {
+                case,
+                reproducer_seed: case_seed,
+                original: value,
+                minimal,
+                shrink_steps,
+                message,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a property over `cases` deterministic pseudo-random values,
+/// shrinking any counterexample to a minimal one and panicking with a
+/// one-line reproducer seed.
+///
+/// The property returns `Ok(())` to pass or `Err(message)` to fail;
+/// use the [`ensure!`](crate::ensure) macro for assertion ergonomics.
+///
+/// # Panics
+///
+/// Panics with the full [`Failure`] report when any case fails.
+pub fn check<T: fmt::Debug + 'static>(
+    seed: u64,
+    cases: u64,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    if let Err(failure) = check_outcome(seed, cases, gen, prop) {
+        eprintln!("{failure}");
+        panic!("{failure}");
+    }
+}
+
+/// Greedy choice-stream shrinking: repeatedly tries simpler versions of
+/// the recorded choices (zeroed tails, zeroed elements, halved
+/// elements) and keeps any edit for which the property still fails.
+/// Because edits replay through the generator, shrunk values stay
+/// inside the generator's domain: ranged floats shrink toward their
+/// lower bound, sizes toward their minimum, composites component-wise.
+fn shrink<T: 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> Result<(), String>,
+    mut choices: Vec<u64>,
+    mut message: String,
+) -> (T, usize, String) {
+    let mut evals = 0usize;
+    let mut steps = 0usize;
+
+    let attempt = |candidate: &[u64],
+                   choices: &mut Vec<u64>,
+                   message: &mut String,
+                   steps: &mut usize|
+     -> bool {
+        let mut src = Source::replay(candidate.to_vec());
+        let value = gen.sample(&mut src);
+        match prop(&value) {
+            Ok(()) => false,
+            Err(msg) => {
+                *choices = src.consumed().to_vec();
+                *message = msg;
+                *steps += 1;
+                true
+            }
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: zero whole tails (drops trailing structure — e.g.
+        // excess vector elements — in one step). Accepted edits can
+        // shorten the stream (the replay consumes fewer draws), so the
+        // cut is re-clamped after every attempt.
+        let mut cut = choices.len() / 2;
+        while cut > 0 && evals < SHRINK_BUDGET {
+            if cut < choices.len() && choices[cut..].iter().any(|&c| c != 0) {
+                let mut cand = choices.clone();
+                cand[cut..].fill(0);
+                evals += 1;
+                if attempt(&cand, &mut choices, &mut message, &mut steps) {
+                    improved = true;
+                    cut = cut.min(choices.len());
+                    continue; // same cut again on the new stream
+                }
+            }
+            cut /= 2;
+        }
+
+        // Pass 2: per-choice zeroing, then binary halving toward the
+        // smallest still-failing value.
+        let mut i = 0;
+        while i < choices.len() && evals < SHRINK_BUDGET {
+            if choices[i] == 0 {
+                i += 1;
+                continue;
+            }
+            let mut cand = choices.clone();
+            cand[i] = 0;
+            evals += 1;
+            if attempt(&cand, &mut choices, &mut message, &mut steps) {
+                improved = true;
+                continue; // revisit slot i on the edited stream
+            }
+            while i < choices.len() && choices[i] > 1 && evals < SHRINK_BUDGET {
+                let mut cand = choices.clone();
+                cand[i] = choices[i] / 2;
+                evals += 1;
+                if attempt(&cand, &mut choices, &mut message, &mut steps) {
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+            // Decrement to the exact boundary: halving overshoots for
+            // modulo-derived quantities (sizes, indices), stepping by
+            // one lands on the smallest still-failing choice.
+            while i < choices.len() && choices[i] > 0 && evals < SHRINK_BUDGET {
+                let mut cand = choices.clone();
+                cand[i] = choices[i] - 1;
+                evals += 1;
+                if attempt(&cand, &mut choices, &mut message, &mut steps) {
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || evals >= SHRINK_BUDGET {
+            break;
+        }
+    }
+
+    let mut src = Source::replay(choices);
+    (gen.sample(&mut src), steps, message)
+}
+
+/// Early-returns `Err(format!(...))` from a property closure when the
+/// condition does not hold.
+///
+/// ```
+/// use aeropack_verify::{check, ensure, Gen};
+///
+/// check(0xd00d, 64, &Gen::f64_range(0.0, 10.0), |&x| {
+///     ensure!(x * 2.0 >= x, "doubling {x} went backwards");
+///     Ok(())
+/// });
+/// ```
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr, $($fmt:tt)+) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return Err(format!($($fmt)+));
+        }
+    }};
+    ($cond:expr) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_returns_ok() {
+        let gen = Gen::f64_range(1.0, 2.0);
+        assert!(check_outcome(1, 200, &gen, |&x| {
+            ensure!((1.0..2.0).contains(&x), "out of range: {x}");
+            Ok(())
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn failing_property_shrinks_toward_threshold() {
+        // x >= 5 fails; halving shrinks the minimal counterexample into
+        // [5, 10): one more halving would cross below the threshold.
+        let gen = Gen::f64_range(0.0, 100.0);
+        let failure = check_outcome(0xbad_5eed, 64, &gen, |&x| {
+            ensure!(x < 5.0, "x = {x} is not < 5");
+            Ok(())
+        })
+        .expect_err("property must fail");
+        assert!(
+            failure.minimal >= 5.0 && failure.minimal < 10.0,
+            "minimal {} not in [5, 10)",
+            failure.minimal
+        );
+        assert!(failure.message.contains("not < 5"));
+    }
+
+    #[test]
+    fn reproducer_seed_replays_the_original_counterexample() {
+        let gen = Gen::f64_range(0.0, 1.0);
+        let prop = |x: &f64| {
+            ensure!(*x < 0.9, "too big: {x}");
+            Ok(())
+        };
+        let first = check_outcome(42, 500, &gen, prop).expect_err("must fail");
+        let replay = check_outcome(first.reproducer_seed, 1, &gen, prop).expect_err("must fail");
+        assert_eq!(replay.case, 0);
+        assert_eq!(replay.original, first.original);
+        assert_eq!(replay.minimal, first.minimal);
+    }
+
+    #[test]
+    fn composite_values_shrink_componentwise() {
+        // Fails whenever the vector has ≥ 3 elements; minimal stream
+        // should shrink the length to exactly 3 and the elements to 0.
+        let gen = Gen::u64_range(0, 1000).vec_of(0, 10);
+        let failure = check_outcome(7, 100, &gen, |v| {
+            ensure!(v.len() < 3, "len = {}", v.len());
+            Ok(())
+        })
+        .expect_err("must fail");
+        assert_eq!(failure.minimal.len(), 3);
+        assert!(failure.minimal.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn report_contains_reproducer_line() {
+        let gen = Gen::u64_range(0, 10);
+        let failure = check_outcome(3, 50, &gen, |&x| {
+            ensure!(x < 1, "x = {x}");
+            Ok(())
+        })
+        .expect_err("must fail");
+        let report = failure.to_string();
+        assert!(report.contains("reproducer: check(0x"), "{report}");
+        assert!(report.contains("minimal counterexample"), "{report}");
+        assert_eq!(failure.minimal, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reproducer: check(0x")]
+    fn check_panics_with_reproducer() {
+        check(9, 50, &Gen::u64_range(0, 100), |&x| {
+            ensure!(x < 2, "x = {x}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,319 @@
+//! Deterministic value generators over a recorded choice stream.
+//!
+//! A [`Gen<T>`] is a pure function from a [`Source`] of `u64` choices to
+//! a value. Fresh runs draw choices from the in-repo
+//! [`SplitMix64`](aeropack_units::SplitMix64); shrink runs *replay* an
+//! edited copy of the recorded choices. Because every generated value is
+//! a function of the choice stream, simplifying the stream (zeroing,
+//! halving) simplifies the value while keeping it inside the
+//! generator's domain — an f64 drawn from `[lo, hi)` shrinks toward
+//! `lo`, a vector length drawn from `min..max` shrinks toward `min`,
+//! and composite tuples shrink component-wise, all through one
+//! mechanism.
+
+use std::rc::Rc;
+
+use aeropack_units::SplitMix64;
+
+/// The stream of `u64` choices a generator consumes.
+///
+/// In recording mode (built by [`Source::from_seed`]) choices come from
+/// SplitMix64 and are remembered; in replay mode (built by
+/// [`Source::replay`]) they come from a prefix vector and fall back to
+/// `0` when the vector is exhausted, so edited streams always produce
+/// *some* value.
+#[derive(Debug, Clone)]
+pub struct Source {
+    choices: Vec<u64>,
+    pos: usize,
+    rng: Option<SplitMix64>,
+}
+
+impl Source {
+    /// A recording source: draws from SplitMix64 seeded with `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            choices: Vec::new(),
+            pos: 0,
+            rng: Some(SplitMix64::new(seed)),
+        }
+    }
+
+    /// A replay source over a fixed choice prefix; reads past the end
+    /// yield `0`.
+    pub fn replay(choices: Vec<u64>) -> Self {
+        Self {
+            choices,
+            pos: 0,
+            rng: None,
+        }
+    }
+
+    /// The next raw choice.
+    pub fn next_u64(&mut self) -> u64 {
+        if self.pos < self.choices.len() {
+            let v = self.choices[self.pos];
+            self.pos += 1;
+            v
+        } else {
+            let v = self.rng.as_mut().map_or(0, SplitMix64::next_u64);
+            self.choices.push(v);
+            self.pos += 1;
+            v
+        }
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of precision, derived
+    /// from one choice (same mapping as `SplitMix64::next_f64`).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// How many choices the last generation consumed.
+    pub fn used(&self) -> usize {
+        self.pos
+    }
+
+    /// The consumed choice prefix (what a shrinker edits).
+    pub fn consumed(&self) -> &[u64] {
+        &self.choices[..self.pos]
+    }
+}
+
+/// A deterministic, composable value generator.
+///
+/// Cloning is cheap (reference-counted); combinators consume `&self`
+/// so generators can be reused across zips.
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Self {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a raw sampling function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Self {
+        Self { run: Rc::new(f) }
+    }
+
+    /// Draws one value from the source.
+    pub fn sample(&self, src: &mut Source) -> T {
+        (self.run)(src)
+    }
+
+    /// Applies `f` to every generated value.
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let run = Rc::clone(&self.run);
+        Gen::new(move |src| f(run(src)))
+    }
+
+    /// Pairs this generator with another.
+    pub fn zip<U: 'static>(&self, other: &Gen<U>) -> Gen<(T, U)> {
+        let a = Rc::clone(&self.run);
+        let b = Rc::clone(&other.run);
+        Gen::new(move |src| (a(src), b(src)))
+    }
+
+    /// Chains a dependent generator (monadic bind).
+    pub fn flat_map<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        let run = Rc::clone(&self.run);
+        Gen::new(move |src| f(run(src)).sample(src))
+    }
+
+    /// A vector of `min..=max` values; the length choice shrinks toward
+    /// `min`, each element shrinks independently.
+    pub fn vec_of(&self, min: usize, max: usize) -> Gen<Vec<T>> {
+        assert!(min <= max, "invalid length range");
+        let run = Rc::clone(&self.run);
+        Gen::new(move |src| {
+            let span = (max - min + 1) as u64;
+            let len = min + (src.next_u64() % span) as usize;
+            (0..len).map(|_| run(src)).collect()
+        })
+    }
+}
+
+impl Gen<f64> {
+    /// A uniform f64 in the half-open interval `[lo, hi)`; shrinks
+    /// toward `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` or either bound is not finite (the same
+    /// contract as [`SplitMix64::range_f64`]).
+    pub fn f64_range(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid range [{lo}, {hi})"
+        );
+        Gen::new(move |src| {
+            let v = lo + (hi - lo) * src.next_f64();
+            // Guard the half-open upper bound against rounding at the
+            // top of wide or denormal-adjacent intervals.
+            if v >= hi {
+                next_down(hi).max(lo)
+            } else {
+                v
+            }
+        })
+    }
+}
+
+impl Gen<u64> {
+    /// Any `u64`; shrinks toward 0.
+    pub fn u64_any() -> Self {
+        Gen::new(Source::next_u64)
+    }
+
+    /// A uniform u64 in `[lo, hi)`; shrinks toward `lo`.
+    pub fn u64_range(lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "invalid range");
+        Gen::new(move |src| lo + src.next_u64() % (hi - lo))
+    }
+}
+
+impl Gen<usize> {
+    /// A uniform usize in `[lo, hi)`; shrinks toward `lo`.
+    pub fn usize_range(lo: usize, hi: usize) -> Self {
+        assert!(lo < hi, "invalid range");
+        Gen::new(move |src| lo + (src.next_u64() % (hi - lo) as u64) as usize)
+    }
+}
+
+impl Gen<bool> {
+    /// A fair coin; shrinks toward `false`.
+    pub fn bool_any() -> Self {
+        Gen::new(|src| src.next_u64() & 1 == 1)
+    }
+}
+
+/// Always the same value (consumes no choices, never shrinks).
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+/// Picks uniformly from a fixed list; shrinks toward the first entry.
+///
+/// # Panics
+///
+/// Panics when `items` is empty.
+pub fn one_of<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "one_of needs at least one item");
+    Gen::new(move |src| items[(src.next_u64() % items.len() as u64) as usize].clone())
+}
+
+/// A triple of independent generators.
+pub fn tuple3<A: 'static, B: 'static, C: 'static>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+) -> Gen<(A, B, C)> {
+    a.zip(&b.zip(c)).map(|(a, (b, c))| (a, b, c))
+}
+
+/// A quadruple of independent generators.
+pub fn tuple4<A: 'static, B: 'static, C: 'static, D: 'static>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+    d: &Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    a.zip(b).zip(&c.zip(d)).map(|((a, b), (c, d))| (a, b, c, d))
+}
+
+/// A quintuple of independent generators.
+pub fn tuple5<A: 'static, B: 'static, C: 'static, D: 'static, E: 'static>(
+    a: &Gen<A>,
+    b: &Gen<B>,
+    c: &Gen<C>,
+    d: &Gen<D>,
+    e: &Gen<E>,
+) -> Gen<(A, B, C, D, E)> {
+    a.zip(b)
+        .zip(&tuple3(c, d, e))
+        .map(|((a, b), (c, d, e))| (a, b, c, d, e))
+}
+
+/// The largest float strictly below `x` (for finite positive spans).
+fn next_down(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    f64::from_bits(if x > 0.0 {
+        x.to_bits() - 1
+    } else if x < 0.0 {
+        x.to_bits() + 1
+    } else {
+        (-f64::MIN_POSITIVE).to_bits() // below exact zero
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_values() {
+        let gen = Gen::f64_range(-2.0, 7.0);
+        let a: Vec<f64> = {
+            let mut s = Source::from_seed(11);
+            (0..50).map(|_| gen.sample(&mut s)).collect()
+        };
+        let mut s = Source::from_seed(11);
+        let b: Vec<f64> = (0..50).map(|_| gen.sample(&mut s)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-2.0..7.0).contains(v)));
+    }
+
+    #[test]
+    fn replay_reproduces_and_zero_fallback() {
+        let gen = Gen::f64_range(3.0, 5.0).zip(&Gen::usize_range(1, 9));
+        let mut rec = Source::from_seed(99);
+        let v = gen.sample(&mut rec);
+        let mut rep = Source::replay(rec.consumed().to_vec());
+        assert_eq!(gen.sample(&mut rep), v);
+        // An empty replay stream yields the generator's simplest value.
+        let mut zero = Source::replay(Vec::new());
+        let (f, n) = gen.sample(&mut zero);
+        assert_eq!((f, n), (3.0, 1));
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        let gen = Gen::u64_any().vec_of(2, 6);
+        let mut src = Source::from_seed(7);
+        for _ in 0..100 {
+            let v = gen.sample(&mut src);
+            assert!((2..=6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_below_hi_on_tiny_intervals() {
+        // The only representable value in [1, 1+ε) is 1.0 itself; the
+        // naive affine map can round to 1+ε.
+        let hi = 1.0 + f64::EPSILON;
+        let gen = Gen::f64_range(1.0, hi);
+        let mut src = Source::from_seed(3);
+        for _ in 0..1000 {
+            assert_eq!(gen.sample(&mut src), 1.0);
+        }
+    }
+
+    #[test]
+    fn one_of_and_tuples_compose() {
+        let g = tuple3(
+            &one_of(vec!["a", "b"]),
+            &Gen::bool_any(),
+            &Gen::u64_range(10, 20),
+        );
+        let mut src = Source::from_seed(1);
+        let (s, _, n) = g.sample(&mut src);
+        assert!(s == "a" || s == "b");
+        assert!((10..20).contains(&n));
+    }
+}

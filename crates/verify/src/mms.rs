@@ -1,0 +1,250 @@
+//! Method-of-manufactured-solutions convergence studies.
+//!
+//! An MMS study picks an analytic field, derives the source term that
+//! makes it an exact solution of the governing equation, feeds that
+//! source to the discrete solver on a ladder of mesh refinements (run
+//! through the [`Sweep`] engine like any other scenario grid), and fits
+//! the observed convergence order from the error-vs-h line in log
+//! space. A second-order scheme that converges at O(h²) earns its
+//! tolerance budget; one that converges at O(h⁰·⁵) has a bug no single
+//! "the numbers look right" test can see.
+
+use aeropack_fem::{Dof, PlateMesh, PlateProperties};
+use aeropack_materials::Material;
+use aeropack_solver::SolverConfig;
+use aeropack_sweep::Sweep;
+use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel};
+use aeropack_units::{Celsius, Length, Power};
+
+/// The outcome of one convergence study: mesh sizes, discrete errors,
+/// and the fitted observed order.
+#[derive(Debug, Clone)]
+pub struct MmsStudy {
+    /// What was refined (for reports).
+    pub label: String,
+    /// Mesh spacing h per refinement, coarsest first.
+    pub hs: Vec<f64>,
+    /// Discrete error per refinement (same order as `hs`).
+    pub errors: Vec<f64>,
+}
+
+impl MmsStudy {
+    /// Least-squares slope of `ln(error)` against `ln(h)` — the
+    /// observed convergence order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two refinements were run or any error is
+    /// not a positive finite number.
+    pub fn observed_order(&self) -> f64 {
+        fit_order(&self.hs, &self.errors)
+    }
+
+    /// A human-readable table of the refinement ladder with pairwise
+    /// orders, for failure messages and the CI log.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "MMS study: {}\n  {:>10}  {:>14}  {:>8}\n",
+            self.label, "h", "error", "order"
+        );
+        for i in 0..self.hs.len() {
+            let order = if i == 0 {
+                "-".to_string()
+            } else {
+                let p =
+                    (self.errors[i - 1] / self.errors[i]).ln() / (self.hs[i - 1] / self.hs[i]).ln();
+                format!("{p:8.3}")
+            };
+            out.push_str(&format!(
+                "  {:>10.5e}  {:>14.6e}  {:>8}\n",
+                self.hs[i], self.errors[i], order
+            ));
+        }
+        out.push_str(&format!(
+            "  observed order (least squares): {:.3}\n",
+            self.observed_order()
+        ));
+        out
+    }
+
+    /// Asserts the observed order is within `tol` of `expected`,
+    /// printing the full refinement table on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `|observed − expected| > tol`.
+    pub fn assert_order(&self, expected: f64, tol: f64) {
+        let observed = self.observed_order();
+        assert!(
+            (observed - expected).abs() <= tol,
+            "observed convergence order {observed:.3} is not within {tol} of {expected}\n{}",
+            self.report()
+        );
+    }
+}
+
+/// Least-squares slope of `ln(error)` vs `ln(h)`.
+///
+/// # Panics
+///
+/// Panics for fewer than two points, mismatched lengths, or
+/// non-positive/non-finite entries (an exactly-zero error means the
+/// study is measuring round-off, not discretization).
+pub fn fit_order(hs: &[f64], errors: &[f64]) -> f64 {
+    assert_eq!(hs.len(), errors.len(), "mismatched refinement ladder");
+    assert!(hs.len() >= 2, "need at least two refinements");
+    assert!(
+        hs.iter().chain(errors).all(|&v| v > 0.0 && v.is_finite()),
+        "h and error must be positive finite"
+    );
+    let n = hs.len() as f64;
+    let xs: Vec<f64> = hs.iter().map(|h| h.ln()).collect();
+    let ys: Vec<f64> = errors.iter().map(|e| e.ln()).collect();
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Thermal finite-volume MMS: a 1-D slab with the manufactured field
+/// `T(x) = T₀ + A·sin(πx/L)` and fixed `T₀` at both x faces. The
+/// matching volumetric source is `q''' = k·A·(π/L)²·sin(πx/L)`,
+/// injected per cell at the cell-centre value (midpoint rule, O(h²)).
+/// The cell-centred scheme with half-cell Dirichlet closure is
+/// second-order, so the max-norm error against the exact field must
+/// shrink as O(h²).
+///
+/// # Panics
+///
+/// Panics when a steady solve fails — the study is a test harness, not
+/// a production path.
+pub fn thermal_fv_study(resolutions: &[usize], runner: &Sweep) -> MmsStudy {
+    const L: f64 = 0.1; // slab length, m
+    const A: f64 = 40.0; // manufactured amplitude, K
+    const T0: f64 = 10.0; // wall temperature, °C
+    let material = Material::aluminum_6061();
+    let k = material.thermal_conductivity.value();
+
+    let errors = runner.map(resolutions, |&nx| {
+        let grid = FvGrid::new((L, 0.01, 0.01), (nx, 1, 1)).expect("valid grid");
+        let (dx, dy, dz) = grid.spacing();
+        let cell_volume = dx * dy * dz;
+        let mut model = FvModel::new(grid, &material);
+        // Discretization error at nx = 64 is ~1e-3 K; solve far below it.
+        model.set_solver_config(SolverConfig::new().tolerance(1e-13));
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(T0)));
+        model.set_face_bc(Face::XMax, FaceBc::FixedTemperature(Celsius::new(T0)));
+        let pi_l = std::f64::consts::PI / L;
+        for i in 0..nx {
+            let x = (i as f64 + 0.5) * dx;
+            let q = k * A * pi_l * pi_l * (pi_l * x).sin() * cell_volume;
+            model
+                .add_power_box(Power::new(q), (i, 0, 0), (i + 1, 1, 1))
+                .expect("cell in grid");
+        }
+        let field = model.solve_steady().expect("steady MMS solve");
+        let mut err_max = 0.0f64;
+        for i in 0..nx {
+            let x = (i as f64 + 0.5) * dx;
+            let exact = T0 + A * (pi_l * x).sin();
+            let got = field.at(i, 0, 0).expect("cell in grid").value();
+            err_max = err_max.max((got - exact).abs());
+        }
+        err_max
+    });
+
+    MmsStudy {
+        label: format!("thermal FV slab, T = T₀ + A·sin(πx/L), nx = {resolutions:?}"),
+        hs: resolutions.iter().map(|&nx| L / nx as f64).collect(),
+        errors,
+    }
+}
+
+/// FEM plate MMS: a simply supported square plate under the Navier
+/// pressure `q(x,y) = q₀·sin(πx/a)·sin(πy/a)`, whose exact deflection
+/// is `w = q₀·sin(πx/a)·sin(πy/a) / (4·D·π⁴/a⁴)`. The pressure is
+/// lumped to nodes by tributary area and the centre deflection of the
+/// ACM discretization is compared against the exact value; the
+/// nonconforming ACM rectangle converges at O(h²) in deflection.
+///
+/// Resolutions must be even so a node sits exactly at the centre.
+///
+/// # Panics
+///
+/// Panics on odd resolutions or a failed static solve.
+pub fn fem_plate_study(resolutions: &[usize], runner: &Sweep) -> MmsStudy {
+    const A: f64 = 0.3; // plate side, m
+    const Q0: f64 = 2000.0; // pressure amplitude, Pa
+    let material = Material::aluminum_6061();
+    let props = PlateProperties::from_material(&material, Length::from_millimeters(2.0))
+        .expect("valid plate");
+    let d = props.youngs_modulus * props.thickness.powi(3)
+        / (12.0 * (1.0 - props.poisson_ratio * props.poisson_ratio));
+    let pi = std::f64::consts::PI;
+    let w_exact_center = Q0 / (4.0 * d * pi.powi(4) / A.powi(4));
+
+    let errors = runner.map(resolutions, |&n| {
+        assert!(n % 2 == 0, "resolution must be even for a centre node");
+        let mut mesh = PlateMesh::rectangular(A, A, n, n, &props).expect("valid mesh");
+        mesh.simply_support_edges().expect("support edges");
+        let h = A / n as f64;
+        // Tributary-area load lumping; loads landing on constrained
+        // edge DOFs are dropped by the solver, matching w = 0 there.
+        let mut loads = Vec::with_capacity((n + 1) * (n + 1));
+        for j in 0..=n {
+            for i in 0..=n {
+                let x = i as f64 * h;
+                let y = j as f64 * h;
+                let wx = if i == 0 || i == n { 0.5 } else { 1.0 };
+                let wy = if j == 0 || j == n { 0.5 } else { 1.0 };
+                let f = Q0 * (pi * x / A).sin() * (pi * y / A).sin() * wx * wy * h * h;
+                let node = mesh.node_at(i, j).expect("node in grid");
+                loads.push((node, Dof::W, f));
+            }
+        }
+        let u = mesh.model.solve_static(&loads).expect("static MMS solve");
+        let center = mesh.center_node();
+        let idx = mesh.model.dof_index(center, Dof::W).expect("centre DOF");
+        (u[idx] - w_exact_center).abs()
+    });
+
+    MmsStudy {
+        label: format!("ACM plate, Navier sinusoidal pressure, n = {resolutions:?}"),
+        hs: resolutions.iter().map(|&n| A / n as f64).collect(),
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_order_recovers_exact_slopes() {
+        let hs = [0.1, 0.05, 0.025, 0.0125];
+        let quad: Vec<f64> = hs.iter().map(|h| 3.0 * h * h).collect();
+        assert!((fit_order(&hs, &quad) - 2.0).abs() < 1e-12);
+        let lin: Vec<f64> = hs.iter().map(|h| 0.7 * h).collect();
+        assert!((fit_order(&hs, &lin) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two refinements")]
+    fn fit_order_rejects_single_point() {
+        fit_order(&[0.1], &[1.0]);
+    }
+
+    #[test]
+    fn report_lists_every_refinement() {
+        let study = MmsStudy {
+            label: "synthetic".into(),
+            hs: vec![0.1, 0.05],
+            errors: vec![4e-3, 1e-3],
+        };
+        let report = study.report();
+        assert!(report.contains("observed order"), "{report}");
+        assert!((study.observed_order() - 2.0).abs() < 1e-9);
+        study.assert_order(2.0, 0.3);
+    }
+}

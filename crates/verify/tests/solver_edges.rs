@@ -1,0 +1,79 @@
+//! Solver edge cases through the property harness: degenerate
+//! multi-RHS batches (k = 0, k = 1) and their bit-identity with the
+//! single-RHS path, over randomly generated SPD operators.
+
+use aeropack_solver::{solve_multi_rhs, solve_sparse, CsrMatrix, SolverConfig};
+use aeropack_verify::{check, ensure, tuple3, Gen};
+
+/// A random SPD tridiagonal operator: diagonally dominant by
+/// construction.
+fn tridiag(n: usize, off: &[f64]) -> CsrMatrix {
+    CsrMatrix::from_row_fn(n, 3, |i, row| {
+        let left = if i > 0 { off[i - 1].abs() } else { 0.0 };
+        let right = if i + 1 < n { off[i].abs() } else { 0.0 };
+        if i > 0 {
+            row.push((i - 1, -left));
+        }
+        row.push((i, left + right + 1.0));
+        if i + 1 < n {
+            row.push((i + 1, -right));
+        }
+    })
+}
+
+#[test]
+fn multi_rhs_k0_is_a_well_defined_empty_batch() {
+    let gen = Gen::usize_range(1, 40).flat_map(|n| {
+        Gen::f64_range(0.1, 3.0)
+            .vec_of(n.saturating_sub(1), n.saturating_sub(1).max(1))
+            .map(move |off| (n, off))
+    });
+    check(0x501e_0001, 64, &gen, |(n, off)| {
+        let a = tridiag(*n, off);
+        let out = solve_multi_rhs(&a, &[], &SolverConfig::new())
+            .map_err(|e| format!("k = 0 rejected for n = {n}: {e}"))?;
+        ensure!(out.is_empty(), "k = 0 returned {} solutions", out.len());
+        Ok(())
+    });
+}
+
+#[test]
+fn multi_rhs_k1_is_bit_identical_to_single_rhs() {
+    let gen = Gen::usize_range(2, 40).flat_map(|n| {
+        tuple3(
+            &aeropack_verify::constant(n),
+            &Gen::f64_range(0.1, 3.0).vec_of(n - 1, n - 1),
+            &Gen::f64_range(-5.0, 5.0).vec_of(n, n),
+        )
+    });
+    check(0x501e_0002, 48, &gen, |(n, off, b)| {
+        let a = tridiag(*n, off);
+        let cfg = SolverConfig::new().tolerance(1e-12);
+        let batch = solve_multi_rhs(&a, b, &cfg).map_err(|e| e.to_string())?;
+        let single = solve_sparse(&a, b, &cfg).map_err(|e| e.to_string())?;
+        ensure!(batch.len() == 1, "k = 1 returned {} solutions", batch.len());
+        for (i, (p, q)) in batch[0].x.iter().zip(&single.x).enumerate() {
+            ensure!(
+                p.to_bits() == q.to_bits(),
+                "x[{i}] differs: {p} vs {q} (n = {n})"
+            );
+        }
+        ensure!(batch[0].stats.iterations == single.stats.iterations);
+        Ok(())
+    });
+}
+
+#[test]
+fn multi_rhs_still_rejects_ragged_blocks() {
+    let gen = Gen::usize_range(2, 20).flat_map(|n| {
+        // A block length that is NOT a multiple of n.
+        Gen::usize_range(1, 3 * n).map(move |m| (n, if m % n == 0 { m + 1 } else { m }))
+    });
+    check(0x501e_0003, 64, &gen, |&(n, len)| {
+        let off = vec![1.0; n - 1];
+        let a = tridiag(n, &off);
+        let out = solve_multi_rhs(&a, &vec![1.0; len], &SolverConfig::new());
+        ensure!(out.is_err(), "ragged block {len} (n = {n}) was accepted");
+        Ok(())
+    });
+}

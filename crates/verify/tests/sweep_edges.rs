@@ -1,0 +1,107 @@
+//! Sweep-engine edge cases driven through the property harness: the
+//! degenerate scenario counts (zero, one), oversubscribed workers, and
+//! the `AEROPACK_THREADS` parsing contract — all without touching the
+//! process environment (`Sweep::from_env_value` is the pure half of
+//! `from_env`).
+
+use aeropack_sweep::Sweep;
+use aeropack_verify::{check, ensure, tuple3, Gen};
+
+#[test]
+fn zero_scenarios_yield_empty_results_at_any_thread_count() {
+    check(0x5e3e_0001, 64, &Gen::usize_range(1, 128), |&threads| {
+        let empty: Vec<f64> = Vec::new();
+        let out = Sweep::new(threads).map(&empty, |&x| x * 2.0);
+        ensure!(out.is_empty(), "threads = {threads} produced {out:?}");
+        let (out, stats) = Sweep::new(threads).map_stats(&empty, |&x: &f64| {
+            (x, aeropack_sweep::ScenarioStats::trivial())
+        });
+        ensure!(out.is_empty() && stats.scenarios == 0);
+        ensure!(stats.all_converged(), "vacuously converged");
+        Ok(())
+    });
+}
+
+#[test]
+fn one_scenario_matches_the_closure_exactly() {
+    let gen = Gen::usize_range(1, 64).zip(&Gen::f64_range(-100.0, 100.0));
+    check(0x5e3e_0002, 64, &gen, |&(threads, x)| {
+        let out = Sweep::new(threads).map(&[x], |&v| v.mul_add(3.0, 1.0));
+        ensure!(out.len() == 1);
+        ensure!(
+            out[0].to_bits() == x.mul_add(3.0, 1.0).to_bits(),
+            "threads = {threads}: {} vs {}",
+            out[0],
+            x.mul_add(3.0, 1.0)
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn more_threads_than_scenarios_is_bitwise_identical_to_serial() {
+    // threads drawn strictly above the scenario count.
+    let gen = Gen::usize_range(0, 8).flat_map(|n| {
+        Gen::usize_range(n + 1, n + 65)
+            .zip(&Gen::f64_range(0.0, 10.0).vec_of(n, n))
+            .map(move |(threads, xs)| (n, threads, xs))
+    });
+    check(0x5e3e_0003, 64, &gen, |(n, threads, xs)| {
+        let f = |&x: &f64| (x * 1.7).sin() + x;
+        let serial = Sweep::serial().map(xs, f);
+        let par = Sweep::new(*threads).map(xs, f);
+        ensure!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                == par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "divergence with {threads} threads over {n} scenarios"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn env_value_parsing_falls_back_on_zero_and_garbage() {
+    let fallback = Sweep::from_env_value(None).threads();
+    assert!(fallback >= 1, "fallback must be a valid worker count");
+    for bad in ["0", "garbage", "", "  ", "-3", "1.5", "0x4", "+ 2", "∞"] {
+        assert_eq!(
+            Sweep::from_env_value(Some(bad)).threads(),
+            fallback,
+            "{bad:?} must fall back"
+        );
+    }
+    assert_eq!(Sweep::from_env_value(Some("4")).threads(), 4);
+    assert_eq!(Sweep::from_env_value(Some("  8  ")).threads(), 8, "trimmed");
+    assert_eq!(Sweep::from_env_value(Some("1")).threads(), 1);
+}
+
+#[test]
+fn valid_env_values_round_trip_through_the_parser() {
+    check(0x5e3e_0004, 128, &Gen::usize_range(1, 512), |&t| {
+        let parsed = Sweep::from_env_value(Some(&t.to_string())).threads();
+        ensure!(parsed == t, "{t} parsed as {parsed}");
+        Ok(())
+    });
+}
+
+#[test]
+fn map_with_scratch_survives_oversubscription() {
+    let gen = tuple3(
+        &Gen::usize_range(0, 5),
+        &Gen::usize_range(1, 100),
+        &Gen::f64_range(0.5, 2.0),
+    );
+    check(0x5e3e_0005, 32, &gen, |&(n, threads, scale)| {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * scale).collect();
+        let out = Sweep::new(threads).map_with(&xs, Vec::<f64>::new, |scratch, &x| {
+            scratch.push(x);
+            x * 2.0
+        });
+        let reference: Vec<f64> = xs.iter().map(|&x| x * 2.0).collect();
+        ensure!(
+            out == reference,
+            "scratch interference at {threads} threads"
+        );
+        Ok(())
+    });
+}

@@ -20,4 +20,13 @@ echo "==> sweep bench smoke (tiny grids, 2 threads, determinism gate)"
 # Exits non-zero if any sweep is not bit-identical across thread counts.
 cargo bench -q --offline -p aeropack-bench --bench sweeps -- --smoke
 
+echo "==> golden snapshot gate (tests/golden/, drift prints a per-quantity table)"
+# Out-of-tolerance drift fails with golden/current/|drift|/allowed rows;
+# regenerate intentionally moved values with scripts/snapshot.sh.
+cargo test -q --release --offline --test golden_snapshots
+
+echo "==> MMS smoke (thermal FV slab, observed order must sit near 2)"
+cargo test -q --release --offline -p aeropack-verify --test mms \
+    thermal_fv_converges_at_second_order
+
 echo "==> CI green"

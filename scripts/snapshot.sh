@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the golden snapshot files under tests/golden/ from the
+# current build. Run this after an INTENTIONAL physics or solver change,
+# inspect the diff (`git diff tests/golden/`), and commit the new
+# goldens together with the change that moved them.
+#
+# The gate itself runs in scripts/ci.sh (and plain `cargo test`): any
+# out-of-tolerance drift against the committed goldens fails with a
+# per-quantity drift table.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> regenerating golden snapshots (AEROPACK_SNAPSHOT_UPDATE=1)"
+AEROPACK_SNAPSHOT_UPDATE=1 cargo test -q --offline --test golden_snapshots
+
+echo "==> re-running the gate against the fresh goldens"
+cargo test -q --offline --test golden_snapshots
+
+echo "==> done — review with: git diff tests/golden/"

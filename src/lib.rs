@@ -19,6 +19,8 @@
 //!   configuration, per-sweep solver-stats roll-ups).
 //! * [`design`] — the co-design framework tying it all together
 //!   (three-level thermal analysis, cooling selection, the SEB model).
+//! * [`verify`] — the verification substrate: property testing with
+//!   shrinking, MMS convergence studies, golden-snapshot gating.
 //!
 //! Most applications can simply `use aeropack::prelude::*;`.
 //!
@@ -53,6 +55,7 @@ pub use aeropack_thermal as thermal;
 pub use aeropack_tim as tim;
 pub use aeropack_twophase as twophase;
 pub use aeropack_units as units;
+pub use aeropack_verify as verify;
 
 /// The most commonly used names from across the workspace: every
 /// quantity newtype, the solver configuration and statistics types, and

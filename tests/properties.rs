@@ -1,120 +1,134 @@
 //! Property-style tests on the core invariants of the workspace:
 //! conservation laws, rigorous bounds, monotonicities and reciprocity,
-//! checked over deterministic pseudo-random inputs (SplitMix64).
+//! driven through the [`aeropack::verify`] harness so failures shrink
+//! to a minimal counterexample and print a one-line reproducer seed.
 
 use aeropack::fem::linalg::{generalized_eigen_dense, Cholesky, DMatrix, Lu};
 use aeropack::prelude::*;
 use aeropack::tim::{bruggeman, hashin_shtrikman_bounds, maxwell_garnett, wiener_bounds};
+use aeropack::verify::{check, ensure, tuple3, tuple4, tuple5, Gen};
 
-const CASES: usize = 32;
+const CASES: u64 = 32;
 
-/// A random symmetric positive-definite matrix: AᵀA + n·I.
-fn spd(n: usize, rng: &mut SplitMix64) -> DMatrix {
-    let mut a = DMatrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            a[(i, j)] = rng.range_f64(-2.0, 2.0);
-        }
-    }
-    let mut g = a.t_matmul(&a);
-    for i in 0..n {
-        g[(i, i)] += n as f64;
-    }
-    g
+/// A generator for a random symmetric positive-definite `n × n` matrix
+/// (`AᵀA + n·I`), flattened row-major so the harness can shrink it.
+fn gen_spd(n: usize) -> Gen<DMatrix> {
+    Gen::f64_range(-2.0, 2.0)
+        .vec_of(n * n, n * n)
+        .map(move |data| {
+            let a = DMatrix::from_rows(n, n, data);
+            let mut g = a.t_matmul(&a);
+            for i in 0..n {
+                g[(i, i)] += n as f64;
+            }
+            g
+        })
 }
 
 #[test]
 fn lu_and_cholesky_agree_on_spd() {
-    let mut rng = SplitMix64::new(0xa11f_0001);
-    for _ in 0..CASES {
-        let a = spd(4, &mut rng);
-        let b: Vec<f64> = (0..4).map(|_| rng.range_f64(-5.0, 5.0)).collect();
-        let x_lu = Lu::factor(&a).unwrap().solve(&b);
-        let x_ch = Cholesky::factor(&a).unwrap().solve(&b);
+    let gen = gen_spd(4).zip(&Gen::f64_range(-5.0, 5.0).vec_of(4, 4));
+    check(0xa11f_0001, CASES, &gen, |(a, b)| {
+        let x_lu = Lu::factor(a).map_err(|e| e.to_string())?.solve(b);
+        let x_ch = Cholesky::factor(a).map_err(|e| e.to_string())?.solve(b);
         for (p, q) in x_lu.iter().zip(&x_ch) {
-            assert!((p - q).abs() < 1e-8, "LU {p} vs Cholesky {q}");
+            ensure!((p - q).abs() < 1e-8, "LU {p} vs Cholesky {q}");
         }
         // Residual check: A·x = b.
         let r = a.matvec(&x_lu);
-        for (ri, bi) in r.iter().zip(&b) {
-            assert!((ri - bi).abs() < 1e-8);
+        for (ri, bi) in r.iter().zip(b) {
+            ensure!((ri - bi).abs() < 1e-8, "residual {}", ri - bi);
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn generalized_eigen_is_m_orthonormal() {
-    let mut rng = SplitMix64::new(0xa11f_0002);
-    for _ in 0..CASES {
-        let k = spd(4, &mut rng);
-        let shift = rng.range_f64(0.5, 3.0);
+    let gen = gen_spd(4).zip(&Gen::f64_range(0.5, 3.0));
+    check(0xa11f_0002, CASES, &gen, |(k, shift)| {
         let mut m = DMatrix::identity(4);
         for i in 0..4 {
             m[(i, i)] = shift + i as f64 * 0.3;
         }
-        let (vals, vecs) = generalized_eigen_dense(&k, &m).unwrap();
+        let (vals, vecs) = generalized_eigen_dense(k, &m).map_err(|e| e.to_string())?;
         // Ascending positive eigenvalues.
-        assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-9));
-        assert!(vals[0] > 0.0);
+        ensure!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        ensure!(vals[0] > 0.0);
         // M-orthonormal columns.
         let g = vecs.t_matmul(&m.matmul(&vecs));
         for i in 0..4 {
             for j in 0..4 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((g[(i, j)] - expect).abs() < 1e-7);
+                ensure!(
+                    (g[(i, j)] - expect).abs() < 1e-7,
+                    "VᵀMV[{i},{j}] = {}",
+                    g[(i, j)]
+                );
             }
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn fv_conserves_energy() {
-    let mut rng = SplitMix64::new(0xa11f_0003);
-    for _ in 0..CASES {
-        let nx = 2 + (rng.next_u64() % 5) as usize;
-        let ny = 2 + (rng.next_u64() % 4) as usize;
-        let q1 = rng.range_f64(0.5, 30.0);
-        let q2 = rng.range_f64(0.5, 30.0);
-        let h = rng.range_f64(5.0, 500.0);
-        let ambient = rng.range_f64(-40.0, 70.0);
-        let grid = FvGrid::new((0.08, 0.06, 0.004), (nx, ny, 1)).unwrap();
-        let mut model = FvModel::new(grid, &Material::aluminum_6061());
-        model
-            .add_power_box(Power::new(q1), (0, 0, 0), (1, 1, 1))
-            .unwrap();
-        model
-            .add_power_box(Power::new(q2), (nx - 1, ny - 1, 0), (nx, ny, 1))
-            .unwrap();
-        model.set_face_bc(
-            Face::ZMax,
-            FaceBc::Convection {
-                h: HeatTransferCoeff::new(h),
-                ambient: Celsius::new(ambient),
-            },
-        );
-        let field = model.solve_steady().unwrap();
-        let out: f64 = Face::ALL
-            .iter()
-            .map(|&f| model.boundary_heat(&field, f).unwrap().value())
-            .sum();
-        let total = q1 + q2;
-        assert!((out - total).abs() < 1e-6 * total, "in {total}, out {out}");
-        // Every cell is at or above ambient (heat only enters).
-        assert!(field.min_temperature().value() >= ambient - 1e-9);
-        // The shared backend reported its convergence record.
-        let stats = model.last_solve_stats().expect("stats recorded");
-        assert!(stats.final_residual <= stats.tolerance);
-    }
+    let gen = tuple5(
+        &Gen::usize_range(2, 7).zip(&Gen::usize_range(2, 6)),
+        &Gen::f64_range(0.5, 30.0),
+        &Gen::f64_range(0.5, 30.0),
+        &Gen::f64_range(5.0, 500.0),
+        &Gen::f64_range(-40.0, 70.0),
+    );
+    check(
+        0xa11f_0003,
+        CASES,
+        &gen,
+        |&((nx, ny), q1, q2, h, ambient)| {
+            let grid = FvGrid::new((0.08, 0.06, 0.004), (nx, ny, 1)).map_err(|e| e.to_string())?;
+            let mut model = FvModel::new(grid, &Material::aluminum_6061());
+            model
+                .add_power_box(Power::new(q1), (0, 0, 0), (1, 1, 1))
+                .map_err(|e| e.to_string())?;
+            model
+                .add_power_box(Power::new(q2), (nx - 1, ny - 1, 0), (nx, ny, 1))
+                .map_err(|e| e.to_string())?;
+            model.set_face_bc(
+                Face::ZMax,
+                FaceBc::Convection {
+                    h: HeatTransferCoeff::new(h),
+                    ambient: Celsius::new(ambient),
+                },
+            );
+            let field = model.solve_steady().map_err(|e| e.to_string())?;
+            let mut out = 0.0;
+            for &f in Face::ALL.iter() {
+                out += model
+                    .boundary_heat(&field, f)
+                    .map_err(|e| e.to_string())?
+                    .value();
+            }
+            let total = q1 + q2;
+            ensure!((out - total).abs() < 1e-6 * total, "in {total}, out {out}");
+            // Every cell is at or above ambient (heat only enters).
+            ensure!(field.min_temperature().value() >= ambient - 1e-9);
+            // The shared backend reported its convergence record.
+            let stats = model.last_solve_stats().ok_or("no stats recorded")?;
+            ensure!(stats.final_residual <= stats.tolerance);
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn network_superposition_holds() {
-    let mut rng = SplitMix64::new(0xa11f_0004);
-    for _ in 0..CASES {
-        let r1 = rng.range_f64(0.1, 5.0);
-        let r2 = rng.range_f64(0.1, 5.0);
-        let q = rng.range_f64(1.0, 100.0);
-        let t_amb = rng.range_f64(-40.0, 85.0);
+    let gen = tuple4(
+        &Gen::f64_range(0.1, 5.0),
+        &Gen::f64_range(0.1, 5.0),
+        &Gen::f64_range(1.0, 100.0),
+        &Gen::f64_range(-40.0, 85.0),
+    );
+    check(0xa11f_0004, CASES, &gen, |&(r1, r2, q, t_amb)| {
         // T(q1+q2) − T(0) must equal [T(q1) − T(0)] + [T(q2) − T(0)]
         // for a linear network.
         let build = |heat: f64| {
@@ -132,92 +146,97 @@ fn network_superposition_holds() {
         };
         let t_half = build(q / 2.0) - t_amb;
         let t_full = build(q) - t_amb;
-        assert!((t_full - 2.0 * t_half).abs() < 1e-9, "linearity");
+        ensure!(
+            (t_full - 2.0 * t_half).abs() < 1e-9,
+            "linearity: {t_full} vs 2 × {t_half}"
+        );
         // And the closed form.
-        assert!((t_full - q * (r1 + r2)).abs() < 1e-9);
-    }
+        ensure!((t_full - q * (r1 + r2)).abs() < 1e-9);
+        Ok(())
+    });
 }
 
 #[test]
 fn effective_medium_within_rigorous_bounds() {
-    let mut rng = SplitMix64::new(0xa11f_0005);
-    for _ in 0..CASES {
-        let phi = rng.range_f64(0.01, 0.50);
-        let k_f = rng.range_f64(5.0, 500.0);
+    let gen = Gen::f64_range(0.01, 0.50).zip(&Gen::f64_range(5.0, 500.0));
+    check(0xa11f_0005, CASES, &gen, |&(phi, k_f)| {
         let km = ThermalConductivity::new(0.2);
         let kf = ThermalConductivity::new(k_f);
-        let (wl, wh) = wiener_bounds(km, kf, phi).unwrap();
-        let (hl, hh) = hashin_shtrikman_bounds(km, kf, phi).unwrap();
+        let (wl, wh) = wiener_bounds(km, kf, phi).map_err(|e| e.to_string())?;
+        let (hl, hh) = hashin_shtrikman_bounds(km, kf, phi).map_err(|e| e.to_string())?;
         // HS within Wiener.
-        assert!(hl.value() >= wl.value() - 1e-9);
-        assert!(hh.value() <= wh.value() + 1e-9);
+        ensure!(hl.value() >= wl.value() - 1e-9);
+        ensure!(hh.value() <= wh.value() + 1e-9);
         // Models within Wiener (MG additionally equals HS-).
         for k in [
-            maxwell_garnett(km, kf, phi).unwrap(),
-            bruggeman(km, kf, phi).unwrap(),
-            lewis_nielsen(km, kf, phi, FillerShape::Sphere).unwrap(),
+            maxwell_garnett(km, kf, phi).map_err(|e| e.to_string())?,
+            bruggeman(km, kf, phi).map_err(|e| e.to_string())?,
+            lewis_nielsen(km, kf, phi, FillerShape::Sphere).map_err(|e| e.to_string())?,
         ] {
-            assert!(k.value() >= wl.value() - 1e-9, "below Wiener-: {k}");
-            assert!(k.value() <= wh.value() + 1e-9, "above Wiener+: {k}");
+            ensure!(k.value() >= wl.value() - 1e-9, "below Wiener-: {k}");
+            ensure!(k.value() <= wh.value() + 1e-9, "above Wiener+: {k}");
         }
-        let mg = maxwell_garnett(km, kf, phi).unwrap();
-        assert!((mg.value() - hl.value()).abs() < 1e-9 * hl.value());
-    }
+        let mg = maxwell_garnett(km, kf, phi).map_err(|e| e.to_string())?;
+        ensure!((mg.value() - hl.value()).abs() < 1e-9 * hl.value());
+        Ok(())
+    });
 }
 
 #[test]
 fn saturation_curves_are_monotone() {
-    let mut rng = SplitMix64::new(0xa11f_0006);
-    let fluids = [
-        WorkingFluid::water(),
-        WorkingFluid::ammonia(),
-        WorkingFluid::acetone(),
-        WorkingFluid::methanol(),
-        WorkingFluid::ethanol(),
-    ];
-    for _ in 0..CASES {
-        let fluid = &fluids[(rng.next_u64() % 5) as usize];
-        let f = rng.range_f64(0.02, 0.98);
+    let gen = Gen::usize_range(0, 5).zip(&Gen::f64_range(0.02, 0.98));
+    check(0xa11f_0006, CASES, &gen, |&(fluid_idx, f)| {
+        let fluids = [
+            WorkingFluid::water(),
+            WorkingFluid::ammonia(),
+            WorkingFluid::acetone(),
+            WorkingFluid::methanol(),
+            WorkingFluid::ethanol(),
+        ];
+        let fluid = &fluids[fluid_idx];
         let lo = fluid.min_temperature().value();
         let hi = fluid.max_temperature().value();
         let t1 = Celsius::new(lo + f * (hi - lo) * 0.5);
         let t2 = Celsius::new(lo + (0.5 + f * 0.5) * (hi - lo));
-        let s1 = fluid.saturation(t1).unwrap();
-        let s2 = fluid.saturation(t2).unwrap();
-        assert!(s2.pressure.value() > s1.pressure.value());
-        assert!(s2.surface_tension <= s1.surface_tension + 1e-12);
-        assert!(s2.liquid_viscosity <= s1.liquid_viscosity + 1e-12);
-        assert!(s1.vapor_density.value() < s1.liquid_density.value());
-    }
+        let s1 = fluid.saturation(t1).map_err(|e| e.to_string())?;
+        let s2 = fluid.saturation(t2).map_err(|e| e.to_string())?;
+        ensure!(s2.pressure.value() > s1.pressure.value());
+        ensure!(s2.surface_tension <= s1.surface_tension + 1e-12);
+        ensure!(s2.liquid_viscosity <= s1.liquid_viscosity + 1e-12);
+        ensure!(s1.vapor_density.value() < s1.liquid_density.value());
+        Ok(())
+    });
 }
 
 #[test]
 fn air_properties_stay_physical() {
-    let mut rng = SplitMix64::new(0xa11f_0007);
-    for _ in 0..CASES {
-        let t = rng.range_f64(-60.0, 250.0);
+    check(0xa11f_0007, CASES, &Gen::f64_range(-60.0, 250.0), |&t| {
         let air = air_at_sea_level(Celsius::new(t));
-        assert!(air.density.value() > 0.5 && air.density.value() < 2.0);
-        assert!(air.prandtl() > 0.6 && air.prandtl() < 0.8);
-        assert!(air.kinematic_viscosity() > 0.0);
-    }
+        ensure!(air.density.value() > 0.5 && air.density.value() < 2.0);
+        ensure!(air.prandtl() > 0.6 && air.prandtl() < 0.8);
+        ensure!(air.kinematic_viscosity() > 0.0);
+        Ok(())
+    });
 }
 
 #[test]
 fn board_temperature_is_monotone_in_power() {
-    let mut rng = SplitMix64::new(0xa11f_0008);
-    for _ in 0..CASES {
-        let p1 = rng.range_f64(5.0, 60.0);
-        let factor = rng.range_f64(1.1, 3.0);
-        let amb = rng.range_f64(20.0, 70.0);
+    let gen = tuple3(
+        &Gen::f64_range(5.0, 60.0),
+        &Gen::f64_range(1.1, 3.0),
+        &Gen::f64_range(20.0, 70.0),
+    );
+    check(0xa11f_0008, CASES, &gen, |&(p1, factor, amb)| {
         let geometry = ModuleGeometry::default();
         let ambient = Celsius::new(amb);
         let mode = CoolingMode::ConductionCooled {
             rail_temperature: ambient + TempDelta::new(10.0),
         };
-        let t_low = predict_board_temperature(&mode, &geometry, Power::new(p1), ambient).unwrap();
-        let t_high =
-            predict_board_temperature(&mode, &geometry, Power::new(p1 * factor), ambient).unwrap();
-        assert!(t_high > t_low);
-    }
+        let t_low = predict_board_temperature(&mode, &geometry, Power::new(p1), ambient)
+            .map_err(|e| e.to_string())?;
+        let t_high = predict_board_temperature(&mode, &geometry, Power::new(p1 * factor), ambient)
+            .map_err(|e| e.to_string())?;
+        ensure!(t_high > t_low, "power ×{factor} did not raise the board");
+        Ok(())
+    });
 }
