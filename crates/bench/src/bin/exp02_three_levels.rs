@@ -126,4 +126,13 @@ fn main() {
         sol.temperature(junction).expect("junction node"),
         l3.junctions[0].junction_temperature,
     );
+
+    // With AEROPACK_OBS=1 and AEROPACK_OBS_REPORT=<path>, dump the run
+    // report recorded across all three levels (the CI smoke gate
+    // validates it with obs_check).
+    match aeropack_obs::write_env_report() {
+        Ok(Some(path)) => println!("obs run report written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("obs run report not written: {e}"),
+    }
 }

@@ -47,8 +47,11 @@ pub fn report(name: &str, mean: Duration) {
     println!("{name:<44} {:>12}", fmt_duration(mean));
 }
 
-/// Prints the experiment banner.
+/// Prints the experiment banner. Every experiment binary calls this
+/// first, so it doubles as the observability hook: `AEROPACK_OBS=1`
+/// enables event recording for any experiment run.
 pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    aeropack_obs::init_from_env();
     println!("{}", "=".repeat(78));
     println!("{id}: {title}");
     println!("reproduces: {paper_ref}");

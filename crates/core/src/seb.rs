@@ -335,6 +335,8 @@ impl SebModel {
     /// saturation is not an error: the excess heat simply stays on the
     /// box-convection path (the box gets hotter).
     pub fn solve(&self, power: Power, ambient: Celsius) -> Result<SebOperatingState, DesignError> {
+        let _span = aeropack_obs::span!("seb.solve");
+        aeropack_obs::counter!("seb.solves");
         if power.value() <= 0.0 {
             return Err(DesignError::invalid("SEB power must be positive"));
         }
@@ -419,6 +421,7 @@ impl SebModel {
         use aeropack_solver::{Method, Precond, SolverStats};
         let start = std::time::Instant::now();
         let state = self.solve(power, ambient)?;
+        aeropack_obs::histogram!("seb.solve_seconds", start.elapsed().as_secs_f64());
         let stats = SolverStats {
             context: "SEB operating point",
             method: Method::Bisection,
@@ -453,15 +456,24 @@ impl SebModel {
         ambient: Celsius,
         runner: &Sweep,
     ) -> (Vec<Vec<Result<SebOperatingState, DesignError>>>, SweepStats) {
+        let _span = aeropack_obs::span!(
+            "seb.power_sweep",
+            configs = configs.len(),
+            powers = powers.len()
+        );
         let grid: Vec<(usize, Power)> = configs
             .iter()
             .enumerate()
             .flat_map(|(ci, _)| powers.iter().map(move |&p| (ci, p)))
             .collect();
         let (flat, stats) = runner.map_stats(&grid, |&(ci, p)| {
+            let _point = aeropack_obs::span_labeled("seb.point", || format!("config={ci}"));
             match configs[ci].solve_with_stats(p, ambient) {
                 Ok((state, st)) => (Ok(state), ScenarioStats::from_solver(&st)),
-                Err(e) => (Err(e), ScenarioStats::default()),
+                Err(e) => {
+                    aeropack_obs::counter!("seb.point_failures");
+                    (Err(e), ScenarioStats::default())
+                }
             }
         });
         let mut rows = Vec::with_capacity(configs.len());
@@ -481,7 +493,9 @@ impl SebModel {
     /// Propagates solver failures other than dry-out (dry-out simply
     /// caps the capability).
     pub fn capability(&self, dt_limit: TempDelta, ambient: Celsius) -> Result<Power, DesignError> {
+        let _span = aeropack_obs::span!("seb.capability");
         let ok = |p: f64| -> Result<bool, DesignError> {
+            aeropack_obs::counter!("seb.capability_probes");
             match self.solve(Power::new(p), ambient) {
                 Ok(state) => Ok(state.dt_pcb_air(ambient).kelvin() <= dt_limit.kelvin()),
                 Err(DesignError::TwoPhase(TwoPhaseError::DryOut { .. })) => Ok(false),
@@ -489,16 +503,23 @@ impl SebModel {
             }
         };
         let mut lo = 1.0;
-        if !ok(lo)? {
-            return Ok(Power::ZERO);
-        }
-        let mut hi = 2.0;
-        while ok(hi)? {
-            lo = hi;
-            hi *= 2.0;
-            if hi > 4096.0 {
-                return Ok(Power::new(lo));
+        let mut hi;
+        if ok(lo)? {
+            hi = 2.0;
+            while ok(hi)? {
+                lo = hi;
+                hi *= 2.0;
+                if hi > 4096.0 {
+                    return Ok(Power::new(lo));
+                }
             }
+        } else {
+            // A tight ΔT limit can put the capability below 1 W. Bisect
+            // the unit interval instead of rounding the answer to zero
+            // (the lower endpoint is never evaluated: solve rejects
+            // non-positive power, and every bisection probe is > 0).
+            lo = 0.0;
+            hi = 1.0;
         }
         for _ in 0..50 {
             let mid = 0.5 * (lo + hi);
@@ -646,6 +667,63 @@ mod tests {
     #[test]
     fn invalid_power_rejected() {
         assert!(no_lhp().solve(Power::ZERO, AMBIENT).is_err());
+    }
+
+    #[test]
+    fn capability_resolves_sub_watt_limits() {
+        // Regression: a ΔT limit tight enough that even 1 W violates it
+        // used to make capability() return exactly 0 W. The capability
+        // is small but real — the bisection must find it in (0, 1) W.
+        let model = no_lhp();
+        let dt = TempDelta::new(1.0);
+        let cap = model.capability(dt, AMBIENT).unwrap();
+        assert!(
+            cap.value() > 0.0 && cap.value() < 1.0,
+            "sub-watt capability, got {cap}"
+        );
+        // The reported capability must actually meet the limit, and a
+        // slightly larger power must violate it.
+        let dt_at_cap = model
+            .solve(cap, AMBIENT)
+            .unwrap()
+            .dt_pcb_air(AMBIENT)
+            .kelvin();
+        assert!(dt_at_cap <= 1.0 + 1e-6, "ΔT at capability {dt_at_cap:.3}");
+        let dt_above = model
+            .solve(cap * 1.2, AMBIENT)
+            .unwrap()
+            .dt_pcb_air(AMBIENT)
+            .kelvin();
+        assert!(dt_above > 1.0, "ΔT just above capability {dt_above:.3}");
+        // A zero-capability verdict is still possible in principle, but
+        // ordinary limits keep returning sensible >1 W answers.
+        let normal = model.capability(TempDelta::new(60.0), AMBIENT).unwrap();
+        assert!(normal.value() > 1.0);
+    }
+
+    #[test]
+    fn obs_records_seb_spans_and_counters() {
+        let reg = std::sync::Arc::new(aeropack_obs::Registry::new());
+        {
+            let _obs = aeropack_obs::scoped(reg.clone());
+            let configs = [no_lhp()];
+            let powers = [Power::new(20.0), Power::new(40.0)];
+            let _ = SebModel::power_sweep(&configs, &powers, AMBIENT, &Sweep::new(2));
+        }
+        assert_eq!(reg.counter("seb.solves"), 2);
+        let snap = reg.snapshot();
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path.starts_with("seb.power_sweep{")));
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path.contains("seb.point{config=0}")));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "seb.solve_seconds"));
     }
 
     #[test]

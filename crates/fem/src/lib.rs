@@ -58,8 +58,10 @@ pub use elements::{
     acm_plate, acm_plate_center_stress, bernoulli_beam, BeamProperties, PlateProperties,
 };
 pub use error::FemError;
-pub use harmonic::HarmonicResponse;
+pub use harmonic::{HarmonicResponse, MODAL_SUM_GRAIN};
 pub use modal::{modal, ModalResult};
 pub use model::{Dof, Model, PlateMesh};
-pub use random::{random_response, random_response_with, PsdCurve, RandomResponse};
+pub use random::{
+    random_response, random_response_with, random_response_with_stats, PsdCurve, RandomResponse,
+};
 pub use sdof::Sdof;

@@ -107,6 +107,7 @@ impl ModalResult {
 /// DOFs, when the model is under-constrained (singular stiffness), or
 /// when the iteration fails to converge.
 pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
+    let _span = aeropack_obs::span!("fem.modal", modes = n_modes);
     let (k, m, free) = model.reduced_system();
     let n = free.len();
     if n_modes == 0 {
@@ -122,6 +123,7 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
     let start = Instant::now();
     let (vals, vecs) = if n <= 60 {
         let (vals, vecs) = generalized_eigen_dense(&k, &m)?;
+        aeropack_obs::counter!("fem.modal.dense_extractions");
         model.record_solve_stats(SolverStats::direct(
             "modal extraction (dense eigensolver)",
             Method::Cholesky,
@@ -132,6 +134,8 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
         (vals, vecs)
     } else {
         let (vals, vecs, iterations) = subspace_iteration(&k, &m, n_modes)?;
+        aeropack_obs::counter!("fem.modal.subspace_extractions");
+        aeropack_obs::counter!("fem.modal.subspace_iterations", iterations);
         model.record_solve_stats(SolverStats {
             context: "modal extraction (subspace iteration)",
             method: Method::Cholesky,

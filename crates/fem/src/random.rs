@@ -2,11 +2,13 @@
 //! superposition, plus the piecewise log-log PSD curve type used to
 //! describe DO-160-style test spectra.
 
-use aeropack_sweep::Sweep;
+use std::time::Instant;
+
+use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
 use aeropack_units::{AccelPsd, Frequency, STANDARD_GRAVITY};
 
 use crate::error::FemError;
-use crate::harmonic::HarmonicResponse;
+use crate::harmonic::{HarmonicResponse, MODAL_SUM_GRAIN};
 use crate::model::Dof;
 
 /// A one-sided acceleration PSD specified by breakpoints interpolated
@@ -177,6 +179,26 @@ pub fn random_response_with(
     dof: Dof,
     input: &PsdCurve,
 ) -> Result<RandomResponse, FemError> {
+    Ok(random_response_with_stats(runner, response, node, dof, input)?.0)
+}
+
+/// [`random_response_with`] that also returns the grid evaluation's
+/// [`SweepStats`] with real per-point records: each point counts its
+/// two modal transfer sums (`2 × modes` work units) and its measured
+/// wall time.
+///
+/// # Errors
+///
+/// Returns an error for invalid DOF addressing or an empty integration
+/// band.
+pub fn random_response_with_stats(
+    runner: &Sweep,
+    response: &HarmonicResponse,
+    node: usize,
+    dof: Dof,
+    input: &PsdCurve,
+) -> Result<(RandomResponse, SweepStats), FemError> {
+    let _span = aeropack_obs::span!("fem.random.response");
     let idx = response.dof_index(node, dof)?;
     let f_lo = input.f_min().value();
     let f_hi = input.f_max().value();
@@ -186,8 +208,11 @@ pub fn random_response_with(
     // Log-spaced grid, refined enough to resolve 1% damping peaks.
     let n = 2000;
     let grid: Vec<usize> = (0..=n).collect();
+    let modes = response.omegas().len();
+    let runner = runner.grain_hint(MODAL_SUM_GRAIN);
     // Per-point response PSDs, embarrassingly parallel.
-    let samples = runner.map(&grid, |&i| {
+    let (samples, stats) = runner.map_stats(&grid, |&i| {
+        let start = Instant::now();
         let f = (f_lo.ln() + (f_hi.ln() - f_lo.ln()) * i as f64 / n as f64).exp();
         let freq = Frequency::new(f);
         let s_in_g2 = input.level(freq).value(); // g²/Hz
@@ -196,8 +221,12 @@ pub fn random_response_with(
         // Displacement transfer is per (m/s²) of base accel: convert
         // input to (m/s²)²/Hz.
         let s_in_si = s_in_g2 * STANDARD_GRAVITY * STANDARD_GRAVITY;
-        (f, h2a * s_in_g2, h2d * s_in_si)
+        let mut s = ScenarioStats::trivial();
+        s.iterations = 2 * modes;
+        s.solve_time = start.elapsed();
+        ((f, h2a * s_in_g2, h2d * s_in_si), s)
     });
+    aeropack_obs::counter!("fem.random.points", grid.len());
     // Trapezoid integration, serially in frequency order.
     let mut accel_var = 0.0; // g²
     let mut disp_var = 0.0; // m²
@@ -217,11 +246,14 @@ pub fn random_response_with(
     } else {
         Frequency::ZERO
     };
-    Ok(RandomResponse {
-        accel_grms: accel_var.sqrt(),
-        disp_rms: disp_var.sqrt(),
-        characteristic_frequency,
-    })
+    Ok((
+        RandomResponse {
+            accel_grms: accel_var.sqrt(),
+            disp_rms: disp_var.sqrt(),
+            characteristic_frequency,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]

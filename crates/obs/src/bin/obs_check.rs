@@ -1,0 +1,47 @@
+//! CI smoke gate for obs run reports.
+//!
+//! Usage: `obs_check <report.json> [required_counter_prefix...]`
+//!
+//! Exits non-zero when the file is missing, fails to parse/validate as
+//! an `aeropack-obs-report/v1` document, or when any required counter
+//! prefix has a zero sum.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: obs_check <report.json> [required_counter_prefix...]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match aeropack_obs::validate_report(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs_check: {path} is not a valid run report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("obs_check: {path}: {summary}");
+    let mut ok = true;
+    for prefix in args {
+        let sum = summary.counter_prefix_sum(&prefix);
+        if sum == 0 {
+            eprintln!("obs_check: no counter under prefix {prefix:?} has a non-zero value");
+            ok = false;
+        } else {
+            println!("obs_check: prefix {prefix:?} sum = {sum}");
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

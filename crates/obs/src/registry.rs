@@ -1,0 +1,320 @@
+//! The thread-safe event sink: counters, log₂-bucketed histograms and
+//! span aggregates, plus the snapshot types reports are built from.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of exponent buckets: log₂ exponents −64..=63, i.e. values
+/// from ~5.4e−20 up to ~9.2e18 land in a dedicated bucket; anything
+/// beyond clamps into the first/last bucket.
+const BUCKETS: usize = 128;
+const EXP_MIN: i32 = -64;
+
+#[derive(Clone)]
+struct Histogram {
+    counts: [u64; BUCKETS],
+    /// Values that are ≤ 0 or non-finite (kept out of sum/min/max).
+    outliers: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            outliers: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        if !(v.is_finite() && v > 0.0) {
+            self.outliers += 1;
+            return;
+        }
+        let exp = (v.log2().floor() as i32).clamp(EXP_MIN, EXP_MIN + BUCKETS as i32 - 1);
+        self.counts[(exp - EXP_MIN) as usize] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+#[derive(Clone, Default)]
+struct SpanAgg {
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+/// A point-in-time copy of one histogram, with only the occupied
+/// buckets materialised as `(lower bound, upper bound, count)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Positive, finite samples recorded.
+    pub count: u64,
+    /// Sum of those samples.
+    pub sum: f64,
+    /// Smallest sample (0.0 when empty).
+    pub min: f64,
+    /// Largest sample (0.0 when empty).
+    pub max: f64,
+    /// Samples that were ≤ 0 or non-finite.
+    pub outliers: u64,
+    /// Occupied log₂ buckets: `(≥ lower, < upper, count)`.
+    pub buckets: Vec<(f64, f64, u64)>,
+}
+
+/// A point-in-time copy of one span path's aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Full nested path, `parent/child{label}` style.
+    pub path: String,
+    /// Times the span completed.
+    pub count: u64,
+    /// Accumulated wall time.
+    pub total: Duration,
+    /// Longest single occurrence.
+    pub max: Duration,
+}
+
+/// Everything a registry holds, copied out for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+/// A thread-safe sink for counters, histograms and span records. One
+/// global instance serves the process (see
+/// [`global_registry`](crate::global_registry)); tests install private
+/// instances with [`scoped`](crate::scoped).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter (creating it at zero).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut map = self.counters.lock().expect("obs counters poisoned");
+        *map.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one value into a histogram (creating it empty).
+    pub fn histogram_record(&self, name: &'static str, value: f64) {
+        let mut map = self.histograms.lock().expect("obs histograms poisoned");
+        map.entry(name).or_insert_with(Histogram::new).record(value);
+    }
+
+    /// Folds one completed span occurrence into the aggregate for
+    /// `path`.
+    pub fn span_record(&self, path: &str, elapsed: Duration) {
+        let mut map = self.spans.lock().expect("obs spans poisoned");
+        let agg = map.entry(path.to_string()).or_default();
+        agg.count += 1;
+        agg.total += elapsed;
+        agg.max = agg.max.max(elapsed);
+    }
+
+    /// Current value of a counter (0 when absent) — the accessor tests
+    /// assert against.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("obs counters poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — handy for
+    /// "did any solver event fire" smoke assertions.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("obs counters poisoned")
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Copies everything out for reporting.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counters poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs histograms poisoned")
+            .iter()
+            .map(|(name, h)| {
+                let buckets = h
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| {
+                        let exp = EXP_MIN + i as i32;
+                        (2f64.powi(exp), 2f64.powi(exp + 1), *c)
+                    })
+                    .collect();
+                HistogramSnapshot {
+                    name: name.to_string(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count > 0 { h.min } else { 0.0 },
+                    max: if h.count > 0 { h.max } else { 0.0 },
+                    outliers: h.outliers,
+                    buckets,
+                }
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("obs spans poisoned")
+            .iter()
+            .map(|(path, agg)| SpanSnapshot {
+                path: path.clone(),
+                count: agg.count,
+                total: agg.total,
+                max: agg.max,
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Drops every recorded value (used by long-lived processes between
+    /// runs).
+    pub fn clear(&self) {
+        self.counters.lock().expect("obs counters poisoned").clear();
+        self.histograms
+            .lock()
+            .expect("obs histograms poisoned")
+            .clear();
+        self.spans.lock().expect("obs spans poisoned").clear();
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Registry")
+            .field("counters", &snap.counters.len())
+            .field("histograms", &snap.histograms.len())
+            .field("spans", &snap.spans.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter_add("a.x", 2);
+        r.counter_add("a.x", 3);
+        r.counter_add("a.y", 1);
+        assert_eq!(r.counter("a.x"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.counter_prefix_sum("a."), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let r = Registry::new();
+        for v in [1.5, 1.9, 3.0, 1e-12, -4.0, f64::NAN, 0.0] {
+            r.histogram_record("h", v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.outliers, 3);
+        assert_eq!(h.min, 1e-12);
+        assert_eq!(h.max, 3.0);
+        // 1.5 and 1.9 share the [1, 2) bucket.
+        let b1 = h
+            .buckets
+            .iter()
+            .find(|(lo, _, _)| *lo == 1.0)
+            .expect("[1,2) bucket");
+        assert_eq!((b1.1, b1.2), (2.0, 2));
+        // Extremes clamp instead of indexing out of range.
+        r.histogram_record("h", 1e300);
+        r.histogram_record("h", 1e-300);
+        assert_eq!(r.snapshot().histograms[0].count, 6);
+    }
+
+    #[test]
+    fn span_aggregates_track_count_total_max() {
+        let r = Registry::new();
+        r.span_record("a/b", Duration::from_millis(2));
+        r.span_record("a/b", Duration::from_millis(6));
+        let snap = r.snapshot();
+        let s = &snap.spans[0];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, Duration::from_millis(8));
+        assert_eq!(s.max, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let r = Registry::new();
+        r.counter_add("c", 1);
+        r.histogram_record("h", 1.0);
+        r.span_record("s", Duration::from_nanos(1));
+        r.clear();
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty() && snap.spans.is_empty());
+    }
+
+    #[test]
+    fn concurrent_updates_are_safe() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("parallel", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("parallel"), 4000);
+    }
+}

@@ -50,6 +50,7 @@ impl DenseCholesky {
                 }
             }
         }
+        aeropack_obs::counter!("solver.cholesky.factorizations");
         Ok(Self { n, l })
     }
 
@@ -70,6 +71,7 @@ impl DenseCholesky {
     ///
     /// Panics if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        aeropack_obs::counter!("solver.cholesky.solves");
         self.backward(&self.forward(b))
     }
 
@@ -94,6 +96,7 @@ impl DenseCholesky {
             b.len()
         );
         let k = b.len() / n;
+        aeropack_obs::counter!("solver.cholesky.solves", k);
         let mut x = b.to_vec();
         // Forward: L·Y = B, all k columns advanced together per row i.
         for i in 0..n {
@@ -211,6 +214,7 @@ impl DenseLu {
                 }
             }
         }
+        aeropack_obs::counter!("solver.lu.factorizations");
         Ok(Self { n, lu, pivots })
     }
 
@@ -225,6 +229,7 @@ impl DenseLu {
     ///
     /// Panics if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        aeropack_obs::counter!("solver.lu.solves");
         let n = self.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
         let mut x = b.to_vec();

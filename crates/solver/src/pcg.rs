@@ -331,17 +331,24 @@ where
     let record = cfg.get_record_history();
     let max_iter = cfg.iteration_budget(n);
     let start = Instant::now();
-    let stats = |iterations, history: Vec<f64>, final_residual| SolverStats {
-        context,
-        method: Method::Pcg,
-        preconditioner: cfg.get_preconditioner(),
-        unknowns: n,
-        threads: cfg.get_threads(),
-        iterations,
-        residual_history: history,
-        final_residual,
-        tolerance: tol,
-        wall_time: start.elapsed(),
+    let stats = |iterations: usize, history: Vec<f64>, final_residual: f64| {
+        let wall_time = start.elapsed();
+        aeropack_obs::counter!("solver.pcg.solves");
+        aeropack_obs::counter!("solver.pcg.iterations", iterations);
+        aeropack_obs::histogram!("solver.pcg.final_residual", final_residual);
+        aeropack_obs::histogram!("solver.pcg.solve_seconds", wall_time.as_secs_f64());
+        SolverStats {
+            context,
+            method: Method::Pcg,
+            preconditioner: cfg.get_preconditioner(),
+            unknowns: n,
+            threads: cfg.get_threads(),
+            iterations,
+            residual_history: history,
+            final_residual,
+            tolerance: tol,
+            wall_time,
+        }
     };
 
     x.fill(0.0);
@@ -381,6 +388,7 @@ where
         }
     }
     let rel = history.last().copied().unwrap_or(1.0);
+    aeropack_obs::counter!("solver.pcg.not_converged");
     Err(SolverError::NotConverged {
         context,
         iterations: max_iter,

@@ -87,4 +87,34 @@ fn warm_pcg_solve_performs_no_heap_allocation() {
         "allocation counter must be live"
     );
     drop(v);
+
+    // The instrumented hot path emits obs events (solver.pcg.*). With
+    // observability in its default disabled state — as measured above —
+    // those events must cost nothing: the zero-alloc assertion already
+    // covers them, since solve_sparse_into is instrumented. Now prove
+    // the events are real when enabled...
+    assert!(!aeropack_obs::enabled(), "obs must default to disabled");
+    let reg = std::sync::Arc::new(aeropack_obs::Registry::new());
+    {
+        let _obs = aeropack_obs::scoped(reg.clone());
+        let stats = solve_sparse_into(&mut ws, &a, &b, &mut x, &cfg).expect("observed solve");
+        assert_eq!(reg.counter("solver.pcg.solves"), 1);
+        assert_eq!(
+            reg.counter("solver.pcg.iterations"),
+            stats.iterations as u64
+        );
+    }
+    // ...and that dropping back to disabled restores the allocation-free
+    // warm path (the enable flag really is the only state consulted).
+    assert!(!aeropack_obs::enabled(), "scope end must disable obs again");
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let stats = solve_sparse_into(&mut ws, &a, &b, &mut x, &cfg).expect("re-disabled solve");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(stats.converged());
+    assert_eq!(
+        after - before,
+        0,
+        "obs disabled again: warm solve allocated {} time(s)",
+        after - before
+    );
 }

@@ -43,13 +43,20 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aeropack_solver::SolverStats;
 
 /// Environment variable read by [`Sweep::from_env`] to pick the worker
 /// thread count.
 pub const THREADS_ENV: &str = "AEROPACK_THREADS";
+
+/// Default minimum number of scenarios each worker must receive before
+/// the runner spawns threads at all (see [`Sweep::with_grain`]).
+/// Scenario sweeps in this workspace are dominated by expensive solves,
+/// so a low default keeps genuine parallelism; cheap closed-form grids
+/// (the harmonic transfer sum) raise it via [`Sweep::grain_hint`].
+pub const DEFAULT_GRAIN: usize = 2;
 
 /// A deterministic parallel runner for scenario grids.
 ///
@@ -60,6 +67,9 @@ pub const THREADS_ENV: &str = "AEROPACK_THREADS";
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sweep {
     threads: usize,
+    /// Minimum scenarios per worker before threads are spawned;
+    /// `None` means [`DEFAULT_GRAIN`] and lets callers hint.
+    grain: Option<usize>,
 }
 
 impl Default for Sweep {
@@ -68,11 +78,19 @@ impl Default for Sweep {
     }
 }
 
+/// Per-call execution metrics collected by the runner itself: how many
+/// workers actually ran and how long each contiguous block took.
+struct RunMetrics {
+    workers: usize,
+    block_times: Vec<Duration>,
+}
+
 impl Sweep {
     /// A runner with an explicit worker count (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            grain: None,
         }
     }
 
@@ -112,6 +130,45 @@ impl Sweep {
         self.threads
     }
 
+    /// Pins the minimum number of scenarios per worker (clamped to
+    /// ≥ 1). Below `grain` scenarios per worker the runner evaluates
+    /// serially on the calling thread instead of spawning — thread
+    /// spawn/join overhead otherwise dominates tiny grids (the checked
+    /// benchmark history shows the 257-point harmonic sweep at 0.33×
+    /// with 2 threads). An explicit grain overrides any later
+    /// [`Sweep::grain_hint`], which is how the determinism tests force
+    /// genuine parallelism with `with_grain(1)`.
+    #[must_use]
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = Some(grain.max(1));
+        self
+    }
+
+    /// Suggests a grain for cheap per-scenario workloads, applied only
+    /// when no explicit [`Sweep::with_grain`] was set. Library code on
+    /// closed-form paths (e.g. the harmonic transfer sum) hints large
+    /// grains without clobbering caller overrides.
+    #[must_use]
+    pub fn grain_hint(mut self, grain: usize) -> Self {
+        if self.grain.is_none() {
+            self.grain = Some(grain.max(1));
+        }
+        self
+    }
+
+    /// The effective minimum scenarios per worker.
+    pub fn grain(&self) -> usize {
+        self.grain.unwrap_or(DEFAULT_GRAIN)
+    }
+
+    /// How many workers a sweep over `n` scenarios will actually use:
+    /// the configured thread count, capped so every worker gets at
+    /// least [`Sweep::grain`] scenarios. `1` means the serial fast
+    /// path (no threads spawned).
+    pub fn effective_workers(&self, n: usize) -> usize {
+        self.threads.min((n / self.grain()).max(1))
+    }
+
     /// Evaluates `f` over every scenario, in parallel, preserving input
     /// order in the returned vector: `out[i] = f(&scenarios[i])`.
     ///
@@ -144,20 +201,55 @@ impl Sweep {
         I: Fn() -> W + Sync,
         F: Fn(&mut W, &S) -> R + Sync,
     {
+        self.run_with_metrics(scenarios, init, f).0
+    }
+
+    /// The one execution path behind [`Sweep::map`] / [`Sweep::map_with`]
+    /// / [`Sweep::map_stats`]: evaluates the grid and measures each
+    /// worker's block wall time. Timing and observability events never
+    /// influence scheduling or results — the block partition is still a
+    /// pure function of `(len, workers)`.
+    fn run_with_metrics<S, R, W, I, F>(
+        &self,
+        scenarios: &[S],
+        init: I,
+        f: F,
+    ) -> (Vec<R>, RunMetrics)
+    where
+        S: Sync,
+        R: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &S) -> R + Sync,
+    {
         let n = scenarios.len();
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
-        let workers = self.threads.min(n.max(1));
+        let workers = self.effective_workers(n);
+        let _sweep_span = aeropack_obs::span!("sweep.map", scenarios = n, workers = workers);
+        aeropack_obs::counter!("sweep.maps");
+        aeropack_obs::counter!("sweep.scenarios", n);
+        let mut block_times;
         if workers <= 1 {
+            if self.threads > 1 {
+                aeropack_obs::counter!("sweep.serial_fastpath");
+            }
+            let start = Instant::now();
             let mut scratch = init();
             for (slot, s) in out.iter_mut().zip(scenarios) {
                 *slot = Some(f(&mut scratch, s));
             }
+            block_times = vec![start.elapsed()];
         } else {
+            // Captured once on the dispatching thread so workers record
+            // into the same (possibly test-scoped) registry.
+            let obs_sink = aeropack_obs::propagation_handle();
             let chunk = n.div_ceil(workers);
+            block_times = Vec::with_capacity(workers);
             std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
                 let mut rest = out.as_mut_slice();
                 let mut start = 0;
+                let mut block_idx = 0usize;
                 while start < n {
                     let end = (start + chunk).min(n);
                     let (block, tail) = rest.split_at_mut(end - start);
@@ -165,19 +257,43 @@ impl Sweep {
                     let scenarios = &scenarios[start..end];
                     let init = &init;
                     let f = &f;
-                    scope.spawn(move || {
+                    let obs_sink = obs_sink.clone();
+                    handles.push(scope.spawn(move || {
+                        let _sink = obs_sink.map(aeropack_obs::attach);
+                        let _span = aeropack_obs::span!(
+                            "sweep.worker",
+                            block = block_idx,
+                            scenarios = block.len()
+                        );
+                        let wall = Instant::now();
                         let mut scratch = init();
                         for (slot, s) in block.iter_mut().zip(scenarios) {
                             *slot = Some(f(&mut scratch, s));
                         }
-                    });
+                        wall.elapsed()
+                    }));
                     start = end;
+                    block_idx += 1;
+                }
+                for handle in handles {
+                    block_times.push(handle.join().expect("sweep worker panicked"));
                 }
             });
+            for t in &block_times {
+                aeropack_obs::histogram!("sweep.block_seconds", t.as_secs_f64());
+            }
         }
-        out.into_iter()
+        let results = out
+            .into_iter()
             .map(|r| r.expect("worker filled every slot"))
-            .collect()
+            .collect();
+        (
+            results,
+            RunMetrics {
+                workers,
+                block_times,
+            },
+        )
     }
 
     /// Evaluates scenarios that report per-point [`ScenarioStats`]
@@ -190,8 +306,21 @@ impl Sweep {
         R: Send,
         F: Fn(&S) -> (R, ScenarioStats) + Sync,
     {
-        let pairs = self.map(scenarios, f);
+        let (pairs, metrics) = self.run_with_metrics(scenarios, || (), |(), s| f(s));
         let mut stats = SweepStats::new(self.threads);
+        stats.engaged_workers = metrics.workers;
+        stats.max_block_time = metrics
+            .block_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default();
+        stats.min_block_time = metrics
+            .block_times
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or_default();
         let mut out = Vec::with_capacity(pairs.len());
         for (r, s) in pairs {
             stats.absorb(&s);
@@ -275,6 +404,15 @@ pub struct SweepStats {
     pub cache_misses: usize,
     /// Scenarios whose solves all converged.
     pub converged: usize,
+    /// Workers that actually ran (1 when the grain-based serial fast
+    /// path engaged; `threads` otherwise, unless the grid was small).
+    pub engaged_workers: usize,
+    /// Wall time of the slowest worker block — with
+    /// [`SweepStats::min_block_time`], the sweep's load-imbalance
+    /// signal.
+    pub max_block_time: Duration,
+    /// Wall time of the fastest worker block.
+    pub min_block_time: Duration,
 }
 
 impl SweepStats {
@@ -307,6 +445,26 @@ impl SweepStats {
             0.0
         } else {
             self.total_iterations as f64 / self.scenarios as f64
+        }
+    }
+
+    /// Whether more than one worker actually ran (false when the
+    /// grain-based serial fast path engaged).
+    pub fn parallel_engaged(&self) -> bool {
+        self.engaged_workers > 1
+    }
+
+    /// Slowest-to-fastest worker block wall-time ratio (1.0 for a
+    /// perfectly balanced or serial sweep; 0.0 before any run).
+    pub fn block_imbalance(&self) -> f64 {
+        let min = self.min_block_time.as_secs_f64();
+        let max = self.max_block_time.as_secs_f64();
+        if min > 0.0 {
+            max / min
+        } else if max > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
         }
     }
 }
@@ -394,6 +552,54 @@ mod tests {
         assert!(Sweep::from_env().threads() >= 1);
         assert_eq!(Sweep::new(0).threads(), 1);
         assert_eq!(Sweep::new(6).threads(), 6);
+    }
+
+    #[test]
+    fn serial_fastpath_engages_below_grain() {
+        let xs: Vec<usize> = (0..8).collect();
+        let sweep = Sweep::new(4).with_grain(100);
+        assert_eq!(sweep.effective_workers(xs.len()), 1);
+        let (out, stats) = sweep.map_stats(&xs, |&x| (x, ScenarioStats::trivial()));
+        assert_eq!(out, xs);
+        assert_eq!(stats.engaged_workers, 1);
+        assert!(!stats.parallel_engaged());
+        // An explicit grain of 1 forces genuine parallelism back on and
+        // wins over any later hint; a hint fills in only when unset.
+        let forced = Sweep::new(4).with_grain(1);
+        assert_eq!(forced.effective_workers(xs.len()), 4);
+        assert_eq!(forced.grain_hint(64).grain(), 1);
+        assert_eq!(Sweep::new(4).grain_hint(64).grain(), 64);
+        assert_eq!(Sweep::new(4).grain(), DEFAULT_GRAIN);
+    }
+
+    #[test]
+    fn map_stats_records_block_metrics() {
+        let xs: Vec<usize> = (0..12).collect();
+        let (_, stats) = Sweep::new(3)
+            .with_grain(1)
+            .map_stats(&xs, |&x| (x, ScenarioStats::trivial()));
+        assert_eq!(stats.engaged_workers, 3);
+        assert!(stats.parallel_engaged());
+        assert!(stats.max_block_time >= stats.min_block_time);
+    }
+
+    #[test]
+    fn obs_sees_sweep_events_from_workers() {
+        let reg = std::sync::Arc::new(aeropack_obs::Registry::new());
+        let _g = aeropack_obs::scoped(reg.clone());
+        let xs: Vec<usize> = (0..9).collect();
+        let _ = Sweep::new(3).with_grain(1).map(&xs, |&x| x);
+        assert_eq!(reg.counter("sweep.maps"), 1);
+        assert_eq!(reg.counter("sweep.scenarios"), 9);
+        let snap = reg.snapshot();
+        assert!(snap.spans.iter().any(|s| s.path.starts_with("sweep.map{")));
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path.starts_with("sweep.worker{")));
+        // The serial fast path is visible as a counter, not a span.
+        let _ = Sweep::new(4).with_grain(100).map(&xs, |&x| x);
+        assert_eq!(reg.counter("sweep.serial_fastpath"), 1);
     }
 
     #[test]

@@ -527,9 +527,11 @@ impl FvModel {
         let mut cached = self.pattern.lock().expect("pattern lock poisoned");
         if let Some(pattern) = cached.as_ref() {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            aeropack_obs::counter!("thermal.fv.pattern_cache.hits");
             CsrMatrix::from_pattern_row_fn(pattern, threads, row_fn)
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            aeropack_obs::counter!("thermal.fv.pattern_cache.misses");
             let matrix = CsrMatrix::from_row_fn(n, threads, row_fn);
             *cached = Some(matrix.pattern());
             matrix
@@ -599,6 +601,7 @@ impl FvModel {
     /// temperature reference (all adiabatic/flux), or a convergence
     /// failure from the iterative solver.
     pub fn solve_steady(&self) -> Result<FvField, ThermalError> {
+        let _span = aeropack_obs::span!("thermal.fv.solve_steady", cells = self.grid.cell_count());
         // The operator is singular (constant null space) unless at least
         // one face pins the temperature level.
         let has_reference = self

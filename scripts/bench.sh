@@ -2,7 +2,8 @@
 # Sweep-engine benchmark runner: builds the workspace in release mode
 # and runs the `sweeps` bench, which times every sweep workload serially
 # and at 2/4 threads, verifies bit-identical results across thread
-# counts, and writes BENCH_sweeps.json at the repository root.
+# counts, and writes BENCH_sweeps.json plus the observability run
+# report BENCH_obs_report.json at the repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run, writes BENCH_sweeps.json
@@ -11,6 +12,13 @@
 # Everything runs offline; the workspace has no external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+HW_THREADS=$(nproc 2>/dev/null || echo 1)
+if [ "$HW_THREADS" -lt 4 ]; then
+    echo "note: $HW_THREADS hardware thread(s) < widest timed count (4);" \
+         "wider rows will be tagged \"oversubscribed\": true and their" \
+         "speedups are scheduler contention, not engine performance."
+fi
 
 echo "==> cargo bench --bench sweeps $*"
 cargo bench -q --offline -p aeropack-bench --bench sweeps -- "$@"

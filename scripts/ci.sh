@@ -20,6 +20,17 @@ echo "==> sweep bench smoke (tiny grids, 2 threads, determinism gate)"
 # Exits non-zero if any sweep is not bit-identical across thread counts.
 cargo bench -q --offline -p aeropack-bench --bench sweeps -- --smoke
 
+echo "==> obs smoke (exp02 with observability on, run report must validate)"
+# Run a real experiment with events flowing, then gate on the emitted
+# report: it must parse as aeropack-obs-report/v1 and carry non-zero
+# solver and sweep counters.
+OBS_REPORT=target/obs_exp02.json
+AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$OBS_REPORT" \
+    cargo run -q --release --offline -p aeropack-bench --bin exp02_three_levels \
+    > /dev/null
+cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
+    "$OBS_REPORT" solver. sweep.
+
 echo "==> golden snapshot gate (tests/golden/, drift prints a per-quantity table)"
 # Out-of-tolerance drift fails with golden/current/|drift|/allowed rows;
 # regenerate intentionally moved values with scripts/snapshot.sh.

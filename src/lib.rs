@@ -17,6 +17,9 @@
 //! * [`sweep`] — the deterministic parallel scenario-sweep engine
 //!   (order-preserving thread-scoped runner, `AEROPACK_THREADS`
 //!   configuration, per-sweep solver-stats roll-ups).
+//! * [`obs`] — the observability layer: spans, counters, log-bucketed
+//!   histograms and JSON run reports (`AEROPACK_OBS=1`), with a
+//!   zero-cost disabled mode.
 //! * [`design`] — the co-design framework tying it all together
 //!   (three-level thermal analysis, cooling selection, the SEB model).
 //! * [`verify`] — the verification substrate: property testing with
@@ -49,6 +52,7 @@ pub use aeropack_core as design;
 pub use aeropack_envqual as envqual;
 pub use aeropack_fem as fem;
 pub use aeropack_materials as materials;
+pub use aeropack_obs as obs;
 pub use aeropack_solver as solver;
 pub use aeropack_sweep as sweep;
 pub use aeropack_thermal as thermal;

@@ -119,9 +119,14 @@ fn harmonic_sweep_is_bit_identical_across_thread_counts() {
         .collect();
 
     for threads in THREAD_COUNTS {
-        let parallel: Vec<(u64, u64)> = resp
-            .sweep_with(&Sweep::new(threads), node, Dof::W, f_min, f_max, points)
-            .expect("parallel sweep")
+        // `with_grain(1)` overrides the modal-sum grain hint so the
+        // sweep genuinely spawns `threads` workers on this small grid —
+        // otherwise the serial fast path would make the test vacuous.
+        let runner = Sweep::new(threads).with_grain(1);
+        let (swept, stats) = resp
+            .sweep_with_stats(&runner, node, Dof::W, f_min, f_max, points)
+            .expect("parallel sweep");
+        let parallel: Vec<(u64, u64)> = swept
             .iter()
             .map(|(f, a)| (f.value().to_bits(), a.to_bits()))
             .collect();
@@ -129,6 +134,10 @@ fn harmonic_sweep_is_bit_identical_across_thread_counts() {
             parallel, reference,
             "harmonic sweep diverged at {threads} threads"
         );
+        assert_eq!(stats.engaged_workers, threads.min(points));
+        // Real per-point records: the modal sum is counted as work.
+        assert_eq!(stats.total_iterations, points * resp.omegas().len());
+        assert!(stats.total_solve_time.as_nanos() > 0);
     }
 
     // The old serial path computed exactly this loop in frequency
@@ -150,8 +159,10 @@ fn random_response_is_bit_identical_across_thread_counts() {
         .expect("serial random response");
     // `random_response` itself reads AEROPACK_THREADS; exercise the
     // explicit-runner path at every count and the env path once.
+    // `with_grain(1)` forces genuine parallelism past the grain hint.
     for threads in THREAD_COUNTS {
-        let parallel = random_response_with(&Sweep::new(threads), &resp, node, Dof::W, &psd)
+        let runner = Sweep::new(threads).with_grain(1);
+        let parallel = random_response_with(&runner, &resp, node, Dof::W, &psd)
             .expect("parallel random response");
         assert_eq!(
             parallel.accel_grms.to_bits(),
@@ -171,4 +182,111 @@ fn random_response_is_bit_identical_across_thread_counts() {
     }
     let via_env = random_response(&resp, node, Dof::W, &psd).expect("env-path random response");
     assert_eq!(via_env.accel_grms.to_bits(), reference.accel_grms.to_bits());
+}
+
+#[test]
+fn sweeps_stay_bit_identical_with_observability_enabled() {
+    // Observability must be a pure observer: enabling it (scoped
+    // registry, events flowing from every worker) must not perturb a
+    // single bit of any sweep output, at any thread count.
+    let (resp, node) = board_response();
+    let f_min = Frequency::new(20.0);
+    let f_max = Frequency::new(2000.0);
+    let points = 257;
+    let disabled_reference: Vec<(u64, u64)> = resp
+        .sweep_with(&Sweep::serial(), node, Dof::W, f_min, f_max, points)
+        .expect("serial sweep")
+        .iter()
+        .map(|(f, a)| (f.value().to_bits(), a.to_bits()))
+        .collect();
+
+    for threads in THREAD_COUNTS {
+        let reg = std::sync::Arc::new(aeropack::obs::Registry::new());
+        let observed: Vec<(u64, u64)> = {
+            let _obs = aeropack::obs::scoped(reg.clone());
+            resp.sweep_with(
+                &Sweep::new(threads).with_grain(1),
+                node,
+                Dof::W,
+                f_min,
+                f_max,
+                points,
+            )
+            .expect("observed sweep")
+            .iter()
+            .map(|(f, a)| (f.value().to_bits(), a.to_bits()))
+            .collect()
+        };
+        assert_eq!(
+            observed, disabled_reference,
+            "observability perturbed the harmonic sweep at {threads} threads"
+        );
+        // The events really flowed — including from spawned workers.
+        assert_eq!(reg.counter("sweep.scenarios"), points as u64);
+        assert_eq!(reg.counter("fem.harmonic.points"), points as u64);
+        if threads > 1 {
+            let snap = reg.snapshot();
+            assert!(
+                snap.spans
+                    .iter()
+                    .any(|s| s.path.starts_with("sweep.worker{")),
+                "worker spans missing at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn power_sweep_reports_per_point_failures_in_place() {
+    // Past ~300 W the internal copper/water heat pipes exceed their
+    // capillary limit: those grid points must come back as Err rows in
+    // their exact slots while every other point still solves — at every
+    // thread count, identically to the pointwise path.
+    let ambient = Celsius::new(25.0);
+    let configs = fig10_configs();
+    let powers: Vec<Power> = [40.0, 120.0, 250.0, 400.0, 3000.0]
+        .iter()
+        .map(|&p| Power::new(p))
+        .collect();
+
+    let pointwise: Vec<Vec<Result<u64, String>>> = configs
+        .iter()
+        .map(|config| {
+            powers
+                .iter()
+                .map(|&p| match config.solve(p, ambient) {
+                    Ok(s) => Ok(s.dt_pcb_air(ambient).kelvin().to_bits()),
+                    Err(e) => Err(e.to_string()),
+                })
+                .collect()
+        })
+        .collect();
+    let failures: usize = pointwise
+        .iter()
+        .flatten()
+        .filter(|point| point.is_err())
+        .count();
+    assert!(
+        failures > 0 && failures < configs.len() * powers.len(),
+        "the grid must mix dry-out failures ({failures}) with successes"
+    );
+
+    for threads in THREAD_COUNTS {
+        let (rows, stats) = SebModel::power_sweep(&configs, &powers, ambient, &Sweep::new(threads));
+        assert_eq!(stats.scenarios, configs.len() * powers.len());
+        // Failed scenarios are the non-converged ones in the roll-up.
+        assert_eq!(stats.converged, stats.scenarios - failures);
+        for (ci, row) in rows.iter().enumerate() {
+            for (pi, point) in row.iter().enumerate() {
+                let got = match point {
+                    Ok(s) => Ok(s.dt_pcb_air(ambient).kelvin().to_bits()),
+                    Err(e) => Err(e.to_string()),
+                };
+                assert_eq!(
+                    got, pointwise[ci][pi],
+                    "threads={threads} config={ci} power={pi}: sweep row diverged"
+                );
+            }
+        }
+    }
 }
