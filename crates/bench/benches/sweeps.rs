@@ -16,18 +16,37 @@
 //! `-- --smoke` for the tiny offline CI gate (small grids, threads
 //! 1 and 2, no JSON file written).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aeropack_bench::{fmt_duration, time_mean};
-use aeropack_core::{SeatStructure, SebModel};
+use aeropack_core::{representative_board, CoolingMode, Level2Model, SeatStructure, SebModel};
 use aeropack_envqual::Do160Curve;
 use aeropack_fem::{
     modal, random_response_with_stats, Dof, HarmonicResponse, PlateMesh, PlateProperties,
 };
 use aeropack_materials::Material;
+use aeropack_solver::{Precond, SolverConfig};
 use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
-use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel};
+use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, FV_SWEEP_GRAIN};
 use aeropack_units::{Celsius, Frequency, HeatTransferCoeff, Length, Power};
+
+/// Environment variable through which `scripts/bench.sh` hands the real
+/// hardware thread count (from `nproc`) to the bench, so the
+/// oversubscription tagging reflects the machine even where
+/// `available_parallelism` sees a cgroup limit instead of the CPUs.
+const HW_THREADS_ENV: &str = "AEROPACK_HW_THREADS";
+
+fn hardware_threads() -> usize {
+    std::env::var(HW_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
 /// One benchmarked sweep: timings per thread count, the stats roll-up
 /// from the widest run, and the cross-thread-count determinism verdict.
@@ -85,6 +104,28 @@ fn seb_models(smoke: bool) -> Vec<SebModel> {
     configs
 }
 
+/// The Level-2 board refinement behind the Fig 10 grid: a
+/// conduction-cooled representative board whose power is rescaled per
+/// grid point. Primed once so every sweep solve hits the symbolic
+/// pattern cache — this is the FV hot path the seb_fig10 row used to
+/// skip entirely (its lumped SEB solves are bisection-only, so the row
+/// reported `cache_hits: 0`).
+fn fig10_board(ambient: Celsius) -> Level2Model {
+    let pcb = representative_board("fig10 board", Power::new(60.0)).expect("board");
+    let mut board = Level2Model::new(
+        &pcb,
+        &CoolingMode::ConductionCooled {
+            rail_temperature: Celsius::new(40.0),
+        },
+        ambient,
+        Length::from_millimeters(5.0),
+    )
+    .expect("level-2 model");
+    board.set_solver_config(SolverConfig::new().preconditioner(Precond::Ic0));
+    board.solve().expect("prime solve");
+    board
+}
+
 fn bench_seb_fig10(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
     let ambient = Celsius::new(25.0);
     let configs = seb_models(smoke);
@@ -92,11 +133,46 @@ fn bench_seb_fig10(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
     let powers: Vec<Power> = (1..=n_powers)
         .map(|i| Power::new(10.0 * i as f64))
         .collect();
+    let board = fig10_board(ambient);
+    let board_scales: Vec<f64> = powers.iter().map(|p| p.value() / 60.0).collect();
 
-    let run =
-        |threads: usize| SebModel::power_sweep(&configs, &powers, ambient, &Sweep::new(threads));
+    // One grid evaluation = the lumped SEB sweep plus the Level-2 board
+    // refinement sweep. The board sweep gives each worker a clone of the
+    // primed model (shared pattern, private workspace) and reports the
+    // per-scenario pattern-cache delta, so the roll-up finally counts
+    // real FV cache hits.
+    let run = |threads: usize| {
+        let (rows, mut stats) =
+            SebModel::power_sweep(&configs, &powers, ambient, &Sweep::new(threads));
+        let (board_temps, board_stats) = Sweep::new(threads)
+            .grain_hint(FV_SWEEP_GRAIN)
+            .map_stats_with(
+                &board_scales,
+                || (board.clone(), 0usize, 0usize),
+                |(model, seen_hits, seen_misses), &scale| {
+                    let field = model
+                        .fv_model()
+                        .solve_steady_scaled(scale)
+                        .expect("board solve");
+                    let solver = model.last_solve_stats().expect("board stats");
+                    let (hits, misses) = model.pattern_cache_stats();
+                    let s = ScenarioStats::from_solver(&solver)
+                        .with_cache(hits - *seen_hits, misses - *seen_misses);
+                    *seen_hits = hits;
+                    *seen_misses = misses;
+                    (field.summary().expect("non-degenerate board field").max, s)
+                },
+            );
+        stats.scenarios += board_stats.scenarios;
+        stats.total_iterations += board_stats.total_iterations;
+        stats.total_solve_time += board_stats.total_solve_time;
+        stats.cache_hits += board_stats.cache_hits;
+        stats.cache_misses += board_stats.cache_misses;
+        stats.converged += board_stats.converged;
+        (rows, board_temps, stats)
+    };
     let fingerprint = |threads: usize| {
-        let (rows, _) = run(threads);
+        let (rows, board_temps, _) = run(threads);
         let mut bits = Vec::new();
         for row in &rows {
             for point in row {
@@ -105,6 +181,9 @@ fn bench_seb_fig10(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
                     Err(e) => fold_str(&mut bits, &e.to_string()),
                 }
             }
+        }
+        for t in &board_temps {
+            bits.push(t.value().to_bits());
         }
         bits
     };
@@ -115,11 +194,11 @@ fn bench_seb_fig10(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
         .iter()
         .map(|&t| (t, time_mean(0, iters, || run(t))))
         .collect();
-    let stats = run(*thread_counts.last().expect("thread counts")).1;
+    let stats = run(*thread_counts.last().expect("thread counts")).2;
 
     SweepRecord {
         name: "seb_fig10",
-        scenarios: configs.len() * powers.len(),
+        scenarios: configs.len() * powers.len() + board_scales.len(),
         walls,
         stats,
         deterministic,
@@ -235,25 +314,39 @@ fn board_model(n: usize) -> FvModel {
 }
 
 fn bench_fv_power_scale(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
-    let base = board_model(if smoke { 8 } else { 32 });
+    let mut base = board_model(if smoke { 8 } else { 32 });
+    base.set_solver_config(SolverConfig::new().preconditioner(Precond::Ic0));
     // Prime the symbolic pattern once; every sweep clone then shares it
     // and reassembles values only.
     base.solve_steady().expect("prime solve");
     let n_scales = if smoke { 4 } else { 12 };
     let scales: Vec<f64> = (0..n_scales).map(|i| 0.5 + 0.1 * i as f64).collect();
 
+    // One primed clone per *worker*, not per scenario: a worker's model
+    // keeps its warm `PcgWorkspace` — with the cached RCM permutation
+    // and IC(0) factor inside — across every scale in its block, which
+    // is the sweep shape `solve_steady_scaled` exists for. The
+    // `FV_SWEEP_GRAIN` hint routes short grids (this one: 12 points)
+    // onto the serial fast path, where the old per-scenario-clone code
+    // showed 0.90× "speedups" — thread spawn plus per-worker warm-up
+    // costing more than the solves.
     let run = |threads: usize| {
-        Sweep::new(threads).map_stats(&scales, |&scale| {
-            let mut model = base.clone();
-            model.scale_sources(scale);
-            let field = model.solve_steady().expect("solve");
-            let solver = model.last_solve_stats().expect("stats");
-            let (hits, misses) = model.pattern_cache_stats();
-            (
-                field.summary().expect("non-degenerate field"),
-                ScenarioStats::from_solver(&solver).with_cache(hits, misses),
+        Sweep::new(threads)
+            .grain_hint(FV_SWEEP_GRAIN)
+            .map_stats_with(
+                &scales,
+                || (base.clone(), 0usize, 0usize),
+                |(model, seen_hits, seen_misses), &scale| {
+                    let field = model.solve_steady_scaled(scale).expect("solve");
+                    let solver = model.last_solve_stats().expect("stats");
+                    let (hits, misses) = model.pattern_cache_stats();
+                    let s = ScenarioStats::from_solver(&solver)
+                        .with_cache(hits - *seen_hits, misses - *seen_misses);
+                    *seen_hits = hits;
+                    *seen_misses = misses;
+                    (field.summary().expect("non-degenerate field"), s)
+                },
             )
-        })
     };
     let fingerprint = |threads: usize| {
         run(threads)
@@ -286,11 +379,135 @@ fn bench_fv_power_scale(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
     }
 }
 
+/// One preconditioner's performance on the large-grid steady solve.
+struct PrecondRow {
+    precond: &'static str,
+    iterations: usize,
+    wall: Duration,
+    factor_seconds: f64,
+    fill_nnz: usize,
+    forward_levels: usize,
+    reordered: bool,
+    max_abs_diff_vs_jacobi: f64,
+}
+
+/// The large-grid preconditioner comparison behind the tentpole claim:
+/// on a ≥ 64³-cell FV solve, IC(0) with RCM reordering must cut total
+/// PCG iterations at least 2× versus Jacobi while producing the same
+/// field. Wall-clock is additionally gated (IC(0) no worse than Jacobi
+/// within 5%) in full mode, where the solve is long enough for timing
+/// to mean something; the smoke grid (20³) keeps the iteration and
+/// parity gates only.
+fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
+    let n = if smoke { 20 } else { 64 };
+    let grid = FvGrid::new((0.1, 0.1, 0.1), (n, n, n)).expect("grid");
+    let mut model = FvModel::new(grid, &Material::aluminum_6061());
+    model
+        .add_power_box(
+            Power::new(80.0),
+            (n / 4, n / 4, n / 4),
+            (n / 2, n / 2, n / 2),
+        )
+        .expect("source");
+    model.set_face_bc(
+        Face::ZMax,
+        FaceBc::Convection {
+            h: HeatTransferCoeff::new(25.0),
+            ambient: Celsius::new(30.0),
+        },
+    );
+
+    let mut rows: Vec<PrecondRow> = Vec::new();
+    let mut jacobi_field: Vec<f64> = Vec::new();
+    for (name, precond) in [
+        ("jacobi", Precond::Jacobi),
+        ("ssor", Precond::Ssor),
+        ("ic0", Precond::Ic0),
+    ] {
+        model.set_solver_config(
+            SolverConfig::new()
+                .preconditioner(precond)
+                .threads(1)
+                .tolerance(1e-10),
+        );
+        let start = Instant::now();
+        let field = model.solve_steady().expect("large-grid solve");
+        let wall = start.elapsed();
+        let stats = model.last_solve_stats().expect("stats");
+        assert!(stats.converged(), "{name} must converge on the {n}³ grid");
+        let max_abs_diff_vs_jacobi = if jacobi_field.is_empty() {
+            jacobi_field = field.temperatures().to_vec();
+            0.0
+        } else {
+            field
+                .temperatures()
+                .iter()
+                .zip(&jacobi_field)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let (factor_seconds, fill_nnz, forward_levels, reordered) = stats
+            .factorization
+            .map(|f| {
+                (
+                    f.factor_time.as_secs_f64(),
+                    f.fill_nnz,
+                    f.forward_levels,
+                    f.reordered,
+                )
+            })
+            .unwrap_or((0.0, 0, 0, false));
+        rows.push(PrecondRow {
+            precond: name,
+            iterations: stats.iterations,
+            wall,
+            factor_seconds,
+            fill_nnz,
+            forward_levels,
+            reordered,
+            max_abs_diff_vs_jacobi,
+        });
+    }
+
+    let jacobi = &rows[0];
+    let ic0 = rows.iter().find(|r| r.precond == "ic0").expect("ic0 row");
+    assert!(
+        ic0.iterations * 2 <= jacobi.iterations,
+        "IC(0)+RCM must at least halve PCG iterations vs Jacobi on the {n}³ grid: \
+         {} vs {}",
+        ic0.iterations,
+        jacobi.iterations
+    );
+    assert!(ic0.reordered, "Reorder::Auto must engage RCM under IC(0)");
+    for r in &rows {
+        assert!(
+            r.max_abs_diff_vs_jacobi <= 1e-4,
+            "{}: field diverged from Jacobi by {:.3e} K",
+            r.precond,
+            r.max_abs_diff_vs_jacobi
+        );
+    }
+    if !smoke {
+        assert!(
+            ic0.wall.as_secs_f64() <= 1.05 * jacobi.wall.as_secs_f64(),
+            "IC(0) wall ({:.3}s) must be no worse than Jacobi ({:.3}s) at 1 thread",
+            ic0.wall.as_secs_f64(),
+            jacobi.wall.as_secs_f64()
+        );
+    }
+    (n * n * n, rows)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn emit_json(records: &[SweepRecord], hardware_threads: usize, smoke: bool) -> String {
+fn emit_json(
+    records: &[SweepRecord],
+    fv_large: &(usize, Vec<PrecondRow>),
+    hardware_threads: usize,
+    smoke: bool,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"generated_by\": \"cargo bench -p aeropack-bench --bench sweeps\",\n");
     out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
@@ -346,16 +563,36 @@ fn emit_json(records: &[SweepRecord], hardware_threads: usize, smoke: bool) -> S
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let (cells, rows) = fv_large;
+    out.push_str("  \"fv_large\": {\n");
+    out.push_str(&format!("    \"cells\": {cells},\n"));
+    out.push_str("    \"preconditioners\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"precond\": \"{}\", \"iterations\": {}, \"wall_seconds\": {:.6}, \
+             \"factor_seconds\": {:.6}, \"fill_nnz\": {}, \"forward_levels\": {}, \
+             \"reordered\": {}, \"max_abs_diff_vs_jacobi\": {:.3e}}}{}\n",
+            json_escape(r.precond),
+            r.iterations,
+            r.wall.as_secs_f64(),
+            r.factor_seconds,
+            r.fill_nnz,
+            r.forward_levels,
+            r.reordered,
+            r.max_abs_diff_vs_jacobi,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n}\n");
     out
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hardware_threads = hardware_threads();
 
     // The bench is also the run-report producer: record every event so
     // the emitted report carries real spans, counters and histograms.
@@ -372,6 +609,7 @@ fn main() {
         bench_random_psd(smoke, thread_counts),
         bench_fv_power_scale(smoke, thread_counts),
     ];
+    let fv_large = bench_fv_large(smoke);
 
     for r in &records {
         let oversub = r.oversubscribed(hardware_threads);
@@ -402,6 +640,61 @@ fn main() {
         );
     }
 
+    {
+        let (cells, rows) = &fv_large;
+        println!("\nfv_large — {cells} cells, 1 thread, tolerance 1e-10");
+        for r in rows {
+            println!(
+                "  {:<7} {:>5} iterations, wall {:>12}, factor {:.3} ms, \
+                 fill {} nnz, {} fwd levels, Δmax vs jacobi {:.2e} K",
+                r.precond,
+                r.iterations,
+                fmt_duration(r.wall),
+                r.factor_seconds * 1e3,
+                r.fill_nnz,
+                r.forward_levels,
+                r.max_abs_diff_vs_jacobi
+            );
+        }
+    }
+
+    // The Fig 10 row must route its FV board refinement through the
+    // symbolic pattern cache: a primed model is cloned per worker, so
+    // every board assembly after the prime is a cache hit. The historic
+    // regression was `cache_hits: 0` — the row never touched FV at all.
+    {
+        let seb = records
+            .iter()
+            .find(|r| r.name == "seb_fig10")
+            .expect("seb record");
+        assert!(
+            seb.stats.cache_hits > 0,
+            "seb_fig10: the Level-2 board sweep must hit the CSR pattern cache"
+        );
+    }
+
+    // The FV power sweep regression gate: with the `FV_SWEEP_GRAIN`
+    // hint, short grids take the serial fast path instead of paying
+    // thread spawn + per-worker warm-up, so parallel configurations on
+    // real cores must stay within noise of serial (the checked history
+    // shows 0.90× at 2 and 4 threads before the grain hint).
+    {
+        let fv = records
+            .iter()
+            .find(|r| r.name == "fv_power_scale")
+            .expect("fv record");
+        for (t, _) in fv.walls.iter().filter(|(t, _)| *t > 1) {
+            if *t > hardware_threads {
+                continue; // oversubscribed: scheduler noise, not engine
+            }
+            let speedup = fv.speedup(*t).unwrap_or(f64::NAN);
+            assert!(
+                speedup >= 0.95,
+                "fv_power_scale at {t} threads regressed to {speedup:.2}x vs serial"
+            );
+        }
+    }
+
     // The dense modal-sum rows used to report silent zeros (the old
     // `Sweep::map` path recorded no `ScenarioStats` at all); gate on
     // real work being accounted.
@@ -420,7 +713,7 @@ fn main() {
         );
     }
 
-    let json = emit_json(&records, hardware_threads, smoke);
+    let json = emit_json(&records, &fv_large, hardware_threads, smoke);
     let report = aeropack_obs::report_json();
     let summary = aeropack_obs::validate_report(&report).expect("run report must validate");
     if smoke {
@@ -439,6 +732,15 @@ fn main() {
         summary.counter_prefix_sum("sweep.") > 0,
         "run report must carry sweep counters"
     );
+    assert!(
+        summary.counter_prefix_sum("solver.ic0.") > 0,
+        "run report must carry IC(0) factorization counters"
+    );
+    // Honour AEROPACK_OBS_REPORT in either mode, so the CI smoke gate
+    // can obs_check the emitted counters without a full bench run.
+    if let Some(path) = aeropack_obs::write_env_report().expect("write env-report") {
+        println!("wrote {} (AEROPACK_OBS_REPORT)", path.display());
+    }
 
     // Oversubscribed rows are excluded from the gate: with more threads
     // than cores, wall times (and any determinism re-run scheduling)

@@ -245,6 +245,13 @@ impl Level2Model {
         &self.model
     }
 
+    /// Overrides the solver configuration of the underlying FV model —
+    /// the hook through which board refinements pick a preconditioner
+    /// (e.g. `Precond::Ic0` for repeated power-sweep solves).
+    pub fn set_solver_config(&mut self, config: aeropack_solver::SolverConfig) {
+        self.model.set_solver_config(config);
+    }
+
     /// Statistics from the most recent [`solve`](Self::solve), if any.
     pub fn last_solve_stats(&self) -> Option<aeropack_solver::SolverStats> {
         self.model.last_solve_stats()

@@ -433,6 +433,7 @@ impl SebModel {
             final_residual: 0.0,
             tolerance: 1e-7,
             wall_time: start.elapsed(),
+            factorization: None,
         };
         Ok((state, stats))
     }

@@ -147,6 +147,7 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
             final_residual: 0.0,
             tolerance: 1e-10,
             wall_time: start.elapsed(),
+            factorization: None,
         });
         (vals, vecs)
     };

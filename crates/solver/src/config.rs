@@ -3,6 +3,35 @@
 
 use crate::stats::{Method, Precond, SolverStats};
 
+/// Symmetric reordering applied to the system before an iterative
+/// solve. Reordering never changes what is solved — the solution is
+/// permuted back before it leaves the solver — but it changes the
+/// factor quality and memory locality of factorisation-based
+/// preconditioners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Reorder {
+    /// Reorder when the preconditioner benefits from it: reverse
+    /// Cuthill–McKee for [`Precond::Ic0`], natural ordering otherwise.
+    /// This is the default.
+    #[default]
+    Auto,
+    /// Never reorder (natural ordering).
+    None,
+    /// Always apply reverse Cuthill–McKee bandwidth reduction.
+    Rcm,
+}
+
+impl Reorder {
+    /// Whether RCM actually engages for the given preconditioner.
+    pub fn engages(self, precond: Precond) -> bool {
+        match self {
+            Self::Auto => precond == Precond::Ic0,
+            Self::None => false,
+            Self::Rcm => true,
+        }
+    }
+}
+
 /// Configuration for a linear solve, built fluently:
 ///
 /// ```
@@ -24,6 +53,7 @@ pub struct SolverConfig {
     threads: usize,
     context: &'static str,
     record_history: bool,
+    reorder: Reorder,
 }
 
 impl Default for SolverConfig {
@@ -36,6 +66,7 @@ impl Default for SolverConfig {
             threads: 1,
             context: "linear solve",
             record_history: true,
+            reorder: Reorder::Auto,
         }
     }
 }
@@ -135,6 +166,24 @@ impl SolverConfig {
     /// Whether per-iteration residuals are recorded into the stats.
     pub fn get_record_history(&self) -> bool {
         self.record_history
+    }
+
+    /// Selects the symmetric reordering policy (default
+    /// [`Reorder::Auto`]: RCM engages with [`Precond::Ic0`]).
+    #[must_use]
+    pub fn reorder(mut self, reorder: Reorder) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// The configured reordering policy.
+    pub fn get_reorder(&self) -> Reorder {
+        self.reorder
+    }
+
+    /// Whether RCM reordering actually engages for this configuration.
+    pub fn rcm_engages(&self) -> bool {
+        self.reorder.engages(self.precond)
     }
 }
 

@@ -49,6 +49,44 @@ impl CsrPattern {
     pub fn nnz(&self) -> usize {
         self.col_idx.len()
     }
+
+    /// Row offsets (`n + 1` entries).
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, sorted ascending within each row.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// A key identifying this symbolic structure by the shared index
+    /// arrays themselves: two patterns obtained from the same cached
+    /// structure (via [`CsrMatrix::pattern`] /
+    /// [`CsrMatrix::from_pattern_row_fn`]) compare equal in O(1). Used
+    /// by the workspace caches (RCM permutation, IC(0) schedule) to
+    /// recognise "same grid, new coefficients" without scanning.
+    pub fn key(&self) -> (usize, usize) {
+        (
+            Arc::as_ptr(&self.row_ptr) as usize,
+            Arc::as_ptr(&self.col_idx) as usize,
+        )
+    }
+}
+
+/// Debug-time guard behind the ordered-row contract: IC(0), RCM and
+/// [`CsrMatrix::get`]'s binary search all rely on strictly ascending
+/// column indices inside every row.
+fn debug_assert_sorted_rows(n: usize, row_ptr: &[usize], col_idx: &[usize]) {
+    if cfg!(debug_assertions) {
+        for i in 0..n {
+            let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            debug_assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "row {i} columns are not strictly ascending"
+            );
+        }
+    }
 }
 
 impl CsrMatrix {
@@ -94,6 +132,28 @@ impl CsrMatrix {
             col_idx.extend_from_slice(&cols);
             vals.extend_from_slice(&vs);
         }
+        debug_assert_sorted_rows(n, &row_ptr, &col_idx);
+        Self {
+            n,
+            row_ptr: Arc::new(row_ptr),
+            col_idx: Arc::new(col_idx),
+            vals,
+        }
+    }
+
+    /// Builds a matrix directly from raw CSR arrays. Used by the
+    /// reordering layer, which computes permuted index arrays itself.
+    /// Column indices must be strictly ascending within each row
+    /// (checked in debug builds).
+    pub(crate) fn from_parts(
+        n: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), n + 1);
+        debug_assert_eq!(col_idx.len(), vals.len());
+        debug_assert_sorted_rows(n, &row_ptr, &col_idx);
         Self {
             n,
             row_ptr: Arc::new(row_ptr),
@@ -175,6 +235,26 @@ impl CsrMatrix {
     /// Stored (structural) non-zero count.
     pub fn nnz(&self) -> usize {
         self.vals.len()
+    }
+
+    /// Row offsets (`n + 1` entries).
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, sorted ascending within each row.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, aligned with [`CsrMatrix::col_indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable access to the stored values (structure is immutable).
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
     }
 
     /// The stored value at `(i, j)`, zero if not present.

@@ -12,8 +12,14 @@
 //!   partitioning keeps the result bitwise identical at any thread
 //!   count.
 //! * [`solve_sparse`] — preconditioned conjugate gradient with
-//!   pluggable [`Precond::Jacobi`] / [`Precond::Ssor`]
-//!   preconditioners.
+//!   pluggable [`Precond::Jacobi`] / [`Precond::Ssor`] /
+//!   [`Precond::Ic0`] preconditioners. IC(0) factors on the matrix's
+//!   own sparsity pattern (with diagonal-shift breakdown fallback),
+//!   caches the factor in the [`PcgWorkspace`] for reuse across a
+//!   sweep, applies it through level-scheduled parallel triangular
+//!   solves, and by default runs on a reverse Cuthill–McKee reordering
+//!   of the system ([`Reorder`]) for better factor quality and
+//!   locality.
 //! * [`DenseCholesky`] / [`DenseLu`] — the dense direct factorisations
 //!   behind resistive networks and the FEM eigen solvers, reachable
 //!   through the same [`SolverConfig`] front door via [`solve_dense`].
@@ -49,10 +55,12 @@ mod config;
 mod csr;
 mod dense;
 mod error;
+mod ic0;
 mod pcg;
+mod reorder;
 mod stats;
 
-pub use config::{Solution, SolverConfig};
+pub use config::{Reorder, Solution, SolverConfig};
 pub use csr::{CsrMatrix, CsrPattern};
 pub use dense::{solve_dense, DenseCholesky, DenseLu};
 pub use error::SolverError;
@@ -60,7 +68,8 @@ pub use pcg::{
     solve_multi_rhs, solve_multi_rhs_with, solve_operator, solve_sparse, solve_sparse_into,
     solve_sparse_with, PcgWorkspace,
 };
-pub use stats::{Method, Precond, SolverStats};
+pub use reorder::{bandwidth, rcm_permutation};
+pub use stats::{FactorStats, Method, Precond, SolverStats};
 
 /// A symmetric (or general) linear operator `y = A·x` — the
 /// architectural seam the physics crates program against. Sparse

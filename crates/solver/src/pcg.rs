@@ -16,12 +16,14 @@
 //! [`solve_multi_rhs`] solves `k` right-hand sides against one matrix,
 //! screening/preconditioning once and reusing the same CSR traversal.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::config::{Solution, SolverConfig};
 use crate::csr::CsrMatrix;
 use crate::error::SolverError;
-use crate::stats::{Method, Precond, SolverStats};
+use crate::ic0::Ic0Factor;
+use crate::reorder::{rcm_permutation, PermutedSystem};
+use crate::stats::{FactorStats, Method, Precond, SolverStats};
 use crate::LinearOperator;
 
 enum Preconditioner<'a> {
@@ -30,6 +32,10 @@ enum Preconditioner<'a> {
     Ssor {
         matrix: &'a CsrMatrix,
         diag: &'a [f64],
+    },
+    Ic0 {
+        factor: &'a Ic0Factor,
+        threads: usize,
     },
 }
 
@@ -43,16 +49,42 @@ impl Preconditioner<'_> {
                 }
             }
             Self::Ssor { matrix, diag } => matrix.ssor_apply(diag, r, z),
+            Self::Ic0 { factor, threads } => factor.apply(r, z, *threads),
         }
     }
 }
 
+/// The workspace's cached RCM permutation + permuted matrix, keyed on
+/// the source pattern's shared index arrays with an exact value
+/// snapshot so "same grid, new coefficients" refreshes values in place
+/// (allocation-free) and "same coefficients" does nothing at all.
+#[derive(Debug, Clone)]
+struct ReorderCache {
+    key: (usize, usize),
+    sys: PermutedSystem,
+    vals_snapshot: Vec<f64>,
+}
+
+/// The workspace's cached IC(0) factor, keyed like [`ReorderCache`] on
+/// the pattern of the matrix that was factored (the permuted matrix
+/// when RCM engages). A matching snapshot means the factor is reused
+/// outright; a matching pattern with new values refactors numerically
+/// in place.
+#[derive(Debug, Clone)]
+struct Ic0Cache {
+    key: (usize, usize),
+    factor: Ic0Factor,
+    vals_snapshot: Vec<f64>,
+}
+
 /// Reusable PCG scratch space: the residual/search/preconditioner
-/// buffers and the screened diagonal. Create one per solving context
-/// (a sweep worker, a transient stepper) and pass it to
+/// buffers, the screened diagonal, and — for [`Precond::Ic0`] — the
+/// cached RCM permutation and IC(0) factor. Create one per solving
+/// context (a sweep worker, a transient stepper) and pass it to
 /// [`solve_sparse_with`] / [`solve_sparse_into`]; after the first solve
 /// of a given size the buffers are warm and the iteration loop runs
-/// without touching the allocator.
+/// without touching the allocator. The factor cache makes a power
+/// sweep over one operator factor once and apply many times.
 #[derive(Debug, Clone, Default)]
 pub struct PcgWorkspace {
     r: Vec<f64>,
@@ -61,6 +93,11 @@ pub struct PcgWorkspace {
     ap: Vec<f64>,
     diag: Vec<f64>,
     history: Vec<f64>,
+    /// Permuted-order right-hand side and solution buffers.
+    bp: Vec<f64>,
+    xp: Vec<f64>,
+    reorder: Option<ReorderCache>,
+    ic0: Option<Ic0Cache>,
 }
 
 impl PcgWorkspace {
@@ -164,6 +201,8 @@ pub fn solve_sparse_into(
             context: cfg.get_context(),
         });
     }
+    let threads = cfg.get_threads();
+    let use_rcm = cfg.rcm_engages() && n > 1;
     let PcgWorkspace {
         r,
         z,
@@ -171,23 +210,169 @@ pub fn solve_sparse_into(
         ap,
         diag,
         history,
+        bp,
+        xp,
+        reorder,
+        ic0,
     } = ws;
+    if use_rcm {
+        ensure_reorder(reorder, a);
+    }
+    let sys: Option<&PermutedSystem> = if use_rcm {
+        reorder.as_ref().map(|c| &c.sys)
+    } else {
+        None
+    };
+    let system: &CsrMatrix = sys.map_or(a, |s| s.matrix());
+    if sys.is_some() {
+        // Preconditioners act on the permuted operator.
+        system.diag_into(diag);
+    }
+    let factorization = if cfg.get_preconditioner() == Precond::Ic0 {
+        Some(ensure_ic0(ic0, system, use_rcm, cfg.get_context())?)
+    } else {
+        None
+    };
     let precond = match cfg.get_preconditioner() {
         Precond::None => Preconditioner::None,
         Precond::Jacobi => Preconditioner::Jacobi(diag),
-        Precond::Ssor => Preconditioner::Ssor { matrix: a, diag },
+        Precond::Ssor => Preconditioner::Ssor {
+            matrix: system,
+            diag,
+        },
+        Precond::Ic0 => Preconditioner::Ic0 {
+            factor: &ic0.as_ref().expect("factor ensured above").factor,
+            threads,
+        },
     };
-    let threads = cfg.get_threads();
-    pcg_loop(
-        |v, y| a.spmv_into(v, y, threads),
-        &precond,
-        b,
-        x,
-        (r, z, p, ap),
-        history,
-        cfg,
-        n,
-    )
+    if let Some(sys) = sys {
+        bp.resize(n, 0.0);
+        xp.resize(n, 0.0);
+        sys.permute_into(b, bp);
+        let stats = pcg_loop(
+            |v, y| system.spmv_into(v, y, threads),
+            &precond,
+            bp,
+            xp,
+            (r, z, p, ap),
+            history,
+            cfg,
+            n,
+            factorization,
+        )?;
+        sys.scatter_back(xp, x);
+        Ok(stats)
+    } else {
+        pcg_loop(
+            |v, y| system.spmv_into(v, y, threads),
+            &precond,
+            b,
+            x,
+            (r, z, p, ap),
+            history,
+            cfg,
+            n,
+            factorization,
+        )
+    }
+}
+
+/// Brings the workspace's RCM cache in sync with `a`: a pattern hit
+/// with identical values is free, a pattern hit with new values
+/// refreshes the permuted copy in place, and a new pattern recomputes
+/// the permutation.
+fn ensure_reorder(cache: &mut Option<ReorderCache>, a: &CsrMatrix) {
+    let key = a.pattern().key();
+    if let Some(c) = cache {
+        if c.key == key {
+            if c.vals_snapshot.as_slice() != a.values() {
+                c.sys.refresh_values(a);
+                c.vals_snapshot.copy_from_slice(a.values());
+            }
+            return;
+        }
+    }
+    aeropack_obs::counter!("solver.rcm.reorders");
+    let sys = PermutedSystem::build(a, rcm_permutation(&a.pattern()));
+    *cache = Some(ReorderCache {
+        key,
+        sys,
+        vals_snapshot: a.values().to_vec(),
+    });
+}
+
+/// Brings the workspace's IC(0) cache in sync with `m` (the matrix the
+/// iteration actually runs on — permuted when RCM engages) and returns
+/// the factorisation stats for this solve.
+fn ensure_ic0(
+    cache: &mut Option<Ic0Cache>,
+    m: &CsrMatrix,
+    reordered: bool,
+    context: &'static str,
+) -> Result<FactorStats, SolverError> {
+    let key = m.pattern().key();
+    if let Some(c) = cache {
+        if c.key == key && c.vals_snapshot.as_slice() == m.values() {
+            aeropack_obs::counter!("solver.ic0.factor_reuses");
+            return Ok(FactorStats {
+                factor_time: Duration::ZERO,
+                fill_nnz: c.factor.fill_nnz(),
+                forward_levels: c.factor.forward_levels(),
+                backward_levels: c.factor.backward_levels(),
+                diagonal_shift: c.factor.shift(),
+                reused: true,
+                reordered,
+            });
+        }
+        if c.key == key {
+            let t0 = Instant::now();
+            match c.factor.refactor(m) {
+                Ok(retries) => {
+                    c.vals_snapshot.copy_from_slice(m.values());
+                    return Ok(record_factor(&c.factor, t0.elapsed(), retries, reordered));
+                }
+                Err(_) => {
+                    // The numeric content is now garbage; drop the
+                    // cache so a future solve rebuilds from scratch.
+                    *cache = None;
+                    return Err(SolverError::Singular { context });
+                }
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let (factor, retries) = Ic0Factor::new(m).map_err(|_| SolverError::Singular { context })?;
+    let stats = record_factor(&factor, t0.elapsed(), retries, reordered);
+    *cache = Some(Ic0Cache {
+        key,
+        factor,
+        vals_snapshot: m.values().to_vec(),
+    });
+    Ok(stats)
+}
+
+fn record_factor(
+    factor: &Ic0Factor,
+    elapsed: Duration,
+    retries: usize,
+    reordered: bool,
+) -> FactorStats {
+    aeropack_obs::counter!("solver.ic0.factorizations");
+    aeropack_obs::counter!("solver.ic0.fill_nnz", factor.fill_nnz());
+    if retries > 0 {
+        aeropack_obs::counter!("solver.ic0.shift_retries", retries);
+    }
+    aeropack_obs::histogram!("solver.ic0.factor_seconds", elapsed.as_secs_f64());
+    aeropack_obs::histogram!("solver.ic0.levels", factor.forward_levels());
+    FactorStats {
+        factor_time: elapsed,
+        fill_nnz: factor.fill_nnz(),
+        forward_levels: factor.forward_levels(),
+        backward_levels: factor.backward_levels(),
+        diagonal_shift: factor.shift(),
+        reused: false,
+        reordered,
+    }
 }
 
 /// Solves the SPD system `A·x = b` for any [`LinearOperator`]
@@ -223,6 +408,7 @@ pub fn solve_operator(
         ap,
         diag,
         history,
+        ..
     } = &mut ws;
     let precond = match cfg.get_preconditioner() {
         Precond::None => Preconditioner::None,
@@ -230,6 +416,11 @@ pub fn solve_operator(
         Precond::Ssor => {
             return Err(SolverError::invalid(
                 "SSOR preconditioning needs explicit CSR storage (use solve_sparse)",
+            ))
+        }
+        Precond::Ic0 => {
+            return Err(SolverError::invalid(
+                "IC(0) preconditioning needs explicit CSR storage (use solve_sparse)",
             ))
         }
     };
@@ -243,6 +434,7 @@ pub fn solve_operator(
         history,
         cfg,
         n,
+        None,
     )?;
     Ok(Solution { x, stats })
 }
@@ -315,6 +507,7 @@ fn pcg_loop<F>(
     history: &mut Vec<f64>,
     cfg: &SolverConfig,
     n: usize,
+    factorization: Option<FactorStats>,
 ) -> Result<SolverStats, SolverError>
 where
     F: Fn(&[f64], &mut [f64]),
@@ -335,6 +528,15 @@ where
         let wall_time = start.elapsed();
         aeropack_obs::counter!("solver.pcg.solves");
         aeropack_obs::counter!("solver.pcg.iterations", iterations);
+        aeropack_obs::counter!(
+            match cfg.get_preconditioner() {
+                Precond::None => "solver.pcg.iterations.none",
+                Precond::Jacobi => "solver.pcg.iterations.jacobi",
+                Precond::Ssor => "solver.pcg.iterations.ssor",
+                Precond::Ic0 => "solver.pcg.iterations.ic0",
+            },
+            iterations
+        );
         aeropack_obs::histogram!("solver.pcg.final_residual", final_residual);
         aeropack_obs::histogram!("solver.pcg.solve_seconds", wall_time.as_secs_f64());
         SolverStats {
@@ -348,6 +550,7 @@ where
             final_residual,
             tolerance: tol,
             wall_time,
+            factorization,
         }
     };
 
@@ -418,7 +621,7 @@ mod tests {
         let n = 50;
         let a = laplacian(n);
         let b = vec![1.0; n];
-        for precond in [Precond::None, Precond::Jacobi, Precond::Ssor] {
+        for precond in [Precond::None, Precond::Jacobi, Precond::Ssor, Precond::Ic0] {
             let cfg = SolverConfig::new()
                 .preconditioner(precond)
                 .tolerance(1e-12)
@@ -506,6 +709,97 @@ mod tests {
     }
 
     #[test]
+    fn operator_path_rejects_ic0() {
+        let a = laplacian(4);
+        let cfg = SolverConfig::new().preconditioner(Precond::Ic0);
+        assert!(matches!(
+            solve_operator(&a, &[1.0; 4], &cfg),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn ic0_converges_in_fewer_iterations_than_jacobi_and_ssor() {
+        let n = 400;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let iters = |precond| {
+            solve_sparse(&a, &b, &SolverConfig::new().preconditioner(precond))
+                .unwrap()
+                .stats
+                .iterations
+        };
+        let (jacobi, ssor, ic0) = (
+            iters(Precond::Jacobi),
+            iters(Precond::Ssor),
+            iters(Precond::Ic0),
+        );
+        assert!(ic0 < ssor, "IC(0) {ic0} vs SSOR {ssor}");
+        assert!(ic0 * 2 <= jacobi, "IC(0) {ic0} vs Jacobi {jacobi}");
+    }
+
+    #[test]
+    fn ic0_factor_is_cached_across_a_workspace_sweep() {
+        let n = 120;
+        let a = laplacian(n);
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Ic0)
+            .tolerance(1e-12);
+        let mut ws = PcgWorkspace::new();
+        let first = solve_sparse_with(&mut ws, &a, &vec![1.0; n], &cfg).unwrap();
+        let f1 = first
+            .stats
+            .factorization
+            .expect("IC(0) reports factor stats");
+        assert!(!f1.reused);
+        assert!(f1.reordered, "Reorder::Auto engages RCM with IC(0)");
+        assert!(f1.fill_nnz > 0);
+        let second = solve_sparse_with(&mut ws, &a, &vec![2.0; n], &cfg).unwrap();
+        let f2 = second.stats.factorization.unwrap();
+        assert!(f2.reused, "same matrix must reuse the cached factor");
+        assert_eq!(f2.factor_time, Duration::ZERO);
+        // A same-pattern matrix with new values refactors in place.
+        let scaled = CsrMatrix::from_pattern_row_fn(&a.pattern(), 1, |i, row| {
+            for idx in a.row_offsets()[i]..a.row_offsets()[i + 1] {
+                row.push((a.col_indices()[idx], 2.0 * a.values()[idx]));
+            }
+        });
+        let third = solve_sparse_with(&mut ws, &scaled, &vec![1.0; n], &cfg).unwrap();
+        assert!(!third.stats.factorization.unwrap().reused);
+    }
+
+    #[test]
+    fn rcm_reordering_does_not_change_what_is_solved() {
+        use crate::config::Reorder;
+        let n = 150;
+        let a = laplacian(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin() + 2.0).collect();
+        for precond in [Precond::Jacobi, Precond::Ssor, Precond::Ic0] {
+            let plain = solve_sparse(
+                &a,
+                &b,
+                &SolverConfig::new()
+                    .preconditioner(precond)
+                    .reorder(Reorder::None)
+                    .tolerance(1e-12),
+            )
+            .unwrap();
+            let rcm = solve_sparse(
+                &a,
+                &b,
+                &SolverConfig::new()
+                    .preconditioner(precond)
+                    .reorder(Reorder::Rcm)
+                    .tolerance(1e-12),
+            )
+            .unwrap();
+            for (p, q) in plain.x.iter().zip(rcm.x.iter()) {
+                assert!((p - q).abs() < 1e-8 * p.abs().max(1.0), "{precond}");
+            }
+        }
+    }
+
+    #[test]
     fn reused_workspace_is_bitwise_identical_to_fresh_solves() {
         let n = 60;
         let a = laplacian(n);
@@ -516,7 +810,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        for precond in [Precond::None, Precond::Jacobi, Precond::Ssor] {
+        for precond in [Precond::None, Precond::Jacobi, Precond::Ssor, Precond::Ic0] {
             let cfg = SolverConfig::new().preconditioner(precond).tolerance(1e-12);
             let mut ws = PcgWorkspace::new();
             for b in &rhs {

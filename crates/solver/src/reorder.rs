@@ -1,0 +1,334 @@
+//! Reverse Cuthill–McKee (RCM) bandwidth-reducing reordering.
+//!
+//! FV and FEM grids assemble SPD operators whose graph is a mesh; RCM
+//! renumbers the unknowns so that every row's neighbours sit close to
+//! the diagonal. That tightens the profile the IC(0) factor lives on,
+//! improves the factor's quality (fewer dropped couplings outside the
+//! band) and gives the level-scheduled triangular solves shallower
+//! dependency chains and better cache locality.
+//!
+//! Reordering is purely internal to the solver: the system is permuted,
+//! solved, and the solution permuted back before it leaves
+//! [`solve_sparse_into`](crate::solve_sparse_into). The permutation is
+//! a deterministic function of the sparsity pattern alone (BFS with
+//! degree-then-index tie-breaking), so results are reproducible across
+//! runs and thread counts.
+
+use crate::csr::{CsrMatrix, CsrPattern};
+
+/// Computes the reverse Cuthill–McKee permutation of a symmetric
+/// sparsity pattern. The result maps *new* index to *old*:
+/// `perm[new] = old`.
+///
+/// Each connected component is ordered by a breadth-first traversal
+/// from a pseudo-peripheral vertex, visiting neighbours in increasing
+/// degree (ties broken by index), and the concatenated order is
+/// reversed. The permutation depends only on the pattern, never on the
+/// values, so one grid yields one permutation for a whole sweep.
+pub fn rcm_permutation(pattern: &CsrPattern) -> Vec<usize> {
+    let n = pattern.n();
+    let row_ptr = pattern.row_offsets();
+    let col_idx = pattern.col_indices();
+    let degree = |v: usize| row_ptr[v + 1] - row_ptr[v];
+
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // BFS scratch for the pseudo-peripheral search, reset per component.
+    let mut dist = vec![usize::MAX; n];
+    let mut frontier = Vec::new();
+    let mut next = Vec::new();
+    let mut touched = Vec::new();
+    let mut nbrs = Vec::new();
+
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        // Pseudo-peripheral start: repeat rooted BFS, re-rooting at a
+        // minimum-degree vertex of the deepest level, until the
+        // eccentricity stops growing.
+        let mut start = seed;
+        let mut ecc = 0usize;
+        loop {
+            touched.clear();
+            frontier.clear();
+            frontier.push(start);
+            dist[start] = 0;
+            touched.push(start);
+            let mut depth = 0usize;
+            let mut last_level: Vec<usize> = vec![start];
+            while !frontier.is_empty() {
+                next.clear();
+                for &u in frontier.iter() {
+                    for &v in &col_idx[row_ptr[u]..row_ptr[u + 1]] {
+                        if v != u && dist[v] == usize::MAX {
+                            dist[v] = dist[u] + 1;
+                            touched.push(v);
+                            next.push(v);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                depth += 1;
+                last_level.clone_from(&next);
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            let candidate = last_level
+                .iter()
+                .copied()
+                .min_by_key(|&v| (degree(v), v))
+                .unwrap_or(start);
+            for &v in touched.iter() {
+                dist[v] = usize::MAX;
+            }
+            if depth > ecc {
+                ecc = depth;
+                start = candidate;
+            } else {
+                break;
+            }
+        }
+
+        // Cuthill–McKee breadth-first ordering of the component.
+        let head0 = order.len();
+        order.push(start);
+        visited[start] = true;
+        let mut head = head0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            nbrs.clear();
+            for &v in &col_idx[row_ptr[u]..row_ptr[u + 1]] {
+                if v != u && !visited[v] {
+                    visited[v] = true;
+                    nbrs.push(v);
+                }
+            }
+            nbrs.sort_unstable_by_key(|&v| (degree(v), v));
+            order.extend_from_slice(&nbrs);
+        }
+    }
+
+    order.reverse();
+    order
+}
+
+/// The bandwidth of a pattern: `max |i − j|` over stored entries.
+pub fn bandwidth(pattern: &CsrPattern) -> usize {
+    let row_ptr = pattern.row_offsets();
+    let col_idx = pattern.col_indices();
+    let mut bw = 0usize;
+    for i in 0..pattern.n() {
+        for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+            bw = bw.max(i.abs_diff(j));
+        }
+    }
+    bw
+}
+
+/// A symmetrically permuted copy of a matrix, `B = P·A·Pᵀ`, together
+/// with the scatter map needed to refresh its values in place when the
+/// source matrix changes coefficients but not structure — the
+/// allocation-free path a warm workspace takes across a sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct PermutedSystem {
+    /// `perm[new] = old`.
+    perm: Vec<usize>,
+    /// The permuted matrix `B` with sorted rows.
+    matrix: CsrMatrix,
+    /// `B.values()[k] = A.values()[val_map[k]]`.
+    val_map: Vec<usize>,
+}
+
+impl PermutedSystem {
+    /// Builds the permuted matrix and its value-scatter map.
+    pub(crate) fn build(a: &CsrMatrix, perm: Vec<usize>) -> Self {
+        let n = a.n();
+        assert_eq!(perm.len(), n, "permutation length must equal n");
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let a_row_ptr = a.row_offsets();
+        let a_cols = a.col_indices();
+        let a_vals = a.values();
+        let nnz = a_cols.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut val_map = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        row_ptr.push(0);
+        for &old_i in perm.iter() {
+            entries.clear();
+            for idx in a_row_ptr[old_i]..a_row_ptr[old_i + 1] {
+                entries.push((inv[a_cols[idx]], idx));
+            }
+            entries.sort_unstable_by_key(|e| e.0);
+            for &(j, idx) in entries.iter() {
+                col_idx.push(j);
+                val_map.push(idx);
+                vals.push(a_vals[idx]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let matrix = CsrMatrix::from_parts(n, row_ptr, col_idx, vals);
+        Self {
+            perm,
+            matrix,
+            val_map,
+        }
+    }
+
+    /// The permuted matrix `B = P·A·Pᵀ`.
+    pub(crate) fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// Copies fresh values out of `a` (same structure as at build time)
+    /// into the permuted matrix. Allocation-free.
+    pub(crate) fn refresh_values(&mut self, a: &CsrMatrix) {
+        let src = a.values();
+        assert_eq!(src.len(), self.val_map.len(), "structure changed");
+        let vals = self.matrix.values_mut();
+        for (k, &s) in self.val_map.iter().enumerate() {
+            vals[k] = src[s];
+        }
+    }
+
+    /// Gathers a vector into permuted order: `out[new] = x[perm[new]]`.
+    pub(crate) fn permute_into(&self, x: &[f64], out: &mut [f64]) {
+        for (o, &p) in out.iter_mut().zip(self.perm.iter()) {
+            *o = x[p];
+        }
+    }
+
+    /// Scatters a permuted vector back: `out[perm[new]] = xp[new]`.
+    pub(crate) fn scatter_back(&self, xp: &[f64], out: &mut [f64]) {
+        for (v, &p) in xp.iter().zip(self.perm.iter()) {
+            out[p] = *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    /// A 1-D Laplacian whose unknowns have been scrambled by a fixed
+    /// stride permutation — large bandwidth, mesh connectivity intact.
+    fn scrambled_laplacian(n: usize, stride: usize) -> CsrMatrix {
+        let map: Vec<usize> = (0..n).map(|i| (i * stride) % n).collect();
+        let mut inv = vec![0usize; n];
+        for (i, &m) in map.iter().enumerate() {
+            inv[m] = i;
+        }
+        CsrMatrix::from_row_fn(n, 1, |r, row| {
+            let i = inv[r];
+            if i > 0 {
+                row.push((map[i - 1], -1.0));
+            }
+            row.push((r, 2.0));
+            if i + 1 < n {
+                row.push((map[i + 1], -1.0));
+            }
+        })
+    }
+
+    #[test]
+    fn rcm_is_a_valid_permutation() {
+        let a = scrambled_laplacian(101, 37);
+        let perm = rcm_permutation(&a.pattern());
+        let mut seen = [false; 101];
+        for &p in perm.iter() {
+            assert!(p < 101 && !seen[p], "duplicate or out-of-range index");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_a_scrambled_band() {
+        let a = scrambled_laplacian(144, 89);
+        let before = bandwidth(&a.pattern());
+        let sys = PermutedSystem::build(&a, rcm_permutation(&a.pattern()));
+        let after = bandwidth(&sys.matrix().pattern());
+        assert!(
+            after < before / 4,
+            "RCM should shrink bandwidth sharply: {before} -> {after}"
+        );
+        // A path graph renumbered by RCM has the minimal bandwidth 1.
+        assert_eq!(after, 1);
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components_and_isolated_vertices() {
+        // Two 4-cliques plus an isolated diagonal-only vertex.
+        let a = CsrMatrix::from_row_fn(9, 1, |i, row| {
+            row.push((i, 4.0));
+            if i < 8 {
+                let base = (i / 4) * 4;
+                for j in base..base + 4 {
+                    if j != i {
+                        row.push((j, -1.0));
+                    }
+                }
+            }
+        });
+        let perm = rcm_permutation(&a.pattern());
+        let mut seen = [false; 9];
+        for &p in perm.iter() {
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permuted_system_matches_explicit_permutation() {
+        let a = scrambled_laplacian(60, 23);
+        let perm = rcm_permutation(&a.pattern());
+        let sys = PermutedSystem::build(&a, perm.clone());
+        let b = sys.matrix();
+        for new_i in 0..60 {
+            for new_j in 0..60 {
+                assert_eq!(b.get(new_i, new_j), a.get(perm[new_i], perm[new_j]));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_and_scatter_round_trip() {
+        let a = scrambled_laplacian(31, 11);
+        let sys = PermutedSystem::build(&a, rcm_permutation(&a.pattern()));
+        let x: Vec<f64> = (0..31).map(|i| (i as f64 * 0.61).sin()).collect();
+        let mut xp = vec![0.0; 31];
+        let mut back = vec![0.0; 31];
+        sys.permute_into(&x, &mut xp);
+        sys.scatter_back(&xp, &mut back);
+        assert_eq!(x, back);
+    }
+
+    #[test]
+    fn refresh_values_tracks_the_source_matrix() {
+        let a = scrambled_laplacian(40, 13);
+        let perm = rcm_permutation(&a.pattern());
+        let mut sys = PermutedSystem::build(&a, perm.clone());
+        // Rebuild the source with scaled coefficients (same structure).
+        let scaled = CsrMatrix::from_pattern_row_fn(&a.pattern(), 1, |r, row| {
+            for idx in a.row_offsets()[r]..a.row_offsets()[r + 1] {
+                row.push((a.col_indices()[idx], 3.0 * a.values()[idx]));
+            }
+        });
+        sys.refresh_values(&scaled);
+        let b = sys.matrix();
+        for (new_i, &old_i) in perm.iter().enumerate() {
+            assert_eq!(
+                b.get(new_i, new_i),
+                scaled.get(old_i, old_i),
+                "diagonal mismatch after refresh"
+            );
+        }
+    }
+}

@@ -39,6 +39,14 @@ pub enum Precond {
     /// Symmetric successive over-relaxation with ω = 1 (symmetric
     /// Gauss–Seidel). Requires explicit sparse storage.
     Ssor,
+    /// Incomplete Cholesky IC(0): a sparse factorisation on the matrix's
+    /// own sparsity pattern, applied as forward/backward triangular
+    /// solves. Requires explicit sparse storage; the factor is cached in
+    /// the [`PcgWorkspace`](crate::PcgWorkspace) and reused across
+    /// solves of the same matrix (a power sweep factors once and applies
+    /// many times). By default the system is RCM-reordered first — see
+    /// [`Reorder`](crate::Reorder).
+    Ic0,
 }
 
 impl fmt::Display for Precond {
@@ -47,8 +55,33 @@ impl fmt::Display for Precond {
             Self::None => "none",
             Self::Jacobi => "Jacobi",
             Self::Ssor => "SSOR",
+            Self::Ic0 => "IC(0)",
         })
     }
+}
+
+/// Setup-phase statistics of a factorisation-based preconditioner
+/// (IC(0)): what the factorisation cost, how it was scheduled and
+/// whether this solve could reuse a cached factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorStats {
+    /// Wall time of the numeric factorisation (zero when `reused`).
+    pub factor_time: Duration,
+    /// Stored non-zeros in the triangular factor.
+    pub fill_nnz: usize,
+    /// Dependency levels of the forward (lower) triangular solve — the
+    /// parallelism ceiling of the level-scheduled application.
+    pub forward_levels: usize,
+    /// Dependency levels of the backward (upper) triangular solve.
+    pub backward_levels: usize,
+    /// Diagonal shift `α` applied on breakdown (`A + α·diag(A)`); 0 for
+    /// a clean factorisation.
+    pub diagonal_shift: f64,
+    /// Whether the workspace's cached factor was reused (no numeric
+    /// factorisation ran for this solve).
+    pub reused: bool,
+    /// Whether the system was RCM-reordered before factorisation.
+    pub reordered: bool,
 }
 
 /// Statistics of one solve: what ran, how hard it worked and how well
@@ -78,6 +111,9 @@ pub struct SolverStats {
     pub tolerance: f64,
     /// Wall-clock time of the solve.
     pub wall_time: Duration,
+    /// Setup-phase detail for factorisation-based preconditioners
+    /// (IC(0)); `None` for preconditioners with no setup phase.
+    pub factorization: Option<FactorStats>,
 }
 
 impl SolverStats {
@@ -100,6 +136,7 @@ impl SolverStats {
             final_residual,
             tolerance: 0.0,
             wall_time,
+            factorization: None,
         }
     }
 

@@ -62,7 +62,7 @@ fn pcg_matches_dense_cholesky_on_spd_fixtures() {
         )
         .unwrap();
         let x_norm = chol.x.iter().map(|v| v * v).sum::<f64>().sqrt();
-        for precond in [Precond::Jacobi, Precond::Ssor] {
+        for precond in [Precond::Jacobi, Precond::Ssor, Precond::Ic0] {
             let pcg = solve_sparse(
                 &csr,
                 &b,
@@ -180,9 +180,84 @@ fn threaded_pcg_solution_is_identical() {
     };
     let a = CsrMatrix::from_row_fn(n, 1, stencil);
     let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
-    let s1 = solve_sparse(&a, &b, &SolverConfig::new().threads(1).tolerance(1e-12)).unwrap();
-    let s4 = solve_sparse(&a, &b, &SolverConfig::new().threads(4).tolerance(1e-12)).unwrap();
-    assert_eq!(s1.x, s4.x, "PCG must be thread-count invariant");
-    assert_eq!(s1.stats.iterations, s4.stats.iterations);
-    assert_eq!(s4.stats.threads, 4);
+    for precond in [Precond::Jacobi, Precond::Ic0] {
+        let s1 = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(precond)
+                .threads(1)
+                .tolerance(1e-12),
+        )
+        .unwrap();
+        let s4 = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(precond)
+                .threads(4)
+                .tolerance(1e-12),
+        )
+        .unwrap();
+        assert_eq!(s1.x, s4.x, "{precond}: PCG must be thread-count invariant");
+        assert_eq!(s1.stats.iterations, s4.stats.iterations);
+        assert_eq!(s4.stats.threads, 4);
+    }
+}
+
+#[test]
+fn rcm_reduces_bandwidth_of_a_grid_operator() {
+    use aeropack_solver::{bandwidth, rcm_permutation};
+    // A 2-D grid numbered row-major has bandwidth 30; RCM must not make
+    // it worse, and on a scrambled numbering it must recover a tight
+    // band. The permutation is also checked to be a bijection.
+    let n = 900;
+    let scramble = |i: usize| (i * 577) % n;
+    let mut inv = vec![0usize; n];
+    for i in 0..n {
+        inv[scramble(i)] = i;
+    }
+    let a = CsrMatrix::from_row_fn(n, 1, |r, row| {
+        let i = inv[r];
+        let (x, y) = (i % 30, i / 30);
+        row.push((r, 4.0));
+        if x > 0 {
+            row.push((scramble(i - 1), -1.0));
+        }
+        if x + 1 < 30 {
+            row.push((scramble(i + 1), -1.0));
+        }
+        if y > 0 {
+            row.push((scramble(i - 30), -1.0));
+        }
+        if y + 1 < 30 {
+            row.push((scramble(i + 30), -1.0));
+        }
+    });
+    let pattern = a.pattern();
+    let before = bandwidth(&pattern);
+    let perm = rcm_permutation(&pattern);
+    let mut seen = vec![false; n];
+    for &p in &perm {
+        assert!(!seen[p], "permutation must be a bijection");
+        seen[p] = true;
+    }
+    // Bandwidth of the permuted pattern, computed through the inverse.
+    let mut new_of = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        new_of[old] = new;
+    }
+    let row_ptr = pattern.row_offsets();
+    let cols = pattern.col_indices();
+    let mut after = 0usize;
+    for i in 0..n {
+        for idx in row_ptr[i]..row_ptr[i + 1] {
+            after = after.max(new_of[i].abs_diff(new_of[cols[idx]]));
+        }
+    }
+    assert!(
+        after * 4 < before,
+        "RCM should sharply reduce the scrambled bandwidth: {before} -> {after}"
+    );
+    assert!(after <= 60, "a 30×30 grid should reorder to a tight band");
 }

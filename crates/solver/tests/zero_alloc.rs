@@ -117,4 +117,44 @@ fn warm_pcg_solve_performs_no_heap_allocation() {
         "obs disabled again: warm solve allocated {} time(s)",
         after - before
     );
+
+    // IC(0) + RCM: the first solve builds the permutation, the permuted
+    // matrix and the factor (all cached in the workspace); from then on
+    // the triangular applies, the value-snapshot comparisons and the
+    // permute/scatter steps must all run without touching the heap.
+    let ic0_cfg = SolverConfig::new()
+        .preconditioner(Precond::Ic0)
+        .threads(1)
+        .record_history(false)
+        .context("zero-alloc IC(0) proof");
+    let warm = solve_sparse_into(&mut ws, &a, &b, &mut x, &ic0_cfg).expect("IC(0) warm-up");
+    assert!(warm.converged());
+    let setup = warm.stats_factorization_reused();
+    assert!(!setup, "first IC(0) solve must factor, not reuse");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let stats = solve_sparse_into(&mut ws, &a, &b, &mut x, &ic0_cfg).expect("warm IC(0) solve");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let factor = stats.factorization.expect("IC(0) reports factor stats");
+    assert!(factor.reused, "warm IC(0) solve must reuse the factor");
+    assert!(factor.reordered, "Reorder::Auto engages RCM for IC(0)");
+    assert!(stats.converged());
+    assert_eq!(
+        after - before,
+        0,
+        "warm IC(0) solve allocated {} time(s); the factor-cached path must be allocation-free",
+        after - before
+    );
+}
+
+/// Small extension trait so the warm-up assertion reads cleanly without
+/// unwrapping in the middle of the test.
+trait FactorReused {
+    fn stats_factorization_reused(&self) -> bool;
+}
+
+impl FactorReused for aeropack_solver::SolverStats {
+    fn stats_factorization_reused(&self) -> bool {
+        self.factorization.map(|f| f.reused).unwrap_or(false)
+    }
 }

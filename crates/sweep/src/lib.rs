@@ -306,7 +306,29 @@ impl Sweep {
         R: Send,
         F: Fn(&S) -> (R, ScenarioStats) + Sync,
     {
-        let (pairs, metrics) = self.run_with_metrics(scenarios, || (), |(), s| f(s));
+        self.map_stats_with(scenarios, || (), |(), s| f(s))
+    }
+
+    /// [`Sweep::map_stats`] with per-worker state, exactly as
+    /// [`Sweep::map_with`] extends [`Sweep::map`]: `init` runs once per
+    /// worker thread and its scratch value is threaded through every
+    /// scenario that worker evaluates. This is how solver-heavy sweeps
+    /// (the FV power grids) give each worker one warm model clone — one
+    /// symbolic assembly, one sized `PcgWorkspace`, one IC(0)
+    /// factorization — instead of paying the setup per scenario.
+    pub fn map_stats_with<S, R, W, I, F>(
+        &self,
+        scenarios: &[S],
+        init: I,
+        f: F,
+    ) -> (Vec<R>, SweepStats)
+    where
+        S: Sync,
+        R: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &S) -> (R, ScenarioStats) + Sync,
+    {
+        let (pairs, metrics) = self.run_with_metrics(scenarios, init, f);
         let mut stats = SweepStats::new(self.threads);
         stats.engaged_workers = metrics.workers;
         stats.max_block_time = metrics
@@ -542,6 +564,32 @@ mod tests {
         assert_eq!(stats.threads, 3);
         assert!((stats.mean_iterations() - 4.5).abs() < 1e-12);
         assert!(stats.to_string().contains("10 scenarios"));
+    }
+
+    #[test]
+    fn map_stats_with_threads_worker_scratch_through_stats() {
+        let xs: Vec<usize> = (0..20).collect();
+        let (out, stats) = Sweep::new(4).with_grain(1).map_stats_with(
+            &xs,
+            || 0usize,
+            |count, &x| {
+                *count += 1; // private per-worker tally
+                let s = ScenarioStats {
+                    // Always 1 per scenario, but routed through the
+                    // worker-local counter to prove the scratch is live.
+                    iterations: usize::from(*count > 0),
+                    converged: true,
+                    ..ScenarioStats::default()
+                };
+                (x * 3, s)
+            },
+        );
+        let reference: Vec<usize> = xs.iter().map(|&x| x * 3).collect();
+        assert_eq!(out, reference);
+        assert_eq!(stats.scenarios, 20);
+        assert_eq!(stats.total_iterations, 20);
+        assert!(stats.all_converged());
+        assert_eq!(stats.engaged_workers, 4);
     }
 
     #[test]

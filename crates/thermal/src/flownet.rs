@@ -199,6 +199,7 @@ pub fn solve_rack_flow(
             final_residual: bracket,
             tolerance: bracket.max(f64::MIN_POSITIVE),
             wall_time: start.elapsed(),
+            factorization: None,
         },
     })
 }

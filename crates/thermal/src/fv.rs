@@ -21,6 +21,15 @@ use aeropack_units::{Celsius, HeatFlux, HeatTransferCoeff, Power, ThermalConduct
 
 use crate::error::ThermalError;
 
+/// Grain hint for scenario sweeps whose per-point work is one FV steady
+/// solve: the minimum scenarios each sweep worker must receive before
+/// threads are spawned (see `aeropack_sweep::Sweep::grain_hint`). An FV
+/// solve is heavy enough to parallelise, but each worker also pays to
+/// warm its own solver workspace (and, under IC(0), to refactor), so
+/// short power sweeps — the 12-point Fig 10 grid — run faster on the
+/// serial fast path where one warm workspace serves every point.
+pub const FV_SWEEP_GRAIN: usize = 8;
+
 /// A uniform structured grid of `nx × ny × nz` cells over an
 /// `lx × ly × lz` metre box.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -429,10 +438,23 @@ impl FvModel {
     /// Assembles the FV operator: per-cell neighbour conductances,
     /// boundary diagonal additions and the right-hand side.
     fn assemble(&self) -> Assembled {
+        self.assemble_scaled(1.0)
+    }
+
+    /// [`FvModel::assemble`] with every heat source multiplied by
+    /// `scale` while it is copied into the right-hand side. `scale = 1`
+    /// takes the exact unscaled path, and any other factor produces the
+    /// same bits as [`FvModel::scale_sources`] followed by a plain
+    /// assembly — the conductance terms never see the sources.
+    fn assemble_scaled(&self, scale: f64) -> Assembled {
         let (nx, ny, nz) = self.grid.shape();
         let n = self.grid.cell_count();
         let mut diag = vec![0.0f64; n];
-        let mut rhs = self.source.clone();
+        let mut rhs = if scale == 1.0 {
+            self.source.clone()
+        } else {
+            self.source.iter().map(|s| s * scale).collect()
+        };
         // Interior conductances, stored for the +x, +y, +z neighbours.
         let mut gxp = vec![0.0f64; n];
         let mut gyp = vec![0.0f64; n];
@@ -601,6 +623,22 @@ impl FvModel {
     /// temperature reference (all adiabatic/flux), or a convergence
     /// failure from the iterative solver.
     pub fn solve_steady(&self) -> Result<FvField, ThermalError> {
+        self.solve_steady_scaled(1.0)
+    }
+
+    /// Solves the steady field with every heat source multiplied by
+    /// `factor`, without mutating the model. This is the power-sweep
+    /// entry point: where a sweep over `scale_sources` must clone the
+    /// model per point, `solve_steady_scaled` shares one model — and
+    /// therefore one cached CSR pattern, one warm [`PcgWorkspace`] and
+    /// (under IC(0)) one cached reordering — across the whole grid.
+    /// The result is bitwise identical to cloning, calling
+    /// [`FvModel::scale_sources`] and solving.
+    ///
+    /// # Errors
+    ///
+    /// As [`FvModel::solve_steady`].
+    pub fn solve_steady_scaled(&self, factor: f64) -> Result<FvField, ThermalError> {
         let _span = aeropack_obs::span!("thermal.fv.solve_steady", cells = self.grid.cell_count());
         // The operator is singular (constant null space) unless at least
         // one face pins the temperature level.
@@ -613,7 +651,7 @@ impl FvModel {
                 context: "finite-volume steady solve",
             });
         }
-        let asm = self.assemble();
+        let asm = self.assemble_scaled(factor);
         if asm.diag.iter().any(|&d| d <= 0.0) {
             return Err(ThermalError::SingularSystem {
                 context: "finite-volume steady solve",
@@ -883,6 +921,13 @@ impl FvField {
     /// Returns an error when the indices exceed the grid.
     pub fn at(&self, i: usize, j: usize, k: usize) -> Result<Celsius, ThermalError> {
         Ok(Celsius::new(self.temperatures[self.grid.index(i, j, k)?]))
+    }
+
+    /// The raw per-cell temperatures in grid order (x fastest), °C —
+    /// the whole-field view that comparisons and postprocessors need
+    /// without `cell_count` calls through [`FvField::at`].
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperatures
     }
 
     /// Minimum, maximum and volume-average temperature in one pass over
@@ -1319,12 +1364,46 @@ mod tests {
             .unwrap();
         model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
         let jacobi = model.solve_steady().unwrap();
-        model.set_solver_config(SolverConfig::new().preconditioner(Precond::Ssor).threads(4));
-        let ssor = model.solve_steady().unwrap();
-        for i in 0..6 {
-            let a = jacobi.at(i, 0, 0).unwrap().value();
-            let b = ssor.at(i, 0, 0).unwrap().value();
-            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        for (precond, threads) in [(Precond::Ssor, 4), (Precond::Ic0, 2)] {
+            model.set_solver_config(SolverConfig::new().preconditioner(precond).threads(threads));
+            let other = model.solve_steady().unwrap();
+            for i in 0..6 {
+                let a = jacobi.at(i, 0, 0).unwrap().value();
+                let b = other.at(i, 0, 0).unwrap().value();
+                assert!((a - b).abs() < 1e-7, "{precond:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_steady_scaled_is_bitwise_identical_to_scale_sources() {
+        use aeropack_solver::Precond;
+        let grid = FvGrid::new((0.08, 0.06, 0.004), (8, 6, 2)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(15.0), (2, 1, 0), (6, 5, 2))
+            .unwrap();
+        model.set_face_bc(
+            Face::ZMax,
+            FaceBc::Convection {
+                h: HeatTransferCoeff::new(40.0),
+                ambient: Celsius::new(30.0),
+            },
+        );
+        for precond in [Precond::Jacobi, Precond::Ic0] {
+            model.set_solver_config(SolverConfig::new().preconditioner(precond));
+            for factor in [0.25, 1.0, 3.5] {
+                let scaled = model.solve_steady_scaled(factor).unwrap();
+                let mut mutated = model.clone();
+                mutated.scale_sources(factor);
+                let reference = mutated.solve_steady().unwrap();
+                assert_eq!(
+                    scaled.temperatures, reference.temperatures,
+                    "{precond:?} factor {factor}: scaled solve must match scale_sources bitwise"
+                );
+            }
+            // The model itself is untouched by the scaled solves.
+            assert!((model.total_power().value() - 15.0).abs() < 1e-12);
         }
     }
 }

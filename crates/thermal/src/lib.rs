@@ -50,6 +50,8 @@ pub use correlations::{
 };
 pub use error::ThermalError;
 pub use flownet::{solve_rack_flow, ChannelImpedance, FanCurve, FlowSolution};
-pub use fv::{Face, FaceBc, FieldSummary, FvField, FvGrid, FvModel, TransientStepper};
+pub use fv::{
+    Face, FaceBc, FieldSummary, FvField, FvGrid, FvModel, TransientStepper, FV_SWEEP_GRAIN,
+};
 pub use network::{Network, NodeId, Solution};
 pub use spreading::{spreading_resistance, SpreadingResult};

@@ -209,8 +209,9 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`ThermalError::SingularSystem`] when some floating node
-    /// has no path to any fixed node, and [`ThermalError::InvalidModel`]
-    /// when the network has no fixed node at all but carries heat.
+    /// has no conductive path to any fixed node — including a network
+    /// with no fixed node at all, whose temperature level is
+    /// undetermined even with zero injected heat.
     pub fn solve(&self) -> Result<Solution, ThermalError> {
         let n_all = self.nodes.len();
         // Map floating nodes to unknown indices.
@@ -230,6 +231,38 @@ impl Network {
             }
         }
         if n > 0 {
+            // Every floating node needs a conductive path to a fixed
+            // node or its temperature level is undetermined. Rounding
+            // in the factorization can turn that exact singularity into
+            // a tiny positive pivot (and a silent all-zero "solution"
+            // when no heat flows), so check reachability explicitly
+            // rather than trusting the pivot test.
+            let mut adj = vec![Vec::new(); n_all];
+            for e in &self.edges {
+                adj[e.a].push(e.b);
+                adj[e.b].push(e.a);
+            }
+            let mut reached = vec![false; n_all];
+            let mut stack: Vec<usize> = Vec::new();
+            for (i, node) in self.nodes.iter().enumerate() {
+                if matches!(node.kind, NodeKind::Fixed(_)) {
+                    reached[i] = true;
+                    stack.push(i);
+                }
+            }
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if !reached[v] {
+                        reached[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            if floating.iter().any(|&i| !reached[i]) {
+                return Err(ThermalError::SingularSystem {
+                    context: "thermal network",
+                });
+            }
             let mut a = vec![0.0f64; n * n];
             let mut b = vec![0.0f64; n];
             for (i, node) in self.nodes.iter().enumerate() {
@@ -407,6 +440,22 @@ mod tests {
         net.connect(hot, cold, ThermalResistance::new(4.0)).unwrap();
         let sol = net.solve().unwrap();
         assert!((sol.edge_flow(0).unwrap().value() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_floating_network_is_singular_even_without_heat() {
+        // With no fixed node the 2×2 system is exactly singular, but
+        // rounding in the factorization can leave a ~1e-16 pivot and a
+        // silent all-zero "solution"; the reachability check must
+        // reject it regardless.
+        let mut net = Network::new();
+        let a = net.add_floating("a");
+        let b = net.add_floating("b");
+        net.connect(a, b, ThermalResistance::new(2.0)).unwrap();
+        assert!(matches!(
+            net.solve(),
+            Err(ThermalError::SingularSystem { .. })
+        ));
     }
 
     #[test]

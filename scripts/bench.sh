@@ -14,6 +14,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 HW_THREADS=$(nproc 2>/dev/null || echo 1)
+# Hand the real machine width to the bench: it tags rows timed with
+# more threads than this as "oversubscribed" and records the value in
+# BENCH_sweeps.json as "hardware_threads".
+export AEROPACK_HW_THREADS="$HW_THREADS"
 if [ "$HW_THREADS" -lt 4 ]; then
     echo "note: $HW_THREADS hardware thread(s) < widest timed count (4);" \
          "wider rows will be tagged \"oversubscribed\": true and their" \

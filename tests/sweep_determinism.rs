@@ -8,8 +8,10 @@ use aeropack::fem::{
     modal, random_response, random_response_with, Dof, HarmonicResponse, PlateMesh, PlateProperties,
 };
 use aeropack::materials::Material;
+use aeropack::solver::{Precond, SolverConfig};
 use aeropack::sweep::Sweep;
-use aeropack::units::{Celsius, Frequency, Length, Power};
+use aeropack::thermal::{Face, FaceBc, FvGrid, FvModel};
+use aeropack::units::{Celsius, Frequency, HeatTransferCoeff, Length, Power};
 use aeropack_envqual::Do160Curve;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -182,6 +184,72 @@ fn random_response_is_bit_identical_across_thread_counts() {
     }
     let via_env = random_response(&resp, node, Dof::W, &psd).expect("env-path random response");
     assert_eq!(via_env.accel_grms.to_bits(), reference.accel_grms.to_bits());
+}
+
+#[test]
+fn fv_power_sweep_with_ic0_is_bit_identical_across_thread_counts() {
+    // The IC(0)+RCM hot path end to end: a finite-volume power sweep
+    // whose every solve goes through the level-scheduled triangular
+    // applies and the workspace-cached factor. Worker-local model
+    // clones mean each worker re-derives the permutation and factor
+    // from the same matrix values, so results must stay bitwise
+    // identical no matter how scenarios are split across threads — and
+    // identical to the serial `scale_sources` path the scaled solve
+    // replaced.
+    let grid = FvGrid::new((0.12, 0.08, 0.0016), (24, 16, 1)).expect("grid");
+    let mut base = FvModel::new(grid, &Material::fr4());
+    base.add_power_box(Power::new(18.0), (6, 4, 0), (14, 10, 1))
+        .expect("source");
+    base.set_face_bc(
+        Face::ZMax,
+        FaceBc::Convection {
+            h: HeatTransferCoeff::new(45.0),
+            ambient: Celsius::new(35.0),
+        },
+    );
+    base.set_solver_config(SolverConfig::new().preconditioner(Precond::Ic0));
+    base.solve_steady().expect("prime solve");
+    let scales: Vec<f64> = (0..12).map(|i| 0.5 + 0.1 * i as f64).collect();
+
+    let field_bits = |runner: &Sweep| -> Vec<Vec<u64>> {
+        runner.map_with(
+            &scales,
+            || base.clone(),
+            |model, &scale| {
+                let field = model.solve_steady_scaled(scale).expect("scaled solve");
+                let stats = model.last_solve_stats().expect("stats");
+                assert!(stats.converged());
+                let factor = stats.factorization.expect("IC(0) factor stats");
+                assert!(factor.reordered, "Auto reorder engages RCM for IC(0)");
+                field.temperatures().iter().map(|t| t.to_bits()).collect()
+            },
+        )
+    };
+
+    let reference = field_bits(&Sweep::serial());
+    for threads in THREAD_COUNTS {
+        // `with_grain(1)` forces genuine parallelism past the FV grain
+        // hint a library sweep would apply.
+        let parallel = field_bits(&Sweep::new(threads).with_grain(1));
+        assert_eq!(
+            parallel, reference,
+            "IC(0) FV sweep diverged at {threads} threads"
+        );
+    }
+
+    // The scaled solve is the old clone-and-scale path, bit for bit.
+    for (&scale, bits) in scales.iter().zip(&reference) {
+        let mut scaled = base.clone();
+        scaled.scale_sources(scale);
+        let old: Vec<u64> = scaled
+            .solve_steady()
+            .expect("scale_sources solve")
+            .temperatures()
+            .iter()
+            .map(|t| t.to_bits())
+            .collect();
+        assert_eq!(&old, bits, "solve_steady_scaled({scale}) diverged");
+    }
 }
 
 #[test]
