@@ -1,0 +1,455 @@
+//! Analysis-service load benchmark: a ≥1000-request mixed workload
+//! (SEB capability/operating points, FV plates, Level-2 boards, FEM
+//! modal) driven through the in-process [`Client`] at several worker
+//! pool sizes, plus a socket-transport leg, a cold-vs-cached latency
+//! comparison and a coalescing bit-identity check. Emits
+//! `BENCH_serve.json` at the repository root with p50/p90/p99 latency
+//! and throughput per pool size, and **exits non-zero** if
+//!
+//! * any request in the load fails,
+//! * cache-hit repeats are not at least 5× faster than cold solves, or
+//! * a coalesced multi-RHS batch is not bit-identical to the same
+//!   scales solved one at a time.
+//!
+//! Run with `cargo bench -p aeropack-bench --bench serve`; pass
+//! `-- --smoke` for the small offline CI gate (120 requests, no JSON
+//! file written).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aeropack_bench::fmt_duration;
+use aeropack_serve::{
+    serve, AnalysisRequest, AnalysisResponse, BoardSpec, Client, CoolingModeSpec, FemPlateSpec,
+    FvAnalysis, MaterialKind, PlateSpec, SeatKind, SebSpec, ServeConfig, Service, ServiceStats,
+    SocketClient, Workload, Workspace,
+};
+
+fn seb_spec() -> SebSpec {
+    SebSpec {
+        seat: SeatKind::Aluminum,
+        lhp: true,
+        tilt_deg: 0.0,
+        ambient_c: 25.0,
+    }
+}
+
+fn plate_spec() -> PlateSpec {
+    PlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        thickness_m: 0.0016,
+        nx: 16,
+        ny: 10,
+        material: MaterialKind::Fr4,
+        power_w: 15.0,
+        h_w_m2k: 40.0,
+        ambient_c: 40.0,
+    }
+}
+
+fn board_spec() -> BoardSpec {
+    BoardSpec {
+        power_w: 25.0,
+        mode: CoolingModeSpec::ForcedAir {
+            flow_multiplier: 1.0,
+        },
+        ambient_c: 40.0,
+        resolution_mm: 10.0,
+    }
+}
+
+fn fem_spec() -> FemPlateSpec {
+    FemPlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        nx: 6,
+        ny: 4,
+        thickness_mm: 1.6,
+        smeared_mass_kg_m2: 4.5,
+        material: MaterialKind::Fr4,
+    }
+}
+
+/// The generated load: `n` requests cycling over five analysis kinds.
+/// Parameter cycles are shorter than the request count, so later laps
+/// repeat earlier requests — the mix exercises the result cache and,
+/// for the FV/board families (which share a model fingerprint across
+/// scales), the multi-RHS coalescer.
+fn mixed_load(n: usize) -> Vec<AnalysisRequest> {
+    (0..n)
+        .map(|i| match i % 5 {
+            0 => AnalysisRequest::SebOperatingPoint {
+                spec: seb_spec(),
+                power_w: 20.0 + (i % 60) as f64,
+            },
+            1 => AnalysisRequest::FvSteady {
+                spec: plate_spec(),
+                scale: 0.5 + 0.01 * (i % 60) as f64,
+            },
+            2 => AnalysisRequest::BoardSteady {
+                spec: board_spec(),
+                scale: 0.5 + 0.01 * (i % 40) as f64,
+            },
+            3 => AnalysisRequest::SebCapability {
+                spec: seb_spec(),
+                dt_limit_k: 20.0 + (i % 25) as f64,
+            },
+            _ => AnalysisRequest::FemModal {
+                spec: fem_spec(),
+                n_modes: 3 + (i / 5) % 3,
+            },
+        })
+        .collect()
+}
+
+/// Latency quantile over an unsorted sample, by nearest-rank on the
+/// sorted order (q in [0, 1]).
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One measured load run: the pool size, wall, throughput, the latency
+/// distribution and the service counters at drain.
+struct LoadRecord {
+    workers: usize,
+    requests: usize,
+    wall: Duration,
+    /// Sorted per-request latencies in milliseconds (admission-time
+    /// cache hits contribute their submit-call duration).
+    latencies_ms: Vec<f64>,
+    stats: ServiceStats,
+}
+
+impl LoadRecord {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Drives the whole load through a fresh service at the given pool
+/// size: submit everything (so the queue saturates and identical-model
+/// requests stack up for the coalescer), then resolve every ticket.
+fn run_load(load: &[AnalysisRequest], workers: usize) -> LoadRecord {
+    let client = Client::start(
+        ServeConfig::new()
+            .workers(workers)
+            .queue_capacity(load.len().max(1))
+            .cache_capacity(512),
+    );
+    let start = Instant::now();
+    let tickets: Vec<(Instant, _)> = load
+        .iter()
+        .map(|r| {
+            let submitted = Instant::now();
+            (submitted, client.submit(r.clone()))
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(load.len());
+    for (i, (submitted, ticket)) in tickets.into_iter().enumerate() {
+        // An admission-time cache hit resolves inside `submit`; its
+        // latency is the submit call itself. Queued jobs report the
+        // worker-measured submission-to-completion latency.
+        let admitted = submitted.elapsed();
+        let (result, timing) = ticket.wait_timed();
+        if let Err(e) = result {
+            eprintln!("serve load: request {i} failed: {e}");
+            std::process::exit(1);
+        }
+        let latency = timing.map_or(admitted, |t| t.latency);
+        latencies_ms.push(latency.as_secs_f64() * 1e3);
+    }
+    let wall = start.elapsed();
+    let stats = client.service().stats();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    LoadRecord {
+        workers,
+        requests: load.len(),
+        wall,
+        latencies_ms,
+        stats,
+    }
+}
+
+/// Cold-vs-cached comparison on one service: a family of distinct
+/// plate solves timed end to end, then the identical calls replayed —
+/// the replay must be answered from the result cache at least 5×
+/// faster.
+fn bench_cache_speedup(n: usize) -> (f64, f64) {
+    let client = Client::start(ServeConfig::new().workers(1));
+    let requests: Vec<AnalysisRequest> = (0..n)
+        .map(|i| AnalysisRequest::FvSteady {
+            spec: plate_spec(),
+            scale: 0.9 + 0.01 * i as f64,
+        })
+        .collect();
+    let time_pass = |label: &str| -> f64 {
+        let start = Instant::now();
+        for r in &requests {
+            if let Err(e) = client.call(r.clone()) {
+                eprintln!("serve cache leg ({label}): {e}");
+                std::process::exit(1);
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e3 / n as f64
+    };
+    let cold_ms = time_pass("cold");
+    let hit_ms = time_pass("hit");
+    let stats = client.service().stats();
+    assert!(
+        stats.cache_hits >= n as u64,
+        "replay pass must be answered from the cache ({} hits of {n})",
+        stats.cache_hits
+    );
+    (cold_ms, hit_ms)
+}
+
+/// Coalescing bit-identity: the same plate at several scales, solved
+/// serially through the [`Workload`] interface and again through a
+/// single-worker service where they stack behind an occupancy job and
+/// are folded into one multi-RHS batch. The responses must be equal to
+/// the last bit.
+fn bench_coalesce_identity() -> (u64, u64) {
+    let scales: Vec<f64> = (0..8).map(|i| 0.55 + 0.1 * i as f64).collect();
+    let mut ws = Workspace::new();
+    let serial: Vec<AnalysisResponse> = scales
+        .iter()
+        .map(|&scale| {
+            FvAnalysis {
+                spec: plate_spec(),
+                scale,
+            }
+            .run(&mut ws)
+            .expect("serial solve")
+        })
+        .collect();
+
+    let service = Service::start(ServeConfig::new().workers(1).cache_capacity(0));
+    let busy = service.submit(AnalysisRequest::FvSteady {
+        spec: PlateSpec {
+            nx: 48,
+            ny: 48,
+            ..plate_spec()
+        },
+        scale: 1.0,
+    });
+    let tickets: Vec<_> = scales
+        .iter()
+        .map(|&scale| {
+            service.submit(AnalysisRequest::FvSteady {
+                spec: plate_spec(),
+                scale,
+            })
+        })
+        .collect();
+    busy.wait().expect("occupancy solve");
+    let batched: Vec<AnalysisResponse> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("coalesced solve"))
+        .collect();
+    let stats = service.stats();
+    assert!(
+        stats.coalesced_batches >= 1 && stats.coalesced_jobs >= 2,
+        "coalescing leg produced no multi-RHS batch: {stats:?}"
+    );
+    if batched != serial {
+        eprintln!("COALESCE MISMATCH: batched multi-RHS responses differ from serial solves");
+        std::process::exit(1);
+    }
+    (stats.coalesced_jobs, stats.coalesced_batches)
+}
+
+/// Socket-transport throughput: the first `n` load requests pipelined
+/// over one TCP connection against a fresh two-worker daemon.
+fn bench_socket(load: &[AnalysisRequest], n: usize) -> (usize, Duration) {
+    let service = Arc::new(Service::start(
+        ServeConfig::new().workers(2).queue_capacity(n),
+    ));
+    let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").expect("daemon start");
+    let mut client = SocketClient::connect(daemon.addr()).expect("client connect");
+    let batch: Vec<AnalysisRequest> = load.iter().take(n).cloned().collect();
+    let n = batch.len();
+    let start = Instant::now();
+    let results = client.call_batch(batch).expect("socket batch");
+    let wall = start.elapsed();
+    for (i, r) in results.iter().enumerate() {
+        if let Err(e) = r {
+            eprintln!("serve socket leg: request {i} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    daemon.shutdown();
+    service.shutdown();
+    (n, wall)
+}
+
+fn emit_json(
+    records: &[LoadRecord],
+    cold_ms: f64,
+    hit_ms: f64,
+    coalesced: (u64, u64),
+    socket: (usize, Duration),
+    smoke: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p aeropack-bench --bench serve\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"load\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workers\": {},\n", r.workers));
+        out.push_str(&format!("      \"requests\": {},\n", r.requests));
+        out.push_str(&format!(
+            "      \"wall_seconds\": {:.6},\n",
+            r.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "      \"throughput_rps\": {:.1},\n",
+            r.throughput_rps()
+        ));
+        out.push_str(&format!(
+            "      \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \
+             \"max\": {:.3}}},\n",
+            quantile_ms(&r.latencies_ms, 0.50),
+            quantile_ms(&r.latencies_ms, 0.90),
+            quantile_ms(&r.latencies_ms, 0.99),
+            quantile_ms(&r.latencies_ms, 1.0),
+        ));
+        out.push_str(&format!("      \"cache_hits\": {},\n", r.stats.cache_hits));
+        out.push_str(&format!(
+            "      \"cache_misses\": {},\n",
+            r.stats.cache_misses
+        ));
+        out.push_str(&format!(
+            "      \"coalesced_jobs\": {},\n",
+            r.stats.coalesced_jobs
+        ));
+        out.push_str(&format!(
+            "      \"coalesced_batches\": {}\n",
+            r.stats.coalesced_batches
+        ));
+        out.push_str(if i + 1 == records.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cache\": {{\"cold_ms_mean\": {:.4}, \"hit_ms_mean\": {:.4}, \
+         \"speedup\": {:.1}}},\n",
+        cold_ms,
+        hit_ms,
+        cold_ms / hit_ms
+    ));
+    out.push_str(&format!(
+        "  \"coalesce\": {{\"jobs\": {}, \"batches\": {}, \"bit_identical\": true}},\n",
+        coalesced.0, coalesced.1
+    ));
+    out.push_str(&format!(
+        "  \"socket\": {{\"requests\": {}, \"wall_seconds\": {:.6}, \
+         \"throughput_rps\": {:.1}}}\n",
+        socket.0,
+        socket.1.as_secs_f64(),
+        socket.0 as f64 / socket.1.as_secs_f64()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_requests = if smoke { 120 } else { 1200 };
+    let pool_sizes: &[usize] = if smoke { &[2] } else { &[1, 2, 4] };
+
+    aeropack_obs::init_from_env();
+    aeropack_obs::set_enabled(true);
+
+    println!(
+        "serve benches ({} mode, {n_requests}-request mixed load)",
+        if smoke { "smoke" } else { "full" }
+    );
+    let load = mixed_load(n_requests);
+
+    let records: Vec<LoadRecord> = pool_sizes.iter().map(|&w| run_load(&load, w)).collect();
+    for r in &records {
+        println!(
+            "\nload — workers={} wall {:>12}  {:7.1} req/s",
+            r.workers,
+            fmt_duration(r.wall),
+            r.throughput_rps()
+        );
+        println!(
+            "  latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            quantile_ms(&r.latencies_ms, 0.50),
+            quantile_ms(&r.latencies_ms, 0.90),
+            quantile_ms(&r.latencies_ms, 0.99),
+            quantile_ms(&r.latencies_ms, 1.0),
+        );
+        println!(
+            "  cache {} hits / {} misses, {} jobs coalesced into {} batches",
+            r.stats.cache_hits,
+            r.stats.cache_misses,
+            r.stats.coalesced_jobs,
+            r.stats.coalesced_batches
+        );
+        assert!(
+            r.stats.cache_hits > 0,
+            "mixed load with repeats must produce cache hits at workers={}",
+            r.workers
+        );
+    }
+
+    let (cold_ms, hit_ms) = bench_cache_speedup(if smoke { 10 } else { 40 });
+    let speedup = cold_ms / hit_ms;
+    println!(
+        "\ncache — cold {cold_ms:.3} ms/req, cached replay {hit_ms:.4} ms/req ({speedup:.0}x)"
+    );
+    if speedup < 5.0 {
+        eprintln!("CACHE GATE: cached replay only {speedup:.1}x faster than cold (need >= 5x)");
+        std::process::exit(1);
+    }
+
+    let coalesced = bench_coalesce_identity();
+    println!(
+        "coalesce — {} jobs in {} multi-RHS batches, bit-identical to serial solves",
+        coalesced.0, coalesced.1
+    );
+
+    let socket = bench_socket(&load, if smoke { 60 } else { 400 });
+    println!(
+        "socket — {} pipelined requests in {:>12}  {:7.1} req/s",
+        socket.0,
+        fmt_duration(socket.1),
+        socket.0 as f64 / socket.1.as_secs_f64()
+    );
+
+    let json = emit_json(&records, cold_ms, hit_ms, coalesced, socket, smoke);
+    let report = aeropack_obs::report_json();
+    let summary = aeropack_obs::validate_report(&report).expect("run report must validate");
+    if smoke {
+        println!("\n{json}");
+        println!("obs run report: {summary}");
+    } else {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join("BENCH_serve.json");
+        std::fs::write(&path, &json).expect("write BENCH_serve.json");
+        println!("\nwrote {}", path.display());
+    }
+    for prefix in ["serve.", "serve.cache.", "serve.coalesce."] {
+        assert!(
+            summary.counter_prefix_sum(prefix) > 0,
+            "run report must carry `{prefix}*` counters"
+        );
+    }
+    // Honour AEROPACK_OBS_REPORT in either mode, so the CI smoke gate
+    // can obs_check the emitted counters without a full bench run.
+    if let Some(path) = aeropack_obs::write_env_report().expect("write env-report") {
+        println!("wrote {} (AEROPACK_OBS_REPORT)", path.display());
+    }
+    println!("serve bench: OK");
+}

@@ -10,7 +10,9 @@ use aeropack_core::{
     level3, predict_board_temperature, representative_board, CoolingSelector, Level2Model,
     ModuleGeometry,
 };
-use aeropack_sweep::Sweep;
+use aeropack_serve::{
+    AnalysisRequest, AnalysisResponse, BoardSpec, Client, CoolingModeSpec, ServeConfig,
+};
 use aeropack_thermal::Network;
 use aeropack_units::{Celsius, Length, Power, ThermalResistance};
 
@@ -87,23 +89,46 @@ fn main() {
     );
 
     // Level-2 derating sweep: the same board at scaled dissipations,
-    // run through the sweep engine. The first solve above primed the
-    // CSR pattern cache, so every scenario reassembles values only.
+    // submitted through the in-process analysis service. All five
+    // scales share one BoardSpec, so the worker coalesces them into a
+    // single assembly + multi-RHS solve.
     let scales = [0.6, 0.8, 1.0, 1.2, 1.4];
-    let results = Sweep::from_env().map(&scales, |&scale| {
-        let scaled = l2_model.with_power_scale(scale).expect("scaled model");
-        let f = scaled.solve().expect("scaled solve");
-        let (hits, misses) = scaled.pattern_cache_stats();
-        (f.summary().expect("non-degenerate field").max, hits, misses)
-    });
+    let client = Client::start(ServeConfig::new().workers(1));
+    let board_spec = BoardSpec {
+        power_w: pcb.total_power().value(),
+        mode: CoolingModeSpec::from_mode(&mode),
+        ambient_c: ambient.value(),
+        resolution_mm: 4.0,
+    };
+    // Submit everything before resolving anything — that is what lets
+    // the queue batch the identical-model requests.
+    let tickets: Vec<_> = scales
+        .iter()
+        .map(|&scale| {
+            client.submit(AnalysisRequest::BoardSteady {
+                spec: board_spec,
+                scale,
+            })
+        })
+        .collect();
     print!("L2 board peak vs power scale:");
-    for (scale, (peak, _, _)) in scales.iter().zip(&results) {
-        print!("  {:.0}% → {:.1} °C", scale * 100.0, peak.value());
+    for (scale, ticket) in scales.iter().zip(tickets) {
+        match ticket.wait().expect("scaled solve") {
+            AnalysisResponse::Field { max_c, .. } => {
+                print!("  {:.0}% → {max_c:.1} °C", scale * 100.0);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
     }
     println!();
-    let hits: usize = results.iter().map(|&(_, h, _)| h).sum();
-    let misses: usize = results.iter().map(|&(_, _, m)| m).sum();
-    println!("CSR pattern cache across the sweep: {hits} hits, {misses} misses (pattern built once by the base solve, values-only reassembly after)");
+    let serve_stats = client.service().stats();
+    println!(
+        "analysis service across the sweep: {} submitted, {} coalesced into {} multi-RHS batches, {} cache hits",
+        serve_stats.submitted,
+        serve_stats.coalesced_jobs,
+        serve_stats.coalesced_batches,
+        serve_stats.cache_hits
+    );
 
     // Resistive-network equivalent of the same module (Fig 4 inset).
     let mut net = Network::new();

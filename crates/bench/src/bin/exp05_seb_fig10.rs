@@ -5,12 +5,39 @@
 //! aluminium seat structure. Paper anchors: ~40 W at ΔT ≈ 60 °C without
 //! LHP; 100 W at the same ΔT with LHP (+150 %); a 32 °C PCB drop at
 //! 40 W; ~58 W carried by the loop heat pipes; a small tilt penalty.
+//!
+//! The whole figure is produced through the in-process analysis
+//! service: each configuration's power column is one `SebPowerSweep`
+//! request, the anchors are `SebCapability`/`SebOperatingPoint`
+//! requests, and the worker pool supplies the parallelism the sweep
+//! engine used to.
 
 use aeropack_bench::{banner, compare, Table};
-use aeropack_core::{DesignError, SeatStructure, SebModel, SebOperatingState};
-use aeropack_sweep::Sweep;
-use aeropack_twophase::TwoPhaseError;
+use aeropack_core::{SeatStructure, SebModel};
+use aeropack_serve::{AnalysisRequest, AnalysisResponse, Client, SeatKind, SebSpec, ServeConfig};
 use aeropack_units::{Celsius, Power, TempDelta};
+
+fn spec(lhp: bool, tilt_deg: f64) -> SebSpec {
+    SebSpec {
+        seat: SeatKind::Aluminum,
+        lhp,
+        tilt_deg,
+        ambient_c: 25.0,
+    }
+}
+
+fn capability(client: &Client, s: SebSpec, dt_limit_k: f64) -> f64 {
+    match client
+        .call(AnalysisRequest::SebCapability {
+            spec: s,
+            dt_limit_k,
+        })
+        .expect("capability")
+    {
+        AnalysisResponse::Capability { watts } => watts,
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
 
 fn main() {
     banner(
@@ -19,91 +46,100 @@ fn main() {
         "Fig 10 (aluminium seat): no LHP / LHP horizontal / LHP 22° tilt",
     );
     let ambient = Celsius::new(25.0);
-    let no_lhp = SebModel::cosee(SeatStructure::aluminum(), false, 0.0).expect("model");
-    let lhp_flat = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model");
-    let lhp_tilt =
-        SebModel::cosee(SeatStructure::aluminum(), true, 22f64.to_radians()).expect("model");
+    let configs = [spec(false, 0.0), spec(true, 0.0), spec(true, 22.0)];
+    let powers_w: Vec<f64> = (1..=11).map(|i| 10.0 * f64::from(i)).collect();
 
-    // The whole Fig 10 grid — 3 configurations × 11 power levels — in
-    // one parallel sweep (AEROPACK_THREADS sets the worker count).
-    let configs = [no_lhp.clone(), lhp_flat.clone(), lhp_tilt.clone()];
-    let powers: Vec<Power> = (1..=11).map(|i| Power::new(10.0 * i as f64)).collect();
-    let runner = Sweep::from_env();
-    let (rows, sweep_stats) = SebModel::power_sweep(&configs, &powers, ambient, &runner);
+    // The whole Fig 10 grid — 3 configurations × 11 power levels — as
+    // three power-sweep requests resolved by the service's worker pool.
+    let client = Client::start(ServeConfig::new().workers(3));
+    let tickets: Vec<_> = configs
+        .iter()
+        .map(|&s| {
+            client.submit(AnalysisRequest::SebPowerSweep {
+                spec: s,
+                powers_w: powers_w.clone(),
+            })
+        })
+        .collect();
+    let columns: Vec<Vec<Option<f64>>> = tickets
+        .into_iter()
+        .map(|t| match t.wait().expect("power sweep") {
+            AnalysisResponse::PowerSweep { dt_pcb_air_k } => dt_pcb_air_k,
+            other => panic!("unexpected response: {other:?}"),
+        })
+        .collect();
 
-    let fmt = |point: &Result<SebOperatingState, DesignError>| -> String {
+    let fmt = |point: &Option<f64>| -> String {
         match point {
-            Ok(state) => format!("{:.1}", state.dt_pcb_air(ambient).kelvin()),
-            Err(DesignError::TwoPhase(TwoPhaseError::DryOut { .. })) => "dry-out".into(),
-            Err(other) => format!("err: {other}"),
+            Some(dt) => format!("{dt:.1}"),
+            None => "dry-out".into(),
         }
     };
-
     let mut t = Table::new(&[
         "SEB power (W)",
         "ΔT no LHP (K)",
         "ΔT LHP horizontal (K)",
         "ΔT LHP 22° (K)",
     ]);
-    for (pi, p) in powers.iter().enumerate() {
+    for (pi, p) in powers_w.iter().enumerate() {
         t.row(&[
-            format!("{:.0}", p.value()),
-            fmt(&rows[0][pi]),
-            fmt(&rows[1][pi]),
-            fmt(&rows[2][pi]),
+            format!("{p:.0}"),
+            fmt(&columns[0][pi]),
+            fmt(&columns[1][pi]),
+            fmt(&columns[2][pi]),
         ]);
     }
     t.print();
-    println!("sweep engine: {sweep_stats}");
+    let stats = client.service().stats();
+    println!(
+        "analysis service: {} requests submitted, {} completed, {} cache hits",
+        stats.submitted, stats.completed, stats.cache_hits
+    );
 
-    // Paper anchors.
-    let dt60 = TempDelta::new(60.0);
-    let cap_base = no_lhp.capability(dt60, ambient).expect("capability");
-    let cap_lhp = lhp_flat.capability(dt60, ambient).expect("capability");
-    let cap_tilt = lhp_tilt.capability(dt60, ambient).expect("capability");
+    // Paper anchors, all through the same request vocabulary.
+    let cap_base = capability(&client, configs[0], 60.0);
+    let cap_lhp = capability(&client, configs[1], 60.0);
+    let cap_tilt = capability(&client, configs[2], 60.0);
     println!(
         "{}",
-        compare(
-            "capability without LHP at ΔT=60 (W)",
-            40.0,
-            cap_base.value(),
-            0.35
-        )
+        compare("capability without LHP at ΔT=60 (W)", 40.0, cap_base, 0.35)
     );
     println!(
         "{}",
-        compare(
-            "capability with LHP at ΔT=60 (W)",
-            100.0,
-            cap_lhp.value(),
-            0.35
-        )
+        compare("capability with LHP at ΔT=60 (W)", 100.0, cap_lhp, 0.35)
     );
     println!(
         "{}",
         compare(
             "capability gain (%)",
             150.0,
-            (cap_lhp.value() / cap_base.value() - 1.0) * 100.0,
+            (cap_lhp / cap_base - 1.0) * 100.0,
             0.4,
         )
     );
-    let t_base = no_lhp
-        .solve(Power::new(40.0), ambient)
-        .expect("solve")
-        .pcb_temperature;
-    let t_lhp = lhp_flat
-        .solve(Power::new(40.0), ambient)
-        .expect("solve")
-        .pcb_temperature;
+    let point_at = |s: SebSpec, power_w: f64| -> AnalysisResponse {
+        client
+            .call(AnalysisRequest::SebOperatingPoint { spec: s, power_w })
+            .expect("operating point")
+    };
+    let (t_base, t_lhp) = match (point_at(configs[0], 40.0), point_at(configs[1], 40.0)) {
+        (
+            AnalysisResponse::OperatingPoint { pcb_c: base, .. },
+            AnalysisResponse::OperatingPoint { pcb_c: lhp, .. },
+        ) => (base, lhp),
+        other => panic!("unexpected responses: {other:?}"),
+    };
     println!(
         "{}",
-        compare("PCB drop at 40 W (K)", 32.0, (t_base - t_lhp).kelvin(), 0.4)
+        compare("PCB drop at 40 W (K)", 32.0, t_base - t_lhp, 0.4)
     );
-    let (near_cap, stats) = lhp_flat
-        .solve_with_stats(cap_lhp.min(Power::new(100.0)), ambient)
+    // Near-capability LHP loading; `solve_with_stats` stays on the
+    // model API because the wire response carries no solver stats.
+    let lhp_flat = SebModel::cosee(SeatStructure::aluminum(), true, 0.0).expect("model");
+    let (near_cap, solve_stats) = lhp_flat
+        .solve_with_stats(Power::new(cap_lhp.min(100.0)), ambient)
         .expect("solve");
-    println!("operating-point solver: {stats}");
+    println!("operating-point solver: {solve_stats}");
     println!(
         "{}",
         compare(
@@ -115,7 +151,20 @@ fn main() {
     );
     println!(
         "tilt capability penalty at ΔT=60: {:.1} W ({:.1}% — paper shows a small effect)",
-        cap_lhp.value() - cap_tilt.value(),
-        (1.0 - cap_tilt.value() / cap_lhp.value()) * 100.0
+        cap_lhp - cap_tilt,
+        (1.0 - cap_tilt / cap_lhp) * 100.0
     );
+    // Consistency cross-check: the service's 40 W ΔT column entry must
+    // match the direct model solve it abstracts.
+    let direct = lhp_flat
+        .solve(Power::new(40.0), ambient)
+        .expect("direct solve")
+        .dt_pcb_air(ambient)
+        .kelvin();
+    let via_service = columns[1][3].expect("40 W point solvable");
+    assert!(
+        (direct - via_service).abs() < 1e-12,
+        "service ({via_service}) and direct ({direct}) 40 W points disagree"
+    );
+    let _ = TempDelta::new(60.0);
 }

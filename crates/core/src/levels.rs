@@ -245,6 +245,23 @@ impl Level2Model {
         &self.model
     }
 
+    /// Canonical content fingerprint of this board model: the
+    /// underlying FV model's fingerprint (grid, properties, sources,
+    /// boundary conditions, solver settings) folded with the board
+    /// outline and in-plane resolution. Two models built from the same
+    /// PCB, cooling mode and resolution hash identically regardless of
+    /// construction history — the content-addressed cache key
+    /// `aeropack-serve` uses for whole-solve results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = aeropack_solver::Fingerprint::new("core.level2.model");
+        fp.write_u64(self.model.fingerprint());
+        fp.write_usize(self.nx);
+        fp.write_usize(self.ny);
+        fp.write_f64(self.board.0);
+        fp.write_f64(self.board.1);
+        fp.finish()
+    }
+
     /// Overrides the solver configuration of the underlying FV model —
     /// the hook through which board refinements pick a preconditioner
     /// (e.g. `Precond::Ic0` for repeated power-sweep solves).

@@ -1,0 +1,168 @@
+//! CI smoke for the analysis daemon.
+//!
+//! Starts a [`Service`] behind the TCP transport, drives a 50-request
+//! mixed workload (SEB, FV, board, FEM — with repeats, so the result
+//! cache is exercised) through a [`SocketClient`], then provokes a
+//! deterministic coalesced batch on a single-worker in-process
+//! service. Exits non-zero if any request fails or any service
+//! feature (cache, coalescing) stayed cold. Honours `AEROPACK_OBS=1`
+//! and `AEROPACK_OBS_REPORT` so `scripts/ci.sh` can gate the
+//! `serve.*` counters with `obs_check`.
+
+use std::sync::Arc;
+
+use aeropack_serve::{
+    serve, AnalysisRequest, BoardSpec, CoolingModeSpec, FemPlateSpec, MaterialKind, PlateSpec,
+    SeatKind, SebSpec, ServeConfig, Service, SocketClient,
+};
+
+fn seb_spec() -> SebSpec {
+    SebSpec {
+        seat: SeatKind::Aluminum,
+        lhp: true,
+        tilt_deg: 0.0,
+        ambient_c: 25.0,
+    }
+}
+
+fn plate_spec() -> PlateSpec {
+    PlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        thickness_m: 0.0016,
+        nx: 16,
+        ny: 10,
+        material: MaterialKind::Aluminum,
+        power_w: 15.0,
+        h_w_m2k: 40.0,
+        ambient_c: 40.0,
+    }
+}
+
+fn fem_spec() -> FemPlateSpec {
+    FemPlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        nx: 6,
+        ny: 4,
+        thickness_mm: 1.6,
+        smeared_mass_kg_m2: 4.5,
+        material: MaterialKind::Fr4,
+    }
+}
+
+/// A 50-request mixed workload with deliberate repeats: parameters
+/// cycle with short periods, so later laps replay earlier requests
+/// and must be answered from the cache.
+fn mixed_workload() -> Vec<AnalysisRequest> {
+    (0..50u32)
+        .map(|i| match i % 5 {
+            0 => AnalysisRequest::SebOperatingPoint {
+                spec: seb_spec(),
+                power_w: 30.0 + f64::from(i % 10),
+            },
+            1 => AnalysisRequest::FvSteady {
+                spec: plate_spec(),
+                scale: 0.5 + 0.25 * f64::from(i % 15) / 15.0,
+            },
+            2 => AnalysisRequest::BoardSteady {
+                spec: BoardSpec {
+                    power_w: 25.0,
+                    mode: CoolingModeSpec::ForcedAir {
+                        flow_multiplier: 1.0,
+                    },
+                    ambient_c: 40.0,
+                    resolution_mm: 10.0,
+                },
+                scale: 0.5 + 0.5 * f64::from(i % 10) / 10.0,
+            },
+            3 => AnalysisRequest::SebCapability {
+                spec: seb_spec(),
+                dt_limit_k: 20.0 + 5.0 * f64::from(i % 3),
+            },
+            _ => AnalysisRequest::FemModal {
+                spec: fem_spec(),
+                n_modes: 3 + (i as usize) % 2,
+            },
+        })
+        .collect()
+}
+
+fn main() {
+    aeropack_obs::init_from_env();
+
+    // --- Daemon leg: 50 mixed requests over the socket. -------------
+    let service = Arc::new(Service::start(ServeConfig::new().workers(2)));
+    let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").expect("daemon start");
+    println!("serve_smoke: daemon on {}", daemon.addr());
+    let mut client = SocketClient::connect(daemon.addr()).expect("client connect");
+    let workload = mixed_workload();
+    let total = workload.len();
+    let results = client.call_batch(workload).expect("socket batch");
+    let failures: Vec<String> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().err().map(|e| format!("request {i}: {e}")))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "serve_smoke: {} of {total} requests failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    let stats = service.stats();
+    println!(
+        "serve_smoke: {total} requests ok — {} solved, {} from cache, \
+         {} coalesced in {} batches",
+        stats.completed, stats.cache_hits, stats.coalesced_jobs, stats.coalesced_batches
+    );
+    assert!(
+        stats.cache_hits > 0,
+        "mixed workload with repeats must produce cache hits"
+    );
+    daemon.shutdown();
+    service.shutdown();
+
+    // --- Coalescing leg: deterministic multi-RHS batch. --------------
+    // One worker, occupied by a larger solve, while eight same-plate
+    // scales stack up behind it: the worker must fold them into
+    // multi-RHS batches.
+    let single = Service::start(ServeConfig::new().workers(1).cache_capacity(0));
+    let busy = single.submit(AnalysisRequest::FvSteady {
+        spec: PlateSpec {
+            nx: 48,
+            ny: 48,
+            ..plate_spec()
+        },
+        scale: 1.0,
+    });
+    let tickets: Vec<_> = (0..8)
+        .map(|i| {
+            single.submit(AnalysisRequest::FvSteady {
+                spec: plate_spec(),
+                scale: 0.5 + 0.1 * f64::from(i),
+            })
+        })
+        .collect();
+    busy.wait().expect("occupancy solve");
+    for t in tickets {
+        t.wait().expect("coalesced solve");
+    }
+    let cstats = single.stats();
+    println!(
+        "serve_smoke: coalescing leg — {} jobs in {} batches",
+        cstats.coalesced_jobs, cstats.coalesced_batches
+    );
+    assert!(
+        cstats.coalesced_batches >= 1 && cstats.coalesced_jobs >= 2,
+        "coalescing leg produced no multi-RHS batch: {cstats:?}"
+    );
+    single.shutdown();
+
+    match aeropack_obs::write_env_report() {
+        Ok(Some(path)) => println!("obs run report written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("obs run report not written: {e}"),
+    }
+    println!("serve_smoke: OK");
+}

@@ -1,0 +1,146 @@
+//! Content-addressed result cache with LRU eviction.
+//!
+//! Keys are the canonical request fingerprints from
+//! [`crate::Workload::fingerprint`]: two requests that describe the
+//! same physics hash to the same key regardless of how they were
+//! constructed, so a repeat submission is answered without touching a
+//! solver. Only successful responses are cached — errors are often
+//! transient (queue pressure, deadlines) and must re-run.
+//!
+//! Recency is tracked with a monotone tick instead of a linked list:
+//! every hit stamps the entry, eviction removes the minimum stamp.
+//! That is O(capacity) on insert-when-full, which is irrelevant at
+//! the cache sizes a co-design service uses, and keeps the structure
+//! a plain `HashMap` under one mutex.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::request::AnalysisResponse;
+
+struct Entry {
+    response: AnalysisResponse,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Fingerprint-keyed LRU cache of successful analysis responses.
+pub(crate) struct ResultCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up a cached response, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<AnalysisResponse> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut s = self.state.lock().expect("cache lock poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        s.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            e.response.clone()
+        })
+    }
+
+    /// Stores a response; returns `true` if an entry was evicted to
+    /// make room (for the `serve.cache.evictions` counter).
+    pub fn insert(&self, key: u64, response: AnalysisResponse) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut s = self.state.lock().expect("cache lock poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        let mut evicted = false;
+        if !s.map.contains_key(&key) && s.map.len() >= self.capacity {
+            if let Some(&oldest) = s
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                s.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        s.map.insert(
+            key,
+            Entry {
+                response,
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock poisoned").map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ResultCache;
+    use crate::request::AnalysisResponse;
+
+    fn resp(watts: f64) -> AnalysisResponse {
+        AnalysisResponse::Capability { watts }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_response() {
+        let c = ResultCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, resp(40.0));
+        assert_eq!(c.get(1), Some(resp(40.0)));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = ResultCache::new(2);
+        c.insert(1, resp(1.0));
+        c.insert(2, resp(2.0));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(c.get(1).is_some());
+        assert!(c.insert(3, resp(3.0)));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let c = ResultCache::new(2);
+        c.insert(1, resp(1.0));
+        c.insert(2, resp(2.0));
+        assert!(!c.insert(1, resp(10.0)));
+        assert_eq!(c.get(1), Some(resp(10.0)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::new(0);
+        assert!(!c.insert(1, resp(1.0)));
+        assert!(c.get(1).is_none());
+    }
+}

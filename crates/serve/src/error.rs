@@ -1,0 +1,276 @@
+//! The workspace-unified error type and its stable wire codes.
+//!
+//! Every physics crate keeps its own error enum — [`ThermalError`],
+//! [`FemError`], [`DesignError`], … — because those carry
+//! domain-precise payloads. What they lack is a single type a service
+//! boundary can speak: the wire protocol needs one error vocabulary
+//! with *stable string codes* that outlive refactors of the Rust
+//! enums. [`Error`] is that vocabulary. `From` conversions fold every
+//! per-crate error into it (so `?` works across the whole workspace),
+//! and [`Error::code`] yields the protocol string the JSON codec
+//! serialises.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use aeropack_core::DesignError;
+use aeropack_fem::FemError;
+use aeropack_solver::SolverError;
+use aeropack_thermal::ThermalError;
+use aeropack_twophase::TwoPhaseError;
+
+/// The unified workspace error, re-exported as `aeropack::Error`.
+///
+/// Variants split into two families: *analysis* errors folded up from
+/// the physics crates (`Invalid`, `Singular`, `NotConverged`,
+/// `DryOut`, `Infeasible`, `Analysis`) and *service* errors raised by
+/// the daemon itself (`QueueFull`, `DeadlineExpired`, `ShuttingDown`,
+/// `Wire`, `Io`). `Remote` carries a code the wire decoder did not
+/// recognise, so protocol evolution degrades gracefully instead of
+/// failing to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Invalid request or model construction input.
+    Invalid {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A linear system was singular (floating network, no temperature
+    /// reference, under-constrained structure).
+    Singular {
+        /// What was being solved.
+        context: String,
+    },
+    /// An iterative solver exhausted its budget.
+    NotConverged {
+        /// Which solver.
+        context: String,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// A two-phase device exceeded its capillary limit (the paper's
+    /// dry-out boundary) — a *physical* outcome the SEB power sweeps
+    /// report per point, not a fault.
+    DryOut {
+        /// Device and operating point description.
+        detail: String,
+    },
+    /// No cooling technology in the selector's repertoire holds the
+    /// requirement.
+    Infeasible {
+        /// What could not be satisfied.
+        detail: String,
+    },
+    /// Any other analysis failure (material property, TIM model,
+    /// qualification, …), carrying the source error's display form.
+    Analysis {
+        /// Rendered source error.
+        detail: String,
+    },
+    /// The job queue is at capacity — admission control rejected the
+    /// request without enqueueing it.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExpired,
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+    /// A wire-protocol line failed to parse or had the wrong shape.
+    Wire {
+        /// What was malformed.
+        reason: String,
+    },
+    /// A transport-level I/O failure.
+    Io {
+        /// Rendered `std::io::Error`.
+        reason: String,
+    },
+    /// An error decoded from the wire with an unrecognised code.
+    Remote {
+        /// The code string as received.
+        code: String,
+        /// The message as received.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Shorthand for [`Error::Invalid`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::Invalid {
+            reason: reason.into(),
+        }
+    }
+
+    /// The stable wire-protocol code for this error. These strings are
+    /// the compatibility contract of the JSON codec: clients match on
+    /// them, so they never change once shipped.
+    pub fn code(&self) -> &str {
+        match self {
+            Self::Invalid { .. } => "invalid",
+            Self::Singular { .. } => "singular",
+            Self::NotConverged { .. } => "not_converged",
+            Self::DryOut { .. } => "dry_out",
+            Self::Infeasible { .. } => "infeasible",
+            Self::Analysis { .. } => "analysis",
+            Self::QueueFull { .. } => "queue_full",
+            Self::DeadlineExpired => "deadline_expired",
+            Self::ShuttingDown => "shutting_down",
+            Self::Wire { .. } => "wire",
+            Self::Io { .. } => "io",
+            Self::Remote { code, .. } => code,
+        }
+    }
+
+    /// Reconstructs an error from a wire `(code, message)` pair. The
+    /// parameterless service codes round-trip exactly; everything else
+    /// keeps its code and message in [`Error::Remote`] form so no
+    /// information is dropped.
+    pub fn from_wire(code: &str, message: &str) -> Self {
+        match code {
+            "deadline_expired" => Self::DeadlineExpired,
+            "shutting_down" => Self::ShuttingDown,
+            _ => Self::Remote {
+                code: code.to_string(),
+                message: message.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Invalid { reason } => write!(f, "invalid request: {reason}"),
+            Self::Singular { context } => write!(f, "singular system in {context}"),
+            Self::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Self::DryOut { detail } => write!(f, "two-phase dry-out: {detail}"),
+            Self::Infeasible { detail } => write!(f, "infeasible: {detail}"),
+            Self::Analysis { detail } => write!(f, "analysis failed: {detail}"),
+            Self::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} jobs); request rejected")
+            }
+            Self::DeadlineExpired => write!(f, "deadline expired before the job was scheduled"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::Wire { reason } => write!(f, "wire protocol error: {reason}"),
+            Self::Io { reason } => write!(f, "transport I/O error: {reason}"),
+            Self::Remote { code, message } => write!(f, "remote error [{code}]: {message}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+impl From<SolverError> for Error {
+    fn from(e: SolverError) -> Self {
+        match e {
+            SolverError::Singular { context } => Self::Singular {
+                context: context.to_string(),
+            },
+            SolverError::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => Self::NotConverged {
+                context: context.to_string(),
+                iterations,
+                residual,
+            },
+            SolverError::InvalidInput { reason } => Self::Invalid { reason },
+        }
+    }
+}
+
+impl From<ThermalError> for Error {
+    fn from(e: ThermalError) -> Self {
+        match e {
+            ThermalError::SingularSystem { context } => Self::Singular {
+                context: context.to_string(),
+            },
+            ThermalError::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => Self::NotConverged {
+                context: context.to_string(),
+                iterations,
+                residual,
+            },
+            other => Self::Analysis {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<FemError> for Error {
+    fn from(e: FemError) -> Self {
+        match e {
+            FemError::SingularMatrix { context } => Self::Singular {
+                context: context.to_string(),
+            },
+            FemError::NotConverged {
+                context,
+                iterations,
+                residual,
+            } => Self::NotConverged {
+                context: context.to_string(),
+                iterations,
+                residual,
+            },
+            other => Self::Analysis {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<TwoPhaseError> for Error {
+    fn from(e: TwoPhaseError) -> Self {
+        match e {
+            TwoPhaseError::DryOut { .. } => Self::DryOut {
+                detail: e.to_string(),
+            },
+            other => Self::Analysis {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<DesignError> for Error {
+    fn from(e: DesignError) -> Self {
+        match e {
+            DesignError::Invalid { reason } => Self::Invalid { reason },
+            DesignError::NoFeasibleCooling { .. } => Self::Infeasible {
+                detail: e.to_string(),
+            },
+            DesignError::Thermal(t) => t.into(),
+            DesignError::Structural(s) => s.into(),
+            DesignError::TwoPhase(t) => t.into(),
+            other => Self::Analysis {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io {
+            reason: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The bounded priority/deadline job queue with request coalescing.
+//!
+//! Scheduling order is `(priority rank, admission sequence)` over a
+//! `BTreeMap` — highest priority first, strict FIFO within a priority
+//! class. That ordering is the priority-inversion guard: a later
+//! low-priority submission can never overtake an earlier
+//! high-priority one, and within a class nothing jumps the line.
+//! Coalescing rides on top: when the worker pops a job that carries a
+//! [`coalesce key`](crate::AnalysisRequest::coalesce_key), every
+//! queued job with the same key (any priority — they get a free ride
+//! on the scheduled job's slot) is pulled into the same batch, up to
+//! the configured limit, and solved through one multi-RHS call.
+//!
+//! Admission control is at the door ([`JobQueue::push`] rejects when
+//! full or closed), and deadlines are enforced lazily at pop time:
+//! every wake-up first sweeps expired jobs out of the queue so a
+//! stale request never occupies a solve slot.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::error::Error;
+use crate::request::AnalysisRequest;
+use crate::service::Reply;
+
+/// Scheduling class of a request. Within a class the queue is strictly
+/// FIFO; across classes, higher always schedules first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive queries (scheduled before everything else).
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Bulk/background sweeps.
+    Low,
+}
+
+impl Priority {
+    /// Stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::High => "high",
+            Self::Normal => "normal",
+            Self::Low => "low",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "high" => Some(Self::High),
+            "normal" => Some(Self::Normal),
+            "low" => Some(Self::Low),
+            _ => None,
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Self::High => 0,
+            Self::Normal => 1,
+            Self::Low => 2,
+        }
+    }
+}
+
+/// One queued unit of work.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// The analysis to run.
+    pub request: AnalysisRequest,
+    /// Content-addressed result-cache key.
+    pub cache_key: u64,
+    /// Model-identity key for multi-RHS batching, when applicable.
+    pub coalesce_key: Option<u64>,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Absolute expiry instant, if the caller set one.
+    pub deadline: Option<Instant>,
+    /// When the job was admitted (latency accounting).
+    pub submitted: Instant,
+    /// Where the worker sends the result.
+    pub reply: Sender<Reply>,
+}
+
+/// What one wake-up of a worker gets: jobs whose deadline passed while
+/// queued (to reject), and a batch to run (singleton, or a coalesced
+/// group sharing one model).
+#[derive(Debug, Default)]
+pub(crate) struct Batch {
+    /// Jobs to reject with [`Error::DeadlineExpired`].
+    pub expired: Vec<Job>,
+    /// Jobs to run; all share a coalesce key when longer than one.
+    pub jobs: Vec<Job>,
+}
+
+struct QueueState {
+    jobs: BTreeMap<(u8, u64), Job>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The bounded, priority-ordered, coalescing job queue.
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    max_batch: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize, max_batch: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: BTreeMap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").jobs.len()
+    }
+
+    /// Admits a job, or rejects it without queueing: `QueueFull` at
+    /// capacity, `ShuttingDown` after [`JobQueue::close`].
+    pub fn push(&self, job: Job) -> Result<(), Error> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        if s.closed {
+            return Err(Error::ShuttingDown);
+        }
+        if s.jobs.len() >= self.capacity {
+            return Err(Error::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.jobs.insert((job.priority.rank(), seq), job);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue for new work. Queued jobs stay and will be
+    /// drained by the workers; once the queue runs dry every blocked
+    /// [`JobQueue::next_batch`] returns `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks until work is available; returns `None` when the queue
+    /// is closed and fully drained (worker exit signal).
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            let now = Instant::now();
+            let mut batch = Batch::default();
+            // Deadline sweep: expired jobs never reach a solve slot.
+            let expired_keys: Vec<(u8, u64)> = s
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.deadline.is_some_and(|d| d <= now))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in expired_keys {
+                batch.expired.push(s.jobs.remove(&k).expect("swept key"));
+            }
+            if let Some((&head_key, _)) = s.jobs.iter().next() {
+                let head = s.jobs.remove(&head_key).expect("head key");
+                let coalesce_key = head.coalesce_key;
+                batch.jobs.push(head);
+                if let Some(ck) = coalesce_key {
+                    // Pull every queued job sharing the model, in
+                    // scheduling order, onto the head job's slot.
+                    let mates: Vec<(u8, u64)> = s
+                        .jobs
+                        .iter()
+                        .filter(|(_, j)| j.coalesce_key == Some(ck))
+                        .map(|(k, _)| *k)
+                        .take(self.max_batch - 1)
+                        .collect();
+                    for k in mates {
+                        batch.jobs.push(s.jobs.remove(&k).expect("mate key"));
+                    }
+                }
+                return Some(batch);
+            }
+            if !batch.expired.is_empty() {
+                return Some(batch);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue condvar wait poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    use super::{Batch, Job, JobQueue, Priority};
+    use crate::error::Error;
+    use crate::request::{AnalysisRequest, PlateSpec, SeatKind, SebSpec};
+    use crate::workload::Workload;
+
+    fn seb_request(power_w: f64) -> AnalysisRequest {
+        AnalysisRequest::SebOperatingPoint {
+            spec: SebSpec {
+                seat: SeatKind::Aluminum,
+                lhp: true,
+                tilt_deg: 0.0,
+                ambient_c: 25.0,
+            },
+            power_w,
+        }
+    }
+
+    fn fv_request(scale: f64) -> AnalysisRequest {
+        AnalysisRequest::FvSteady {
+            spec: PlateSpec {
+                lx_m: 0.1,
+                ly_m: 0.1,
+                thickness_m: 0.002,
+                nx: 8,
+                ny: 8,
+                material: crate::request::MaterialKind::Aluminum,
+                power_w: 10.0,
+                h_w_m2k: 50.0,
+                ambient_c: 40.0,
+            },
+            scale,
+        }
+    }
+
+    fn job(request: AnalysisRequest, priority: Priority, deadline: Option<Duration>) -> Job {
+        let (tx, _rx) = mpsc::channel();
+        // The test keeps no receiver: queue tests only exercise
+        // ordering, not replies.
+        std::mem::forget(_rx);
+        Job {
+            cache_key: Workload::fingerprint(&request),
+            coalesce_key: request.coalesce_key(),
+            request,
+            priority,
+            deadline: deadline.map(|d| Instant::now() + d),
+            submitted: Instant::now(),
+            reply: tx,
+        }
+    }
+
+    fn power_of(batch: &Batch) -> f64 {
+        match &batch.jobs[0].request {
+            AnalysisRequest::SebOperatingPoint { power_w, .. } => *power_w,
+            _ => panic!("expected SEB job"),
+        }
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let q = JobQueue::new(16, 4);
+        for p in [1.0, 2.0, 3.0] {
+            q.push(job(seb_request(p), Priority::Normal, None)).unwrap();
+        }
+        for expect in [1.0, 2.0, 3.0] {
+            let batch = q.next_batch().unwrap();
+            assert_eq!(power_of(&batch), expect);
+        }
+    }
+
+    #[test]
+    fn high_priority_schedules_before_earlier_normal() {
+        let q = JobQueue::new(16, 4);
+        q.push(job(seb_request(1.0), Priority::Normal, None))
+            .unwrap();
+        q.push(job(seb_request(2.0), Priority::Low, None)).unwrap();
+        q.push(job(seb_request(3.0), Priority::High, None)).unwrap();
+        // High first despite being submitted last; Low last despite
+        // being submitted before High — no inversion.
+        for expect in [3.0, 1.0, 2.0] {
+            assert_eq!(power_of(&q.next_batch().unwrap()), expect);
+        }
+    }
+
+    #[test]
+    fn expired_jobs_are_swept_not_run() {
+        let q = JobQueue::new(16, 4);
+        q.push(job(
+            seb_request(1.0),
+            Priority::Normal,
+            Some(Duration::ZERO),
+        ))
+        .unwrap();
+        q.push(job(seb_request(2.0), Priority::Normal, None))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let batch = q.next_batch().unwrap();
+        assert_eq!(batch.expired.len(), 1);
+        assert_eq!(batch.jobs.len(), 1);
+        assert_eq!(power_of(&batch), 2.0);
+    }
+
+    #[test]
+    fn coalesces_same_model_jobs_across_priorities() {
+        let q = JobQueue::new(16, 8);
+        q.push(job(fv_request(0.5), Priority::Normal, None))
+            .unwrap();
+        q.push(job(seb_request(1.0), Priority::Normal, None))
+            .unwrap();
+        q.push(job(fv_request(1.0), Priority::Low, None)).unwrap();
+        q.push(job(fv_request(1.5), Priority::Normal, None))
+            .unwrap();
+        let batch = q.next_batch().unwrap();
+        // The head FV job pulls both same-model mates past the SEB job.
+        assert_eq!(batch.jobs.len(), 3);
+        assert!(batch
+            .jobs
+            .iter()
+            .all(|j| matches!(j.request, AnalysisRequest::FvSteady { .. })));
+        // The SEB job is untouched and schedules next.
+        assert_eq!(power_of(&q.next_batch().unwrap()), 1.0);
+    }
+
+    #[test]
+    fn coalescing_respects_the_batch_limit() {
+        let q = JobQueue::new(16, 2);
+        for s in [0.5, 1.0, 1.5] {
+            q.push(job(fv_request(s), Priority::Normal, None)).unwrap();
+        }
+        assert_eq!(q.next_batch().unwrap().jobs.len(), 2);
+        assert_eq!(q.next_batch().unwrap().jobs.len(), 1);
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let q = JobQueue::new(2, 4);
+        q.push(job(seb_request(1.0), Priority::Normal, None))
+            .unwrap();
+        q.push(job(seb_request(2.0), Priority::Normal, None))
+            .unwrap();
+        let err = q
+            .push(job(seb_request(3.0), Priority::Normal, None))
+            .unwrap_err();
+        assert_eq!(err, Error::QueueFull { capacity: 2 });
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = JobQueue::new(16, 4);
+        q.push(job(seb_request(1.0), Priority::Normal, None))
+            .unwrap();
+        q.close();
+        let err = q
+            .push(job(seb_request(2.0), Priority::Normal, None))
+            .unwrap_err();
+        assert_eq!(err, Error::ShuttingDown);
+        assert_eq!(power_of(&q.next_batch().unwrap()), 1.0);
+        assert!(q.next_batch().is_none());
+    }
+}

@@ -1,0 +1,576 @@
+//! The unified request/response vocabulary of the analysis service.
+//!
+//! Every workload the workspace can run — SEB capability and operating
+//! points, finite-volume steady fields (plain or power-scaled), FEM
+//! static/modal/harmonic analyses, and whole power sweeps — is
+//! expressible as one [`AnalysisRequest`] value, and every result
+//! comes back as one [`AnalysisResponse`]. Requests are built from
+//! compact *specs* (plain numbers and tags, no model handles), which
+//! makes them cheap to hash ([`AnalysisRequest::fingerprint`]), cheap
+//! to serialise (see [`wire`](crate::wire)) and safe to coalesce: two
+//! requests with equal specs denote bit-identical models.
+
+use aeropack_solver::Fingerprint;
+
+/// Seat structure material for the SEB model (the paper's Fig 10
+/// compares an aluminium and a carbon-composite seat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeatKind {
+    /// Aluminium honeycomb seat structure.
+    Aluminum,
+    /// Carbon-composite seat structure.
+    CarbonComposite,
+}
+
+impl SeatKind {
+    /// Stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Aluminum => "aluminum",
+            Self::CarbonComposite => "carbon_composite",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub(crate) fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "aluminum" => Some(Self::Aluminum),
+            "carbon_composite" => Some(Self::CarbonComposite),
+            _ => None,
+        }
+    }
+}
+
+/// Plate material for FV/FEM plate specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaterialKind {
+    /// Aluminium 6061.
+    Aluminum,
+    /// Copper.
+    Copper,
+    /// FR-4 laminate.
+    Fr4,
+}
+
+impl MaterialKind {
+    /// Stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Aluminum => "aluminum",
+            Self::Copper => "copper",
+            Self::Fr4 => "fr4",
+        }
+    }
+
+    pub(crate) fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "aluminum" => Some(Self::Aluminum),
+            "copper" => Some(Self::Copper),
+            "fr4" => Some(Self::Fr4),
+            _ => None,
+        }
+    }
+
+    /// The material table entry this tag denotes.
+    pub fn material(self) -> aeropack_materials::Material {
+        match self {
+            Self::Aluminum => aeropack_materials::Material::aluminum_6061(),
+            Self::Copper => aeropack_materials::Material::copper(),
+            Self::Fr4 => aeropack_materials::Material::fr4(),
+        }
+    }
+}
+
+/// Cooling mode for board-level (Level 2) requests — the wire-safe
+/// mirror of `aeropack_core::CoolingMode`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingModeSpec {
+    /// Radiation + free convection.
+    FreeConvection,
+    /// Direct forced air at a multiple of the ARINC 600 allocation.
+    ForcedAir {
+        /// Flow multiplier (1.0 = standard).
+        flow_multiplier: f64,
+    },
+    /// Conduction into wedge-locked rails at a fixed temperature.
+    ConductionCooled {
+        /// Rail temperature, °C.
+        rail_c: f64,
+    },
+    /// Air flow through an internal finned exchanger.
+    AirFlowThrough {
+        /// Flow multiplier (1.0 = standard).
+        flow_multiplier: f64,
+    },
+    /// Liquid cold plate behind the board.
+    LiquidFlowThrough {
+        /// Coolant inlet temperature, °C.
+        coolant_inlet_c: f64,
+    },
+}
+
+impl CoolingModeSpec {
+    /// Stable wire tag of the variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::FreeConvection => "free_convection",
+            Self::ForcedAir { .. } => "forced_air",
+            Self::ConductionCooled { .. } => "conduction_cooled",
+            Self::AirFlowThrough { .. } => "air_flow_through",
+            Self::LiquidFlowThrough { .. } => "liquid_flow_through",
+        }
+    }
+
+    /// The core cooling mode this spec denotes.
+    pub fn mode(&self) -> aeropack_core::CoolingMode {
+        use aeropack_core::CoolingMode;
+        match *self {
+            Self::FreeConvection => CoolingMode::FreeConvection,
+            Self::ForcedAir { flow_multiplier } => CoolingMode::DirectForcedAir { flow_multiplier },
+            Self::ConductionCooled { rail_c } => CoolingMode::ConductionCooled {
+                rail_temperature: aeropack_units::Celsius::new(rail_c),
+            },
+            Self::AirFlowThrough { flow_multiplier } => {
+                CoolingMode::AirFlowThrough { flow_multiplier }
+            }
+            Self::LiquidFlowThrough { coolant_inlet_c } => CoolingMode::LiquidFlowThrough {
+                coolant_inlet: aeropack_units::Celsius::new(coolant_inlet_c),
+            },
+        }
+    }
+
+    /// Builds the spec from a core cooling mode (for callers migrating
+    /// existing workloads onto the service).
+    pub fn from_mode(mode: &aeropack_core::CoolingMode) -> Self {
+        use aeropack_core::CoolingMode;
+        match *mode {
+            CoolingMode::FreeConvection => Self::FreeConvection,
+            CoolingMode::DirectForcedAir { flow_multiplier } => Self::ForcedAir { flow_multiplier },
+            CoolingMode::ConductionCooled { rail_temperature } => Self::ConductionCooled {
+                rail_c: rail_temperature.value(),
+            },
+            CoolingMode::AirFlowThrough { flow_multiplier } => {
+                Self::AirFlowThrough { flow_multiplier }
+            }
+            CoolingMode::LiquidFlowThrough { coolant_inlet } => Self::LiquidFlowThrough {
+                coolant_inlet_c: coolant_inlet.value(),
+            },
+        }
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        match *self {
+            Self::FreeConvection => fp.write_u8(0),
+            Self::ForcedAir { flow_multiplier } => {
+                fp.write_u8(1);
+                fp.write_f64(flow_multiplier);
+            }
+            Self::ConductionCooled { rail_c } => {
+                fp.write_u8(2);
+                fp.write_f64(rail_c);
+            }
+            Self::AirFlowThrough { flow_multiplier } => {
+                fp.write_u8(3);
+                fp.write_f64(flow_multiplier);
+            }
+            Self::LiquidFlowThrough { coolant_inlet_c } => {
+                fp.write_u8(4);
+                fp.write_f64(coolant_inlet_c);
+            }
+        }
+    }
+}
+
+/// A COSEE seat electronics box configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SebSpec {
+    /// Seat structure material.
+    pub seat: SeatKind,
+    /// Whether the loop heat pipes are fitted.
+    pub lhp: bool,
+    /// Tilt from horizontal, degrees.
+    pub tilt_deg: f64,
+    /// Cabin air temperature, °C.
+    pub ambient_c: f64,
+}
+
+impl SebSpec {
+    /// Model-level fingerprint (everything but the query).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.seb");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        fp.write_u8(match self.seat {
+            SeatKind::Aluminum => 0,
+            SeatKind::CarbonComposite => 1,
+        });
+        fp.write_bool(self.lhp);
+        fp.write_f64(self.tilt_deg);
+        fp.write_f64(self.ambient_c);
+    }
+}
+
+/// A rectangular dissipating plate solved by the finite-volume
+/// conduction backend: a centre power patch, convection from the top
+/// face, adiabatic elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlateSpec {
+    /// Plate length, m.
+    pub lx_m: f64,
+    /// Plate width, m.
+    pub ly_m: f64,
+    /// Plate thickness, m.
+    pub thickness_m: f64,
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Plate material.
+    pub material: MaterialKind,
+    /// Total dissipated power, W (spread over the centre half of the
+    /// plate).
+    pub power_w: f64,
+    /// Film coefficient on the top face, W/(m²·K).
+    pub h_w_m2k: f64,
+    /// Coolant/ambient temperature, °C.
+    pub ambient_c: f64,
+}
+
+impl PlateSpec {
+    /// Model-level fingerprint (shared by every scale of this plate —
+    /// the coalescing key).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.plate");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        fp.write_f64(self.lx_m);
+        fp.write_f64(self.ly_m);
+        fp.write_f64(self.thickness_m);
+        fp.write_usize(self.nx);
+        fp.write_usize(self.ny);
+        fp.write_u8(match self.material {
+            MaterialKind::Aluminum => 0,
+            MaterialKind::Copper => 1,
+            MaterialKind::Fr4 => 2,
+        });
+        fp.write_f64(self.power_w);
+        fp.write_f64(self.h_w_m2k);
+        fp.write_f64(self.ambient_c);
+    }
+}
+
+/// A representative avionics board analysed at Level 2 (finite-volume
+/// board field under a cooling mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardSpec {
+    /// Total board dissipation, W.
+    pub power_w: f64,
+    /// Cooling technology.
+    pub mode: CoolingModeSpec,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// In-plane cell resolution, mm.
+    pub resolution_mm: f64,
+}
+
+impl BoardSpec {
+    /// Model-level fingerprint (the coalescing key across scales).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.board");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        fp.write_f64(self.power_w);
+        self.mode.hash_into(&mut *fp);
+        fp.write_f64(self.ambient_c);
+        fp.write_f64(self.resolution_mm);
+    }
+}
+
+/// A rectangular PCB analysed by the structural (Kirchhoff plate) FEM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FemPlateSpec {
+    /// Plate length, m.
+    pub lx_m: f64,
+    /// Plate width, m.
+    pub ly_m: f64,
+    /// Elements along x.
+    pub nx: usize,
+    /// Elements along y.
+    pub ny: usize,
+    /// Plate thickness, mm.
+    pub thickness_mm: f64,
+    /// Smeared component mass, kg/m².
+    pub smeared_mass_kg_m2: f64,
+    /// Laminate material.
+    pub material: MaterialKind,
+}
+
+impl FemPlateSpec {
+    /// Model-level fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.fem_plate");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        fp.write_f64(self.lx_m);
+        fp.write_f64(self.ly_m);
+        fp.write_usize(self.nx);
+        fp.write_usize(self.ny);
+        fp.write_f64(self.thickness_mm);
+        fp.write_f64(self.smeared_mass_kg_m2);
+        fp.write_u8(match self.material {
+            MaterialKind::Aluminum => 0,
+            MaterialKind::Copper => 1,
+            MaterialKind::Fr4 => 2,
+        });
+    }
+}
+
+/// One analysis the service can run — the single typed entry point for
+/// every workload in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisRequest {
+    /// Maximum SEB power holding ΔT(PCB−air) under a limit (the Fig 10
+    /// capability anchors).
+    SebCapability {
+        /// Box configuration.
+        spec: SebSpec,
+        /// ΔT limit, K.
+        dt_limit_k: f64,
+    },
+    /// One SEB operating point at a given power.
+    SebOperatingPoint {
+        /// Box configuration.
+        spec: SebSpec,
+        /// Dissipated power, W.
+        power_w: f64,
+    },
+    /// ΔT(PCB−air) across a power grid for one configuration (a whole
+    /// Fig 10 column).
+    SebPowerSweep {
+        /// Box configuration.
+        spec: SebSpec,
+        /// Power grid, W.
+        powers_w: Vec<f64>,
+    },
+    /// Steady finite-volume field of a plate, with sources multiplied
+    /// by `scale` (1.0 = nominal). Requests sharing a [`PlateSpec`]
+    /// are coalesced into one multi-RHS solve.
+    FvSteady {
+        /// Plate definition.
+        spec: PlateSpec,
+        /// Source multiplier.
+        scale: f64,
+    },
+    /// Steady Level-2 board field with sources multiplied by `scale`.
+    /// Requests sharing a [`BoardSpec`] are coalesced.
+    BoardSteady {
+        /// Board definition.
+        spec: BoardSpec,
+        /// Source multiplier.
+        scale: f64,
+    },
+    /// Static deflection under a centre point load.
+    FemStatic {
+        /// Plate definition.
+        spec: FemPlateSpec,
+        /// Centre load, N (positive = transverse).
+        load_n: f64,
+    },
+    /// Natural frequencies of the simply-supported plate.
+    FemModal {
+        /// Plate definition.
+        spec: FemPlateSpec,
+        /// Number of modes to extract.
+        n_modes: usize,
+    },
+    /// Harmonic base-excitation transmissibility sweep at the plate
+    /// centre.
+    FemHarmonic {
+        /// Plate definition.
+        spec: FemPlateSpec,
+        /// Modal damping ratio.
+        damping: f64,
+        /// Sweep start, Hz.
+        f_min_hz: f64,
+        /// Sweep end, Hz.
+        f_max_hz: f64,
+        /// Number of sweep points.
+        points: usize,
+    },
+}
+
+impl AnalysisRequest {
+    /// Stable wire tag of the request variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::SebCapability { .. } => "seb_capability",
+            Self::SebOperatingPoint { .. } => "seb_operating_point",
+            Self::SebPowerSweep { .. } => "seb_power_sweep",
+            Self::FvSteady { .. } => "fv_steady",
+            Self::BoardSteady { .. } => "board_steady",
+            Self::FemStatic { .. } => "fem_static",
+            Self::FemModal { .. } => "fem_modal",
+            Self::FemHarmonic { .. } => "fem_harmonic",
+        }
+    }
+
+    /// The content-addressed result-cache key: a canonical hash of the
+    /// variant and every parameter. Invariant under how the request
+    /// value was produced; `NaN`-free by construction (the underlying
+    /// [`Fingerprint`] rejects NaN inputs with a panic).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.request");
+        fp.write_str(self.tag());
+        match self {
+            Self::SebCapability { spec, dt_limit_k } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64(*dt_limit_k);
+            }
+            Self::SebOperatingPoint { spec, power_w } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64(*power_w);
+            }
+            Self::SebPowerSweep { spec, powers_w } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64s(powers_w);
+            }
+            Self::FvSteady { spec, scale } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64(*scale);
+            }
+            Self::BoardSteady { spec, scale } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64(*scale);
+            }
+            Self::FemStatic { spec, load_n } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64(*load_n);
+            }
+            Self::FemModal { spec, n_modes } => {
+                spec.hash_into(&mut fp);
+                fp.write_usize(*n_modes);
+            }
+            Self::FemHarmonic {
+                spec,
+                damping,
+                f_min_hz,
+                f_max_hz,
+                points,
+            } => {
+                spec.hash_into(&mut fp);
+                fp.write_f64(*damping);
+                fp.write_f64(*f_min_hz);
+                fp.write_f64(*f_max_hz);
+                fp.write_usize(*points);
+            }
+        }
+        fp.finish()
+    }
+
+    /// The coalescing key, when this request can batch with others:
+    /// requests returning `Some(k)` with equal `k` share one model and
+    /// differ only in their source scale, so a worker folds them into
+    /// a single assembly + multi-RHS solve.
+    pub fn coalesce_key(&self) -> Option<u64> {
+        match self {
+            Self::FvSteady { spec, .. } => Some(spec.fingerprint()),
+            Self::BoardSteady { spec, .. } => Some(spec.fingerprint()),
+            _ => None,
+        }
+    }
+
+    /// The source scale of a coalescible request.
+    pub(crate) fn scale(&self) -> Option<f64> {
+        match self {
+            Self::FvSteady { scale, .. } | Self::BoardSteady { scale, .. } => Some(*scale),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one [`AnalysisRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisResponse {
+    /// Result of [`AnalysisRequest::SebCapability`].
+    Capability {
+        /// Maximum power holding the ΔT limit, W.
+        watts: f64,
+    },
+    /// Result of [`AnalysisRequest::SebOperatingPoint`].
+    OperatingPoint {
+        /// Dissipated power, W.
+        power_w: f64,
+        /// PCB reference temperature, °C.
+        pcb_c: f64,
+        /// Box wall temperature, °C.
+        wall_c: f64,
+        /// Power carried by the loop heat pipes, W.
+        lhp_w: f64,
+        /// ΔT(PCB − ambient), K.
+        dt_pcb_air_k: f64,
+    },
+    /// Result of [`AnalysisRequest::SebPowerSweep`]: one entry per
+    /// requested power; `None` marks a dry-out point (the capability
+    /// cliff the paper's Fig 10 curves end at).
+    PowerSweep {
+        /// ΔT(PCB − ambient) per power, K; `None` = dry-out.
+        dt_pcb_air_k: Vec<Option<f64>>,
+    },
+    /// Result of a steady FV/board solve: the field summary.
+    Field {
+        /// Minimum cell temperature, °C.
+        min_c: f64,
+        /// Maximum cell temperature, °C.
+        max_c: f64,
+        /// Mean cell temperature, °C.
+        mean_c: f64,
+        /// Number of cells solved.
+        cells: usize,
+    },
+    /// Result of [`AnalysisRequest::FemStatic`].
+    Static {
+        /// Peak transverse deflection magnitude, m.
+        max_deflection_m: f64,
+    },
+    /// Result of [`AnalysisRequest::FemModal`].
+    Modal {
+        /// Natural frequencies, Hz, ascending.
+        frequencies_hz: Vec<f64>,
+    },
+    /// Result of [`AnalysisRequest::FemHarmonic`].
+    Harmonic {
+        /// Frequency of the peak response, Hz.
+        peak_hz: f64,
+        /// Peak transmissibility (dimensionless).
+        peak_transmissibility: f64,
+        /// Number of sweep points evaluated.
+        points: usize,
+    },
+}
+
+impl AnalysisResponse {
+    /// Stable wire tag of the response variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Capability { .. } => "capability",
+            Self::OperatingPoint { .. } => "operating_point",
+            Self::PowerSweep { .. } => "power_sweep",
+            Self::Field { .. } => "field",
+            Self::Static { .. } => "static",
+            Self::Modal { .. } => "modal",
+            Self::Harmonic { .. } => "harmonic",
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end service behaviour: scheduling, deadlines, coalescing
+//! bit-identity, caching and graceful drain.
+
+use std::time::Duration;
+
+use aeropack_serve::{
+    AnalysisRequest, AnalysisResponse, Error, FvAnalysis, MaterialKind, PlateSpec, Priority,
+    SeatKind, SebSpec, ServeConfig, Service, Ticket, Workload, Workspace,
+};
+
+fn seb_spec() -> SebSpec {
+    SebSpec {
+        seat: SeatKind::Aluminum,
+        lhp: true,
+        tilt_deg: 0.0,
+        ambient_c: 25.0,
+    }
+}
+
+fn seb_point(power_w: f64) -> AnalysisRequest {
+    AnalysisRequest::SebOperatingPoint {
+        spec: seb_spec(),
+        power_w,
+    }
+}
+
+fn plate_spec(nx: usize, ny: usize) -> PlateSpec {
+    PlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        thickness_m: 0.0016,
+        nx,
+        ny,
+        material: MaterialKind::Aluminum,
+        power_w: 20.0,
+        h_w_m2k: 40.0,
+        ambient_c: 40.0,
+    }
+}
+
+fn fv_steady(scale: f64) -> AnalysisRequest {
+    AnalysisRequest::FvSteady {
+        spec: plate_spec(24, 24),
+        scale,
+    }
+}
+
+/// A request that keeps the single worker busy long enough for the
+/// test to stack more work behind it.
+fn occupancy() -> AnalysisRequest {
+    AnalysisRequest::FvSteady {
+        spec: plate_spec(48, 48),
+        scale: 1.0,
+    }
+}
+
+#[test]
+fn already_expired_deadline_is_rejected_not_run() {
+    let service = Service::start(ServeConfig::new().workers(1));
+    // Keep the worker busy so the doomed job is rejected while queued.
+    let busy = service.submit(occupancy());
+    let doomed = service.submit_with(seb_point(40.0), Priority::Normal, Some(Duration::ZERO));
+    assert_eq!(doomed.wait(), Err(Error::DeadlineExpired));
+    assert!(busy.wait().is_ok());
+    let stats = service.stats();
+    assert_eq!(stats.rejected_deadline, 1);
+}
+
+#[test]
+fn generous_deadline_completes_normally() {
+    let service = Service::start(ServeConfig::new().workers(1));
+    let ticket = service.submit_with(
+        seb_point(40.0),
+        Priority::High,
+        Some(Duration::from_secs(60)),
+    );
+    assert!(ticket.wait().is_ok());
+    assert_eq!(service.stats().rejected_deadline, 0);
+}
+
+#[test]
+fn high_priority_overtakes_queued_low_priority() {
+    let service = Service::start(ServeConfig::new().workers(1));
+    let busy = service.submit(occupancy());
+    // Queued behind the busy worker: low first, high second. The high
+    // job must still complete first.
+    let low = service.submit_with(seb_point(30.0), Priority::Low, None);
+    let high = service.submit_with(seb_point(35.0), Priority::High, None);
+    let (low_result, low_timing) = low.wait_timed();
+    let (high_result, high_timing) = high.wait_timed();
+    assert!(low_result.is_ok());
+    assert!(high_result.is_ok());
+    assert!(busy.wait().is_ok());
+    let (low_seq, high_seq) = (
+        low_timing.expect("queued job has timing").completed_seq,
+        high_timing.expect("queued job has timing").completed_seq,
+    );
+    assert!(
+        high_seq < low_seq,
+        "high-priority job completed at seq {high_seq}, after low-priority at {low_seq}"
+    );
+}
+
+#[test]
+fn coalesced_batch_is_bit_identical_to_serial_solves() {
+    let scales = [0.5, 0.75, 1.0, 1.25, 1.5];
+    // Serial reference: each scale solved on its own.
+    let mut ws = Workspace::new();
+    let serial: Vec<AnalysisResponse> = scales
+        .iter()
+        .map(|&scale| {
+            FvAnalysis {
+                spec: plate_spec(24, 24),
+                scale,
+            }
+            .run(&mut ws)
+            .expect("serial solve")
+        })
+        .collect();
+
+    let service = Service::start(ServeConfig::new().workers(1));
+    let busy = service.submit(occupancy());
+    let tickets: Vec<Ticket> = scales
+        .iter()
+        .map(|&s| service.submit(fv_steady(s)))
+        .collect();
+    assert!(busy.wait().is_ok());
+    let batched: Vec<AnalysisResponse> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("batched solve"))
+        .collect();
+
+    // Field summaries are pure functions of the solution vector, so
+    // exact equality here means the solves were bit-identical.
+    assert_eq!(batched, serial);
+    let stats = service.stats();
+    assert!(
+        stats.coalesced_batches >= 1,
+        "expected at least one coalesced batch, stats: {stats:?}"
+    );
+    assert!(stats.coalesced_jobs >= 2);
+}
+
+#[test]
+fn repeat_request_is_answered_from_the_cache() {
+    let service = Service::start(ServeConfig::new().workers(2));
+    let first = service.submit(seb_point(42.0));
+    let first_result = first.wait().expect("first solve");
+    let repeat = service.submit(seb_point(42.0));
+    assert!(repeat.is_ready(), "repeat should resolve at submission");
+    assert_eq!(repeat.wait().expect("cache hit"), first_result);
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn queue_full_rejects_at_admission() {
+    let service = Service::start(ServeConfig::new().workers(1).queue_capacity(1));
+    let busy = service.submit(occupancy());
+    // With the worker busy, a capacity-1 queue holds one job; the next
+    // distinct submission must bounce. Submit until the queue reports
+    // full (the first queued job may be grabbed quickly).
+    let mut bounced = false;
+    let mut pending = Vec::new();
+    for power in 0..50 {
+        let t = service.submit(seb_point(30.0 + f64::from(power)));
+        match t.is_ready() {
+            true => {
+                assert_eq!(t.wait(), Err(Error::QueueFull { capacity: 1 }));
+                bounced = true;
+                break;
+            }
+            false => pending.push(t),
+        }
+    }
+    assert!(bounced, "queue never reported full");
+    assert!(busy.wait().is_ok());
+    for t in pending {
+        assert!(t.wait().is_ok());
+    }
+    assert!(service.stats().rejected_queue_full >= 1);
+}
+
+#[test]
+fn graceful_drain_completes_queued_work_at_all_pool_sizes() {
+    for workers in [1usize, 2, 8] {
+        let service = Service::start(ServeConfig::new().workers(workers));
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| service.submit(seb_point(20.0 + f64::from(i))))
+            .collect();
+        service.shutdown();
+        for t in tickets {
+            assert!(
+                t.wait().is_ok(),
+                "queued job dropped during drain with {workers} workers"
+            );
+        }
+        let rejected = service.submit(seb_point(99.0));
+        assert_eq!(rejected.wait(), Err(Error::ShuttingDown));
+        let stats = service.stats();
+        assert_eq!(stats.completed, 6, "with {workers} workers");
+    }
+}

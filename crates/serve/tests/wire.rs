@@ -1,0 +1,270 @@
+//! Wire codec round-trips and a socket end-to-end exchange.
+
+use std::sync::Arc;
+
+use aeropack_serve::wire::{
+    decode_request_line, decode_response_line, encode_request_line, encode_response_line,
+    WireRequest, WireResponse,
+};
+use aeropack_serve::{
+    serve, AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, Error, FemPlateSpec,
+    MaterialKind, PlateSpec, Priority, SeatKind, SebSpec, ServeConfig, Service, SocketClient,
+};
+
+fn seb_spec() -> SebSpec {
+    SebSpec {
+        seat: SeatKind::CarbonComposite,
+        lhp: false,
+        tilt_deg: 12.5,
+        ambient_c: 30.25,
+    }
+}
+
+fn plate_spec() -> PlateSpec {
+    PlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        thickness_m: 0.0016,
+        nx: 16,
+        ny: 10,
+        material: MaterialKind::Fr4,
+        power_w: 12.5,
+        h_w_m2k: 37.5,
+        ambient_c: 55.0,
+    }
+}
+
+fn fem_spec() -> FemPlateSpec {
+    FemPlateSpec {
+        lx_m: 0.16,
+        ly_m: 0.1,
+        nx: 8,
+        ny: 6,
+        thickness_mm: 1.6,
+        smeared_mass_kg_m2: 4.5,
+        material: MaterialKind::Fr4,
+    }
+}
+
+fn all_requests() -> Vec<AnalysisRequest> {
+    vec![
+        AnalysisRequest::SebCapability {
+            spec: seb_spec(),
+            dt_limit_k: 25.0,
+        },
+        AnalysisRequest::SebOperatingPoint {
+            spec: seb_spec(),
+            power_w: 41.5,
+        },
+        AnalysisRequest::SebPowerSweep {
+            spec: seb_spec(),
+            powers_w: vec![10.0, 20.0, 30.0, 123.456789012345],
+        },
+        AnalysisRequest::FvSteady {
+            spec: plate_spec(),
+            scale: 1.0 + 1e-15,
+        },
+        AnalysisRequest::BoardSteady {
+            spec: BoardSpec {
+                power_w: 25.0,
+                mode: CoolingModeSpec::ConductionCooled { rail_c: 45.0 },
+                ambient_c: 40.0,
+                resolution_mm: 5.0,
+            },
+            scale: 0.75,
+        },
+        AnalysisRequest::BoardSteady {
+            spec: BoardSpec {
+                power_w: 25.0,
+                mode: CoolingModeSpec::LiquidFlowThrough {
+                    coolant_inlet_c: 18.0,
+                },
+                ambient_c: 40.0,
+                resolution_mm: 5.0,
+            },
+            scale: 1.0,
+        },
+        AnalysisRequest::FemStatic {
+            spec: fem_spec(),
+            load_n: -9.81,
+        },
+        AnalysisRequest::FemModal {
+            spec: fem_spec(),
+            n_modes: 6,
+        },
+        AnalysisRequest::FemHarmonic {
+            spec: fem_spec(),
+            damping: 0.02,
+            f_min_hz: 10.0,
+            f_max_hz: 2000.0,
+            points: 120,
+        },
+    ]
+}
+
+fn all_responses() -> Vec<AnalysisResponse> {
+    vec![
+        AnalysisResponse::Capability { watts: 55.25 },
+        AnalysisResponse::OperatingPoint {
+            power_w: 40.0,
+            pcb_c: 68.125,
+            wall_c: 51.0625,
+            lhp_w: 22.5,
+            dt_pcb_air_k: 28.125,
+        },
+        AnalysisResponse::PowerSweep {
+            dt_pcb_air_k: vec![Some(10.5), Some(21.25), None, None],
+        },
+        AnalysisResponse::Field {
+            min_c: 40.0,
+            max_c: 71.125,
+            mean_c: 55.0625,
+            cells: 160,
+        },
+        AnalysisResponse::Static {
+            max_deflection_m: 1.25e-4,
+        },
+        AnalysisResponse::Modal {
+            frequencies_hz: vec![112.5, 280.0, 443.75],
+        },
+        AnalysisResponse::Harmonic {
+            peak_hz: 112.5,
+            peak_transmissibility: 24.75,
+            points: 120,
+        },
+    ]
+}
+
+#[test]
+fn request_lines_round_trip_every_variant() {
+    for (i, request) in all_requests().into_iter().enumerate() {
+        let original = WireRequest {
+            id: i as u64 + 1,
+            priority: Priority::High,
+            deadline_ms: Some(250),
+            request,
+        };
+        let line = encode_request_line(&original);
+        let decoded = decode_request_line(&line).expect("round trip");
+        assert_eq!(decoded, original, "line: {line}");
+    }
+}
+
+#[test]
+fn request_line_defaults_priority_and_deadline() {
+    let original = WireRequest {
+        id: 7,
+        priority: Priority::Normal,
+        deadline_ms: None,
+        request: AnalysisRequest::SebCapability {
+            spec: seb_spec(),
+            dt_limit_k: 25.0,
+        },
+    };
+    let line = encode_request_line(&original);
+    assert!(!line.contains("deadline_ms"));
+    assert_eq!(decode_request_line(&line).expect("round trip"), original);
+}
+
+#[test]
+fn response_lines_round_trip_every_variant() {
+    for (i, response) in all_responses().into_iter().enumerate() {
+        let original = WireResponse {
+            id: i as u64 + 1,
+            result: Ok(response),
+        };
+        let line = encode_response_line(&original);
+        let decoded = decode_response_line(&line).expect("round trip");
+        assert_eq!(decoded, original, "line: {line}");
+    }
+}
+
+#[test]
+fn error_responses_keep_their_stable_codes() {
+    let errors = vec![
+        Error::DeadlineExpired,
+        Error::ShuttingDown,
+        Error::QueueFull { capacity: 256 },
+        Error::DryOut {
+            detail: "loop heat pipe at 97 W".to_string(),
+        },
+        Error::Invalid {
+            reason: "a \"quoted\" reason with a \\ backslash".to_string(),
+        },
+    ];
+    for e in errors {
+        let line = encode_response_line(&WireResponse {
+            id: 3,
+            result: Err(e.clone()),
+        });
+        let decoded = decode_response_line(&line).expect("round trip");
+        match decoded.result {
+            // Parameterless service errors round-trip exactly...
+            Err(Error::DeadlineExpired) => assert_eq!(e, Error::DeadlineExpired),
+            Err(Error::ShuttingDown) => assert_eq!(e, Error::ShuttingDown),
+            // ...everything else keeps its code and message remotely.
+            Err(Error::Remote { code, message }) => {
+                assert_eq!(code, e.code());
+                assert_eq!(message, e.to_string());
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_surface_as_wire_errors() {
+    let cases = [
+        "not json at all",
+        "{\"id\":1}",
+        "{\"id\":1,\"request\":{\"type\":\"no_such_analysis\",\"spec\":{}}}",
+        "{\"id\":1,\"priority\":\"urgent\",\"request\":{}}",
+        "{\"id\":-3,\"ok\":{\"type\":\"capability\",\"watts\":1}}",
+    ];
+    for line in cases {
+        assert!(
+            matches!(decode_request_line(line), Err(Error::Wire { .. })),
+            "expected wire error for {line}"
+        );
+    }
+    assert!(matches!(
+        decode_response_line("{\"id\":1}"),
+        Err(Error::Wire { .. })
+    ));
+}
+
+#[test]
+fn socket_daemon_answers_calls_and_pipelined_batches() {
+    let service = Arc::new(Service::start(ServeConfig::new().workers(2)));
+    let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").expect("daemon");
+    let mut client = SocketClient::connect(daemon.addr()).expect("connect");
+
+    let answer = client
+        .call(AnalysisRequest::SebOperatingPoint {
+            spec: SebSpec {
+                seat: SeatKind::Aluminum,
+                lhp: true,
+                tilt_deg: 0.0,
+                ambient_c: 25.0,
+            },
+            power_w: 40.0,
+        })
+        .expect("seb call");
+    assert!(matches!(answer, AnalysisResponse::OperatingPoint { .. }));
+
+    let batch: Vec<AnalysisRequest> = [0.5, 1.0, 1.5]
+        .iter()
+        .map(|&scale| AnalysisRequest::FvSteady {
+            spec: plate_spec(),
+            scale,
+        })
+        .collect();
+    let results = client.call_batch(batch).expect("batch");
+    assert_eq!(results.len(), 3);
+    for r in results {
+        assert!(matches!(r, Ok(AnalysisResponse::Field { .. })));
+    }
+
+    daemon.shutdown();
+    service.shutdown();
+}

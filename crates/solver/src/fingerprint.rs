@@ -1,0 +1,185 @@
+//! Canonical content fingerprinting for solver inputs and models.
+//!
+//! The symbolic cache in [`CsrPattern`](crate::CsrPattern) keys on
+//! reference identity — two `Arc`s to the same index arrays. That is
+//! the right key *within* one model instance, but a result cache that
+//! outlives individual models (the `aeropack-serve` content-addressed
+//! cache) needs a key derived from the *values* a model is built from,
+//! stable across processes and independent of construction order
+//! details. [`Fingerprint`] is that key: a 64-bit FNV-1a accumulator
+//! with a canonical encoding for every input class.
+//!
+//! # Canonicalisation rules
+//!
+//! * **Floats** are hashed through their IEEE-754 bit pattern after
+//!   mapping `-0.0` to `+0.0`, so the two zero encodings — which
+//!   compare equal and behave identically in every solve — cannot
+//!   split the cache. `NaN` inputs are rejected with a panic: a NaN
+//!   never equals itself, so no cache key containing one can ever be
+//!   meaningfully re-hit, and the panic surfaces the corrupted model
+//!   at fingerprint time instead of as a silent permanent cache miss.
+//! * **Strings and byte slices** are length-prefixed, so adjacent
+//!   fields cannot alias (`"ab" + "c"` ≠ `"a" + "bc"`).
+//! * **Field order is the caller's contract**: hash fields in one
+//!   canonical (declaration) order. Order *invariance* for payloads
+//!   that are semantically sets — e.g. power boxes painted onto an FV
+//!   grid — comes from hashing the accumulated per-cell state rather
+//!   than the construction calls, which the model fingerprints in this
+//!   workspace do.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An order-sensitive 64-bit content hasher with canonical float
+/// handling. See the module docs for the encoding rules.
+///
+/// # Examples
+///
+/// ```
+/// use aeropack_solver::Fingerprint;
+///
+/// let mut a = Fingerprint::new("demo");
+/// a.write_f64(-0.0);
+/// let mut b = Fingerprint::new("demo");
+/// b.write_f64(0.0);
+/// assert_eq!(a.finish(), b.finish()); // -0.0 canonicalises to +0.0
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// Starts a fingerprint for the named domain. The tag separates
+    /// key spaces: an FV model and an FEM plate with coincidentally
+    /// equal field bytes must not collide.
+    pub fn new(tag: &str) -> Self {
+        let mut fp = Self { state: FNV_OFFSET };
+        fp.write_str(tag);
+        fp
+    }
+
+    /// Folds raw bytes into the hash (no length prefix — used by the
+    /// typed writers below).
+    fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a byte slice, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes);
+    }
+
+    /// Hashes a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Hashes one `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Hashes one `usize` (as `u64`, platform-independent).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes one discriminant byte (enum variant tags).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_raw(&[v]);
+    }
+
+    /// Hashes one `bool`.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Hashes one finite float through its canonical bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is NaN — a NaN in a cache key can never be
+    /// re-hit, so it is a model-construction bug, not a valid input.
+    pub fn write_f64(&mut self, v: f64) {
+        assert!(!v.is_nan(), "fingerprint input is NaN");
+        let canonical = if v == 0.0 { 0.0f64 } else { v };
+        self.write_raw(&canonical.to_bits().to_le_bytes());
+    }
+
+    /// Hashes a float slice, length-prefixed, each element canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any element is NaN.
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_u64(vs.len() as u64);
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Fingerprint;
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        let build = || {
+            let mut fp = Fingerprint::new("t");
+            fp.write_f64s(&[1.0, 2.5, -3.25]);
+            fp.write_str("plate");
+            fp.write_u64(7);
+            fp.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn negative_zero_is_canonical() {
+        let mut a = Fingerprint::new("t");
+        a.write_f64s(&[0.0, -0.0]);
+        let mut b = Fingerprint::new("t");
+        b.write_f64s(&[-0.0, 0.0]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_aliasing() {
+        let mut a = Fingerprint::new("t");
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new("t");
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tag_separates_domains() {
+        let mut a = Fingerprint::new("fv");
+        a.write_u64(1);
+        let mut b = Fingerprint::new("fem");
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint input is NaN")]
+    fn nan_input_panics() {
+        let mut fp = Fingerprint::new("t");
+        fp.write_f64(f64::NAN);
+    }
+}

@@ -55,6 +55,7 @@ mod config;
 mod csr;
 mod dense;
 mod error;
+mod fingerprint;
 mod ic0;
 mod pcg;
 mod reorder;
@@ -64,6 +65,7 @@ pub use config::{Reorder, Solution, SolverConfig};
 pub use csr::{CsrMatrix, CsrPattern};
 pub use dense::{solve_dense, DenseCholesky, DenseLu};
 pub use error::SolverError;
+pub use fingerprint::Fingerprint;
 pub use pcg::{
     solve_multi_rhs, solve_multi_rhs_with, solve_operator, solve_sparse, solve_sparse_into,
     solve_sparse_with, PcgWorkspace,

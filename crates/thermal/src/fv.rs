@@ -15,7 +15,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use aeropack_solver::{
-    solve_sparse_into, CsrMatrix, CsrPattern, PcgWorkspace, SolverConfig, SolverStats,
+    solve_multi_rhs_with, solve_sparse_into, CsrMatrix, CsrPattern, PcgWorkspace, SolverConfig,
+    SolverStats,
 };
 use aeropack_units::{Celsius, HeatFlux, HeatTransferCoeff, Power, ThermalConductivity};
 
@@ -669,6 +670,128 @@ impl FvModel {
             grid: self.grid,
             temperatures,
         })
+    }
+
+    /// Solves the steady field for several source scales in one
+    /// batched call: the operator is assembled and the preconditioner
+    /// set up once, and every scale's right-hand side goes through
+    /// [`solve_multi_rhs_with`](aeropack_solver::solve_multi_rhs_with)
+    /// against the shared matrix. Each returned field is bitwise
+    /// identical to the corresponding [`FvModel::solve_steady_scaled`]
+    /// call on the same model — both paths start PCG from zero over
+    /// the same warm [`PcgWorkspace`] — which is the determinism
+    /// contract the `aeropack-serve` request coalescer relies on.
+    ///
+    /// # Errors
+    ///
+    /// As [`FvModel::solve_steady`]; the first failing scale aborts
+    /// the batch.
+    pub fn solve_steady_multi(&self, factors: &[f64]) -> Result<Vec<FvField>, ThermalError> {
+        if factors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _span = aeropack_obs::span!("thermal.fv.solve_multi", batch = factors.len());
+        let has_reference = self
+            .bc
+            .iter()
+            .any(|bc| matches!(bc, FaceBc::FixedTemperature(_) | FaceBc::Convection { .. }));
+        if !has_reference {
+            return Err(ThermalError::SingularSystem {
+                context: "finite-volume steady solve",
+            });
+        }
+        let n = self.grid.cell_count();
+        let asm = self.assemble_scaled(factors[0]);
+        if asm.diag.iter().any(|&d| d <= 0.0) {
+            return Err(ThermalError::SingularSystem {
+                context: "finite-volume steady solve",
+            });
+        }
+        let a = self.csr(&asm, None);
+        let cfg = self.config.clone().context("finite-volume steady solve");
+        // Only the right-hand side depends on the scale (sources scale,
+        // conductances and boundary terms do not), so later scales
+        // re-run the cheap O(n) assembly for their RHS only.
+        let mut rhs_block = Vec::with_capacity(n * factors.len());
+        rhs_block.extend_from_slice(&asm.rhs);
+        for &factor in &factors[1..] {
+            rhs_block.extend_from_slice(&self.assemble_scaled(factor).rhs);
+        }
+        let solutions = {
+            let mut ws = self.workspace.lock().expect("workspace lock poisoned");
+            solve_multi_rhs_with(&mut ws, &a, &rhs_block, &cfg)?
+        };
+        aeropack_obs::counter!("thermal.fv.multi_rhs.batches");
+        aeropack_obs::counter!("thermal.fv.multi_rhs.solves", factors.len());
+        let mut fields = Vec::with_capacity(solutions.len());
+        let mut last_stats = None;
+        for sol in solutions {
+            last_stats = Some(sol.stats);
+            fields.push(FvField {
+                grid: self.grid,
+                temperatures: sol.x,
+            });
+        }
+        *self.stats.lock().expect("stats lock poisoned") = last_stats;
+        Ok(fields)
+    }
+
+    /// Canonical 64-bit content fingerprint of this model: grid shape
+    /// and spacing, per-cell conductivities, sources and capacities,
+    /// face boundary conditions, and the solver settings that change
+    /// the computed bits (method, preconditioner, reordering,
+    /// tolerance). Two models built through different call sequences
+    /// that end in the same per-cell state — e.g. the same power boxes
+    /// added in a different order — fingerprint identically, which is
+    /// what makes the hash usable as a content-addressed result-cache
+    /// key. Thread count and context strings are excluded: they do not
+    /// affect the solution values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stored property is NaN (see
+    /// [`Fingerprint::write_f64`](aeropack_solver::Fingerprint)).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = aeropack_solver::Fingerprint::new("thermal.fv.model");
+        let (nx, ny, nz) = self.grid.shape();
+        fp.write_usize(nx);
+        fp.write_usize(ny);
+        fp.write_usize(nz);
+        let (dx, dy, dz) = self.grid.spacing();
+        fp.write_f64(dx);
+        fp.write_f64(dy);
+        fp.write_f64(dz);
+        fp.write_usize(self.k.len());
+        for k in &self.k {
+            fp.write_f64(k[0]);
+            fp.write_f64(k[1]);
+            fp.write_f64(k[2]);
+        }
+        fp.write_f64s(&self.source);
+        fp.write_f64s(&self.rho_cp);
+        for bc in &self.bc {
+            match bc {
+                FaceBc::Adiabatic => fp.write_u8(0),
+                FaceBc::FixedTemperature(t) => {
+                    fp.write_u8(1);
+                    fp.write_f64(t.value());
+                }
+                FaceBc::Convection { h, ambient } => {
+                    fp.write_u8(2);
+                    fp.write_f64(h.value());
+                    fp.write_f64(ambient.value());
+                }
+                FaceBc::UniformFlux(q) => {
+                    fp.write_u8(3);
+                    fp.write_f64(q.value());
+                }
+            }
+        }
+        fp.write_u8(self.config.get_method() as u8);
+        fp.write_u8(self.config.get_preconditioner() as u8);
+        fp.write_u8(self.config.get_reorder() as u8);
+        fp.write_f64(self.config.get_tolerance());
+        fp.finish()
     }
 
     /// Advances a transient solution by one implicit-Euler step of

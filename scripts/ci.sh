@@ -35,13 +35,29 @@ cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
 echo "==> obs smoke (exp02 with observability on, run report must validate)"
 # Run a real experiment with events flowing, then gate on the emitted
 # report: it must parse as aeropack-obs-report/v1 and carry non-zero
-# solver and sweep counters.
+# solver and analysis-service counters (exp02's derating sweep goes
+# through the in-process serve Client).
 OBS_REPORT=target/obs_exp02.json
 AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$OBS_REPORT" \
     cargo run -q --release --offline -p aeropack-bench --bin exp02_three_levels \
     > /dev/null
 cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
-    "$OBS_REPORT" solver. sweep.
+    "$OBS_REPORT" solver. serve.
+
+echo "==> serve smoke (daemon + 50-request mixed socket workload + coalescing leg)"
+# Starts the analysis daemon on a loopback port, drives a mixed
+# SEB/FV/board/FEM workload through the line-JSON socket client, then
+# provokes a deterministic coalesced multi-RHS batch. The emitted
+# report must carry non-zero service, cache and coalescer counters.
+SERVE_REPORT=target/obs_serve_smoke.json
+AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$SERVE_REPORT" \
+    cargo run -q --release --offline -p aeropack-serve --bin serve_smoke \
+    > /dev/null
+cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
+    "$SERVE_REPORT" serve. serve.cache. serve.coalesce.
+
+echo "==> serve bench smoke (120-request load, cache >=5x + coalesce bit-identity gates)"
+cargo bench -q --offline -p aeropack-bench --bench serve -- --smoke
 
 echo "==> golden snapshot gate (tests/golden/, drift prints a per-quantity table)"
 # Out-of-tolerance drift fails with golden/current/|drift|/allowed rows;

@@ -24,6 +24,11 @@
 //!   (three-level thermal analysis, cooling selection, the SEB model).
 //! * [`verify`] — the verification substrate: property testing with
 //!   shrinking, MMS convergence studies, golden-snapshot gating.
+//! * [`serve`] — the batched analysis service: a worker pool behind a
+//!   bounded priority/deadline queue with request coalescing and a
+//!   content-addressed result cache, fronted by the unified
+//!   [`AnalysisRequest`](serve::AnalysisRequest) API (in-process
+//!   [`Client`](serve::Client) or line-delimited JSON over TCP).
 //!
 //! Most applications can simply `use aeropack::prelude::*;`.
 //!
@@ -53,6 +58,7 @@ pub use aeropack_envqual as envqual;
 pub use aeropack_fem as fem;
 pub use aeropack_materials as materials;
 pub use aeropack_obs as obs;
+pub use aeropack_serve as serve;
 pub use aeropack_solver as solver;
 pub use aeropack_sweep as sweep;
 pub use aeropack_thermal as thermal;
@@ -60,6 +66,10 @@ pub use aeropack_tim as tim;
 pub use aeropack_twophase as twophase;
 pub use aeropack_units as units;
 pub use aeropack_verify as verify;
+
+/// The workspace-unified error type (stable wire codes, `From`
+/// conversions from every per-crate error).
+pub use aeropack_serve::Error;
 
 /// The most commonly used names from across the workspace: every
 /// quantity newtype, the solver configuration and statistics types, and
@@ -112,5 +122,11 @@ pub mod prelude {
         run_design, CoolingMode, CoolingSelector, DesignError, DesignReport, DesignSpec, Equipment,
         HotSpotStudy, Level2Model, Level3Report, Module, ModuleGeometry, Pcb, SeatStructure,
         SebModel,
+    };
+
+    pub use aeropack_serve::{
+        AnalysisRequest, AnalysisResponse, BoardSpec, Client, CoolingModeSpec,
+        Error as AeropackError, FemPlateSpec, PlateSpec, Priority, SeatKind, SebSpec, ServeConfig,
+        Service, Ticket, Workload, Workspace,
     };
 }
