@@ -25,7 +25,7 @@ use aeropack_fem::{
     modal, random_response_with_stats, Dof, HarmonicResponse, PlateMesh, PlateProperties,
 };
 use aeropack_materials::Material;
-use aeropack_solver::{Precond, SolverConfig};
+use aeropack_solver::{Precond, SolverConfig, SpectralStats};
 use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
 use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, FV_SWEEP_GRAIN};
 use aeropack_units::{Celsius, Frequency, HeatTransferCoeff, Length, Power};
@@ -383,23 +383,35 @@ fn bench_fv_power_scale(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
 struct PrecondRow {
     precond: &'static str,
     iterations: usize,
+    /// Warm-solve wall: preconditioner caches already built, the
+    /// repeated-solve shape that power sweeps and the serve coalescer
+    /// actually run.
     wall: Duration,
+    /// Preconditioner setup cost of the *cold* first solve (factor /
+    /// power method / hierarchy build).
+    cold_setup_seconds: f64,
+    iterate_seconds: f64,
     factor_seconds: f64,
     fill_nnz: usize,
     forward_levels: usize,
     reordered: bool,
+    spectral: Option<SpectralStats>,
     max_abs_diff_vs_jacobi: f64,
 }
 
-/// The large-grid preconditioner comparison behind the tentpole claim:
-/// on a ≥ 64³-cell FV solve, IC(0) with RCM reordering must cut total
-/// PCG iterations at least 2× versus Jacobi while producing the same
-/// field. Wall-clock is additionally gated (IC(0) no worse than Jacobi
-/// within 5%) in full mode, where the solve is long enough for timing
-/// to mean something; the smoke grid (20³) keeps the iteration and
-/// parity gates only.
-fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
-    let n = if smoke { 20 } else { 64 };
+/// The full fv_large report: grid size, the oversubscription verdict
+/// (single-hardware-thread hosts cannot time the wall gate
+/// meaningfully) and one row per preconditioner.
+struct FvLargeReport {
+    cells: usize,
+    oversubscribed: bool,
+    rows: Vec<PrecondRow>,
+    /// Multigrid PCG iterations on the half-resolution (32³) grid in
+    /// full mode — the mesh-independence reference.
+    mg_iterations_half: Option<usize>,
+}
+
+fn fv_large_model(n: usize) -> FvModel {
     let grid = FvGrid::new((0.1, 0.1, 0.1), (n, n, n)).expect("grid");
     let mut model = FvModel::new(grid, &Material::aluminum_6061());
     model
@@ -416,6 +428,22 @@ fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
             ambient: Celsius::new(30.0),
         },
     );
+    model
+}
+
+/// The large-grid preconditioner comparison behind the tentpole claim,
+/// gated on **wall time**: on the 64³ FV solve the best barrier-free
+/// preconditioner (multigrid or Chebyshev) must beat the Jacobi warm
+/// wall by ≥ 1.3× in full mode. The wall gate only applies on hosts
+/// with ≥ 2 hardware threads (elsewhere the OS scheduler owns the
+/// clock); field parity vs Jacobi (≤ 1e-4 K) and the iteration gates —
+/// IC(0) halves Jacobi's count, multigrid converges in ≤ 40 iterations
+/// at 64³ and within 1.5× of its 32³ count (mesh independence) — are
+/// enforced always.
+fn bench_fv_large(smoke: bool, hardware_threads: usize) -> FvLargeReport {
+    let n = if smoke { 20 } else { 64 };
+    let oversubscribed = hardware_threads < 2;
+    let mut model = fv_large_model(n);
 
     let mut rows: Vec<PrecondRow> = Vec::new();
     let mut jacobi_field: Vec<f64> = Vec::new();
@@ -423,6 +451,8 @@ fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
         ("jacobi", Precond::Jacobi),
         ("ssor", Precond::Ssor),
         ("ic0", Precond::Ic0),
+        ("chebyshev", Precond::Chebyshev(4)),
+        ("mg", Precond::Multigrid),
     ] {
         model.set_solver_config(
             SolverConfig::new()
@@ -430,8 +460,13 @@ fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
                 .threads(1)
                 .tolerance(1e-10),
         );
+        // Cold solve: pays the one-off preconditioner setup (factor,
+        // power method, hierarchy build) and fills the workspace caches.
+        model.solve_steady().expect("large-grid cold solve");
+        let cold = model.last_solve_stats().expect("cold stats");
+        // Warm solve: the repeated-solve shape every sweep runs.
         let start = Instant::now();
-        let field = model.solve_steady().expect("large-grid solve");
+        let field = model.solve_steady().expect("large-grid warm solve");
         let wall = start.elapsed();
         let stats = model.last_solve_stats().expect("stats");
         assert!(stats.converged(), "{name} must converge on the {n}³ grid");
@@ -446,7 +481,7 @@ fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max)
         };
-        let (factor_seconds, fill_nnz, forward_levels, reordered) = stats
+        let (factor_seconds, fill_nnz, forward_levels, reordered) = cold
             .factorization
             .map(|f| {
                 (
@@ -457,14 +492,20 @@ fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
                 )
             })
             .unwrap_or((0.0, 0, 0, false));
+        if let Some(spec) = stats.spectral {
+            assert!(spec.reused, "{name}: warm solve must reuse spectral setup");
+        }
         rows.push(PrecondRow {
             precond: name,
             iterations: stats.iterations,
             wall,
+            cold_setup_seconds: cold.setup_seconds,
+            iterate_seconds: stats.iterate_seconds,
             factor_seconds,
             fill_nnz,
             forward_levels,
             reordered,
+            spectral: cold.spectral,
             max_abs_diff_vs_jacobi,
         });
     }
@@ -487,15 +528,59 @@ fn bench_fv_large(smoke: bool) -> (usize, Vec<PrecondRow>) {
             r.max_abs_diff_vs_jacobi
         );
     }
+    let mg = rows.iter().find(|r| r.precond == "mg").expect("mg row");
+    let mg_spec = mg.spectral.expect("mg row carries spectral stats");
+    assert!(
+        mg_spec.levels >= 2,
+        "multigrid must actually coarsen the {n}³ grid"
+    );
+
+    let mut mg_iterations_half = None;
     if !smoke {
         assert!(
-            ic0.wall.as_secs_f64() <= 1.05 * jacobi.wall.as_secs_f64(),
-            "IC(0) wall ({:.3}s) must be no worse than Jacobi ({:.3}s) at 1 thread",
-            ic0.wall.as_secs_f64(),
-            jacobi.wall.as_secs_f64()
+            mg.iterations <= 40,
+            "multigrid must converge in ≤ 40 iterations at 64³, took {}",
+            mg.iterations
         );
+        // Mesh independence: the 64³ count must stay within 1.5× of the
+        // 32³ count, the signature of an O(n) preconditioner.
+        let mut half = fv_large_model(32);
+        half.set_solver_config(
+            SolverConfig::new()
+                .preconditioner(Precond::Multigrid)
+                .threads(1)
+                .tolerance(1e-10),
+        );
+        half.solve_steady().expect("32³ multigrid solve");
+        let half_iters = half.last_solve_stats().expect("32³ stats").iterations;
+        assert!(
+            (mg.iterations as f64) <= 1.5 * half_iters as f64,
+            "multigrid iterations must be mesh-independent: {} at 64³ vs {} at 32³",
+            mg.iterations,
+            half_iters
+        );
+        mg_iterations_half = Some(half_iters);
+        // The wall gate proper — only where the clock means something.
+        if !oversubscribed {
+            let best = rows
+                .iter()
+                .filter(|r| matches!(r.precond, "mg" | "chebyshev"))
+                .map(|r| r.wall.as_secs_f64())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best * 1.3 <= jacobi.wall.as_secs_f64(),
+                "best barrier-free preconditioner ({best:.3}s) must beat the Jacobi \
+                 wall ({:.3}s) by ≥ 1.3× at 1 thread",
+                jacobi.wall.as_secs_f64()
+            );
+        }
     }
-    (n * n * n, rows)
+    FvLargeReport {
+        cells: n * n * n,
+        oversubscribed,
+        rows,
+        mg_iterations_half,
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -504,7 +589,7 @@ fn json_escape(s: &str) -> String {
 
 fn emit_json(
     records: &[SweepRecord],
-    fv_large: &(usize, Vec<PrecondRow>),
+    fv_large: &FvLargeReport,
     hardware_threads: usize,
     smoke: bool,
 ) -> String {
@@ -564,25 +649,56 @@ fn emit_json(
         });
     }
     out.push_str("  ],\n");
-    let (cells, rows) = fv_large;
     out.push_str("  \"fv_large\": {\n");
-    out.push_str(&format!("    \"cells\": {cells},\n"));
+    out.push_str(&format!("    \"cells\": {},\n", fv_large.cells));
+    out.push_str(&format!(
+        "    \"oversubscribed\": {},\n",
+        fv_large.oversubscribed
+    ));
+    if let Some(half) = fv_large.mg_iterations_half {
+        out.push_str(&format!("    \"mg_iterations_32cubed\": {half},\n"));
+    }
     out.push_str("    \"preconditioners\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
+    for (i, r) in fv_large.rows.iter().enumerate() {
+        let mut row = format!(
             "      {{\"precond\": \"{}\", \"iterations\": {}, \"wall_seconds\": {:.6}, \
+             \"cold_setup_seconds\": {:.6}, \"iterate_seconds\": {:.6}, \
              \"factor_seconds\": {:.6}, \"fill_nnz\": {}, \"forward_levels\": {}, \
-             \"reordered\": {}, \"max_abs_diff_vs_jacobi\": {:.3e}}}{}\n",
+             \"reordered\": {}, \"max_abs_diff_vs_jacobi\": {:.3e}",
             json_escape(r.precond),
             r.iterations,
             r.wall.as_secs_f64(),
+            r.cold_setup_seconds,
+            r.iterate_seconds,
             r.factor_seconds,
             r.fill_nnz,
             r.forward_levels,
             r.reordered,
             r.max_abs_diff_vs_jacobi,
-            if i + 1 == rows.len() { "" } else { "," }
+        );
+        if let Some(s) = &r.spectral {
+            row.push_str(&format!(
+                ", \"levels\": {}, \"smoother\": \"{}\", \"degree\": {}, \
+                 \"eig_low\": {:.6e}, \"eig_high\": {:.6e}, \"coarse_unknowns\": {}, \
+                 \"hierarchy_nnz\": {}",
+                s.levels,
+                json_escape(s.smoother),
+                s.degree,
+                s.eig_low,
+                s.eig_high,
+                s.coarse_unknowns,
+                s.hierarchy_nnz,
+            ));
+        }
+        row.push_str(&format!(
+            "}}{}\n",
+            if i + 1 == fv_large.rows.len() {
+                ""
+            } else {
+                ","
+            }
         ));
+        out.push_str(&row);
     }
     out.push_str("    ]\n");
     out.push_str("  }\n}\n");
@@ -609,7 +725,7 @@ fn main() {
         bench_random_psd(smoke, thread_counts),
         bench_fv_power_scale(smoke, thread_counts),
     ];
-    let fv_large = bench_fv_large(smoke);
+    let fv_large = bench_fv_large(smoke, hardware_threads);
 
     for r in &records {
         let oversub = r.oversubscribed(hardware_threads);
@@ -641,20 +757,44 @@ fn main() {
     }
 
     {
-        let (cells, rows) = &fv_large;
-        println!("\nfv_large — {cells} cells, 1 thread, tolerance 1e-10");
-        for r in rows {
-            println!(
-                "  {:<7} {:>5} iterations, wall {:>12}, factor {:.3} ms, \
-                 fill {} nnz, {} fwd levels, Δmax vs jacobi {:.2e} K",
+        println!(
+            "\nfv_large — {} cells, 1 thread, tolerance 1e-10, warm walls{}",
+            fv_large.cells,
+            if fv_large.oversubscribed {
+                " (oversubscribed: wall gate skipped)"
+            } else {
+                ""
+            }
+        );
+        for r in &fv_large.rows {
+            print!(
+                "  {:<9} {:>5} iterations, wall {:>12}, setup {:.3} ms, \
+                 Δmax vs jacobi {:.2e} K",
                 r.precond,
                 r.iterations,
                 fmt_duration(r.wall),
-                r.factor_seconds * 1e3,
-                r.fill_nnz,
-                r.forward_levels,
+                r.cold_setup_seconds * 1e3,
                 r.max_abs_diff_vs_jacobi
             );
+            if r.fill_nnz > 0 {
+                print!(
+                    ", factor {:.3} ms, fill {} nnz, {} fwd levels",
+                    r.factor_seconds * 1e3,
+                    r.fill_nnz,
+                    r.forward_levels
+                );
+            }
+            if let Some(s) = &r.spectral {
+                print!(
+                    ", {} level(s), {} smoother deg {}, eig [{:.3e}, {:.3e}], \
+                     {} coarse unknowns",
+                    s.levels, s.smoother, s.degree, s.eig_low, s.eig_high, s.coarse_unknowns
+                );
+            }
+            println!();
+        }
+        if let Some(half) = fv_large.mg_iterations_half {
+            println!("  mg mesh-independence reference: {half} iterations at 32³");
         }
     }
 
@@ -735,6 +875,14 @@ fn main() {
     assert!(
         summary.counter_prefix_sum("solver.ic0.") > 0,
         "run report must carry IC(0) factorization counters"
+    );
+    assert!(
+        summary.counter_prefix_sum("solver.mg.") > 0,
+        "run report must carry multigrid hierarchy counters"
+    );
+    assert!(
+        summary.counter_prefix_sum("solver.cheb.") > 0,
+        "run report must carry Chebyshev spectral counters"
     );
     // Honour AEROPACK_OBS_REPORT in either mode, so the CI smoke gate
     // can obs_check the emitted counters without a full bench run.

@@ -433,7 +433,10 @@ impl SebModel {
             final_residual: 0.0,
             tolerance: 1e-7,
             wall_time: start.elapsed(),
+            setup_seconds: 0.0,
+            iterate_seconds: start.elapsed().as_secs_f64(),
             factorization: None,
+            spectral: None,
         };
         Ok((state, stats))
     }

@@ -147,7 +147,10 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
             final_residual: 0.0,
             tolerance: 1e-10,
             wall_time: start.elapsed(),
+            setup_seconds: 0.0,
+            iterate_seconds: start.elapsed().as_secs_f64(),
             factorization: None,
+            spectral: None,
         });
         (vals, vecs)
     };

@@ -733,7 +733,15 @@ mod tests {
         let loads = [(center, Dof::W, 12.0)];
         let dense = mesh.model.solve_static(&loads).unwrap();
         let scale = dense.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
-        for precond in [Precond::Jacobi, Precond::Ssor, Precond::Ic0] {
+        for precond in [
+            Precond::Jacobi,
+            Precond::Ssor,
+            Precond::Ic0,
+            Precond::Chebyshev(4),
+            // No grid shape on the FEM path: Multigrid falls back to
+            // the algebraic Chebyshev preconditioner.
+            Precond::Multigrid,
+        ] {
             let cfg = SolverConfig::new().preconditioner(precond).tolerance(1e-12);
             let sparse = mesh.model.solve_static_sparse(&loads, &cfg).unwrap();
             for (d, s) in dense.iter().zip(&sparse) {
@@ -747,6 +755,13 @@ mod tests {
             if precond == Precond::Ic0 {
                 let factor = stats.factorization.expect("IC(0) records factor stats");
                 assert!(factor.reordered, "Auto reorder engages RCM on the FEM path");
+            }
+            if precond == Precond::Multigrid {
+                assert!(
+                    matches!(stats.preconditioner, Precond::Chebyshev(_)),
+                    "unstructured multigrid request falls back to Chebyshev"
+                );
+                assert!(stats.spectral.is_some());
             }
         }
     }

@@ -111,8 +111,10 @@ fn build_plate_model(spec: &PlateSpec) -> Result<FvModel, Error> {
         },
     );
     // Repeated solves against one plate are the common service pattern:
-    // IC(0) amortises its factorisation through the model's workspace.
-    model.set_solver_config(SolverConfig::new().preconditioner(Precond::Ic0));
+    // the structured grid lets multigrid amortise its hierarchy setup
+    // through the model's workspace (the FV model injects the grid
+    // shape into the solver config automatically).
+    model.set_solver_config(SolverConfig::new().preconditioner(Precond::Multigrid));
     Ok(model)
 }
 

@@ -54,6 +54,8 @@ pub struct SolverConfig {
     context: &'static str,
     record_history: bool,
     reorder: Reorder,
+    mixed_precision: bool,
+    grid_dims: Option<(usize, usize, usize)>,
 }
 
 impl Default for SolverConfig {
@@ -67,6 +69,8 @@ impl Default for SolverConfig {
             context: "linear solve",
             record_history: true,
             reorder: Reorder::Auto,
+            mixed_precision: false,
+            grid_dims: None,
         }
     }
 }
@@ -179,6 +183,44 @@ impl SolverConfig {
     /// The configured reordering policy.
     pub fn get_reorder(&self) -> Reorder {
         self.reorder
+    }
+
+    /// Enables the opt-in mixed-precision solve path: an `f32` inner
+    /// Jacobi-PCG wrapped in an `f64` iterative-refinement outer loop.
+    /// The inner sweeps run at double the effective memory bandwidth;
+    /// the outer loop recovers full `f64` accuracy by re-solving for
+    /// the residual correction until the requested tolerance is met in
+    /// `f64` arithmetic. **Off by default** — the default path is
+    /// bit-exact with previous releases and all golden snapshots. Only
+    /// [`Precond::Jacobi`] and [`Precond::None`] are supported while
+    /// the mode is on (the inner iteration preconditioner is Jacobi).
+    #[must_use]
+    pub fn mixed_precision(mut self, on: bool) -> Self {
+        self.mixed_precision = on;
+        self
+    }
+
+    /// Whether the mixed-precision path is enabled.
+    pub fn get_mixed_precision(&self) -> bool {
+        self.mixed_precision
+    }
+
+    /// Declares the structured-grid shape `(nx, ny, nz)` behind the
+    /// matrix (row index `i = ix + nx·(iy + ny·iz)`), which lets
+    /// [`Precond::Multigrid`] build its geometric coarsening hierarchy.
+    /// The thermal finite-volume models inject their grid shape
+    /// automatically; matrix-free callers set it by hand. Without it,
+    /// `Precond::Multigrid` falls back to Chebyshev polynomial
+    /// preconditioning.
+    #[must_use]
+    pub fn grid_dims(mut self, dims: (usize, usize, usize)) -> Self {
+        self.grid_dims = Some(dims);
+        self
+    }
+
+    /// The declared structured-grid shape, if any.
+    pub fn get_grid_dims(&self) -> Option<(usize, usize, usize)> {
+        self.grid_dims
     }
 
     /// Whether RCM reordering actually engages for this configuration.

@@ -362,6 +362,199 @@ impl CsrMatrix {
     }
 }
 
+/// Row-block width of the SELL-style layout: how many rows share one
+/// slot-major block.
+const SELL_LANES: usize = 8;
+
+/// A cache-blocked, SELL-style re-layout of a [`CsrMatrix`] for faster
+/// SpMV: rows are grouped into fixed-width blocks of [`SELL_LANES`]
+/// lanes, sorted inside each block by descending row length, and the
+/// entries are stored **slot-major** (entry `s` of every lane in a
+/// block is contiguous). The inner kernel loop then runs across lanes
+/// over contiguous value/column words instead of one short
+/// strided-access row at a time, amortising loop overhead and keeping
+/// the value stream dense — there is no zero padding because the
+/// descending-length sort makes the active lanes of every slot a
+/// prefix.
+///
+/// The per-row accumulation order is exactly the CSR order (slot `s`
+/// of a lane is the `s`-th stored entry of that row), so
+/// [`SellMatrix::spmv_into`] is **bitwise identical** to
+/// [`CsrMatrix::spmv_into`] at any thread count — the layout is a pure
+/// speed change, invisible to golden snapshots and the determinism
+/// contract.
+///
+/// Built once per sparsity pattern (cached in the
+/// [`PcgWorkspace`](crate::PcgWorkspace) by pattern key) and refreshed
+/// allocation-free when only the coefficient values change.
+#[derive(Debug, Clone)]
+pub struct SellMatrix {
+    n: usize,
+    /// Per-block offset into `slot_active`; block `b` owns slots
+    /// `slot_ptr[b]..slot_ptr[b + 1]` (its width in slots).
+    slot_ptr: Vec<usize>,
+    /// Active lane count of each slot (a non-increasing sequence
+    /// within a block).
+    slot_active: Vec<usize>,
+    /// Entry offset where each block's slot-major data starts.
+    block_entry: Vec<usize>,
+    /// Row id of each lane, block-major (`n` entries; lanes of block
+    /// `b` start at `b·SELL_LANES`).
+    lane_rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    /// Source index into the CSR value array per stored entry, for
+    /// allocation-free numeric refresh.
+    src: Vec<usize>,
+}
+
+impl SellMatrix {
+    /// Re-lays `a` out into blocked slot-major form.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        let n = a.n();
+        let row_ptr = a.row_offsets();
+        let nblocks = n.div_ceil(SELL_LANES);
+        let mut slot_ptr = Vec::with_capacity(nblocks + 1);
+        let mut block_entry = Vec::with_capacity(nblocks + 1);
+        let mut slot_active = Vec::new();
+        let mut lane_rows = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(a.nnz());
+        let mut src = Vec::with_capacity(a.nnz());
+        slot_ptr.push(0);
+        block_entry.push(0);
+        let row_len = |i: usize| row_ptr[i + 1] - row_ptr[i];
+        for b in 0..nblocks {
+            let start = b * SELL_LANES;
+            let end = (start + SELL_LANES).min(n);
+            let lane_base = lane_rows.len();
+            lane_rows.extend(start..end);
+            // Stable descending-length sort: equal-length rows keep
+            // their natural order, so the layout is deterministic.
+            lane_rows[lane_base..].sort_by_key(|&i| std::cmp::Reverse(row_len(i)));
+            let lanes = &lane_rows[lane_base..];
+            let width = row_len(lanes[0]);
+            for s in 0..width {
+                let active = lanes.iter().take_while(|&&i| row_len(i) > s).count();
+                slot_active.push(active);
+                for &i in &lanes[..active] {
+                    let idx = row_ptr[i] + s;
+                    cols.push(a.col_indices()[idx]);
+                    src.push(idx);
+                }
+            }
+            slot_ptr.push(slot_active.len());
+            block_entry.push(cols.len());
+        }
+        let mut sell = Self {
+            n,
+            slot_ptr,
+            slot_active,
+            block_entry,
+            lane_rows,
+            cols,
+            vals: vec![0.0; src.len()],
+            src,
+        };
+        sell.refresh_values(a);
+        sell
+    }
+
+    /// Problem dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Copies the current CSR values into the blocked layout without
+    /// allocating — the "same grid, new coefficients" refresh path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has a different non-zero count than the matrix
+    /// this layout was built from.
+    pub fn refresh_values(&mut self, a: &CsrMatrix) {
+        let csr_vals = a.values();
+        for (v, &idx) in self.vals.iter_mut().zip(&self.src) {
+            *v = csr_vals[idx];
+        }
+    }
+
+    /// Blocked SpMV `y = A·x` over the block range `[b0, b1)`, writing
+    /// into `y_block` (whose index 0 corresponds to row
+    /// `b0 · SELL_LANES`).
+    fn spmv_blocks(&self, b0: usize, b1: usize, x: &[f64], y_block: &mut [f64]) {
+        let row_base = b0 * SELL_LANES;
+        for b in b0..b1 {
+            let lane_base = b * SELL_LANES;
+            let nlanes = (self.n - lane_base).min(SELL_LANES);
+            let mut acc = [0.0f64; SELL_LANES];
+            let mut off = self.block_entry[b];
+            for s in self.slot_ptr[b]..self.slot_ptr[b + 1] {
+                let active = self.slot_active[s];
+                let vals = &self.vals[off..off + active];
+                let cols = &self.cols[off..off + active];
+                for l in 0..active {
+                    acc[l] += vals[l] * x[cols[l]];
+                }
+                off += active;
+            }
+            for l in 0..nlanes {
+                y_block[self.lane_rows[lane_base + l] - row_base] = acc[l];
+            }
+        }
+    }
+
+    /// Multithreaded blocked SpMV `y = A·x`, bitwise identical to
+    /// [`CsrMatrix::spmv_into`] on the source matrix at any thread
+    /// count (work is split at block boundaries, and the per-row
+    /// accumulation order is the CSR order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.n, "x length must equal n");
+        assert_eq!(y.len(), self.n, "y length must equal n");
+        let nblocks = self.n.div_ceil(SELL_LANES);
+        let nthreads = threads.max(1).min(nblocks.max(1));
+        if nthreads <= 1 {
+            self.spmv_blocks(0, nblocks, x, y);
+            return;
+        }
+        let chunk = nblocks.div_ceil(nthreads).max(1);
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let mut b0 = 0;
+            while b0 < nblocks {
+                let b1 = (b0 + chunk).min(nblocks);
+                let rows = (b1 * SELL_LANES).min(self.n) - b0 * SELL_LANES;
+                let (block, tail) = rest.split_at_mut(rows);
+                rest = tail;
+                scope.spawn(move || self.spmv_blocks(b0, b1, x, block));
+                b0 = b1;
+            }
+        });
+    }
+}
+
+/// Serial `f32` SpMV over shared CSR index arrays — the inner kernel
+/// of the mixed-precision solve path, which keeps the `f64` structure
+/// and carries only a single-precision copy of the values.
+pub(crate) fn spmv_f32(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+) {
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for idx in row_ptr[i]..row_ptr[i + 1] {
+            acc += vals[idx] * x[col_idx[idx]];
+        }
+        *yi = acc;
+    }
+}
+
 /// Numeric-only row fill over a cached pattern: sorts the emitted
 /// entries (stable, so duplicate summation order matches a full
 /// assembly) and scatters them into the pattern's slots.
@@ -542,6 +735,48 @@ mod tests {
         assert_eq!(a.nnz(), pattern.nnz());
         assert_eq!(a.diag(), vec![3.0; 8]);
         assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn sell_spmv_is_bitwise_identical_to_csr() {
+        // Ragged rows: row i keeps between 1 and ~9 entries, so blocks
+        // mix widths and the active-lane prefixes actually shrink.
+        let n = 131;
+        let a = CsrMatrix::from_row_fn(n, 3, |i, row| {
+            row.push((i, 4.0 + (i as f64 * 0.01)));
+            for k in 1..=(i % 9) {
+                let j = (i + k * k) % n;
+                if j != i {
+                    row.push((j, -0.1 * (k as f64) * ((i + j) as f64 * 0.13).sin()));
+                }
+            }
+        });
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos() + 0.5).collect();
+        let reference = a.spmv(&x);
+        let sell = SellMatrix::from_csr(&a);
+        for threads in [1, 2, 4, 7] {
+            let mut y = vec![0.0; n];
+            sell.spmv_into(&x, &mut y, threads);
+            for (p, q) in reference.iter().zip(&y) {
+                assert_eq!(p.to_bits(), q.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sell_refresh_tracks_new_values() {
+        let a = laplacian(40, 1);
+        let mut sell = SellMatrix::from_csr(&a);
+        let scaled = CsrMatrix::from_pattern_row_fn(&a.pattern(), 1, |i, row| {
+            for idx in a.row_offsets()[i]..a.row_offsets()[i + 1] {
+                row.push((a.col_indices()[idx], 3.0 * a.values()[idx]));
+            }
+        });
+        sell.refresh_values(&scaled);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut y = vec![0.0; 40];
+        sell.spmv_into(&x, &mut y, 2);
+        assert_eq!(y, scaled.spmv(&x));
     }
 
     #[test]

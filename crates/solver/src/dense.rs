@@ -75,6 +75,35 @@ impl DenseCholesky {
         self.backward(&self.forward(b))
     }
 
+    /// Allocation-free counterpart of [`DenseCholesky::solve`]: writes
+    /// the solution into `x`. Bitwise identical to `solve` (the same
+    /// substitution arithmetic runs in place). Used by the multigrid
+    /// coarse-level solve, which must stay allocation-free on warm
+    /// workspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` has the wrong length.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x.len(), n, "solution length mismatch");
+        aeropack_obs::counter!("solver.cholesky.solves");
+        x.copy_from_slice(b);
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.l[i * n + k] * x[k];
+            }
+            x[i] /= self.l[i * n + i];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[k * n + i] * x[k];
+            }
+            x[i] /= self.l[i * n + i];
+        }
+    }
+
     /// Solves `A·X = B` for `k` right-hand sides stored contiguously in
     /// `b` (`k·n` values, one RHS after another), with a single
     /// traversal of the factor applied to all columns at each

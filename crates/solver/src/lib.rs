@@ -13,13 +13,21 @@
 //!   count.
 //! * [`solve_sparse`] — preconditioned conjugate gradient with
 //!   pluggable [`Precond::Jacobi`] / [`Precond::Ssor`] /
-//!   [`Precond::Ic0`] preconditioners. IC(0) factors on the matrix's
-//!   own sparsity pattern (with diagonal-shift breakdown fallback),
-//!   caches the factor in the [`PcgWorkspace`] for reuse across a
-//!   sweep, applies it through level-scheduled parallel triangular
-//!   solves, and by default runs on a reverse Cuthill–McKee reordering
-//!   of the system ([`Reorder`]) for better factor quality and
-//!   locality.
+//!   [`Precond::Ic0`] / [`Precond::Chebyshev`] /
+//!   [`Precond::Multigrid`] preconditioners. IC(0) factors on the
+//!   matrix's own sparsity pattern (with diagonal-shift breakdown
+//!   fallback), caches the factor in the [`PcgWorkspace`] for reuse
+//!   across a sweep, applies it through level-scheduled parallel
+//!   triangular solves, and by default runs on a reverse
+//!   Cuthill–McKee reordering of the system ([`Reorder`]) for better
+//!   factor quality and locality. Multigrid builds a smoothed-
+//!   aggregation hierarchy from [`SolverConfig::grid_dims`] with
+//!   Galerkin coarse operators, Chebyshev smoothers and a dense
+//!   Cholesky coarse solve; Chebyshev is its pure-algebraic fallback
+//!   (power-method spectral bounds cached in the workspace). Large
+//!   solves route SpMV through a cache-blocked SELL-style layout
+//!   ([`SellMatrix`]), and [`SolverConfig::mixed_precision`] opts into
+//!   f32 inner sweeps wrapped in f64 iterative refinement.
 //! * [`DenseCholesky`] / [`DenseLu`] — the dense direct factorisations
 //!   behind resistive networks and the FEM eigen solvers, reachable
 //!   through the same [`SolverConfig`] front door via [`solve_dense`].
@@ -51,18 +59,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cheb;
 mod config;
 mod csr;
 mod dense;
 mod error;
 mod fingerprint;
 mod ic0;
+mod mg;
 mod pcg;
 mod reorder;
 mod stats;
 
+pub use cheb::{estimate_dinv_spectrum, EigBounds};
 pub use config::{Reorder, Solution, SolverConfig};
-pub use csr::{CsrMatrix, CsrPattern};
+pub use csr::{CsrMatrix, CsrPattern, SellMatrix};
 pub use dense::{solve_dense, DenseCholesky, DenseLu};
 pub use error::SolverError;
 pub use fingerprint::Fingerprint;
@@ -71,7 +82,7 @@ pub use pcg::{
     solve_sparse_with, PcgWorkspace,
 };
 pub use reorder::{bandwidth, rcm_permutation};
-pub use stats::{FactorStats, Method, Precond, SolverStats};
+pub use stats::{FactorStats, Method, Precond, SolverStats, SpectralStats};
 
 /// A symmetric (or general) linear operator `y = A·x` — the
 /// architectural seam the physics crates program against. Sparse

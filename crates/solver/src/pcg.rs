@@ -18,13 +18,25 @@
 
 use std::time::{Duration, Instant};
 
+use crate::cheb::{
+    cheb_apply, estimate_bounds_with, ChebWork, EIG_HIGH_SAFETY, EIG_LOW_SAFETY,
+    FALLBACK_CHEB_STEPS, POWER_ITERS,
+};
 use crate::config::{Solution, SolverConfig};
-use crate::csr::CsrMatrix;
+use crate::csr::{spmv_f32, CsrMatrix, SellMatrix};
 use crate::error::SolverError;
 use crate::ic0::Ic0Factor;
+use crate::mg::MgHierarchy;
 use crate::reorder::{rcm_permutation, PermutedSystem};
-use crate::stats::{FactorStats, Method, Precond, SolverStats};
+use crate::stats::{FactorStats, Method, Precond, SolverStats, SpectralStats};
 use crate::LinearOperator;
+
+/// Systems at or above this size run their SpMVs through the blocked
+/// SELL layout ([`SellMatrix`]) cached in the workspace; smaller
+/// systems stay on plain CSR, where the re-layout cost would not
+/// amortise. The kernels are bitwise identical, so the threshold is a
+/// pure speed knob.
+const SELL_MIN_ROWS: usize = 1024;
 
 enum Preconditioner<'a> {
     None,
@@ -37,10 +49,26 @@ enum Preconditioner<'a> {
         factor: &'a Ic0Factor,
         threads: usize,
     },
+    Chebyshev {
+        matrix: &'a CsrMatrix,
+        sell: Option<&'a SellMatrix>,
+        diag: &'a [f64],
+        low: f64,
+        high: f64,
+        steps: usize,
+        work: &'a mut ChebWork,
+        threads: usize,
+    },
+    Multigrid {
+        matrix: &'a CsrMatrix,
+        sell: Option<&'a SellMatrix>,
+        hier: &'a mut MgHierarchy,
+        threads: usize,
+    },
 }
 
 impl Preconditioner<'_> {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
         match self {
             Self::None => z.copy_from_slice(r),
             Self::Jacobi(diag) => {
@@ -50,6 +78,41 @@ impl Preconditioner<'_> {
             }
             Self::Ssor { matrix, diag } => matrix.ssor_apply(diag, r, z),
             Self::Ic0 { factor, threads } => factor.apply(r, z, *threads),
+            Self::Chebyshev {
+                matrix,
+                sell,
+                diag,
+                low,
+                high,
+                steps,
+                work,
+                threads,
+            } => {
+                aeropack_obs::counter!("solver.cheb.applies");
+                let threads = *threads;
+                let sell = *sell;
+                let matrix: &CsrMatrix = matrix;
+                let op = |v: &[f64], y: &mut [f64]| match sell {
+                    Some(s) => s.spmv_into(v, y, threads),
+                    None => matrix.spmv_into(v, y, threads),
+                };
+                cheb_apply(&op, diag, *low, *high, *steps, r, z, work);
+            }
+            Self::Multigrid {
+                matrix,
+                sell,
+                hier,
+                threads,
+            } => {
+                let threads = *threads;
+                let sell = *sell;
+                let matrix: &CsrMatrix = matrix;
+                let op = |v: &[f64], y: &mut [f64]| match sell {
+                    Some(s) => s.spmv_into(v, y, threads),
+                    None => matrix.spmv_into(v, y, threads),
+                };
+                hier.apply(&op, r, z, threads);
+            }
         }
     }
 }
@@ -77,6 +140,59 @@ struct Ic0Cache {
     vals_snapshot: Vec<f64>,
 }
 
+/// The workspace's cached Chebyshev setup: the safety-adjusted
+/// eigenvalue interval of `D⁻¹A` plus the polynomial scratch, keyed
+/// like [`Ic0Cache`]. A value change re-runs the power method (the
+/// spectrum moved); a pure pattern hit reuses the bounds outright.
+#[derive(Debug, Clone)]
+struct ChebCache {
+    key: (usize, usize),
+    vals_snapshot: Vec<f64>,
+    low: f64,
+    high: f64,
+    work: ChebWork,
+}
+
+/// The workspace's cached multigrid hierarchy, keyed like
+/// [`Ic0Cache`]. New values with the same pattern rebuild the numeric
+/// hierarchy (smoothed prolongation and Galerkin products depend on
+/// the coefficients); a snapshot hit reuses everything including the
+/// coarse factorisation.
+#[derive(Debug, Clone)]
+struct MgCache {
+    key: (usize, usize),
+    vals_snapshot: Vec<f64>,
+    hier: MgHierarchy,
+}
+
+/// The workspace's cached SELL re-layout of the iteration matrix,
+/// keyed like [`Ic0Cache`]; a value change refreshes the blocked value
+/// stream in place without allocating.
+#[derive(Debug, Clone)]
+struct SellCache {
+    key: (usize, usize),
+    vals_snapshot: Vec<f64>,
+    sell: SellMatrix,
+}
+
+/// The workspace's mixed-precision state: the `f32` shadow of the
+/// matrix values and diagonal plus the inner-CG buffers, keyed like
+/// [`Ic0Cache`].
+#[derive(Debug, Clone)]
+struct MixedCache {
+    key: (usize, usize),
+    vals_snapshot: Vec<f64>,
+    vals32: Vec<f32>,
+    diag32: Vec<f32>,
+    b32: Vec<f32>,
+    d32: Vec<f32>,
+    r32: Vec<f32>,
+    z32: Vec<f32>,
+    p32: Vec<f32>,
+    ap32: Vec<f32>,
+    rd: Vec<f64>,
+}
+
 /// Reusable PCG scratch space: the residual/search/preconditioner
 /// buffers, the screened diagonal, and — for [`Precond::Ic0`] — the
 /// cached RCM permutation and IC(0) factor. Create one per solving
@@ -98,6 +214,10 @@ pub struct PcgWorkspace {
     xp: Vec<f64>,
     reorder: Option<ReorderCache>,
     ic0: Option<Ic0Cache>,
+    cheb: Option<ChebCache>,
+    mg: Option<MgCache>,
+    sell: Option<SellCache>,
+    mixed: Option<MixedCache>,
 }
 
 impl PcgWorkspace {
@@ -194,6 +314,7 @@ pub fn solve_sparse_into(
             x.len()
         )));
     }
+    let setup_start = Instant::now();
     ws.ensure(n);
     a.diag_into(&mut ws.diag);
     if ws.diag.iter().any(|&d| d <= 0.0) {
@@ -201,8 +322,53 @@ pub fn solve_sparse_into(
             context: cfg.get_context(),
         });
     }
+    // Resolve the effective preconditioner: Multigrid needs a declared
+    // grid shape to coarsen; without one it falls back to the purely
+    // algebraic Chebyshev polynomial.
+    let mut precond_kind = cfg.get_preconditioner();
+    if precond_kind == Precond::Multigrid {
+        match cfg.get_grid_dims() {
+            Some((nx, ny, nz)) if nx * ny * nz == n => {}
+            Some((nx, ny, nz)) => {
+                return Err(SolverError::invalid(format!(
+                    "grid dims {nx}×{ny}×{nz} do not multiply out to n={n}"
+                )));
+            }
+            None => {
+                aeropack_obs::counter!("solver.mg.fallbacks");
+                precond_kind = Precond::Chebyshev(FALLBACK_CHEB_STEPS);
+            }
+        }
+    }
+    if let Precond::Chebyshev(k) = precond_kind {
+        if k == 0 {
+            return Err(SolverError::invalid(
+                "Chebyshev step count must be at least 1",
+            ));
+        }
+    }
+    if cfg.get_mixed_precision() {
+        if !matches!(precond_kind, Precond::Jacobi | Precond::None) {
+            return Err(SolverError::invalid(
+                "mixed-precision solves support Precond::Jacobi / Precond::None \
+                 (the inner f32 iteration is Jacobi-preconditioned)",
+            ));
+        }
+        if cfg.rcm_engages() {
+            return Err(SolverError::invalid(
+                "mixed-precision solves do not support RCM reordering",
+            ));
+        }
+        return solve_mixed_into(ws, a, b, x, cfg, setup_start);
+    }
     let threads = cfg.get_threads();
     let use_rcm = cfg.rcm_engages() && n > 1;
+    if use_rcm && precond_kind == Precond::Multigrid {
+        return Err(SolverError::invalid(
+            "RCM reordering scrambles the structured grid the multigrid \
+             hierarchy coarsens (use Reorder::None or Reorder::Auto)",
+        ));
+    }
     let PcgWorkspace {
         r,
         z,
@@ -214,6 +380,10 @@ pub fn solve_sparse_into(
         xp,
         reorder,
         ic0,
+        cheb,
+        mg,
+        sell,
+        mixed: _,
     } = ws;
     if use_rcm {
         ensure_reorder(reorder, a);
@@ -228,12 +398,31 @@ pub fn solve_sparse_into(
         // Preconditioners act on the permuted operator.
         system.diag_into(diag);
     }
-    let factorization = if cfg.get_preconditioner() == Precond::Ic0 {
+    // Blocked SpMV layout: the iteration operator (and the fine level
+    // of the preconditioners) runs through the SELL re-layout above
+    // the size threshold, bitwise identical to plain CSR.
+    if n >= SELL_MIN_ROWS {
+        ensure_sell(sell, system);
+    }
+    let sell_ref: Option<&SellMatrix> = if n >= SELL_MIN_ROWS {
+        sell.as_ref().map(|c| &c.sell)
+    } else {
+        None
+    };
+    let factorization = if precond_kind == Precond::Ic0 {
         Some(ensure_ic0(ic0, system, use_rcm, cfg.get_context())?)
     } else {
         None
     };
-    let precond = match cfg.get_preconditioner() {
+    let spectral = match precond_kind {
+        Precond::Chebyshev(k) => Some(ensure_cheb(cheb, system, sell_ref, k, threads)),
+        Precond::Multigrid => {
+            let dims = cfg.get_grid_dims().expect("grid dims validated above");
+            Some(ensure_mg(mg, system, dims, cfg.get_context())?)
+        }
+        _ => None,
+    };
+    let mut precond = match precond_kind {
         Precond::None => Preconditioner::None,
         Precond::Jacobi => Preconditioner::Jacobi(diag),
         Precond::Ssor => Preconditioner::Ssor {
@@ -244,35 +433,63 @@ pub fn solve_sparse_into(
             factor: &ic0.as_ref().expect("factor ensured above").factor,
             threads,
         },
+        Precond::Chebyshev(k) => {
+            let c = cheb.as_mut().expect("bounds ensured above");
+            Preconditioner::Chebyshev {
+                matrix: system,
+                sell: sell_ref,
+                diag,
+                low: c.low,
+                high: c.high,
+                steps: k,
+                work: &mut c.work,
+                threads,
+            }
+        }
+        Precond::Multigrid => Preconditioner::Multigrid {
+            matrix: system,
+            sell: sell_ref,
+            hier: &mut mg.as_mut().expect("hierarchy ensured above").hier,
+            threads,
+        },
     };
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
     if let Some(sys) = sys {
         bp.resize(n, 0.0);
         xp.resize(n, 0.0);
         sys.permute_into(b, bp);
         let stats = pcg_loop(
-            |v, y| system.spmv_into(v, y, threads),
-            &precond,
+            |v, y| match sell_ref {
+                Some(s) => s.spmv_into(v, y, threads),
+                None => system.spmv_into(v, y, threads),
+            },
+            &mut precond,
+            precond_kind,
             bp,
             xp,
             (r, z, p, ap),
             history,
             cfg,
             n,
-            factorization,
+            (factorization, spectral, setup_seconds),
         )?;
         sys.scatter_back(xp, x);
         Ok(stats)
     } else {
         pcg_loop(
-            |v, y| system.spmv_into(v, y, threads),
-            &precond,
+            |v, y| match sell_ref {
+                Some(s) => s.spmv_into(v, y, threads),
+                None => system.spmv_into(v, y, threads),
+            },
+            &mut precond,
+            precond_kind,
             b,
             x,
             (r, z, p, ap),
             history,
             cfg,
             n,
-            factorization,
+            (factorization, spectral, setup_seconds),
         )
     }
 }
@@ -375,6 +592,341 @@ fn record_factor(
     }
 }
 
+/// Brings the workspace's SELL layout in sync with `m`: pattern hits
+/// with changed values refresh in place (no allocation), new patterns
+/// rebuild the block layout.
+fn ensure_sell(cache: &mut Option<SellCache>, m: &CsrMatrix) {
+    let key = m.pattern().key();
+    if let Some(c) = cache {
+        if c.key == key {
+            if c.vals_snapshot.as_slice() != m.values() {
+                c.sell.refresh_values(m);
+                c.vals_snapshot.copy_from_slice(m.values());
+            }
+            return;
+        }
+    }
+    aeropack_obs::counter!("solver.pcg.sell_builds");
+    *cache = Some(SellCache {
+        key,
+        sell: SellMatrix::from_csr(m),
+        vals_snapshot: m.values().to_vec(),
+    });
+}
+
+/// Brings the workspace's Chebyshev spectral bounds in sync with `m`.
+/// New values re-run the power method (the spectrum moved); a clean
+/// hit reuses the cached interval for free.
+fn ensure_cheb(
+    cache: &mut Option<ChebCache>,
+    m: &CsrMatrix,
+    sell: Option<&SellMatrix>,
+    steps: usize,
+    threads: usize,
+) -> SpectralStats {
+    let key = m.pattern().key();
+    let reused =
+        matches!(cache, Some(c) if c.key == key && c.vals_snapshot.as_slice() == m.values());
+    if reused {
+        aeropack_obs::counter!("solver.cheb.reuses");
+    } else {
+        aeropack_obs::counter!("solver.cheb.setups");
+        let diag = m.diag();
+        let op = |v: &[f64], y: &mut [f64]| match sell {
+            Some(s) => s.spmv_into(v, y, threads),
+            None => m.spmv_into(v, y, threads),
+        };
+        let bounds = estimate_bounds_with(&op, &diag, POWER_ITERS);
+        // Overestimating the top of the spectrum is safe; clipping it
+        // risks an indefinite polynomial. The lower bound only trades
+        // smoothing for conditioning, so a floor is enough.
+        let high = bounds.high * EIG_HIGH_SAFETY;
+        let low = (bounds.low * EIG_LOW_SAFETY).max(high * 1e-8);
+        match cache {
+            Some(c) if c.key == key => {
+                c.vals_snapshot.copy_from_slice(m.values());
+                c.low = low;
+                c.high = high;
+            }
+            _ => {
+                *cache = Some(ChebCache {
+                    key,
+                    vals_snapshot: m.values().to_vec(),
+                    low,
+                    high,
+                    work: ChebWork::default(),
+                })
+            }
+        }
+    }
+    let c = cache.as_ref().expect("cheb cache ensured above");
+    SpectralStats {
+        levels: 1,
+        smoother: "polynomial",
+        degree: steps,
+        eig_low: c.low,
+        eig_high: c.high,
+        coarse_unknowns: 0,
+        hierarchy_nnz: 0,
+        reused,
+    }
+}
+
+/// Brings the workspace's multigrid hierarchy in sync with `m`. Value
+/// changes rebuild the whole hierarchy — the Galerkin coarse operators
+/// and spectral bounds all depend on the numeric content, and power
+/// sweeps that share matrix values hit the reuse path anyway.
+fn ensure_mg(
+    cache: &mut Option<MgCache>,
+    m: &CsrMatrix,
+    dims: (usize, usize, usize),
+    context: &'static str,
+) -> Result<SpectralStats, SolverError> {
+    let key = m.pattern().key();
+    if let Some(c) = cache {
+        if c.key == key && c.vals_snapshot.as_slice() == m.values() {
+            aeropack_obs::counter!("solver.mg.reuses");
+            return Ok(c.hier.spectral_stats(true));
+        }
+        if c.key == key {
+            aeropack_obs::counter!("solver.mg.rebuilds");
+        }
+    }
+    let hier = MgHierarchy::build(m, dims, context)?;
+    let stats = hier.spectral_stats(false);
+    *cache = Some(MgCache {
+        key,
+        vals_snapshot: m.values().to_vec(),
+        hier,
+    });
+    Ok(stats)
+}
+
+/// Relative tolerance for the inner f32 Jacobi-CG sweep. Tighter than
+/// single-precision roundoff buys nothing; looser wastes outer
+/// refinement passes.
+const MIXED_INNER_TOL: f32 = 1e-4;
+/// Refinement passes before the mixed solve gives up.
+const MIXED_MAX_OUTER: usize = 60;
+/// An outer pass must shrink the f64 residual by at least this factor,
+/// otherwise refinement has stalled at the f32 accuracy floor.
+const MIXED_STALL_FACTOR: f64 = 0.9;
+
+/// Mixed-precision solve: f32 Jacobi-CG inner sweeps wrapped in f64
+/// iterative refinement. Each outer pass scales the f64 residual by
+/// its ∞-norm (so it spans the f32 range), solves the correction in
+/// single precision, and re-forms the true f64 residual.
+fn solve_mixed_into(
+    ws: &mut PcgWorkspace,
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &SolverConfig,
+    setup_start: Instant,
+) -> Result<SolverStats, SolverError> {
+    let n = a.n();
+    let threads = cfg.get_threads();
+    let context = cfg.get_context();
+    ensure_mixed(&mut ws.mixed, a);
+    if n >= SELL_MIN_ROWS {
+        ensure_sell(&mut ws.sell, a);
+    }
+    let PcgWorkspace {
+        history,
+        sell,
+        mixed,
+        ..
+    } = ws;
+    let mx = mixed.as_mut().expect("mixed cache ensured above");
+    if mx.diag32.iter().any(|&d| d <= 0.0) {
+        // A positive f64 diagonal can still underflow to zero in f32.
+        return Err(SolverError::Singular { context });
+    }
+    let sell_ref: Option<&SellMatrix> = if n >= SELL_MIN_ROWS {
+        sell.as_ref().map(|c| &c.sell)
+    } else {
+        None
+    };
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+    let iter_start = Instant::now();
+    aeropack_obs::counter!("solver.pcg.mixed_solves");
+    let tol = cfg.get_tolerance();
+    let record = cfg.get_record_history();
+    let budget = cfg.iteration_budget(n);
+    history.clear();
+    x.fill(0.0);
+    let stats = |iterations: usize, history: Vec<f64>, final_residual: f64| {
+        let iterate_seconds = iter_start.elapsed().as_secs_f64();
+        aeropack_obs::counter!("solver.pcg.solves");
+        aeropack_obs::counter!("solver.pcg.iterations", iterations);
+        SolverStats {
+            context,
+            method: Method::Pcg,
+            preconditioner: cfg.get_preconditioner(),
+            unknowns: n,
+            threads: cfg.get_threads(),
+            iterations,
+            residual_history: history,
+            final_residual,
+            tolerance: tol,
+            wall_time: Duration::from_secs_f64(setup_seconds + iterate_seconds),
+            setup_seconds,
+            iterate_seconds,
+            factorization: None,
+            spectral: None,
+        }
+    };
+    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if b_norm == 0.0 {
+        return Ok(stats(0, Vec::new(), 0.0));
+    }
+    mx.rd.copy_from_slice(b);
+    let mut total_inner = 0usize;
+    let mut rel = 1.0f64;
+    let mut prev_rel = f64::INFINITY;
+    for _outer in 0..MIXED_MAX_OUTER {
+        aeropack_obs::counter!("solver.pcg.mixed_refinements");
+        let scale = mx.rd.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if scale == 0.0 {
+            rel = 0.0;
+            break;
+        }
+        for (b32, rd) in mx.b32.iter_mut().zip(mx.rd.iter()) {
+            *b32 = (rd / scale) as f32;
+        }
+        let remaining = budget.saturating_sub(total_inner).max(1);
+        total_inner += inner_cg_f32(a, mx, MIXED_INNER_TOL, remaining);
+        for (xi, d) in x.iter_mut().zip(mx.d32.iter()) {
+            *xi += scale * f64::from(*d);
+        }
+        match sell_ref {
+            Some(s) => s.spmv_into(x, &mut mx.rd, threads),
+            None => a.spmv_into(x, &mut mx.rd, threads),
+        }
+        for (rd, bi) in mx.rd.iter_mut().zip(b.iter()) {
+            *rd = bi - *rd;
+        }
+        rel = mx.rd.iter().map(|v| v * v).sum::<f64>().sqrt() / b_norm;
+        if record {
+            history.push(rel);
+        }
+        if rel <= tol {
+            let recorded = if record { history.clone() } else { Vec::new() };
+            return Ok(stats(total_inner, recorded, rel));
+        }
+        if rel >= prev_rel * MIXED_STALL_FACTOR || total_inner >= budget {
+            break;
+        }
+        prev_rel = rel;
+    }
+    if rel <= tol {
+        let recorded = if record { history.clone() } else { Vec::new() };
+        return Ok(stats(total_inner, recorded, rel));
+    }
+    aeropack_obs::counter!("solver.pcg.not_converged");
+    Err(SolverError::NotConverged {
+        context,
+        iterations: total_inner,
+        residual: rel,
+    })
+}
+
+/// Brings the workspace's f32 shadow of `a` (values + diagonal +
+/// iteration scratch) in sync; pattern hits with changed values
+/// re-demote in place without allocating.
+fn ensure_mixed(cache: &mut Option<MixedCache>, a: &CsrMatrix) {
+    let key = a.pattern().key();
+    if let Some(c) = cache {
+        if c.key == key {
+            if c.vals_snapshot.as_slice() != a.values() {
+                for (v32, &v) in c.vals32.iter_mut().zip(a.values()) {
+                    *v32 = v as f32;
+                }
+                for (i, d32) in c.diag32.iter_mut().enumerate() {
+                    *d32 = a.get(i, i) as f32;
+                }
+                c.vals_snapshot.copy_from_slice(a.values());
+            }
+            return;
+        }
+    }
+    let n = a.n();
+    *cache = Some(MixedCache {
+        key,
+        vals_snapshot: a.values().to_vec(),
+        vals32: a.values().iter().map(|&v| v as f32).collect(),
+        diag32: (0..n).map(|i| a.get(i, i) as f32).collect(),
+        b32: vec![0.0; n],
+        d32: vec![0.0; n],
+        r32: vec![0.0; n],
+        z32: vec![0.0; n],
+        p32: vec![0.0; n],
+        ap32: vec![0.0; n],
+        rd: vec![0.0; n],
+    });
+}
+
+/// Jacobi-preconditioned CG entirely in f32, solving `A·d = b32` into
+/// `mx.d32`. Returns the iteration count; bails early (letting the
+/// outer refinement recover) when f32 roundoff makes the curvature
+/// non-positive or non-finite.
+fn inner_cg_f32(a: &CsrMatrix, mx: &mut MixedCache, tol: f32, max_iter: usize) -> usize {
+    let n = a.n();
+    let row_ptr = a.row_offsets();
+    let cols = a.col_indices();
+    let MixedCache {
+        vals32,
+        diag32,
+        b32,
+        d32,
+        r32,
+        z32,
+        p32,
+        ap32,
+        ..
+    } = mx;
+    d32.fill(0.0);
+    r32.copy_from_slice(b32);
+    let bn = r32.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if bn == 0.0 {
+        return 0;
+    }
+    for (z, (r, d)) in z32.iter_mut().zip(r32.iter().zip(diag32.iter())) {
+        *z = r / d;
+    }
+    p32.copy_from_slice(z32);
+    let mut rz: f32 = r32.iter().zip(z32.iter()).map(|(a, b)| a * b).sum();
+    for iter in 0..max_iter {
+        spmv_f32(row_ptr, cols, vals32, p32, ap32);
+        let pap: f32 = p32.iter().zip(ap32.iter()).map(|(a, b)| a * b).sum();
+        if pap <= 0.0 || !pap.is_finite() {
+            return iter;
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            d32[i] += alpha * p32[i];
+            r32[i] -= alpha * ap32[i];
+        }
+        let rel = r32.iter().map(|v| v * v).sum::<f32>().sqrt() / bn;
+        if rel <= tol {
+            return iter + 1;
+        }
+        for (z, (r, d)) in z32.iter_mut().zip(r32.iter().zip(diag32.iter())) {
+            *z = r / d;
+        }
+        let rz_new: f32 = r32.iter().zip(z32.iter()).map(|(a, b)| a * b).sum();
+        if rz_new <= 0.0 || !rz_new.is_finite() {
+            return iter + 1;
+        }
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p32[i] = z32[i] + beta * p32[i];
+        }
+    }
+    max_iter
+}
+
 /// Solves the SPD system `A·x = b` for any [`LinearOperator`]
 /// (matrix-free stencils included). [`Precond::Ssor`] needs explicit
 /// storage and is rejected here — use [`solve_sparse`].
@@ -410,7 +962,7 @@ pub fn solve_operator(
         history,
         ..
     } = &mut ws;
-    let precond = match cfg.get_preconditioner() {
+    let mut precond = match cfg.get_preconditioner() {
         Precond::None => Preconditioner::None,
         Precond::Jacobi => Preconditioner::Jacobi(diag),
         Precond::Ssor => {
@@ -423,18 +975,24 @@ pub fn solve_operator(
                 "IC(0) preconditioning needs explicit CSR storage (use solve_sparse)",
             ))
         }
+        Precond::Chebyshev(_) | Precond::Multigrid => {
+            return Err(SolverError::invalid(
+                "spectral preconditioning needs explicit CSR storage (use solve_sparse)",
+            ))
+        }
     };
     let mut x = vec![0.0; n];
     let stats = pcg_loop(
         |v, y| a.apply(v, y),
-        &precond,
+        &mut precond,
+        cfg.get_preconditioner(),
         b,
         &mut x,
         (r, z, p, ap),
         history,
         cfg,
         n,
-        None,
+        (None, None, 0.0),
     )?;
     Ok(Solution { x, stats })
 }
@@ -500,14 +1058,15 @@ pub fn solve_multi_rhs_with(
 #[allow(clippy::too_many_arguments)]
 fn pcg_loop<F>(
     apply: F,
-    precond: &Preconditioner<'_>,
+    precond: &mut Preconditioner<'_>,
+    precond_kind: Precond,
     b: &[f64],
     x: &mut [f64],
     bufs: (&mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>, &mut Vec<f64>),
     history: &mut Vec<f64>,
     cfg: &SolverConfig,
     n: usize,
-    factorization: Option<FactorStats>,
+    setup: (Option<FactorStats>, Option<SpectralStats>, f64),
 ) -> Result<SolverStats, SolverError>
 where
     F: Fn(&[f64], &mut [f64]),
@@ -519,21 +1078,25 @@ where
         )));
     }
     let (r, z, p, ap) = bufs;
+    let (factorization, spectral, setup_seconds) = setup;
     let context = cfg.get_context();
     let tol = cfg.get_tolerance();
     let record = cfg.get_record_history();
     let max_iter = cfg.iteration_budget(n);
     let start = Instant::now();
     let stats = |iterations: usize, history: Vec<f64>, final_residual: f64| {
-        let wall_time = start.elapsed();
+        let iterate_seconds = start.elapsed().as_secs_f64();
+        let wall_time = Duration::from_secs_f64(setup_seconds + iterate_seconds);
         aeropack_obs::counter!("solver.pcg.solves");
         aeropack_obs::counter!("solver.pcg.iterations", iterations);
         aeropack_obs::counter!(
-            match cfg.get_preconditioner() {
+            match precond_kind {
                 Precond::None => "solver.pcg.iterations.none",
                 Precond::Jacobi => "solver.pcg.iterations.jacobi",
                 Precond::Ssor => "solver.pcg.iterations.ssor",
                 Precond::Ic0 => "solver.pcg.iterations.ic0",
+                Precond::Chebyshev(_) => "solver.pcg.iterations.chebyshev",
+                Precond::Multigrid => "solver.pcg.iterations.mg",
             },
             iterations
         );
@@ -542,7 +1105,7 @@ where
         SolverStats {
             context,
             method: Method::Pcg,
-            preconditioner: cfg.get_preconditioner(),
+            preconditioner: precond_kind,
             unknowns: n,
             threads: cfg.get_threads(),
             iterations,
@@ -550,7 +1113,10 @@ where
             final_residual,
             tolerance: tol,
             wall_time,
+            setup_seconds,
+            iterate_seconds,
             factorization,
+            spectral,
         }
     };
 
@@ -602,6 +1168,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Reorder;
     use crate::stats::Precond;
 
     fn laplacian(n: usize) -> CsrMatrix {
@@ -896,5 +1463,277 @@ mod tests {
             assert_eq!(p.to_bits(), q.to_bits());
         }
         assert_eq!(batch[0].stats.iterations, single.stats.iterations);
+    }
+
+    /// 7-point Poisson operator on a structured grid (Dirichlet
+    /// boundaries folded into the diagonal).
+    fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+        let idx = move |ix: usize, iy: usize, iz: usize| ix + nx * (iy + ny * iz);
+        CsrMatrix::from_row_fn(nx * ny * nz, 2, move |i, row| {
+            let ix = i % nx;
+            let iy = (i / nx) % ny;
+            let iz = i / (nx * ny);
+            row.push((i, 6.0));
+            if ix > 0 {
+                row.push((idx(ix - 1, iy, iz), -1.0));
+            }
+            if ix + 1 < nx {
+                row.push((idx(ix + 1, iy, iz), -1.0));
+            }
+            if iy > 0 {
+                row.push((idx(ix, iy - 1, iz), -1.0));
+            }
+            if iy + 1 < ny {
+                row.push((idx(ix, iy + 1, iz), -1.0));
+            }
+            if iz > 0 {
+                row.push((idx(ix, iy, iz - 1), -1.0));
+            }
+            if iz + 1 < nz {
+                row.push((idx(ix, iy, iz + 1), -1.0));
+            }
+        })
+    }
+
+    #[test]
+    fn chebyshev_solves_and_reports_spectral_stats() {
+        let n = 120;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Chebyshev(4))
+            .tolerance(1e-11);
+        let sol = solve_sparse(&a, &b, &cfg).unwrap();
+        assert!(sol.stats.converged());
+        let spec = sol
+            .stats
+            .spectral
+            .expect("chebyshev reports spectral stats");
+        assert_eq!(spec.levels, 1);
+        assert_eq!(spec.degree, 4);
+        assert!(spec.eig_high > spec.eig_low && spec.eig_low > 0.0);
+        assert!(!spec.reused);
+        for (i, &xi) in sol.x.iter().enumerate() {
+            let k = (i + 1) as f64;
+            let exact = k * (n as f64 + 1.0 - k) / 2.0;
+            assert!((xi - exact).abs() < 1e-5 * exact.max(1.0), "i={i}");
+        }
+        // Degree 0 is not a polynomial.
+        assert!(matches!(
+            solve_sparse(
+                &a,
+                &b,
+                &SolverConfig::new().preconditioner(Precond::Chebyshev(0))
+            ),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn multigrid_solves_poisson_with_declared_dims() {
+        let (nx, ny, nz) = (12, 10, 8);
+        let a = poisson3d(nx, ny, nz);
+        let n = a.n();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + 1.5).collect();
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Multigrid)
+            .grid_dims((nx, ny, nz))
+            .tolerance(1e-11);
+        let sol = solve_sparse(&a, &b, &cfg).unwrap();
+        assert!(sol.stats.converged());
+        assert_eq!(sol.stats.preconditioner, Precond::Multigrid);
+        let spec = sol.stats.spectral.expect("mg reports spectral stats");
+        assert!(spec.levels >= 2);
+        assert!(spec.coarse_unknowns > 0 && spec.coarse_unknowns < n);
+        assert_eq!(spec.smoother, "chebyshev");
+        // The hierarchy shrinks the iteration count well below Jacobi.
+        let jacobi = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(Precond::Jacobi)
+                .tolerance(1e-11),
+        )
+        .unwrap();
+        assert!(
+            sol.stats.iterations * 2 < jacobi.stats.iterations,
+            "MG {} vs Jacobi {}",
+            sol.stats.iterations,
+            jacobi.stats.iterations
+        );
+        // Residual parity with the Jacobi solution.
+        for (p, q) in sol.x.iter().zip(&jacobi.x) {
+            assert!((p - q).abs() < 1e-6 * q.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn multigrid_without_dims_falls_back_to_chebyshev() {
+        let n = 90;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Multigrid)
+            .tolerance(1e-11);
+        let sol = solve_sparse(&a, &b, &cfg).unwrap();
+        assert!(sol.stats.converged());
+        // The effective preconditioner is reported, not the requested one.
+        assert_eq!(
+            sol.stats.preconditioner,
+            Precond::Chebyshev(crate::cheb::FALLBACK_CHEB_STEPS)
+        );
+        assert!(sol.stats.spectral.is_some());
+    }
+
+    #[test]
+    fn multigrid_rejects_wrong_dims_and_rcm() {
+        let a = poisson3d(4, 4, 4);
+        let b = vec![1.0; a.n()];
+        assert!(matches!(
+            solve_sparse(
+                &a,
+                &b,
+                &SolverConfig::new()
+                    .preconditioner(Precond::Multigrid)
+                    .grid_dims((4, 4, 5))
+            ),
+            Err(SolverError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            solve_sparse(
+                &a,
+                &b,
+                &SolverConfig::new()
+                    .preconditioner(Precond::Multigrid)
+                    .grid_dims((4, 4, 4))
+                    .reorder(Reorder::Rcm)
+            ),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn spectral_caches_are_reused_across_a_workspace_sweep() {
+        let (nx, ny, nz) = (8, 8, 6);
+        let a = poisson3d(nx, ny, nz);
+        let n = a.n();
+        let b = vec![1.0; n];
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Multigrid)
+            .grid_dims((nx, ny, nz))
+            .tolerance(1e-10);
+        let mut ws = PcgWorkspace::new();
+        let first = solve_sparse_with(&mut ws, &a, &b, &cfg).unwrap();
+        assert!(!first.stats.spectral.unwrap().reused);
+        let second = solve_sparse_with(&mut ws, &a, &b, &cfg).unwrap();
+        assert!(second.stats.spectral.unwrap().reused);
+        for (p, q) in first.x.iter().zip(&second.x) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Same story for the Chebyshev bounds cache.
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Chebyshev(3))
+            .tolerance(1e-10);
+        let mut ws = PcgWorkspace::new();
+        let first = solve_sparse_with(&mut ws, &a, &b, &cfg).unwrap();
+        assert!(!first.stats.spectral.unwrap().reused);
+        let second = solve_sparse_with(&mut ws, &a, &b, &cfg).unwrap();
+        assert!(second.stats.spectral.unwrap().reused);
+    }
+
+    #[test]
+    fn mixed_precision_reaches_f64_tolerance_on_ill_conditioned_system() {
+        // Diagonal spread of 1e6 on top of the Laplacian coupling:
+        // single precision alone stalls near 1e-7, so hitting 1e-12
+        // proves the f64 refinement loop is doing its job.
+        let n = 400;
+        let a = CsrMatrix::from_row_fn(n, 1, |i, row| {
+            let d = 1.0 + 1.0e6 * (i as f64 / (n - 1) as f64);
+            if i > 0 {
+                row.push((i - 1, -1.0));
+            }
+            row.push((i, d + 2.0));
+            if i + 1 < n {
+                row.push((i + 1, -1.0));
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.11).cos() * 3.0).collect();
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::Jacobi)
+            .mixed_precision(true)
+            .tolerance(1e-12);
+        let sol = solve_sparse(&a, &b, &cfg).unwrap();
+        assert!(sol.stats.converged());
+        assert!(sol.stats.final_residual <= 1e-12);
+        // Cross-check against the plain f64 path.
+        let f64_sol = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(Precond::Jacobi)
+                .tolerance(1e-12),
+        )
+        .unwrap();
+        for (p, q) in sol.x.iter().zip(&f64_sol.x) {
+            assert!((p - q).abs() <= 1e-9 * q.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn mixed_precision_rejects_unsupported_preconditioners() {
+        let a = laplacian(16);
+        let b = vec![1.0; 16];
+        for precond in [Precond::Ssor, Precond::Ic0, Precond::Multigrid] {
+            let cfg = SolverConfig::new()
+                .preconditioner(precond)
+                .mixed_precision(true);
+            assert!(
+                matches!(
+                    solve_sparse(&a, &b, &cfg),
+                    Err(SolverError::InvalidInput { .. })
+                ),
+                "{precond} should be rejected under mixed precision"
+            );
+        }
+    }
+
+    #[test]
+    fn operator_path_rejects_spectral_preconditioners() {
+        struct Op(CsrMatrix);
+        impl LinearOperator for Op {
+            fn dim(&self) -> usize {
+                self.0.n()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                self.0.spmv_into(x, y, 1);
+            }
+            fn diagonal(&self) -> Vec<f64> {
+                self.0.diag()
+            }
+        }
+        let op = Op(laplacian(12));
+        let b = vec![1.0; 12];
+        for precond in [Precond::Chebyshev(3), Precond::Multigrid] {
+            assert!(matches!(
+                solve_operator(&op, &b, &SolverConfig::new().preconditioner(precond)),
+                Err(SolverError::InvalidInput { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn setup_and_iterate_seconds_partition_the_wall_time() {
+        let a = laplacian(64);
+        let b = vec![1.0; 64];
+        let sol = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new().preconditioner(Precond::Chebyshev(3)),
+        )
+        .unwrap();
+        let s = &sol.stats;
+        assert!(s.setup_seconds >= 0.0 && s.iterate_seconds >= 0.0);
+        let sum = s.setup_seconds + s.iterate_seconds;
+        assert!((s.wall_time.as_secs_f64() - sum).abs() <= 1e-9 + 1e-6 * sum);
     }
 }

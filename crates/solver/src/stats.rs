@@ -47,16 +47,64 @@ pub enum Precond {
     /// many times). By default the system is RCM-reordered first — see
     /// [`Reorder`](crate::Reorder).
     Ic0,
+    /// `k`-step Chebyshev polynomial preconditioning on the
+    /// Jacobi-scaled operator `D⁻¹A`. Purely algebraic — only SpMV and
+    /// diagonal scaling, no triangular solves, so the application
+    /// parallelises with no sequential dependency at all. The spectral
+    /// bounds are estimated by a few power-method iterations and cached
+    /// in the [`PcgWorkspace`](crate::PcgWorkspace). `k` must be ≥ 1
+    /// (`k = 1` degenerates to damped Jacobi).
+    Chebyshev(usize),
+    /// Geometric multigrid V-cycle built from the structured-grid shape
+    /// declared via
+    /// [`SolverConfig::grid_dims`](crate::SolverConfig::grid_dims):
+    /// 2×2×2 cell aggregation with smoothed prolongation, Galerkin
+    /// coarse operators, Chebyshev smoothing and a dense Cholesky
+    /// coarse solve. Iteration counts become essentially
+    /// mesh-independent. When no grid shape is available (FEM /
+    /// unstructured matrices) the solve falls back to
+    /// [`Precond::Chebyshev`] automatically. The hierarchy is cached in
+    /// the [`PcgWorkspace`](crate::PcgWorkspace).
+    Multigrid,
+}
+
+impl Precond {
+    /// A stable small-integer code for fingerprinting and wire formats.
+    /// The first four values match the historical enum discriminants,
+    /// so fingerprints of Jacobi/SSOR/IC(0) configurations are
+    /// unchanged by the addition of the data-carrying variants.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::None => 0,
+            Self::Jacobi => 1,
+            Self::Ssor => 2,
+            Self::Ic0 => 3,
+            Self::Chebyshev(_) => 4,
+            Self::Multigrid => 5,
+        }
+    }
+
+    /// The polynomial step count for [`Precond::Chebyshev`], 0 for
+    /// every other variant (a fingerprint companion to
+    /// [`Precond::code`]).
+    pub fn degree(self) -> usize {
+        match self {
+            Self::Chebyshev(k) => k,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for Precond {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Self::None => "none",
-            Self::Jacobi => "Jacobi",
-            Self::Ssor => "SSOR",
-            Self::Ic0 => "IC(0)",
-        })
+        match self {
+            Self::None => f.write_str("none"),
+            Self::Jacobi => f.write_str("Jacobi"),
+            Self::Ssor => f.write_str("SSOR"),
+            Self::Ic0 => f.write_str("IC(0)"),
+            Self::Chebyshev(k) => write!(f, "Chebyshev({k})"),
+            Self::Multigrid => f.write_str("MG"),
+        }
     }
 }
 
@@ -84,6 +132,37 @@ pub struct FactorStats {
     pub reordered: bool,
 }
 
+/// Setup-phase statistics of the spectral preconditioners (Chebyshev
+/// polynomial and multigrid): the estimated eigenvalue interval, the
+/// hierarchy shape and whether the cached setup was reused. The bench
+/// JSON surfaces these as the smoother/level/eig-bound metadata of the
+/// `fv_large` rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralStats {
+    /// Grid levels in the multigrid hierarchy (1 for Chebyshev — the
+    /// fine level only).
+    pub levels: usize,
+    /// Smoother (multigrid) or polynomial (Chebyshev) family tag.
+    pub smoother: &'static str,
+    /// Chebyshev step count: the polynomial steps per application
+    /// (Chebyshev preconditioner) or per smoothing pass (multigrid).
+    pub degree: usize,
+    /// Lower edge of the target eigenvalue interval of the
+    /// Jacobi-scaled fine operator `D⁻¹A`.
+    pub eig_low: f64,
+    /// Upper edge of the target eigenvalue interval (power-method
+    /// estimate with a safety factor).
+    pub eig_high: f64,
+    /// Unknowns on the coarsest multigrid level (0 for Chebyshev).
+    pub coarse_unknowns: usize,
+    /// Stored non-zeros across all coarse-level operators and transfer
+    /// operators (0 for Chebyshev).
+    pub hierarchy_nnz: usize,
+    /// Whether the workspace's cached setup (bounds or hierarchy) was
+    /// reused — no power iterations or Galerkin products ran.
+    pub reused: bool,
+}
+
 /// Statistics of one solve: what ran, how hard it worked and how well
 /// it converged. Returned inside every [`Solution`](crate::Solution)
 /// and cached by the model types behind their `last_solve_stats()`
@@ -109,11 +188,22 @@ pub struct SolverStats {
     pub final_residual: f64,
     /// The tolerance that was requested.
     pub tolerance: f64,
-    /// Wall-clock time of the solve.
+    /// Wall-clock time of the solve (setup + iteration).
     pub wall_time: Duration,
+    /// Wall-clock seconds of the preconditioner setup phase: diagonal
+    /// screening, reordering, IC(0) factorisation, eigenvalue
+    /// estimation, multigrid hierarchy construction. Near zero when the
+    /// workspace caches hit.
+    pub setup_seconds: f64,
+    /// Wall-clock seconds of the iteration loop itself (the PCG
+    /// iterations, or the whole factor-solve for direct methods).
+    pub iterate_seconds: f64,
     /// Setup-phase detail for factorisation-based preconditioners
     /// (IC(0)); `None` for preconditioners with no setup phase.
     pub factorization: Option<FactorStats>,
+    /// Setup-phase detail for the spectral preconditioners (Chebyshev /
+    /// multigrid); `None` otherwise.
+    pub spectral: Option<SpectralStats>,
 }
 
 impl SolverStats {
@@ -136,7 +226,10 @@ impl SolverStats {
             final_residual,
             tolerance: 0.0,
             wall_time,
+            setup_seconds: 0.0,
+            iterate_seconds: wall_time.as_secs_f64(),
             factorization: None,
+            spectral: None,
         }
     }
 

@@ -62,7 +62,15 @@ fn pcg_matches_dense_cholesky_on_spd_fixtures() {
         )
         .unwrap();
         let x_norm = chol.x.iter().map(|v| v * v).sum::<f64>().sqrt();
-        for precond in [Precond::Jacobi, Precond::Ssor, Precond::Ic0] {
+        for precond in [
+            Precond::Jacobi,
+            Precond::Ssor,
+            Precond::Ic0,
+            Precond::Chebyshev(4),
+            // No grid shape here, so this exercises the automatic
+            // Multigrid → Chebyshev fallback against the same fixture.
+            Precond::Multigrid,
+        ] {
             let pcg = solve_sparse(
                 &csr,
                 &b,

@@ -145,6 +145,92 @@ fn warm_pcg_solve_performs_no_heap_allocation() {
         "warm IC(0) solve allocated {} time(s); the factor-cached path must be allocation-free",
         after - before
     );
+
+    // Chebyshev: the warm path reuses the cached spectral bounds and
+    // the polynomial scratch, so applying a degree-k polynomial per
+    // iteration must not touch the heap either.
+    let cheb_cfg = SolverConfig::new()
+        .preconditioner(Precond::Chebyshev(4))
+        .threads(1)
+        .record_history(false)
+        .context("zero-alloc Chebyshev proof");
+    let warm = solve_sparse_into(&mut ws, &a, &b, &mut x, &cheb_cfg).expect("Chebyshev warm-up");
+    assert!(warm.converged());
+    assert!(!warm.spectral.expect("spectral stats").reused);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let stats =
+        solve_sparse_into(&mut ws, &a, &b, &mut x, &cheb_cfg).expect("warm Chebyshev solve");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(stats.converged());
+    assert!(stats.spectral.expect("spectral stats").reused);
+    assert_eq!(
+        after - before,
+        0,
+        "warm Chebyshev solve allocated {} time(s); the bounds-cached path must be allocation-free",
+        after - before
+    );
+
+    // Multigrid: grid large enough to engage both the SELL re-layout
+    // (n ≥ 1024) and a multi-level hierarchy. The first solve builds
+    // everything; warm V-cycles must be allocation-free.
+    let (nx, ny, nz) = (16, 10, 8);
+    let pg = poisson3d(nx, ny, nz);
+    let pn = pg.n();
+    let pb = vec![1.0; pn];
+    let mut px = vec![0.0; pn];
+    let mg_cfg = SolverConfig::new()
+        .preconditioner(Precond::Multigrid)
+        .grid_dims((nx, ny, nz))
+        .threads(1)
+        .record_history(false)
+        .context("zero-alloc multigrid proof");
+    let mut mg_ws = PcgWorkspace::with_capacity(pn);
+    let warm = solve_sparse_into(&mut mg_ws, &pg, &pb, &mut px, &mg_cfg).expect("MG warm-up");
+    assert!(warm.converged());
+    let spec = warm.spectral.expect("MG spectral stats");
+    assert!(!spec.reused);
+    assert!(spec.levels >= 2, "hierarchy must actually coarsen");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let stats = solve_sparse_into(&mut mg_ws, &pg, &pb, &mut px, &mg_cfg).expect("warm MG solve");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(stats.converged());
+    assert!(stats.spectral.expect("MG spectral stats").reused);
+    assert_eq!(
+        after - before,
+        0,
+        "warm multigrid solve allocated {} time(s); the hierarchy-cached path must be allocation-free",
+        after - before
+    );
+}
+
+fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let idx = move |ix: usize, iy: usize, iz: usize| ix + nx * (iy + ny * iz);
+    CsrMatrix::from_row_fn(nx * ny * nz, 2, move |i, row| {
+        let ix = i % nx;
+        let iy = (i / nx) % ny;
+        let iz = i / (nx * ny);
+        row.push((i, 6.0));
+        if ix > 0 {
+            row.push((idx(ix - 1, iy, iz), -1.0));
+        }
+        if ix + 1 < nx {
+            row.push((idx(ix + 1, iy, iz), -1.0));
+        }
+        if iy > 0 {
+            row.push((idx(ix, iy - 1, iz), -1.0));
+        }
+        if iy + 1 < ny {
+            row.push((idx(ix, iy + 1, iz), -1.0));
+        }
+        if iz > 0 {
+            row.push((idx(ix, iy, iz - 1), -1.0));
+        }
+        if iz + 1 < nz {
+            row.push((idx(ix, iy, iz + 1), -1.0));
+        }
+    })
 }
 
 /// Small extension trait so the warm-up assertion reads cleanly without

@@ -199,7 +199,10 @@ pub fn solve_rack_flow(
             final_residual: bracket,
             tolerance: bracket.max(f64::MIN_POSITIVE),
             wall_time: start.elapsed(),
+            setup_seconds: 0.0,
+            iterate_seconds: start.elapsed().as_secs_f64(),
             factorization: None,
+            spectral: None,
         },
     })
 }

@@ -659,7 +659,11 @@ impl FvModel {
             });
         }
         let a = self.csr(&asm, None);
-        let cfg = self.config.clone().context("finite-volume steady solve");
+        let cfg = self
+            .config
+            .clone()
+            .context("finite-volume steady solve")
+            .grid_dims(self.grid.shape());
         let mut temperatures = vec![0.0; self.grid.cell_count()];
         let stats = {
             let mut ws = self.workspace.lock().expect("workspace lock poisoned");
@@ -708,7 +712,11 @@ impl FvModel {
             });
         }
         let a = self.csr(&asm, None);
-        let cfg = self.config.clone().context("finite-volume steady solve");
+        let cfg = self
+            .config
+            .clone()
+            .context("finite-volume steady solve")
+            .grid_dims(self.grid.shape());
         // Only the right-hand side depends on the scale (sources scale,
         // conductances and boundary terms do not), so later scales
         // re-run the cheap O(n) assembly for their RHS only.
@@ -788,7 +796,8 @@ impl FvModel {
             }
         }
         fp.write_u8(self.config.get_method() as u8);
-        fp.write_u8(self.config.get_preconditioner() as u8);
+        fp.write_u8(self.config.get_preconditioner().code());
+        fp.write_u8(self.config.get_preconditioner().degree() as u8);
         fp.write_u8(self.config.get_reorder() as u8);
         fp.write_f64(self.config.get_tolerance());
         fp.finish()
@@ -854,7 +863,11 @@ impl FvModel {
             rhs: vec![0.0; n],
             workspace: PcgWorkspace::with_capacity(n),
             field: initial,
-            config: self.config.clone().context("finite-volume transient step"),
+            config: self
+                .config
+                .clone()
+                .context("finite-volume transient step")
+                .grid_dims(self.grid.shape()),
             stats: None,
         })
     }

@@ -20,17 +20,18 @@ echo "==> sweep bench smoke (tiny grids, 2 threads, determinism + preconditioner
 # Exits non-zero if any sweep is not bit-identical across thread
 # counts, if IC(0)+RCM fails to halve PCG iterations vs Jacobi on the
 # large-grid smoke solve, or if the preconditioned fields disagree.
-# Observability is captured so the emitted report can be gated on the
-# IC(0) factorization counters below.
+# The smoke fv_large comparison also runs the 20³ multigrid and
+# Chebyshev solves, so the emitted report can be gated on the solver.mg.
+# and solver.cheb. counters below.
 # Absolute path: `cargo bench` runs the harness from the package dir,
 # not the workspace root, so a relative report path would miss target/.
 SWEEPS_OBS_REPORT="$PWD/target/obs_sweeps_smoke.json"
 AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$SWEEPS_OBS_REPORT" \
     cargo bench -q --offline -p aeropack-bench --bench sweeps -- --smoke
 
-echo "==> preconditioner obs gate (solver.ic0.* counters must be non-zero)"
+echo "==> preconditioner obs gate (solver.ic0./mg./cheb. counters must be non-zero)"
 cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
-    "$SWEEPS_OBS_REPORT" solver.ic0. solver.pcg. sweep.
+    "$SWEEPS_OBS_REPORT" solver.ic0. solver.mg. solver.cheb. solver.pcg. sweep.
 
 echo "==> obs smoke (exp02 with observability on, run report must validate)"
 # Run a real experiment with events flowing, then gate on the emitted

@@ -253,6 +253,58 @@ fn fv_power_sweep_with_ic0_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn fv_power_sweep_with_multigrid_is_bit_identical_across_thread_counts() {
+    // The multigrid + SELL fast path end to end: a 3-D grid large
+    // enough that the V-cycle hierarchy is multi-level and the blocked
+    // SELL SpMV layout engages (n ≥ 1024). Determinism must hold
+    // across *both* thread axes — the sweep worker count and the
+    // solver's internal SpMV threads.
+    let grid = FvGrid::new((0.16, 0.12, 0.04), (16, 12, 8)).expect("grid");
+    let mut base = FvModel::new(grid, &Material::fr4());
+    base.add_power_box(Power::new(22.0), (4, 3, 2), (12, 9, 6))
+        .expect("source");
+    base.set_face_bc(
+        Face::ZMax,
+        FaceBc::Convection {
+            h: HeatTransferCoeff::new(40.0),
+            ambient: Celsius::new(30.0),
+        },
+    );
+    let scales: Vec<f64> = (0..8).map(|i| 0.6 + 0.15 * i as f64).collect();
+
+    let field_bits = |runner: &Sweep, solver_threads: usize| -> Vec<Vec<u64>> {
+        let mut model = base.clone();
+        model.set_solver_config(
+            SolverConfig::new()
+                .preconditioner(Precond::Multigrid)
+                .threads(solver_threads),
+        );
+        runner.map_with(
+            &scales,
+            || model.clone(),
+            |model, &scale| {
+                let field = model.solve_steady_scaled(scale).expect("scaled solve");
+                let stats = model.last_solve_stats().expect("stats");
+                assert!(stats.converged());
+                assert_eq!(stats.preconditioner, Precond::Multigrid);
+                let spec = stats.spectral.expect("MG spectral stats");
+                assert!(spec.levels >= 2, "hierarchy must coarsen");
+                field.temperatures().iter().map(|t| t.to_bits()).collect()
+            },
+        )
+    };
+
+    let reference = field_bits(&Sweep::serial(), 1);
+    for threads in THREAD_COUNTS {
+        let parallel = field_bits(&Sweep::new(threads).with_grain(1), threads);
+        assert_eq!(
+            parallel, reference,
+            "multigrid FV sweep diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn sweeps_stay_bit_identical_with_observability_enabled() {
     // Observability must be a pure observer: enabling it (scoped
     // registry, events flowing from every worker) must not perturb a
