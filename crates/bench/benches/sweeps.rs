@@ -1,7 +1,10 @@
 //! Sweep-engine benchmark: the Fig 10 power grid, a harmonic frequency
-//! sweep, a random-vibration PSD integral and a finite-volume
-//! power-derating sweep, each run serially and in parallel at 1/2/4
-//! threads. Emits `BENCH_sweeps.json` at the repository root with
+//! sweep, a random-vibration PSD integral, a finite-volume
+//! power-derating sweep and a climb–cruise–descent mission sweep, each
+//! run serially and in parallel at 1/2/4 threads, plus the 90-minute
+//! orbit-cycle mission gates (≥ 10⁴ adaptive steps with factor reuse;
+//! adaptive ≥ 3× fewer steps than fixed dt at equal final-field
+//! error). Emits `BENCH_sweeps.json` at the repository root with
 //! walls, speedups, rolled-up solver statistics and the pattern-cache
 //! hit counts, plus the observability run report
 //! (`BENCH_obs_report.json`), and **exits non-zero if any sweep is not
@@ -25,6 +28,10 @@ use aeropack_fem::{
     modal, random_response_with_stats, Dof, HarmonicResponse, PlateMesh, PlateProperties,
 };
 use aeropack_materials::Material;
+use aeropack_mission::{
+    sweep_missions, AdaptiveConfig, MissionConfig, MissionDriver, MissionProfile, Orbit,
+    RadiatingFace, Scheme, StepControl,
+};
 use aeropack_solver::{Precond, SolverConfig, SpectralStats};
 use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
 use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, FV_SWEEP_GRAIN};
@@ -379,6 +386,239 @@ fn bench_fv_power_scale(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
     }
 }
 
+/// A dissipating equipment plate for mission benches.
+fn mission_model(nx: usize, ny: usize, nz: usize) -> FvModel {
+    let grid = FvGrid::new((0.16, 0.10, 0.012), (nx, ny, nz)).expect("grid");
+    let mut model = FvModel::new(grid, &Material::aluminum_6061());
+    model
+        .add_power_box(
+            Power::new(25.0),
+            (nx / 4, ny / 4, 0),
+            (3 * nx / 4, 3 * ny / 4, (nz / 2).max(1)),
+        )
+        .expect("source");
+    model
+}
+
+/// The climb–cruise–descent mission sweep: one SEB-style plate flown
+/// through a ladder of cruise altitudes in parallel, timed per thread
+/// count and gated on bit-identical trajectories (adaptive step
+/// sequence + final field, folded into each summary's
+/// `trajectory_hash`).
+fn bench_mission(smoke: bool, thread_counts: &[usize]) -> SweepRecord {
+    let model = mission_model(if smoke { 8 } else { 16 }, if smoke { 5 } else { 10 }, 2);
+    let (climb_s, cruise_s, descent_s) = if smoke {
+        (60.0, 240.0, 60.0)
+    } else {
+        (600.0, 3_000.0, 600.0)
+    };
+    let n_altitudes = if smoke { 4 } else { 8 };
+    let profiles: Vec<MissionProfile> = (0..n_altitudes)
+        .map(|i| {
+            let alt = 3_000.0 + 1_250.0 * i as f64;
+            MissionProfile::climb_cruise_descent(
+                alt,
+                (climb_s, cruise_s, descent_s),
+                HeatTransferCoeff::new(40.0),
+            )
+            .expect("profile")
+        })
+        .collect();
+    let config = MissionConfig::new(Scheme::Trapezoidal)
+        .control(StepControl::Adaptive(AdaptiveConfig {
+            dt_max: if smoke { 10.0 } else { 30.0 },
+            ..AdaptiveConfig::default()
+        }))
+        .convective_face(Face::ZMax);
+    let initial = Celsius::new(15.0);
+
+    let run = |threads: usize| {
+        let runner = Sweep::new(threads).with_grain(1);
+        sweep_missions(&model, &profiles, &config, initial, &runner)
+    };
+    let fingerprint = |threads: usize| {
+        let (rows, _) = run(threads);
+        let mut bits = Vec::new();
+        for row in &rows {
+            match row {
+                Ok(s) => {
+                    bits.push(s.trajectory_hash);
+                    bits.push(s.final_mean_c.to_bits());
+                    bits.push(s.peak_c.to_bits());
+                }
+                Err(e) => fold_str(&mut bits, &e.to_string()),
+            }
+        }
+        bits
+    };
+    let deterministic = check_identical(thread_counts, fingerprint);
+
+    let iters = if smoke { 1 } else { 3 };
+    let walls: Vec<(usize, Duration)> = thread_counts
+        .iter()
+        .map(|&t| (t, time_mean(0, iters, || run(t))))
+        .collect();
+    let (rows, stats) = run(*thread_counts.last().expect("thread counts"));
+    for row in &rows {
+        let summary = row.as_ref().expect("mission solves");
+        assert!(
+            summary.factor_reuses > 0,
+            "mission solves must reuse preconditioner factors across steps"
+        );
+    }
+
+    SweepRecord {
+        name: "bench_mission",
+        scenarios: profiles.len(),
+        walls,
+        stats,
+        deterministic,
+    }
+}
+
+/// The orbit-cycle mission report: scale (step count, factor reuse on
+/// the 32³ grid in full mode) and the adaptive-vs-fixed step-count
+/// ratio at matched final-field error.
+struct MissionOrbitReport {
+    cells: usize,
+    accepted_steps: usize,
+    factor_reuses: usize,
+    matrix_reuses: usize,
+    adaptive_steps: usize,
+    adaptive_error_k: f64,
+    fixed_dt_s: f64,
+    fixed_steps: usize,
+    fixed_error_k: f64,
+}
+
+fn run_orbit(
+    model: &FvModel,
+    profile: &MissionProfile,
+    control: StepControl,
+) -> (Vec<f64>, aeropack_mission::MissionStats) {
+    let config = MissionConfig::new(Scheme::Trapezoidal)
+        .control(control)
+        .radiating_face(RadiatingFace {
+            face: Face::ZMax,
+            emissivity: 0.85,
+            absorptivity: 0.3,
+        })
+        .max_steps(2_000_000);
+    let mut driver = MissionDriver::new(model.clone(), profile.clone(), config, Celsius::new(20.0))
+        .expect("orbit driver");
+    driver.run_to_end().expect("orbit mission");
+    let stats = *driver.stats();
+    (driver.temperatures().to_vec(), stats)
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The 90-minute orbit-cycle gates behind the mission tentpole:
+///
+/// 1. **Adaptive efficiency** — on a small radiating plate, the
+///    adaptive controller must reach the accuracy of the matching
+///    fixed-dt run with ≥ 3× fewer accepted steps. The fixed dt is the
+///    coarsest rung of a refinement ladder whose final-field error
+///    (against a fine fixed-dt reference) does not exceed the adaptive
+///    run's error.
+/// 2. **Scale** (full mode) — the same orbit at 32³ must complete
+///    ≥ 10⁴ adaptive steps with warm-solve factor reuse engaged.
+fn bench_mission_orbit(smoke: bool) -> MissionOrbitReport {
+    let orbit = Orbit::leo_90min();
+    let profile = MissionProfile::orbit_cycle(&orbit, 1).expect("orbit profile");
+
+    // --- Adaptive-vs-fixed at matched error (both modes, small grid).
+    let study_model = mission_model(6, 5, 2);
+    let adaptive = StepControl::Adaptive(AdaptiveConfig {
+        dt_max: 120.0,
+        ..AdaptiveConfig::default()
+    });
+    let (reference, _) = run_orbit(&study_model, &profile, StepControl::Fixed { dt: 1.0 });
+    let (adaptive_field, adaptive_stats) = run_orbit(&study_model, &profile, adaptive);
+    let adaptive_error = max_abs_diff(&adaptive_field, &reference);
+    let mut fixed_pick = None;
+    for dt in [
+        96.0, 64.0, 48.0, 32.0, 24.0, 16.0, 12.0, 8.0, 6.0, 4.0, 3.0, 2.0,
+    ] {
+        let (field, stats) = run_orbit(&study_model, &profile, StepControl::Fixed { dt });
+        let err = max_abs_diff(&field, &reference);
+        if err <= adaptive_error {
+            fixed_pick = Some((dt, stats.accepted, err));
+            break;
+        }
+    }
+    let (fixed_dt, fixed_steps, fixed_error) =
+        fixed_pick.expect("some fixed dt must reach the adaptive error");
+    assert!(
+        fixed_steps >= 3 * adaptive_stats.accepted,
+        "adaptive must take ≥ 3× fewer steps than fixed dt at equal error: \
+         adaptive {} steps (err {adaptive_error:.3e} K) vs fixed dt={fixed_dt}s \
+         {fixed_steps} steps (err {fixed_error:.3e} K)",
+        adaptive_stats.accepted
+    );
+
+    // --- Scale leg: ≥ 10⁴ adaptive steps with factor reuse. ----------
+    let (scale_model, scale_control) = if smoke {
+        // Smoke keeps the shape (step floor via dt_max) on a tiny grid.
+        (
+            mission_model(5, 4, 2),
+            StepControl::Adaptive(AdaptiveConfig {
+                dt_max: orbit.period_s / 1.0e4,
+                dt_init: orbit.period_s / 4.0e4,
+                ..AdaptiveConfig::default()
+            }),
+        )
+    } else {
+        let grid = FvGrid::new((0.32, 0.32, 0.32), (32, 32, 32)).expect("grid");
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(120.0), (8, 8, 8), (24, 24, 24))
+            .expect("source");
+        (
+            model,
+            StepControl::Adaptive(AdaptiveConfig {
+                dt_max: orbit.period_s / 1.2e4,
+                dt_init: orbit.period_s / 4.8e4,
+                ..AdaptiveConfig::default()
+            }),
+        )
+    };
+    let (_, scale_stats) = run_orbit(&scale_model, &profile, scale_control);
+    assert!(
+        scale_stats.accepted >= 10_000,
+        "the orbit cycle must take ≥ 10⁴ adaptive steps, took {}",
+        scale_stats.accepted
+    );
+    assert!(
+        scale_stats.factor_reuses > 0,
+        "long missions must reuse preconditioner factors across steps"
+    );
+    assert!(
+        scale_stats.matrix_reuses > scale_stats.matrix_rebuilds,
+        "the dt quantizer must hold the θ-system steady most steps: \
+         {} reuses vs {} rebuilds",
+        scale_stats.matrix_reuses,
+        scale_stats.matrix_rebuilds
+    );
+
+    MissionOrbitReport {
+        cells: scale_model.grid().cell_count(),
+        accepted_steps: scale_stats.accepted,
+        factor_reuses: scale_stats.factor_reuses,
+        matrix_reuses: scale_stats.matrix_reuses,
+        adaptive_steps: adaptive_stats.accepted,
+        adaptive_error_k: adaptive_error,
+        fixed_dt_s: fixed_dt,
+        fixed_steps,
+        fixed_error_k: fixed_error,
+    }
+}
+
 /// One preconditioner's performance on the large-grid steady solve.
 struct PrecondRow {
     precond: &'static str,
@@ -590,6 +830,7 @@ fn json_escape(s: &str) -> String {
 fn emit_json(
     records: &[SweepRecord],
     fv_large: &FvLargeReport,
+    mission_orbit: &MissionOrbitReport,
     hardware_threads: usize,
     smoke: bool,
 ) -> String {
@@ -701,6 +942,41 @@ fn emit_json(
         out.push_str(&row);
     }
     out.push_str("    ]\n");
+    out.push_str("  },\n");
+    out.push_str("  \"mission_orbit\": {\n");
+    out.push_str(&format!("    \"cells\": {},\n", mission_orbit.cells));
+    out.push_str(&format!(
+        "    \"accepted_steps\": {},\n",
+        mission_orbit.accepted_steps
+    ));
+    out.push_str(&format!(
+        "    \"factor_reuses\": {},\n",
+        mission_orbit.factor_reuses
+    ));
+    out.push_str(&format!(
+        "    \"matrix_reuses\": {},\n",
+        mission_orbit.matrix_reuses
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_steps\": {},\n",
+        mission_orbit.adaptive_steps
+    ));
+    out.push_str(&format!(
+        "    \"adaptive_error_k\": {:.6e},\n",
+        mission_orbit.adaptive_error_k
+    ));
+    out.push_str(&format!(
+        "    \"fixed_dt_s\": {:.3},\n",
+        mission_orbit.fixed_dt_s
+    ));
+    out.push_str(&format!(
+        "    \"fixed_steps\": {},\n",
+        mission_orbit.fixed_steps
+    ));
+    out.push_str(&format!(
+        "    \"fixed_error_k\": {:.6e}\n",
+        mission_orbit.fixed_error_k
+    ));
     out.push_str("  }\n}\n");
     out
 }
@@ -724,8 +1000,10 @@ fn main() {
         bench_harmonic(smoke, thread_counts),
         bench_random_psd(smoke, thread_counts),
         bench_fv_power_scale(smoke, thread_counts),
+        bench_mission(smoke, thread_counts),
     ];
     let fv_large = bench_fv_large(smoke, hardware_threads);
+    let mission_orbit = bench_mission_orbit(smoke);
 
     for r in &records {
         let oversub = r.oversubscribed(hardware_threads);
@@ -798,6 +1076,27 @@ fn main() {
         }
     }
 
+    {
+        println!(
+            "\nmission_orbit — {} cells, one 90-minute LEO cycle",
+            mission_orbit.cells
+        );
+        println!(
+            "  scale: {} adaptive steps, {} factor reuses, {} matrix reuses",
+            mission_orbit.accepted_steps, mission_orbit.factor_reuses, mission_orbit.matrix_reuses
+        );
+        println!(
+            "  equal-error study: adaptive {} steps at {:.3e} K vs fixed dt={}s \
+             {} steps at {:.3e} K ({:.1}x fewer)",
+            mission_orbit.adaptive_steps,
+            mission_orbit.adaptive_error_k,
+            mission_orbit.fixed_dt_s,
+            mission_orbit.fixed_steps,
+            mission_orbit.fixed_error_k,
+            mission_orbit.fixed_steps as f64 / mission_orbit.adaptive_steps as f64
+        );
+    }
+
     // The Fig 10 row must route its FV board refinement through the
     // symbolic pattern cache: a primed model is cloned per worker, so
     // every board assembly after the prime is a cache hit. The historic
@@ -853,7 +1152,7 @@ fn main() {
         );
     }
 
-    let json = emit_json(&records, &fv_large, hardware_threads, smoke);
+    let json = emit_json(&records, &fv_large, &mission_orbit, hardware_threads, smoke);
     let report = aeropack_obs::report_json();
     let summary = aeropack_obs::validate_report(&report).expect("run report must validate");
     if smoke {
@@ -883,6 +1182,14 @@ fn main() {
     assert!(
         summary.counter_prefix_sum("solver.cheb.") > 0,
         "run report must carry Chebyshev spectral counters"
+    );
+    assert!(
+        summary.counter_prefix_sum("mission.") > 0,
+        "run report must carry mission-driver counters"
+    );
+    assert!(
+        summary.counter_prefix_sum("solver.transient.") > 0,
+        "run report must carry transient-solve counters"
     );
     // Honour AEROPACK_OBS_REPORT in either mode, so the CI smoke gate
     // can obs_check the emitted counters without a full bench run.

@@ -1,0 +1,357 @@
+//! Bit-exact trajectory checkpoints in two interchangeable encodings:
+//! a compact little-endian binary format for checkpoint files along a
+//! long mission, and a JSON format (f64 bits hex-encoded, so no
+//! precision is lost to decimal round-tripping) for golden snapshots
+//! and the serve wire.
+//!
+//! A checkpoint captures everything [`MissionDriver::restore`] needs to
+//! continue a trajectory bit-for-bit: step index, mission time, the
+//! controller's current step length, the temperature field, and the
+//! lagged radiation linearisation.
+//!
+//! [`MissionDriver::restore`]: crate::transient::MissionDriver::restore
+
+use aeropack_obs::report::{parse, JsonValue};
+use aeropack_solver::Fingerprint;
+
+use crate::MissionError;
+
+/// Magic bytes opening the binary encoding (version in the last byte).
+const MAGIC: &[u8; 8] = b"APCKPT\x00\x01";
+/// Format tag of the JSON encoding.
+const JSON_FORMAT: &str = "aeropack.mission.checkpoint.v1";
+
+/// A resumable snapshot of a mission trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Accepted steps taken before this snapshot.
+    pub step: u64,
+    /// Mission time, s.
+    pub time_s: f64,
+    /// The controller's current step length, s.
+    pub dt_s: f64,
+    /// Per-cell temperatures, °C, grid order.
+    pub temperatures: Vec<f64>,
+    /// Lagged radiation linearisation
+    /// `[surface °C, sink °C, h_r W/(m²·K)]`, if a radiating face is
+    /// configured.
+    pub radiation: Option<[f64; 3]>,
+}
+
+impl Checkpoint {
+    /// A 64-bit content hash — two checkpoints hash equal iff every
+    /// field is bit-identical.
+    pub fn hash(&self) -> u64 {
+        let mut fp = Fingerprint::new("mission.checkpoint");
+        fp.write_u64(self.step);
+        fp.write_f64(self.time_s);
+        fp.write_f64(self.dt_s);
+        fp.write_f64s(&self.temperatures);
+        match &self.radiation {
+            Some(rad) => {
+                fp.write_bool(true);
+                fp.write_f64s(rad);
+            }
+            None => fp.write_bool(false),
+        }
+        fp.finish()
+    }
+
+    /// Encodes to the compact binary format (little-endian, ~8 bytes
+    /// per cell).
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * (4 + self.temperatures.len() + 3));
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&self.time_s.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.dt_s.to_bits().to_le_bytes());
+        match &self.radiation {
+            Some(rad) => {
+                out.push(1);
+                for v in rad {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.temperatures.len() as u64).to_le_bytes());
+        for t in &self.temperatures {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissionError::Checkpoint`] for a bad magic, truncated
+    /// payload, or trailing bytes.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, MissionError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let magic = cursor.take(8)?;
+        if magic != MAGIC {
+            return Err(MissionError::Checkpoint(
+                "bad magic: not an aeropack mission checkpoint".into(),
+            ));
+        }
+        let step = cursor.u64()?;
+        let time_s = cursor.f64()?;
+        let dt_s = cursor.f64()?;
+        let radiation = match cursor.u8()? {
+            0 => None,
+            1 => Some([cursor.f64()?, cursor.f64()?, cursor.f64()?]),
+            other => {
+                return Err(MissionError::Checkpoint(format!(
+                    "bad radiation flag {other}"
+                )))
+            }
+        };
+        let n = cursor.u64()? as usize;
+        if n > bytes.len() / 8 {
+            return Err(MissionError::Checkpoint(format!(
+                "cell count {n} exceeds the payload"
+            )));
+        }
+        let mut temperatures = Vec::with_capacity(n);
+        for _ in 0..n {
+            temperatures.push(cursor.f64()?);
+        }
+        if cursor.pos != bytes.len() {
+            return Err(MissionError::Checkpoint(format!(
+                "{} trailing bytes",
+                bytes.len() - cursor.pos
+            )));
+        }
+        Ok(Self {
+            step,
+            time_s,
+            dt_s,
+            temperatures,
+            radiation,
+        })
+    }
+
+    /// Encodes to the JSON format. Floats are hex-encoded IEEE-754
+    /// bits; a human-readable `time_s` field rides along for
+    /// inspection but is ignored on decode.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 20 * self.temperatures.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": \"{JSON_FORMAT}\",\n"));
+        out.push_str(&format!("  \"step\": {},\n", self.step));
+        out.push_str(&format!("  \"time_s\": {},\n", self.time_s));
+        out.push_str(&format!("  \"time\": \"{}\",\n", hex_bits(self.time_s)));
+        out.push_str(&format!("  \"dt\": \"{}\",\n", hex_bits(self.dt_s)));
+        match &self.radiation {
+            Some(rad) => {
+                out.push_str("  \"radiation\": [");
+                for (i, v) in rad.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\"", hex_bits(*v)));
+                }
+                out.push_str("],\n");
+            }
+            None => out.push_str("  \"radiation\": null,\n"),
+        }
+        out.push_str("  \"temperatures\": [");
+        for (i, t) in self.temperatures.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", hex_bits(*t)));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Decodes the JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissionError::Checkpoint`] for malformed JSON, a wrong
+    /// format tag, or bad hex floats.
+    pub fn from_json(text: &str) -> Result<Self, MissionError> {
+        let doc =
+            parse(text).map_err(|e| MissionError::Checkpoint(format!("malformed JSON: {e}")))?;
+        let format = doc.get("format").and_then(JsonValue::as_str).unwrap_or("");
+        if format != JSON_FORMAT {
+            return Err(MissionError::Checkpoint(format!(
+                "unknown format tag {format:?}"
+            )));
+        }
+        let step =
+            doc.get("step")
+                .and_then(JsonValue::as_number)
+                .ok_or_else(|| MissionError::Checkpoint("missing step".into()))? as u64;
+        let time_s = hex_field(&doc, "time")?;
+        let dt_s = hex_field(&doc, "dt")?;
+        let radiation = match doc.get("radiation") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::Array(items)) if items.len() == 3 => {
+                let mut rad = [0.0; 3];
+                for (slot, item) in rad.iter_mut().zip(items) {
+                    *slot = hex_value(item, "radiation")?;
+                }
+                Some(rad)
+            }
+            Some(_) => {
+                return Err(MissionError::Checkpoint(
+                    "radiation must be null or a 3-element array".into(),
+                ))
+            }
+        };
+        let temperatures = match doc.get("temperatures") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|item| hex_value(item, "temperatures"))
+                .collect::<Result<Vec<f64>, MissionError>>()?,
+            _ => {
+                return Err(MissionError::Checkpoint(
+                    "missing temperatures array".into(),
+                ))
+            }
+        };
+        Ok(Self {
+            step,
+            time_s,
+            dt_s,
+            temperatures,
+            radiation,
+        })
+    }
+}
+
+/// 16-hex-digit IEEE-754 bit encoding — lossless, unlike decimal.
+fn hex_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_hex(s: &str, field: &str) -> Result<f64, MissionError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| MissionError::Checkpoint(format!("bad hex float {s:?} in {field}")))
+}
+
+fn hex_field(doc: &JsonValue, field: &str) -> Result<f64, MissionError> {
+    doc.get(field)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| MissionError::Checkpoint(format!("missing field {field}")))
+        .and_then(|s| parse_hex(s, field))
+}
+
+fn hex_value(item: &JsonValue, field: &str) -> Result<f64, MissionError> {
+    item.as_str()
+        .ok_or_else(|| MissionError::Checkpoint(format!("non-string entry in {field}")))
+        .and_then(|s| parse_hex(s, field))
+}
+
+/// A bounds-checked byte reader.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MissionError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(MissionError::Checkpoint("truncated checkpoint".into()));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, MissionError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, MissionError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, MissionError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn awkward_checkpoint() -> Checkpoint {
+        Checkpoint {
+            step: 12_345,
+            time_s: 1.0 / 3.0,
+            dt_s: 0.1 + 0.2, // deliberately not exactly 0.3
+            temperatures: vec![21.000000000000004, -56.5, 1e-308, -0.0, 88.125],
+            radiation: Some([40.0 + 1e-13, -270.0, 4.567891234e-6]),
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_exact() {
+        let cp = awkward_checkpoint();
+        let decoded = Checkpoint::from_binary(&cp.to_binary()).unwrap();
+        assert_eq!(cp, decoded);
+        assert_eq!(cp.hash(), decoded.hash());
+        // Bit-exact, not just approximately equal.
+        for (a, b) in cp.temperatures.iter().zip(&decoded.temperatures) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact() {
+        let cp = awkward_checkpoint();
+        let decoded = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(cp, decoded);
+        assert_eq!(cp.hash(), decoded.hash());
+
+        let mut no_rad = cp;
+        no_rad.radiation = None;
+        let decoded = Checkpoint::from_json(&no_rad.to_json()).unwrap();
+        assert_eq!(no_rad, decoded);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let cp = awkward_checkpoint();
+        let bin = cp.to_binary();
+        assert!(Checkpoint::from_binary(&bin[..bin.len() - 1]).is_err());
+        assert!(Checkpoint::from_binary(b"NOTMAGIC").is_err());
+        let mut extra = bin.clone();
+        extra.push(0);
+        assert!(Checkpoint::from_binary(&extra).is_err());
+
+        assert!(Checkpoint::from_json("{}").is_err());
+        assert!(Checkpoint::from_json("not json").is_err());
+        let wrong_tag = cp.to_json().replace("checkpoint.v1", "checkpoint.v9");
+        assert!(Checkpoint::from_json(&wrong_tag).is_err());
+        let bad_hex = cp
+            .to_json()
+            .replace(&format!("{:016x}", cp.dt_s.to_bits()), "zzzz");
+        assert!(Checkpoint::from_json(&bad_hex).is_err());
+    }
+
+    #[test]
+    fn hash_is_sensitive_to_every_field() {
+        let cp = awkward_checkpoint();
+        let base = cp.hash();
+        let mut v = cp.clone();
+        v.step += 1;
+        assert_ne!(base, v.hash());
+        let mut v = cp.clone();
+        v.temperatures[2] = 1.0000000001e-308;
+        assert_ne!(base, v.hash());
+        let mut v = cp.clone();
+        v.radiation = None;
+        assert_ne!(base, v.hash());
+        let mut v = cp;
+        v.dt_s = f64::from_bits(v.dt_s.to_bits() + 1);
+        assert_ne!(base, v.hash());
+    }
+}

@@ -1,0 +1,175 @@
+//! Environment models: what the air and the sky look like from the
+//! equipment bay as the mission unfolds.
+//!
+//! * **Altitude**: ambient temperature and pressure follow the ISA
+//!   profile from `aeropack-materials`; convective film coefficients
+//!   derate with the falling air density (DO-160 §4 is certified
+//!   against exactly this).
+//! * **Sun**: solar flux versus latitude and time of day for ground and
+//!   flight missions, and a sun/eclipse orbit cycle for space
+//!   missions.
+
+use aeropack_materials::isa_atmosphere;
+use aeropack_units::{Celsius, HeatTransferCoeff};
+
+use crate::MissionError;
+
+/// The solar constant at 1 AU, W/m².
+pub const SOLAR_CONSTANT: f64 = 1361.0;
+
+/// Effective deep-space sink temperature, °C.
+pub const DEEP_SPACE_C: f64 = -270.0;
+
+/// The ambient state a bay sees at one altitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtmosphereState {
+    /// Standard ambient temperature.
+    pub ambient: Celsius,
+    /// Pressure relative to sea level, `p/p₀ ∈ (0, 1]`.
+    pub pressure_ratio: f64,
+}
+
+/// The ISA ambient state at a geopotential altitude.
+///
+/// # Errors
+///
+/// Returns an error outside the ISA range (−500 m … 20 km).
+pub fn atmosphere_at(altitude_m: f64) -> Result<AtmosphereState, MissionError> {
+    let point = isa_atmosphere(altitude_m)?;
+    let sea = isa_atmosphere(0.0)?;
+    Ok(AtmosphereState {
+        ambient: point.temperature,
+        pressure_ratio: point.pressure.value() / sea.pressure.value(),
+    })
+}
+
+/// Derates a sea-level film coefficient to altitude: convective
+/// coefficients scale roughly with `(p/p₀)^0.5` as the air thins (the
+/// classic √density correction for natural convection; forced-air
+/// systems with constant mass flow derate less, which makes this a
+/// conservative bay-level default).
+///
+/// # Errors
+///
+/// Returns an error outside the ISA range.
+pub fn altitude_derated_h(
+    h_sea_level: HeatTransferCoeff,
+    altitude_m: f64,
+) -> Result<HeatTransferCoeff, MissionError> {
+    let state = atmosphere_at(altitude_m)?;
+    Ok(HeatTransferCoeff::new(
+        h_sea_level.value() * state.pressure_ratio.sqrt(),
+    ))
+}
+
+/// Solar flux on a horizontal surface, W/m², for a latitude (degrees,
+/// +north), solar declination (degrees, ±23.44 over the year) and local
+/// solar time in hours (12 = solar noon). Zero when the sun is below
+/// the horizon; atmospheric attenuation is not modelled (conservative
+/// for thermal sizing).
+pub fn solar_flux(latitude_deg: f64, declination_deg: f64, hour: f64) -> f64 {
+    let phi = latitude_deg.to_radians();
+    let delta = declination_deg.to_radians();
+    let hour_angle = ((hour - 12.0) * 15.0).to_radians();
+    let sin_elevation = phi.sin() * delta.sin() + phi.cos() * delta.cos() * hour_angle.cos();
+    SOLAR_CONSTANT * sin_elevation.max(0.0)
+}
+
+/// A circular-orbit thermal environment: period, eclipse fraction and
+/// the three flux components a nadir-facing radiator absorbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Orbit {
+    /// Orbital period, s.
+    pub period_s: f64,
+    /// Fraction of the period spent in the Earth's shadow, `[0, 1)`.
+    pub eclipse_fraction: f64,
+    /// Direct solar flux while sunlit, W/m².
+    pub solar_w_m2: f64,
+    /// Albedo (Earth-reflected) flux while sunlit, W/m².
+    pub albedo_w_m2: f64,
+    /// Earth infrared flux, W/m² — present through eclipse too.
+    pub earth_ir_w_m2: f64,
+}
+
+impl Orbit {
+    /// A representative 90-minute low-Earth orbit: ~36 % eclipse, full
+    /// solar constant, 30 % albedo, 240 W/m² Earth IR — the CubeSat
+    /// hot/cold cycling case.
+    pub fn leo_90min() -> Self {
+        Self {
+            period_s: 5_400.0,
+            eclipse_fraction: 0.36,
+            solar_w_m2: SOLAR_CONSTANT,
+            albedo_w_m2: 0.3 * SOLAR_CONSTANT,
+            earth_ir_w_m2: 240.0,
+        }
+    }
+
+    /// Absorbed environmental flux at an orbit phase `t` seconds after
+    /// sunrise (periodic): solar + albedo while sunlit, Earth IR
+    /// always.
+    pub fn flux_at(&self, t_s: f64) -> f64 {
+        let phase = (t_s / self.period_s).rem_euclid(1.0);
+        if phase < 1.0 - self.eclipse_fraction {
+            self.solar_w_m2 + self.albedo_w_m2 + self.earth_ir_w_m2
+        } else {
+            self.earth_ir_w_m2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atmosphere_matches_isa_anchors() {
+        let sea = atmosphere_at(0.0).unwrap();
+        assert!((sea.ambient.value() - 15.0).abs() < 1e-9);
+        assert!((sea.pressure_ratio - 1.0).abs() < 1e-12);
+        let cruise = atmosphere_at(11_000.0).unwrap();
+        assert!((cruise.ambient.value() + 56.5).abs() < 0.1);
+        assert!(cruise.pressure_ratio < 0.25);
+        assert!(atmosphere_at(30_000.0).is_err());
+    }
+
+    #[test]
+    fn film_coefficient_derates_with_altitude() {
+        let h0 = HeatTransferCoeff::new(40.0);
+        let h_cruise = altitude_derated_h(h0, 11_000.0).unwrap();
+        // √(0.223) ≈ 0.47 of the sea-level value.
+        assert!(h_cruise.value() < 20.0 && h_cruise.value() > 15.0);
+        // Monotone in altitude.
+        let h_mid = altitude_derated_h(h0, 5_000.0).unwrap();
+        assert!(h_cruise.value() < h_mid.value() && h_mid.value() < h0.value());
+    }
+
+    #[test]
+    fn solar_flux_tracks_the_sun() {
+        // Equator, equinox, noon: the full constant.
+        assert!((solar_flux(0.0, 0.0, 12.0) - SOLAR_CONSTANT).abs() < 1e-9);
+        // Midnight: dark.
+        assert_eq!(solar_flux(0.0, 0.0, 0.0), 0.0);
+        // 45° latitude sees less than the equator at noon.
+        assert!(solar_flux(45.0, 0.0, 12.0) < SOLAR_CONSTANT);
+        // Summer declination helps the north.
+        assert!(solar_flux(45.0, 23.44, 12.0) > solar_flux(45.0, 0.0, 12.0));
+    }
+
+    #[test]
+    fn orbit_cycle_shadows_and_repeats() {
+        let orbit = Orbit::leo_90min();
+        let sunlit = orbit.flux_at(0.0);
+        assert!(
+            (sunlit - (orbit.solar_w_m2 + orbit.albedo_w_m2 + orbit.earth_ir_w_m2)).abs() < 1e-9
+        );
+        // Deep in eclipse only Earth IR remains.
+        let dark = orbit.flux_at(0.99 * orbit.period_s);
+        assert!((dark - orbit.earth_ir_w_m2).abs() < 1e-9);
+        // Periodic.
+        assert_eq!(
+            orbit.flux_at(10.0),
+            orbit.flux_at(10.0 + 3.0 * orbit.period_s)
+        );
+    }
+}

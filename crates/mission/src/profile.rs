@@ -1,0 +1,416 @@
+//! Mission profiles: piecewise phases with time-interpolated boundary
+//! conditions — the `MissionProfile` a transient driver integrates
+//! against.
+//!
+//! A profile is a sequence of named [`MissionPhase`]s. Each phase
+//! linearly interpolates a [`BoundaryState`] (convective ambient and
+//! film coefficient, radiative sink, absorbed environmental flux,
+//! dissipation scale) from its start to its end; sampling is exact at
+//! phase boundaries and piecewise linear inside, which keeps the
+//! profile a pure deterministic function of time — the property the
+//! checkpoint/restore and thread-count determinism guarantees build
+//! on.
+
+use aeropack_solver::Fingerprint;
+use aeropack_units::{Celsius, HeatTransferCoeff};
+
+use crate::environment::{altitude_derated_h, atmosphere_at, Orbit, DEEP_SPACE_C};
+use crate::MissionError;
+
+/// The boundary-condition state of the bay at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryState {
+    /// Convective ambient temperature.
+    pub ambient: Celsius,
+    /// Convective film coefficient on the cooled faces.
+    pub h: HeatTransferCoeff,
+    /// Radiative sink temperature seen by the radiating face.
+    pub sink: Celsius,
+    /// Absorbed environmental flux (solar + albedo + planetary IR) on
+    /// the radiating face, W/m².
+    pub flux_w_m2: f64,
+    /// Multiplier on the model's internal dissipation.
+    pub power_scale: f64,
+}
+
+impl BoundaryState {
+    /// A benign sea-level state: 15 °C still air, no radiation drive,
+    /// nominal dissipation.
+    pub fn sea_level() -> Self {
+        Self {
+            ambient: Celsius::new(15.0),
+            h: HeatTransferCoeff::new(10.0),
+            sink: Celsius::new(15.0),
+            flux_w_m2: 0.0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// Linear interpolation between two states, `f ∈ [0, 1]`.
+    pub fn lerp(a: &Self, b: &Self, f: f64) -> Self {
+        let mix = |x: f64, y: f64| x + (y - x) * f;
+        Self {
+            ambient: Celsius::new(mix(a.ambient.value(), b.ambient.value())),
+            h: HeatTransferCoeff::new(mix(a.h.value(), b.h.value())),
+            sink: Celsius::new(mix(a.sink.value(), b.sink.value())),
+            flux_w_m2: mix(a.flux_w_m2, b.flux_w_m2),
+            power_scale: mix(a.power_scale, b.power_scale),
+        }
+    }
+
+    fn write_fingerprint(&self, fp: &mut Fingerprint) {
+        fp.write_f64(self.ambient.value());
+        fp.write_f64(self.h.value());
+        fp.write_f64(self.sink.value());
+        fp.write_f64(self.flux_w_m2);
+        fp.write_f64(self.power_scale);
+    }
+}
+
+/// One named phase of a mission, interpolating linearly from `start`
+/// to `end` over `duration_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionPhase {
+    /// Phase name ("climb", "eclipse", …) for reports.
+    pub name: String,
+    /// Phase duration, s (strictly positive).
+    pub duration_s: f64,
+    /// State at the start of the phase.
+    pub start: BoundaryState,
+    /// State at the end of the phase.
+    pub end: BoundaryState,
+}
+
+impl MissionPhase {
+    /// A phase holding one constant state.
+    pub fn constant(name: impl Into<String>, duration_s: f64, state: BoundaryState) -> Self {
+        Self {
+            name: name.into(),
+            duration_s,
+            start: state,
+            end: state,
+        }
+    }
+
+    /// A phase ramping linearly between two states.
+    pub fn ramp(
+        name: impl Into<String>,
+        duration_s: f64,
+        start: BoundaryState,
+        end: BoundaryState,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            duration_s,
+            start,
+            end,
+        }
+    }
+}
+
+/// A piecewise mission profile — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionProfile {
+    phases: Vec<MissionPhase>,
+    total_s: f64,
+}
+
+impl MissionProfile {
+    /// Builds a profile from explicit phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty phase list, a non-finite or
+    /// non-positive duration, or non-finite state values.
+    pub fn new(phases: Vec<MissionPhase>) -> Result<Self, MissionError> {
+        if phases.is_empty() {
+            return Err(MissionError::invalid("a mission needs at least one phase"));
+        }
+        let mut total = 0.0;
+        for phase in &phases {
+            if !(phase.duration_s > 0.0 && phase.duration_s.is_finite()) {
+                return Err(MissionError::invalid(format!(
+                    "phase '{}' must have a positive finite duration",
+                    phase.name
+                )));
+            }
+            for state in [&phase.start, &phase.end] {
+                let values = [
+                    state.ambient.value(),
+                    state.h.value(),
+                    state.sink.value(),
+                    state.flux_w_m2,
+                    state.power_scale,
+                ];
+                if values.iter().any(|v| !v.is_finite()) || state.h.value() < 0.0 {
+                    return Err(MissionError::invalid(format!(
+                        "phase '{}' has a non-finite or negative state",
+                        phase.name
+                    )));
+                }
+            }
+            total += phase.duration_s;
+        }
+        Ok(Self {
+            phases,
+            total_s: total,
+        })
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[MissionPhase] {
+        &self.phases
+    }
+
+    /// Total mission duration, s.
+    pub fn total_duration(&self) -> f64 {
+        self.total_s
+    }
+
+    /// The boundary state at time `t` seconds (clamped to the mission
+    /// span; exact at phase boundaries, linear inside a phase).
+    pub fn sample(&self, t_s: f64) -> BoundaryState {
+        let mut start = 0.0;
+        for phase in &self.phases {
+            let end = start + phase.duration_s;
+            if t_s <= end || std::ptr::eq(phase, self.phases.last().expect("non-empty")) {
+                let f = ((t_s - start) / phase.duration_s).clamp(0.0, 1.0);
+                return BoundaryState::lerp(&phase.start, &phase.end, f);
+            }
+            start = end;
+        }
+        unreachable!("profile has at least one phase");
+    }
+
+    /// The name of the phase active at time `t` (clamped).
+    pub fn phase_name_at(&self, t_s: f64) -> &str {
+        let mut start = 0.0;
+        for phase in &self.phases {
+            let end = start + phase.duration_s;
+            if t_s <= end {
+                return &phase.name;
+            }
+            start = end;
+        }
+        &self.phases.last().expect("non-empty").name
+    }
+
+    /// Canonical content fingerprint of the profile (names, durations
+    /// and end-point states) — the cache/coalescing key material used
+    /// by `aeropack-serve`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stored value is NaN (profiles reject non-finite
+    /// values at construction).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("mission.profile");
+        fp.write_usize(self.phases.len());
+        for phase in &self.phases {
+            fp.write_str(&phase.name);
+            fp.write_f64(phase.duration_s);
+            phase.start.write_fingerprint(&mut fp);
+            phase.end.write_fingerprint(&mut fp);
+        }
+        fp.finish()
+    }
+
+    /// A climb–cruise–descent flight to `cruise_altitude_m`, with the
+    /// ambient following the ISA profile and the film coefficient
+    /// derating with altitude from its sea-level value. Climb and
+    /// descent are subdivided so the piecewise-linear ambient matches
+    /// ISA exactly at the segment knots (the ISA is itself non-linear
+    /// above the tropopause).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive durations or an altitude
+    /// outside the ISA range.
+    pub fn climb_cruise_descent(
+        cruise_altitude_m: f64,
+        (climb_s, cruise_s, descent_s): (f64, f64, f64),
+        h_sea_level: HeatTransferCoeff,
+    ) -> Result<Self, MissionError> {
+        const SEGMENTS: usize = 6;
+        let state_at = |altitude: f64| -> Result<BoundaryState, MissionError> {
+            let atm = atmosphere_at(altitude)?;
+            Ok(BoundaryState {
+                ambient: atm.ambient,
+                h: altitude_derated_h(h_sea_level, altitude)?,
+                sink: atm.ambient,
+                flux_w_m2: 0.0,
+                power_scale: 1.0,
+            })
+        };
+        let mut phases = Vec::new();
+        for seg in 0..SEGMENTS {
+            let a0 = cruise_altitude_m * seg as f64 / SEGMENTS as f64;
+            let a1 = cruise_altitude_m * (seg + 1) as f64 / SEGMENTS as f64;
+            phases.push(MissionPhase::ramp(
+                format!("climb-{seg}"),
+                climb_s / SEGMENTS as f64,
+                state_at(a0)?,
+                state_at(a1)?,
+            ));
+        }
+        phases.push(MissionPhase::constant(
+            "cruise",
+            cruise_s,
+            state_at(cruise_altitude_m)?,
+        ));
+        for seg in 0..SEGMENTS {
+            let a0 = cruise_altitude_m * (SEGMENTS - seg) as f64 / SEGMENTS as f64;
+            let a1 = cruise_altitude_m * (SEGMENTS - seg - 1) as f64 / SEGMENTS as f64;
+            phases.push(MissionPhase::ramp(
+                format!("descent-{seg}"),
+                descent_s / SEGMENTS as f64,
+                state_at(a0)?,
+                state_at(a1)?,
+            ));
+        }
+        Self::new(phases)
+    }
+
+    /// `cycles` sun/eclipse cycles of an [`Orbit`]: vacuum (no
+    /// convection), deep-space radiative sink, and the orbit's absorbed
+    /// flux with short penumbra ramps (1 % of the period) at the
+    /// terminator crossings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero cycles or a degenerate orbit.
+    pub fn orbit_cycle(orbit: &Orbit, cycles: usize) -> Result<Self, MissionError> {
+        if cycles == 0 {
+            return Err(MissionError::invalid("need at least one orbit cycle"));
+        }
+        if orbit.period_s.is_nan()
+            || orbit.period_s <= 0.0
+            || !(0.0..1.0).contains(&orbit.eclipse_fraction)
+        {
+            return Err(MissionError::invalid(
+                "orbit needs a positive period and eclipse fraction in [0, 1)",
+            ));
+        }
+        let vacuum = |flux: f64| BoundaryState {
+            ambient: Celsius::new(DEEP_SPACE_C),
+            h: HeatTransferCoeff::new(0.0),
+            sink: Celsius::new(DEEP_SPACE_C),
+            flux_w_m2: flux,
+            power_scale: 1.0,
+        };
+        let sunlit_flux = orbit.solar_w_m2 + orbit.albedo_w_m2 + orbit.earth_ir_w_m2;
+        let dark_flux = orbit.earth_ir_w_m2;
+        let penumbra = 0.01 * orbit.period_s;
+        let sunlit = (1.0 - orbit.eclipse_fraction) * orbit.period_s - penumbra;
+        let eclipse = orbit.eclipse_fraction * orbit.period_s - penumbra;
+        if sunlit <= 0.0 || eclipse <= 0.0 {
+            return Err(MissionError::invalid(
+                "orbit eclipse fraction leaves no room for penumbra ramps",
+            ));
+        }
+        let mut phases = Vec::new();
+        for cycle in 0..cycles {
+            phases.push(MissionPhase::constant(
+                format!("sunlit-{cycle}"),
+                sunlit,
+                vacuum(sunlit_flux),
+            ));
+            phases.push(MissionPhase::ramp(
+                format!("penumbra-in-{cycle}"),
+                penumbra,
+                vacuum(sunlit_flux),
+                vacuum(dark_flux),
+            ));
+            phases.push(MissionPhase::constant(
+                format!("eclipse-{cycle}"),
+                eclipse,
+                vacuum(dark_flux),
+            ));
+            phases.push(MissionPhase::ramp(
+                format!("penumbra-out-{cycle}"),
+                penumbra,
+                vacuum(dark_flux),
+                vacuum(sunlit_flux),
+            ));
+        }
+        Self::new(phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_exact_at_knots_and_linear_inside() {
+        let a = BoundaryState::sea_level();
+        let mut b = a;
+        b.ambient = Celsius::new(-40.0);
+        b.flux_w_m2 = 800.0;
+        let profile = MissionProfile::new(vec![
+            MissionPhase::ramp("up", 100.0, a, b),
+            MissionPhase::constant("hold", 50.0, b),
+        ])
+        .unwrap();
+        assert_eq!(profile.total_duration(), 150.0);
+        assert_eq!(profile.sample(0.0).ambient, a.ambient);
+        assert_eq!(profile.sample(100.0).ambient, b.ambient);
+        let mid = profile.sample(50.0);
+        assert!((mid.ambient.value() - (15.0 - 40.0) / 2.0).abs() < 1e-12);
+        assert!((mid.flux_w_m2 - 400.0).abs() < 1e-12);
+        // Clamped outside the span.
+        assert_eq!(profile.sample(-5.0).ambient, a.ambient);
+        assert_eq!(profile.sample(1e6).ambient, b.ambient);
+        assert_eq!(profile.phase_name_at(20.0), "up");
+        assert_eq!(profile.phase_name_at(120.0), "hold");
+    }
+
+    #[test]
+    fn climb_cruise_descent_tracks_isa() {
+        let profile = MissionProfile::climb_cruise_descent(
+            10_000.0,
+            (600.0, 1_800.0, 600.0),
+            HeatTransferCoeff::new(40.0),
+        )
+        .unwrap();
+        assert_eq!(profile.total_duration(), 3_000.0);
+        // Start and end at sea level, cruise cold and thin.
+        assert!((profile.sample(0.0).ambient.value() - 15.0).abs() < 1e-9);
+        assert!((profile.sample(3_000.0).ambient.value() - 15.0).abs() < 1e-9);
+        let cruise = profile.sample(1_500.0);
+        assert!(cruise.ambient.value() < -45.0);
+        assert!(cruise.h.value() < 25.0);
+        // Symmetric profile: descent mirrors climb.
+        let up = profile.sample(300.0);
+        let down = profile.sample(2_700.0);
+        assert!((up.ambient.value() - down.ambient.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orbit_cycles_alternate_sun_and_shadow() {
+        let orbit = Orbit::leo_90min();
+        let profile = MissionProfile::orbit_cycle(&orbit, 2).unwrap();
+        assert!((profile.total_duration() - 2.0 * orbit.period_s).abs() < 1e-9);
+        let lit = profile.sample(0.5 * (1.0 - orbit.eclipse_fraction) * orbit.period_s);
+        assert!(lit.flux_w_m2 > 1_500.0);
+        assert_eq!(lit.h.value(), 0.0);
+        let dark = profile.sample(0.99 * orbit.period_s);
+        assert!((dark.flux_w_m2 - orbit.earth_ir_w_m2).abs() < 1e-9);
+        // Fingerprints are stable content hashes.
+        let again = MissionProfile::orbit_cycle(&orbit, 2).unwrap();
+        assert_eq!(profile.fingerprint(), again.fingerprint());
+        let three = MissionProfile::orbit_cycle(&orbit, 3).unwrap();
+        assert_ne!(profile.fingerprint(), three.fingerprint());
+    }
+
+    #[test]
+    fn degenerate_profiles_are_rejected() {
+        assert!(MissionProfile::new(vec![]).is_err());
+        let s = BoundaryState::sea_level();
+        assert!(MissionProfile::new(vec![MissionPhase::constant("z", 0.0, s)]).is_err());
+        let mut bad = s;
+        bad.flux_w_m2 = f64::NAN;
+        assert!(MissionProfile::new(vec![MissionPhase::ramp("n", 1.0, s, bad)]).is_err());
+        assert!(MissionProfile::orbit_cycle(&Orbit::leo_90min(), 0).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Gebhart-factor radiosity exchange between grey diffuse surfaces.
+//!
+//! Given a view-factor matrix `F` and surface emissivities `ε`, the
+//! Gebhart factors `B` solve
+//!
+//! ```text
+//! Bᵢⱼ = εⱼ·Fᵢⱼ + Σₖ (1 − εₖ)·Fᵢₖ·Bₖⱼ   ⇔   (I − F·diag(1−ε))·B = F·diag(ε)
+//! ```
+//!
+//! `Bᵢⱼ` is the fraction of the radiation *emitted* by surface `i` that
+//! is *absorbed* by surface `j`, after any number of reflections. The
+//! net heat lost by surface `i` is then
+//! `Qᵢ = Σⱼ σ·εᵢ·Aᵢ·Bᵢⱼ·(Tᵢ⁴ − Tⱼ⁴)` — a form that conserves energy
+//! pairwise and linearises into symmetric exchange conductances
+//! `Gᵢⱼ = σ·εᵢ·Aᵢ·Bᵢⱼ·(Tᵢ² + Tⱼ²)(Tᵢ + Tⱼ)`, which is how the mission
+//! driver couples radiation into the flow-network and FV solvers each
+//! step.
+
+use aeropack_thermal::{Network, NodeId, STEFAN_BOLTZMANN};
+use aeropack_units::{Celsius, ThermalConductance};
+
+use crate::viewfactor::ViewFactors;
+use crate::MissionError;
+
+/// Offset between the Celsius and Kelvin scales.
+const KELVIN_OFFSET: f64 = 273.15;
+
+/// A solved Gebhart radiosity network over `n` grey diffuse surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiationNetwork {
+    areas: Vec<f64>,
+    emissivities: Vec<f64>,
+    /// Row-major Gebhart factors `B[i·n + j]`.
+    gebhart: Vec<f64>,
+}
+
+impl RadiationNetwork {
+    /// Solves the Gebhart factors for the given geometry and
+    /// emissivities (one per surface, in `(0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a length mismatch, emissivities outside
+    /// `(0, 1]`, or a singular reflection system (only possible for a
+    /// non-physical view-factor matrix).
+    pub fn new(view_factors: &ViewFactors, emissivities: &[f64]) -> Result<Self, MissionError> {
+        let n = view_factors.len();
+        if emissivities.len() != n {
+            return Err(MissionError::invalid(format!(
+                "expected {n} emissivities, got {}",
+                emissivities.len()
+            )));
+        }
+        if emissivities.iter().any(|&e| !(e > 0.0 && e <= 1.0)) {
+            return Err(MissionError::invalid("emissivities must lie in (0, 1]"));
+        }
+        // Assemble M = I − F·diag(1−ε) and R = F·diag(ε), then solve
+        // M·B = R by Gaussian elimination with partial pivoting — the
+        // surface count is tiny (6 for a box enclosure), so a dense
+        // solve is the right tool.
+        let mut m = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let f = view_factors.get(i, j);
+                m[i * n + j] = if i == j { 1.0 } else { 0.0 } - f * (1.0 - emissivities[j]);
+                b[i * n + j] = f * emissivities[j];
+            }
+        }
+        solve_dense(&mut m, &mut b, n)?;
+        Ok(Self {
+            areas: view_factors.areas().to_vec(),
+            emissivities: emissivities.to_vec(),
+            gebhart: b,
+        })
+    }
+
+    /// Number of surfaces.
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Whether the network is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// The Gebhart factor `Bᵢⱼ`: the fraction of energy emitted by `i`
+    /// that is absorbed by `j` after all reflections.
+    pub fn gebhart(&self, i: usize, j: usize) -> f64 {
+        self.gebhart[i * self.areas.len() + j]
+    }
+
+    /// Net radiative heat *lost* by each surface, W, at the given
+    /// surface temperatures. Rows of the Gebhart matrix sum to 1 for a
+    /// closed enclosure, so the returned powers sum to ~0.
+    pub fn heat_flows(&self, temperatures: &[Celsius]) -> Result<Vec<f64>, MissionError> {
+        let n = self.areas.len();
+        if temperatures.len() != n {
+            return Err(MissionError::invalid(format!(
+                "expected {n} surface temperatures, got {}",
+                temperatures.len()
+            )));
+        }
+        let t4: Vec<f64> = temperatures
+            .iter()
+            .map(|t| (t.value() + KELVIN_OFFSET).powi(4))
+            .collect();
+        let mut q = vec![0.0; n];
+        for i in 0..n {
+            let scale = STEFAN_BOLTZMANN * self.emissivities[i] * self.areas[i];
+            for j in 0..n {
+                if i != j {
+                    q[i] += scale * self.gebhart(i, j) * (t4[i] - t4[j]);
+                }
+            }
+        }
+        Ok(q)
+    }
+
+    /// The linearised exchange conductance between surfaces `i` and
+    /// `j`, W/K, about the given temperatures:
+    /// `Gᵢⱼ = σ·εᵢ·Aᵢ·Bᵢⱼ·(Tᵢ² + Tⱼ²)(Tᵢ + Tⱼ)`. Symmetric in `i, j`
+    /// because the Gebhart matrix satisfies `εᵢ·Aᵢ·Bᵢⱼ = εⱼ·Aⱼ·Bⱼᵢ`.
+    pub fn exchange_conductance(&self, i: usize, j: usize, ti: Celsius, tj: Celsius) -> f64 {
+        let tik = ti.value() + KELVIN_OFFSET;
+        let tjk = tj.value() + KELVIN_OFFSET;
+        STEFAN_BOLTZMANN
+            * self.emissivities[i]
+            * self.areas[i]
+            * self.gebhart(i, j)
+            * (tik * tik + tjk * tjk)
+            * (tik + tjk)
+    }
+
+    /// Couples the network into a resistive [`Network`] as linearised
+    /// exchange conductances about the given node temperatures — the
+    /// per-step radiation update of a flow-network mission model.
+    /// `nodes[i]` is the network node standing for surface `i`. The
+    /// caller re-invokes this (on a rebuilt network, or iteratively)
+    /// as temperatures move; see the crate tests for the fixed-point
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a length mismatch or an invalid node.
+    pub fn couple_into_network(
+        &self,
+        network: &mut Network,
+        nodes: &[NodeId],
+        temperatures: &[Celsius],
+    ) -> Result<(), MissionError> {
+        let n = self.areas.len();
+        if nodes.len() != n || temperatures.len() != n {
+            return Err(MissionError::invalid(format!(
+                "expected {n} nodes and temperatures, got {} and {}",
+                nodes.len(),
+                temperatures.len()
+            )));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let g = self.exchange_conductance(i, j, temperatures[i], temperatures[j]);
+                if g > 0.0 {
+                    network
+                        .connect_conductance(nodes[i], nodes[j], ThermalConductance::new(g))
+                        .map_err(MissionError::Thermal)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `M·X = B` in place (X overwrites B) for a dense row-major
+/// `n × n` system by Gaussian elimination with partial pivoting.
+fn solve_dense(m: &mut [f64], b: &mut [f64], n: usize) -> Result<(), MissionError> {
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&r, &s| m[r * n + col].abs().total_cmp(&m[s * n + col].abs()))
+            .expect("non-empty pivot range");
+        if m[pivot * n + col].abs() < 1e-14 {
+            return Err(MissionError::invalid(
+                "singular radiosity reflection system",
+            ));
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+                b.swap(col * n + k, pivot * n + k);
+            }
+        }
+        let inv = 1.0 / m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            for k in 0..n {
+                b[row * n + k] -= factor * b[col * n + k];
+            }
+        }
+    }
+    // Back substitution, all right-hand sides at once.
+    for col in (0..n).rev() {
+        let inv = 1.0 / m[col * n + col];
+        for k in 0..n {
+            let mut sum = b[col * n + k];
+            for j in (col + 1)..n {
+                sum -= m[col * n + j] * b[j * n + k];
+            }
+            b[col * n + k] = sum * inv;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-surface enclosure of equal-area plates that only see each
+    /// other (F₁₂ = F₂₁ = 1).
+    fn facing_plates(area: f64) -> ViewFactors {
+        ViewFactors::from_parts(vec![area, area], vec![0.0, 1.0, 1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn two_surface_exchange_matches_closed_form() {
+        // Parallel-plate formula: Q = σ·A·(T₁⁴ − T₂⁴)/(1/ε₁ + 1/ε₂ − 1).
+        let area = 0.25;
+        let (e1, e2) = (0.8, 0.35);
+        let net = RadiationNetwork::new(&facing_plates(area), &[e1, e2]).unwrap();
+        let (t1, t2) = (Celsius::new(120.0), Celsius::new(-40.0));
+        let q = net.heat_flows(&[t1, t2]).unwrap();
+        let t1k4 = (t1.value() + KELVIN_OFFSET).powi(4);
+        let t2k4 = (t2.value() + KELVIN_OFFSET).powi(4);
+        let exact = STEFAN_BOLTZMANN * area * (t1k4 - t2k4) / (1.0 / e1 + 1.0 / e2 - 1.0);
+        assert!(
+            (q[0] - exact).abs() < 1e-10 * exact,
+            "Gebhart {} vs closed form {exact}",
+            q[0]
+        );
+        // Pairwise conservation: what 1 loses, 2 gains.
+        assert!((q[0] + q[1]).abs() < 1e-10 * exact);
+    }
+
+    #[test]
+    fn gebhart_rows_sum_to_one_in_a_closed_enclosure() {
+        let vf = ViewFactors::box_enclosure(0.4, 0.3, 0.2).unwrap();
+        let eps = [0.9, 0.85, 0.8, 0.75, 0.6, 0.5];
+        let net = RadiationNetwork::new(&vf, &eps).unwrap();
+        for i in 0..6 {
+            let row: f64 = (0..6).map(|j| net.gebhart(i, j)).sum();
+            assert!((row - 1.0).abs() < 1e-9, "row {i} sums to {row}");
+        }
+        // Gebhart reciprocity ε·A·B symmetry.
+        for i in 0..6 {
+            for j in 0..6 {
+                let ij = eps[i] * vf.areas()[i] * net.gebhart(i, j);
+                let ji = eps[j] * vf.areas()[j] * net.gebhart(j, i);
+                assert!((ij - ji).abs() < 1e-12, "({i},{j}): {ij} vs {ji}");
+            }
+        }
+        // Isothermal enclosure exchanges nothing.
+        let q = net.heat_flows(&[Celsius::new(50.0); 6]).unwrap();
+        assert!(q.iter().all(|&qi| qi.abs() < 1e-12));
+    }
+
+    #[test]
+    fn linearised_conductance_is_symmetric_and_tangent() {
+        let net = RadiationNetwork::new(&facing_plates(0.1), &[0.9, 0.7]).unwrap();
+        let (t1, t2) = (Celsius::new(80.0), Celsius::new(20.0));
+        let g12 = net.exchange_conductance(0, 1, t1, t2);
+        let g21 = net.exchange_conductance(1, 0, t2, t1);
+        assert!((g12 - g21).abs() < 1e-12 * g12);
+        // G·(T₁ − T₂) reproduces the exact quartic exchange (the
+        // linearisation is exact at its expansion point because
+        // (T₁²+T₂²)(T₁+T₂)(T₁−T₂) = T₁⁴ − T₂⁴).
+        let q = net.heat_flows(&[t1, t2]).unwrap();
+        let linear = g12 * (t1.value() - t2.value());
+        assert!((linear - q[0]).abs() < 1e-10 * q[0].abs());
+    }
+
+    #[test]
+    fn couples_into_a_resistive_network() {
+        // Two plates, one held hot, one floating with convective loss:
+        // adding the radiation edge must pull the floating plate up.
+        let net = RadiationNetwork::new(&facing_plates(0.2), &[0.9, 0.9]).unwrap();
+        let build = |radiation: Option<&RadiationNetwork>| -> f64 {
+            let mut thermal = Network::new();
+            let hot = thermal.add_fixed("hot-plate", Celsius::new(150.0));
+            let cold = thermal.add_floating("cold-plate");
+            let ambient = thermal.add_fixed("ambient", Celsius::new(20.0));
+            thermal
+                .connect_conductance(cold, ambient, ThermalConductance::new(0.8))
+                .unwrap();
+            if let Some(r) = radiation {
+                // Linearise about the previous iterate; one pass is
+                // enough to see the coupling, the fixed-point loop in
+                // the mission driver refines it.
+                r.couple_into_network(
+                    &mut thermal,
+                    &[hot, cold],
+                    &[Celsius::new(150.0), Celsius::new(25.0)],
+                )
+                .unwrap();
+            }
+            let solution = thermal.solve().unwrap();
+            solution.temperature(cold).unwrap().value()
+        };
+        let without = build(None);
+        let with = build(Some(&net));
+        assert!((without - 20.0).abs() < 1e-9);
+        assert!(
+            with > without + 10.0,
+            "radiation must heat the plate: {with}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Analytic view factors for the rectangular geometries of equipment
+//! bays: directly opposed parallel rectangles, perpendicular rectangles
+//! sharing an edge, and the six-surface interior enclosure of a
+//! rectangular box assembled from the two.
+//!
+//! Both closed forms are the standard results (Incropera & DeWitt,
+//! Table 13.2); the box enclosure built from them satisfies reciprocity
+//! `Aᵢ·Fᵢⱼ = Aⱼ·Fⱼᵢ` exactly (by formula symmetry) and the summation
+//! rule `Σⱼ Fᵢⱼ = 1` to floating-point accuracy, which the radiation
+//! unit tests assert.
+
+use crate::MissionError;
+
+/// View factor between two directly opposed, aligned `a × b` rectangles
+/// separated by a gap `c` — both plate faces of a card cage, or a board
+/// facing its neighbour.
+///
+/// # Panics
+///
+/// Does not panic for positive inputs; non-positive inputs return 0.
+pub fn parallel_rectangles(a: f64, b: f64, c: f64) -> f64 {
+    if a <= 0.0 || b <= 0.0 || c <= 0.0 {
+        return 0.0;
+    }
+    let x = a / c;
+    let y = b / c;
+    let x2 = x * x;
+    let y2 = y * y;
+    let ln_term = (((1.0 + x2) * (1.0 + y2)) / (1.0 + x2 + y2)).sqrt().ln();
+    let sx = (1.0 + y2).sqrt();
+    let sy = (1.0 + x2).sqrt();
+    let sum =
+        ln_term + x * sx * (x / sx).atan() + y * sy * (y / sy).atan() - x * x.atan() - y * y.atan();
+    2.0 / (std::f64::consts::PI * x * y) * sum
+}
+
+/// View factor `F₁→₂` between two perpendicular rectangles sharing an
+/// edge of length `l`: surface 1 extends `w` from the common edge
+/// (area `l·w`), surface 2 extends `h` (area `l·h`) — a board and the
+/// chassis wall it butts against.
+pub fn perpendicular_rectangles(l: f64, w: f64, h: f64) -> f64 {
+    if l <= 0.0 || w <= 0.0 || h <= 0.0 {
+        return 0.0;
+    }
+    let ww = w / l;
+    let hh = h / l;
+    let w2 = ww * ww;
+    let h2 = hh * hh;
+    let s = (h2 + w2).sqrt();
+    let ln_arg = ((1.0 + w2) * (1.0 + h2) / (1.0 + w2 + h2))
+        * ((w2 * (1.0 + w2 + h2)) / ((1.0 + w2) * (w2 + h2))).powf(w2)
+        * ((h2 * (1.0 + h2 + w2)) / ((1.0 + h2) * (h2 + w2))).powf(h2);
+    (ww * (1.0 / ww).atan() + hh * (1.0 / hh).atan() - s * (1.0 / s).atan() + 0.25 * ln_arg.ln())
+        / (std::f64::consts::PI * ww)
+}
+
+/// A dense view-factor matrix over `n` surfaces with their areas — the
+/// geometric input to the [Gebhart radiosity
+/// network](crate::radiosity::RadiationNetwork).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewFactors {
+    areas: Vec<f64>,
+    /// Row-major `n × n` factors, `f[i·n + j] = Fᵢ→ⱼ`.
+    factors: Vec<f64>,
+}
+
+impl ViewFactors {
+    /// Builds a view-factor matrix from explicit areas and row-major
+    /// factors — the escape hatch for geometries without a closed form
+    /// (two-surface idealisations, measured factors).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input, a non-square matrix,
+    /// non-positive areas, negative factors, or a row summing to more
+    /// than 1 (beyond round-off).
+    pub fn from_parts(areas: Vec<f64>, factors: Vec<f64>) -> Result<Self, MissionError> {
+        let n = areas.len();
+        if n == 0 {
+            return Err(MissionError::invalid("view factors need ≥ 1 surface"));
+        }
+        if factors.len() != n * n {
+            return Err(MissionError::invalid(format!(
+                "factor matrix must be {n}×{n}, got {} entries",
+                factors.len()
+            )));
+        }
+        if areas.iter().any(|&a| a.is_nan() || a <= 0.0) {
+            return Err(MissionError::invalid("surface areas must be positive"));
+        }
+        if factors.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+            return Err(MissionError::invalid("view factors must lie in [0, 1]"));
+        }
+        for i in 0..n {
+            let row: f64 = factors[i * n..(i + 1) * n].iter().sum();
+            if row > 1.0 + 1e-9 {
+                return Err(MissionError::invalid(format!(
+                    "row {i} of the view-factor matrix sums to {row} > 1"
+                )));
+            }
+        }
+        Ok(Self { areas, factors })
+    }
+
+    /// The six-surface interior enclosure of an `lx × ly × lz` box,
+    /// surfaces ordered like [`aeropack_thermal::Face::ALL`]
+    /// (XMin, XMax, YMin, YMax, ZMin, ZMax). Opposite faces use the
+    /// parallel-rectangle closed form, adjacent faces the
+    /// perpendicular-rectangle one; the resulting rows sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive box dimensions.
+    pub fn box_enclosure(lx: f64, ly: f64, lz: f64) -> Result<Self, MissionError> {
+        if lx <= 0.0 || ly <= 0.0 || lz <= 0.0 {
+            return Err(MissionError::invalid("box dimensions must be positive"));
+        }
+        let l = [lx, ly, lz];
+        // Face i has normal axis i/2 and spans the other two axes.
+        let normal = [0usize, 0, 1, 1, 2, 2];
+        let span = |axis: usize| -> (usize, usize) {
+            match axis {
+                0 => (1, 2),
+                1 => (0, 2),
+                _ => (0, 1),
+            }
+        };
+        let mut areas = [0.0; 6];
+        for (i, area) in areas.iter_mut().enumerate() {
+            let (u, v) = span(normal[i]);
+            *area = l[u] * l[v];
+        }
+        let mut f = vec![0.0; 36];
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let (a1, a2) = (normal[i], normal[j]);
+                f[i * 6 + j] = if a1 == a2 {
+                    // Opposite faces: parallel rectangles spanning the
+                    // other two axes, separated by the box length along
+                    // the shared normal.
+                    let (u, v) = span(a1);
+                    parallel_rectangles(l[u], l[v], l[a1])
+                } else {
+                    // Adjacent faces share the edge along the third
+                    // axis; face i extends l[a2] from it, face j
+                    // extends l[a1].
+                    let a3 = 3 - a1 - a2;
+                    perpendicular_rectangles(l[a3], l[a2], l[a1])
+                };
+            }
+        }
+        Ok(Self {
+            areas: areas.to_vec(),
+            factors: f,
+        })
+    }
+
+    /// Number of surfaces.
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Whether the matrix is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// Surface areas, m².
+    pub fn areas(&self) -> &[f64] {
+        &self.areas
+    }
+
+    /// The factor `Fᵢ→ⱼ`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.factors[i * self.areas.len() + j]
+    }
+
+    /// Sum of row `i` — 1 for a closed enclosure.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        let n = self.areas.len();
+        self.factors[i * n..(i + 1) * n].iter().sum()
+    }
+
+    /// The largest deviation of any row sum from 1 — how far this
+    /// matrix is from a closed enclosure.
+    pub fn closure_error(&self) -> f64 {
+        (0..self.areas.len())
+            .map(|i| (self.row_sum(i) - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest relative reciprocity defect
+    /// `|Aᵢ·Fᵢⱼ − Aⱼ·Fⱼᵢ| / max(Aᵢ·Fᵢⱼ, Aⱼ·Fⱼᵢ)` over all pairs with
+    /// non-zero exchange.
+    pub fn reciprocity_error(&self) -> f64 {
+        let n = self.areas.len();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ij = self.areas[i] * self.get(i, j);
+                let ji = self.areas[j] * self.get(j, i);
+                let scale = ij.max(ji);
+                if scale > 0.0 {
+                    worst = worst.max((ij - ji).abs() / scale);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_square_plates_match_tabulated_value() {
+        // Unit squares at unit distance: F ≈ 0.199825 (standard chart
+        // value X = Y = 1).
+        let f = parallel_rectangles(1.0, 1.0, 1.0);
+        assert!((f - 0.19982).abs() < 1e-4, "got {f}");
+        // Plates far apart see almost nothing of each other; plates
+        // nearly touching see almost only each other.
+        assert!(parallel_rectangles(1.0, 1.0, 100.0) < 1e-3);
+        assert!(parallel_rectangles(1.0, 1.0, 1e-3) > 0.99);
+    }
+
+    #[test]
+    fn perpendicular_square_plates_match_tabulated_value() {
+        // Two unit squares at right angles sharing an edge: F ≈ 0.20004.
+        let f = perpendicular_rectangles(1.0, 1.0, 1.0);
+        assert!((f - 0.20004).abs() < 1e-4, "got {f}");
+    }
+
+    #[test]
+    fn perpendicular_reciprocity_holds_for_unequal_plates() {
+        // A1·F12 = A2·F21 with A1 = l·w, A2 = l·h.
+        let (l, w, h) = (2.0, 0.7, 1.3);
+        let f12 = perpendicular_rectangles(l, w, h);
+        let f21 = perpendicular_rectangles(l, h, w);
+        let lhs = l * w * f12;
+        let rhs = l * h * f21;
+        assert!((lhs - rhs).abs() < 1e-12 * lhs.max(rhs), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn cube_enclosure_rows_sum_to_one() {
+        let vf = ViewFactors::box_enclosure(1.0, 1.0, 1.0).unwrap();
+        assert!(vf.closure_error() < 1e-10, "closure {}", vf.closure_error());
+        assert!(vf.reciprocity_error() < 1e-12);
+        // Cube symmetry: opposite face ≈ 0.19982, each adjacent ≈ 0.20004.
+        assert!((vf.get(0, 1) - 0.19982).abs() < 1e-4);
+        assert!((vf.get(0, 2) - 0.20004).abs() < 1e-4);
+    }
+
+    #[test]
+    fn elongated_box_enclosure_still_closes() {
+        let vf = ViewFactors::box_enclosure(0.3, 0.2, 0.05).unwrap();
+        assert!(vf.closure_error() < 1e-10, "closure {}", vf.closure_error());
+        assert!(vf.reciprocity_error() < 1e-12);
+        // The two large faces (ZMin/ZMax) of a flat box mostly see each
+        // other.
+        assert!(vf.get(4, 5) > 0.5);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(ViewFactors::from_parts(vec![], vec![]).is_err());
+        assert!(ViewFactors::from_parts(vec![1.0], vec![0.5, 0.5]).is_err());
+        assert!(ViewFactors::from_parts(vec![1.0, -1.0], vec![0.0; 4]).is_err());
+        assert!(ViewFactors::from_parts(vec![1.0, 1.0], vec![0.0, 0.9, 0.9, 0.0]).is_ok());
+        assert!(ViewFactors::from_parts(vec![1.0, 1.0], vec![0.4, 0.9, 0.9, 0.0]).is_err());
+    }
+}

@@ -2,18 +2,22 @@
 //!
 //! Starts a [`Service`] behind the TCP transport, drives a 50-request
 //! mixed workload (SEB, FV, board, FEM — with repeats, so the result
-//! cache is exercised) through a [`SocketClient`], then provokes a
+//! cache is exercised) through a [`SocketClient`], provokes a
 //! deterministic coalesced batch on a single-worker in-process
-//! service. Exits non-zero if any request fails or any service
-//! feature (cache, coalescing) stayed cold. Honours `AEROPACK_OBS=1`
+//! service, then flies a short 3-phase climb–cruise–descent mission
+//! transient through the socket path. Exits non-zero if any request
+//! fails or any service feature (cache, coalescing, adaptive mission
+//! stepping with factor reuse) stayed cold. Honours `AEROPACK_OBS=1`
 //! and `AEROPACK_OBS_REPORT` so `scripts/ci.sh` can gate the
-//! `serve.*` counters with `obs_check`.
+//! `serve.*`, `mission.*` and `solver.transient.*` counters with
+//! `obs_check`.
 
 use std::sync::Arc;
 
 use aeropack_serve::{
-    serve, AnalysisRequest, BoardSpec, CoolingModeSpec, FemPlateSpec, MaterialKind, PlateSpec,
-    SeatKind, SebSpec, ServeConfig, Service, SocketClient,
+    serve, AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, FemPlateSpec,
+    MaterialKind, MissionSpec, PlateSpec, SchemeKind, SeatKind, SebSpec, ServeConfig, Service,
+    SocketClient, TransientSpec,
 };
 
 fn seb_spec() -> SebSpec {
@@ -158,6 +162,58 @@ fn main() {
         "coalescing leg produced no multi-RHS batch: {cstats:?}"
     );
     single.shutdown();
+
+    // --- Mission leg: a short 3-phase flight through the daemon path.
+    // A small plate climbs to 6 km, cruises and descends inside a few
+    // hundred simulated seconds; the adaptive driver must accept steps
+    // and reuse its cached preconditioner factors, and the run must
+    // populate the `mission.*` / `solver.transient.*` counters the CI
+    // obs gate checks.
+    let mission_service = Arc::new(Service::start(ServeConfig::new().workers(1)));
+    let mut mission_daemon =
+        serve(Arc::clone(&mission_service), "127.0.0.1:0").expect("mission daemon start");
+    let mut mission_client =
+        SocketClient::connect(mission_daemon.addr()).expect("mission client connect");
+    let transient = AnalysisRequest::Transient {
+        spec: TransientSpec {
+            plate: PlateSpec {
+                nx: 8,
+                ny: 5,
+                ..plate_spec()
+            },
+            mission: MissionSpec::ClimbCruiseDescent {
+                cruise_altitude_m: 6_000.0,
+                climb_s: 60.0,
+                cruise_s: 240.0,
+                descent_s: 60.0,
+            },
+            scheme: SchemeKind::Trapezoidal,
+            fixed_dt_s: None,
+            initial_c: 15.0,
+        },
+    };
+    let response = mission_client.call(transient).expect("mission transient");
+    match response {
+        AnalysisResponse::Transient {
+            steps,
+            factor_reuses,
+            final_mean_c,
+            ..
+        } => {
+            println!(
+                "serve_smoke: mission leg — {steps} adaptive steps, \
+                 {factor_reuses} factor reuses, final mean {final_mean_c:.2} °C"
+            );
+            assert!(steps > 0, "mission leg must accept steps");
+            assert!(
+                factor_reuses > 0,
+                "mission leg must reuse preconditioner factors"
+            );
+        }
+        other => panic!("mission leg returned the wrong response kind: {other:?}"),
+    }
+    mission_daemon.shutdown();
+    mission_service.shutdown();
 
     match aeropack_obs::write_env_report() {
         Ok(Some(path)) => println!("obs run report written to {}", path.display()),

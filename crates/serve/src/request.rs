@@ -337,6 +337,154 @@ impl FemPlateSpec {
     }
 }
 
+/// The time-integration scheme of a transient request — the wire-safe
+/// mirror of `aeropack_mission::Scheme`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// First-order backward Euler.
+    BackwardEuler,
+    /// Second-order trapezoidal rule.
+    Trapezoidal,
+}
+
+impl SchemeKind {
+    /// Stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::BackwardEuler => "backward_euler",
+            Self::Trapezoidal => "trapezoidal",
+        }
+    }
+
+    pub(crate) fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "backward_euler" => Some(Self::BackwardEuler),
+            "trapezoidal" => Some(Self::Trapezoidal),
+            _ => None,
+        }
+    }
+
+    /// The mission-crate scheme this tag denotes.
+    pub fn scheme(self) -> aeropack_mission::Scheme {
+        match self {
+            Self::BackwardEuler => aeropack_mission::Scheme::BackwardEuler,
+            Self::Trapezoidal => aeropack_mission::Scheme::Trapezoidal,
+        }
+    }
+}
+
+/// Which mission profile a transient request flies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MissionSpec {
+    /// An ISA climb–cruise–descent flight: the plate convects from its
+    /// top face with the altitude-derated film coefficient
+    /// (`PlateSpec::h_w_m2k` at sea level) into the ISA ambient.
+    ClimbCruiseDescent {
+        /// Cruise altitude, m.
+        cruise_altitude_m: f64,
+        /// Climb duration, s.
+        climb_s: f64,
+        /// Cruise duration, s.
+        cruise_s: f64,
+        /// Descent duration, s.
+        descent_s: f64,
+    },
+    /// Repeated 90-minute LEO sun/eclipse cycles: the plate's top face
+    /// radiates to deep space and absorbs the orbit's solar/albedo/IR
+    /// flux.
+    OrbitCycle {
+        /// Number of orbits.
+        cycles: usize,
+        /// Radiator emissivity `ε ∈ (0, 1]`.
+        emissivity: f64,
+        /// Radiator absorptivity `α ∈ [0, 1]`.
+        absorptivity: f64,
+    },
+}
+
+impl MissionSpec {
+    /// Stable wire tag of the mission kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::ClimbCruiseDescent { .. } => "climb_cruise_descent",
+            Self::OrbitCycle { .. } => "orbit_cycle",
+        }
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        match *self {
+            Self::ClimbCruiseDescent {
+                cruise_altitude_m,
+                climb_s,
+                cruise_s,
+                descent_s,
+            } => {
+                fp.write_u8(0);
+                fp.write_f64(cruise_altitude_m);
+                fp.write_f64(climb_s);
+                fp.write_f64(cruise_s);
+                fp.write_f64(descent_s);
+            }
+            Self::OrbitCycle {
+                cycles,
+                emissivity,
+                absorptivity,
+            } => {
+                fp.write_u8(1);
+                fp.write_usize(cycles);
+                fp.write_f64(emissivity);
+                fp.write_f64(absorptivity);
+            }
+        }
+    }
+}
+
+/// A mission-profile transient of a dissipating plate: the plate model
+/// of [`PlateSpec`] flown through a [`MissionSpec`] by the
+/// `aeropack-mission` adaptive driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSpec {
+    /// The plate model (geometry, material, dissipation; `h_w_m2k` is
+    /// the sea-level film coefficient for flight missions and unused
+    /// for orbit missions).
+    pub plate: PlateSpec,
+    /// The mission flown.
+    pub mission: MissionSpec,
+    /// The time-integration scheme.
+    pub scheme: SchemeKind,
+    /// Fixed step length, s; `None` = adaptive stepping at the driver's
+    /// default tolerances.
+    pub fixed_dt_s: Option<f64>,
+    /// Uniform initial temperature, °C.
+    pub initial_c: f64,
+}
+
+impl TransientSpec {
+    /// Model-level fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.transient");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        self.plate.hash_into(&mut *fp);
+        self.mission.hash_into(&mut *fp);
+        fp.write_u8(match self.scheme {
+            SchemeKind::BackwardEuler => 0,
+            SchemeKind::Trapezoidal => 1,
+        });
+        match self.fixed_dt_s {
+            Some(dt) => {
+                fp.write_bool(true);
+                fp.write_f64(dt);
+            }
+            None => fp.write_bool(false),
+        }
+        fp.write_f64(self.initial_c);
+    }
+}
+
 /// One analysis the service can run — the single typed entry point for
 /// every workload in the workspace.
 #[derive(Debug, Clone, PartialEq)]
@@ -395,6 +543,12 @@ pub enum AnalysisRequest {
         /// Number of modes to extract.
         n_modes: usize,
     },
+    /// A mission-profile transient through the `aeropack-mission`
+    /// adaptive driver.
+    Transient {
+        /// Plate + mission + integration settings.
+        spec: TransientSpec,
+    },
     /// Harmonic base-excitation transmissibility sweep at the plate
     /// centre.
     FemHarmonic {
@@ -422,6 +576,7 @@ impl AnalysisRequest {
             Self::BoardSteady { .. } => "board_steady",
             Self::FemStatic { .. } => "fem_static",
             Self::FemModal { .. } => "fem_modal",
+            Self::Transient { .. } => "transient",
             Self::FemHarmonic { .. } => "fem_harmonic",
         }
     }
@@ -462,6 +617,7 @@ impl AnalysisRequest {
                 spec.hash_into(&mut fp);
                 fp.write_usize(*n_modes);
             }
+            Self::Transient { spec } => spec.hash_into(&mut fp),
             Self::FemHarmonic {
                 spec,
                 damping,
@@ -539,6 +695,25 @@ pub enum AnalysisResponse {
         /// Number of cells solved.
         cells: usize,
     },
+    /// Result of [`AnalysisRequest::Transient`]: the mission's end
+    /// state and trajectory evidence.
+    Transient {
+        /// Minimum cell temperature at end of mission, °C.
+        final_min_c: f64,
+        /// Maximum cell temperature at end of mission, °C.
+        final_max_c: f64,
+        /// Mean temperature at end of mission, °C.
+        final_mean_c: f64,
+        /// Accepted steps.
+        steps: usize,
+        /// Rejected attempts.
+        rejected: usize,
+        /// Solves that reused cached preconditioner factors.
+        factor_reuses: usize,
+        /// Bit-exact trajectory fingerprint (step sequence + final
+        /// field).
+        trajectory_hash: u64,
+    },
     /// Result of [`AnalysisRequest::FemStatic`].
     Static {
         /// Peak transverse deflection magnitude, m.
@@ -568,6 +743,7 @@ impl AnalysisResponse {
             Self::OperatingPoint { .. } => "operating_point",
             Self::PowerSweep { .. } => "power_sweep",
             Self::Field { .. } => "field",
+            Self::Transient { .. } => "transient",
             Self::Static { .. } => "static",
             Self::Modal { .. } => "modal",
             Self::Harmonic { .. } => "harmonic",

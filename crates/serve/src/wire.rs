@@ -25,7 +25,7 @@ use crate::error::Error;
 use crate::queue::Priority;
 use crate::request::{
     AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, FemPlateSpec, MaterialKind,
-    PlateSpec, SeatKind, SebSpec,
+    MissionSpec, PlateSpec, SchemeKind, SeatKind, SebSpec, TransientSpec,
 };
 
 /// A request envelope as it travels on the wire.
@@ -148,6 +148,50 @@ fn fem_spec_json(s: &FemPlateSpec) -> String {
     )
 }
 
+fn mission_spec_json(m: &MissionSpec) -> String {
+    match *m {
+        MissionSpec::ClimbCruiseDescent {
+            cruise_altitude_m,
+            climb_s,
+            cruise_s,
+            descent_s,
+        } => format!(
+            "{{\"kind\":\"{}\",\"cruise_altitude_m\":{},\"climb_s\":{},\"cruise_s\":{},\
+             \"descent_s\":{}}}",
+            m.tag(),
+            num(cruise_altitude_m),
+            num(climb_s),
+            num(cruise_s),
+            num(descent_s)
+        ),
+        MissionSpec::OrbitCycle {
+            cycles,
+            emissivity,
+            absorptivity,
+        } => format!(
+            "{{\"kind\":\"{}\",\"cycles\":{cycles},\"emissivity\":{},\"absorptivity\":{}}}",
+            m.tag(),
+            num(emissivity),
+            num(absorptivity)
+        ),
+    }
+}
+
+fn transient_spec_json(s: &TransientSpec) -> String {
+    let dt = match s.fixed_dt_s {
+        Some(dt) => num(dt),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"plate\":{},\"mission\":{},\"scheme\":\"{}\",\"fixed_dt_s\":{dt},\
+         \"initial_c\":{}}}",
+        plate_spec_json(&s.plate),
+        mission_spec_json(&s.mission),
+        s.scheme.tag(),
+        num(s.initial_c)
+    )
+}
+
 /// Encodes the body of a request (the `"request"` object).
 pub fn encode_request(request: &AnalysisRequest) -> String {
     let tag = request.tag();
@@ -181,6 +225,10 @@ pub fn encode_request(request: &AnalysisRequest) -> String {
             "{{\"type\":\"{tag}\",\"spec\":{},\"load_n\":{}}}",
             fem_spec_json(spec),
             num(*load_n)
+        ),
+        AnalysisRequest::Transient { spec } => format!(
+            "{{\"type\":\"{tag}\",\"spec\":{}}}",
+            transient_spec_json(spec)
         ),
         AnalysisRequest::FemModal { spec, n_modes } => format!(
             "{{\"type\":\"{tag}\",\"spec\":{},\"n_modes\":{n_modes}}}",
@@ -248,6 +296,22 @@ pub fn encode_response(response: &AnalysisResponse) -> String {
             num(*min_c),
             num(*max_c),
             num(*mean_c)
+        ),
+        AnalysisResponse::Transient {
+            final_min_c,
+            final_max_c,
+            final_mean_c,
+            steps,
+            rejected,
+            factor_reuses,
+            trajectory_hash,
+        } => format!(
+            "{{\"type\":\"{tag}\",\"final_min_c\":{},\"final_max_c\":{},\
+             \"final_mean_c\":{},\"steps\":{steps},\"rejected\":{rejected},\
+             \"factor_reuses\":{factor_reuses},\"trajectory_hash\":\"{trajectory_hash:016x}\"}}",
+            num(*final_min_c),
+            num(*final_max_c),
+            num(*final_mean_c)
         ),
         AnalysisResponse::Static { max_deflection_m } => format!(
             "{{\"type\":\"{tag}\",\"max_deflection_m\":{}}}",
@@ -422,6 +486,38 @@ fn decode_fem_spec(v: &JsonValue) -> Result<FemPlateSpec, Error> {
     })
 }
 
+fn decode_mission_spec(v: &JsonValue) -> Result<MissionSpec, Error> {
+    match str_field(v, "kind")? {
+        "climb_cruise_descent" => Ok(MissionSpec::ClimbCruiseDescent {
+            cruise_altitude_m: f64_field(v, "cruise_altitude_m")?,
+            climb_s: f64_field(v, "climb_s")?,
+            cruise_s: f64_field(v, "cruise_s")?,
+            descent_s: f64_field(v, "descent_s")?,
+        }),
+        "orbit_cycle" => Ok(MissionSpec::OrbitCycle {
+            cycles: usize_field(v, "cycles")?,
+            emissivity: f64_field(v, "emissivity")?,
+            absorptivity: f64_field(v, "absorptivity")?,
+        }),
+        other => Err(wire_err(format!("unknown mission kind `{other}`"))),
+    }
+}
+
+fn decode_transient_spec(v: &JsonValue) -> Result<TransientSpec, Error> {
+    let fixed_dt_s = match v.get("fixed_dt_s") {
+        None | Some(JsonValue::Null) => None,
+        Some(_) => Some(f64_field(v, "fixed_dt_s")?),
+    };
+    Ok(TransientSpec {
+        plate: decode_plate_spec(field(v, "plate")?)?,
+        mission: decode_mission_spec(field(v, "mission")?)?,
+        scheme: SchemeKind::from_tag(str_field(v, "scheme")?)
+            .ok_or_else(|| wire_err("unknown scheme tag"))?,
+        fixed_dt_s,
+        initial_c: f64_field(v, "initial_c")?,
+    })
+}
+
 /// Decodes a request body (the `"request"` object).
 pub fn decode_request(v: &JsonValue) -> Result<AnalysisRequest, Error> {
     let spec = field(v, "spec")?;
@@ -445,6 +541,9 @@ pub fn decode_request(v: &JsonValue) -> Result<AnalysisRequest, Error> {
         "board_steady" => Ok(AnalysisRequest::BoardSteady {
             spec: decode_board_spec(spec)?,
             scale: f64_field(v, "scale")?,
+        }),
+        "transient" => Ok(AnalysisRequest::Transient {
+            spec: decode_transient_spec(spec)?,
         }),
         "fem_static" => Ok(AnalysisRequest::FemStatic {
             spec: decode_fem_spec(spec)?,
@@ -497,6 +596,20 @@ pub fn decode_response(v: &JsonValue) -> Result<AnalysisResponse, Error> {
             mean_c: f64_field(v, "mean_c")?,
             cells: usize_field(v, "cells")?,
         }),
+        "transient" => {
+            let hash_hex = str_field(v, "trajectory_hash")?;
+            let trajectory_hash = u64::from_str_radix(hash_hex, 16)
+                .map_err(|_| wire_err("bad trajectory_hash hex"))?;
+            Ok(AnalysisResponse::Transient {
+                final_min_c: f64_field(v, "final_min_c")?,
+                final_max_c: f64_field(v, "final_max_c")?,
+                final_mean_c: f64_field(v, "final_mean_c")?,
+                steps: usize_field(v, "steps")?,
+                rejected: usize_field(v, "rejected")?,
+                factor_reuses: usize_field(v, "factor_reuses")?,
+                trajectory_hash,
+            })
+        }
         "static" => Ok(AnalysisResponse::Static {
             max_deflection_m: f64_field(v, "max_deflection_m")?,
         }),

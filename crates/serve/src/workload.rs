@@ -24,7 +24,8 @@ use aeropack_units::{Celsius, Frequency, HeatTransferCoeff, Length, Power, TempD
 
 use crate::error::Error;
 use crate::request::{
-    AnalysisRequest, AnalysisResponse, BoardSpec, FemPlateSpec, PlateSpec, SeatKind, SebSpec,
+    AnalysisRequest, AnalysisResponse, BoardSpec, FemPlateSpec, MissionSpec, PlateSpec, SeatKind,
+    SebSpec, TransientSpec,
 };
 
 /// How many built models a [`Workspace`] keeps warm before it clears
@@ -421,6 +422,7 @@ pub(crate) fn run_request(
             let field = model.fv_model().solve_steady_scaled(*scale)?;
             field_response(&field)
         }
+        AnalysisRequest::Transient { spec } => run_transient(spec, ws),
         AnalysisRequest::FemStatic { spec, load_n } => {
             let mesh = build_fem_mesh(spec)?;
             let center = mesh.center_node();
@@ -472,6 +474,70 @@ pub(crate) fn run_request(
             })
         }
     }
+}
+
+/// Runs a mission-profile transient: the plate model is fetched warm
+/// from the workspace (sharing its symbolic pattern), flown through
+/// the spec's mission by the `aeropack-mission` adaptive driver, and
+/// summarised with its bit-exact trajectory fingerprint.
+fn run_transient(spec: &TransientSpec, ws: &mut Workspace) -> Result<AnalysisResponse, Error> {
+    use aeropack_mission::{
+        AdaptiveConfig, MissionConfig, MissionDriver, MissionProfile, Orbit, RadiatingFace,
+        StepControl,
+    };
+    let mission_err = |e: aeropack_mission::MissionError| Error::invalid(e.to_string());
+
+    let (profile, config) = match spec.mission {
+        MissionSpec::ClimbCruiseDescent {
+            cruise_altitude_m,
+            climb_s,
+            cruise_s,
+            descent_s,
+        } => {
+            let profile = MissionProfile::climb_cruise_descent(
+                cruise_altitude_m,
+                (climb_s, cruise_s, descent_s),
+                HeatTransferCoeff::new(spec.plate.h_w_m2k),
+            )
+            .map_err(mission_err)?;
+            let config = MissionConfig::new(spec.scheme.scheme()).convective_face(Face::ZMax);
+            (profile, config)
+        }
+        MissionSpec::OrbitCycle {
+            cycles,
+            emissivity,
+            absorptivity,
+        } => {
+            let profile =
+                MissionProfile::orbit_cycle(&Orbit::leo_90min(), cycles).map_err(mission_err)?;
+            let config = MissionConfig::new(spec.scheme.scheme()).radiating_face(RadiatingFace {
+                face: Face::ZMax,
+                emissivity,
+                absorptivity,
+            });
+            (profile, config)
+        }
+    };
+    let config = config.control(match spec.fixed_dt_s {
+        Some(dt) => StepControl::Fixed { dt },
+        None => StepControl::Adaptive(AdaptiveConfig::default()),
+    });
+
+    let model = ws.fv_model(&spec.plate)?.clone();
+    let mut driver = MissionDriver::new(model, profile, config, Celsius::new(spec.initial_c))
+        .map_err(mission_err)?;
+    driver.run_to_end().map_err(mission_err)?;
+    let field = driver.field().map_err(mission_err)?;
+    let stats = *driver.stats();
+    Ok(AnalysisResponse::Transient {
+        final_min_c: field.min_temperature().value(),
+        final_max_c: field.max_temperature().value(),
+        final_mean_c: field.mean_temperature().value(),
+        steps: stats.accepted,
+        rejected: stats.rejected,
+        factor_reuses: stats.factor_reuses,
+        trajectory_hash: driver.trajectory_fingerprint(),
+    })
 }
 
 /// Runs a coalesced batch: every request shares one

@@ -8,7 +8,8 @@ use aeropack_serve::wire::{
 };
 use aeropack_serve::{
     serve, AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, Error, FemPlateSpec,
-    MaterialKind, PlateSpec, Priority, SeatKind, SebSpec, ServeConfig, Service, SocketClient,
+    MaterialKind, MissionSpec, PlateSpec, Priority, SchemeKind, SeatKind, SebSpec, ServeConfig,
+    Service, SocketClient, TransientSpec,
 };
 
 fn seb_spec() -> SebSpec {
@@ -88,6 +89,33 @@ fn all_requests() -> Vec<AnalysisRequest> {
             spec: fem_spec(),
             load_n: -9.81,
         },
+        AnalysisRequest::Transient {
+            spec: TransientSpec {
+                plate: plate_spec(),
+                mission: MissionSpec::ClimbCruiseDescent {
+                    cruise_altitude_m: 10_500.0,
+                    climb_s: 900.0,
+                    cruise_s: 5_400.0,
+                    descent_s: 1_200.0,
+                },
+                scheme: SchemeKind::Trapezoidal,
+                fixed_dt_s: None,
+                initial_c: 15.0,
+            },
+        },
+        AnalysisRequest::Transient {
+            spec: TransientSpec {
+                plate: plate_spec(),
+                mission: MissionSpec::OrbitCycle {
+                    cycles: 3,
+                    emissivity: 0.85,
+                    absorptivity: 0.3125,
+                },
+                scheme: SchemeKind::BackwardEuler,
+                fixed_dt_s: Some(2.5),
+                initial_c: 20.0,
+            },
+        },
         AnalysisRequest::FemModal {
             spec: fem_spec(),
             n_modes: 6,
@@ -120,6 +148,15 @@ fn all_responses() -> Vec<AnalysisResponse> {
             max_c: 71.125,
             mean_c: 55.0625,
             cells: 160,
+        },
+        AnalysisResponse::Transient {
+            final_min_c: -12.5,
+            final_max_c: 61.0625,
+            final_mean_c: 23.75,
+            steps: 10_432,
+            rejected: 17,
+            factor_reuses: 10_200,
+            trajectory_hash: 0xdead_beef_0123_4567,
         },
         AnalysisResponse::Static {
             max_deflection_m: 1.25e-4,

@@ -225,6 +225,19 @@ pub struct FvModel {
     cache_hits: AtomicUsize,
     cache_misses: AtomicUsize,
     workspace: Mutex<PcgWorkspace>,
+    /// Cached stepper for the deprecated [`FvModel::step_transient`]
+    /// shim, keyed on the model fingerprint and step length so repeated
+    /// calls forward through one stepper instead of re-assembling the
+    /// system every step.
+    transient_cache: Mutex<Option<CachedTransient>>,
+}
+
+/// The keyed stepper behind the deprecated per-call transient path.
+#[derive(Debug)]
+struct CachedTransient {
+    model_fingerprint: u64,
+    dt_bits: u64,
+    stepper: TransientStepper,
 }
 
 impl Clone for FvModel {
@@ -245,6 +258,7 @@ impl Clone for FvModel {
             cache_hits: AtomicUsize::new(0),
             cache_misses: AtomicUsize::new(0),
             workspace: Mutex::new(PcgWorkspace::new()),
+            transient_cache: Mutex::new(None),
         }
     }
 }
@@ -267,6 +281,7 @@ impl FvModel {
             cache_hits: AtomicUsize::new(0),
             cache_misses: AtomicUsize::new(0),
             workspace: Mutex::new(PcgWorkspace::new()),
+            transient_cache: Mutex::new(None),
         }
     }
 
@@ -803,12 +818,69 @@ impl FvModel {
         fp.finish()
     }
 
+    /// Assembles the steady conduction operator `A` (interior
+    /// conductances plus boundary-condition diagonal additions, no
+    /// capacity term) and its load vector `b`, so that the steady
+    /// problem reads `A·T = b` and the semi-discrete transient problem
+    /// reads `C·dT/dt = b − A·T` with `C` from [`FvModel::capacities`].
+    ///
+    /// This is the entry point custom time integrators (the
+    /// `aeropack-mission` adaptive driver) build on: the symbolic CSR
+    /// structure comes from the same cached pattern as the steady and
+    /// stepper paths, so repeated assemblies after boundary-condition
+    /// updates refill values only.
+    pub fn assemble_operator(&self) -> (CsrMatrix, Vec<f64>) {
+        let asm = self.assemble();
+        let a = self.csr(&asm, None);
+        (a, asm.rhs)
+    }
+
+    /// Per-cell integrated heat sources, W — the source layout that
+    /// [`FvModel::scale_sources`] rescales. Transient drivers snapshot
+    /// this once and compose time-varying right-hand sides themselves.
+    pub fn sources(&self) -> &[f64] {
+        &self.source
+    }
+
+    /// Per-cell heat capacities `ρ·cₚ·V` in J/K — the diagonal capacity
+    /// matrix `C` of the semi-discrete transient problem.
+    pub fn capacities(&self) -> Vec<f64> {
+        let vol = self.grid.cell_volume();
+        self.rho_cp.iter().map(|&rc| rc * vol).collect()
+    }
+
+    /// Wraps raw per-cell temperatures (grid order, x fastest, °C) into
+    /// a field on this model's grid — the inverse of
+    /// [`FvField::temperatures`], used to restore checkpointed states.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the length does not match the grid.
+    pub fn field_from_temperatures(&self, temperatures: Vec<f64>) -> Result<FvField, ThermalError> {
+        if temperatures.len() != self.grid.cell_count() {
+            return Err(ThermalError::invalid("field does not match this grid"));
+        }
+        Ok(FvField {
+            grid: self.grid,
+            temperatures,
+        })
+    }
+
     /// Advances a transient solution by one implicit-Euler step of
     /// length `dt_seconds` from the state `field`.
     ///
-    /// This re-assembles the system matrix on every call; prefer
-    /// [`FvModel::transient_stepper`], which assembles once and reuses
-    /// the matrix across steps.
+    /// The first call (for a given model state and step length)
+    /// constructs a [`TransientStepper`] and caches it on the model;
+    /// every later call forwards through that cached stepper exactly
+    /// once, so the system matrix is **not** re-assembled per step and
+    /// the stepper's warm solver workspace is reused. The cache is
+    /// keyed on the model's content [`FvModel::fingerprint`] and the
+    /// step length, so mutating the model (power, BCs, materials) or
+    /// changing `dt_seconds` rebuilds transparently. Results are
+    /// bitwise identical to driving a [`TransientStepper`] directly.
+    ///
+    /// Prefer [`FvModel::transient_stepper`], which skips the per-call
+    /// fingerprint and lock traffic.
     ///
     /// # Errors
     ///
@@ -823,10 +895,39 @@ impl FvModel {
         field: &FvField,
         dt_seconds: f64,
     ) -> Result<FvField, ThermalError> {
-        let mut stepper = self.transient_stepper(field.clone(), dt_seconds)?;
+        if dt_seconds <= 0.0 {
+            return Err(ThermalError::invalid("time step must be positive"));
+        }
+        if field.temperatures.len() != self.grid.cell_count() {
+            return Err(ThermalError::invalid("field does not match this grid"));
+        }
+        let model_fingerprint = self.fingerprint();
+        let dt_bits = dt_seconds.to_bits();
+        let mut cached = self
+            .transient_cache
+            .lock()
+            .expect("transient cache lock poisoned");
+        let hit = cached
+            .as_ref()
+            .is_some_and(|c| c.model_fingerprint == model_fingerprint && c.dt_bits == dt_bits);
+        if hit {
+            aeropack_obs::counter!("thermal.fv.transient_cache.hits");
+        } else {
+            aeropack_obs::counter!("thermal.fv.transient_cache.misses");
+            *cached = Some(CachedTransient {
+                model_fingerprint,
+                dt_bits,
+                stepper: self.transient_stepper(field.clone(), dt_seconds)?,
+            });
+        }
+        let stepper = &mut cached.as_mut().expect("cache populated above").stepper;
+        stepper
+            .field
+            .temperatures
+            .copy_from_slice(&field.temperatures);
         stepper.step()?;
         *self.stats.lock().expect("stats lock poisoned") = stepper.last_solve_stats();
-        Ok(stepper.into_field())
+        Ok(stepper.field.clone())
     }
 
     /// Creates an implicit-Euler transient stepper starting from
@@ -1022,6 +1123,8 @@ impl TransientStepper {
             &mut self.field.temperatures,
             &self.config,
         )?;
+        aeropack_obs::counter!("solver.transient.steps");
+        aeropack_obs::counter!("solver.transient.iterations", stats.iterations);
         self.stats = Some(stats);
         Ok(&self.field)
     }
@@ -1383,6 +1486,100 @@ mod tests {
         }
         let dmax = (field.max_temperature().value() - steady.max_temperature().value()).abs();
         assert!(dmax < 0.05, "transient must settle to steady: Δ={dmax}");
+    }
+
+    #[test]
+    fn deprecated_step_transient_matches_stepper_bitwise() {
+        // Satellite of the mission-transient PR: the deprecated per-call
+        // shim must forward through one cached stepper (assembling the
+        // system exactly once) and reproduce the explicit stepper path
+        // bit for bit, step after step.
+        let grid = FvGrid::new((0.05, 0.05, 0.005), (5, 5, 2)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(6.0), (1, 1, 0), (4, 4, 1))
+            .unwrap();
+        model.set_face_bc(
+            Face::ZMax,
+            FaceBc::Convection {
+                h: HeatTransferCoeff::new(80.0),
+                ambient: Celsius::new(25.0),
+            },
+        );
+        let dt = 2.5;
+        let mut stepper = model
+            .transient_stepper(model.uniform_field(Celsius::new(25.0)), dt)
+            .unwrap();
+        let mut field = model.uniform_field(Celsius::new(25.0));
+        let (_, misses_before) = model.pattern_cache_stats();
+        for step in 0..6 {
+            #[allow(deprecated)]
+            {
+                field = model.step_transient(&field, dt).unwrap();
+            }
+            stepper.step().unwrap();
+            assert_eq!(
+                field.temperatures(),
+                stepper.field().temperatures(),
+                "deprecated path diverged from the stepper at step {step}"
+            );
+        }
+        // One assembly for the explicit stepper, one for the cached shim
+        // on its first call — and none for the five calls after it.
+        let (_, misses_after) = model.pattern_cache_stats();
+        assert_eq!(
+            misses_after - misses_before,
+            0,
+            "pattern misses should not grow"
+        );
+        let (hits, misses) = model.pattern_cache_stats();
+        assert_eq!(
+            (hits, misses),
+            (1, 1),
+            "one symbolic build (explicit stepper) plus one pattern-hit \
+             assembly (the shim's first call) expected"
+        );
+        // Changing the step length rebuilds the cached stepper once.
+        #[allow(deprecated)]
+        let via_shim = model.step_transient(&field, dt * 2.0).unwrap();
+        let mut fresh = model.transient_stepper(field.clone(), dt * 2.0).unwrap();
+        fresh.step().unwrap();
+        assert_eq!(via_shim.temperatures(), fresh.field().temperatures());
+    }
+
+    #[test]
+    fn assemble_operator_matches_steady_solve() {
+        // `A·T = b` from the public operator accessor must be consistent
+        // with the steady solve: the residual of the solved field is at
+        // solver-tolerance level.
+        let grid = FvGrid::new((0.06, 0.04, 0.01), (6, 4, 2)).unwrap();
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model
+            .add_power_box(Power::new(10.0), (1, 1, 0), (4, 3, 2))
+            .unwrap();
+        model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(20.0)));
+        let field = model.solve_steady().unwrap();
+        let (a, b) = model.assemble_operator();
+        let r = a.spmv(field.temperatures());
+        let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let r_norm = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (ri - bi) * (ri - bi))
+            .sum::<f64>()
+            .sqrt();
+        assert!(r_norm <= 1e-7 * b_norm, "residual {r_norm} vs |b| {b_norm}");
+        // Capacities are ρ·cₚ·V per cell.
+        let cap = model.capacities();
+        assert_eq!(cap.len(), grid.cell_count());
+        let expect = 2700.0 * 896.0 * grid.cell_volume();
+        assert!(cap.iter().all(|&c| (c - expect).abs() < 1e-9 * expect));
+        // Round-trip a field through the raw-temperature constructor.
+        let restored = model
+            .field_from_temperatures(field.temperatures().to_vec())
+            .unwrap();
+        assert_eq!(restored.temperatures(), field.temperatures());
+        assert!(model.field_from_temperatures(vec![0.0; 3]).is_err());
     }
 
     #[test]

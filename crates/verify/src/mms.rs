@@ -11,6 +11,9 @@
 
 use aeropack_fem::{Dof, PlateMesh, PlateProperties};
 use aeropack_materials::Material;
+use aeropack_mission::{
+    BoundaryState, MissionConfig, MissionDriver, MissionPhase, MissionProfile, Scheme, StepControl,
+};
 use aeropack_solver::SolverConfig;
 use aeropack_sweep::Sweep;
 use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel};
@@ -212,6 +215,101 @@ pub fn fem_plate_study(resolutions: &[usize], runner: &Sweep) -> MmsStudy {
     MmsStudy {
         label: format!("ACM plate, Navier sinusoidal pressure, n = {resolutions:?}"),
         hs: resolutions.iter().map(|&n| A / n as f64).collect(),
+        errors,
+    }
+}
+
+/// Horizon of the temporal MMS transient, s (one forcing period).
+const MISSION_MMS_T: f64 = 10.0;
+
+/// Runs one manufactured mission transient and returns the max-norm
+/// final-time error against the exact semi-discrete solution.
+///
+/// The fixture is a 1-D aluminium slab held at `T_w` on both x faces
+/// with the manufactured field `T(t) = T_w + v·sin(ωt)`,
+/// `v_i = A·sin(πx_i/L)`. The forcing that makes this the exact
+/// solution of the semi-discrete system `C·dT/dt = −A·T + b(t)` is
+/// injected through the driver's source hook as
+/// `C∘v·ω·cos(ωt) + (A·v)·sin(ωt)`, with `A·v` computed from the
+/// assembled operator itself — so the measured error is purely
+/// temporal, whatever the spatial discretization error.
+///
+/// # Panics
+///
+/// Panics when the driver rejects the fixture or a solve fails — this
+/// is a test harness, not a production path.
+pub fn mission_temporal_error(scheme: Scheme, control: StepControl) -> f64 {
+    const L: f64 = 0.1; // slab length, m
+    const NX: usize = 16;
+    const T_W: f64 = 20.0; // wall temperature, °C
+    const AMP: f64 = 8.0; // manufactured amplitude, K
+    let omega = 2.0 * std::f64::consts::PI / MISSION_MMS_T;
+
+    let grid = FvGrid::new((L, 0.01, 0.01), (NX, 1, 1)).expect("valid grid");
+    let (dx, _, _) = grid.spacing();
+    let mut model = FvModel::new(grid, &Material::aluminum_6061());
+    // Temporal error at the finest ladder rung is ~1e-5 K; solve far
+    // below it so the PCG residual never pollutes the fit.
+    model.set_solver_config(SolverConfig::new().tolerance(1e-13));
+    model.set_face_bc(Face::XMin, FaceBc::FixedTemperature(Celsius::new(T_W)));
+    model.set_face_bc(Face::XMax, FaceBc::FixedTemperature(Celsius::new(T_W)));
+
+    let pi_l = std::f64::consts::PI / L;
+    let v: Vec<f64> = (0..NX)
+        .map(|i| AMP * (pi_l * ((i as f64 + 0.5) * dx)).sin())
+        .collect();
+    let (a, _) = model.assemble_operator();
+    let mut av = vec![0.0; NX];
+    a.spmv_into(&v, &mut av, 1);
+    let cv: Vec<f64> = model
+        .capacities()
+        .iter()
+        .zip(&v)
+        .map(|(c, vi)| c * vi)
+        .collect();
+
+    let hold = MissionProfile::new(vec![MissionPhase::constant(
+        "hold",
+        MISSION_MMS_T,
+        BoundaryState::sea_level(),
+    )])
+    .expect("valid profile");
+    let config = MissionConfig::new(scheme).control(control);
+    let mut driver =
+        MissionDriver::new(model, hold, config, Celsius::new(T_W)).expect("valid driver");
+    driver.set_source_hook(Box::new(move |t, b| {
+        let (s, c) = (omega * t).sin_cos();
+        for ((bi, cvi), avi) in b.iter_mut().zip(&cv).zip(&av) {
+            *bi += cvi * omega * c + avi * s;
+        }
+    }));
+    driver.run_to_end().expect("mission MMS run");
+
+    let g_end = (omega * MISSION_MMS_T).sin();
+    driver
+        .temperatures()
+        .iter()
+        .zip(&v)
+        .map(|(t, vi)| (t - (T_W + vi * g_end)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Temporal MMS convergence study for the mission transient driver:
+/// fixed steps `dt = T/N` for each `N` in `step_counts` (run through
+/// the [`Sweep`] engine like the spatial ladders), errors measured by
+/// [`mission_temporal_error`]. The trapezoidal scheme must converge at
+/// O(dt²), backward Euler at O(dt).
+pub fn mission_temporal_study(scheme: Scheme, step_counts: &[usize], runner: &Sweep) -> MmsStudy {
+    let errors = runner.map(step_counts, |&n| {
+        let dt = MISSION_MMS_T / n as f64;
+        mission_temporal_error(scheme, StepControl::Fixed { dt })
+    });
+    MmsStudy {
+        label: format!("mission transient, {scheme:?} θ-scheme, N = {step_counts:?}"),
+        hs: step_counts
+            .iter()
+            .map(|&n| MISSION_MMS_T / n as f64)
+            .collect(),
         errors,
     }
 }

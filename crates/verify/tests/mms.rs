@@ -2,8 +2,11 @@
 //! and FEM plate discretizations converge at their designed O(h²)
 //! rates, not merely "produce plausible numbers".
 
+use aeropack_mission::{AdaptiveConfig, Scheme, StepControl};
 use aeropack_sweep::Sweep;
-use aeropack_verify::{fem_plate_study, thermal_fv_study};
+use aeropack_verify::{
+    fem_plate_study, mission_temporal_error, mission_temporal_study, thermal_fv_study,
+};
 
 #[test]
 fn thermal_fv_converges_at_second_order() {
@@ -19,6 +22,47 @@ fn fem_plate_converges_at_second_order() {
     let study = fem_plate_study(&[4, 8, 16], &Sweep::new(2));
     println!("{}", study.report());
     study.assert_order(2.0, 0.3);
+}
+
+#[test]
+fn mission_trapezoidal_converges_at_second_order_in_time() {
+    let study = mission_temporal_study(Scheme::Trapezoidal, &[8, 16, 32, 64], &Sweep::new(2));
+    println!("{}", study.report());
+    study.assert_order(2.0, 0.3);
+}
+
+#[test]
+fn mission_backward_euler_converges_at_first_order_in_time() {
+    let study = mission_temporal_study(Scheme::BackwardEuler, &[8, 16, 32, 64], &Sweep::new(2));
+    println!("{}", study.report());
+    study.assert_order(1.0, 0.3);
+}
+
+#[test]
+fn mission_adaptive_error_tracks_its_tolerance() {
+    // The embedded-error controller must actually steer the error:
+    // tightening rel_tol by 100× on the manufactured transient must
+    // shrink the final-time error monotonically and substantially.
+    let errors: Vec<f64> = [1e-2, 1e-3, 1e-4]
+        .iter()
+        .map(|&rel_tol| {
+            let cfg = AdaptiveConfig {
+                rel_tol,
+                abs_tol: 1e-9,
+                ..AdaptiveConfig::default()
+            };
+            mission_temporal_error(Scheme::Trapezoidal, StepControl::Adaptive(cfg))
+        })
+        .collect();
+    println!("adaptive errors vs rel_tol [1e-2, 1e-3, 1e-4]: {errors:?}");
+    assert!(
+        errors.windows(2).all(|w| w[1] < w[0]),
+        "tighter tolerance must reduce the error: {errors:?}"
+    );
+    assert!(
+        errors[2] * 3.0 < errors[0],
+        "100× tighter tolerance must cut the error well past noise: {errors:?}"
+    );
 }
 
 #[test]

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Sweep-engine benchmark runner: builds the workspace in release mode
 # and runs the `sweeps` bench, which times every sweep workload serially
-# and at 2/4 threads, verifies bit-identical results across thread
-# counts, and writes BENCH_sweeps.json plus the observability run
-# report BENCH_obs_report.json at the repository root.
+# and at 2/4 threads (including the bench_mission climb–cruise–descent
+# row and the 90-minute orbit-cycle mission gates), verifies
+# bit-identical results across thread counts, and writes
+# BENCH_sweeps.json plus the observability run report
+# BENCH_obs_report.json at the repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run, writes BENCH_sweeps.json

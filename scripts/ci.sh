@@ -31,7 +31,8 @@ AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$SWEEPS_OBS_REPORT" \
 
 echo "==> preconditioner obs gate (solver.ic0./mg./cheb. counters must be non-zero)"
 cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
-    "$SWEEPS_OBS_REPORT" solver.ic0. solver.mg. solver.cheb. solver.pcg. sweep.
+    "$SWEEPS_OBS_REPORT" solver.ic0. solver.mg. solver.cheb. solver.pcg. sweep. \
+    mission. solver.transient.
 
 echo "==> obs smoke (exp02 with observability on, run report must validate)"
 # Run a real experiment with events flowing, then gate on the emitted
@@ -45,17 +46,19 @@ AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$OBS_REPORT" \
 cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
     "$OBS_REPORT" solver. serve.
 
-echo "==> serve smoke (daemon + 50-request mixed socket workload + coalescing leg)"
+echo "==> serve smoke (daemon + 50-request mixed socket workload + coalescing + mission legs)"
 # Starts the analysis daemon on a loopback port, drives a mixed
-# SEB/FV/board/FEM workload through the line-JSON socket client, then
-# provokes a deterministic coalesced multi-RHS batch. The emitted
-# report must carry non-zero service, cache and coalescer counters.
+# SEB/FV/board/FEM workload through the line-JSON socket client,
+# provokes a deterministic coalesced multi-RHS batch, then flies a
+# short 3-phase climb–cruise–descent Transient request through the
+# socket path. The emitted report must carry non-zero service, cache,
+# coalescer, mission-driver and transient-solve counters.
 SERVE_REPORT=target/obs_serve_smoke.json
 AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$SERVE_REPORT" \
     cargo run -q --release --offline -p aeropack-serve --bin serve_smoke \
     > /dev/null
 cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
-    "$SERVE_REPORT" serve. serve.cache. serve.coalesce.
+    "$SERVE_REPORT" serve. serve.cache. serve.coalesce. mission. solver.transient.
 
 echo "==> serve bench smoke (120-request load, cache >=5x + coalesce bit-identity gates)"
 cargo bench -q --offline -p aeropack-bench --bench serve -- --smoke
@@ -68,5 +71,9 @@ cargo test -q --release --offline --test golden_snapshots
 echo "==> MMS smoke (thermal FV slab, observed order must sit near 2)"
 cargo test -q --release --offline -p aeropack-verify --test mms \
     thermal_fv_converges_at_second_order
+
+echo "==> mission MMS smoke (trapezoidal θ-scheme, observed temporal order must sit near 2)"
+cargo test -q --release --offline -p aeropack-verify --test mms \
+    mission_trapezoidal_converges_at_second_order_in_time
 
 echo "==> CI green"

@@ -22,6 +22,11 @@
 //!   zero-cost disabled mode.
 //! * [`design`] — the co-design framework tying it all together
 //!   (three-level thermal analysis, cooling selection, the SEB model).
+//! * [`mission`] — mission-profile transient analysis: box/plate view
+//!   factors and a Gebhart radiosity network, ISA/orbit environment
+//!   models expressed as piecewise [`MissionProfile`](mission::MissionProfile)s,
+//!   and the adaptive θ-scheme transient driver with warm-started
+//!   solves and bit-exact checkpointed trajectories.
 //! * [`verify`] — the verification substrate: property testing with
 //!   shrinking, MMS convergence studies, golden-snapshot gating.
 //! * [`serve`] — the batched analysis service: a worker pool behind a
@@ -57,6 +62,7 @@ pub use aeropack_core as design;
 pub use aeropack_envqual as envqual;
 pub use aeropack_fem as fem;
 pub use aeropack_materials as materials;
+pub use aeropack_mission as mission;
 pub use aeropack_obs as obs;
 pub use aeropack_serve as serve;
 pub use aeropack_solver as solver;
@@ -124,9 +130,15 @@ pub mod prelude {
         SebModel,
     };
 
+    pub use aeropack_mission::{
+        sweep_missions, AdaptiveConfig, BoundaryState, Checkpoint, MissionConfig, MissionDriver,
+        MissionError, MissionPhase, MissionProfile, MissionSummary, Orbit, RadiatingFace, Scheme,
+        StepControl, ViewFactors,
+    };
+
     pub use aeropack_serve::{
         AnalysisRequest, AnalysisResponse, BoardSpec, Client, CoolingModeSpec,
-        Error as AeropackError, FemPlateSpec, PlateSpec, Priority, SeatKind, SebSpec, ServeConfig,
-        Service, Ticket, Workload, Workspace,
+        Error as AeropackError, FemPlateSpec, MissionSpec, PlateSpec, Priority, SchemeKind,
+        SeatKind, SebSpec, ServeConfig, Service, Ticket, TransientSpec, Workload, Workspace,
     };
 }

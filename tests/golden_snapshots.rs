@@ -126,6 +126,50 @@ fn golden_random_vibration_rms() {
     gate("random_vibration_rms", &snapshot);
 }
 
+/// One 90-minute orbit cycle of a dissipating radiating plate through
+/// the adaptive mission driver: final field statistics, the accepted
+/// step count, and the bit-exact trajectory hash (split into two 32-bit
+/// halves so the f64 snapshot slots carry it losslessly).
+#[test]
+fn golden_mission_orbit_cycle() {
+    use aeropack::mission::{
+        AdaptiveConfig, MissionConfig, MissionDriver, MissionProfile, Orbit, RadiatingFace, Scheme,
+        StepControl,
+    };
+
+    let grid = FvGrid::new((0.15, 0.15, 0.012), (6, 6, 2)).unwrap();
+    let mut model = FvModel::new(grid, &Material::aluminum_6061());
+    model
+        .add_power_box(Power::new(25.0), (1, 1, 0), (5, 5, 1))
+        .unwrap();
+    let profile = MissionProfile::orbit_cycle(&Orbit::leo_90min(), 1).unwrap();
+    let config = MissionConfig::new(Scheme::Trapezoidal)
+        .control(StepControl::Adaptive(AdaptiveConfig {
+            dt_max: 60.0,
+            ..AdaptiveConfig::default()
+        }))
+        .radiating_face(RadiatingFace {
+            face: Face::ZMax,
+            emissivity: 0.85,
+            absorptivity: 0.3,
+        });
+    let mut driver = MissionDriver::new(model, profile, config, Celsius::new(20.0)).unwrap();
+    driver.run_to_end().unwrap();
+    let field = driver.field().unwrap();
+    let stats = *driver.stats();
+    let hash = driver.trajectory_fingerprint();
+
+    let mut snapshot = Snapshot::new("mission_orbit_cycle");
+    snapshot.push("final_min_c", field.min_temperature().value(), 1e-9, 1e-9);
+    snapshot.push("final_max_c", field.max_temperature().value(), 1e-9, 1e-9);
+    snapshot.push("final_mean_c", field.mean_temperature().value(), 1e-9, 1e-9);
+    snapshot.push("accepted_steps", stats.accepted as f64, 0.0, 0.0);
+    snapshot.push("relinearizations", stats.relinearizations as f64, 0.0, 0.0);
+    snapshot.push("trajectory_hash_hi", (hash >> 32) as f64, 0.0, 0.0);
+    snapshot.push("trajectory_hash_lo", (hash & 0xffff_ffff) as f64, 0.0, 0.0);
+    gate("mission_orbit_cycle", &snapshot);
+}
+
 /// PCG (Jacobi and SSOR) against dense Cholesky on a banded SPD
 /// fixture: the differential residual ‖x_pcg − x_chol‖/‖x_chol‖ pins
 /// the iterative path to the direct one.

@@ -120,6 +120,115 @@ fn fv_conserves_energy() {
     );
 }
 
+/// A single-phase "hold" profile: no convection, no radiation drive,
+/// dissipation at `power_scale`.
+fn hold_profile(duration_s: f64, power_scale: f64) -> MissionProfile {
+    let mut state = BoundaryState::sea_level();
+    state.power_scale = power_scale;
+    MissionProfile::new(vec![MissionPhase::constant("hold", duration_s, state)])
+        .expect("valid profile")
+}
+
+/// An adaptive control whose `dt_max` forces at least
+/// `duration / dt_max` accepted steps.
+fn capped_adaptive(dt_max: f64) -> StepControl {
+    StepControl::Adaptive(AdaptiveConfig {
+        dt_init: dt_max / 4.0,
+        dt_min: dt_max / 1e4,
+        dt_max,
+        ..AdaptiveConfig::default()
+    })
+}
+
+#[test]
+fn mission_adiabatic_transient_conserves_energy() {
+    // An adiabatic box with zero sources: the discrete operator has
+    // zero column sums, so `E = Σ capᵢ·Tᵢ` is conserved exactly in
+    // exact arithmetic; the adaptive driver must hold the relative
+    // drift below 1e-9 over 10⁴ accepted steps (per-solve PCG residual
+    // plus 10⁴-step round-off accumulation).
+    let gen = tuple3(
+        &Gen::usize_range(2, 5).zip(&Gen::usize_range(2, 4)),
+        &Gen::f64_range(20.0, 80.0),
+        &Gen::f64_range(1.0, 60.0),
+    );
+    check(0xa11f_0009, 8, &gen, |&((nx, ny), base_c, amp)| {
+        let grid = FvGrid::new((0.06, 0.04, 0.008), (nx, ny, 2)).map_err(|e| e.to_string())?;
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model.set_solver_config(SolverConfig::new().tolerance(1e-13));
+        let n = model.grid().cell_count();
+        // A non-uniform start (no sources, so nothing else drives the
+        // transient): a deterministic ripple on top of the base.
+        let temps: Vec<f64> = (0..n)
+            .map(|i| base_c + amp * (0.7 * i as f64).sin())
+            .collect();
+        let field = model
+            .field_from_temperatures(temps)
+            .map_err(|e| e.to_string())?;
+        let duration = 20.0;
+        let config = MissionConfig::new(Scheme::Trapezoidal)
+            .control(capped_adaptive(duration / 1.0e4))
+            .max_steps(1_000_000);
+        let mut driver =
+            MissionDriver::with_initial_field(model, hold_profile(duration, 0.0), config, &field)
+                .map_err(|e| e.to_string())?;
+        let e0 = driver.thermal_energy();
+        driver.run_to_end().map_err(|e| e.to_string())?;
+        ensure!(
+            driver.stats().accepted >= 10_000,
+            "dt cap must force ≥ 10⁴ adaptive steps, got {}",
+            driver.stats().accepted
+        );
+        let drift = (driver.thermal_energy() - e0).abs() / e0.abs();
+        ensure!(drift <= 1e-9, "relative energy drift {drift:.3e} > 1e-9");
+        // The field actually evolved (the test is not vacuous) and
+        // relaxed toward the adiabatic equilibrium: the uniform mean.
+        let spread = |f: &FvField| f.max_temperature().value() - f.min_temperature().value();
+        let final_field = driver.field().map_err(|e| e.to_string())?;
+        ensure!(spread(&final_field) < spread(&field));
+        Ok(())
+    });
+}
+
+#[test]
+fn mission_constant_power_energy_balance_matches_integral() {
+    // Same adiabatic box, now with a constant dissipation P: the energy
+    // gained over the mission must equal ∫P dt = P·t_end to within
+    // accumulated round-off.
+    let gen = tuple3(
+        &Gen::usize_range(2, 5).zip(&Gen::usize_range(2, 4)),
+        &Gen::f64_range(2.0, 40.0),
+        &Gen::f64_range(5.0, 120.0),
+    );
+    check(0xa11f_000a, 8, &gen, |&((nx, ny), power, duration)| {
+        let grid = FvGrid::new((0.06, 0.04, 0.008), (nx, ny, 2)).map_err(|e| e.to_string())?;
+        let mut model = FvModel::new(grid, &Material::aluminum_6061());
+        model.set_solver_config(SolverConfig::new().tolerance(1e-13));
+        model
+            .add_power_box(Power::new(power), (0, 0, 0), (nx, ny, 1))
+            .map_err(|e| e.to_string())?;
+        let config = MissionConfig::new(Scheme::Trapezoidal)
+            .control(capped_adaptive(duration / 500.0))
+            .max_steps(1_000_000);
+        let mut driver = MissionDriver::new(
+            model,
+            hold_profile(duration, 1.0),
+            config,
+            Celsius::new(25.0),
+        )
+        .map_err(|e| e.to_string())?;
+        let e0 = driver.thermal_energy();
+        driver.run_to_end().map_err(|e| e.to_string())?;
+        let gained = driver.thermal_energy() - e0;
+        let expected = power * duration;
+        ensure!(
+            (gained - expected).abs() <= 1e-9 * expected,
+            "energy balance: gained {gained} J, ∫P dt = {expected} J"
+        );
+        Ok(())
+    });
+}
+
 #[test]
 fn network_superposition_holds() {
     let gen = tuple4(

@@ -8,6 +8,10 @@ use aeropack::fem::{
     modal, random_response, random_response_with, Dof, HarmonicResponse, PlateMesh, PlateProperties,
 };
 use aeropack::materials::Material;
+use aeropack::mission::{
+    sweep_missions, AdaptiveConfig, Checkpoint, MissionConfig, MissionDriver, MissionProfile,
+    Orbit, RadiatingFace, Scheme, StepControl,
+};
 use aeropack::solver::{Precond, SolverConfig};
 use aeropack::sweep::Sweep;
 use aeropack::thermal::{Face, FaceBc, FvGrid, FvModel};
@@ -354,6 +358,117 @@ fn sweeps_stay_bit_identical_with_observability_enabled() {
             );
         }
     }
+}
+
+#[test]
+fn mission_sweeps_are_bit_identical_across_thread_counts() {
+    // Three climb–cruise–descent profiles through the adaptive mission
+    // driver: every summary — including the adaptive step sequence and
+    // final field folded into `trajectory_hash` — must be bit-identical
+    // at every sweep thread count.
+    let grid = FvGrid::new((0.1, 0.08, 0.01), (6, 4, 2)).expect("grid");
+    let mut model = FvModel::new(grid, &Material::aluminum_6061());
+    model
+        .add_power_box(Power::new(12.0), (1, 1, 0), (5, 3, 1))
+        .expect("source");
+    let profiles: Vec<MissionProfile> = [4_000.0, 8_000.0, 11_000.0]
+        .iter()
+        .map(|&alt| {
+            MissionProfile::climb_cruise_descent(
+                alt,
+                (120.0, 480.0, 120.0),
+                HeatTransferCoeff::new(35.0),
+            )
+            .expect("profile")
+        })
+        .collect();
+    let config = MissionConfig::new(Scheme::Trapezoidal)
+        .control(StepControl::Adaptive(AdaptiveConfig {
+            dt_max: 20.0,
+            ..AdaptiveConfig::default()
+        }))
+        .convective_face(Face::ZMax);
+    let initial = Celsius::new(15.0);
+
+    let (reference, serial_stats) =
+        sweep_missions(&model, &profiles, &config, initial, &Sweep::serial());
+    let reference: Vec<_> = reference
+        .into_iter()
+        .map(|r| r.expect("serial mission"))
+        .collect();
+    assert!(
+        reference.iter().all(|s| s.steps > 20),
+        "adaptive missions must produce real step sequences"
+    );
+
+    for threads in THREAD_COUNTS {
+        // `with_grain(1)` forces genuine parallelism on this small
+        // profile list.
+        let runner = Sweep::new(threads).with_grain(1);
+        let (rows, stats) = sweep_missions(&model, &profiles, &config, initial, &runner);
+        assert_eq!(stats.scenarios, serial_stats.scenarios);
+        for (expected, row) in reference.iter().zip(rows) {
+            let got = row.expect("parallel mission");
+            assert_eq!(
+                *expected, got,
+                "mission sweep diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn mission_checkpoint_restore_is_bit_identical() {
+    // An orbit mission with a radiating face: the checkpoint carries
+    // the lagged radiation linearisation, both snapshot codecs must
+    // round-trip it bit-exactly mid-trajectory, and a restored driver
+    // must finish on the original trajectory bit for bit.
+    let grid = FvGrid::new((0.12, 0.12, 0.01), (5, 5, 2)).expect("grid");
+    let mut model = FvModel::new(grid, &Material::aluminum_6061());
+    model
+        .add_power_box(Power::new(20.0), (1, 1, 0), (4, 4, 1))
+        .expect("source");
+    let profile = MissionProfile::orbit_cycle(&Orbit::leo_90min(), 1).expect("profile");
+    let config = MissionConfig::new(Scheme::Trapezoidal)
+        .control(StepControl::Adaptive(AdaptiveConfig {
+            dt_max: 120.0,
+            ..AdaptiveConfig::default()
+        }))
+        .radiating_face(RadiatingFace {
+            face: Face::ZMax,
+            emissivity: 0.85,
+            absorptivity: 0.3,
+        });
+
+    let mut original = MissionDriver::new(
+        model.clone(),
+        profile.clone(),
+        config.clone(),
+        Celsius::new(20.0),
+    )
+    .expect("driver");
+    for _ in 0..30 {
+        original.step().expect("step");
+    }
+    let cp = original.checkpoint();
+    let via_binary = Checkpoint::from_binary(&cp.to_binary()).expect("binary codec");
+    let via_json = Checkpoint::from_json(&cp.to_json()).expect("json codec");
+    assert_eq!(cp.hash(), via_binary.hash(), "binary round-trip drifted");
+    assert_eq!(cp.hash(), via_json.hash(), "JSON round-trip drifted");
+
+    original.run_to_end().expect("uninterrupted run");
+    let mut restored = MissionDriver::restore(model, profile, config, &via_json).expect("restore");
+    restored.run_to_end().expect("restored run");
+
+    let bits = |t: &[f64]| t.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(original.temperatures()),
+        bits(restored.temperatures()),
+        "restored trajectory diverged from the uninterrupted one"
+    );
+    // The full end states — time, dt, step index, radiation
+    // linearisation, field — agree, not just the temperatures.
+    assert_eq!(original.checkpoint().hash(), restored.checkpoint().hash());
 }
 
 #[test]
