@@ -4,7 +4,9 @@
 //! run serially and in parallel at 1/2/4 threads, plus the 90-minute
 //! orbit-cycle mission gates (≥ 10⁴ adaptive steps with factor reuse;
 //! adaptive ≥ 3× fewer steps than fixed dt at equal final-field
-//! error). Emits `BENCH_sweeps.json` at the repository root with
+//! error) and the NSGA-II optimizer gate (≥ 10⁶ scenario evaluations
+//! with a bit-identical Pareto front at 1/2/8 threads).
+//! Emits `BENCH_sweeps.json` at the repository root with
 //! walls, speedups, rolled-up solver statistics and the pattern-cache
 //! hit counts, plus the observability run report
 //! (`BENCH_obs_report.json`), and **exits non-zero if any sweep is not
@@ -32,6 +34,7 @@ use aeropack_mission::{
     sweep_missions, AdaptiveConfig, MissionConfig, MissionDriver, MissionProfile, Orbit,
     RadiatingFace, Scheme, StepControl,
 };
+use aeropack_optimize::{DesignSpace, EvalContext, Optimizer, OptimizerConfig};
 use aeropack_solver::{Precond, SolverConfig, SpectralStats};
 use aeropack_sweep::{ScenarioStats, Sweep, SweepStats};
 use aeropack_thermal::{Face, FaceBc, FvGrid, FvModel, FV_SWEEP_GRAIN};
@@ -619,6 +622,80 @@ fn bench_mission_orbit(smoke: bool) -> MissionOrbitReport {
     }
 }
 
+/// The NSGA-II optimizer gate: the paper's packaging trade as a
+/// million-evaluation search, bit-identical at 1/2/8 threads.
+struct OptimizeReport {
+    population: usize,
+    generations: usize,
+    evaluations: u64,
+    front_len: usize,
+    front_hash: u64,
+    /// `(threads, wall)` — one full run per thread count; the wall and
+    /// the determinism fingerprint come from the same run.
+    walls: Vec<(usize, Duration)>,
+    deterministic: bool,
+}
+
+/// Runs the full NSGA-II search at each thread count and gates:
+///
+/// 1. **Scale** (full mode) — ≥ 10⁶ scenario evaluations
+///    (`population × (generations + 1)`).
+/// 2. **Determinism** — the Pareto front (genomes and objectives, via
+///    [`ParetoFront::fingerprint`](aeropack_optimize::ParetoFront))
+///    must be bit-identical at 1, 2 and 8 threads. Unlike the wall
+///    gates this holds on any host: the engine's order-preserving maps
+///    and serial RNG stream owe nothing to the scheduler.
+fn bench_optimize(smoke: bool) -> OptimizeReport {
+    // 512 × (1953 + 1) = 1 000 448 evaluations ≥ 10⁶; the population is
+    // kept moderate because the O(N²) domination scan, not the
+    // closed-form evaluation, is the per-generation cost.
+    let (population, generations) = if smoke { (32, 15) } else { (512, 1953) };
+    let ctx = EvalContext::new(Celsius::new(25.0), Power::new(120.0), 22f64.to_radians());
+    let config = OptimizerConfig {
+        population,
+        generations,
+        seed: 0x0971_ca5e_0000_5eed,
+        ..OptimizerConfig::default()
+    };
+
+    let thread_counts = [1usize, 2, 8];
+    let mut walls = Vec::new();
+    let mut fronts = Vec::new();
+    let mut evaluations = 0u64;
+    for &t in &thread_counts {
+        let optimizer = Optimizer::new(DesignSpace::default(), config);
+        let start = Instant::now();
+        let result = optimizer.run(&ctx, &Sweep::new(t));
+        walls.push((t, start.elapsed()));
+        evaluations = result.evaluations;
+        fronts.push((result.front.fingerprint(), result.front));
+    }
+    let deterministic = fronts
+        .iter()
+        .all(|(hash, front)| *hash == fronts[0].0 && *front == fronts[0].1);
+    assert!(
+        deterministic,
+        "NSGA-II Pareto front must be bit-identical at 1/2/8 threads"
+    );
+    if !smoke {
+        assert!(
+            evaluations >= 1_000_000,
+            "the optimize bench must perform ≥ 10⁶ scenario evaluations, did {evaluations}"
+        );
+    }
+
+    let (front_hash, front) = &fronts[0];
+    OptimizeReport {
+        population,
+        generations,
+        evaluations,
+        front_len: front.len(),
+        front_hash: *front_hash,
+        walls,
+        deterministic,
+    }
+}
+
 /// One preconditioner's performance on the large-grid steady solve.
 struct PrecondRow {
     precond: &'static str,
@@ -831,6 +908,7 @@ fn emit_json(
     records: &[SweepRecord],
     fv_large: &FvLargeReport,
     mission_orbit: &MissionOrbitReport,
+    optimize: &OptimizeReport,
     hardware_threads: usize,
     smoke: bool,
 ) -> String {
@@ -977,6 +1055,28 @@ fn emit_json(
         "    \"fixed_error_k\": {:.6e}\n",
         mission_orbit.fixed_error_k
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"bench_optimize\": {\n");
+    out.push_str(&format!("    \"population\": {},\n", optimize.population));
+    out.push_str(&format!("    \"generations\": {},\n", optimize.generations));
+    out.push_str(&format!("    \"evaluations\": {},\n", optimize.evaluations));
+    out.push_str(&format!("    \"front_len\": {},\n", optimize.front_len));
+    out.push_str(&format!(
+        "    \"front_hash\": \"{:016x}\",\n",
+        optimize.front_hash
+    ));
+    out.push_str("    \"wall_seconds\": {");
+    for (j, (t, d)) in optimize.walls.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{t}\": {:.6}", d.as_secs_f64()));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "    \"deterministic\": {}\n",
+        optimize.deterministic
+    ));
     out.push_str("  }\n}\n");
     out
 }
@@ -1004,6 +1104,7 @@ fn main() {
     ];
     let fv_large = bench_fv_large(smoke, hardware_threads);
     let mission_orbit = bench_mission_orbit(smoke);
+    let optimize = bench_optimize(smoke);
 
     for r in &records {
         let oversub = r.oversubscribed(hardware_threads);
@@ -1097,6 +1198,21 @@ fn main() {
         );
     }
 
+    {
+        println!(
+            "\nbench_optimize — NSGA-II, population {} × {} generations, \
+             {} evaluations",
+            optimize.population, optimize.generations, optimize.evaluations
+        );
+        for (t, d) in &optimize.walls {
+            println!("  threads={t:<2} wall {:>12}", fmt_duration(*d));
+        }
+        println!(
+            "  front: {} designs, hash {:016x}, bit-identical at 1/2/8 threads: {}",
+            optimize.front_len, optimize.front_hash, optimize.deterministic
+        );
+    }
+
     // The Fig 10 row must route its FV board refinement through the
     // symbolic pattern cache: a primed model is cloned per worker, so
     // every board assembly after the prime is a cache hit. The historic
@@ -1152,7 +1268,14 @@ fn main() {
         );
     }
 
-    let json = emit_json(&records, &fv_large, &mission_orbit, hardware_threads, smoke);
+    let json = emit_json(
+        &records,
+        &fv_large,
+        &mission_orbit,
+        &optimize,
+        hardware_threads,
+        smoke,
+    );
     let report = aeropack_obs::report_json();
     let summary = aeropack_obs::validate_report(&report).expect("run report must validate");
     if smoke {
@@ -1190,6 +1313,10 @@ fn main() {
     assert!(
         summary.counter_prefix_sum("solver.transient.") > 0,
         "run report must carry transient-solve counters"
+    );
+    assert!(
+        summary.counter_prefix_sum("optimize.") > 0,
+        "run report must carry optimizer counters"
     );
     // Honour AEROPACK_OBS_REPORT in either mode, so the CI smoke gate
     // can obs_check the emitted counters without a full bench run.

@@ -148,6 +148,15 @@ static ACETONE_TABLE: &[TableRow] = rows![
     [100.0, 471.0, 693.0, 0.17, 0.132, 13.4],
 ];
 
+static CO2_TABLE: &[TableRow] = rows![
+    [-40.0, 321.3, 1116.4, 0.190, 0.145, 13.1],
+    [-20.0, 282.4, 1031.7, 0.145, 0.125, 9.3],
+    [0.0, 230.9, 927.4, 0.099, 0.105, 4.5],
+    [10.0, 196.6, 861.1, 0.084, 0.095, 2.7],
+    [20.0, 152.0, 773.4, 0.066, 0.085, 1.2],
+    [25.0, 121.5, 710.5, 0.057, 0.081, 0.6],
+];
+
 static METHANOL_TABLE: &[TableRow] = rows![
     [0.0, 1194.0, 810.0, 0.82, 0.210, 24.5],
     [20.0, 1169.0, 791.0, 0.59, 0.203, 22.6],
@@ -197,6 +206,25 @@ impl WorkingFluid {
             mu_v_ref: 9.8e-6,
             t_ref_k: 293.15,
             table: AMMONIA_TABLE,
+        }
+    }
+
+    /// Carbon dioxide — the AMS-02 tracker thermal-control fluid
+    /// (mechanically pumped two-phase loops). Valid only up to 25 °C:
+    /// the critical point sits at 31 °C, so a CO₂ loop keeps its
+    /// saturation setpoint well below cabin ambients.
+    pub fn carbon_dioxide() -> Self {
+        Self {
+            name: "carbon dioxide",
+            molar_mass: 0.044_01,
+            antoine: Antoine {
+                a: 7.81024,
+                b: 995.705,
+                c: 293.475,
+            },
+            mu_v_ref: 14.0e-6,
+            t_ref_k: 293.15,
+            table: CO2_TABLE,
         }
     }
 

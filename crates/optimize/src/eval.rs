@@ -1,0 +1,438 @@
+//! The scenario evaluator: genome → three objectives.
+//!
+//! Millions of evaluations per optimizer run rule out a full SEB
+//! operating-point search per candidate, so the expensive device
+//! physics is folded once per run into per-topology
+//! [`DeviceCharacteristics`] (transport capability, series resistance
+//! and mass at the run's reference state, straight from the
+//! `aeropack-twophase` models), and each evaluation is then a pure
+//! closed-form resistance/mass/reliability chain:
+//!
+//! * **max ΔT** — junction rise over ambient through junction→case,
+//!   TIM ([`lewis_nielsen`] at the genome's fill), device transport,
+//!   wall spreading and the external film; a pumped loop instead pins
+//!   the evaporator at its CO₂ setpoint.
+//! * **mass** — chassis walls, boards, TIM bonds and cooling hardware.
+//! * **MTBF** — the MIL-HDBK-217F parts-count module of
+//!   `aeropack-envqual` at the computed junction, one module per
+//!   board, with a reliability derate for the pumped loop's moving
+//!   parts.
+//!
+//! Candidates whose device cannot carry the load are not discarded —
+//! they receive a finite, strictly-worse ΔT penalty proportional to
+//! the transport deficit, so the search keeps a smooth gradient back
+//! toward feasibility and the front itself stays feasible.
+
+use aeropack_envqual::{Environment, ReliabilityModel};
+use aeropack_tim::{lewis_nielsen, FillerShape};
+use aeropack_twophase::{FlatHeatPipe, HeatPipe, LoopHeatPipe, PumpedTwoPhaseLoop};
+use aeropack_units::{Celsius, Length, Power, ThermalConductivity};
+
+use crate::genome::{Genome, Topology};
+
+/// Per-topology constants resolved once per run from the twophase
+/// device models at the run's reference state.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCharacteristics {
+    /// Transport capability per device, W (`f64::INFINITY` for plain
+    /// conduction).
+    pub q_max_w: f64,
+    /// Series thermal resistance per device, K/W.
+    pub resistance_k_w: f64,
+    /// Mass per device, kg.
+    pub mass_kg: f64,
+    /// Failure-rate multiplier (moving parts, drive electronics).
+    pub lambda_factor: f64,
+    /// Parasitic electrical power, W (pump drive).
+    pub parasitic_w: f64,
+    /// `Some(setpoint °C)` when the device pins its cold side to a
+    /// controlled saturation temperature instead of the box wall.
+    pub pinned_setpoint_c: Option<f64>,
+    /// Whether one device serves the whole box (pumped loop) rather
+    /// than one per board.
+    pub per_box: bool,
+}
+
+/// The three objectives of one evaluated design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Worst junction rise over cabin ambient, K (includes the
+    /// transport-deficit penalty for infeasible candidates).
+    pub dt_k: f64,
+    /// Packaged mass, kg.
+    pub mass_kg: f64,
+    /// Box-level MTBF, hours.
+    pub mtbf_hours: f64,
+}
+
+impl Objectives {
+    /// The minimized objective vector (MTBF negated).
+    pub fn minimized(&self) -> [f64; 3] {
+        [self.dt_k, self.mass_kg, -self.mtbf_hours]
+    }
+}
+
+/// `a` Pareto-dominates `b` (all minimized objectives ≤, at least one
+/// strictly <).
+pub fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    let mut strict = false;
+    for i in 0..3 {
+        if a[i] > b[i] {
+            return false;
+        }
+        if a[i] < b[i] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// The fixed evaluation scenario: box geometry, environment and the
+/// per-topology device characteristics.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// Cabin/bay ambient.
+    pub ambient: Celsius,
+    /// Nominal box dissipation at `power_scale = 1`.
+    pub base_power: Power,
+    /// Adverse tilt applied to every gravity-sensitive device, rad.
+    pub tilt_rad: f64,
+    /// Card-cage length available for boards, m.
+    pub cage_length_m: f64,
+    /// External film coefficient × box area, W/K.
+    pub external_conductance_w_k: f64,
+    /// Chassis footprint area for wall mass, m².
+    pub wall_area_m2: f64,
+    /// Per-board TIM contact area, m².
+    pub tim_area_m2: f64,
+    /// Junction→case resistance per board, K/W.
+    pub r_jc_k_w: f64,
+    /// Bare board mass, kg.
+    pub board_mass_kg: f64,
+    /// Reliability environment.
+    pub environment: Environment,
+    devices: [DeviceCharacteristics; 5],
+}
+
+/// Reference vapour temperature the device characteristics are
+/// resolved at (a warm avionics operating point).
+const REFERENCE_VAPOR_C: f64 = 60.0;
+/// CO₂ accumulator setpoint for the pumped loop, °C.
+const CO2_SETPOINT_C: f64 = 5.0;
+/// Aluminium wall conductivity, W/m·K, and density, kg/m³.
+const WALL_K: f64 = 167.0;
+const WALL_RHO: f64 = 2700.0;
+/// Silicone matrix and alumina filler conductivities for the TIM.
+const TIM_MATRIX_K: f64 = 0.2;
+const TIM_FILLER_K: f64 = 30.0;
+/// TIM density, kg/m³ (filled silicone).
+const TIM_RHO: f64 = 2600.0;
+/// ΔT penalty floor and slope for transport-infeasible candidates.
+const INFEASIBLE_DT_FLOOR: f64 = 400.0;
+const INFEASIBLE_DT_PER_W: f64 = 10.0;
+/// Mass of the conduction rail per board, kg, and its resistance.
+const RAIL_MASS_KG: f64 = 0.06;
+const RAIL_RESISTANCE_K_W: f64 = 2.2;
+/// Loop-heat-pipe per-board hardware mass, kg (miniature LHP).
+const LHP_MASS_KG: f64 = 0.45;
+/// Pumped-loop failure-rate multiplier (pump + drive electronics).
+const PUMP_LAMBDA_FACTOR: f64 = 1.3;
+
+impl EvalContext {
+    /// Builds the evaluation context, resolving every topology's
+    /// characteristics from its `aeropack-twophase` model at the
+    /// reference state and the given tilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in device constructors fail, which
+    /// cannot happen for the fixed geometries used here.
+    pub fn new(ambient: Celsius, base_power: Power, tilt_rad: f64) -> Self {
+        let t_ref = Celsius::new(REFERENCE_VAPOR_C);
+
+        // Round pipe: the COSEE 6 mm board drain.
+        let round = HeatPipe::copper_water_6mm(
+            Length::from_millimeters(80.0),
+            Length::from_millimeters(150.0),
+            Length::from_millimeters(80.0),
+        )
+        .expect("round pipe geometry");
+        let round_chars = DeviceCharacteristics {
+            q_max_w: round
+                .max_power(t_ref, tilt_rad)
+                .map(|q| q.value())
+                .unwrap_or(0.0),
+            resistance_k_w: round
+                .thermal_resistance(t_ref)
+                .expect("round pipe resistance")
+                .value(),
+            mass_kg: round.mass_estimate(),
+            lambda_factor: 1.0,
+            parasitic_w: 0.0,
+            pinned_setpoint_c: None,
+            per_box: false,
+        };
+
+        // Thin flat pipe under the same spans.
+        let flat = FlatHeatPipe::copper_water_thin(
+            Length::from_millimeters(25.0),
+            Length::from_millimeters(80.0),
+            Length::from_millimeters(150.0),
+            Length::from_millimeters(80.0),
+        )
+        .expect("flat pipe geometry");
+        let flat_chars = DeviceCharacteristics {
+            q_max_w: flat
+                .max_power(t_ref, tilt_rad)
+                .map(|q| q.value())
+                .unwrap_or(0.0),
+            resistance_k_w: flat
+                .thermal_resistance(t_ref)
+                .expect("flat pipe resistance")
+                .value(),
+            mass_kg: flat.mass_estimate(),
+            lambda_factor: 1.0,
+            parasitic_w: 0.0,
+            pinned_setpoint_c: None,
+            per_box: false,
+        };
+
+        // Ammonia LHP: transport capability against the ambient sink
+        // at the run tilt; series resistance from the condenser film.
+        let lhp = LoopHeatPipe::ammonia_seb(Length::new(0.8)).expect("LHP geometry");
+        let lhp_q = lhp
+            .max_transport(ambient, tilt_rad)
+            .map(|q| q.value())
+            .unwrap_or(0.0);
+        let lhp_chars = DeviceCharacteristics {
+            q_max_w: lhp_q,
+            resistance_k_w: 1.0 / lhp.condenser_conductance().value(),
+            mass_kg: LHP_MASS_KG,
+            lambda_factor: 1.0,
+            parasitic_w: 0.0,
+            pinned_setpoint_c: None,
+            per_box: false,
+        };
+
+        // Pumped CO₂ loop: one loop per box, setpoint-pinned.
+        let pumped =
+            PumpedTwoPhaseLoop::co2_ams02(Celsius::new(CO2_SETPOINT_C)).expect("pumped loop");
+        let (_, pumped_q) = pumped
+            .max_transport(tilt_rad)
+            .expect("pumped loop transport");
+        let pumped_chars = DeviceCharacteristics {
+            q_max_w: pumped_q.value(),
+            resistance_k_w: 1.0 / pumped.evaporator_conductance().value(),
+            mass_kg: pumped.mass_estimate(),
+            lambda_factor: PUMP_LAMBDA_FACTOR,
+            parasitic_w: pumped.pump_power().value(),
+            pinned_setpoint_c: Some(CO2_SETPOINT_C),
+            per_box: true,
+        };
+
+        let conduction_chars = DeviceCharacteristics {
+            q_max_w: f64::INFINITY,
+            resistance_k_w: RAIL_RESISTANCE_K_W,
+            mass_kg: RAIL_MASS_KG,
+            lambda_factor: 1.0,
+            parasitic_w: 0.0,
+            pinned_setpoint_c: None,
+            per_box: false,
+        };
+
+        let mut devices = [conduction_chars; 5];
+        devices[Topology::Conduction.index()] = conduction_chars;
+        devices[Topology::RoundHeatPipe.index()] = round_chars;
+        devices[Topology::FlatHeatPipe.index()] = flat_chars;
+        devices[Topology::LoopHeatPipe.index()] = lhp_chars;
+        devices[Topology::PumpedCo2.index()] = pumped_chars;
+
+        Self {
+            ambient,
+            base_power,
+            tilt_rad,
+            cage_length_m: 0.35,
+            external_conductance_w_k: 1.9,
+            wall_area_m2: 0.27,
+            tim_area_m2: 2.0e-3,
+            r_jc_k_w: 0.8,
+            board_mass_kg: 0.25,
+            environment: Environment::AirborneInhabited,
+            devices: [devices[0], devices[1], devices[2], devices[3], devices[4]],
+        }
+    }
+
+    /// The resolved characteristics of one topology.
+    pub fn device(&self, topology: Topology) -> &DeviceCharacteristics {
+        &self.devices[topology.index()]
+    }
+
+    /// Evaluates one genome. Pure: bitwise identical for identical
+    /// inputs, no interior mutability, no allocation on the hot path
+    /// beyond the reliability model's part list.
+    pub fn evaluate(&self, g: &Genome) -> Objectives {
+        let dev = self.device(g.topology);
+        let power = self.base_power.value() * g.power_scale + dev.parasitic_w;
+        let n_boards = ((self.cage_length_m * 1000.0 / g.board_pitch_mm).floor() as usize).max(1);
+        let per_board = power / n_boards as f64;
+        let per_device = if dev.per_box { power } else { per_board };
+
+        // TIM joint at the genome's fill and bond line.
+        let k_tim = lewis_nielsen(
+            ThermalConductivity::new(TIM_MATRIX_K),
+            ThermalConductivity::new(TIM_FILLER_K),
+            g.tim_fill,
+            FillerShape::Sphere,
+        )
+        .map(|k| k.value())
+        // Off the model's validity range (shrunk design spaces can
+        // push there): fall back to the matrix floor, a strictly
+        // worse but finite joint.
+        .unwrap_or(TIM_MATRIX_K);
+        let r_tim = g.tim_bond_microns * 1e-6 / (k_tim * self.tim_area_m2);
+
+        // Wall spreading from the board tap toward the radiating
+        // surface: half a pitch of path through the wall section.
+        let wall_m = g.wall_mm * 1e-3;
+        let spread_path_m = g.board_pitch_mm * 1e-3 * 0.5;
+        let wall_section_width_m = 0.3;
+        let r_wall = spread_path_m / (WALL_K * wall_m * wall_section_width_m);
+
+        // Junction temperature.
+        let deficit = (per_device - dev.q_max_w).max(0.0);
+        let feasible = deficit == 0.0;
+        let dt_k = if let Some(setpoint) = dev.pinned_setpoint_c {
+            // Pumped loop: the evaporator is pinned; ambient only
+            // enters through the (remote) condenser, not the box.
+            let junction_rise =
+                per_board * (self.r_jc_k_w + r_tim) + per_device * dev.resistance_k_w;
+            setpoint + junction_rise - self.ambient.value()
+        } else {
+            let dt_ext = power / self.external_conductance_w_k;
+            dt_ext + per_board * (self.r_jc_k_w + r_tim + r_wall) + per_device * dev.resistance_k_w
+        };
+        let dt_k = if feasible {
+            dt_k
+        } else {
+            INFEASIBLE_DT_FLOOR + INFEASIBLE_DT_PER_W * deficit + dt_k.max(0.0)
+        };
+
+        // Mass.
+        let device_count = if dev.per_box { 1.0 } else { n_boards as f64 };
+        let tim_mass = n_boards as f64 * self.tim_area_m2 * g.tim_bond_microns * 1e-6 * TIM_RHO;
+        let mass_kg = self.wall_area_m2 * wall_m * WALL_RHO
+            + n_boards as f64 * self.board_mass_kg
+            + device_count * dev.mass_kg
+            + tim_mass;
+
+        // Reliability: one parts-count module per board at its
+        // junction, failure rates in series across the box.
+        let junction = Celsius::new((self.ambient.value() + dt_k).clamp(-55.0, 175.0));
+        let module = ReliabilityModel::typical_avionics_module(self.environment, junction)
+            .expect("typical module construction");
+        let lambda_box = module.failure_rate_per_hour() * n_boards as f64 * dev.lambda_factor;
+        let mtbf_hours = 1.0 / lambda_box;
+
+        Objectives {
+            dt_k,
+            mass_kg,
+            mtbf_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(Celsius::new(25.0), Power::new(120.0), 0.0)
+    }
+
+    fn genome(topology: Topology) -> Genome {
+        Genome {
+            topology,
+            tim_bond_microns: 100.0,
+            tim_fill: 0.4,
+            board_pitch_mm: 25.0,
+            wall_mm: 2.0,
+            power_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn heat_pipes_beat_bare_conduction_on_dt() {
+        let c = ctx();
+        let base = c.evaluate(&genome(Topology::Conduction));
+        let hp = c.evaluate(&genome(Topology::RoundHeatPipe));
+        assert!(
+            hp.dt_k < base.dt_k,
+            "heat pipe {:.1} K vs rails {:.1} K",
+            hp.dt_k,
+            base.dt_k
+        );
+    }
+
+    #[test]
+    fn pumped_loop_buys_dt_with_mass_and_mtbf() {
+        let c = ctx();
+        let pumped = c.evaluate(&genome(Topology::PumpedCo2));
+        let hp = c.evaluate(&genome(Topology::RoundHeatPipe));
+        // The 5 °C setpoint puts junctions far below every passive
+        // option…
+        assert!(pumped.dt_k < hp.dt_k);
+        // …at a mass premium (pump + accumulator + charge)…
+        assert!(pumped.mass_kg > 0.0);
+        // …and the junction benefit must NOT hide the pump's
+        // failure-rate multiplier: recompute the passive-equivalent
+        // MTBF at the same junction and check the derate shows.
+        let junction = Celsius::new(25.0 + pumped.dt_k);
+        let module =
+            ReliabilityModel::typical_avionics_module(Environment::AirborneInhabited, junction)
+                .unwrap();
+        let n_boards: f64 = 0.35 * 1000.0 / 25.0;
+        let passive_mtbf = 1.0 / (module.failure_rate_per_hour() * n_boards.floor());
+        assert!(pumped.mtbf_hours < passive_mtbf);
+    }
+
+    #[test]
+    fn infeasible_transport_is_finitely_penalized() {
+        let c = ctx();
+        let mut g = genome(Topology::RoundHeatPipe);
+        g.power_scale = 30.0; // deliberately past any pipe's transport
+        g.board_pitch_mm = 45.0; // few boards → huge per-board power
+        let obj = c.evaluate(&g);
+        assert!(obj.dt_k.is_finite());
+        assert!(obj.dt_k >= INFEASIBLE_DT_FLOOR);
+    }
+
+    #[test]
+    fn tilt_degrades_wick_devices_not_the_pump() {
+        let flat = EvalContext::new(Celsius::new(25.0), Power::new(120.0), 0.0);
+        let tilted = EvalContext::new(Celsius::new(25.0), Power::new(120.0), 60f64.to_radians());
+        let round_flat = flat.device(Topology::RoundHeatPipe).q_max_w;
+        let round_tilted = tilted.device(Topology::RoundHeatPipe).q_max_w;
+        assert!(round_tilted < round_flat);
+        let pump_flat = flat.device(Topology::PumpedCo2).q_max_w;
+        let pump_tilted = tilted.device(Topology::PumpedCo2).q_max_w;
+        assert!(pump_tilted > 0.9 * pump_flat);
+    }
+
+    #[test]
+    fn evaluation_is_bitwise_deterministic() {
+        let c = ctx();
+        let g = genome(Topology::LoopHeatPipe);
+        let a = c.evaluate(&g);
+        let b = c.evaluate(&g);
+        assert_eq!(a.minimized(), b.minimized());
+    }
+
+    #[test]
+    fn dominance_is_strict_partial_order() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 1.0, 1.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &a));
+    }
+}

@@ -1,0 +1,186 @@
+//! The Pareto front: the non-dominated set in canonical order, with a
+//! fingerprint so two runs (or two thread counts) can be compared
+//! bit-for-bit.
+
+use aeropack_solver::Fingerprint;
+
+use crate::eval::{dominates, Objectives};
+use crate::genome::Genome;
+
+/// One evaluated design on (or off) the front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// The design vector.
+    pub genome: Genome,
+    /// Its three objectives.
+    pub objectives: Objectives,
+}
+
+impl ParetoPoint {
+    /// The minimized objective vector.
+    pub fn minimized(&self) -> [f64; 3] {
+        self.objectives.minimized()
+    }
+}
+
+/// The mutually non-dominated set, canonically ordered.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParetoFront {
+    points: Vec<ParetoPoint>,
+}
+
+/// Total order on minimized objective vectors with the genome
+/// fingerprint as the final tie-break. Objective values are finite by
+/// construction (the evaluator penalizes instead of producing NaN or
+/// ∞... except conduction's infinite `q_max`, which never reaches an
+/// objective), so `partial_cmp` cannot fail; we still fall back to a
+/// bit-level order to keep the sort total no matter what.
+fn canonical_cmp(a: &ParetoPoint, b: &ParetoPoint) -> std::cmp::Ordering {
+    let (ka, kb) = (a.minimized(), b.minimized());
+    for i in 0..3 {
+        match ka[i]
+            .partial_cmp(&kb[i])
+            .unwrap_or_else(|| ka[i].to_bits().cmp(&kb[i].to_bits()))
+        {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.genome.fingerprint().cmp(&b.genome.fingerprint())
+}
+
+impl ParetoFront {
+    /// Extracts the non-dominated subset of `points`, deduplicated by
+    /// genome fingerprint and canonically sorted.
+    pub fn from_points(points: &[ParetoPoint]) -> Self {
+        let mut front: Vec<ParetoPoint> = Vec::new();
+        'candidate: for (i, p) in points.iter().enumerate() {
+            let pm = p.minimized();
+            for (j, q) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let qm = q.minimized();
+                if dominates(&qm, &pm) {
+                    continue 'candidate;
+                }
+            }
+            front.push(*p);
+        }
+        front.sort_by(canonical_cmp);
+        front.dedup_by_key(|p| p.genome.fingerprint());
+        Self { points: front }
+    }
+
+    /// The front's points in canonical order.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of designs on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// True when some front member dominates (or equals) the sample.
+    pub fn covers(&self, sample: &[f64; 3]) -> bool {
+        self.points
+            .iter()
+            .any(|p| p.minimized() == *sample || dominates(&p.minimized(), sample))
+    }
+
+    /// Bit-exact fingerprint of the whole front: every genome and every
+    /// objective vector in canonical order. Two fronts share a
+    /// fingerprint iff they are bitwise identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("optimize.front");
+        fp.write_usize(self.points.len());
+        for p in &self.points {
+            p.genome.hash_into(&mut fp);
+            for v in p.minimized() {
+                fp.write_f64(v);
+            }
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Topology;
+
+    fn point(dt: f64, mass: f64, mtbf: f64, seed: f64) -> ParetoPoint {
+        ParetoPoint {
+            genome: Genome {
+                topology: Topology::Conduction,
+                tim_bond_microns: 20.0 + seed,
+                tim_fill: 0.1,
+                board_pitch_mm: 20.0,
+                wall_mm: 2.0,
+                power_scale: 1.0,
+            },
+            objectives: Objectives {
+                dt_k: dt,
+                mass_kg: mass,
+                mtbf_hours: mtbf,
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = [
+            point(10.0, 5.0, 1e4, 0.0),
+            point(20.0, 6.0, 0.9e4, 1.0), // dominated by the first
+            point(8.0, 7.0, 1e4, 2.0),    // trades dt for mass: kept
+        ];
+        let front = ParetoFront::from_points(&pts);
+        assert_eq!(front.len(), 2);
+        assert!(front.covers(&[20.0, 6.0, -0.9e4]));
+    }
+
+    #[test]
+    fn front_members_are_mutually_nondominated() {
+        let pts = [
+            point(10.0, 5.0, 1e4, 0.0),
+            point(8.0, 7.0, 1.2e4, 1.0),
+            point(6.0, 9.0, 0.8e4, 2.0),
+        ];
+        let front = ParetoFront::from_points(&pts);
+        for a in front.points() {
+            for b in front.points() {
+                assert!(!dominates(&a.minimized(), &b.minimized()) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_genomes_collapse() {
+        let p = point(10.0, 5.0, 1e4, 0.0);
+        let front = ParetoFront::from_points(&[p, p, p]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = [point(10.0, 5.0, 1e4, 0.0), point(8.0, 7.0, 1e4, 1.0)];
+        let b = [a[1], a[0]];
+        assert_eq!(
+            ParetoFront::from_points(&a).fingerprint(),
+            ParetoFront::from_points(&b).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_different_fronts() {
+        let a = ParetoFront::from_points(&[point(10.0, 5.0, 1e4, 0.0)]);
+        let b = ParetoFront::from_points(&[point(11.0, 5.0, 1e4, 0.0)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

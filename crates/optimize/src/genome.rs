@@ -1,0 +1,300 @@
+//! The design vector: a discrete cooling topology crossed with the
+//! continuous packaging parameters, plus the bounded design space the
+//! optimizer samples, recombines and mutates inside.
+//!
+//! Everything here is deterministic given a [`SplitMix64`] stream, and
+//! every genome has a canonical [`Fingerprint`] so fronts can be
+//! compared bit-for-bit across runs and thread counts.
+
+use aeropack_solver::Fingerprint;
+use aeropack_units::SplitMix64;
+
+/// The discrete cooling-topology gene: how heat leaves the boards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Conduction rails to the chassis wall only (the no-device
+    /// baseline the paper starts from).
+    Conduction,
+    /// One 6 mm cylindrical copper/water heat pipe per board.
+    RoundHeatPipe,
+    /// One thin sintered-wick flat heat pipe per board
+    /// (arXiv:0802.3107 geometry).
+    FlatHeatPipe,
+    /// One ammonia loop heat pipe per board (the COSEE escape path).
+    LoopHeatPipe,
+    /// A single mechanically pumped CO₂ loop serving the whole box
+    /// (AMS-02 TTCS architecture, arXiv:1302.4294).
+    PumpedCo2,
+}
+
+impl Topology {
+    /// Every topology, in canonical gene order.
+    pub const ALL: [Topology; 5] = [
+        Topology::Conduction,
+        Topology::RoundHeatPipe,
+        Topology::FlatHeatPipe,
+        Topology::LoopHeatPipe,
+        Topology::PumpedCo2,
+    ];
+
+    /// Stable tag (wire encoding, reports, snapshots).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Conduction => "conduction",
+            Self::RoundHeatPipe => "round_heat_pipe",
+            Self::FlatHeatPipe => "flat_heat_pipe",
+            Self::LoopHeatPipe => "loop_heat_pipe",
+            Self::PumpedCo2 => "pumped_co2",
+        }
+    }
+
+    /// Parses a stable tag.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.tag() == tag)
+    }
+
+    /// Canonical gene index (fingerprints, dense tables).
+    pub fn index(self) -> usize {
+        match self {
+            Self::Conduction => 0,
+            Self::RoundHeatPipe => 1,
+            Self::FlatHeatPipe => 2,
+            Self::LoopHeatPipe => 3,
+            Self::PumpedCo2 => 4,
+        }
+    }
+}
+
+/// One candidate design: topology × continuous packaging parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Genome {
+    /// Cooling topology.
+    pub topology: Topology,
+    /// TIM bond-line thickness, µm.
+    pub tim_bond_microns: f64,
+    /// TIM filler volume fraction (spherical filler, Lewis–Nielsen).
+    pub tim_fill: f64,
+    /// Board (card) pitch, mm — sets how many boards share the box.
+    pub board_pitch_mm: f64,
+    /// Chassis wall thickness, mm — spreading vs structural mass.
+    pub wall_mm: f64,
+    /// Power-map scale: the dissipation margin the design must absorb.
+    pub power_scale: f64,
+}
+
+/// A closed interval a continuous gene lives in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneRange {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive; sampling is half-open, mutation clamps
+    /// onto the closed interval).
+    pub hi: f64,
+}
+
+impl GeneRange {
+    fn clamp(&self, v: f64) -> f64 {
+        v.max(self.lo).min(self.hi)
+    }
+}
+
+/// The bounded design space: which topologies are admissible and the
+/// range of every continuous gene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Admissible topologies (at least one).
+    pub topologies: Vec<Topology>,
+    /// TIM bond line, µm.
+    pub tim_bond_microns: GeneRange,
+    /// TIM filler volume fraction.
+    pub tim_fill: GeneRange,
+    /// Board pitch, mm.
+    pub board_pitch_mm: GeneRange,
+    /// Wall thickness, mm.
+    pub wall_mm: GeneRange,
+    /// Power-map scale.
+    pub power_scale: GeneRange,
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self {
+            topologies: Topology::ALL.to_vec(),
+            tim_bond_microns: GeneRange {
+                lo: 20.0,
+                hi: 300.0,
+            },
+            tim_fill: GeneRange { lo: 0.05, hi: 0.55 },
+            board_pitch_mm: GeneRange { lo: 12.0, hi: 45.0 },
+            wall_mm: GeneRange { lo: 0.8, hi: 5.0 },
+            power_scale: GeneRange { lo: 0.5, hi: 2.0 },
+        }
+    }
+}
+
+impl DesignSpace {
+    /// Samples a uniform random genome.
+    pub fn sample(&self, rng: &mut SplitMix64) -> Genome {
+        let topology = self.topologies[(rng.next_u64() % self.topologies.len() as u64) as usize];
+        Genome {
+            topology,
+            tim_bond_microns: rng.range_f64(self.tim_bond_microns.lo, self.tim_bond_microns.hi),
+            tim_fill: rng.range_f64(self.tim_fill.lo, self.tim_fill.hi),
+            board_pitch_mm: rng.range_f64(self.board_pitch_mm.lo, self.board_pitch_mm.hi),
+            wall_mm: rng.range_f64(self.wall_mm.lo, self.wall_mm.hi),
+            power_scale: rng.range_f64(self.power_scale.lo, self.power_scale.hi),
+        }
+    }
+
+    /// Blend (BLX-style) crossover of the continuous genes; each child
+    /// inherits one parent's topology.
+    pub fn crossover(&self, a: &Genome, b: &Genome, rng: &mut SplitMix64) -> (Genome, Genome) {
+        let mut blend = |ra: &GeneRange, x: f64, y: f64| {
+            let alpha = rng.range_f64(-0.25, 1.25);
+            let c1 = ra.clamp(x + alpha * (y - x));
+            let c2 = ra.clamp(y + alpha * (x - y));
+            (c1, c2)
+        };
+        let (t1, t2) = (self.tim_bond_microns, self.tim_fill);
+        let (bond1, bond2) = blend(&t1, a.tim_bond_microns, b.tim_bond_microns);
+        let (fill1, fill2) = blend(&t2, a.tim_fill, b.tim_fill);
+        let (pitch1, pitch2) = blend(&self.board_pitch_mm, a.board_pitch_mm, b.board_pitch_mm);
+        let (wall1, wall2) = blend(&self.wall_mm, a.wall_mm, b.wall_mm);
+        let (ps1, ps2) = blend(&self.power_scale, a.power_scale, b.power_scale);
+        let swap = rng.next_u64() & 1 == 1;
+        let (top1, top2) = if swap {
+            (b.topology, a.topology)
+        } else {
+            (a.topology, b.topology)
+        };
+        (
+            Genome {
+                topology: top1,
+                tim_bond_microns: bond1,
+                tim_fill: fill1,
+                board_pitch_mm: pitch1,
+                wall_mm: wall1,
+                power_scale: ps1,
+            },
+            Genome {
+                topology: top2,
+                tim_bond_microns: bond2,
+                tim_fill: fill2,
+                board_pitch_mm: pitch2,
+                wall_mm: wall2,
+                power_scale: ps2,
+            },
+        )
+    }
+
+    /// Mutates each gene with probability `rate`: continuous genes get
+    /// a clamped Gaussian kick of `sigma` × range, the topology gene
+    /// resamples uniformly.
+    pub fn mutate(&self, g: &mut Genome, rng: &mut SplitMix64, rate: f64, sigma: f64) {
+        let mut kick = |r: &GeneRange, v: &mut f64| {
+            // Always draw from the stream so the choice sequence is
+            // independent of which mutations fire.
+            let fire = rng.next_f64() < rate;
+            let z = rng.gaussian();
+            if fire {
+                *v = r.clamp(*v + z * sigma * (r.hi - r.lo));
+            }
+        };
+        kick(&self.tim_bond_microns, &mut g.tim_bond_microns);
+        kick(&self.tim_fill, &mut g.tim_fill);
+        kick(&self.board_pitch_mm, &mut g.board_pitch_mm);
+        kick(&self.wall_mm, &mut g.wall_mm);
+        kick(&self.power_scale, &mut g.power_scale);
+        let fire = rng.next_f64() < rate;
+        let pick = rng.next_u64();
+        if fire {
+            g.topology = self.topologies[(pick % self.topologies.len() as u64) as usize];
+        }
+    }
+}
+
+impl Genome {
+    /// Writes the canonical encoding into a fingerprint.
+    pub fn hash_into(&self, fp: &mut Fingerprint) {
+        fp.write_u8(self.topology.index() as u8);
+        fp.write_f64(self.tim_bond_microns);
+        fp.write_f64(self.tim_fill);
+        fp.write_f64(self.board_pitch_mm);
+        fp.write_f64(self.wall_mm);
+        fp.write_f64(self.power_scale);
+    }
+
+    /// Canonical genome fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("optimize.genome");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_stays_in_bounds() {
+        let space = DesignSpace::default();
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..500 {
+            let g = space.sample(&mut rng);
+            assert!(g.tim_bond_microns >= 20.0 && g.tim_bond_microns < 300.0);
+            assert!(g.tim_fill >= 0.05 && g.tim_fill < 0.55);
+            assert!(g.board_pitch_mm >= 12.0 && g.board_pitch_mm < 45.0);
+            assert!(g.wall_mm >= 0.8 && g.wall_mm < 5.0);
+            assert!(g.power_scale >= 0.5 && g.power_scale < 2.0);
+        }
+    }
+
+    #[test]
+    fn crossover_and_mutation_respect_bounds() {
+        let space = DesignSpace::default();
+        let mut rng = SplitMix64::new(11);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        for _ in 0..200 {
+            let (mut c1, mut c2) = space.crossover(&a, &b, &mut rng);
+            space.mutate(&mut c1, &mut rng, 0.5, 0.2);
+            space.mutate(&mut c2, &mut rng, 0.5, 0.2);
+            for c in [c1, c2] {
+                assert!(c.tim_bond_microns >= 20.0 && c.tim_bond_microns <= 300.0);
+                assert!(c.tim_fill >= 0.05 && c.tim_fill <= 0.55);
+                assert!(c.board_pitch_mm >= 12.0 && c.board_pitch_mm <= 45.0);
+                assert!(c.wall_mm >= 0.8 && c.wall_mm <= 5.0);
+                assert!(c.power_scale >= 0.5 && c.power_scale <= 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let space = DesignSpace::default();
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..50 {
+            assert_eq!(space.sample(&mut a), space.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn topology_tags_round_trip() {
+        for t in Topology::ALL {
+            assert_eq!(Topology::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(Topology::from_tag("fan"), None);
+    }
+
+    #[test]
+    fn fingerprint_separates_genomes() {
+        let space = DesignSpace::default();
+        let mut rng = SplitMix64::new(3);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic multi-objective packaging optimization.
+//!
+//! The paper's §V trade — stay with conduction rails, add heat pipes,
+//! escape to a loop heat pipe, or go to a pumped loop — is a genuine
+//! multi-objective decision: junction margin, mass and reliability
+//! pull in different directions. This crate closes that loop as a
+//! search problem:
+//!
+//! * [`Genome`]/[`DesignSpace`] — a discrete cooling topology
+//!   ([`Topology`]) crossed with continuous packaging parameters (TIM
+//!   bond line and fill, board pitch, wall thickness, power margin).
+//! * [`EvalContext`] — folds the `aeropack-twophase` device physics
+//!   into per-topology characteristics once per run, then evaluates
+//!   each genome closed-form: worst ΔT, packaged mass, MIL-HDBK-217F
+//!   MTBF from `aeropack-envqual`.
+//! * [`Optimizer`] — NSGA-II with all randomness on one serial
+//!   [`SplitMix64`](aeropack_units::SplitMix64) stream and all
+//!   parallel work behind order-preserving
+//!   [`Sweep::map`](aeropack_sweep::Sweep) calls, so a run is
+//!   bit-identical at 1, 2 or 8 threads.
+//! * [`ParetoFront`] — the canonical non-dominated set with a
+//!   [`Fingerprint`](aeropack_solver::Fingerprint)-based hash for
+//!   golden gating.
+//!
+//! # Example
+//!
+//! ```
+//! use aeropack_optimize::{DesignSpace, EvalContext, Optimizer, OptimizerConfig};
+//! use aeropack_sweep::Sweep;
+//! use aeropack_units::{Celsius, Power};
+//!
+//! let ctx = EvalContext::new(Celsius::new(25.0), Power::new(120.0), 0.0);
+//! let config = OptimizerConfig {
+//!     population: 16,
+//!     generations: 4,
+//!     seed: 7,
+//!     ..OptimizerConfig::default()
+//! };
+//! let result = Optimizer::new(DesignSpace::default(), config).run(&ctx, &Sweep::serial());
+//! assert!(!result.front.is_empty());
+//! assert_eq!(result.evaluations, 16 * 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod front;
+mod genome;
+mod nsga;
+
+pub use eval::{dominates, DeviceCharacteristics, EvalContext, Objectives};
+pub use front::{ParetoFront, ParetoPoint};
+pub use genome::{DesignSpace, GeneRange, Genome, Topology};
+pub use nsga::{OptimizeResult, Optimizer, OptimizerConfig};

@@ -1,0 +1,455 @@
+//! Deterministic NSGA-II over the sweep engine.
+//!
+//! The shape is the classical one — fast non-dominated sort, crowding
+//! distance, binary tournament, blend crossover, Gaussian mutation,
+//! elitist (µ+λ) environmental selection — with two structural choices
+//! that make the whole run bit-identical at any thread count:
+//!
+//! * **All randomness is serial.** One [`SplitMix64`] stream on the
+//!   calling thread drives sampling, selection, crossover and
+//!   mutation; workers never see the RNG.
+//! * **All parallel work is order-preserving and pure.** Objective
+//!   evaluation and the O(N²) domination scan go through
+//!   [`Sweep::map`], which returns results in input order regardless
+//!   of the worker count, and the mapped closures are pure functions
+//!   of their input.
+//!
+//! Ties are always broken by a total order (rank, then crowding with a
+//! bit-level f64 fallback, then population index), never by pointer or
+//! hash-map iteration order.
+
+use aeropack_obs::{counter, span};
+use aeropack_sweep::Sweep;
+use aeropack_units::SplitMix64;
+
+use crate::eval::{dominates, EvalContext};
+use crate::front::{ParetoFront, ParetoPoint};
+use crate::genome::DesignSpace;
+
+/// Run parameters. `population × (generations + 1)` objective
+/// evaluations are performed in total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Population size (≥ 2).
+    pub population: usize,
+    /// Number of offspring generations after the initial sample.
+    pub generations: usize,
+    /// Root seed of the single serial RNG stream.
+    pub seed: u64,
+    /// Probability a mating pair recombines (else the parents pass
+    /// through unchanged, still subject to mutation).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation kick as a fraction of each gene's range.
+    pub mutation_sigma: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            population: 128,
+            generations: 40,
+            seed: 0xae20_9a5e_0b75_c0de,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            mutation_sigma: 0.1,
+        }
+    }
+}
+
+/// The outcome of one optimizer run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// The non-dominated set of the final population.
+    pub front: ParetoFront,
+    /// The full final population (front members included).
+    pub population: Vec<ParetoPoint>,
+    /// Objective evaluations performed.
+    pub evaluations: u64,
+    /// Generations run.
+    pub generations: usize,
+}
+
+/// Per-individual state the selection operators read.
+#[derive(Debug, Clone, Copy)]
+struct Ranked {
+    rank: u32,
+    crowding: f64,
+}
+
+/// Descending f64 with a bit-level fallback so the order is total even
+/// for the ±∞ crowding sentinels.
+fn cmp_f64_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    b.partial_cmp(&a)
+        .unwrap_or_else(|| b.to_bits().cmp(&a.to_bits()))
+}
+
+fn cmp_f64_asc(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b)
+        .unwrap_or_else(|| a.to_bits().cmp(&b.to_bits()))
+}
+
+/// Fast non-dominated sort: returns the fronts as index lists, best
+/// first. The O(N²) domination scan runs through the sweep (pure,
+/// order-preserving); the peel is serial.
+fn fast_nondominated_sort(objectives: &[[f64; 3]], sweep: &Sweep) -> Vec<Vec<u32>> {
+    let n = objectives.len();
+    let indices: Vec<u32> = (0..n as u32).collect();
+    // For each individual: how many dominate it, and whom it dominates.
+    let meta: Vec<(u32, Vec<u32>)> = sweep.map(&indices, |&i| {
+        let mine = &objectives[i as usize];
+        let mut dominated_by = 0u32;
+        let mut dominates_list = Vec::new();
+        for (j, other) in objectives.iter().enumerate() {
+            if j as u32 == i {
+                continue;
+            }
+            if dominates(other, mine) {
+                dominated_by += 1;
+            } else if dominates(mine, other) {
+                dominates_list.push(j as u32);
+            }
+        }
+        (dominated_by, dominates_list)
+    });
+
+    let mut remaining: Vec<u32> = meta.iter().map(|(d, _)| *d).collect();
+    let mut fronts: Vec<Vec<u32>> = Vec::new();
+    let mut current: Vec<u32> = indices
+        .iter()
+        .copied()
+        .filter(|&i| remaining[i as usize] == 0)
+        .collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &meta[i as usize].1 {
+                remaining[j as usize] -= 1;
+                if remaining[j as usize] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of one front (boundary points get ∞).
+fn crowding_distances(front: &[u32], objectives: &[[f64; 3]]) -> Vec<f64> {
+    let n = front.len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    // `m` walks the objective axes of the inner `[f64; 3]`, not an
+    // iterable container.
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..3 {
+        order.sort_by(|&a, &b| {
+            cmp_f64_asc(
+                objectives[front[a] as usize][m],
+                objectives[front[b] as usize][m],
+            )
+            .then(front[a].cmp(&front[b]))
+        });
+        let lo = objectives[front[order[0]] as usize][m];
+        let hi = objectives[front[order[n - 1]] as usize][m];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range > 0.0 {
+            for w in 1..n - 1 {
+                let below = objectives[front[order[w - 1]] as usize][m];
+                let above = objectives[front[order[w + 1]] as usize][m];
+                dist[order[w]] += (above - below) / range;
+            }
+        }
+    }
+    dist
+}
+
+/// Ranks a population: NSGA rank + crowding for every individual.
+fn rank_population(objectives: &[[f64; 3]], sweep: &Sweep) -> Vec<Ranked> {
+    let fronts = fast_nondominated_sort(objectives, sweep);
+    let mut ranked = vec![
+        Ranked {
+            rank: u32::MAX,
+            crowding: 0.0,
+        };
+        objectives.len()
+    ];
+    for (r, front) in fronts.iter().enumerate() {
+        let dist = crowding_distances(front, objectives);
+        for (&i, &d) in front.iter().zip(&dist) {
+            ranked[i as usize] = Ranked {
+                rank: r as u32,
+                crowding: d,
+            };
+        }
+    }
+    ranked
+}
+
+/// Binary tournament: lower rank wins, then higher crowding, then
+/// lower index — a total order, so the winner is never ambiguous.
+fn tournament(ranked: &[Ranked], rng: &mut SplitMix64) -> usize {
+    let n = ranked.len() as u64;
+    let a = (rng.next_u64() % n) as usize;
+    let b = (rng.next_u64() % n) as usize;
+    let better = ranked[a]
+        .rank
+        .cmp(&ranked[b].rank)
+        .then(cmp_f64_desc(ranked[a].crowding, ranked[b].crowding))
+        .then(a.cmp(&b));
+    if better.is_le() {
+        a
+    } else {
+        b
+    }
+}
+
+/// The optimizer: a design space, a configuration and a run loop.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    space: DesignSpace,
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer over `space` with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the population is smaller than 2 or the design
+    /// space admits no topology — both are programming errors, not
+    /// data errors.
+    pub fn new(space: DesignSpace, config: OptimizerConfig) -> Self {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!(
+            !space.topologies.is_empty(),
+            "design space must admit at least one topology"
+        );
+        Self { space, config }
+    }
+
+    /// The configuration the optimizer was built with.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs the search. Bit-identical output for identical
+    /// `(space, config, ctx)` at any sweep thread count.
+    pub fn run(&self, ctx: &EvalContext, sweep: &Sweep) -> OptimizeResult {
+        let _span = span!(
+            "optimize.run",
+            seed = self.config.seed,
+            population = self.config.population,
+            generations = self.config.generations
+        );
+        counter!("optimize.runs");
+        let n = self.config.population;
+        let mut rng = SplitMix64::new(self.config.seed);
+        let mut evaluations = 0u64;
+
+        let evaluate =
+            |genomes: &[crate::genome::Genome], evaluations: &mut u64| -> Vec<ParetoPoint> {
+                let objectives = sweep.map(genomes, |g| ctx.evaluate(g));
+                *evaluations += genomes.len() as u64;
+                counter!("optimize.evaluations", genomes.len() as u64);
+                genomes
+                    .iter()
+                    .zip(objectives)
+                    .map(|(g, o)| ParetoPoint {
+                        genome: *g,
+                        objectives: o,
+                    })
+                    .collect()
+            };
+
+        let seeds: Vec<_> = (0..n).map(|_| self.space.sample(&mut rng)).collect();
+        let mut population = evaluate(&seeds, &mut evaluations);
+
+        for _ in 0..self.config.generations {
+            counter!("optimize.generations");
+            let objectives: Vec<[f64; 3]> = population.iter().map(|p| p.minimized()).collect();
+            let ranked = rank_population(&objectives, sweep);
+
+            // Breed λ = N offspring on the serial RNG stream.
+            let mut offspring = Vec::with_capacity(n);
+            while offspring.len() < n {
+                let p1 = population[tournament(&ranked, &mut rng)].genome;
+                let p2 = population[tournament(&ranked, &mut rng)].genome;
+                let (mut c1, mut c2) = if rng.next_f64() < self.config.crossover_rate {
+                    self.space.crossover(&p1, &p2, &mut rng)
+                } else {
+                    (p1, p2)
+                };
+                self.space.mutate(
+                    &mut c1,
+                    &mut rng,
+                    self.config.mutation_rate,
+                    self.config.mutation_sigma,
+                );
+                self.space.mutate(
+                    &mut c2,
+                    &mut rng,
+                    self.config.mutation_rate,
+                    self.config.mutation_sigma,
+                );
+                offspring.push(c1);
+                if offspring.len() < n {
+                    offspring.push(c2);
+                }
+            }
+            let offspring = evaluate(&offspring, &mut evaluations);
+
+            // Elitist (µ+λ) environmental selection.
+            let mut combined = population;
+            combined.extend(offspring);
+            let combined_obj: Vec<[f64; 3]> = combined.iter().map(|p| p.minimized()).collect();
+            let fronts = fast_nondominated_sort(&combined_obj, sweep);
+            let mut next = Vec::with_capacity(n);
+            for front in &fronts {
+                if next.len() + front.len() <= n {
+                    next.extend(front.iter().map(|&i| combined[i as usize]));
+                } else {
+                    let dist = crowding_distances(front, &combined_obj);
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        cmp_f64_desc(dist[a], dist[b]).then(front[a].cmp(&front[b]))
+                    });
+                    for &w in order.iter().take(n - next.len()) {
+                        next.push(combined[front[w] as usize]);
+                    }
+                    break;
+                }
+            }
+            population = next;
+        }
+
+        let front = ParetoFront::from_points(&population);
+        counter!("optimize.front_size", front.len() as u64);
+        OptimizeResult {
+            front,
+            population,
+            evaluations,
+            generations: self.config.generations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeropack_units::{Celsius, Power};
+
+    fn quick_config(seed: u64) -> OptimizerConfig {
+        OptimizerConfig {
+            population: 32,
+            generations: 8,
+            seed,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(Celsius::new(25.0), Power::new(120.0), 0.0)
+    }
+
+    #[test]
+    fn run_produces_nonempty_mutually_nondominated_front() {
+        let opt = Optimizer::new(DesignSpace::default(), quick_config(1));
+        let result = opt.run(&ctx(), &Sweep::serial());
+        assert!(!result.front.is_empty());
+        for a in result.front.points() {
+            for b in result.front.points() {
+                assert!(!dominates(&a.minimized(), &b.minimized()) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_count_is_population_times_generations_plus_one() {
+        let cfg = quick_config(2);
+        let opt = Optimizer::new(DesignSpace::default(), cfg);
+        let result = opt.run(&ctx(), &Sweep::serial());
+        assert_eq!(
+            result.evaluations,
+            (cfg.population * (cfg.generations + 1)) as u64
+        );
+        assert_eq!(result.population.len(), cfg.population);
+    }
+
+    #[test]
+    fn identical_runs_are_bitwise_identical_across_thread_counts() {
+        let context = ctx();
+        let opt = Optimizer::new(DesignSpace::default(), quick_config(3));
+        let serial = opt.run(&context, &Sweep::serial());
+        let two = opt.run(&context, &Sweep::new(2));
+        let eight = opt.run(&context, &Sweep::new(8));
+        assert_eq!(serial.front.fingerprint(), two.front.fingerprint());
+        assert_eq!(serial.front.fingerprint(), eight.front.fingerprint());
+        assert_eq!(serial.population, two.population);
+        assert_eq!(serial.population, eight.population);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let context = ctx();
+        let a = Optimizer::new(DesignSpace::default(), quick_config(10))
+            .run(&context, &Sweep::serial());
+        let b = Optimizer::new(DesignSpace::default(), quick_config(11))
+            .run(&context, &Sweep::serial());
+        assert_ne!(a.front.fingerprint(), b.front.fingerprint());
+    }
+
+    #[test]
+    fn search_improves_over_random_sampling() {
+        // The evolved front should cover (dominate or match) most of a
+        // fresh random sample of the same budget's initial slice.
+        let context = ctx();
+        let opt = Optimizer::new(DesignSpace::default(), quick_config(4));
+        let result = opt.run(&context, &Sweep::serial());
+        let space = DesignSpace::default();
+        let mut rng = aeropack_units::SplitMix64::new(0xbeef);
+        let mut covered = 0;
+        let total = 64;
+        for _ in 0..total {
+            let g = space.sample(&mut rng);
+            let obj = context.evaluate(&g).minimized();
+            if result.front.covers(&obj)
+                || result
+                    .front
+                    .points()
+                    .iter()
+                    .any(|p| !dominates(&obj, &p.minimized()))
+            {
+                covered += 1;
+            }
+        }
+        assert!(covered > total / 2, "front covered only {covered}/{total}");
+    }
+
+    #[test]
+    fn sort_and_crowding_are_deterministic() {
+        let objectives = vec![
+            [1.0, 2.0, 3.0],
+            [2.0, 1.0, 3.0],
+            [3.0, 3.0, 3.0],
+            [1.0, 2.0, 3.0],
+        ];
+        let serial = fast_nondominated_sort(&objectives, &Sweep::serial());
+        let threaded = fast_nondominated_sort(&objectives, &Sweep::new(4));
+        assert_eq!(serial, threaded);
+        // [3,3,3] is dominated by both minima; the duplicate pair and
+        // the [2,1,3] trade-off share front 0.
+        assert_eq!(serial[0], vec![0, 1, 3]);
+        assert_eq!(serial[1], vec![2]);
+        let dist = crowding_distances(&serial[0], &objectives);
+        assert_eq!(dist.len(), 3);
+    }
+}

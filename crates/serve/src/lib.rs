@@ -57,7 +57,7 @@ pub use error::Error;
 pub use queue::Priority;
 pub use request::{
     AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, FemPlateSpec, MaterialKind,
-    MissionSpec, PlateSpec, SchemeKind, SeatKind, SebSpec, TransientSpec,
+    MissionSpec, OptimizeSpec, PlateSpec, SchemeKind, SeatKind, SebSpec, TransientSpec,
 };
 pub use service::{Client, ServeConfig, Service, ServiceStats, ServiceTiming, Ticket};
 pub use transport::{serve, Daemon, SocketClient};

@@ -21,6 +21,8 @@ use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use aeropack_obs::counter;
+
 use crate::error::Error;
 use crate::request::AnalysisRequest;
 use crate::service::Reply;
@@ -193,6 +195,12 @@ impl JobQueue {
                         batch.jobs.push(s.jobs.remove(&k).expect("mate key"));
                     }
                 }
+                // The sweep above ran against a `now` captured at
+                // wake-up; selection and coalescing take time, and a
+                // condvar wake can deliver a head whose deadline
+                // lapsed in between. Re-check against a fresh clock at
+                // dispatch so a late job is rejected, not run.
+                expire_late(&mut batch, Instant::now());
                 return Some(batch);
             }
             if !batch.expired.is_empty() {
@@ -202,6 +210,24 @@ impl JobQueue {
                 return None;
             }
             s = self.available.wait(s).expect("queue condvar wait poisoned");
+        }
+    }
+}
+
+/// Dispatch-time deadline re-check: moves every selected job whose
+/// deadline is at or before `now` out of `batch.jobs` into
+/// `batch.expired`, preserving dispatch order on both sides. Each move
+/// counts under `serve.queue.expired_late` — jobs that outlived the
+/// wake-up sweep but died before dispatch.
+pub(crate) fn expire_late(batch: &mut Batch, now: Instant) {
+    let mut i = 0;
+    while i < batch.jobs.len() {
+        if batch.jobs[i].deadline.is_some_and(|d| d <= now) {
+            let late = batch.jobs.remove(i);
+            counter!("serve.queue.expired_late");
+            batch.expired.push(late);
+        } else {
+            i += 1;
         }
     }
 }
@@ -310,6 +336,60 @@ mod tests {
         assert_eq!(batch.expired.len(), 1);
         assert_eq!(batch.jobs.len(), 1);
         assert_eq!(power_of(&batch), 2.0);
+    }
+
+    #[test]
+    fn dispatch_recheck_routes_late_jobs_to_expired() {
+        use std::sync::Arc;
+
+        let reg = Arc::new(aeropack_obs::Registry::new());
+        let _g = aeropack_obs::scoped(reg.clone());
+
+        // Three selected jobs: one already late, one with an hour of
+        // margin, one with no deadline at all. A dispatch clock two
+        // hours out must expire exactly the first two and count each.
+        let mut batch = Batch {
+            expired: Vec::new(),
+            jobs: vec![
+                job(seb_request(1.0), Priority::Normal, Some(Duration::ZERO)),
+                job(
+                    seb_request(2.0),
+                    Priority::Normal,
+                    Some(Duration::from_secs(3600)),
+                ),
+                job(seb_request(3.0), Priority::Normal, None),
+            ],
+        };
+
+        let dispatch = Instant::now() + Duration::from_secs(7200);
+        super::expire_late(&mut batch, dispatch);
+        assert_eq!(batch.expired.len(), 2);
+        assert_eq!(batch.jobs.len(), 1);
+        assert_eq!(power_of(&batch), 3.0);
+        assert_eq!(reg.counter("serve.queue.expired_late"), 2);
+
+        // A fresh clock before any deadline must move nothing.
+        super::expire_late(&mut batch, Instant::now());
+        assert_eq!(batch.jobs.len(), 1);
+        assert_eq!(reg.counter("serve.queue.expired_late"), 2);
+    }
+
+    #[test]
+    fn next_batch_survives_all_selected_jobs_expiring_late() {
+        // A head whose deadline lapses between sweep and dispatch
+        // yields a batch with empty `jobs` and the head in `expired`
+        // — the worker-loop shape for "nothing left to run".
+        let q = JobQueue::new(16, 4);
+        q.push(job(
+            seb_request(1.0),
+            Priority::Normal,
+            Some(Duration::from_nanos(1)),
+        ))
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let batch = q.next_batch().unwrap();
+        assert_eq!(batch.expired.len(), 1);
+        assert!(batch.jobs.is_empty());
     }
 
     #[test]

@@ -485,6 +485,46 @@ impl TransientSpec {
     }
 }
 
+/// A deterministic multi-objective packaging optimization run: the
+/// `aeropack-optimize` NSGA-II search over cooling topology × TIM ×
+/// board pitch × wall thickness, reported as a Pareto front over
+/// (max ΔT, mass, MTBF).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeSpec {
+    /// Root seed of the run's single RNG stream (the reproducer: the
+    /// same seed and spec give a bit-identical front at any worker
+    /// thread count).
+    pub seed: u64,
+    /// Population size (≥ 2).
+    pub population: usize,
+    /// Offspring generations after the initial sample.
+    pub generations: usize,
+    /// Adverse tilt applied to gravity-sensitive devices, degrees.
+    pub tilt_deg: f64,
+    /// Cabin/bay ambient, °C.
+    pub ambient_c: f64,
+    /// Nominal box dissipation at power scale 1, W.
+    pub base_power_w: f64,
+}
+
+impl OptimizeSpec {
+    /// Model-level fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("serve.optimize");
+        self.hash_into(&mut fp);
+        fp.finish()
+    }
+
+    fn hash_into(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.seed);
+        fp.write_usize(self.population);
+        fp.write_usize(self.generations);
+        fp.write_f64(self.tilt_deg);
+        fp.write_f64(self.ambient_c);
+        fp.write_f64(self.base_power_w);
+    }
+}
+
 /// One analysis the service can run — the single typed entry point for
 /// every workload in the workspace.
 #[derive(Debug, Clone, PartialEq)]
@@ -549,6 +589,12 @@ pub enum AnalysisRequest {
         /// Plate + mission + integration settings.
         spec: TransientSpec,
     },
+    /// A multi-objective packaging optimization run (ΔT × mass × MTBF
+    /// Pareto front over the cooling-topology design space).
+    Optimize {
+        /// Run definition.
+        spec: OptimizeSpec,
+    },
     /// Harmonic base-excitation transmissibility sweep at the plate
     /// centre.
     FemHarmonic {
@@ -577,6 +623,7 @@ impl AnalysisRequest {
             Self::FemStatic { .. } => "fem_static",
             Self::FemModal { .. } => "fem_modal",
             Self::Transient { .. } => "transient",
+            Self::Optimize { .. } => "optimize",
             Self::FemHarmonic { .. } => "fem_harmonic",
         }
     }
@@ -618,6 +665,7 @@ impl AnalysisRequest {
                 fp.write_usize(*n_modes);
             }
             Self::Transient { spec } => spec.hash_into(&mut fp),
+            Self::Optimize { spec } => spec.hash_into(&mut fp),
             Self::FemHarmonic {
                 spec,
                 damping,
@@ -724,6 +772,24 @@ pub enum AnalysisResponse {
         /// Natural frequencies, Hz, ascending.
         frequencies_hz: Vec<f64>,
     },
+    /// Result of [`AnalysisRequest::Optimize`]: the Pareto front in
+    /// its canonical order, one entry per front design across the
+    /// parallel arrays.
+    Pareto {
+        /// Cooling topology tag of each front design.
+        topologies: Vec<String>,
+        /// Worst junction rise over ambient, K.
+        dt_k: Vec<f64>,
+        /// Packaged mass, kg.
+        mass_kg: Vec<f64>,
+        /// Box-level MTBF, hours.
+        mtbf_h: Vec<f64>,
+        /// Bit-exact fingerprint of the whole front (genomes +
+        /// objectives) — the thread-invariance witness.
+        front_hash: u64,
+        /// Objective evaluations performed by the run.
+        evaluations: u64,
+    },
     /// Result of [`AnalysisRequest::FemHarmonic`].
     Harmonic {
         /// Frequency of the peak response, Hz.
@@ -746,6 +812,7 @@ impl AnalysisResponse {
             Self::Transient { .. } => "transient",
             Self::Static { .. } => "static",
             Self::Modal { .. } => "modal",
+            Self::Pareto { .. } => "pareto",
             Self::Harmonic { .. } => "harmonic",
         }
     }

@@ -336,6 +336,16 @@ impl Service {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Ticket {
+        // A zero deadline can only expire: it would be admitted, swept
+        // on the next worker wake-up and rejected as `DeadlineExpired`
+        // after occupying a queue slot. Refuse it at the door instead,
+        // with a code that tells the caller the *request* was wrong,
+        // not that the service was slow.
+        if deadline == Some(Duration::ZERO) {
+            return Ticket::ready(Err(Error::invalid(
+                "deadline_ms must be positive (a zero deadline expires on admission)",
+            )));
+        }
         let cache_key = Workload::fingerprint(&request);
         if let Some(hit) = self.inner.cache.get(cache_key) {
             self.inner

@@ -25,7 +25,7 @@ use crate::error::Error;
 use crate::queue::Priority;
 use crate::request::{
     AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, FemPlateSpec, MaterialKind,
-    MissionSpec, PlateSpec, SchemeKind, SeatKind, SebSpec, TransientSpec,
+    MissionSpec, OptimizeSpec, PlateSpec, SchemeKind, SeatKind, SebSpec, TransientSpec,
 };
 
 /// A request envelope as it travels on the wire.
@@ -192,6 +192,21 @@ fn transient_spec_json(s: &TransientSpec) -> String {
     )
 }
 
+fn optimize_spec_json(s: &OptimizeSpec) -> String {
+    // The seed is a full u64; JSON numbers lose integers past 2⁵³, so
+    // it travels as hex (the `trajectory_hash` convention).
+    format!(
+        "{{\"seed\":\"{:016x}\",\"population\":{},\"generations\":{},\"tilt_deg\":{},\
+         \"ambient_c\":{},\"base_power_w\":{}}}",
+        s.seed,
+        s.population,
+        s.generations,
+        num(s.tilt_deg),
+        num(s.ambient_c),
+        num(s.base_power_w)
+    )
+}
+
 /// Encodes the body of a request (the `"request"` object).
 pub fn encode_request(request: &AnalysisRequest) -> String {
     let tag = request.tag();
@@ -229,6 +244,10 @@ pub fn encode_request(request: &AnalysisRequest) -> String {
         AnalysisRequest::Transient { spec } => format!(
             "{{\"type\":\"{tag}\",\"spec\":{}}}",
             transient_spec_json(spec)
+        ),
+        AnalysisRequest::Optimize { spec } => format!(
+            "{{\"type\":\"{tag}\",\"spec\":{}}}",
+            optimize_spec_json(spec)
         ),
         AnalysisRequest::FemModal { spec, n_modes } => format!(
             "{{\"type\":\"{tag}\",\"spec\":{},\"n_modes\":{n_modes}}}",
@@ -321,6 +340,27 @@ pub fn encode_response(response: &AnalysisResponse) -> String {
             "{{\"type\":\"{tag}\",\"frequencies_hz\":{}}}",
             nums(frequencies_hz)
         ),
+        AnalysisResponse::Pareto {
+            topologies,
+            dt_k,
+            mass_kg,
+            mtbf_h,
+            front_hash,
+            evaluations,
+        } => {
+            let tags: Vec<String> = topologies
+                .iter()
+                .map(|t| format!("\"{}\"", esc(t)))
+                .collect();
+            format!(
+                "{{\"type\":\"{tag}\",\"topologies\":[{}],\"dt_k\":{},\"mass_kg\":{},\
+                 \"mtbf_h\":{},\"front_hash\":\"{front_hash:016x}\",\"evaluations\":{evaluations}}}",
+                tags.join(","),
+                nums(dt_k),
+                nums(mass_kg),
+                nums(mtbf_h)
+            )
+        }
         AnalysisResponse::Harmonic {
             peak_hz,
             peak_transmissibility,
@@ -518,6 +558,22 @@ fn decode_transient_spec(v: &JsonValue) -> Result<TransientSpec, Error> {
     })
 }
 
+fn u64_hex_field(v: &JsonValue, key: &str) -> Result<u64, Error> {
+    let hex = str_field(v, key)?;
+    u64::from_str_radix(hex, 16).map_err(|_| wire_err(format!("bad {key} hex")))
+}
+
+fn decode_optimize_spec(v: &JsonValue) -> Result<OptimizeSpec, Error> {
+    Ok(OptimizeSpec {
+        seed: u64_hex_field(v, "seed")?,
+        population: usize_field(v, "population")?,
+        generations: usize_field(v, "generations")?,
+        tilt_deg: f64_field(v, "tilt_deg")?,
+        ambient_c: f64_field(v, "ambient_c")?,
+        base_power_w: f64_field(v, "base_power_w")?,
+    })
+}
+
 /// Decodes a request body (the `"request"` object).
 pub fn decode_request(v: &JsonValue) -> Result<AnalysisRequest, Error> {
     let spec = field(v, "spec")?;
@@ -544,6 +600,9 @@ pub fn decode_request(v: &JsonValue) -> Result<AnalysisRequest, Error> {
         }),
         "transient" => Ok(AnalysisRequest::Transient {
             spec: decode_transient_spec(spec)?,
+        }),
+        "optimize" => Ok(AnalysisRequest::Optimize {
+            spec: decode_optimize_spec(spec)?,
         }),
         "fem_static" => Ok(AnalysisRequest::FemStatic {
             spec: decode_fem_spec(spec)?,
@@ -616,6 +675,24 @@ pub fn decode_response(v: &JsonValue) -> Result<AnalysisResponse, Error> {
         "modal" => Ok(AnalysisResponse::Modal {
             frequencies_hz: f64s_field(v, "frequencies_hz")?,
         }),
+        "pareto" => {
+            let topologies = array_field(v, "topologies")?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| wire_err("field `topologies` has a non-string element"))
+                })
+                .collect::<Result<Vec<String>, Error>>()?;
+            Ok(AnalysisResponse::Pareto {
+                topologies,
+                dt_k: f64s_field(v, "dt_k")?,
+                mass_kg: f64s_field(v, "mass_kg")?,
+                mtbf_h: f64s_field(v, "mtbf_h")?,
+                front_hash: u64_hex_field(v, "front_hash")?,
+                evaluations: usize_field(v, "evaluations")? as u64,
+            })
+        }
         "harmonic" => Ok(AnalysisResponse::Harmonic {
             peak_hz: f64_field(v, "peak_hz")?,
             peak_transmissibility: f64_field(v, "peak_transmissibility")?,

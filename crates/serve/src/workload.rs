@@ -24,8 +24,8 @@ use aeropack_units::{Celsius, Frequency, HeatTransferCoeff, Length, Power, TempD
 
 use crate::error::Error;
 use crate::request::{
-    AnalysisRequest, AnalysisResponse, BoardSpec, FemPlateSpec, MissionSpec, PlateSpec, SeatKind,
-    SebSpec, TransientSpec,
+    AnalysisRequest, AnalysisResponse, BoardSpec, FemPlateSpec, MissionSpec, OptimizeSpec,
+    PlateSpec, SeatKind, SebSpec, TransientSpec,
 };
 
 /// How many built models a [`Workspace`] keeps warm before it clears
@@ -423,6 +423,7 @@ pub(crate) fn run_request(
             field_response(&field)
         }
         AnalysisRequest::Transient { spec } => run_transient(spec, ws),
+        AnalysisRequest::Optimize { spec } => run_optimize(spec),
         AnalysisRequest::FemStatic { spec, load_n } => {
             let mesh = build_fem_mesh(spec)?;
             let center = mesh.center_node();
@@ -537,6 +538,56 @@ fn run_transient(spec: &TransientSpec, ws: &mut Workspace) -> Result<AnalysisRes
         rejected: stats.rejected,
         factor_reuses: stats.factor_reuses,
         trajectory_hash: driver.trajectory_fingerprint(),
+    })
+}
+
+/// Evaluation budget ceiling for service-submitted optimizer runs: a
+/// wire request must not be able to pin a worker for hours.
+const OPTIMIZE_MAX_EVALUATIONS: u64 = 16_000_000;
+
+/// Runs a multi-objective optimization. The search itself runs serial
+/// inside this worker — the service's parallelism is the worker pool —
+/// which is also the bit-identical reference ordering, so a front hash
+/// computed here matches any thread count of a library-side run.
+fn run_optimize(spec: &OptimizeSpec) -> Result<AnalysisResponse, Error> {
+    use aeropack_optimize::{DesignSpace, EvalContext, Optimizer, OptimizerConfig};
+
+    if spec.population < 2 {
+        return Err(Error::invalid("optimize population must be at least 2"));
+    }
+    if !(spec.base_power_w > 0.0 && spec.base_power_w.is_finite()) {
+        return Err(Error::invalid("optimize base_power_w must be positive"));
+    }
+    let budget = spec.population as u64 * (spec.generations as u64 + 1);
+    if budget > OPTIMIZE_MAX_EVALUATIONS {
+        return Err(Error::invalid(format!(
+            "optimize run of {budget} evaluations exceeds the service cap \
+             of {OPTIMIZE_MAX_EVALUATIONS}"
+        )));
+    }
+    let ctx = EvalContext::new(
+        Celsius::new(spec.ambient_c),
+        Power::new(spec.base_power_w),
+        spec.tilt_deg.to_radians(),
+    );
+    let config = OptimizerConfig {
+        population: spec.population,
+        generations: spec.generations,
+        seed: spec.seed,
+        ..OptimizerConfig::default()
+    };
+    let result = Optimizer::new(DesignSpace::default(), config).run(&ctx, &Sweep::serial());
+    let points = result.front.points();
+    Ok(AnalysisResponse::Pareto {
+        topologies: points
+            .iter()
+            .map(|p| p.genome.topology.tag().to_string())
+            .collect(),
+        dt_k: points.iter().map(|p| p.objectives.dt_k).collect(),
+        mass_kg: points.iter().map(|p| p.objectives.mass_kg).collect(),
+        mtbf_h: points.iter().map(|p| p.objectives.mtbf_hours).collect(),
+        front_hash: result.front.fingerprint(),
+        evaluations: result.evaluations,
     })
 }
 

@@ -59,11 +59,30 @@ fn already_expired_deadline_is_rejected_not_run() {
     let service = Service::start(ServeConfig::new().workers(1));
     // Keep the worker busy so the doomed job is rejected while queued.
     let busy = service.submit(occupancy());
-    let doomed = service.submit_with(seb_point(40.0), Priority::Normal, Some(Duration::ZERO));
+    let doomed = service.submit_with(
+        seb_point(40.0),
+        Priority::Normal,
+        Some(Duration::from_nanos(1)),
+    );
     assert_eq!(doomed.wait(), Err(Error::DeadlineExpired));
     assert!(busy.wait().is_ok());
     let stats = service.stats();
     assert_eq!(stats.rejected_deadline, 1);
+}
+
+#[test]
+fn zero_deadline_is_rejected_at_submission() {
+    let service = Service::start(ServeConfig::new().workers(1));
+    let ticket = service.submit_with(seb_point(40.0), Priority::Normal, Some(Duration::ZERO));
+    // Rejected at the door as an invalid request — it never occupies a
+    // queue slot and never counts as a deadline expiry.
+    match ticket.wait() {
+        Err(Error::Invalid { reason }) => assert!(reason.contains("deadline_ms")),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 0);
+    assert_eq!(stats.rejected_deadline, 0);
 }
 
 #[test]

@@ -8,8 +8,8 @@ use aeropack_serve::wire::{
 };
 use aeropack_serve::{
     serve, AnalysisRequest, AnalysisResponse, BoardSpec, CoolingModeSpec, Error, FemPlateSpec,
-    MaterialKind, MissionSpec, PlateSpec, Priority, SchemeKind, SeatKind, SebSpec, ServeConfig,
-    Service, SocketClient, TransientSpec,
+    MaterialKind, MissionSpec, OptimizeSpec, PlateSpec, Priority, SchemeKind, SeatKind, SebSpec,
+    ServeConfig, Service, SocketClient, TransientSpec,
 };
 
 fn seb_spec() -> SebSpec {
@@ -127,6 +127,18 @@ fn all_requests() -> Vec<AnalysisRequest> {
             f_max_hz: 2000.0,
             points: 120,
         },
+        AnalysisRequest::Optimize {
+            spec: OptimizeSpec {
+                // Past 2^53 so a float round-trip would corrupt it:
+                // proves the hex-string encoding of u64 seeds.
+                seed: 0xdead_beef_1234_5678,
+                population: 32,
+                generations: 8,
+                tilt_deg: 30.0,
+                ambient_c: 25.0,
+                base_power_w: 120.0,
+            },
+        },
     ]
 }
 
@@ -168,6 +180,18 @@ fn all_responses() -> Vec<AnalysisResponse> {
             peak_hz: 112.5,
             peak_transmissibility: 24.75,
             points: 120,
+        },
+        AnalysisResponse::Pareto {
+            topologies: vec![
+                "conduction".to_string(),
+                "loop_heat_pipe".to_string(),
+                "pumped_co2".to_string(),
+            ],
+            dt_k: vec![41.25, 18.0625, 9.5],
+            mass_kg: vec![0.875, 1.3125, 2.25],
+            mtbf_h: vec![62_500.0, 88_000.0, 71_250.0],
+            front_hash: 0xfeed_face_8765_4321,
+            evaluations: 1_000_448,
         },
     ]
 }
@@ -268,6 +292,41 @@ fn malformed_lines_surface_as_wire_errors() {
         decode_response_line("{\"id\":1}"),
         Err(Error::Wire { .. })
     ));
+}
+
+#[test]
+fn zero_deadline_round_trips_a_stable_invalid_code() {
+    let service = Arc::new(Service::start(ServeConfig::new().workers(1)));
+    let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").expect("daemon");
+    let mut client = SocketClient::connect(daemon.addr()).expect("connect");
+
+    let request = AnalysisRequest::SebOperatingPoint {
+        spec: seb_spec(),
+        power_w: 40.0,
+    };
+    // `deadline_ms: 0` must come back as a stable `invalid` rejection
+    // with the request's own id (checked inside `call_with`), not as a
+    // `deadline_expired` after burning a queue slot.
+    let err = client
+        .call_with(request.clone(), Priority::Normal, Some(0))
+        .expect_err("zero deadline must be rejected");
+    match err {
+        Error::Remote { code, message } => {
+            assert_eq!(code, "invalid");
+            assert!(message.contains("deadline_ms"), "message: {message}");
+        }
+        other => panic!("expected the invalid code, got {other:?}"),
+    }
+    assert_eq!(service.stats().rejected_deadline, 0);
+
+    // The same request with a real deadline still goes through.
+    let answer = client
+        .call_with(request, Priority::Normal, Some(60_000))
+        .expect("nonzero deadline");
+    assert!(matches!(answer, AnalysisResponse::OperatingPoint { .. }));
+
+    daemon.shutdown();
+    service.shutdown();
 }
 
 #[test]

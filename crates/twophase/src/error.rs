@@ -21,6 +21,8 @@ pub enum TransportLimit {
     Viscous,
     /// Counter-current flooding (thermosyphon).
     Flooding,
+    /// Pump head exhausted (mechanically pumped loop).
+    PumpHead,
 }
 
 impl fmt::Display for TransportLimit {
@@ -32,6 +34,7 @@ impl fmt::Display for TransportLimit {
             Self::Boiling => "boiling",
             Self::Viscous => "viscous",
             Self::Flooding => "flooding",
+            Self::PumpHead => "pump head",
         };
         f.write_str(name)
     }
@@ -105,6 +108,22 @@ impl TwoPhaseError {
     pub fn invalid(reason: impl Into<String>) -> Self {
         Self::InvalidDevice {
             reason: reason.into(),
+        }
+    }
+
+    /// The dry-out margin `q_requested − q_max`: how far past the
+    /// violated limit the request was. `None` for non-dry-out errors.
+    ///
+    /// Strictly positive by construction — a device only reports
+    /// [`TwoPhaseError::DryOut`] when the requested load exceeds the
+    /// governing limit (at a fully lost pumping head `q_max` is exactly
+    /// 0 W and the margin equals the whole request).
+    pub fn dry_out_margin(&self) -> Option<Power> {
+        match self {
+            Self::DryOut {
+                q_max, q_requested, ..
+            } => Some(*q_requested - *q_max),
+            _ => None,
         }
     }
 }

@@ -1,0 +1,420 @@
+//! Thin flat sintered-wick heat pipe (the "ultra thin flat heat pipe"
+//! line of arXiv:0802.3107): two face sheets with a sintered copper
+//! layer on each, a slot vapour core between them, and the same five
+//! transport limits as the cylindrical pipe rewritten for the
+//! rectangular cross-section.
+//!
+//! These are the board-level spreaders that fit under a 2 mm component
+//! keep-out where a 6 mm round pipe cannot — the optimizer offers them
+//! as a discrete cooling topology alongside the round pipe, the loop
+//! heat pipe and the pumped CO₂ loop.
+
+use aeropack_materials::{Material, WorkingFluid};
+use aeropack_units::{Celsius, Length, Power, ThermalResistance, STANDARD_GRAVITY};
+
+use crate::error::TwoPhaseError;
+use crate::heatpipe::{HeatPipeLimits, Wick};
+
+/// A thin flat (slot vapour core) sintered-wick heat pipe.
+#[derive(Debug, Clone)]
+pub struct FlatHeatPipe {
+    fluid: WorkingFluid,
+    wick: Wick,
+    envelope: Material,
+    width: f64,
+    thickness: f64,
+    wall_thickness: f64,
+    wick_thickness: f64,
+    evaporator_length: f64,
+    adiabatic_length: f64,
+    condenser_length: f64,
+}
+
+impl FlatHeatPipe {
+    /// Builds a flat heat pipe. The cross-section is `width ×
+    /// thickness` with a face sheet of `wall_thickness` and a sintered
+    /// layer of `wick_thickness` on each side; the remaining slot is
+    /// the vapour core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any dimension is non-positive or the two
+    /// face stacks leave no vapour core.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fluid: WorkingFluid,
+        wick: Wick,
+        envelope: Material,
+        width: Length,
+        thickness: Length,
+        wall_thickness: Length,
+        wick_thickness: Length,
+        evaporator_length: Length,
+        adiabatic_length: Length,
+        condenser_length: Length,
+    ) -> Result<Self, TwoPhaseError> {
+        let w = width.value();
+        let t = thickness.value();
+        let tw = wall_thickness.value();
+        let tk = wick_thickness.value();
+        if w <= 0.0 || t <= 0.0 || tw <= 0.0 || tk <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "flat-pipe dimensions must be positive",
+            ));
+        }
+        if evaporator_length.value() <= 0.0 || condenser_length.value() <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "evaporator and condenser lengths must be positive",
+            ));
+        }
+        if adiabatic_length.value() < 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "adiabatic length cannot be negative",
+            ));
+        }
+        if t - 2.0 * (tw + tk) <= 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "face sheets + wick layers leave no vapour slot",
+            ));
+        }
+        Ok(Self {
+            fluid,
+            wick,
+            envelope,
+            width: w,
+            thickness: t,
+            wall_thickness: tw,
+            wick_thickness: tk,
+            evaporator_length: evaporator_length.value(),
+            adiabatic_length: adiabatic_length.value(),
+            condenser_length: condenser_length.value(),
+        })
+    }
+
+    /// A 1.5 mm copper/water flat pipe with sintered faces — the thin
+    /// spreader geometry of arXiv:0802.3107 scaled to a board drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for these values).
+    pub fn copper_water_thin(
+        width: Length,
+        evaporator_length: Length,
+        adiabatic_length: Length,
+        condenser_length: Length,
+    ) -> Result<Self, TwoPhaseError> {
+        Self::new(
+            WorkingFluid::water(),
+            Wick::sintered_powder(),
+            Material::copper(),
+            width,
+            Length::from_millimeters(1.5),
+            Length::from_millimeters(0.2),
+            Length::from_millimeters(0.25),
+            evaporator_length,
+            adiabatic_length,
+            condenser_length,
+        )
+    }
+
+    /// Vapour-slot thickness, m.
+    fn vapor_thickness(&self) -> f64 {
+        self.thickness - 2.0 * (self.wall_thickness + self.wick_thickness)
+    }
+
+    /// Vapour-slot cross-section, m².
+    fn vapor_area(&self) -> f64 {
+        self.width * self.vapor_thickness()
+    }
+
+    /// Total wick cross-section (both faces), m².
+    fn wick_area(&self) -> f64 {
+        2.0 * self.width * self.wick_thickness
+    }
+
+    /// Effective pumping length, m.
+    fn effective_length(&self) -> f64 {
+        self.adiabatic_length + 0.5 * (self.evaporator_length + self.condenser_length)
+    }
+
+    /// Total pipe length, m.
+    pub fn total_length(&self) -> Length {
+        Length::new(self.evaporator_length + self.adiabatic_length + self.condenser_length)
+    }
+
+    /// The working fluid.
+    pub fn fluid(&self) -> &WorkingFluid {
+        &self.fluid
+    }
+
+    /// The five transport limits at a vapour temperature and adverse
+    /// tilt, with the vapour pressure drop taken as laminar slot flow
+    /// (`Δp = 12 μ L Q / (ρ h_fg w t_v³)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn limits(
+        &self,
+        vapor_temp: Celsius,
+        tilt_rad: f64,
+    ) -> Result<HeatPipeLimits, TwoPhaseError> {
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let a_v = self.vapor_area();
+        let t_v = self.vapor_thickness();
+        let l_eff = self.effective_length();
+        let l_total = self.total_length().value();
+
+        // Capillary limit with slot-flow vapour friction.
+        let dp_cap = self.wick.capillary_pressure(&sat);
+        let dp_grav = sat.liquid_density.value() * STANDARD_GRAVITY * l_total * tilt_rad.sin();
+        let f_l = sat.liquid_viscosity
+            / (self.wick.permeability
+                * self.wick_area()
+                * sat.liquid_density.value()
+                * sat.latent_heat);
+        let f_v = 12.0 * sat.vapor_viscosity
+            / (self.width * t_v.powi(3) * sat.vapor_density.value() * sat.latent_heat);
+        let head = dp_cap - dp_grav;
+        let capillary = if head <= 0.0 {
+            0.0
+        } else {
+            head / ((f_l + f_v) * l_eff)
+        };
+
+        // Sonic limit (Busse) on the slot area.
+        let gamma = 1.33;
+        let r_specific = aeropack_materials::GAS_CONSTANT / self.fluid.molar_mass();
+        let t_k = vapor_temp.kelvin();
+        let sonic = a_v
+            * sat.vapor_density.value()
+            * sat.latent_heat
+            * (gamma * r_specific * t_k / (2.0 * (gamma + 1.0))).sqrt();
+
+        // Entrainment limit (Cotter).
+        let entrainment = a_v
+            * sat.latent_heat
+            * (sat.surface_tension * sat.vapor_density.value() / (2.0 * self.wick.pore_radius))
+                .sqrt();
+
+        // Boiling limit through the flat sintered layer.
+        let r_nucleation = 2.5e-7;
+        let k_eff = self
+            .wick
+            .effective_conductivity(&self.envelope, &sat)
+            .value();
+        let a_e = self.width * self.evaporator_length;
+        let boiling = k_eff * a_e * t_k
+            / (sat.latent_heat * sat.vapor_density.value() * self.wick_thickness)
+            * (2.0 * sat.surface_tension / r_nucleation - dp_cap).max(0.0);
+
+        // Viscous limit (slot-flow form).
+        let viscous =
+            t_v * t_v * sat.latent_heat * sat.vapor_density.value() * sat.pressure.value() * a_v
+                / (24.0 * sat.vapor_viscosity * l_eff);
+
+        Ok(HeatPipeLimits {
+            capillary: Power::new(capillary),
+            sonic: Power::new(sonic),
+            entrainment: Power::new(entrainment),
+            boiling: Power::new(boiling),
+            viscous: Power::new(viscous),
+        })
+    }
+
+    /// Maximum transportable power (the governing limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn max_power(&self, vapor_temp: Celsius, tilt_rad: f64) -> Result<Power, TwoPhaseError> {
+        Ok(self.limits(vapor_temp, tilt_rad)?.governing().1)
+    }
+
+    /// The adverse tilt at which the capillary head vanishes; `None`
+    /// when the sintered faces out-pump the full 90° column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn static_head_limit_tilt(
+        &self,
+        vapor_temp: Celsius,
+    ) -> Result<Option<f64>, TwoPhaseError> {
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let dp_cap = self.wick.capillary_pressure(&sat);
+        let column = sat.liquid_density.value() * STANDARD_GRAVITY * self.total_length().value();
+        let ratio = dp_cap / column;
+        if ratio >= 1.0 {
+            Ok(None)
+        } else {
+            Ok(Some(ratio.asin()))
+        }
+    }
+
+    /// End-to-end thermal resistance: face sheet + saturated wick at
+    /// each transfer section, slab conduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn thermal_resistance(
+        &self,
+        vapor_temp: Celsius,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let k_wall = self.envelope.thermal_conductivity.value();
+        let k_wick = self
+            .wick
+            .effective_conductivity(&self.envelope, &sat)
+            .value();
+        let section = |length: f64| {
+            let a = self.width * length;
+            self.wall_thickness / (k_wall * a) + self.wick_thickness / (k_wick * a)
+        };
+        Ok(ThermalResistance::new(
+            section(self.evaporator_length) + section(self.condenser_length),
+        ))
+    }
+
+    /// Verifies that the pipe can carry `q` and returns its resistance;
+    /// dry-out is an error naming the governing limit and carrying the
+    /// exact margin.
+    ///
+    /// # Errors
+    ///
+    /// [`TwoPhaseError::DryOut`] when `q` exceeds the governing limit,
+    /// or a fluid range error.
+    pub fn operate(
+        &self,
+        q: Power,
+        vapor_temp: Celsius,
+        tilt_rad: f64,
+    ) -> Result<ThermalResistance, TwoPhaseError> {
+        let limits = self.limits(vapor_temp, tilt_rad)?;
+        let (limit, q_max) = limits.governing();
+        if q.value() > q_max.value() {
+            return Err(TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q,
+            });
+        }
+        self.thermal_resistance(vapor_temp)
+    }
+
+    /// Estimated device mass, kg: two face sheets, two sintered layers
+    /// (solid fraction as envelope metal) and the liquid charge in the
+    /// wick pores at 25 °C (clamped into the fluid's range).
+    pub fn mass_estimate(&self) -> f64 {
+        let l = self.total_length().value();
+        let shell = 2.0 * self.width * self.wall_thickness * l * self.envelope.density.value();
+        let wick_volume = 2.0 * self.width * self.wick_thickness * l;
+        let wick_solid = wick_volume * (1.0 - self.wick.porosity) * self.envelope.density.value();
+        let t_fill = Celsius::new(
+            25.0f64
+                .max(self.fluid.min_temperature().value())
+                .min(self.fluid.max_temperature().value()),
+        );
+        let rho_l = self
+            .fluid
+            .saturation(t_fill)
+            .map(|s| s.liquid_density.value())
+            .unwrap_or(1000.0);
+        shell + wick_solid + wick_volume * self.wick.porosity * rho_l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thin_pipe() -> FlatHeatPipe {
+        FlatHeatPipe::copper_water_thin(
+            Length::from_millimeters(20.0),
+            Length::from_millimeters(40.0),
+            Length::from_millimeters(80.0),
+            Length::from_millimeters(40.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn carries_board_level_power() {
+        // A 20 mm × 1.5 mm slot pipe moves tens of watts at 60 °C.
+        let q = thin_pipe().max_power(Celsius::new(60.0), 0.0).unwrap();
+        assert!(
+            q.value() > 5.0 && q.value() < 500.0,
+            "flat pipe Q_max = {q}"
+        );
+    }
+
+    #[test]
+    fn resistance_beats_solid_copper_sheet() {
+        let pipe = thin_pipe();
+        let r_fp = pipe.thermal_resistance(Celsius::new(60.0)).unwrap();
+        // Same 20 × 1.5 mm section in solid copper over 160 mm.
+        let k = Material::copper().thermal_conductivity.value();
+        let r_sheet = 0.16 / (k * 0.02 * 0.0015);
+        assert!(
+            r_sheet > 10.0 * r_fp.value(),
+            "sheet {r_sheet:.2} vs flat pipe {r_fp}"
+        );
+    }
+
+    #[test]
+    fn adverse_tilt_degrades_and_clamps_at_zero() {
+        let pipe = thin_pipe();
+        let t = Celsius::new(60.0);
+        let q0 = pipe.limits(t, 0.0).unwrap().capillary;
+        let q45 = pipe.limits(t, 45f64.to_radians()).unwrap().capillary;
+        assert!(q45.value() < q0.value());
+        assert!(q45.value() >= 0.0);
+        // Whatever the angle, the clamp holds.
+        for deg in [60.0f64, 90.0] {
+            let c = pipe.limits(t, deg.to_radians()).unwrap().capillary;
+            assert!(c.value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn no_vapor_slot_is_rejected() {
+        let r = FlatHeatPipe::new(
+            WorkingFluid::water(),
+            Wick::sintered_powder(),
+            Material::copper(),
+            Length::from_millimeters(20.0),
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(0.3),
+            Length::from_millimeters(0.3),
+            Length::from_millimeters(40.0),
+            Length::ZERO,
+            Length::from_millimeters(40.0),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn dry_out_payload_is_exact() {
+        let pipe = thin_pipe();
+        let t = Celsius::new(60.0);
+        let q_max = pipe.max_power(t, 0.0).unwrap();
+        let (limit, _) = pipe.limits(t, 0.0).unwrap().governing();
+        let err = pipe.operate(q_max * 2.0, t, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q_max * 2.0,
+            }
+        );
+        assert_eq!(err.dry_out_margin(), Some(q_max));
+    }
+
+    #[test]
+    fn mass_is_grams_not_kilograms() {
+        let m = thin_pipe().mass_estimate();
+        assert!(m > 0.005 && m < 0.2, "flat pipe mass {m:.4} kg");
+    }
+}

@@ -316,6 +316,59 @@ impl HeatPipe {
         Ok(self.limits(vapor_temp, tilt_rad)?.governing().1)
     }
 
+    /// The adverse tilt (radians) at which the gravity column exactly
+    /// cancels the wick's capillary pressure, i.e. where the capillary
+    /// limit hits 0 W. `None` when the wick out-pumps the full 90°
+    /// static head (fine sintered powder on a short pipe).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fluid state is out of range.
+    pub fn static_head_limit_tilt(
+        &self,
+        vapor_temp: Celsius,
+    ) -> Result<Option<f64>, TwoPhaseError> {
+        let sat = self.fluid.saturation(vapor_temp)?;
+        let dp_cap = self.wick.capillary_pressure(&sat);
+        let column = sat.liquid_density.value() * STANDARD_GRAVITY * self.total_length().value();
+        let ratio = dp_cap / column;
+        if ratio >= 1.0 {
+            Ok(None)
+        } else {
+            Ok(Some(ratio.asin()))
+        }
+    }
+
+    /// Estimated device mass, kg: envelope shell + solid wick fraction
+    /// (taken as envelope metal) + the liquid charge filling the wick
+    /// pores, with the charge density read at 25 °C clamped into the
+    /// fluid's tabulated range.
+    pub fn mass_estimate(&self) -> f64 {
+        let l = self.total_length().value();
+        let r_o = self.outer_diameter / 2.0;
+        let r_i = r_o - self.wall_thickness;
+        let r_v = self.vapor_radius();
+        let pi = std::f64::consts::PI;
+        let shell = pi * (r_o * r_o - r_i * r_i) * l * self.envelope.density.value();
+        let wick_solid = pi
+            * (r_i * r_i - r_v * r_v)
+            * l
+            * (1.0 - self.wick.porosity)
+            * self.envelope.density.value();
+        let t_fill = Celsius::new(
+            25.0f64
+                .max(self.fluid.min_temperature().value())
+                .min(self.fluid.max_temperature().value()),
+        );
+        let rho_l = self
+            .fluid
+            .saturation(t_fill)
+            .map(|s| s.liquid_density.value())
+            .unwrap_or(1000.0);
+        let charge = pi * (r_i * r_i - r_v * r_v) * l * self.wick.porosity * rho_l;
+        shell + wick_solid + charge
+    }
+
     /// End-to-end thermal resistance (wall + saturated wick at both
     /// ends; the vapour path is taken as isothermal).
     ///
@@ -497,16 +550,86 @@ mod tests {
     fn operate_reports_dry_out() {
         let pipe = seb_pipe();
         let q_max = pipe.max_power(Celsius::new(60.0), 0.0).unwrap();
+        let (limit, _) = pipe.limits(Celsius::new(60.0), 0.0).unwrap().governing();
         let err = pipe
             .operate(q_max * 1.5, Celsius::new(60.0), 0.0)
             .unwrap_err();
-        match err {
-            TwoPhaseError::DryOut { q_max: qm, .. } => {
-                assert!((qm.value() - q_max.value()).abs() < 1e-9);
+        // Exact payload: the error carries the governing limit, the
+        // exact transportable power and the exact request — no rounding
+        // and no placeholder values.
+        assert_eq!(
+            err,
+            TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q_max * 1.5,
             }
-            other => panic!("expected DryOut, got {other}"),
-        }
+        );
+        // The derived margin is exactly the 50 % overshoot.
+        assert_eq!(err.dry_out_margin(), Some(q_max * 1.5 - q_max));
         assert!(pipe.operate(q_max * 0.5, Celsius::new(60.0), 0.0).is_ok());
+    }
+
+    #[test]
+    fn tilt_past_static_head_limit_pins_capillary_at_zero() {
+        // Grooved wicks lose the whole pumping head within a few
+        // degrees of adverse tilt; past that angle the capillary limit
+        // must clamp at exactly 0 W (never a negative power), and any
+        // positive load must dry out with a full-request margin.
+        let grooved = HeatPipe::new(
+            WorkingFluid::water(),
+            Wick::axial_grooves(),
+            Material::copper(),
+            Length::from_millimeters(6.0),
+            Length::from_millimeters(0.3),
+            Length::from_millimeters(0.6),
+            Length::from_millimeters(60.0),
+            Length::from_millimeters(120.0),
+            Length::from_millimeters(60.0),
+        )
+        .unwrap();
+        let t = Celsius::new(60.0);
+        let tilt_limit = grooved
+            .static_head_limit_tilt(t)
+            .unwrap()
+            .expect("grooves must have a static-head limit angle");
+        assert!(tilt_limit > 0.0 && tilt_limit < 45f64.to_radians());
+        // Just below the limit a sliver of head survives.
+        assert!(
+            grooved
+                .limits(t, 0.9 * tilt_limit)
+                .unwrap()
+                .capillary
+                .value()
+                > 0.0
+        );
+        // At and past the limit: exactly zero, for every angle.
+        for tilt in [
+            tilt_limit,
+            1.05 * tilt_limit,
+            2.0 * tilt_limit,
+            90f64.to_radians(),
+        ] {
+            let cap = grooved.limits(t, tilt).unwrap().capillary;
+            assert_eq!(cap, Power::ZERO, "tilt {:.1}°", tilt.to_degrees());
+        }
+        // Past the limit even a 1 W request is a capillary dry-out
+        // whose q_max is exactly zero and whose margin is the request.
+        let err = grooved
+            .operate(Power::new(1.0), t, 2.0 * tilt_limit)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TwoPhaseError::DryOut {
+                limit: TransportLimit::Capillary,
+                q_max: Power::ZERO,
+                q_requested: Power::new(1.0),
+            }
+        );
+        assert_eq!(err.dry_out_margin(), Some(Power::new(1.0)));
+        // The fine sintered wick out-pumps the full static column on
+        // this geometry: no limit angle exists.
+        assert!(seb_pipe().static_head_limit_tilt(t).unwrap().is_none());
     }
 
     #[test]

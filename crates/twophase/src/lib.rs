@@ -15,6 +15,11 @@
 //!   limit and the orientation restriction that motivates wicks.
 //! * [`VaporChamber`] — the flat-plate spreader that rescues the §IV
 //!   hot spots, with the Hele–Shaw vapour-core conductivity model.
+//! * [`FlatHeatPipe`] — the thin (≈1.5 mm) sintered-wick slot-core
+//!   pipe of arXiv:0802.3107, for board drains under tight keep-outs.
+//! * [`PumpedTwoPhaseLoop`] — the AMS-02-style mechanically pumped
+//!   CO₂ loop (arXiv:1302.4294): setpoint-pinned evaporator, pump-head
+//!   and film-dry-out transport limits, near tilt-insensitive.
 //!
 //! # Example
 //!
@@ -38,13 +43,17 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flat;
 mod heatpipe;
 mod lhp;
+mod pumped;
 mod thermosyphon;
 mod vapor_chamber;
 
 pub use error::{TransportLimit, TwoPhaseError};
+pub use flat::FlatHeatPipe;
 pub use heatpipe::{HeatPipe, HeatPipeLimits, Wick};
 pub use lhp::{LhpOperatingPoint, Line, LoopHeatPipe};
+pub use pumped::{PumpedOperatingPoint, PumpedTwoPhaseLoop};
 pub use thermosyphon::Thermosyphon;
 pub use vapor_chamber::VaporChamber;

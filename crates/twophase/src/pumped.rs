@@ -1,0 +1,324 @@
+//! Mechanically pumped two-phase loop — the AMS-02 tracker thermal
+//! control system architecture (arXiv:1302.4294): a gear pump drives
+//! subcooled liquid CO₂ through the evaporators, a two-phase
+//! accumulator pins the loop saturation pressure (and therefore the
+//! evaporator temperature) at a controlled setpoint, and the vapour
+//! condenses back at the radiators.
+//!
+//! The two properties that make this topology interesting to the
+//! design-space optimizer:
+//!
+//! * the evaporator temperature is *set*, not negotiated with the
+//!   ambient — junction temperatures decouple from the box wall, and
+//! * the pump provides orders of magnitude more head than a wick, so
+//!   tilt (and gravity in general) barely moves the operating point —
+//!   at the price of mass and a moving part in the reliability budget.
+
+use aeropack_materials::WorkingFluid;
+use aeropack_units::{Celsius, Power, Pressure, ThermalConductance, STANDARD_GRAVITY};
+
+use crate::error::{TransportLimit, TwoPhaseError};
+
+/// A mechanically pumped two-phase loop at a fixed saturation setpoint.
+#[derive(Debug, Clone)]
+pub struct PumpedTwoPhaseLoop {
+    fluid: WorkingFluid,
+    setpoint: Celsius,
+    /// Pump mass flow, kg/s (gear pumps are near-constant-flow).
+    mass_flow: f64,
+    /// Pump head available to the loop, Pa.
+    pump_head: Pressure,
+    /// Highest allowed evaporator exit quality before film dry-out.
+    max_exit_quality: f64,
+    /// Line inner diameter, m.
+    line_diameter: f64,
+    /// One-way transport length, m.
+    transport_length: f64,
+    /// Evaporator film conductance, W/K.
+    evaporator_conductance: ThermalConductance,
+    /// Pump + accumulator + lines dry mass, kg.
+    dry_mass: f64,
+    /// Electrical pump power, W.
+    pump_power: Power,
+}
+
+/// The solved state of a pumped loop carrying a load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpedOperatingPoint {
+    /// Evaporator wall temperature.
+    pub evaporator_wall: Celsius,
+    /// Evaporator exit vapour quality.
+    pub exit_quality: f64,
+    /// Two-phase loop pressure drop at this load, Pa.
+    pub pressure_drop: Pressure,
+    /// Electrical power spent on the pump.
+    pub pump_power: Power,
+}
+
+/// Two-phase pressure-drop multiplier slope: `Δp ≈ Δp_liquid·(1+K·x)`,
+/// a Lockhart–Martinelli-style fit adequate for the small-quality
+/// operating range of a pumped loop.
+const TWO_PHASE_MULTIPLIER_SLOPE: f64 = 20.0;
+
+impl PumpedTwoPhaseLoop {
+    /// Builds a pumped loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the setpoint is outside the fluid's
+    /// tabulated range or any parameter is non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fluid: WorkingFluid,
+        setpoint: Celsius,
+        mass_flow: f64,
+        pump_head: Pressure,
+        max_exit_quality: f64,
+        line_diameter: f64,
+        transport_length: f64,
+        evaporator_conductance: ThermalConductance,
+        dry_mass: f64,
+        pump_power: Power,
+    ) -> Result<Self, TwoPhaseError> {
+        if mass_flow <= 0.0
+            || pump_head.value() <= 0.0
+            || line_diameter <= 0.0
+            || transport_length <= 0.0
+            || evaporator_conductance.value() <= 0.0
+            || dry_mass <= 0.0
+        {
+            return Err(TwoPhaseError::invalid(
+                "pumped-loop parameters must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&max_exit_quality) || max_exit_quality == 0.0 {
+            return Err(TwoPhaseError::invalid(
+                "max exit quality must lie in (0, 1]",
+            ));
+        }
+        // Validate the setpoint against the table now so every later
+        // call can rely on it.
+        fluid.saturation(setpoint)?;
+        Ok(Self {
+            fluid,
+            setpoint,
+            mass_flow,
+            pump_head,
+            max_exit_quality,
+            line_diameter,
+            transport_length,
+            evaporator_conductance,
+            dry_mass,
+            pump_power,
+        })
+    }
+
+    /// The AMS-02 TTCS-style CO₂ loop scaled to an avionics box: 2 g/s
+    /// of CO₂ at a controllable setpoint, ~1 bar of pump head, 4 mm
+    /// lines over 1 m, and the pump/accumulator dry mass of a small
+    /// mechanically pumped loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `setpoint` lies outside the CO₂ table
+    /// (−40 °C … 25 °C).
+    pub fn co2_ams02(setpoint: Celsius) -> Result<Self, TwoPhaseError> {
+        Self::new(
+            WorkingFluid::carbon_dioxide(),
+            setpoint,
+            2.0e-3,
+            Pressure::from_kilopascals(100.0),
+            0.35,
+            4.0e-3,
+            1.0,
+            ThermalConductance::new(25.0),
+            1.8,
+            Power::new(3.0),
+        )
+    }
+
+    /// The working fluid.
+    pub fn fluid(&self) -> &WorkingFluid {
+        &self.fluid
+    }
+
+    /// The accumulator-controlled saturation setpoint.
+    pub fn setpoint(&self) -> Celsius {
+        self.setpoint
+    }
+
+    /// Electrical pump power (a parasitic load the optimizer charges
+    /// against this topology).
+    pub fn pump_power(&self) -> Power {
+        self.pump_power
+    }
+
+    /// Liquid-only loop pressure drop at the fixed pump flow, Pa
+    /// (laminar/turbulent-blended Darcy friction over the out-and-back
+    /// line length).
+    fn liquid_pressure_drop(&self) -> Result<f64, TwoPhaseError> {
+        let sat = self.fluid.saturation(self.setpoint)?;
+        let rho = sat.liquid_density.value();
+        let mu = sat.liquid_viscosity;
+        let d = self.line_diameter;
+        let area = std::f64::consts::PI * d * d / 4.0;
+        let velocity = self.mass_flow / (rho * area);
+        let re = rho * velocity * d / mu;
+        let f = if re < 2300.0 {
+            64.0 / re
+        } else {
+            0.3164 / re.powf(0.25)
+        };
+        let l = 2.0 * self.transport_length;
+        Ok(f * (l / d) * 0.5 * rho * velocity * velocity)
+    }
+
+    /// Maximum transportable power at the setpoint and tilt: the lower
+    /// of the film dry-out cap (`ṁ·h_fg·x_max`) and the pump-head cap
+    /// (the exit quality at which the two-phase pressure drop plus the
+    /// adverse gravity column consumes the whole pump head).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fluid range error when the setpoint left the table.
+    pub fn max_transport(&self, tilt_rad: f64) -> Result<(TransportLimit, Power), TwoPhaseError> {
+        let sat = self.fluid.saturation(self.setpoint)?;
+        let q_latent = self.mass_flow * sat.latent_heat * self.max_exit_quality;
+        let dp_liquid = self.liquid_pressure_drop()?;
+        let dp_grav = sat.liquid_density.value()
+            * STANDARD_GRAVITY
+            * self.transport_length
+            * tilt_rad.sin().max(0.0);
+        let head_left = self.pump_head.value() - dp_grav;
+        if head_left <= dp_liquid {
+            // The pump cannot even circulate liquid against this
+            // column: zero transport, pump-head limited.
+            return Ok((TransportLimit::PumpHead, Power::ZERO));
+        }
+        let x_head = (head_left / dp_liquid - 1.0) / TWO_PHASE_MULTIPLIER_SLOPE;
+        let q_head = self.mass_flow * sat.latent_heat * x_head;
+        if q_head < q_latent {
+            Ok((TransportLimit::PumpHead, Power::new(q_head)))
+        } else {
+            Ok((TransportLimit::Boiling, Power::new(q_latent)))
+        }
+    }
+
+    /// Solves the loop at a load: the evaporator wall sits one film
+    /// drop above the setpoint, independent of the ambient.
+    ///
+    /// # Errors
+    ///
+    /// [`TwoPhaseError::DryOut`] (with the governing limit and exact
+    /// margin) when `q` exceeds [`max_transport`](Self::max_transport),
+    /// or a fluid range error.
+    pub fn operating_point(
+        &self,
+        q: Power,
+        tilt_rad: f64,
+    ) -> Result<PumpedOperatingPoint, TwoPhaseError> {
+        let (limit, q_max) = self.max_transport(tilt_rad)?;
+        if q.value() > q_max.value() {
+            return Err(TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q,
+            });
+        }
+        let sat = self.fluid.saturation(self.setpoint)?;
+        let exit_quality = q.value() / (self.mass_flow * sat.latent_heat);
+        let dp = self.liquid_pressure_drop()? * (1.0 + TWO_PHASE_MULTIPLIER_SLOPE * exit_quality);
+        Ok(PumpedOperatingPoint {
+            evaporator_wall: self.setpoint + q / self.evaporator_conductance,
+            exit_quality,
+            pressure_drop: Pressure::new(dp),
+            pump_power: self.pump_power,
+        })
+    }
+
+    /// Evaporator film conductance (the only series resistance the
+    /// loop adds between source and setpoint).
+    pub fn evaporator_conductance(&self) -> ThermalConductance {
+        self.evaporator_conductance
+    }
+
+    /// Estimated loop mass, kg: dry hardware plus the liquid charge in
+    /// the out-and-back line.
+    pub fn mass_estimate(&self) -> f64 {
+        let area = std::f64::consts::PI * self.line_diameter * self.line_diameter / 4.0;
+        let rho = self
+            .fluid
+            .saturation(self.setpoint)
+            .map(|s| s.liquid_density.value())
+            .unwrap_or(800.0);
+        self.dry_mass + 2.0 * self.transport_length * area * rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_at(setpoint_c: f64) -> PumpedTwoPhaseLoop {
+        PumpedTwoPhaseLoop::co2_ams02(Celsius::new(setpoint_c)).unwrap()
+    }
+
+    #[test]
+    fn carries_ams02_class_power() {
+        // TTCS: ~140 W per loop at 2 g/s CO₂.
+        let (_, q) = loop_at(0.0).max_transport(0.0).unwrap();
+        assert!(
+            q.value() > 60.0 && q.value() < 400.0,
+            "pumped loop Q_max = {q}"
+        );
+    }
+
+    #[test]
+    fn evaporator_temperature_is_pinned_to_setpoint() {
+        let lp = loop_at(10.0);
+        let op = lp.operating_point(Power::new(50.0), 0.0).unwrap();
+        // Wall = setpoint + q/G, nothing else.
+        assert!((op.evaporator_wall.value() - (10.0 + 50.0 / 25.0)).abs() < 1e-12);
+        assert!(op.exit_quality > 0.0 && op.exit_quality < 0.35);
+        assert!(op.pressure_drop.value() < lp.pump_head.value());
+    }
+
+    #[test]
+    fn tilt_is_nearly_irrelevant() {
+        // The pump head dwarfs the static column: 90° adverse tilt
+        // costs only a few percent of transport capability — the wick
+        // devices lose tens of percent or everything.
+        let lp = loop_at(0.0);
+        let (_, q_flat) = lp.max_transport(0.0).unwrap();
+        let (_, q_up) = lp.max_transport(90f64.to_radians()).unwrap();
+        assert!(q_up.value() > 0.85 * q_flat.value(), "{q_up} vs {q_flat}");
+    }
+
+    #[test]
+    fn dry_out_payload_names_limit_and_margin() {
+        let lp = loop_at(0.0);
+        let (limit, q_max) = lp.max_transport(0.0).unwrap();
+        let err = lp.operating_point(q_max * 1.25, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            TwoPhaseError::DryOut {
+                limit,
+                q_max,
+                q_requested: q_max * 1.25,
+            }
+        );
+        assert_eq!(err.dry_out_margin(), Some(q_max * 1.25 - q_max));
+    }
+
+    #[test]
+    fn setpoint_outside_co2_table_is_rejected() {
+        // 40 °C is past the CO₂ critical point — not a valid setpoint.
+        assert!(PumpedTwoPhaseLoop::co2_ams02(Celsius::new(40.0)).is_err());
+    }
+
+    #[test]
+    fn mass_includes_pump_and_charge() {
+        let m = loop_at(0.0).mass_estimate();
+        assert!(m > 1.8 && m < 3.0, "pumped loop mass {m:.2} kg");
+    }
+}

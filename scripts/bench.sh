@@ -2,7 +2,9 @@
 # Sweep-engine benchmark runner: builds the workspace in release mode
 # and runs the `sweeps` bench, which times every sweep workload serially
 # and at 2/4 threads (including the bench_mission climb–cruise–descent
-# row and the 90-minute orbit-cycle mission gates), verifies
+# row and the 90-minute orbit-cycle mission gates), runs the NSGA-II
+# optimizer gate (≥ 10⁶ scenario evaluations, Pareto front bit-identical
+# at 1/2/8 threads, emitted as the "bench_optimize" block), verifies
 # bit-identical results across thread counts, and writes
 # BENCH_sweeps.json plus the observability run report
 # BENCH_obs_report.json at the repository root.

@@ -16,23 +16,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> sweep bench smoke (tiny grids, 2 threads, determinism + preconditioner gates)"
+echo "==> sweep bench smoke (tiny grids, 2 threads, determinism + preconditioner + optimizer gates)"
 # Exits non-zero if any sweep is not bit-identical across thread
 # counts, if IC(0)+RCM fails to halve PCG iterations vs Jacobi on the
-# large-grid smoke solve, or if the preconditioned fields disagree.
+# large-grid smoke solve, if the preconditioned fields disagree, or if
+# the NSGA-II smoke search is not bit-identical at 1/2/8 threads.
 # The smoke fv_large comparison also runs the 20³ multigrid and
 # Chebyshev solves, so the emitted report can be gated on the solver.mg.
-# and solver.cheb. counters below.
+# and solver.cheb. counters below; the optimizer smoke emits the
+# optimize.* counters gated alongside them.
 # Absolute path: `cargo bench` runs the harness from the package dir,
 # not the workspace root, so a relative report path would miss target/.
 SWEEPS_OBS_REPORT="$PWD/target/obs_sweeps_smoke.json"
 AEROPACK_OBS=1 AEROPACK_OBS_REPORT="$SWEEPS_OBS_REPORT" \
     cargo bench -q --offline -p aeropack-bench --bench sweeps -- --smoke
 
-echo "==> preconditioner obs gate (solver.ic0./mg./cheb. counters must be non-zero)"
+echo "==> preconditioner + optimizer obs gate (solver.ic0./mg./cheb./optimize. counters must be non-zero)"
 cargo run -q --release --offline -p aeropack-obs --bin obs_check -- \
     "$SWEEPS_OBS_REPORT" solver.ic0. solver.mg. solver.cheb. solver.pcg. sweep. \
-    mission. solver.transient.
+    mission. solver.transient. optimize.
 
 echo "==> obs smoke (exp02 with observability on, run report must validate)"
 # Run a real experiment with events flowing, then gate on the emitted

@@ -29,6 +29,10 @@
 //!   solves and bit-exact checkpointed trajectories.
 //! * [`verify`] — the verification substrate: property testing with
 //!   shrinking, MMS convergence studies, golden-snapshot gating.
+//! * [`optimize`] — deterministic multi-objective design search:
+//!   NSGA-II over the cooling-topology × packaging-parameter design
+//!   space, evaluated through the [`sweep`] engine with bit-identical
+//!   Pareto fronts at any thread count.
 //! * [`serve`] — the batched analysis service: a worker pool behind a
 //!   bounded priority/deadline queue with request coalescing and a
 //!   content-addressed result cache, fronted by the unified
@@ -64,6 +68,7 @@ pub use aeropack_fem as fem;
 pub use aeropack_materials as materials;
 pub use aeropack_mission as mission;
 pub use aeropack_obs as obs;
+pub use aeropack_optimize as optimize;
 pub use aeropack_serve as serve;
 pub use aeropack_solver as solver;
 pub use aeropack_sweep as sweep;
@@ -138,7 +143,13 @@ pub mod prelude {
 
     pub use aeropack_serve::{
         AnalysisRequest, AnalysisResponse, BoardSpec, Client, CoolingModeSpec,
-        Error as AeropackError, FemPlateSpec, MissionSpec, PlateSpec, Priority, SchemeKind,
-        SeatKind, SebSpec, ServeConfig, Service, Ticket, TransientSpec, Workload, Workspace,
+        Error as AeropackError, FemPlateSpec, MissionSpec, OptimizeSpec, PlateSpec, Priority,
+        SchemeKind, SeatKind, SebSpec, ServeConfig, Service, Ticket, TransientSpec, Workload,
+        Workspace,
+    };
+
+    pub use aeropack_optimize::{
+        DesignSpace, EvalContext, Genome, Objectives, OptimizeResult, Optimizer, OptimizerConfig,
+        ParetoFront, ParetoPoint, Topology,
     };
 }

@@ -170,6 +170,50 @@ fn golden_mission_orbit_cycle() {
     gate("mission_orbit_cycle", &snapshot);
 }
 
+/// The NSGA-II Pareto front for the paper's packaging trade at 120 W
+/// in a 25 °C cabin with a 22° adverse tilt: every front member's
+/// topology and objectives in canonical order, plus the bit-exact
+/// front fingerprint (split into 32-bit halves for the f64 slots).
+/// The optimizer is deterministic by construction, so the hash gate
+/// is exact; any drift is a real physics or algorithm change.
+#[test]
+fn golden_optimize_front() {
+    use aeropack::optimize::{DesignSpace, EvalContext, Optimizer, OptimizerConfig};
+
+    let ctx = EvalContext::new(Celsius::new(25.0), Power::new(120.0), 22f64.to_radians());
+    let config = OptimizerConfig {
+        population: 48,
+        generations: 30,
+        seed: 0x05a2_010c_05ee,
+        ..OptimizerConfig::default()
+    };
+    let result = Optimizer::new(DesignSpace::default(), config).run(&ctx, &Sweep::new(2));
+    let hash = result.front.fingerprint();
+
+    let mut snapshot = Snapshot::new("optimize_front");
+    snapshot.push("front_len", result.front.len() as f64, 0.0, 0.0);
+    snapshot.push("evaluations", result.evaluations as f64, 0.0, 0.0);
+    snapshot.push("front_hash_hi", (hash >> 32) as f64, 0.0, 0.0);
+    snapshot.push("front_hash_lo", (hash & 0xffff_ffff) as f64, 0.0, 0.0);
+    for (i, p) in result.front.points().iter().enumerate() {
+        snapshot.push(
+            format!("p{i:02}_topology"),
+            p.genome.topology.index() as f64,
+            0.0,
+            0.0,
+        );
+        snapshot.push(format!("p{i:02}_dt_k"), p.objectives.dt_k, 1e-9, 1e-9);
+        snapshot.push(format!("p{i:02}_mass_kg"), p.objectives.mass_kg, 1e-9, 1e-9);
+        snapshot.push(
+            format!("p{i:02}_mtbf_h"),
+            p.objectives.mtbf_hours,
+            1e-6,
+            1e-9,
+        );
+    }
+    gate("optimize_front", &snapshot);
+}
+
 /// PCG (Jacobi and SSOR) against dense Cholesky on a banded SPD
 /// fixture: the differential residual ‖x_pcg − x_chol‖/‖x_chol‖ pins
 /// the iterative path to the direct one.

@@ -4,6 +4,7 @@
 //! to a minimal counterexample and print a one-line reproducer seed.
 
 use aeropack::fem::linalg::{generalized_eigen_dense, Cholesky, DMatrix, Lu};
+use aeropack::optimize::dominates;
 use aeropack::prelude::*;
 use aeropack::tim::{bruggeman, hashin_shtrikman_bounds, maxwell_garnett, wiener_bounds};
 use aeropack::verify::{check, ensure, tuple3, tuple4, tuple5, Gen};
@@ -326,6 +327,107 @@ fn air_properties_stay_physical() {
         ensure!(air.kinematic_viscosity() > 0.0);
         Ok(())
     });
+}
+
+/// A generator for a small but non-degenerate optimizer scenario:
+/// (seed, (tilt°, ambient °C), base power W).
+fn gen_optimize_scenario() -> Gen<(u64, (f64, f64), f64)> {
+    tuple3(
+        &Gen::u64_any(),
+        &Gen::f64_range(0.0, 40.0).zip(&Gen::f64_range(10.0, 55.0)),
+        &Gen::f64_range(40.0, 200.0),
+    )
+}
+
+fn small_run(seed: u64, tilt_deg: f64, ambient: f64, power: f64, sweep: &Sweep) -> OptimizeResult {
+    let ctx = EvalContext::new(
+        Celsius::new(ambient),
+        Power::new(power),
+        tilt_deg.to_radians(),
+    );
+    let config = OptimizerConfig {
+        population: 16,
+        generations: 5,
+        seed,
+        ..OptimizerConfig::default()
+    };
+    Optimizer::new(DesignSpace::default(), config).run(&ctx, sweep)
+}
+
+#[test]
+fn pareto_front_is_mutually_nondominated() {
+    check(
+        0xa11f_000b,
+        16,
+        &gen_optimize_scenario(),
+        |&(seed, (tilt, ambient), power)| {
+            let result = small_run(seed, tilt, ambient, power, &Sweep::serial());
+            ensure!(!result.front.is_empty(), "empty front");
+            for a in result.front.points() {
+                ensure!(
+                    a.minimized().iter().all(|v| v.is_finite()),
+                    "non-finite objective on the front"
+                );
+                for b in result.front.points() {
+                    ensure!(
+                        !dominates(&a.minimized(), &b.minimized()),
+                        "front member dominates another: {:?} > {:?}",
+                        a.minimized(),
+                        b.minimized()
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pareto_front_covers_every_dominated_sample() {
+    check(
+        0xa11f_000c,
+        16,
+        &gen_optimize_scenario(),
+        |&(seed, (tilt, ambient), power)| {
+            let result = small_run(seed, tilt, ambient, power, &Sweep::serial());
+            // Every survivor of the final population — front members
+            // included — must be covered (equalled or dominated) by the
+            // front; nothing evolved may escape it.
+            for p in &result.population {
+                ensure!(
+                    result.front.covers(&p.minimized()),
+                    "population point {:?} not covered by the front",
+                    p.minimized()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn optimizer_is_bitwise_reproducible_from_seed() {
+    check(
+        0xa11f_000d,
+        8,
+        &gen_optimize_scenario(),
+        |&(seed, (tilt, ambient), power)| {
+            let serial = small_run(seed, tilt, ambient, power, &Sweep::serial());
+            let again = small_run(seed, tilt, ambient, power, &Sweep::serial());
+            let threaded = small_run(seed, tilt, ambient, power, &Sweep::new(3));
+            ensure!(
+                serial.front.fingerprint() == again.front.fingerprint(),
+                "same seed, same sweep: fingerprints diverge"
+            );
+            ensure!(
+                serial.front.fingerprint() == threaded.front.fingerprint(),
+                "thread count changed the front"
+            );
+            ensure!(serial.front == threaded.front, "fronts not bitwise equal");
+            ensure!(serial.evaluations == 16 * 6, "evaluation budget drifted");
+            Ok(())
+        },
+    );
 }
 
 #[test]
