@@ -426,6 +426,7 @@ impl SebModel {
             context: "SEB operating point",
             method: Method::Bisection,
             preconditioner: Precond::None,
+            requested_preconditioner: Precond::None,
             unknowns: if self.lhp.is_some() { 3 } else { 2 },
             threads: 1,
             iterations: if self.lhp.is_some() { 60 } else { 0 },
@@ -437,6 +438,7 @@ impl SebModel {
             iterate_seconds: start.elapsed().as_secs_f64(),
             factorization: None,
             spectral: None,
+            dd: None,
         };
         Ok((state, stats))
     }

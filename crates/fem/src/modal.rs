@@ -140,6 +140,7 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
             context: "modal extraction (subspace iteration)",
             method: Method::Cholesky,
             preconditioner: Precond::None,
+            requested_preconditioner: Precond::None,
             unknowns: n,
             threads: 1,
             iterations,
@@ -151,6 +152,7 @@ pub fn modal(model: &Model, n_modes: usize) -> Result<ModalResult, FemError> {
             iterate_seconds: start.elapsed().as_secs_f64(),
             factorization: None,
             spectral: None,
+            dd: None,
         });
         (vals, vecs)
     };

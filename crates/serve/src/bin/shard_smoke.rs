@@ -1,0 +1,151 @@
+//! CI smoke for two-process sharded solves.
+//!
+//! Re-invokes itself as a worker process (`--worker <addr-file>`) that
+//! hosts an analysis daemon, then runs a 20³ sharded steady solve with
+//! one shard in-process and one shard living in the worker — the
+//! daemon connection upgraded to the binary frame protocol by the
+//! [`SHARD_HELLO`](aeropack_serve::SHARD_HELLO) first line. Exits
+//! non-zero unless the two-process solution is bit-identical to the
+//! single-process one. Honours `AEROPACK_OBS=1` and
+//! `AEROPACK_OBS_REPORT` so `scripts/ci.sh` can gate the `solver.dd.*`
+//! and `serve.shard.*` counters with `obs_check`.
+
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use std::{env, fs};
+
+use aeropack_serve::{serve, sharded_solve_remote, ServeConfig, Service};
+use aeropack_solver::{CsrMatrix, Precond, ShardedSolve, SolverConfig};
+
+/// The 7-point Laplacian plus a mass term: the same SPD structure the
+/// thermal FV assembly produces, small enough for a CI smoke.
+fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    CsrMatrix::from_row_fn(n, 1, move |i, row| {
+        let x = i % nx;
+        let y = (i / nx) % ny;
+        let z = i / (nx * ny);
+        row.push((i, 6.5));
+        if x > 0 {
+            row.push((i - 1, -1.0));
+        }
+        if x + 1 < nx {
+            row.push((i + 1, -1.0));
+        }
+        if y > 0 {
+            row.push((i - nx, -1.0));
+        }
+        if y + 1 < ny {
+            row.push((i + nx, -1.0));
+        }
+        if z > 0 {
+            row.push((i - nx * ny, -1.0));
+        }
+        if z + 1 < nz {
+            row.push((i + nx * ny, -1.0));
+        }
+        row.sort_by_key(|&(c, _)| c);
+    })
+}
+
+/// Worker mode: host a daemon on a loopback port, publish the address
+/// atomically, and park until the coordinator closes our stdin.
+fn worker(addr_file: &str) {
+    let service = Arc::new(Service::start(ServeConfig::new().workers(1)));
+    let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").expect("worker daemon start");
+    let tmp = format!("{addr_file}.tmp");
+    fs::write(&tmp, daemon.addr().to_string()).expect("write addr file");
+    fs::rename(&tmp, addr_file).expect("publish addr file");
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_line(&mut sink);
+    daemon.shutdown();
+    service.shutdown();
+}
+
+fn coordinator() {
+    aeropack_obs::init_from_env();
+    let exe = env::current_exe().expect("current exe");
+    let addr_file =
+        env::temp_dir().join(format!("aeropack_shard_smoke_{}.addr", std::process::id()));
+    let _ = fs::remove_file(&addr_file);
+    let mut child = Command::new(exe)
+        .arg("--worker")
+        .arg(&addr_file)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn worker process");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr: SocketAddr = loop {
+        if let Ok(s) = fs::read_to_string(&addr_file) {
+            if !s.trim().is_empty() {
+                break s.trim().parse().expect("worker address");
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker process never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    let (nx, ny, nz) = (20, 20, 20);
+    let a = poisson3d(nx, ny, nz);
+    let b: Vec<f64> = (0..a.n()).map(|i| (i % 17) as f64 * 0.125 - 1.0).collect();
+    let cfg = SolverConfig::new()
+        .grid_dims((nx, ny, nz))
+        .preconditioner(Precond::AdditiveSchwarz(4))
+        .tolerance(1e-10)
+        .context("shard smoke steady solve");
+
+    let reference = ShardedSolve::new(&a, &cfg, 1)
+        .expect("single-process driver")
+        .solve(&b)
+        .expect("single-process solve");
+    let solution = sharded_solve_remote(&a, &b, &cfg, &[addr]).expect("two-process sharded solve");
+
+    let dd = solution.stats.dd.as_ref().expect("dd stats");
+    assert_eq!(dd.shards, 2, "one local + one remote shard");
+    assert_eq!(dd.subdomains, 4);
+    let mut mismatches = 0usize;
+    for (got, want) in solution.x.iter().zip(&reference.x) {
+        if got.to_bits() != want.to_bits() {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "two-process solve must be bit-identical to single-process"
+    );
+    println!(
+        "shard_smoke: 20³ solve across 2 processes — {} iterations, \
+         {} subdomains, {} halo cells, {:.3} ms staging, bit-identical",
+        solution.stats.iterations,
+        dd.subdomains,
+        dd.halo_cells,
+        dd.exchange_seconds * 1e3
+    );
+
+    drop(child.stdin.take());
+    let _ = child.wait();
+    let _ = fs::remove_file(&addr_file);
+
+    match aeropack_obs::write_env_report() {
+        Ok(Some(path)) => println!("obs run report written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("obs run report not written: {e}"),
+    }
+    println!("shard_smoke: OK");
+}
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    if args.len() == 3 && args[1] == "--worker" {
+        worker(&args[2]);
+    } else {
+        coordinator();
+    }
+}

@@ -1,0 +1,506 @@
+//! Multi-process sharding: the serve-side half of the solver's
+//! domain-decomposed solves.
+//!
+//! Two independent axes of scale-out live here:
+//!
+//! - **Sharding one solve** — [`sharded_solve_remote`] runs the
+//!   solver's additive-Schwarz PCG with some shards living
+//!   in *other processes*: each remote shard is a daemon connection
+//!   upgraded by the [`SHARD_HELLO`] first line into the binary frame
+//!   protocol ([`crate::wire::FrameKind`]), with [`RemoteShard`]
+//!   implementing the solver's `SlabOperator` over the wire. Because
+//!   the worker side reuses the exact in-process `SlabWorker` compute
+//!   core and every vector travels as exact `f64` bit patterns, a
+//!   cross-process solve is bit-identical to the single-process one.
+//! - **Sharding a workload** — [`shard_batch`] fans a batch of
+//!   [`AnalysisRequest`]s (FV steady, transients, …) across several
+//!   daemon connections using the sweep crate's deterministic
+//!   [`Sweep::shard_blocks`] assignment, pipelining each block and
+//!   reassembling responses in request order.
+//!
+//! The shard count is a pure *execution* knob: it never changes
+//! results, only where they are computed. `AEROPACK_SHARDS` (read via
+//! `aeropack_solver::shards_from_env`) is the conventional way to pick
+//! it at deployment time.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use aeropack_obs::counter;
+use aeropack_solver::{
+    CsrMatrix, Partition, ShardedSolve, Slab, SlabOperator, SlabSpec, SlabWorker, Solution,
+    SolverConfig, SolverError,
+};
+use aeropack_sweep::Sweep;
+
+use crate::error::Error;
+use crate::request::{AnalysisRequest, AnalysisResponse};
+use crate::transport::SocketClient;
+use crate::wire::{self, FrameKind};
+
+/// The magic first line that upgrades a daemon connection from the
+/// line-JSON analysis protocol to the binary shard-worker protocol.
+pub const SHARD_HELLO: &str = "{\"shard_worker\":1}";
+
+fn send_err(writer: &mut impl Write, message: &str) -> Result<(), Error> {
+    wire::write_frame(writer, FrameKind::Err, message.as_bytes())
+}
+
+/// Runs the worker side of the shard protocol on an upgraded
+/// connection: `Setup` factors the shard, then `ApplyA`/`ApplyM`
+/// frames are answered with `Ap` (owned-range matrix product) and `Z`
+/// (extended-range Schwarz contribution) vectors until `Done` or
+/// end-of-stream. The compute core is the solver's own [`SlabWorker`],
+/// which is what makes the answers bit-identical to an in-process
+/// shard.
+///
+/// # Errors
+///
+/// Returns transport failures; protocol misuse (apply before setup,
+/// an invalid spec) is reported to the peer as an `Err` frame and the
+/// loop continues.
+pub fn run_worker(mut reader: impl BufRead, mut writer: impl Write) -> Result<(), Error> {
+    counter!("serve.shard.worker_connections");
+    let mut worker: Option<SlabWorker> = None;
+    let mut own: Vec<f64> = Vec::new();
+    let mut ext: Vec<f64> = Vec::new();
+    loop {
+        let Some((kind, payload)) = wire::read_frame(&mut reader)? else {
+            return Ok(());
+        };
+        match kind {
+            FrameKind::Setup => match wire::decode_slab_spec(&payload) {
+                Ok(spec) => {
+                    let own_len = spec.slab.owned_cells(spec.plane).len();
+                    let ext_len = spec.slab.ext_cells(spec.plane).len();
+                    match SlabWorker::new(spec, "serve shard worker") {
+                        Ok(w) => {
+                            worker = Some(w);
+                            own = vec![0.0; own_len];
+                            ext = vec![0.0; ext_len];
+                            counter!("serve.shard.workers_ready");
+                            wire::write_frame(&mut writer, FrameKind::Ready, &[])?;
+                        }
+                        Err(e) => send_err(&mut writer, &e.to_string())?,
+                    }
+                }
+                Err(e) => send_err(&mut writer, &e.to_string())?,
+            },
+            FrameKind::ApplyA | FrameKind::ApplyM => {
+                let Some(w) = worker.as_mut() else {
+                    send_err(&mut writer, "apply frame before SETUP")?;
+                    continue;
+                };
+                let x = match wire::decode_f64s(&payload) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        send_err(&mut writer, &e.to_string())?;
+                        continue;
+                    }
+                };
+                let (result, reply) = if kind == FrameKind::ApplyA {
+                    (w.apply_a(&x, &mut own), FrameKind::Ap)
+                } else {
+                    (w.apply_m(&x, &mut ext), FrameKind::Z)
+                };
+                match result {
+                    Ok(()) => {
+                        counter!("serve.shard.applies");
+                        let out = if kind == FrameKind::ApplyA {
+                            &own
+                        } else {
+                            &ext
+                        };
+                        wire::write_frame(&mut writer, reply, &wire::encode_f64s(out))?;
+                    }
+                    Err(e) => send_err(&mut writer, &e.to_string())?,
+                }
+            }
+            FrameKind::Done => return Ok(()),
+            other => send_err(&mut writer, &format!("unexpected frame {other:?}"))?,
+        }
+    }
+}
+
+/// One shard of a sharded solve living in another process: a
+/// `SlabOperator` whose matrix and tile applications are round-trips
+/// over the frame protocol to a daemon connection upgraded with
+/// [`SHARD_HELLO`].
+pub struct RemoteShard {
+    slab: Slab,
+    own_len: usize,
+    ext_len: usize,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    exchange_seconds: f64,
+}
+
+impl RemoteShard {
+    /// Connects to a daemon, upgrades the connection, ships `spec`,
+    /// and waits for the worker's `Ready`.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and any `Err` frame the worker
+    /// answers the setup with (an invalid spec, a factorization
+    /// breakdown).
+    pub fn connect(addr: impl ToSocketAddrs, spec: &SlabSpec) -> Result<Self, Error> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+        writer.write_all(SHARD_HELLO.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut me = Self {
+            slab: spec.slab,
+            own_len: spec.slab.owned_cells(spec.plane).len(),
+            ext_len: spec.slab.ext_cells(spec.plane).len(),
+            reader: BufReader::new(stream),
+            writer,
+            exchange_seconds: 0.0,
+        };
+        wire::write_frame(
+            &mut me.writer,
+            FrameKind::Setup,
+            &wire::encode_slab_spec(spec),
+        )?;
+        match wire::read_frame(&mut me.reader)? {
+            Some((FrameKind::Ready, _)) => {}
+            Some((FrameKind::Err, msg)) => {
+                return Err(Error::Invalid {
+                    reason: format!(
+                        "shard worker rejected setup: {}",
+                        String::from_utf8_lossy(&msg)
+                    ),
+                })
+            }
+            other => {
+                return Err(Error::Wire {
+                    reason: format!("shard worker answered setup with {other:?}"),
+                })
+            }
+        }
+        counter!("serve.shard.remote_shards");
+        Ok(me)
+    }
+
+    fn round_trip(
+        &mut self,
+        send: FrameKind,
+        expect: FrameKind,
+        x: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), SolverError> {
+        let to_solver = |e: Error| SolverError::invalid(format!("remote shard: {e}"));
+        // Staging time is the serialize/write and decode cost; the
+        // blocking read in between is the worker's compute, not ours.
+        let t = Instant::now();
+        let payload = wire::encode_f64s(x);
+        wire::write_frame(&mut self.writer, send, &payload).map_err(to_solver)?;
+        self.exchange_seconds += t.elapsed().as_secs_f64();
+        let frame = wire::read_frame(&mut self.reader).map_err(to_solver)?;
+        let t = Instant::now();
+        match frame {
+            Some((kind, payload)) if kind == expect => {
+                let vs = wire::decode_f64s(&payload).map_err(to_solver)?;
+                if vs.len() != out.len() {
+                    return Err(SolverError::invalid(format!(
+                        "remote shard answered {} values where {} were expected",
+                        vs.len(),
+                        out.len()
+                    )));
+                }
+                out.copy_from_slice(&vs);
+            }
+            Some((FrameKind::Err, msg)) => {
+                return Err(SolverError::invalid(format!(
+                    "remote shard: {}",
+                    String::from_utf8_lossy(&msg)
+                )))
+            }
+            other => {
+                return Err(SolverError::invalid(format!(
+                    "remote shard answered {send:?} with {other:?}"
+                )))
+            }
+        }
+        self.exchange_seconds += t.elapsed().as_secs_f64();
+        counter!("serve.shard.remote_applies");
+        Ok(())
+    }
+}
+
+impl SlabOperator for RemoteShard {
+    fn slab(&self) -> Slab {
+        self.slab
+    }
+
+    fn apply_a(&mut self, x_ext: &[f64], y_own: &mut [f64]) -> Result<(), SolverError> {
+        if y_own.len() != self.own_len {
+            return Err(SolverError::invalid("shard apply_a slice length mismatch"));
+        }
+        self.round_trip(FrameKind::ApplyA, FrameKind::Ap, x_ext, y_own)
+    }
+
+    fn apply_m(&mut self, r_ext: &[f64], z_ext: &mut [f64]) -> Result<(), SolverError> {
+        if z_ext.len() != self.ext_len {
+            return Err(SolverError::invalid("shard apply_m slice length mismatch"));
+        }
+        self.round_trip(FrameKind::ApplyM, FrameKind::Z, r_ext, z_ext)
+    }
+
+    fn exchange_seconds(&self) -> f64 {
+        self.exchange_seconds
+    }
+}
+
+impl Drop for RemoteShard {
+    fn drop(&mut self) {
+        // Best-effort release so the worker's connection thread exits
+        // promptly instead of waiting for the TCP teardown.
+        let _ = wire::write_frame(&mut self.writer, FrameKind::Done, &[]);
+    }
+}
+
+/// Solves an SPD grid system with its shards spread over worker
+/// processes: the first shard runs in-process, each address in
+/// `workers` hosts one more. With an empty `workers` list this
+/// degenerates to the solver's single-process [`ShardedSolve`].
+///
+/// The shard count (`workers.len() + 1`) is an execution knob only:
+/// the solution bits match the single-process solve at any count.
+///
+/// # Errors
+///
+/// Returns solver-side partition/config errors and any connection or
+/// setup failure from a worker.
+pub fn sharded_solve_remote(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &SolverConfig,
+    workers: &[std::net::SocketAddr],
+) -> Result<Solution, Error> {
+    let _span = aeropack_obs::span!("serve.shard.solve", shards = workers.len() + 1);
+    let requested = match cfg.get_preconditioner() {
+        aeropack_solver::Precond::AdditiveSchwarz(k) => k,
+        _ => 0,
+    };
+    let part = Partition::new(a.n(), cfg.get_grid_dims(), requested)?;
+    let layout = part.shard_layout(workers.len() + 1);
+    let mut ops: Vec<Box<dyn SlabOperator>> = Vec::with_capacity(layout.len());
+    for (i, (slab, tile_range)) in layout.into_iter().enumerate() {
+        let tiles = &part.tiles()[tile_range];
+        if i == 0 {
+            ops.push(Box::new(SlabWorker::from_global(
+                a,
+                &part,
+                slab,
+                tiles,
+                cfg.get_context(),
+            )?));
+        } else {
+            let spec = SlabSpec::extract(a, &part, slab, tiles)?;
+            ops.push(Box::new(RemoteShard::connect(workers[i - 1], &spec)?));
+        }
+    }
+    let mut driver = ShardedSolve::from_operators(part, ops, cfg)?;
+    counter!("serve.shard.solves");
+    Ok(driver.solve(b)?)
+}
+
+/// Fans a request batch across several daemon connections — one block
+/// of contiguous requests per client, assigned by the deterministic
+/// [`Sweep::shard_blocks`] split — pipelining every block concurrently
+/// and reassembling the responses in request order. Point the clients
+/// at different daemon *processes* to spread an FV/transient workload
+/// across machines; results are position-for-position identical to a
+/// single [`SocketClient::call_batch`].
+///
+/// # Errors
+///
+/// Returns an error when `clients` is empty or any block's transport
+/// fails outright; per-request analysis failures come back in the
+/// per-slot `Result`s.
+pub fn shard_batch(
+    clients: &mut [SocketClient],
+    requests: &[AnalysisRequest],
+) -> Result<Vec<Result<AnalysisResponse, Error>>, Error> {
+    if clients.is_empty() {
+        return Err(Error::Invalid {
+            reason: "shard_batch needs at least one client".to_string(),
+        });
+    }
+    let _span = aeropack_obs::span!("serve.shard.batch", shards = clients.len());
+    counter!("serve.shard.batches");
+    counter!("serve.shard.batch_requests", requests.len() as u64);
+    let blocks = Sweep::shard_blocks(requests.len(), clients.len());
+    let sink = aeropack_obs::propagation_handle();
+    let mut block_results: Vec<Result<Vec<Result<AnalysisResponse, Error>>, Error>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = clients
+                .iter_mut()
+                .zip(blocks.iter())
+                .map(|(client, block)| {
+                    let reqs = requests[block.clone()].to_vec();
+                    let sink = sink.clone();
+                    s.spawn(move || {
+                        let _sink = sink.map(aeropack_obs::attach);
+                        client.call_batch(reqs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard batch thread panicked"))
+                .collect()
+        });
+    let mut out = Vec::with_capacity(requests.len());
+    for block in block_results.drain(..) {
+        out.extend(block?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use crate::request::{MaterialKind, PlateSpec, SeatKind, SebSpec};
+    use crate::service::{ServeConfig, Service};
+    use crate::transport::serve;
+    use aeropack_solver::Precond;
+
+    /// A small SPD grid system: the 7-point Laplacian plus a mass term.
+    fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+        let n = nx * ny * nz;
+        CsrMatrix::from_row_fn(n, 1, move |i, row| {
+            let x = i % nx;
+            let y = (i / nx) % ny;
+            let z = i / (nx * ny);
+            row.push((i, 6.5));
+            if x > 0 {
+                row.push((i - 1, -1.0));
+            }
+            if x + 1 < nx {
+                row.push((i + 1, -1.0));
+            }
+            if y > 0 {
+                row.push((i - nx, -1.0));
+            }
+            if y + 1 < ny {
+                row.push((i + nx, -1.0));
+            }
+            if z > 0 {
+                row.push((i - nx * ny, -1.0));
+            }
+            if z + 1 < nz {
+                row.push((i + nx * ny, -1.0));
+            }
+            row.sort_by_key(|&(c, _)| c);
+        })
+    }
+
+    #[test]
+    fn remote_shards_match_single_process_bitwise() {
+        let (nx, ny, nz) = (6, 5, 12);
+        let a = poisson3d(nx, ny, nz);
+        let b: Vec<f64> = (0..a.n()).map(|i| (i % 13) as f64 * 0.25 - 1.0).collect();
+        let cfg = SolverConfig::new()
+            .grid_dims((nx, ny, nz))
+            .preconditioner(Precond::AdditiveSchwarz(4))
+            .tolerance(1e-10)
+            .context("remote shard test");
+        let reference = ShardedSolve::new(&a, &cfg, 1).unwrap().solve(&b).unwrap();
+
+        // Two worker daemons, each hosting one remote shard; a third
+        // shard runs in-process.
+        let service = Arc::new(Service::start(ServeConfig::new().workers(1)));
+        let mut daemons: Vec<_> = (0..2)
+            .map(|_| serve(Arc::clone(&service), "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<_> = daemons.iter().map(|d| d.addr()).collect();
+        let solution = sharded_solve_remote(&a, &b, &cfg, &addrs).unwrap();
+        assert_eq!(solution.stats.dd.as_ref().unwrap().shards, 3);
+        assert_eq!(solution.stats.dd.as_ref().unwrap().subdomains, 4);
+        assert_eq!(solution.x.len(), reference.x.len());
+        for (got, want) in solution.x.iter().zip(&reference.x) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // The remote round-trips were timed on the coordinator side.
+        assert!(solution.stats.dd.as_ref().unwrap().exchange_seconds > 0.0);
+        for d in &mut daemons {
+            d.shutdown();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn worker_reports_protocol_misuse_without_dying() {
+        let service = Arc::new(Service::start(ServeConfig::new().workers(1)));
+        let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(daemon.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(SHARD_HELLO.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        // Apply before setup: an Err frame, not a dropped connection.
+        wire::write_frame(&mut writer, FrameKind::ApplyA, &wire::encode_f64s(&[1.0])).unwrap();
+        let (kind, msg) = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Err);
+        assert!(String::from_utf8_lossy(&msg).contains("SETUP"));
+        // The connection is still alive: a bad spec is also answered.
+        wire::write_frame(&mut writer, FrameKind::Setup, &[1, 2, 3]).unwrap();
+        let (kind, _) = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Err);
+        daemon.shutdown();
+        service.shutdown();
+    }
+
+    #[test]
+    fn shard_batch_reassembles_in_request_order() {
+        let service = Arc::new(Service::start(ServeConfig::new().workers(2)));
+        let mut daemon = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let requests: Vec<AnalysisRequest> = (0..7)
+            .map(|i| match i % 2 {
+                0 => AnalysisRequest::SebOperatingPoint {
+                    spec: SebSpec {
+                        seat: SeatKind::Aluminum,
+                        lhp: true,
+                        tilt_deg: 0.0,
+                        ambient_c: 25.0,
+                    },
+                    power_w: 30.0 + f64::from(i),
+                },
+                _ => AnalysisRequest::FvSteady {
+                    spec: PlateSpec {
+                        lx_m: 0.16,
+                        ly_m: 0.1,
+                        thickness_m: 0.0016,
+                        nx: 12,
+                        ny: 8,
+                        material: MaterialKind::Aluminum,
+                        power_w: 10.0 + f64::from(i),
+                        h_w_m2k: 40.0,
+                        ambient_c: 40.0,
+                    },
+                    scale: 1.0,
+                },
+            })
+            .collect();
+        let mut single = SocketClient::connect(daemon.addr()).unwrap();
+        let reference = single.call_batch(requests.clone()).unwrap();
+        let mut clients: Vec<SocketClient> = (0..3)
+            .map(|_| SocketClient::connect(daemon.addr()).unwrap())
+            .collect();
+        let sharded = shard_batch(&mut clients, &requests).unwrap();
+        assert_eq!(sharded.len(), reference.len());
+        for (got, want) in sharded.iter().zip(&reference) {
+            assert_eq!(got, want);
+        }
+        assert!(shard_batch(&mut [], &requests).is_err());
+        daemon.shutdown();
+        service.shutdown();
+    }
+}

@@ -61,11 +61,23 @@ impl Drop for Daemon {
 }
 
 fn handle_connection(service: &Service, stream: TcpStream) -> Result<(), Error> {
+    // The first line decides the protocol: the shard-worker magic
+    // upgrades this connection to the binary frame protocol (the
+    // connection thread *becomes* the shard worker); anything else is
+    // the first line-JSON request.
+    let mut writer_stream = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    if first.trim_end() == crate::shard::SHARD_HELLO {
+        return crate::shard::run_worker(reader, writer_stream);
+    }
     // Submit on the read side, resolve on the write side: every
     // pipelined line is queued *before* the first result is awaited,
     // which is what lets the service coalesce a batch arriving on one
     // connection. Responses still go out in request order.
-    let mut writer_stream = stream.try_clone()?;
     let (tx, rx) = std::sync::mpsc::channel::<(u64, crate::service::Ticket)>();
     let writer_thread = thread::Builder::new()
         .name("aeropack-serve-write".to_string())
@@ -85,22 +97,32 @@ fn handle_connection(service: &Service, stream: TcpStream) -> Result<(), Error> 
         .map_err(|e| Error::Io {
             reason: e.to_string(),
         })?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let submit = |line: &str| -> Option<(u64, crate::service::Ticket)> {
         if line.trim().is_empty() {
-            continue;
+            return None;
         }
-        let queued = match crate::wire::decode_request_line(&line) {
+        Some(match crate::wire::decode_request_line(line) {
             Ok(req) => {
                 let deadline = req.deadline();
                 let ticket = service.submit_with(req.request, req.priority, deadline);
                 (req.id, ticket)
             }
             Err(e) => (0, crate::service::Ticket::ready(Err(e))),
-        };
-        if tx.send(queued).is_err() {
-            break;
+        })
+    };
+    let mut closed = false;
+    if let Some(queued) = submit(&first) {
+        closed = tx.send(queued).is_err();
+    }
+    if !closed {
+        for line in reader.lines() {
+            let line = line?;
+            let Some(queued) = submit(&line) else {
+                continue;
+            };
+            if tx.send(queued).is_err() {
+                break;
+            }
         }
     }
     drop(tx);

@@ -364,3 +364,83 @@ fn socket_daemon_answers_calls_and_pipelined_batches() {
     daemon.shutdown();
     service.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Binary frame codec (the shard-worker protocol).
+// ---------------------------------------------------------------------
+
+#[test]
+fn frames_round_trip_with_exact_f64_bits() {
+    use aeropack_serve::wire::{decode_f64s, encode_f64s, read_frame, write_frame, FrameKind};
+    let values = [
+        0.0,
+        -0.0,
+        1.5,
+        f64::MIN_POSITIVE,
+        f64::MAX,
+        -1.0 / 3.0,
+        f64::INFINITY,
+    ];
+    let mut buf = Vec::new();
+    write_frame(&mut buf, FrameKind::ApplyA, &encode_f64s(&values)).unwrap();
+    write_frame(&mut buf, FrameKind::Done, &[]).unwrap();
+    let mut cursor = &buf[..];
+    let (kind, payload) = read_frame(&mut cursor).unwrap().unwrap();
+    assert_eq!(kind, FrameKind::ApplyA);
+    let decoded = decode_f64s(&payload).unwrap();
+    assert_eq!(decoded.len(), values.len());
+    for (got, want) in decoded.iter().zip(&values) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+    let (kind, payload) = read_frame(&mut cursor).unwrap().unwrap();
+    assert_eq!(kind, FrameKind::Done);
+    assert!(payload.is_empty());
+    // Clean end-of-stream between frames is None, not an error.
+    assert!(read_frame(&mut cursor).unwrap().is_none());
+}
+
+#[test]
+fn malformed_frames_are_rejected() {
+    use aeropack_serve::wire::{decode_f64s, read_frame};
+    // Truncated header.
+    assert!(read_frame(&mut &[1u8, 0, 0][..]).is_err());
+    // Unknown kind byte.
+    assert!(read_frame(&mut &[0u8, 0, 0, 0, 99][..]).is_err());
+    // Length prefix past the cap.
+    assert!(read_frame(&mut &[0xff, 0xff, 0xff, 0xff, 1][..]).is_err());
+    // Payload shorter than its declared length.
+    assert!(read_frame(&mut &[4u8, 0, 0, 0, 3, 1, 2][..]).is_err());
+    // A vector payload must be whole f64s.
+    assert!(decode_f64s(&[0u8; 12]).is_err());
+}
+
+#[test]
+fn slab_specs_round_trip_through_the_frame_payload() {
+    use aeropack_serve::wire::{decode_slab_spec, encode_slab_spec};
+    use aeropack_solver::{CsrMatrix, Partition, SlabSpec};
+    let (nx, ny, nz) = (4, 3, 8);
+    let n = nx * ny * nz;
+    let a = CsrMatrix::from_row_fn(n, 1, move |i, row| {
+        row.push((i, 6.5));
+        if i >= nx * ny {
+            row.push((i - nx * ny, -1.0));
+        }
+        if i + nx * ny < n {
+            row.push((i + nx * ny, -1.0));
+        }
+        row.sort_by_key(|&(c, _)| c);
+    });
+    let part = Partition::new(n, Some((nx, ny, nz)), 4).unwrap();
+    for (slab, tile_range) in part.shard_layout(2) {
+        let spec = SlabSpec::extract(&a, &part, slab, &part.tiles()[tile_range]).unwrap();
+        let decoded = decode_slab_spec(&encode_slab_spec(&spec)).unwrap();
+        assert_eq!(decoded, spec);
+    }
+    // Garbage payloads fail cleanly.
+    assert!(decode_slab_spec(&[0u8; 7]).is_err());
+    let mut extra = encode_slab_spec(
+        &SlabSpec::extract(&a, &part, part.shard_layout(1)[0].0, part.tiles()).unwrap(),
+    );
+    extra.push(0);
+    assert!(decode_slab_spec(&extra).is_err());
+}

@@ -1,0 +1,1369 @@
+//! Domain decomposition: slab partitions, additive-Schwarz IC(0)
+//! preconditioning, and the sharded PCG driver.
+//!
+//! The structured grid is cut into axis-aligned slabs along its last
+//! (slowest-varying) axis, so every subdomain's owned and extended cell
+//! ranges are contiguous in the global index space. Two layers build on
+//! the [`Partition`]:
+//!
+//! - [`Precond::AdditiveSchwarz`] (wired through `solve_sparse`):
+//!   additive Schwarz over the partition's *tiles*,
+//!   `M⁻¹ = Σᵢ Rᵢᵀ Ãᵢ⁻¹ Rᵢ`. Each tile carries an IC(0) factor of its
+//!   extended-range principal submatrix (couplings leaving the
+//!   extended range are dropped — Dirichlet truncation) and solves it
+//!   serially; tiles are independent, so the preconditioner applies
+//!   barrier-free and parallelises across tiles instead of across the
+//!   level schedule of one global trisolve. Tiles contribute their
+//!   *full* extended-range solutions (summed in fixed tile order —
+//!   keeping `M⁻¹` symmetric positive definite, which CG needs; the
+//!   cheaper "restricted" owned-only write-back is nonsymmetric and
+//!   stalls CG near tight tolerances), so the result is bit-identical
+//!   at any thread count.
+//! - [`ShardedSolve`]: a PCG driver that groups tiles into *shards*
+//!   executed by [`SlabOperator`]s — in-process [`SlabWorker`]s or
+//!   remote worker processes fed a serialisable [`SlabSpec`] over the
+//!   `aeropack-serve` frame codec. Shard boundaries always align with
+//!   tile boundaries and global dot products use a fixed-order tree
+//!   reduction, so the solution is bit-identical at any shard count and
+//!   any thread count.
+//!
+//! The tile ladder is the *mathematical* knob (it changes the
+//! preconditioner and hence the iteration count); the shard count is
+//! purely an *execution* knob (it never changes a single bit of the
+//! result). The `AEROPACK_SHARDS` environment variable picks the
+//! latter; see [`shards_from_env`].
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use crate::config::{Reorder, Solution, SolverConfig};
+use crate::csr::CsrMatrix;
+use crate::error::SolverError;
+use crate::halo::HaloExchange;
+use crate::ic0::Ic0Factor;
+use crate::stats::{DdStats, FactorStats, Method, Precond, SolverStats};
+
+/// Auto tile sizing: one tile per this many grid planes (so a 64³ grid
+/// resolves `Precond::AdditiveSchwarz(0)` to 8 tiles).
+const AUTO_PLANES_PER_TILE: usize = 8;
+
+/// Fixed reduction block of the deterministic tree dot product.
+const DOT_BLOCK: usize = 1024;
+
+/// One axis-aligned slab of the grid: a contiguous range of *owned*
+/// planes plus an *extended* range that adds at most one halo plane on
+/// each side (clipped at the domain boundary). All fields are plane
+/// indices; multiply by the plane size for cell indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slab {
+    /// First owned plane.
+    pub own_start: usize,
+    /// One past the last owned plane.
+    pub own_end: usize,
+    /// First plane of the extended (owned + halo) range.
+    pub ext_start: usize,
+    /// One past the last plane of the extended range.
+    pub ext_end: usize,
+}
+
+impl Slab {
+    fn new(own_start: usize, own_end: usize, nplanes: usize) -> Self {
+        Self {
+            own_start,
+            own_end,
+            ext_start: own_start.saturating_sub(1),
+            ext_end: (own_end + 1).min(nplanes),
+        }
+    }
+
+    /// Owned cell range in the global vector (`plane` cells per plane).
+    pub fn owned_cells(&self, plane: usize) -> Range<usize> {
+        self.own_start * plane..self.own_end * plane
+    }
+
+    /// Extended (owned + halo) cell range in the global vector.
+    pub fn ext_cells(&self, plane: usize) -> Range<usize> {
+        self.ext_start * plane..self.ext_end * plane
+    }
+
+    /// Halo cells of this slab (extended minus owned).
+    pub fn halo_cells(&self, plane: usize) -> usize {
+        ((self.own_start - self.ext_start) + (self.ext_end - self.own_end)) * plane
+    }
+}
+
+/// A slab partition of the structured grid: the grid's plane shape plus
+/// the ordered tile list. Built from [`SolverConfig::grid_dims`] when
+/// available (slabs cut along `nz`); without grid dims the vector is
+/// treated as a 1-D chain of `n` single-cell planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    n: usize,
+    plane: usize,
+    nplanes: usize,
+    tiles: Vec<Slab>,
+}
+
+impl Partition {
+    /// Partitions `n` unknowns into `requested` tiles (0 = auto: one
+    /// tile per [`AUTO_PLANES_PER_TILE`] planes). `grid_dims` must
+    /// multiply out to `n` when given; the tile count is clamped so
+    /// every tile owns at least **two** planes. The floor is a
+    /// bit-identity requirement, not a tuning choice: with two-plane
+    /// tiles each cell lies in at most two tiles' extended ranges, so
+    /// a shard boundary can only ever split a two-term overlap sum —
+    /// which re-associates bit-exactly. One-plane tiles would put
+    /// three contributions on a cell, and pre-summing them per shard
+    /// would round differently at different shard counts.
+    pub fn new(
+        n: usize,
+        grid_dims: Option<(usize, usize, usize)>,
+        requested: usize,
+    ) -> Result<Self, SolverError> {
+        if n == 0 {
+            return Err(SolverError::invalid("cannot partition an empty system"));
+        }
+        let (plane, nplanes) = match grid_dims {
+            Some((nx, ny, nz)) => {
+                if nx * ny * nz != n {
+                    return Err(SolverError::invalid(format!(
+                        "grid dims {nx}×{ny}×{nz} do not match {n} unknowns"
+                    )));
+                }
+                (nx * ny, nz)
+            }
+            None => (1, n),
+        };
+        let max_tiles = (nplanes / 2).max(1);
+        let count = if requested == 0 {
+            nplanes.div_ceil(AUTO_PLANES_PER_TILE).min(max_tiles)
+        } else {
+            requested.min(max_tiles)
+        };
+        let mut tiles = Vec::with_capacity(count);
+        for (start, end) in split_ranges(nplanes, count) {
+            tiles.push(Slab::new(start, end, nplanes));
+        }
+        Ok(Self {
+            n,
+            plane,
+            nplanes,
+            tiles,
+        })
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cells per grid plane (1 without grid dims).
+    pub fn plane(&self) -> usize {
+        self.plane
+    }
+
+    /// Grid planes along the partition axis.
+    pub fn nplanes(&self) -> usize {
+        self.nplanes
+    }
+
+    /// The ordered tile list.
+    pub fn tiles(&self) -> &[Slab] {
+        &self.tiles
+    }
+
+    /// Number of tiles (the resolved subdomain count).
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Total halo cells across all tiles.
+    pub fn halo_cells(&self) -> usize {
+        self.tiles.iter().map(|t| t.halo_cells(self.plane)).sum()
+    }
+
+    /// Groups the tiles into `count` contiguous shards (clamped to the
+    /// tile count). Returns each shard's slab plus the range of tile
+    /// indices it owns; shard boundaries always coincide with tile
+    /// boundaries, which is what keeps the sharded solve bit-identical
+    /// to the single-process one.
+    pub fn shard_layout(&self, count: usize) -> Vec<(Slab, Range<usize>)> {
+        let shards = count.clamp(1, self.tiles.len());
+        let mut layout = Vec::with_capacity(shards);
+        for (lo, hi) in split_ranges(self.tiles.len(), shards) {
+            let own_start = self.tiles[lo].own_start;
+            let own_end = self.tiles[hi - 1].own_end;
+            layout.push((Slab::new(own_start, own_end, self.nplanes), lo..hi));
+        }
+        layout
+    }
+}
+
+/// Splits `len` items into `count` contiguous near-even ranges (the
+/// first `len % count` ranges get one extra item).
+fn split_ranges(len: usize, count: usize) -> impl Iterator<Item = (usize, usize)> {
+    let count = count.clamp(1, len.max(1));
+    let base = len / count;
+    let rem = len % count;
+    let mut start = 0;
+    (0..count).map(move |i| {
+        let size = base + usize::from(i < rem);
+        let range = (start, start + size);
+        start += size;
+        range
+    })
+}
+
+/// Deterministic dot product: serial sums over fixed
+/// 1024-element blocks combined by a pairwise tree. The block
+/// boundaries and combine order depend only on the vector length, so
+/// the result is bit-identical at any partition, shard, or thread
+/// count — this is the reduction every [`ShardedSolve`] global dot
+/// product goes through.
+pub fn tree_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    dot_blocks(a, b, 0, a.len().div_ceil(DOT_BLOCK))
+}
+
+fn dot_blocks(a: &[f64], b: &[f64], first: usize, count: usize) -> f64 {
+    if count == 1 {
+        let lo = first * DOT_BLOCK;
+        let hi = (lo + DOT_BLOCK).min(a.len());
+        let mut sum = 0.0;
+        for i in lo..hi {
+            sum += a[i] * b[i];
+        }
+        return sum;
+    }
+    let half = count / 2;
+    dot_blocks(a, b, first, half) + dot_blocks(a, b, first + half, count - half)
+}
+
+/// `‖a‖₂` through the same fixed-order reduction as [`tree_dot`].
+pub fn tree_norm(a: &[f64]) -> f64 {
+    tree_dot(a, a).sqrt()
+}
+
+/// Reads the `AEROPACK_SHARDS` environment knob: how many worker
+/// shards sharded drivers should use. `None` when unset, unparsable,
+/// or zero.
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var("AEROPACK_SHARDS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&s| s >= 1)
+}
+
+/// One tile's IC(0) solver: the extended-range principal submatrix
+/// (local indices, Dirichlet truncation at the extended boundary), its
+/// factor, and pre-allocated staging scratch.
+#[derive(Debug, Clone)]
+struct TileSolver {
+    /// Extended cell range, global coordinates.
+    ext: Range<usize>,
+    local: CsrMatrix,
+    /// Source value index feeding each local value (allocation-free
+    /// numeric refresh when the matrix values change in place).
+    val_map: Vec<usize>,
+    factor: Ic0Factor,
+    shift_retries: usize,
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
+    /// Cumulative seconds staging `r`/`z` slices in and out.
+    exchange_seconds: f64,
+}
+
+impl TileSolver {
+    /// Extracts the tile's extended principal submatrix from `src`,
+    /// whose rows cover global cells `src_base..src_base + src.n()`,
+    /// and factors it. The tile's extended range must lie within the
+    /// source rows.
+    fn build(
+        src: &CsrMatrix,
+        src_base: usize,
+        slab: Slab,
+        plane: usize,
+        context: &'static str,
+    ) -> Result<Self, SolverError> {
+        let ext = slab.ext_cells(plane);
+        let m = ext.len();
+        let rp = src.row_offsets();
+        let ci = src.col_indices();
+        let va = src.values();
+        let mut row_ptr = Vec::with_capacity(m + 1);
+        row_ptr.push(0);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut val_map = Vec::new();
+        for cell in ext.clone() {
+            let r = cell - src_base;
+            for k in rp[r]..rp[r + 1] {
+                let gc = ci[k] + src_base;
+                if ext.contains(&gc) {
+                    cols.push(gc - ext.start);
+                    vals.push(va[k]);
+                    val_map.push(k);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        let local = CsrMatrix::from_parts(m, row_ptr, cols, vals);
+        let (factor, shift_retries) =
+            Ic0Factor::new(&local).map_err(|_| SolverError::Singular { context })?;
+        Ok(Self {
+            ext,
+            local,
+            val_map,
+            factor,
+            shift_retries,
+            rhs: vec![0.0; m],
+            sol: vec![0.0; m],
+            exchange_seconds: 0.0,
+        })
+    }
+
+    /// Refreshes the local values from `src` (same pattern, new
+    /// numbers) and refactors in place. Allocation-free.
+    fn refresh(&mut self, src: &CsrMatrix, context: &'static str) -> Result<usize, SolverError> {
+        let sv = src.values();
+        let lv = self.local.values_mut();
+        for (dst, &k) in lv.iter_mut().zip(&self.val_map) {
+            *dst = sv[k];
+        }
+        self.shift_retries = self
+            .factor
+            .refactor(&self.local)
+            .map_err(|_| SolverError::Singular { context })?;
+        Ok(self.shift_retries)
+    }
+
+    /// Stage `r[ext]` in and solve the tile factor into `self.sol`.
+    /// `r` starts at global cell `r_base`. The inner trisolve is
+    /// always serial — tiles are the unit of parallelism.
+    fn solve(&mut self, r_base: usize, r: &[f64]) {
+        let t0 = Instant::now();
+        self.rhs
+            .copy_from_slice(&r[self.ext.start - r_base..self.ext.end - r_base]);
+        self.exchange_seconds += t0.elapsed().as_secs_f64();
+        self.factor.apply(&self.rhs, &mut self.sol, 1);
+    }
+
+    /// Accumulates the tile's full extended-range solution into `z`
+    /// (`z[cell] += sol[cell]`, `z` starting at global cell `z_base`).
+    /// Overlap cells receive one contribution per covering tile —
+    /// `M⁻¹ = Σᵢ Rᵢᵀ Ãᵢ⁻¹ Rᵢ` — which keeps the summed operator
+    /// symmetric positive definite. (Restricted owned-only writes are
+    /// cheaper but nonsymmetric, and CG stalls on them just short of
+    /// tight tolerances.)
+    fn accumulate(&mut self, z_base: usize, z: &mut [f64]) {
+        let t0 = Instant::now();
+        for (dst, &s) in z[self.ext.start - z_base..self.ext.end - z_base]
+            .iter_mut()
+            .zip(&self.sol)
+        {
+            *dst += s;
+        }
+        self.exchange_seconds += t0.elapsed().as_secs_f64();
+    }
+}
+
+/// The additive-Schwarz preconditioner: one [`TileSolver`] per tile,
+/// summing full extended-range contributions (`M⁻¹ = Σᵢ Rᵢᵀ Ãᵢ⁻¹ Rᵢ`,
+/// SPD and therefore CG-safe). The trisolves are independent and may
+/// run on scoped threads; the accumulation pass is always serial in
+/// tile-index order, so the result is bit-identical at any thread
+/// count — and at any shard count, because shards hold contiguous tile
+/// runs and accumulate in the same global order.
+#[derive(Debug, Clone)]
+pub(crate) struct SchwarzSet {
+    tiles: Vec<TileSolver>,
+}
+
+impl SchwarzSet {
+    /// Builds and factors every tile of `slabs` against `src` (rows
+    /// covering global cells `src_base..`).
+    pub(crate) fn build(
+        src: &CsrMatrix,
+        src_base: usize,
+        slabs: &[Slab],
+        plane: usize,
+        context: &'static str,
+    ) -> Result<Self, SolverError> {
+        let mut tiles = Vec::with_capacity(slabs.len());
+        for &slab in slabs {
+            tiles.push(TileSolver::build(src, src_base, slab, plane, context)?);
+        }
+        aeropack_obs::counter!("solver.dd.tile_factorizations", tiles.len());
+        Ok(Self { tiles })
+    }
+
+    /// Number of tiles.
+    pub(crate) fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Refreshes every tile factor from new matrix values (same
+    /// pattern). Returns the summed diagonal-shift retries.
+    pub(crate) fn refresh(
+        &mut self,
+        src: &CsrMatrix,
+        context: &'static str,
+    ) -> Result<usize, SolverError> {
+        let mut retries = 0;
+        for tile in &mut self.tiles {
+            retries += tile.refresh(src, context)?;
+        }
+        aeropack_obs::counter!("solver.dd.tile_refactorizations", self.tiles.len());
+        Ok(retries)
+    }
+
+    /// Applies `z = M⁻¹·r` additive-Schwarz style. `r` is a slice
+    /// starting at global cell `r_base` and must cover every tile's
+    /// extended range; `z` starts at `z_base` and must cover every
+    /// extended range too. The covered region of `z` is zeroed, then
+    /// each tile's full extended-range solution is accumulated in
+    /// tile-index order. With `threads > 1` the trisolves run on
+    /// scoped threads over contiguous tile chunks; the accumulation
+    /// stays serial, so the result is bit-identical to serial.
+    pub(crate) fn apply(
+        &mut self,
+        r_base: usize,
+        r: &[f64],
+        z_base: usize,
+        z: &mut [f64],
+        threads: usize,
+    ) {
+        aeropack_obs::counter!("solver.dd.applies");
+        let lo = self.tiles[0].ext.start;
+        let hi = self.tiles[self.tiles.len() - 1].ext.end;
+        z[lo - z_base..hi - z_base].fill(0.0);
+        let workers = threads.clamp(1, self.tiles.len());
+        if workers <= 1 {
+            for tile in &mut self.tiles {
+                tile.solve(r_base, r);
+                tile.accumulate(z_base, z);
+            }
+            return;
+        }
+        let chunk = self.tiles.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for group in self.tiles.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for tile in group {
+                        tile.solve(r_base, r);
+                    }
+                });
+            }
+        });
+        for tile in &mut self.tiles {
+            tile.accumulate(z_base, z);
+        }
+    }
+
+    /// Cumulative staging seconds across all tiles.
+    pub(crate) fn exchange_seconds(&self) -> f64 {
+        self.tiles.iter().map(|t| t.exchange_seconds).sum()
+    }
+
+    /// Aggregated factor statistics: summed fill, per-tile level maxima
+    /// (the serial depth of the *largest* tile — the whole point is
+    /// that tiles never synchronise with each other).
+    pub(crate) fn factor_stats(&self, factor_time: Duration, reused: bool) -> FactorStats {
+        FactorStats {
+            factor_time,
+            fill_nnz: self.tiles.iter().map(|t| t.factor.fill_nnz()).sum(),
+            forward_levels: self
+                .tiles
+                .iter()
+                .map(|t| t.factor.forward_levels())
+                .max()
+                .unwrap_or(0),
+            backward_levels: self
+                .tiles
+                .iter()
+                .map(|t| t.factor.backward_levels())
+                .max()
+                .unwrap_or(0),
+            diagonal_shift: self
+                .tiles
+                .iter()
+                .map(|t| t.factor.shift())
+                .fold(0.0, f64::max),
+            reused,
+            reordered: false,
+        }
+    }
+
+    /// Summed diagonal-shift retries of the last (re)factorisation.
+    pub(crate) fn shift_retries(&self) -> usize {
+        self.tiles.iter().map(|t| t.shift_retries).sum()
+    }
+}
+
+/// Everything a worker needs to act as one shard of a sharded solve:
+/// the shard's slab, its tiles, and the extended-range rows of the
+/// global matrix (square over the extended cells, columns truncated to
+/// the extended range, local indices). Plain vectors so it serialises
+/// over the `aeropack-serve` frame codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlabSpec {
+    /// Cells per grid plane.
+    pub plane: usize,
+    /// Total planes in the global grid.
+    pub nplanes: usize,
+    /// This shard's slab.
+    pub slab: Slab,
+    /// The tiles this shard owns (global plane coordinates).
+    pub tiles: Vec<Slab>,
+    /// CSR row pointers of the extended-range submatrix.
+    pub row_ptr: Vec<usize>,
+    /// CSR column indices (local to the extended range).
+    pub col_idx: Vec<usize>,
+    /// CSR values.
+    pub vals: Vec<f64>,
+}
+
+impl SlabSpec {
+    /// Extracts the shard submatrix for `slab` from the global matrix.
+    /// Fails when an *owned* row couples outside the extended range —
+    /// the slab protocol carries exactly one halo plane, so the matrix
+    /// bandwidth along the partition axis must not exceed one plane.
+    pub fn extract(
+        a: &CsrMatrix,
+        part: &Partition,
+        slab: Slab,
+        tiles: &[Slab],
+    ) -> Result<Self, SolverError> {
+        let plane = part.plane();
+        let ext = slab.ext_cells(plane);
+        let own = slab.owned_cells(plane);
+        let rp = a.row_offsets();
+        let ci = a.col_indices();
+        let va = a.values();
+        let mut row_ptr = Vec::with_capacity(ext.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for cell in ext.clone() {
+            let owned = own.contains(&cell);
+            for k in rp[cell]..rp[cell + 1] {
+                let c = ci[k];
+                if ext.contains(&c) {
+                    col_idx.push(c - ext.start);
+                    vals.push(va[k]);
+                } else if owned {
+                    return Err(SolverError::invalid(format!(
+                        "sharded solve needs matrix bandwidth of at most one grid \
+                         plane: row {cell} couples to column {c} outside its \
+                         subdomain halo"
+                    )));
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Self {
+            plane,
+            nplanes: part.nplanes(),
+            slab,
+            tiles: tiles.to_vec(),
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+}
+
+/// One shard of a sharded solve. The driver stages the shard's
+/// extended-range slices; the operator applies the shard's matrix rows
+/// (owned-range output) and its Schwarz tiles (extended-range output,
+/// accumulated across shards by the coordinator). Implemented
+/// in-process by [`SlabWorker`] and across processes by the
+/// `aeropack-serve` shard worker protocol.
+pub trait SlabOperator: Send {
+    /// The shard's slab.
+    fn slab(&self) -> Slab;
+    /// `y_own = A_slab · x_ext` — exact global matrix rows for the
+    /// owned cells (no truncation on owned rows).
+    fn apply_a(&mut self, x_ext: &[f64], y_own: &mut [f64]) -> Result<(), SolverError>;
+    /// `z_ext = Σᵢ Rᵢᵀ Ãᵢ⁻¹ Rᵢ · r_ext` over this shard's tiles — the
+    /// full extended-range Schwarz contribution. The coordinator sums
+    /// shard contributions in shard order, which together with the
+    /// in-shard tile order makes the global accumulation sequence
+    /// identical at every shard count.
+    fn apply_m(&mut self, r_ext: &[f64], z_ext: &mut [f64]) -> Result<(), SolverError>;
+    /// Cumulative staging seconds spent on the operator side.
+    fn exchange_seconds(&self) -> f64 {
+        0.0
+    }
+}
+
+/// In-process shard worker: owns the extended-range submatrix and the
+/// shard's tile factors. Also the compute core of the out-of-process
+/// serve worker (which feeds it a [`SlabSpec`] decoded off the wire) —
+/// one implementation on both sides is what makes cross-process solves
+/// bit-identical to in-process ones by construction.
+#[derive(Debug, Clone)]
+pub struct SlabWorker {
+    plane: usize,
+    slab: Slab,
+    local: CsrMatrix,
+    schwarz: SchwarzSet,
+}
+
+impl SlabWorker {
+    /// Builds a worker from a spec (validates shapes, factors tiles).
+    pub fn new(spec: SlabSpec, context: &'static str) -> Result<Self, SolverError> {
+        let ext = spec.slab.ext_cells(spec.plane);
+        let m = ext.len();
+        if spec.row_ptr.len() != m + 1
+            || spec.col_idx.len() != spec.vals.len()
+            || spec.row_ptr.last() != Some(&spec.col_idx.len())
+            || spec.col_idx.iter().any(|&c| c >= m)
+        {
+            return Err(SolverError::invalid(
+                "slab spec submatrix shape does not match its slab",
+            ));
+        }
+        for t in &spec.tiles {
+            if t.ext_start < spec.slab.ext_start || t.ext_end > spec.slab.ext_end {
+                return Err(SolverError::invalid(
+                    "slab spec tile reaches outside the shard's extended range",
+                ));
+            }
+        }
+        let local = CsrMatrix::from_parts(m, spec.row_ptr, spec.col_idx, spec.vals);
+        let schwarz = SchwarzSet::build(&local, ext.start, &spec.tiles, spec.plane, context)?;
+        Ok(Self {
+            plane: spec.plane,
+            slab: spec.slab,
+            local,
+            schwarz,
+        })
+    }
+
+    /// Convenience: extract + build against the global matrix.
+    pub fn from_global(
+        a: &CsrMatrix,
+        part: &Partition,
+        slab: Slab,
+        tiles: &[Slab],
+        context: &'static str,
+    ) -> Result<Self, SolverError> {
+        Self::new(SlabSpec::extract(a, part, slab, tiles)?, context)
+    }
+}
+
+impl SlabOperator for SlabWorker {
+    fn slab(&self) -> Slab {
+        self.slab
+    }
+
+    fn apply_a(&mut self, x_ext: &[f64], y_own: &mut [f64]) -> Result<(), SolverError> {
+        let ext = self.slab.ext_cells(self.plane);
+        let own = self.slab.owned_cells(self.plane);
+        if x_ext.len() != ext.len() || y_own.len() != own.len() {
+            return Err(SolverError::invalid("shard apply_a slice length mismatch"));
+        }
+        let rp = self.local.row_offsets();
+        let ci = self.local.col_indices();
+        let va = self.local.values();
+        let first = own.start - ext.start;
+        for (o, y) in y_own.iter_mut().enumerate() {
+            let r = first + o;
+            let mut sum = 0.0;
+            for k in rp[r]..rp[r + 1] {
+                sum += va[k] * x_ext[ci[k]];
+            }
+            *y = sum;
+        }
+        Ok(())
+    }
+
+    fn apply_m(&mut self, r_ext: &[f64], z_ext: &mut [f64]) -> Result<(), SolverError> {
+        let ext = self.slab.ext_cells(self.plane);
+        if r_ext.len() != ext.len() || z_ext.len() != ext.len() {
+            return Err(SolverError::invalid("shard apply_m slice length mismatch"));
+        }
+        self.schwarz.apply(ext.start, r_ext, ext.start, z_ext, 1);
+        Ok(())
+    }
+
+    fn exchange_seconds(&self) -> f64 {
+        self.schwarz.exchange_seconds()
+    }
+}
+
+/// Additive-Schwarz PCG across shards: the coordinator owns
+/// the global vectors, runs the (serial, fixed-order) vector updates
+/// and tree-reduced dot products, and fans matrix/preconditioner
+/// applications out to the [`SlabOperator`]s through a pre-allocated
+/// [`HaloExchange`]. Bit-identical at any shard count and any thread
+/// count; warm [`ShardedSolve::solve_into`] calls are allocation-free
+/// at `threads = 1`.
+pub struct ShardedSolve {
+    part: Partition,
+    slabs: Vec<Slab>,
+    ops: Vec<Box<dyn SlabOperator>>,
+    halo: HaloExchange,
+    ext: Vec<Vec<f64>>,
+    zext: Vec<Vec<f64>>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    history: Vec<f64>,
+    cfg: SolverConfig,
+    exchange_seconds: f64,
+}
+
+impl ShardedSolve {
+    /// Builds an in-process sharded solver: partitions the grid per the
+    /// config (an `AdditiveSchwarz(k)` preconditioner fixes the tile
+    /// ladder; anything else gets the auto ladder), groups tiles into
+    /// `shards` [`SlabWorker`]s. RCM reordering is incompatible with
+    /// slab partitioning and is rejected.
+    pub fn new(a: &CsrMatrix, cfg: &SolverConfig, shards: usize) -> Result<Self, SolverError> {
+        if cfg.get_reorder() == Reorder::Rcm {
+            return Err(SolverError::invalid(
+                "RCM reordering scrambles the slab partition a sharded solve is \
+                 built on (use Reorder::None or Reorder::Auto)",
+            ));
+        }
+        let requested = match cfg.get_preconditioner() {
+            Precond::AdditiveSchwarz(k) => k,
+            _ => 0,
+        };
+        let part = Partition::new(a.n(), cfg.get_grid_dims(), requested)?;
+        let mut ops: Vec<Box<dyn SlabOperator>> = Vec::new();
+        for (slab, tile_range) in part.shard_layout(shards) {
+            ops.push(Box::new(SlabWorker::from_global(
+                a,
+                &part,
+                slab,
+                &part.tiles()[tile_range],
+                cfg.get_context(),
+            )?));
+        }
+        Self::from_operators(part, ops, cfg)
+    }
+
+    /// Builds the driver from already-constructed shard operators (the
+    /// serve layer passes a mix of in-process and remote shards). The
+    /// operators must be in slab order and cover the partition.
+    pub fn from_operators(
+        part: Partition,
+        ops: Vec<Box<dyn SlabOperator>>,
+        cfg: &SolverConfig,
+    ) -> Result<Self, SolverError> {
+        if ops.is_empty() {
+            return Err(SolverError::invalid(
+                "sharded solve needs at least one shard",
+            ));
+        }
+        let slabs: Vec<Slab> = ops.iter().map(|o| o.slab()).collect();
+        let mut cursor = 0;
+        for slab in &slabs {
+            if slab.own_start != cursor {
+                return Err(SolverError::invalid(
+                    "shard slabs must be contiguous, ordered, and cover the grid",
+                ));
+            }
+            cursor = slab.own_end;
+        }
+        if cursor != part.nplanes() {
+            return Err(SolverError::invalid(
+                "shard slabs must cover every grid plane",
+            ));
+        }
+        let plane = part.plane();
+        let n = part.n();
+        let ext: Vec<Vec<f64>> = slabs
+            .iter()
+            .map(|s| vec![0.0; s.ext_cells(plane).len()])
+            .collect();
+        let zext = ext.clone();
+        let halo = HaloExchange::new(plane, &slabs);
+        aeropack_obs::counter!("solver.dd.sharded_solvers");
+        Ok(Self {
+            part,
+            slabs,
+            ops,
+            halo,
+            ext,
+            zext,
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+            history: Vec::new(),
+            cfg: cfg.clone(),
+            exchange_seconds: 0.0,
+        })
+    }
+
+    /// The partition this solver runs over.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Solves `A·x = b` from a zero initial guess.
+    pub fn solve(&mut self, b: &[f64]) -> Result<Solution, SolverError> {
+        let mut x = vec![0.0; self.part.n()];
+        let stats = self.solve_into(b, &mut x)?;
+        Ok(Solution { x, stats })
+    }
+
+    /// Solves into a caller-owned `x` (overwritten; zero initial
+    /// guess). Warm calls are allocation-free at `threads = 1` when
+    /// residual history is off.
+    pub fn solve_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<SolverStats, SolverError> {
+        let n = self.part.n();
+        if b.len() != n || x.len() != n {
+            return Err(SolverError::invalid(format!(
+                "sharded solve dimension mismatch: matrix is {n}, rhs {}, x {}",
+                b.len(),
+                x.len()
+            )));
+        }
+        let t0 = Instant::now();
+        aeropack_obs::counter!("solver.dd.sharded_solves");
+        let Self {
+            part,
+            slabs,
+            ops,
+            halo,
+            ext,
+            zext,
+            r,
+            z,
+            p,
+            ap,
+            history,
+            cfg,
+            exchange_seconds,
+        } = self;
+        let plane = part.plane();
+        let threads = cfg.get_threads().max(1);
+        let tolerance = cfg.get_tolerance();
+        let budget = cfg.iteration_budget(n);
+        let record = cfg.get_record_history();
+        let context = cfg.get_context();
+        history.clear();
+        x.fill(0.0);
+        let tile_count = part.tile_count();
+        let shard_count = ops.len();
+        let halo_cells: usize = slabs.iter().map(|s| s.halo_cells(plane)).sum();
+        let requested = cfg.get_preconditioner();
+        let stats = move |iterations: usize,
+                          residual: f64,
+                          history: &Vec<f64>,
+                          exchange_total: f64| SolverStats {
+            context,
+            method: Method::Pcg,
+            preconditioner: Precond::AdditiveSchwarz(tile_count),
+            requested_preconditioner: requested,
+            unknowns: n,
+            threads,
+            iterations,
+            residual_history: history.clone(),
+            final_residual: residual,
+            tolerance,
+            wall_time: t0.elapsed(),
+            setup_seconds: 0.0,
+            iterate_seconds: t0.elapsed().as_secs_f64(),
+            factorization: None,
+            spectral: None,
+            dd: Some(DdStats {
+                subdomains: tile_count,
+                shards: shard_count,
+                halo_cells,
+                exchange_seconds: exchange_total,
+            }),
+        };
+        let exchange_total = |exchange_seconds: &f64, ops: &[Box<dyn SlabOperator>]| {
+            *exchange_seconds + ops.iter().map(|o| o.exchange_seconds()).sum::<f64>()
+        };
+        let bnorm = tree_norm(b);
+        if bnorm == 0.0 {
+            return Ok(stats(
+                0,
+                0.0,
+                history,
+                exchange_total(exchange_seconds, ops),
+            ));
+        }
+        r.copy_from_slice(b);
+        fan_out(
+            ops,
+            slabs,
+            plane,
+            halo,
+            ext,
+            zext,
+            exchange_seconds,
+            r,
+            z,
+            threads,
+            false,
+        )?;
+        p.copy_from_slice(z);
+        let mut rz = tree_dot(r, z);
+        let mut rel = tree_norm(r) / bnorm;
+        if rel <= tolerance {
+            return Ok(stats(
+                0,
+                rel,
+                history,
+                exchange_total(exchange_seconds, ops),
+            ));
+        }
+        let mut iterations = 0;
+        loop {
+            if iterations >= budget {
+                aeropack_obs::counter!("solver.dd.iterations", iterations);
+                return Err(SolverError::NotConverged {
+                    context,
+                    iterations,
+                    residual: rel,
+                });
+            }
+            fan_out(
+                ops,
+                slabs,
+                plane,
+                halo,
+                ext,
+                zext,
+                exchange_seconds,
+                p,
+                ap,
+                threads,
+                true,
+            )?;
+            let pap = tree_dot(p, ap);
+            if pap <= 0.0 || !pap.is_finite() {
+                aeropack_obs::counter!("solver.dd.iterations", iterations);
+                return Err(SolverError::Singular { context });
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            iterations += 1;
+            rel = tree_norm(r) / bnorm;
+            if record {
+                history.push(rel);
+            }
+            if rel <= tolerance {
+                break;
+            }
+            fan_out(
+                ops,
+                slabs,
+                plane,
+                halo,
+                ext,
+                zext,
+                exchange_seconds,
+                r,
+                z,
+                threads,
+                false,
+            )?;
+            let rz_new = tree_dot(r, z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        aeropack_obs::counter!("solver.dd.iterations", iterations);
+        Ok(stats(
+            iterations,
+            rel,
+            history,
+            exchange_total(exchange_seconds, ops),
+        ))
+    }
+}
+
+/// Stages `src` through the halo exchange and applies every shard
+/// operator. Matrix applications (`matrix = true`) write disjoint
+/// owned slices of `out`; Schwarz applications write full
+/// extended-range contributions into `zext`, which are then summed
+/// into `out` serially in shard order. Shards hold contiguous tile
+/// runs, so the per-cell accumulation sequence is the global
+/// tile-index order at every shard count — and with `threads > 1`
+/// only the independent per-shard applications move to scoped
+/// threads, so the result is bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
+fn fan_out(
+    ops: &mut [Box<dyn SlabOperator>],
+    slabs: &[Slab],
+    plane: usize,
+    halo: &mut HaloExchange,
+    ext: &mut [Vec<f64>],
+    zext: &mut [Vec<f64>],
+    exchange_seconds: &mut f64,
+    src: &[f64],
+    out: &mut [f64],
+    threads: usize,
+    matrix: bool,
+) -> Result<(), SolverError> {
+    let t0 = Instant::now();
+    halo.exchange(src, slabs, ext);
+    *exchange_seconds += t0.elapsed().as_secs_f64();
+    if threads <= 1 || ops.len() == 1 {
+        if matrix {
+            for ((op, buf), slab) in ops.iter_mut().zip(ext.iter()).zip(slabs) {
+                op.apply_a(buf, &mut out[slab.owned_cells(plane)])?;
+            }
+        } else {
+            for ((op, buf), zb) in ops.iter_mut().zip(ext.iter()).zip(zext.iter_mut()) {
+                op.apply_m(buf, zb)?;
+            }
+            accumulate_zext(slabs, plane, zext, exchange_seconds, out);
+        }
+        return Ok(());
+    }
+    let result = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ops.len());
+        if matrix {
+            let mut rest = &mut *out;
+            let mut cursor = 0;
+            for ((op, buf), slab) in ops.iter_mut().zip(ext.iter()).zip(slabs) {
+                let own = slab.owned_cells(plane);
+                let (_, tail) = rest.split_at_mut(own.start - cursor);
+                let (mine, tail) = tail.split_at_mut(own.len());
+                rest = tail;
+                cursor = own.end;
+                handles.push(scope.spawn(move || op.apply_a(buf, mine)));
+            }
+        } else {
+            for ((op, buf), zb) in ops.iter_mut().zip(ext.iter()).zip(zext.iter_mut()) {
+                handles.push(scope.spawn(move || op.apply_m(buf, zb)));
+            }
+        }
+        let mut result = Ok(());
+        for h in handles {
+            let r = h.join().expect("shard worker panicked");
+            if r.is_err() && result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    });
+    result?;
+    if !matrix {
+        accumulate_zext(slabs, plane, zext, exchange_seconds, out);
+    }
+    Ok(())
+}
+
+/// Serial shard-order sum of extended-range Schwarz contributions into
+/// the global vector. `out` is zeroed first; each shard's slice is
+/// added over its extended cell range, in shard (and therefore global
+/// tile) order.
+fn accumulate_zext(
+    slabs: &[Slab],
+    plane: usize,
+    zext: &[Vec<f64>],
+    exchange_seconds: &mut f64,
+    out: &mut [f64],
+) {
+    let t0 = Instant::now();
+    out.fill(0.0);
+    for (zb, slab) in zext.iter().zip(slabs) {
+        for (dst, &s) in out[slab.ext_cells(plane)].iter_mut().zip(zb) {
+            *dst += s;
+        }
+    }
+    *exchange_seconds += t0.elapsed().as_secs_f64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::solve_sparse;
+
+    /// 7-point Poisson operator on a structured grid (Dirichlet
+    /// boundaries folded into the diagonal).
+    fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+        let idx = move |ix: usize, iy: usize, iz: usize| ix + nx * (iy + ny * iz);
+        CsrMatrix::from_row_fn(nx * ny * nz, 2, move |i, row| {
+            let ix = i % nx;
+            let iy = (i / nx) % ny;
+            let iz = i / (nx * ny);
+            row.push((i, 6.5));
+            if ix > 0 {
+                row.push((idx(ix - 1, iy, iz), -1.0));
+            }
+            if ix + 1 < nx {
+                row.push((idx(ix + 1, iy, iz), -1.0));
+            }
+            if iy > 0 {
+                row.push((idx(ix, iy - 1, iz), -1.0));
+            }
+            if iy + 1 < ny {
+                row.push((idx(ix, iy + 1, iz), -1.0));
+            }
+            if iz > 0 {
+                row.push((idx(ix, iy, iz - 1), -1.0));
+            }
+            if iz + 1 < nz {
+                row.push((idx(ix, iy, iz + 1), -1.0));
+            }
+        })
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + (i as f64 * 0.17).sin()).collect()
+    }
+
+    #[test]
+    fn partition_auto_picks_one_tile_per_eight_planes() {
+        let part = Partition::new(64 * 64 * 64, Some((64, 64, 64)), 0).unwrap();
+        assert_eq!(part.tile_count(), 8);
+        assert_eq!(part.plane(), 64 * 64);
+        // Without grid dims the vector is a chain of single-cell planes.
+        let chain = Partition::new(100, None, 0).unwrap();
+        assert_eq!(chain.plane(), 1);
+        assert_eq!(chain.nplanes(), 100);
+        assert_eq!(chain.tile_count(), 13);
+    }
+
+    #[test]
+    fn partition_tiles_cover_and_clip() {
+        let part = Partition::new(3 * 3 * 10, Some((3, 3, 10)), 4).unwrap();
+        let tiles = part.tiles();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0].own_start, 0);
+        assert_eq!(tiles.last().unwrap().own_end, 10);
+        for pair in tiles.windows(2) {
+            assert_eq!(pair[0].own_end, pair[1].own_start);
+        }
+        // Halos are one plane, clipped at the domain boundary.
+        assert_eq!(tiles[0].ext_start, 0);
+        assert_eq!(tiles[0].ext_end, tiles[0].own_end + 1);
+        assert_eq!(tiles.last().unwrap().ext_end, 10);
+        // Tiles are at least two planes wide (bit-identity floor), so an
+        // oversized request clamps to nplanes / 2 — one tile on a 2-plane grid.
+        let clamped = Partition::new(8, Some((2, 2, 2)), 99).unwrap();
+        assert_eq!(clamped.tile_count(), 1);
+        let clamped = Partition::new(2 * 2 * 10, Some((2, 2, 10)), 99).unwrap();
+        assert_eq!(clamped.tile_count(), 5);
+        // Mismatched dims are rejected.
+        assert!(Partition::new(7, Some((2, 2, 2)), 1).is_err());
+    }
+
+    #[test]
+    fn shard_layout_groups_whole_tiles() {
+        let part = Partition::new(4 * 4 * 16, Some((4, 4, 16)), 8).unwrap();
+        for shards in [1, 2, 3, 4, 8, 99] {
+            let layout = part.shard_layout(shards);
+            assert_eq!(layout.len(), shards.min(8));
+            let mut plane_cursor = 0;
+            let mut tile_cursor = 0;
+            for (slab, tiles) in &layout {
+                assert_eq!(slab.own_start, plane_cursor);
+                assert_eq!(tiles.start, tile_cursor);
+                assert_eq!(slab.own_start, part.tiles()[tiles.start].own_start);
+                assert_eq!(slab.own_end, part.tiles()[tiles.end - 1].own_end);
+                plane_cursor = slab.own_end;
+                tile_cursor = tiles.end;
+            }
+            assert_eq!(plane_cursor, 16);
+            assert_eq!(tile_cursor, 8);
+        }
+    }
+
+    #[test]
+    fn tree_dot_matches_serial_sum() {
+        let a: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.01).cos()).collect();
+        let b: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.02).sin()).collect();
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let tree = tree_dot(&a, &b);
+        assert!((tree - serial).abs() <= 1e-9 * serial.abs().max(1.0));
+        assert_eq!(tree_dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn single_tile_schwarz_matches_global_ic0_apply() {
+        let a = poisson3d(4, 4, 6);
+        let part = Partition::new(a.n(), Some((4, 4, 6)), 1).unwrap();
+        let mut set = SchwarzSet::build(&a, 0, part.tiles(), part.plane(), "test").unwrap();
+        let (global, _) = Ic0Factor::new(&a).unwrap();
+        let r = rhs(a.n());
+        let mut z_set = vec![0.0; a.n()];
+        let mut z_glob = vec![0.0; a.n()];
+        set.apply(0, &r, 0, &mut z_set, 1);
+        global.apply(&r, &mut z_glob, 1);
+        for (p, q) in z_set.iter().zip(&z_glob) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn schwarz_apply_is_thread_count_invariant() {
+        let a = poisson3d(5, 4, 12);
+        let part = Partition::new(a.n(), Some((5, 4, 12)), 4).unwrap();
+        let mut set = SchwarzSet::build(&a, 0, part.tiles(), part.plane(), "test").unwrap();
+        let r = rhs(a.n());
+        let mut serial = vec![0.0; a.n()];
+        set.apply(0, &r, 0, &mut serial, 1);
+        for threads in [2, 3, 8] {
+            let mut threaded = vec![0.0; a.n()];
+            set.apply(0, &r, 0, &mut threaded, threads);
+            for (p, q) in threaded.iter().zip(&serial) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn schwarz_refresh_tracks_new_values() {
+        let a = poisson3d(3, 3, 9);
+        let part = Partition::new(a.n(), Some((3, 3, 9)), 3).unwrap();
+        let mut set = SchwarzSet::build(&a, 0, part.tiles(), part.plane(), "test").unwrap();
+        // Same pattern, scaled values.
+        let scaled = CsrMatrix::from_pattern_row_fn(&a.pattern(), 1, |i, row| {
+            let rp = a.row_offsets();
+            for k in rp[i]..rp[i + 1] {
+                row.push((a.col_indices()[k], a.values()[k] * 2.0));
+            }
+        });
+        set.refresh(&scaled, "test").unwrap();
+        let mut fresh = SchwarzSet::build(&scaled, 0, part.tiles(), part.plane(), "test").unwrap();
+        let r = rhs(a.n());
+        let mut z_refreshed = vec![0.0; a.n()];
+        let mut z_fresh = vec![0.0; a.n()];
+        set.apply(0, &r, 0, &mut z_refreshed, 1);
+        fresh.apply(0, &r, 0, &mut z_fresh, 1);
+        for (p, q) in z_refreshed.iter().zip(&z_fresh) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn slab_spec_rejects_wide_bandwidth() {
+        // A chain matrix with a coupling two planes away cannot be
+        // served by a one-plane halo.
+        let n = 12;
+        let a = CsrMatrix::from_row_fn(n, 1, |i, row| {
+            if i >= 2 {
+                row.push((i - 2, -1.0));
+            }
+            row.push((i, 4.0));
+            if i + 2 < n {
+                row.push((i + 2, -1.0));
+            }
+        });
+        let part = Partition::new(n, None, 3).unwrap();
+        let layout = part.shard_layout(3);
+        let (slab, tiles) = &layout[1];
+        let err = SlabSpec::extract(&a, &part, *slab, &part.tiles()[tiles.clone()]);
+        assert!(matches!(err, Err(SolverError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn sharded_solve_matches_single_domain_bitwise() {
+        let (nx, ny, nz) = (6, 5, 16);
+        let a = poisson3d(nx, ny, nz);
+        let b = rhs(a.n());
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::AdditiveSchwarz(4))
+            .grid_dims((nx, ny, nz))
+            .tolerance(1e-11);
+        let mut reference = ShardedSolve::new(&a, &cfg, 1).unwrap();
+        let base = reference.solve(&b).unwrap();
+        assert!(base.stats.converged());
+        assert_eq!(base.stats.dd.unwrap().shards, 1);
+        for shards in [2, 3, 4] {
+            let mut driver = ShardedSolve::new(&a, &cfg, shards).unwrap();
+            assert_eq!(driver.shard_count(), shards);
+            let sol = driver.solve(&b).unwrap();
+            assert_eq!(sol.stats.iterations, base.stats.iterations);
+            assert_eq!(sol.stats.dd.unwrap().shards, shards);
+            for (p, q) in sol.x.iter().zip(&base.x) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_solve_is_thread_count_invariant() {
+        let (nx, ny, nz) = (5, 5, 12);
+        let a = poisson3d(nx, ny, nz);
+        let b = rhs(a.n());
+        let base_cfg = SolverConfig::new()
+            .preconditioner(Precond::AdditiveSchwarz(4))
+            .grid_dims((nx, ny, nz))
+            .tolerance(1e-11);
+        let mut reference = ShardedSolve::new(&a, &base_cfg, 4).unwrap();
+        let base = reference.solve(&b).unwrap();
+        for threads in [2, 8] {
+            let cfg = base_cfg.clone().threads(threads);
+            let mut driver = ShardedSolve::new(&a, &cfg, 4).unwrap();
+            let sol = driver.solve(&b).unwrap();
+            assert_eq!(sol.stats.iterations, base.stats.iterations);
+            for (p, q) in sol.x.iter().zip(&base.x) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_solve_agrees_with_direct_pcg() {
+        let (nx, ny, nz) = (4, 4, 10);
+        let a = poisson3d(nx, ny, nz);
+        let b = rhs(a.n());
+        let cfg = SolverConfig::new().grid_dims((nx, ny, nz)).tolerance(1e-12);
+        let mut driver = ShardedSolve::new(&a, &cfg, 2).unwrap();
+        let sharded = driver.solve(&b).unwrap();
+        let plain = solve_sparse(&a, &b, &cfg).unwrap();
+        for (p, q) in sharded.x.iter().zip(&plain.x) {
+            assert!((p - q).abs() < 1e-8, "sharded {p} vs plain {q}");
+        }
+        let dd = sharded.stats.dd.unwrap();
+        assert_eq!(dd.shards, 2);
+        assert!(dd.halo_cells > 0);
+        assert!(dd.exchange_seconds >= 0.0);
+    }
+
+    #[test]
+    fn sharded_solve_rejects_rcm() {
+        let a = poisson3d(3, 3, 6);
+        let cfg = SolverConfig::new()
+            .grid_dims((3, 3, 6))
+            .reorder(Reorder::Rcm);
+        assert!(matches!(
+            ShardedSolve::new(&a, &cfg, 2),
+            Err(SolverError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn shards_env_knob_parses() {
+        // Not set in the test environment by default.
+        std::env::remove_var("AEROPACK_SHARDS");
+        assert_eq!(shards_from_env(), None);
+        std::env::set_var("AEROPACK_SHARDS", "4");
+        assert_eq!(shards_from_env(), Some(4));
+        std::env::set_var("AEROPACK_SHARDS", "0");
+        assert_eq!(shards_from_env(), None);
+        std::env::set_var("AEROPACK_SHARDS", "not a number");
+        assert_eq!(shards_from_env(), None);
+        std::env::remove_var("AEROPACK_SHARDS");
+    }
+}

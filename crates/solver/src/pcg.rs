@@ -24,11 +24,12 @@ use crate::cheb::{
 };
 use crate::config::{Solution, SolverConfig};
 use crate::csr::{spmv_f32, CsrMatrix, SellMatrix};
+use crate::dd::{Partition, SchwarzSet};
 use crate::error::SolverError;
 use crate::ic0::Ic0Factor;
 use crate::mg::MgHierarchy;
 use crate::reorder::{rcm_permutation, PermutedSystem};
-use crate::stats::{FactorStats, Method, Precond, SolverStats, SpectralStats};
+use crate::stats::{DdStats, FactorStats, Method, Precond, SolverStats, SpectralStats};
 use crate::LinearOperator;
 
 /// Systems at or above this size run their SpMVs through the blocked
@@ -63,6 +64,10 @@ enum Preconditioner<'a> {
         matrix: &'a CsrMatrix,
         sell: Option<&'a SellMatrix>,
         hier: &'a mut MgHierarchy,
+        threads: usize,
+    },
+    Schwarz {
+        set: &'a mut SchwarzSet,
         threads: usize,
     },
 }
@@ -113,6 +118,7 @@ impl Preconditioner<'_> {
                 };
                 hier.apply(&op, r, z, threads);
             }
+            Self::Schwarz { set, threads } => set.apply(0, r, 0, z, *threads),
         }
     }
 }
@@ -175,6 +181,21 @@ struct SellCache {
     sell: SellMatrix,
 }
 
+/// The workspace's cached additive-Schwarz tile set, keyed like
+/// [`Ic0Cache`] on the unpermuted system pattern (additive Schwarz
+/// never reorders) plus the resolved tile count. A snapshot hit reuses
+/// every tile factor outright; a pattern hit with new values refactors
+/// each tile numerically in place, allocation-free.
+#[derive(Debug, Clone)]
+struct AsCache {
+    key: (usize, usize),
+    vals_snapshot: Vec<f64>,
+    requested: usize,
+    grid_dims: Option<(usize, usize, usize)>,
+    part: Partition,
+    set: SchwarzSet,
+}
+
 /// The workspace's mixed-precision state: the `f32` shadow of the
 /// matrix values and diagonal plus the inner-CG buffers, keyed like
 /// [`Ic0Cache`].
@@ -218,6 +239,7 @@ pub struct PcgWorkspace {
     mg: Option<MgCache>,
     sell: Option<SellCache>,
     mixed: Option<MixedCache>,
+    schwarz: Option<AsCache>,
 }
 
 impl PcgWorkspace {
@@ -347,6 +369,12 @@ pub fn solve_sparse_into(
             ));
         }
     }
+    if matches!(precond_kind, Precond::AdditiveSchwarz(_)) && cfg.rcm_engages() {
+        return Err(SolverError::invalid(
+            "RCM reordering scrambles the slab partition additive Schwarz \
+             is built on (use Reorder::None or Reorder::Auto)",
+        ));
+    }
     if cfg.get_mixed_precision() {
         if !matches!(precond_kind, Precond::Jacobi | Precond::None) {
             return Err(SolverError::invalid(
@@ -384,6 +412,7 @@ pub fn solve_sparse_into(
         mg,
         sell,
         mixed: _,
+        schwarz,
     } = ws;
     if use_rcm {
         ensure_reorder(reorder, a);
@@ -409,10 +438,28 @@ pub fn solve_sparse_into(
     } else {
         None
     };
-    let factorization = if precond_kind == Precond::Ic0 {
-        Some(ensure_ic0(ic0, system, use_rcm, cfg.get_context())?)
-    } else {
-        None
+    // Additive Schwarz resolves its tile ladder from the grid shape
+    // (0 = auto) and reports the resolved count as the effective kind.
+    // The partition and tile factors live in the workspace cache, so a
+    // warm solve allocates nothing.
+    let mut dd_info: Option<(usize, usize)> = None;
+    let mut as_stats: Option<FactorStats> = None;
+    if let Precond::AdditiveSchwarz(requested) = precond_kind {
+        as_stats = Some(ensure_as(
+            schwarz,
+            system,
+            cfg.get_grid_dims(),
+            requested,
+            cfg.get_context(),
+        )?);
+        let c = schwarz.as_ref().expect("tiles ensured above");
+        precond_kind = Precond::AdditiveSchwarz(c.part.tile_count());
+        dd_info = Some((c.part.tile_count(), c.part.halo_cells()));
+    }
+    let factorization = match precond_kind {
+        Precond::Ic0 => Some(ensure_ic0(ic0, system, use_rcm, cfg.get_context())?),
+        Precond::AdditiveSchwarz(_) => as_stats,
+        _ => None,
     };
     let spectral = match precond_kind {
         Precond::Chebyshev(k) => Some(ensure_cheb(cheb, system, sell_ref, k, threads)),
@@ -452,9 +499,13 @@ pub fn solve_sparse_into(
             hier: &mut mg.as_mut().expect("hierarchy ensured above").hier,
             threads,
         },
+        Precond::AdditiveSchwarz(_) => Preconditioner::Schwarz {
+            set: &mut schwarz.as_mut().expect("tiles ensured above").set,
+            threads,
+        },
     };
     let setup_seconds = setup_start.elapsed().as_secs_f64();
-    if let Some(sys) = sys {
+    let mut stats = if let Some(sys) = sys {
         bp.resize(n, 0.0);
         xp.resize(n, 0.0);
         sys.permute_into(b, bp);
@@ -474,7 +525,7 @@ pub fn solve_sparse_into(
             (factorization, spectral, setup_seconds),
         )?;
         sys.scatter_back(xp, x);
-        Ok(stats)
+        stats
     } else {
         pcg_loop(
             |v, y| match sell_ref {
@@ -490,8 +541,19 @@ pub fn solve_sparse_into(
             cfg,
             n,
             (factorization, spectral, setup_seconds),
-        )
+        )?
+    };
+    if let (Some((subdomains, halo_cells)), Preconditioner::Schwarz { set, .. }) =
+        (dd_info, &precond)
+    {
+        stats.dd = Some(DdStats {
+            subdomains,
+            shards: 1,
+            halo_cells,
+            exchange_seconds: set.exchange_seconds(),
+        });
     }
+    Ok(stats)
 }
 
 /// Brings the workspace's RCM cache in sync with `a`: a pattern hit
@@ -564,6 +626,62 @@ fn ensure_ic0(
         key,
         factor,
         vals_snapshot: m.values().to_vec(),
+    });
+    Ok(stats)
+}
+
+/// Brings the workspace's additive-Schwarz cache in sync with `m` (the
+/// unpermuted system — AS rejects RCM) and the resolved partition, and
+/// returns aggregated factorisation stats for this solve. Pattern hits
+/// with new values refactor every tile in place, allocation-free.
+fn ensure_as(
+    cache: &mut Option<AsCache>,
+    m: &CsrMatrix,
+    grid_dims: Option<(usize, usize, usize)>,
+    requested: usize,
+    context: &'static str,
+) -> Result<FactorStats, SolverError> {
+    let key = m.pattern().key();
+    if let Some(c) = cache.as_mut() {
+        if c.key == key && c.requested == requested && c.grid_dims == grid_dims {
+            if c.vals_snapshot.as_slice() == m.values() {
+                aeropack_obs::counter!("solver.dd.tile_reuses", c.set.tile_count());
+                return Ok(c.set.factor_stats(Duration::ZERO, true));
+            }
+            let t0 = Instant::now();
+            match c.set.refresh(m, context) {
+                Ok(retries) => {
+                    if retries > 0 {
+                        aeropack_obs::counter!("solver.dd.shift_retries", retries);
+                    }
+                    c.vals_snapshot.copy_from_slice(m.values());
+                    return Ok(c.set.factor_stats(t0.elapsed(), false));
+                }
+                Err(e) => {
+                    // Numeric content is now garbage; drop the cache so
+                    // a future solve rebuilds from scratch.
+                    *cache = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+    let part = Partition::new(m.n(), grid_dims, requested)?;
+    let t0 = Instant::now();
+    let set = SchwarzSet::build(m, 0, part.tiles(), part.plane(), context)?;
+    let retries = set.shift_retries();
+    if retries > 0 {
+        aeropack_obs::counter!("solver.dd.shift_retries", retries);
+    }
+    let stats = set.factor_stats(t0.elapsed(), false);
+    aeropack_obs::histogram!("solver.dd.factor_seconds", stats.factor_time.as_secs_f64());
+    *cache = Some(AsCache {
+        key,
+        vals_snapshot: m.values().to_vec(),
+        requested,
+        grid_dims,
+        part,
+        set,
     });
     Ok(stats)
 }
@@ -763,6 +881,7 @@ fn solve_mixed_into(
             context,
             method: Method::Pcg,
             preconditioner: cfg.get_preconditioner(),
+            requested_preconditioner: cfg.get_preconditioner(),
             unknowns: n,
             threads: cfg.get_threads(),
             iterations,
@@ -774,6 +893,7 @@ fn solve_mixed_into(
             iterate_seconds,
             factorization: None,
             spectral: None,
+            dd: None,
         }
     };
     let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -980,6 +1100,12 @@ pub fn solve_operator(
                 "spectral preconditioning needs explicit CSR storage (use solve_sparse)",
             ))
         }
+        Precond::AdditiveSchwarz(_) => {
+            return Err(SolverError::invalid(
+                "additive-Schwarz preconditioning needs explicit CSR storage \
+                 (use solve_sparse or ShardedSolve)",
+            ))
+        }
     };
     let mut x = vec![0.0; n];
     let stats = pcg_loop(
@@ -1097,15 +1223,20 @@ where
                 Precond::Ic0 => "solver.pcg.iterations.ic0",
                 Precond::Chebyshev(_) => "solver.pcg.iterations.chebyshev",
                 Precond::Multigrid => "solver.pcg.iterations.mg",
+                Precond::AdditiveSchwarz(_) => "solver.pcg.iterations.schwarz",
             },
             iterations
         );
+        if precond_kind != cfg.get_preconditioner() {
+            aeropack_obs::counter!("solver.pcg.precond_substitutions");
+        }
         aeropack_obs::histogram!("solver.pcg.final_residual", final_residual);
         aeropack_obs::histogram!("solver.pcg.solve_seconds", wall_time.as_secs_f64());
         SolverStats {
             context,
             method: Method::Pcg,
             preconditioner: precond_kind,
+            requested_preconditioner: cfg.get_preconditioner(),
             unknowns: n,
             threads: cfg.get_threads(),
             iterations,
@@ -1117,6 +1248,7 @@ where
             iterate_seconds,
             factorization,
             spectral,
+            dd: None,
         }
     };
 
@@ -1577,12 +1709,133 @@ mod tests {
             .tolerance(1e-11);
         let sol = solve_sparse(&a, &b, &cfg).unwrap();
         assert!(sol.stats.converged());
-        // The effective preconditioner is reported, not the requested one.
+        // The effective preconditioner is reported, not the requested one
+        // — and the requested one stays visible alongside it.
         assert_eq!(
             sol.stats.preconditioner,
             Precond::Chebyshev(crate::cheb::FALLBACK_CHEB_STEPS)
         );
+        assert_eq!(sol.stats.requested_preconditioner, Precond::Multigrid);
         assert!(sol.stats.spectral.is_some());
+        // When nothing substitutes, the two fields agree.
+        let plain =
+            solve_sparse(&a, &b, &SolverConfig::new().preconditioner(Precond::Jacobi)).unwrap();
+        assert_eq!(plain.stats.preconditioner, Precond::Jacobi);
+        assert_eq!(plain.stats.requested_preconditioner, Precond::Jacobi);
+    }
+
+    #[test]
+    fn additive_schwarz_solves_and_reports_resolved_tiles() {
+        let (nx, ny, nz) = (5, 4, 24);
+        let a = poisson3d(nx, ny, nz);
+        let b: Vec<f64> = (0..a.n()).map(|i| 1.0 + (i as f64 * 0.11).sin()).collect();
+        // Auto ladder: 24 planes resolve to 3 tiles of 8 planes.
+        let cfg = SolverConfig::new()
+            .preconditioner(Precond::AdditiveSchwarz(0))
+            .grid_dims((nx, ny, nz))
+            .tolerance(1e-11);
+        let sol = solve_sparse(&a, &b, &cfg).unwrap();
+        assert!(sol.stats.converged());
+        assert_eq!(sol.stats.preconditioner, Precond::AdditiveSchwarz(3));
+        assert_eq!(
+            sol.stats.requested_preconditioner,
+            Precond::AdditiveSchwarz(0)
+        );
+        let dd = sol.stats.dd.expect("AS reports partition stats");
+        assert_eq!(dd.subdomains, 3);
+        assert_eq!(dd.shards, 1);
+        assert!(dd.halo_cells > 0);
+        let factor = sol.stats.factorization.expect("AS reports factor stats");
+        assert!(factor.fill_nnz > 0);
+        assert!(!factor.reordered);
+        // The answer is right: cross-check against level-scheduled IC(0).
+        let ic0 = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(Precond::Ic0)
+                .tolerance(1e-11),
+        )
+        .unwrap();
+        for (p, q) in sol.x.iter().zip(&ic0.x) {
+            assert!((p - q).abs() < 1e-8, "AS {p} vs IC0 {q}");
+        }
+        // One tile over the whole grid degenerates to (unreordered)
+        // global IC(0) and must match its iteration count.
+        let one = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(Precond::AdditiveSchwarz(1))
+                .grid_dims((nx, ny, nz))
+                .tolerance(1e-11),
+        )
+        .unwrap();
+        let plain_ic0 = solve_sparse(
+            &a,
+            &b,
+            &SolverConfig::new()
+                .preconditioner(Precond::Ic0)
+                .reorder(crate::config::Reorder::None)
+                .tolerance(1e-11),
+        )
+        .unwrap();
+        assert_eq!(one.stats.iterations, plain_ic0.stats.iterations);
+    }
+
+    #[test]
+    fn additive_schwarz_is_thread_count_invariant_and_caches() {
+        let (nx, ny, nz) = (4, 4, 16);
+        let a = poisson3d(nx, ny, nz);
+        let b: Vec<f64> = (0..a.n()).map(|i| 0.5 + (i as f64 * 0.07).cos()).collect();
+        let base_cfg = SolverConfig::new()
+            .preconditioner(Precond::AdditiveSchwarz(4))
+            .grid_dims((nx, ny, nz))
+            .tolerance(1e-11);
+        let mut ws = PcgWorkspace::new();
+        let base = solve_sparse_with(&mut ws, &a, &b, &base_cfg).unwrap();
+        assert!(!base.stats.factorization.unwrap().reused);
+        // Second solve through the same workspace reuses every tile.
+        let again = solve_sparse_with(&mut ws, &a, &b, &base_cfg).unwrap();
+        assert!(again.stats.factorization.unwrap().reused);
+        assert_eq!(again.stats.iterations, base.stats.iterations);
+        for (p, q) in again.x.iter().zip(&base.x) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Thread count changes nothing, bit for bit.
+        for threads in [2, 8] {
+            let cfg = base_cfg.clone().threads(threads);
+            let sol = solve_sparse(&a, &b, &cfg).unwrap();
+            assert_eq!(sol.stats.iterations, base.stats.iterations);
+            for (p, q) in sol.x.iter().zip(&base.x) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn additive_schwarz_rejects_rcm_and_operator_solves() {
+        let a = poisson3d(3, 3, 6);
+        let b = vec![1.0; a.n()];
+        assert!(matches!(
+            solve_sparse(
+                &a,
+                &b,
+                &SolverConfig::new()
+                    .preconditioner(Precond::AdditiveSchwarz(2))
+                    .grid_dims((3, 3, 6))
+                    .reorder(crate::config::Reorder::Rcm)
+            ),
+            Err(SolverError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            solve_operator(
+                &a,
+                &b,
+                &SolverConfig::new().preconditioner(Precond::AdditiveSchwarz(2))
+            ),
+            Err(SolverError::InvalidInput { .. })
+        ));
     }
 
     #[test]

@@ -192,6 +192,7 @@ pub fn solve_rack_flow(
             context: "rack flow distribution",
             method: Method::Bisection,
             preconditioner: Precond::None,
+            requested_preconditioner: Precond::None,
             unknowns: channels.len(),
             threads: 1,
             iterations,
@@ -203,6 +204,7 @@ pub fn solve_rack_flow(
             iterate_seconds: start.elapsed().as_secs_f64(),
             factorization: None,
             spectral: None,
+            dd: None,
         },
     })
 }

@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use aeropack_solver::{
-    solve_multi_rhs_with, solve_sparse_into, CsrMatrix, CsrPattern, PcgWorkspace, SolverConfig,
-    SolverStats,
+    solve_multi_rhs_with, solve_sparse_into, CsrMatrix, CsrPattern, PcgWorkspace, ShardedSolve,
+    SolverConfig, SolverStats,
 };
 use aeropack_units::{Celsius, HeatFlux, HeatTransferCoeff, Power, ThermalConductivity};
 
@@ -757,6 +757,57 @@ impl FvModel {
         }
         *self.stats.lock().expect("stats lock poisoned") = last_stats;
         Ok(fields)
+    }
+
+    /// Solves the steady field through the domain-decomposed
+    /// [`ShardedSolve`] driver: the grid partitions into slab
+    /// subdomains along `nz` (the tile ladder comes from a configured
+    /// [`Precond::AdditiveSchwarz`](aeropack_solver::Precond), auto
+    /// otherwise) grouped into `shards` in-process workers with halo
+    /// exchange between them. The solution is bit-identical at any
+    /// shard count and any thread count — `shards` is purely an
+    /// execution knob. `aeropack_solver::shards_from_env` reads the
+    /// conventional `AEROPACK_SHARDS` override.
+    ///
+    /// # Errors
+    ///
+    /// As [`FvModel::solve_steady`], plus an invalid-input error when
+    /// the solver config requests RCM reordering (incompatible with
+    /// slab partitioning).
+    pub fn solve_steady_sharded(&self, shards: usize) -> Result<FvField, ThermalError> {
+        let _span = aeropack_obs::span!(
+            "thermal.fv.solve_sharded",
+            cells = self.grid.cell_count(),
+            shards = shards
+        );
+        let has_reference = self
+            .bc
+            .iter()
+            .any(|bc| matches!(bc, FaceBc::FixedTemperature(_) | FaceBc::Convection { .. }));
+        if !has_reference {
+            return Err(ThermalError::SingularSystem {
+                context: "finite-volume sharded steady solve",
+            });
+        }
+        let asm = self.assemble_scaled(1.0);
+        if asm.diag.iter().any(|&d| d <= 0.0) {
+            return Err(ThermalError::SingularSystem {
+                context: "finite-volume sharded steady solve",
+            });
+        }
+        let a = self.csr(&asm, None);
+        let cfg = self
+            .config
+            .clone()
+            .context("finite-volume sharded steady solve")
+            .grid_dims(self.grid.shape());
+        let mut driver = ShardedSolve::new(&a, &cfg, shards)?;
+        let sol = driver.solve(&asm.rhs)?;
+        *self.stats.lock().expect("stats lock poisoned") = Some(sol.stats);
+        Ok(FvField {
+            grid: self.grid,
+            temperatures: sol.x,
+        })
     }
 
     /// Canonical 64-bit content fingerprint of this model: grid shape
